@@ -1,0 +1,161 @@
+// Command skipweb-bench regenerates every table and figure of the
+// skip-webs paper on the message-counting simulator.
+//
+// Usage:
+//
+//	skipweb-bench [-experiment all|table1|lemma1|lemma3|lemma4|lemma5|
+//	               theorem2|blocking|updates|congestion|ablation|figures]
+//	              [-quick] [-seed N]
+//
+// The default runs everything at the EXPERIMENTS.md scale; -quick runs a
+// reduced sweep for smoke testing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/skipwebs/skipwebs/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "skipweb-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	experiment := flag.String("experiment", "all", "which experiment to run")
+	quick := flag.Bool("quick", false, "reduced sweep for smoke testing")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	t1 := experiments.DefaultTable1Config()
+	lm := experiments.DefaultLemmaConfig()
+	th := experiments.DefaultTheoremConfig()
+	if *quick {
+		t1 = experiments.QuickTable1Config()
+		lm = experiments.QuickLemmaConfig()
+		th = experiments.QuickTheoremConfig()
+	}
+	t1.Seed, lm.Seed, th.Seed = *seed, *seed+1, *seed+2
+
+	want := func(name string) bool { return *experiment == "all" || *experiment == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		rep, err := experiments.Table1(t1)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== E1: Table 1 ===")
+		fmt.Println(rep)
+	}
+	if want("lemma1") {
+		ran = true
+		rep, err := experiments.Lemma1(lm)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== E2: Lemma 1 ===")
+		fmt.Println(rep)
+	}
+	if want("lemma3") {
+		ran = true
+		rep, err := experiments.Lemma3(lm)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== E3: Lemma 3 / Figure 3 ===")
+		fmt.Println(rep)
+	}
+	if want("lemma4") {
+		ran = true
+		rep, err := experiments.Lemma4(lm)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== E4: Lemma 4 ===")
+		fmt.Println(rep)
+	}
+	if want("lemma5") {
+		ran = true
+		rep, err := experiments.Lemma5(lm)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== E5: Lemma 5 / Figure 4 ===")
+		fmt.Println(rep)
+	}
+	if want("theorem2") {
+		ran = true
+		rep, err := experiments.Theorem2MultiDim(th)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== E6: Theorem 2, multi-dimensional ===")
+		fmt.Println(rep)
+	}
+	if want("blocking") {
+		ran = true
+		rep, err := experiments.Theorem2Blocking(th)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== E7: Theorem 2, 1-d blocking ===")
+		fmt.Println(rep)
+		fmt.Printf("sub-log trend (Q/log2n last/first, <1 is sub-logarithmic): %.3f\n\n",
+			experiments.SubLogCheck(rep.Rows))
+	}
+	if want("updates") {
+		ran = true
+		rep, err := experiments.Updates(th)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== E8: Section 4 updates ===")
+		fmt.Println(rep)
+	}
+	if want("congestion") {
+		ran = true
+		rep, err := experiments.Congestion(th)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== E9: congestion / load balance ===")
+		fmt.Println(rep)
+	}
+	if want("ablation") {
+		ran = true
+		rep, err := experiments.AblationBlocking(th)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== A1: blocking ablation ===")
+		fmt.Println(rep)
+	}
+	if want("figures") {
+		ran = true
+		fmt.Println("=== F1: Figure 1 ===")
+		fmt.Println(experiments.Figure1(*seed))
+		f2, err := experiments.Figure2(*seed, 1024)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== F2: Figure 2 ===")
+		fmt.Println(f2)
+		f4, err := experiments.Figure4(*seed, 14)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== F4: Figure 4 ===")
+		fmt.Println(f4)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	return nil
+}

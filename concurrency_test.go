@@ -1,0 +1,90 @@
+package skipwebs
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// TestConcurrentQueries exercises read-only routing from many goroutines
+// at once; run with -race. Query descent touches only immutable structure
+// state plus atomic network counters.
+func TestConcurrentQueries(t *testing.T) {
+	c := NewCluster(128)
+	keys := distinctKeys(xrand.New(31), 2048)
+	web, err := NewBlocked(c, keys, Options{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(g) * 7919)
+			for i := 0; i < 500; i++ {
+				q := rng.Uint64n(1 << 41)
+				res, err := web.Floor(q, HostID(rng.Intn(128)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				want, wok := bruteFloor(keys, q)
+				if res.Found != wok || (res.Found && res.Key != want) {
+					t.Errorf("goroutine %d: Floor(%d) = %+v want %d,%v", g, q, res, want, wok)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := c.Stats().TotalOps; got != 8*500 {
+		t.Fatalf("ops = %d, want 4000", got)
+	}
+}
+
+// TestConcurrentMixedViaActor serializes updates through the actor-per-
+// host discipline while queries run concurrently against a second web.
+func TestConcurrentMixedViaActor(t *testing.T) {
+	c := NewCluster(64)
+	keys := distinctKeys(xrand.New(33), 512)
+	web, err := NewOneDim(c, keys, Options{Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex // stands in for the owning actor of the index
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(g)*104729 + 7)
+			for i := 0; i < 200; i++ {
+				if rng.Intn(4) == 0 {
+					k := rng.Uint64n(1 << 41)
+					mu.Lock()
+					_, _ = web.Insert(k, HostID(rng.Intn(64)))
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				_, err := web.Floor(rng.Uint64n(1<<41), HostID(rng.Intn(64)))
+				mu.Unlock()
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if web.Len() < 512 {
+		t.Fatalf("len %d shrank", web.Len())
+	}
+}

@@ -1,0 +1,52 @@
+package skipwebs_test
+
+import (
+	"fmt"
+	"log"
+
+	skipwebs "github.com/skipwebs/skipwebs"
+)
+
+func ExampleNewBlocked() {
+	cluster := skipwebs.NewCluster(16)
+	keys := []uint64{10, 20, 30, 40, 50}
+	web, err := skipwebs.NewBlocked(cluster, keys, skipwebs.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := web.Floor(34, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Key, res.Found)
+	// Output: 30 true
+}
+
+func ExampleNewStrings() {
+	cluster := skipwebs.NewCluster(8)
+	web, err := skipwebs.NewStrings(cluster, []string{"ant", "antelope", "bee"}, skipwebs.Options{Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	keys, _, err := web.PrefixSearch("ant", 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(keys)
+	// Output: [ant antelope]
+}
+
+func ExampleNewPoints() {
+	cluster := skipwebs.NewCluster(8)
+	pts := []skipwebs.Point{{10, 10}, {1000, 1000}, {500, 900}}
+	web, err := skipwebs.NewPoints(cluster, 2, pts, skipwebs.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nearest, _, err := web.Nearest(skipwebs.Point{480, 880}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(nearest)
+	// Output: [500 900]
+}

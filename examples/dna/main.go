@@ -1,0 +1,82 @@
+// DNA: the paper motivates "DNA databases ... and approximate searches"
+// (Section 1). A trie skip-web over fixed-alphabet {A,C,G,T} reads
+// supports exact lookup and longest-shared-prefix search — and stays
+// efficient even though genomic reads share long prefixes, the regime
+// where a plain distributed trie would route through Θ(n) hosts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	skipwebs "github.com/skipwebs/skipwebs"
+)
+
+func main() {
+	cluster := skipwebs.NewCluster(128)
+
+	// Synthetic reads: a conserved promoter region followed by variable
+	// tails, plus a pathological repeat family (AAAA...).
+	var reads []string
+	promoter := "ACGTACGTGGCC"
+	tails := []string{"A", "C", "G", "T", "AC", "AG", "CT", "GA", "TT", "CG"}
+	for _, t1 := range tails {
+		for _, t2 := range tails {
+			reads = append(reads, promoter+t1+"TT"+t2)
+		}
+	}
+	for i := 4; i <= 40; i++ {
+		reads = append(reads, strings.Repeat("A", i)) // repeat family
+	}
+
+	web, err := skipwebs.NewStrings(cluster, dedupe(reads), skipwebs.Options{Seed: 17})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read index: %d reads on %d hosts; trie depth %d\n\n",
+		web.Len(), cluster.Hosts(), web.TrieDepth())
+
+	// Exact lookup of a read.
+	ok, hops, err := web.Contains(promoter+"AC"+"TT"+"CG", 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact read lookup: found=%v (%d messages)\n", ok, hops)
+
+	// Longest-shared-prefix search: where does a query sequence diverge
+	// from the database? (The paper: "finding the first place where a
+	// query substring differs".)
+	query := promoter + "AXXXX"
+	loc, err := web.Search(query, 41)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %q diverges after %q (%d shared bases, %d messages)\n",
+		query, loc.Locus, len(loc.Locus), loc.Hops)
+
+	// All reads in the repeat family of length >= 20.
+	family, hops, err := web.PrefixSearch(strings.Repeat("A", 20), 0, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repeat family >= 20bp: %d reads (%d messages)\n", len(family), hops)
+
+	// New sequencing run adds reads on the fly.
+	if _, err := web.Insert(promoter+"GGTTGG", 3); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after new run: %d reads indexed\n", web.Len())
+}
+
+func dedupe(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

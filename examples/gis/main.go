@@ -1,0 +1,65 @@
+// GIS: the paper's motivating point-location query — a trapezoidal map
+// "as would be created by a campus or city map in a geographic
+// information system" (Section 1.3), stored as a skip-web.
+//
+// Walls and paths are disjoint segments; locating a visitor's position
+// returns the face of the subdivision they stand in, in O(log n)
+// expected messages (Lemma 5 + Theorem 2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	skipwebs "github.com/skipwebs/skipwebs"
+)
+
+func main() {
+	cluster := skipwebs.NewCluster(32)
+	bounds := skipwebs.PlanarBounds{MinX: -10000, MinY: -10000, MaxX: 10000, MaxY: 10000}
+
+	// A stylized campus: building walls and footpaths (pairwise disjoint,
+	// distinct endpoint x-coordinates, no verticals).
+	campus := []skipwebs.PlanarSegment{
+		{A: skipwebs.PlanarPoint{X: -9000, Y: 5000}, B: skipwebs.PlanarPoint{X: -2001, Y: 5200}},  // library north wall
+		{A: skipwebs.PlanarPoint{X: -8999, Y: 3000}, B: skipwebs.PlanarPoint{X: -2000, Y: 3100}},  // library south wall
+		{A: skipwebs.PlanarPoint{X: 1001, Y: 6000}, B: skipwebs.PlanarPoint{X: 8999, Y: 6400}},    // lab north wall
+		{A: skipwebs.PlanarPoint{X: 1000, Y: 4000}, B: skipwebs.PlanarPoint{X: 9000, Y: 4300}},    // lab south wall
+		{A: skipwebs.PlanarPoint{X: -7000, Y: -2000}, B: skipwebs.PlanarPoint{X: 7001, Y: -1500}}, // main footpath
+		{A: skipwebs.PlanarPoint{X: -6000, Y: -6000}, B: skipwebs.PlanarPoint{X: 6001, Y: -5800}}, // south promenade
+		{A: skipwebs.PlanarPoint{X: -1999, Y: 800}, B: skipwebs.PlanarPoint{X: 999, Y: 900}},      // connector
+	}
+
+	web, err := skipwebs.NewPlanar(cluster, campus, bounds, skipwebs.Options{Seed: 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campus map: %d segments, %d faces (3n+1), %d hosts\n\n",
+		web.Len(), web.NumFaces(), cluster.Hosts())
+
+	visitors := []struct {
+		name string
+		at   skipwebs.PlanarPoint
+	}{
+		{"inside the library", skipwebs.PlanarPoint{X: -5000, Y: 4000}},
+		{"inside the lab", skipwebs.PlanarPoint{X: 5000, Y: 5500}},
+		{"between the paths", skipwebs.PlanarPoint{X: 0, Y: -4000}},
+		{"open sky", skipwebs.PlanarPoint{X: 0, Y: 9000}},
+	}
+	for _, v := range visitors {
+		face, err := web.Locate(v.at, skipwebs.HostID(uint64(v.at.X+10000)%32))
+		if err != nil {
+			log.Fatal(err)
+		}
+		top := "the map boundary"
+		if face.HasTop {
+			top = fmt.Sprintf("segment %v-%v", face.Top.A, face.Top.B)
+		}
+		bottom := "the map boundary"
+		if face.HasBottom {
+			bottom = fmt.Sprintf("segment %v-%v", face.Bottom.A, face.Bottom.B)
+		}
+		fmt.Printf("%-20s -> face x=[%d,%d] below %s above %s (%d messages)\n",
+			v.name, face.LeftX, face.RightX, top, bottom, face.Hops)
+	}
+}

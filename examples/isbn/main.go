@@ -1,0 +1,66 @@
+// ISBN: the paper's motivating prefix query — "a prefix query for ISBN
+// numbers in a book database could return all titles by a certain
+// publisher" (Section 1).
+//
+// ISBN-13 numbers share a prefix per registration group and publisher;
+// the trie skip-web routes a prefix query to the publisher's subtree in
+// O(log n) expected messages, then enumerates the titles.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	skipwebs "github.com/skipwebs/skipwebs"
+)
+
+func main() {
+	cluster := skipwebs.NewCluster(64)
+
+	// publisher prefix -> some ISBNs (digits only).
+	catalog := map[string][]string{
+		"9780262": {"9780262033848", "9780262046305", "9780262533058"}, // MIT Press
+		"9780521": {"9780521424264", "9780521880688", "9780521670531"}, // Cambridge
+		"9781492": {"9781492077213", "9781492052593"},                  // O'Reilly
+		"9783540": {"9783540779735", "9783540653677", "9783540431077"}, // Springer
+	}
+	var isbns []string
+	for _, list := range catalog {
+		isbns = append(isbns, list...)
+	}
+
+	web, err := skipwebs.NewStrings(cluster, isbns, skipwebs.Options{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("book database: %d ISBNs on %d hosts\n\n", web.Len(), cluster.Hosts())
+
+	// "All titles by MIT Press": a prefix query.
+	books, hops, err := web.PrefixSearch("9780262", 0, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("publisher 9780262 (%d messages):\n", hops)
+	for _, b := range books {
+		fmt.Printf("  %s\n", b)
+	}
+
+	// Exact lookup.
+	ok, hops, err := web.Contains("9780521880688", 17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlookup 9780521880688: found=%v (%d messages)\n", ok, hops)
+
+	// A new title is published; a prefix query sees it immediately.
+	if _, err := web.Insert("9780262048630", 4); err != nil {
+		log.Fatal(err)
+	}
+	books, _, _ = web.PrefixSearch("9780262", 0, 9)
+	fmt.Printf("after publishing 9780262048630: MIT Press has %d titles\n", len(books))
+
+	// Unknown publisher: the search terminates at the deepest shared
+	// prefix with no results.
+	books, hops, _ = web.PrefixSearch("9789999", 0, 21)
+	fmt.Printf("publisher 9789999: %d titles (%d messages)\n", len(books), hops)
+}

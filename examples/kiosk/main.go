@@ -1,0 +1,65 @@
+// Kiosk: the paper's motivating location-based service — "a
+// nearest-neighbor query in a two-dimensional point set could reveal the
+// closest open computer kiosk or empty parking space on a college
+// campus" (Section 1).
+//
+// Campus kiosks are points on a 2^20 x 2^20 grid stored in a quadtree
+// skip-web across 128 hosts; students query from arbitrary hosts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	skipwebs "github.com/skipwebs/skipwebs"
+)
+
+func main() {
+	cluster := skipwebs.NewCluster(128)
+
+	// Kiosks clustered around a few campus buildings plus scattered
+	// outdoor units — clustered inputs are exactly where plain quadtrees
+	// degenerate and skip-web routing stays logarithmic.
+	var kiosks []skipwebs.Point
+	buildings := [][2]uint32{{100000, 200000}, {600000, 650000}, {900000, 120000}}
+	for _, b := range buildings {
+		for i := uint32(0); i < 40; i++ {
+			kiosks = append(kiosks, skipwebs.Point{b[0] + i*17, b[1] + (i*i)%291})
+		}
+	}
+	for i := uint32(0); i < 80; i++ {
+		kiosks = append(kiosks, skipwebs.Point{(i*92821 + 7) % (1 << 20), (i*68917 + 3) % (1 << 20)})
+	}
+
+	web, err := skipwebs.NewPoints(cluster, 2, kiosks, skipwebs.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campus: %d kiosks on %d hosts; ground quadtree depth %d\n\n",
+		web.Len(), cluster.Hosts(), web.TreeDepth())
+
+	students := []skipwebs.Point{
+		{100500, 200100}, // next to building A
+		{500000, 500000}, // middle of the quad
+		{1 << 19, 1},     // south edge
+	}
+	for _, s := range students {
+		nearest, hops, err := web.Nearest(s, skipwebs.HostID(s[0]%128))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("student at %-18v nearest kiosk %-18v (%d messages)\n",
+			fmt.Sprint(s), fmt.Sprint(nearest), hops)
+	}
+
+	// A kiosk comes online, another goes down for maintenance.
+	if _, err := web.Insert(skipwebs.Point{500001, 499999}, 11); err != nil {
+		log.Fatal(err)
+	}
+	nearest, _, _ := web.Nearest(skipwebs.Point{500000, 500000}, 30)
+	fmt.Printf("\nafter installing (500001,499999): nearest to quad center = %v\n", nearest)
+	if _, err := web.Delete(kiosks[0], 2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kiosk %v decommissioned; %d remain\n", kiosks[0], web.Len())
+}

@@ -1,0 +1,66 @@
+// Quickstart: build a one-dimensional skip-web over a distributed sorted
+// set, run nearest-neighbor queries, and inspect the message accounting.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	skipwebs "github.com/skipwebs/skipwebs"
+)
+
+func main() {
+	// A cluster of 64 hosts; every cross-host hop is counted.
+	cluster := skipwebs.NewCluster(64)
+
+	// Store the squares of 1..512 — any distinct uint64 keys work.
+	keys := make([]uint64, 0, 512)
+	for i := uint64(1); i <= 512; i++ {
+		keys = append(keys, i*i)
+	}
+
+	// The blocked skip-web: with per-host memory M = Θ(log n), queries
+	// take O(log n / log log n) expected messages (Theorem 2).
+	web, err := skipwebs.NewBlocked(cluster, keys, skipwebs.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored %d keys on %d hosts (M = %d)\n\n", web.Len(), cluster.Hosts(), web.M())
+
+	// Floor queries ("nearest neighbor below") from various hosts.
+	for _, q := range []uint64{2, 1000, 123456, 300000} {
+		res, err := web.Floor(q, skipwebs.HostID(q%64))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Found {
+			fmt.Printf("floor(%6d) = %6d   (%d messages)\n", q, res.Key, res.Hops)
+		} else {
+			fmt.Printf("floor(%6d) = none     (%d messages)\n", q, res.Hops)
+		}
+	}
+
+	// Dynamic updates: O(log n / log log n) expected messages each.
+	hops, err := web.Insert(123457, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninsert(123457) cost %d messages\n", hops)
+	res, _ := web.Floor(123460, 9)
+	fmt.Printf("floor(123460) = %d after insert\n", res.Key)
+	if _, err := web.Delete(123457, 5); err != nil {
+		log.Fatal(err)
+	}
+
+	// Range queries: all keys in [10000, 12000].
+	inRange, hops, err := web.Range(10000, 12000, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("range [10000,12000] -> %v (%d messages)\n", inRange, hops)
+
+	// Cluster-wide accounting.
+	s := cluster.Stats()
+	fmt.Printf("\ncluster: %d ops, %d messages, mean storage %.1f units/host, max %d\n",
+		s.TotalOps, s.TotalMessages, s.MeanStorage, s.MaxStorage)
+}

@@ -1,0 +1,237 @@
+// Package bucketskipgraph implements the bucketed skip graphs of Aspnes,
+// Kirsch, and Krishnamurthy (PODC 2004), the H < n row of Table 1 in the
+// skip-webs paper.
+//
+// The key space is carved into contiguous buckets of roughly n/H keys,
+// one bucket per host; a skip graph is built over the buckets' minimum
+// keys. A query routes through the skip graph in O(log H) expected
+// messages and finishes inside the bucket locally, so per-host memory is
+// O(n/H + log H) and query/update cost Õ(log H).
+package bucketskipgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/skipwebs/skipwebs/internal/sim"
+	"github.com/skipwebs/skipwebs/internal/skipgraph"
+)
+
+// Graph is a bucketed skip graph. The zero value is not usable; construct
+// with New and Build.
+type Graph struct {
+	net     *sim.Network
+	sg      *skipgraph.Graph
+	buckets map[uint64]*bucket // keyed by the bucket's min key
+	target  int                // target bucket size; split at 2*target
+}
+
+type bucket struct {
+	min  uint64
+	keys []uint64 // sorted
+	host sim.HostID
+}
+
+// New creates an empty bucketed graph over net's hosts with the given
+// target bucket size (typically n/H).
+func New(net *sim.Network, seed uint64, target int) *Graph {
+	if target < 1 {
+		target = 1
+	}
+	return &Graph{
+		net:     net,
+		sg:      skipgraph.New(net, seed, false),
+		buckets: make(map[uint64]*bucket),
+		target:  target,
+	}
+}
+
+// Len returns the number of keys stored.
+func (g *Graph) Len() int {
+	n := 0
+	for _, b := range g.buckets {
+		n += len(b.keys)
+	}
+	return n
+}
+
+// NumBuckets returns the number of buckets (occupied hosts).
+func (g *Graph) NumBuckets() int { return len(g.buckets) }
+
+// Build constructs buckets over the sorted keys and the skip graph over
+// bucket minima, without routing messages.
+func (g *Graph) Build(keys []uint64) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return fmt.Errorf("bucketskipgraph: duplicate key %d", sorted[i])
+		}
+	}
+	var mins []uint64
+	for start := 0; start < len(sorted); start += g.target {
+		end := start + g.target
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		b := &bucket{min: sorted[start], keys: append([]uint64(nil), sorted[start:end]...)}
+		g.buckets[b.min] = b
+		mins = append(mins, b.min)
+	}
+	if err := g.sg.Build(mins); err != nil {
+		return err
+	}
+	for _, b := range g.buckets {
+		h, _ := g.sg.HostOf(b.min)
+		b.host = h
+		g.net.AddStorage(h, len(b.keys))
+	}
+	return nil
+}
+
+// Search performs a floor query: route to the bucket, then search inside
+// it. Deletions may leave a bucket's routing separator below its first
+// live key (separators are kept for amortization), in which case the
+// search continues into predecessor buckets. It returns the floor key and
+// the message count.
+func (g *Graph) Search(target uint64, origin sim.HostID) (uint64, bool, int) {
+	bmin, ok, hops := g.sg.Search(target, origin)
+	for ok {
+		b := g.buckets[bmin]
+		i := sort.Search(len(b.keys), func(i int) bool { return b.keys[i] > target })
+		if i > 0 {
+			return b.keys[i-1], true, hops
+		}
+		// Empty-below-target bucket: one hop to the predecessor bucket via
+		// the bucket node's level-0 left link.
+		bmin, ok = g.sg.PrevKey(bmin)
+		hops++
+	}
+	return 0, false, hops
+}
+
+// Insert routes to the bucket and adds the key, splitting the bucket when
+// it doubles past the target size.
+func (g *Graph) Insert(key uint64, origin sim.HostID) (int, error) {
+	if len(g.buckets) == 0 {
+		b := &bucket{min: key, keys: []uint64{key}}
+		g.buckets[key] = b
+		if _, err := g.sg.Insert(key, origin); err != nil {
+			return 0, err
+		}
+		h, _ := g.sg.HostOf(key)
+		b.host = h
+		g.net.AddStorage(h, 1)
+		return 0, nil
+	}
+	bmin, ok, hops := g.sg.Search(key, origin)
+	if !ok {
+		// Key below every bucket: extend the first bucket downward.
+		bmin = g.minBucket()
+		b := g.buckets[bmin]
+		delete(g.buckets, bmin)
+		// Rekey the bucket in the skip graph: remove old min, insert new.
+		h1, err := g.sg.Delete(bmin, origin)
+		if err != nil {
+			return hops, err
+		}
+		h2, err := g.sg.Insert(key, origin)
+		if err != nil {
+			return hops, err
+		}
+		b.min = key
+		b.keys = append([]uint64{key}, b.keys...)
+		g.buckets[key] = b
+		g.net.AddStorage(b.host, 1)
+		return hops + h1 + h2, nil
+	}
+	b := g.buckets[bmin]
+	i := sort.Search(len(b.keys), func(i int) bool { return b.keys[i] >= key })
+	if i < len(b.keys) && b.keys[i] == key {
+		return hops, fmt.Errorf("bucketskipgraph: duplicate key %d", key)
+	}
+	b.keys = append(b.keys, 0)
+	copy(b.keys[i+1:], b.keys[i:])
+	b.keys[i] = key
+	g.net.AddStorage(b.host, 1)
+	hops++ // the write to the bucket host
+	if len(b.keys) > 2*g.target {
+		// Split: upper half becomes a new bucket (amortized O(log H)).
+		mid := len(b.keys) / 2
+		upper := append([]uint64(nil), b.keys[mid:]...)
+		b.keys = b.keys[:mid]
+		nb := &bucket{min: upper[0], keys: upper}
+		g.buckets[nb.min] = nb
+		sh, err := g.sg.Insert(nb.min, origin)
+		if err != nil {
+			return hops, err
+		}
+		hops += sh + 1
+		h, _ := g.sg.HostOf(nb.min)
+		nb.host = h
+		g.net.AddStorage(b.host, -len(upper))
+		g.net.AddStorage(nb.host, len(upper))
+	}
+	return hops, nil
+}
+
+// Delete routes to the bucket and removes the key. Buckets are not
+// merged; an emptied bucket keeps its graph presence (its min key acts as
+// a routing separator), matching the paper's amortization.
+func (g *Graph) Delete(key uint64, origin sim.HostID) (int, error) {
+	bmin, ok, hops := g.sg.Search(key, origin)
+	if !ok {
+		return hops, fmt.Errorf("bucketskipgraph: key %d not found", key)
+	}
+	b := g.buckets[bmin]
+	i := sort.Search(len(b.keys), func(i int) bool { return b.keys[i] >= key })
+	if i >= len(b.keys) || b.keys[i] != key {
+		return hops, fmt.Errorf("bucketskipgraph: key %d not found", key)
+	}
+	b.keys = append(b.keys[:i], b.keys[i+1:]...)
+	g.net.AddStorage(b.host, -1)
+	return hops + 1, nil
+}
+
+func (g *Graph) minBucket() uint64 {
+	first := true
+	var min uint64
+	for k := range g.buckets {
+		if first || k < min {
+			min, first = k, false
+		}
+	}
+	return min
+}
+
+// CheckInvariants verifies bucket ordering and skip-graph consistency.
+func (g *Graph) CheckInvariants() error {
+	if err := g.sg.CheckInvariants(); err != nil {
+		return err
+	}
+	mins := g.sg.Keys()
+	if len(mins) != len(g.buckets) {
+		return fmt.Errorf("bucketskipgraph: %d graph keys, %d buckets", len(mins), len(g.buckets))
+	}
+	for i, m := range mins {
+		b, ok := g.buckets[m]
+		if !ok {
+			return fmt.Errorf("bucketskipgraph: graph key %d has no bucket", m)
+		}
+		if len(b.keys) > 0 && b.keys[0] != m && b.keys[0] < m {
+			return fmt.Errorf("bucketskipgraph: bucket %d starts at %d", m, b.keys[0])
+		}
+		for j := 1; j < len(b.keys); j++ {
+			if b.keys[j] <= b.keys[j-1] {
+				return fmt.Errorf("bucketskipgraph: bucket %d keys out of order", m)
+			}
+		}
+		if i+1 < len(mins) && len(b.keys) > 0 && b.keys[len(b.keys)-1] >= mins[i+1] {
+			return fmt.Errorf("bucketskipgraph: bucket %d overflows into next bucket", m)
+		}
+	}
+	return nil
+}

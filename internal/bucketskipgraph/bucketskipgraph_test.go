@@ -1,0 +1,195 @@
+package bucketskipgraph
+
+import (
+	"math"
+	"testing"
+
+	"github.com/skipwebs/skipwebs/internal/sim"
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+func distinctKeys(rng *xrand.Rand, n int) []uint64 {
+	seen := map[uint64]bool{}
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		k := rng.Uint64n(1 << 40)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func bruteFloor(keys map[uint64]bool, q uint64) (uint64, bool) {
+	best, ok := uint64(0), false
+	for k := range keys {
+		if k <= q && (!ok || k > best) {
+			best, ok = k, true
+		}
+	}
+	return best, ok
+}
+
+func TestBuildAndSearch(t *testing.T) {
+	rng := xrand.New(1)
+	keys := distinctKeys(rng, 1000)
+	set := map[uint64]bool{}
+	for _, k := range keys {
+		set[k] = true
+	}
+	net := sim.NewNetwork(128)
+	g := New(net, 1, 8) // H = 125 buckets of ~8 keys
+	if err := g.Build(keys); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1000 {
+		t.Fatalf("len %d", g.Len())
+	}
+	for i := 0; i < 1500; i++ {
+		q := rng.Uint64n(1 << 41)
+		got, ok, _ := g.Search(q, sim.HostID(rng.Intn(128)))
+		want, wok := bruteFloor(set, q)
+		if ok != wok || (ok && got != want) {
+			t.Fatalf("query %d: got %d,%v want %d,%v", q, got, ok, want, wok)
+		}
+	}
+}
+
+func TestHopsScaleWithBucketsNotKeys(t *testing.T) {
+	// Fixing H and growing n should leave the hop count nearly flat,
+	// because routing runs over H buckets.
+	rng := xrand.New(2)
+	var means []float64
+	for _, n := range []int{1000, 4000, 16000} {
+		keys := distinctKeys(rng.Split(), n)
+		net := sim.NewNetwork(128)
+		g := New(net, uint64(n), n/125)
+		if err := g.Build(keys); err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		const queries = 300
+		qr := rng.Split()
+		for i := 0; i < queries; i++ {
+			_, _, hops := g.Search(qr.Uint64n(1<<40), sim.HostID(qr.Intn(128)))
+			total += hops
+		}
+		means = append(means, float64(total)/queries)
+	}
+	if means[2] > means[0]*1.5 {
+		t.Fatalf("hops grow with n at fixed H: %v", means)
+	}
+}
+
+func TestMemoryProfile(t *testing.T) {
+	// Per-host memory is O(n/H + log H).
+	rng := xrand.New(3)
+	n, H := 4096, 64
+	keys := distinctKeys(rng, n)
+	net := sim.NewNetwork(H)
+	g := New(net, 3, n/H)
+	if err := g.Build(keys); err != nil {
+		t.Fatal(err)
+	}
+	s := net.Snapshot()
+	bound := 4 * (float64(n)/float64(H) + math.Log2(float64(H)))
+	if s.MeanStorage > bound {
+		t.Fatalf("mean storage %.1f above O(n/H + log H) ~ %.1f", s.MeanStorage, bound)
+	}
+}
+
+func TestInsertDeleteChurn(t *testing.T) {
+	rng := xrand.New(4)
+	keys := distinctKeys(rng, 1200)
+	set := map[uint64]bool{}
+	for _, k := range keys[:800] {
+		set[k] = true
+	}
+	net := sim.NewNetwork(64)
+	g := New(net, 4, 16)
+	if err := g.Build(keys[:800]); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys[800:] {
+		if _, err := g.Insert(k, sim.HostID(i%64)); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+		set[k] = true
+		if i%80 == 0 {
+			if err := g.CheckInvariants(); err != nil {
+				t.Fatalf("after insert %d: %v", i, err)
+			}
+		}
+	}
+	for i := 0; i < 400; i++ {
+		if _, err := g.Delete(keys[i], sim.HostID(i%64)); err != nil {
+			t.Fatalf("delete %d: %v", keys[i], err)
+		}
+		delete(set, keys[i])
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	qr := xrand.New(5)
+	for i := 0; i < 800; i++ {
+		q := qr.Uint64n(1 << 41)
+		got, ok, _ := g.Search(q, sim.HostID(qr.Intn(64)))
+		want, wok := bruteFloor(set, q)
+		if ok != wok || (ok && got != want) {
+			t.Fatalf("after churn: query %d got %d,%v want %d,%v", q, got, ok, want, wok)
+		}
+	}
+}
+
+func TestInsertBelowMinimum(t *testing.T) {
+	net := sim.NewNetwork(8)
+	g := New(net, 5, 4)
+	if err := g.Build([]uint64{100, 200, 300, 400, 500}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Insert(50, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := g.Search(60, 0)
+	if !ok || got != 50 {
+		t.Fatalf("Search(60) = %d,%v", got, ok)
+	}
+}
+
+func TestInsertIntoEmpty(t *testing.T) {
+	net := sim.NewNetwork(4)
+	g := New(net, 6, 4)
+	for i := uint64(1); i <= 30; i++ {
+		if _, err := g.Insert(i*10, 0); err != nil {
+			t.Fatalf("insert %d: %v", i*10, err)
+		}
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := g.Search(155, 0)
+	if !ok || got != 150 {
+		t.Fatalf("Search(155) = %d,%v", got, ok)
+	}
+}
+
+func TestDuplicateAndMissing(t *testing.T) {
+	net := sim.NewNetwork(4)
+	g := New(net, 7, 4)
+	if err := g.Build([]uint64{10, 20, 30}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Insert(20, 0); err == nil {
+		t.Fatal("duplicate insert accepted")
+	}
+	if _, err := g.Delete(99, 0); err == nil {
+		t.Fatal("missing delete accepted")
+	}
+}

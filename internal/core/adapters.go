@@ -1,0 +1,434 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"github.com/skipwebs/skipwebs/internal/quadtree"
+	"github.com/skipwebs/skipwebs/internal/trapmap"
+	"github.com/skipwebs/skipwebs/internal/trie"
+)
+
+// ---------------------------------------------------------------------------
+// One-dimensional sorted lists (Section 2.1, Lemma 1).
+
+// ListOps adapts ListLevel to the skip-web engine. Items and query points
+// are uint64 keys.
+type ListOps struct{}
+
+var _ Ops[*ListLevel, uint64, uint64] = ListOps{}
+
+// Build constructs the level structure over keys.
+func (ListOps) Build(items []uint64) (*ListLevel, error) { return NewListLevel(items) }
+
+// Ranges enumerates live ranges.
+func (ListOps) Ranges(l *ListLevel) []RangeID { return l.Ranges() }
+
+// Contains tests range membership.
+func (ListOps) Contains(l *ListLevel, r RangeID, q uint64) bool { return l.Contains(r, q) }
+
+// Depth is constant: list ranges partition the key space.
+func (ListOps) Depth(l *ListLevel, r RangeID) int { return 0 }
+
+// Step walks one range toward q.
+func (ListOps) Step(l *ListLevel, r RangeID, q uint64) RangeID { return l.Step(r, q) }
+
+// Anchors maps a child range to the parent range holding the same key;
+// the parent terminal is then an expected-O(1) Step walk away (Lemma 1).
+func (ListOps) Anchors(child, parent *ListLevel, r RangeID) ([]RangeID, error) {
+	if child.IsHead(r) {
+		return []RangeID{parent.Head()}, nil
+	}
+	pr, ok := parent.ByKey(child.Key(r))
+	if !ok {
+		return nil, fmt.Errorf("core: key %d of child level missing from parent level", child.Key(r))
+	}
+	return []RangeID{pr}, nil
+}
+
+// ChildTerminal walks left from the parent terminal to the nearest key
+// present in the child level — an expected O(1)-step walk, since each
+// parent key is in the child with probability 1/2.
+func (ListOps) ChildTerminal(child, parent *ListLevel, tp RangeID, q uint64, steps *int) (RangeID, error) {
+	cur := tp
+	for {
+		if parent.IsHead(cur) {
+			return child.Head(), nil
+		}
+		if cr, ok := child.ByKey(parent.Key(cur)); ok {
+			return cr, nil
+		}
+		cur = parent.Prev(cur)
+		*steps++
+	}
+}
+
+// Locate performs a full local search.
+func (ListOps) Locate(l *ListLevel, q uint64) RangeID { return l.Locate(q) }
+
+// QueryOf is the identity: items are their own query points.
+func (ListOps) QueryOf(x uint64) uint64 { return x }
+
+// CodeOf is the identity; the engine mixes it with the web seed.
+func (ListOps) CodeOf(x uint64) uint64 { return x }
+
+// Insert splices the key in after the hinted terminal.
+func (ListOps) Insert(l *ListLevel, x uint64, q uint64, hint RangeID) (Change, error) {
+	id, err := l.InsertKey(x, hint)
+	if err != nil {
+		return Change{}, err
+	}
+	return Change{Added: []RangeID{id}, Touched: []RangeID{l.Prev(id)}}, nil
+}
+
+// Delete unsplices the key; the predecessor inherits its interval.
+func (ListOps) Delete(l *ListLevel, x uint64, q uint64) (Change, error) {
+	dead, pred, err := l.DeleteKey(x)
+	if err != nil {
+		return Change{}, err
+	}
+	return Change{
+		Removed:  []RangeID{dead},
+		Remapped: map[RangeID]RangeID{dead: pred},
+		Touched:  []RangeID{pred},
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Compressed quadtrees / octrees (Section 3.1, Lemma 3).
+
+// QuadOps adapts quadtree.Tree to the skip-web engine. Items are points;
+// query points are Morton codes.
+type QuadOps struct {
+	// Dim is the dimension (2 = quadtree, 3 = octree, up to 6).
+	Dim   int
+	proto *quadtree.Tree
+}
+
+// NewQuadOps creates the adapter for d-dimensional points.
+func NewQuadOps(d int) *QuadOps {
+	return &QuadOps{Dim: d, proto: quadtree.New(d)}
+}
+
+var _ Ops[*quadtree.Tree, quadtree.Point, uint64] = (*QuadOps)(nil)
+
+// Code converts a point to its Morton code (the engine's query type).
+func (o *QuadOps) Code(p quadtree.Point) (uint64, error) { return o.proto.Code(p) }
+
+// Build constructs the compressed tree.
+func (o *QuadOps) Build(items []quadtree.Point) (*quadtree.Tree, error) {
+	return quadtree.Build(o.Dim, items)
+}
+
+// Ranges enumerates live nodes (node and link ranges coincide on cells).
+func (o *QuadOps) Ranges(l *quadtree.Tree) []RangeID {
+	nodes := l.Nodes()
+	out := make([]RangeID, len(nodes))
+	for i, n := range nodes {
+		out[i] = RangeID(n)
+	}
+	return out
+}
+
+// Contains tests cell membership of the query code.
+func (o *QuadOps) Contains(l *quadtree.Tree, r RangeID, q uint64) bool {
+	return l.CellContainsCode(l.CellOf(quadtree.NodeID(r)), q)
+}
+
+// Depth is the cell prefix length: deeper cells are finer.
+func (o *QuadOps) Depth(l *quadtree.Tree, r RangeID) int {
+	return l.CellOf(quadtree.NodeID(r)).PLen
+}
+
+// Step descends one node toward the query code.
+func (o *QuadOps) Step(l *quadtree.Tree, r RangeID, q uint64) RangeID {
+	next := l.StepToward(quadtree.NodeID(r), q)
+	if next == quadtree.NoNode {
+		return NoRange
+	}
+	return RangeID(next)
+}
+
+// Anchors returns the parent node with the identical cell: every cell of
+// D(T) is a cell of D(S) for T ⊆ S, since both are LCA cells of the same
+// points.
+func (o *QuadOps) Anchors(child, parent *quadtree.Tree, r RangeID) ([]RangeID, error) {
+	c := child.CellOf(quadtree.NodeID(r))
+	pid, ok := parent.NodeByCell(c)
+	if !ok {
+		return nil, fmt.Errorf("core: cell {%b %d} of child tree missing from parent tree", c.Prefix, c.PLen)
+	}
+	return []RangeID{RangeID(pid)}, nil
+}
+
+// ChildTerminal climbs from the parent terminal until reaching a cell
+// that exists in the child tree — expected O(1) steps by Lemma 3.
+func (o *QuadOps) ChildTerminal(child, parent *quadtree.Tree, tp RangeID, q uint64, steps *int) (RangeID, error) {
+	cur := quadtree.NodeID(tp)
+	for cur != quadtree.NoNode {
+		if cid, ok := child.NodeByCell(parent.CellOf(cur)); ok {
+			return RangeID(cid), nil
+		}
+		cur = parent.Parent(cur)
+		*steps++
+	}
+	return NoRange, fmt.Errorf("core: no ancestor cell of parent terminal exists in child tree")
+}
+
+// Locate performs a full local point location.
+func (o *QuadOps) Locate(l *quadtree.Tree, q uint64) RangeID {
+	id, _ := l.Locate(q)
+	if id == quadtree.NoNode {
+		return NoRange
+	}
+	return RangeID(id)
+}
+
+// QueryOf returns the point's Morton code; the point must be valid for
+// the configured dimension (the public API validates before reaching
+// here).
+func (o *QuadOps) QueryOf(x quadtree.Point) uint64 {
+	c, err := o.proto.Code(x)
+	if err != nil {
+		panic(fmt.Sprintf("core: invalid point reached QuadOps.QueryOf: %v", err))
+	}
+	return c
+}
+
+// CodeOf equals QueryOf: the Morton code is injective.
+func (o *QuadOps) CodeOf(x quadtree.Point) uint64 { return o.QueryOf(x) }
+
+// Insert adds the point; hint is unused (tree inserts are local walks).
+func (o *QuadOps) Insert(l *quadtree.Tree, x quadtree.Point, q uint64, hint RangeID) (Change, error) {
+	res, err := l.Insert(x)
+	if err != nil {
+		return Change{}, err
+	}
+	added := make([]RangeID, len(res.Created))
+	for i, n := range res.Created {
+		added[i] = RangeID(n)
+	}
+	return Change{Added: added}, nil
+}
+
+// Delete removes the point, remapping dead cells to the survivor.
+func (o *QuadOps) Delete(l *quadtree.Tree, x quadtree.Point, q uint64) (Change, error) {
+	res, err := l.Delete(x)
+	if err != nil {
+		return Change{}, err
+	}
+	ch := Change{Remapped: make(map[RangeID]RangeID, len(res.Removed))}
+	for _, n := range res.Removed {
+		ch.Removed = append(ch.Removed, RangeID(n))
+		if res.Survivor != quadtree.NoNode {
+			ch.Remapped[RangeID(n)] = RangeID(res.Survivor)
+		}
+	}
+	return ch, nil
+}
+
+// ---------------------------------------------------------------------------
+// Compressed digital tries (Section 3.2, Lemma 4).
+
+// TrieOps adapts trie.Trie to the skip-web engine. Items and query points
+// are strings.
+type TrieOps struct{}
+
+var _ Ops[*trie.Trie, string, string] = TrieOps{}
+
+// Build constructs the compressed trie.
+func (TrieOps) Build(items []string) (*trie.Trie, error) { return trie.Build(items) }
+
+// Ranges enumerates live nodes.
+func (TrieOps) Ranges(l *trie.Trie) []RangeID {
+	nodes := l.Nodes()
+	out := make([]RangeID, len(nodes))
+	for i, n := range nodes {
+		out[i] = RangeID(n)
+	}
+	return out
+}
+
+// Contains reports whether q extends the node's locus.
+func (TrieOps) Contains(l *trie.Trie, r RangeID, q string) bool {
+	return l.LocusContains(trie.NodeID(r), q)
+}
+
+// Depth is the locus length.
+func (TrieOps) Depth(l *trie.Trie, r RangeID) int { return len(l.Locus(trie.NodeID(r))) }
+
+// Step descends one node toward q.
+func (TrieOps) Step(l *trie.Trie, r RangeID, q string) RangeID {
+	next := l.StepToward(trie.NodeID(r), q)
+	if next == trie.NoNode {
+		return NoRange
+	}
+	return RangeID(next)
+}
+
+// Anchors returns the parent node at the identical locus: every locus of
+// D(T) (a key or a branching point of T ⊆ S) is a locus of D(S).
+func (TrieOps) Anchors(child, parent *trie.Trie, r RangeID) ([]RangeID, error) {
+	locus := child.Locus(trie.NodeID(r))
+	pid, ok := parent.NodeByLocus(locus)
+	if !ok {
+		return nil, fmt.Errorf("core: locus %q of child trie missing from parent trie", locus)
+	}
+	return []RangeID{RangeID(pid)}, nil
+}
+
+// ChildTerminal climbs from the parent terminal until reaching a locus
+// that exists in the child trie — expected O(1) steps by Lemma 4.
+func (TrieOps) ChildTerminal(child, parent *trie.Trie, tp RangeID, q string, steps *int) (RangeID, error) {
+	cur := trie.NodeID(tp)
+	for cur != trie.NoNode {
+		if cid, ok := child.NodeByLocus(parent.Locus(cur)); ok {
+			return RangeID(cid), nil
+		}
+		cur = parent.Parent(cur)
+		*steps++
+	}
+	return NoRange, fmt.Errorf("core: no ancestor locus of parent terminal exists in child trie")
+}
+
+// Locate performs a full local search.
+func (TrieOps) Locate(l *trie.Trie, q string) RangeID {
+	id, _ := l.Locate(q)
+	return RangeID(id)
+}
+
+// QueryOf is the identity.
+func (TrieOps) QueryOf(x string) string { return x }
+
+// CodeOf hashes the string (FNV-1a); collisions only degrade leaf sizes.
+func (TrieOps) CodeOf(x string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(x))
+	return h.Sum64()
+}
+
+// Insert adds the key.
+func (TrieOps) Insert(l *trie.Trie, x string, q string, hint RangeID) (Change, error) {
+	res, err := l.Insert(x)
+	if err != nil {
+		return Change{}, err
+	}
+	added := make([]RangeID, len(res.Created))
+	for i, n := range res.Created {
+		added[i] = RangeID(n)
+	}
+	return Change{Added: added}, nil
+}
+
+// Delete removes the key, remapping pruned loci to the survivor.
+func (TrieOps) Delete(l *trie.Trie, x string, q string) (Change, error) {
+	res, err := l.Delete(x)
+	if err != nil {
+		return Change{}, err
+	}
+	ch := Change{Remapped: make(map[RangeID]RangeID, len(res.Removed))}
+	for _, n := range res.Removed {
+		ch.Removed = append(ch.Removed, RangeID(n))
+		if res.Survivor != trie.NoNode {
+			ch.Remapped[RangeID(n)] = RangeID(res.Survivor)
+		}
+	}
+	return ch, nil
+}
+
+// ---------------------------------------------------------------------------
+// Trapezoidal maps (Section 3.3, Lemma 5). Static: Build + Query only,
+// matching the paper's amortization caveat for trapezoid updates.
+
+// TrapOps adapts trapmap.Map to the skip-web engine. Items are segments;
+// query points are planar points.
+type TrapOps struct {
+	// Bounds is the bounding box for every level's map.
+	Bounds trapmap.Rect
+}
+
+var _ Ops[*trapmap.Map, trapmap.Segment, trapmap.Point] = TrapOps{}
+
+// Build constructs the trapezoidal map of the subset.
+func (o TrapOps) Build(items []trapmap.Segment) (*trapmap.Map, error) {
+	return trapmap.Build(items, o.Bounds)
+}
+
+// Ranges enumerates the trapezoids.
+func (o TrapOps) Ranges(l *trapmap.Map) []RangeID {
+	out := make([]RangeID, l.NumTraps())
+	for i := range out {
+		out[i] = RangeID(i)
+	}
+	return out
+}
+
+// Contains tests trapezoid membership.
+func (o TrapOps) Contains(l *trapmap.Map, r RangeID, q trapmap.Point) bool {
+	return l.Contains(trapmap.TrapID(r), q)
+}
+
+// Depth is constant: trapezoids partition the box.
+func (o TrapOps) Depth(l *trapmap.Map, r RangeID) int { return 0 }
+
+// Step never moves: the conflict-list hyperlinks land directly on the
+// parent terminal.
+func (o TrapOps) Step(l *trapmap.Map, r RangeID, q trapmap.Point) RangeID { return NoRange }
+
+// Anchors is the full conflict list C(Q, S_b) — expected O(1) by Lemma 5.
+func (o TrapOps) Anchors(child, parent *trapmap.Map, r RangeID) ([]RangeID, error) {
+	conf := parent.Conflicts(child.Trap(trapmap.TrapID(r)))
+	out := make([]RangeID, len(conf))
+	for i, c := range conf {
+		out[i] = RangeID(c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: trapezoid %d has empty conflict list", r)
+	}
+	return out, nil
+}
+
+// ChildTerminal is unsupported: the trapezoidal-map skip-web is static.
+func (o TrapOps) ChildTerminal(child, parent *trapmap.Map, tp RangeID, q trapmap.Point, steps *int) (RangeID, error) {
+	return NoRange, ErrStatic
+}
+
+// Locate performs full local point location.
+func (o TrapOps) Locate(l *trapmap.Map, q trapmap.Point) RangeID {
+	id, err := l.Locate(q)
+	if err != nil {
+		return NoRange
+	}
+	return RangeID(id)
+}
+
+// QueryOf returns the segment's left endpoint (used only for membership
+// bits; the trapezoid web is static).
+func (o TrapOps) QueryOf(x trapmap.Segment) trapmap.Point { return x.A }
+
+// CodeOf hashes the segment coordinates.
+func (o TrapOps) CodeOf(x trapmap.Segment) uint64 {
+	h := fnv.New64a()
+	var buf [32]byte
+	put := func(off int, v int64) {
+		for i := 0; i < 8; i++ {
+			buf[off+i] = byte(v >> (8 * i))
+		}
+	}
+	put(0, x.A.X)
+	put(8, x.A.Y)
+	put(16, x.B.X)
+	put(24, x.B.Y)
+	_, _ = h.Write(buf[:])
+	return h.Sum64()
+}
+
+// Insert is unsupported: the trapezoidal-map skip-web is static.
+func (o TrapOps) Insert(l *trapmap.Map, x trapmap.Segment, q trapmap.Point, hint RangeID) (Change, error) {
+	return Change{}, ErrStatic
+}
+
+// Delete is unsupported: the trapezoidal-map skip-web is static.
+func (o TrapOps) Delete(l *trapmap.Map, x trapmap.Segment, q trapmap.Point) (Change, error) {
+	return Change{}, ErrStatic
+}

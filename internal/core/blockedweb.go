@@ -1,0 +1,825 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/skipwebs/skipwebs/internal/sim"
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// BlockedWeb is the improved one-dimensional skip-web of Section 2.4.1:
+// the level hierarchy of a skip-web over sorted lists, with the
+// stratified blocking strategy that lowers query cost from O(log n) to
+// O(log n / log M) messages when hosts can store M units.
+//
+// Levels are grouped into strata of L = ceil(log2 M) consecutive depths.
+// Depths divisible by L are "basic": a basic structure's ranges are cut
+// into blocks of contiguous key intervals, one block per host, and every
+// non-basic structure in the stratum above it is co-located with the
+// blocks its ranges overlap. A query descending the hierarchy therefore
+// pays messages only when it crosses from one stratum into the next —
+// O(log n / log M) expected messages, which is O(log n / log log n) at
+// M = Θ(log n) (Theorem 2).
+type BlockedWeb struct {
+	net     *sim.Network
+	seed    uint64
+	m       int // host memory parameter M
+	strat   int // stratum height L = max(1, ceil(log2 M))
+	blockSz int // ranges per block B = max(1, M/4)
+	leafMax int
+	merge   int
+	maxDep  int
+	rng     *xrand.Rand
+	root    *bnode
+	leaves  []*bnode
+	hostSeq int
+	n       int
+}
+
+// bnode is one set-tree node: a sorted-list level plus, when basic, its
+// block directory.
+type bnode struct {
+	lvl      *ListLevel
+	parent   *bnode
+	kids     [2]*bnode
+	base     *bnode // the basic node this node's ranges are co-located with
+	depth    int
+	count    int
+	inLeaves bool
+
+	// Block directory (basic nodes only). Block 0 covers keys below
+	// blockStarts[1]; block i covers [blockStarts[i], blockStarts[i+1]).
+	blockStarts []uint64
+	blockHosts  []sim.HostID
+	blockSizes  []int
+}
+
+// BlockedConfig tunes a BlockedWeb.
+type BlockedConfig struct {
+	// Seed drives membership bits and host assignment.
+	Seed uint64
+	// M is the per-host memory parameter; block size and stratum height
+	// derive from it. Defaults to ceil(log2 n)+1.
+	M int
+	// LeafMax / MergeMin / MaxDepth as in Config.
+	LeafMax  int
+	MergeMin int
+	MaxDepth int
+}
+
+// NewBlockedWeb builds the blocked skip-web over keys.
+func NewBlockedWeb(net *sim.Network, keys []uint64, cfg BlockedConfig) (*BlockedWeb, error) {
+	if cfg.M <= 0 {
+		cfg.M = int(math.Ceil(math.Log2(float64(len(keys)+2)))) + 1
+	}
+	if cfg.LeafMax <= 0 {
+		cfg.LeafMax = 4
+	}
+	if cfg.MergeMin <= 0 {
+		cfg.MergeMin = 2
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 60
+	}
+	strat := int(math.Ceil(math.Log2(float64(cfg.M))))
+	if strat < 1 {
+		strat = 1
+	}
+	blockSz := cfg.M / 4
+	if blockSz < 1 {
+		blockSz = 1
+	}
+	w := &BlockedWeb{
+		net:     net,
+		seed:    cfg.Seed,
+		m:       cfg.M,
+		strat:   strat,
+		blockSz: blockSz,
+		leafMax: cfg.LeafMax,
+		merge:   cfg.MergeMin,
+		maxDep:  cfg.MaxDepth,
+		rng:     xrand.New(cfg.Seed ^ 0xb10c),
+	}
+	root, err := w.buildSubtree(keys, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	w.root = root
+	w.n = len(keys)
+	return w, nil
+}
+
+// Len returns the number of keys stored.
+func (w *BlockedWeb) Len() int { return w.n }
+
+// M returns the memory parameter.
+func (w *BlockedWeb) M() int { return w.m }
+
+// StratumHeight returns L.
+func (w *BlockedWeb) StratumHeight() int { return w.strat }
+
+// Ground returns the level-0 list D(S).
+func (w *BlockedWeb) Ground() *ListLevel { return w.root.lvl }
+
+func (w *BlockedWeb) mix(k uint64) uint64 {
+	z := k ^ w.seed ^ 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (w *BlockedWeb) bitAt(k uint64, depth int) int {
+	return int(w.mix(k) >> uint(depth) & 1)
+}
+
+func (w *BlockedWeb) nextHost() sim.HostID {
+	h := sim.HostID(w.hostSeq % w.net.Hosts())
+	w.hostSeq++
+	return h
+}
+
+func (w *BlockedWeb) buildSubtree(keys []uint64, depth int, parent *bnode) (*bnode, error) {
+	lvl, err := NewListLevel(keys)
+	if err != nil {
+		return nil, err
+	}
+	n := &bnode{lvl: lvl, parent: parent, depth: depth, count: len(keys)}
+	if depth%w.strat == 0 {
+		n.base = n
+		w.buildBlocks(n)
+	} else {
+		n.base = parent.base
+	}
+	// Storage: one unit per range plus one for its hyperlink, at the
+	// range's primary block host; boundary-straddling copies add one.
+	for _, r := range lvl.Ranges() {
+		w.chargeRangeStorage(n, r, 1)
+	}
+	if len(keys) > w.leafMax && depth < w.maxDep {
+		var halves [2][]uint64
+		for _, k := range keys {
+			b := w.bitAt(k, depth)
+			halves[b] = append(halves[b], k)
+		}
+		for b := 0; b < 2; b++ {
+			kid, err := w.buildSubtree(halves[b], depth+1, n)
+			if err != nil {
+				return nil, err
+			}
+			n.kids[b] = kid
+		}
+	}
+	if n.kids[0] == nil && n.count > 0 {
+		w.addLeaf(n)
+	}
+	return n, nil
+}
+
+// buildBlocks cuts a basic node's key sequence into blocks of blockSz
+// contiguous ranges, assigning one host per block.
+func (w *BlockedWeb) buildBlocks(n *bnode) {
+	keys := n.lvl.Keys()
+	n.blockStarts = []uint64{0} // block 0 holds the head region
+	n.blockHosts = []sim.HostID{w.nextHost()}
+	n.blockSizes = []int{1} // the head sentinel
+	for i, k := range keys {
+		bi := len(n.blockHosts) - 1
+		if n.blockSizes[bi] >= w.blockSz && i > 0 {
+			n.blockStarts = append(n.blockStarts, k)
+			n.blockHosts = append(n.blockHosts, w.nextHost())
+			n.blockSizes = append(n.blockSizes, 0)
+			bi++
+		}
+		n.blockSizes[bi]++
+	}
+}
+
+// blockIndex returns the block of basic node bn covering key q.
+func (w *BlockedWeb) blockIndex(bn *bnode, q uint64) int {
+	i := sort.Search(len(bn.blockStarts)-1, func(i int) bool { return bn.blockStarts[i+1] > q })
+	return i
+}
+
+// hostFor returns the host storing (the q-relevant copy of) node n's
+// ranges: the block host of n's basic ancestor for q's key region.
+func (w *BlockedWeb) hostFor(n *bnode, q uint64) sim.HostID {
+	bn := n.base
+	return bn.blockHosts[w.blockIndex(bn, q)]
+}
+
+// rangeKey is the key identifying a range's primary block (the head
+// sentinel lives in block 0).
+func (w *BlockedWeb) rangeKey(n *bnode, r RangeID) uint64 {
+	if n.lvl.IsHead(r) {
+		return 0
+	}
+	return n.lvl.Key(r)
+}
+
+// chargeRangeStorage adds (or removes, sign -1) the storage for range r
+// of node n: range + hyperlink on the primary host, plus a copy when the
+// range straddles into the next block.
+func (w *BlockedWeb) chargeRangeStorage(n *bnode, r RangeID, sign int) {
+	k := w.rangeKey(n, r)
+	primary := w.hostFor(n, k)
+	w.net.AddStorage(primary, sign*2)
+	if nx := n.lvl.Next(r); nx != NoRange {
+		nk := n.lvl.Key(nx)
+		if w.blockIndex(n.base, nk) != w.blockIndex(n.base, k) {
+			w.net.AddStorage(w.hostFor(n, nk), sign)
+		}
+	}
+}
+
+func (w *BlockedWeb) addLeaf(n *bnode) {
+	if n.inLeaves {
+		return
+	}
+	n.inLeaves = true
+	w.leaves = append(w.leaves, n)
+}
+
+func (w *BlockedWeb) removeLeaf(n *bnode) {
+	if !n.inLeaves {
+		return
+	}
+	n.inLeaves = false
+	for i, l := range w.leaves {
+		if l == n {
+			w.leaves[i] = w.leaves[len(w.leaves)-1]
+			w.leaves = w.leaves[:len(w.leaves)-1]
+			return
+		}
+	}
+}
+
+func (w *BlockedWeb) entryLeaf(origin sim.HostID) *bnode {
+	if len(w.leaves) == 0 {
+		return w.root
+	}
+	return w.leaves[int(origin)%len(w.leaves)]
+}
+
+// Query routes a floor query to the terminal range of D(S), returning
+// the floor key (ok=false if q is below every key) and the hop count.
+func (w *BlockedWeb) Query(q uint64, origin sim.HostID) (uint64, bool, int) {
+	op := w.net.NewOp(origin)
+	r := w.queryOp(q, op)
+	g := w.root.lvl
+	if g.IsHead(r) {
+		return 0, false, op.Hops()
+	}
+	return g.Key(r), true, op.Hops()
+}
+
+// queryOp descends the hierarchy under op, returning the level-0
+// terminal range.
+func (w *BlockedWeb) queryOp(q uint64, op *sim.Op) RangeID {
+	node := w.entryLeaf(op.Current())
+	// Locate within the entry structure, visiting block hosts as the walk
+	// moves (entry structures hold O(1) ranges).
+	r := RangeID(0)
+	op.Visit(w.hostFor(node, w.rangeKey(node, r)))
+	r = w.walk(node, r, q, op)
+	for node.parent != nil {
+		parent := node.parent
+		// Hyperlink: the parent range holding the same key.
+		var pr RangeID
+		if node.lvl.IsHead(r) {
+			pr = parent.lvl.Head()
+		} else {
+			var ok bool
+			pr, ok = parent.lvl.ByKey(node.lvl.Key(r))
+			if !ok {
+				panic(fmt.Sprintf("core: blocked web key %d missing from parent level", node.lvl.Key(r)))
+			}
+		}
+		op.Visit(w.hostFor(parent, w.rangeKey(parent, pr)))
+		r = w.walk(parent, pr, q, op)
+		node = parent
+	}
+	return r
+}
+
+// walk performs the local Step descent in node n from range r toward q's
+// terminal, visiting the block host of each range stepped through.
+func (w *BlockedWeb) walk(n *bnode, r RangeID, q uint64, op *sim.Op) RangeID {
+	for {
+		nx := n.lvl.Step(r, q)
+		if nx == NoRange {
+			return r
+		}
+		r = nx
+		op.Visit(w.hostFor(n, w.rangeKey(n, r)))
+	}
+}
+
+// Range routes to the floor of lo and walks the ground list, reporting
+// every key in [lo, hi] (inclusive) in ascending order. Cost: one floor
+// query plus one message per block crossed while walking — O(Q(n) + k/B)
+// for k results.
+func (w *BlockedWeb) Range(lo, hi uint64, origin sim.HostID) ([]uint64, int) {
+	op := w.net.NewOp(origin)
+	r := w.queryOp(lo, op)
+	g := w.root.lvl
+	// The terminal is floor(lo); the first in-range key is the terminal
+	// itself (if == lo) or its successor.
+	if g.IsHead(r) || g.Key(r) < lo {
+		r = g.Next(r)
+	}
+	var out []uint64
+	for r != NoRange {
+		k := g.Key(r)
+		if k > hi {
+			break
+		}
+		op.Visit(w.hostFor(w.root, k))
+		out = append(out, k)
+		r = g.Next(r)
+	}
+	return out, op.Hops()
+}
+
+// Insert adds a key, climbing its bit path and paying messages only at
+// stratum boundaries (Section 4: O(log n / log log n) expected for 1-d).
+func (w *BlockedWeb) Insert(key uint64, origin sim.HostID) (int, error) {
+	op := w.net.NewOp(origin)
+	t0 := w.queryOp(key, op)
+	if !w.root.lvl.IsHead(t0) && w.root.lvl.Key(t0) == key {
+		return op.Hops(), fmt.Errorf("core: duplicate key %d", key)
+	}
+	seen := make(map[sim.HostID]bool)
+	node, hint := w.root, t0
+	for {
+		if err := w.insertAt(node, key, hint, op, seen); err != nil {
+			return op.Hops(), err
+		}
+		if node.kids[0] == nil {
+			break
+		}
+		child := node.kids[w.bitAt(key, node.depth)]
+		// Derive the child terminal: walk left in node's level from key's
+		// new position to the nearest key present in the child.
+		hint = w.childTerminal(node, child, key, op)
+		node = child
+	}
+	if node.kids[0] == nil && node.count > 0 {
+		w.addLeaf(node)
+	}
+	if node.count > w.leafMax && node.depth < w.maxDep {
+		if err := w.splitLeaf(node, op); err != nil {
+			return op.Hops(), err
+		}
+	}
+	w.n++
+	return op.Hops(), nil
+}
+
+// insertAt splices key into node's level. One message is charged per
+// distinct block host touched by this whole insert operation, so updates
+// confined to a stratum's co-located copies cost a single message.
+func (w *BlockedWeb) insertAt(n *bnode, key uint64, hint RangeID, op *sim.Op, seen map[sim.HostID]bool) error {
+	id, err := n.lvl.InsertKey(key, hint)
+	if err != nil {
+		return err
+	}
+	n.count++
+	w.chargeRangeStorage(n, id, 1)
+	h := w.hostFor(n, key)
+	if !seen[h] {
+		seen[h] = true
+		op.Send(h)
+	}
+	if n.base == n {
+		bi := w.blockIndex(n, key)
+		n.blockSizes[bi]++
+		if n.blockSizes[bi] > 2*w.blockSz {
+			w.splitBlock(n, bi, op)
+		}
+	}
+	return nil
+}
+
+// childTerminal walks left from key's position in parent until reaching
+// a key present in child (expected O(1) steps), charging block-host
+// visits.
+func (w *BlockedWeb) childTerminal(parent, child *bnode, key uint64, op *sim.Op) RangeID {
+	r, ok := parent.lvl.ByKey(key)
+	if !ok {
+		r = parent.lvl.Locate(key)
+	}
+	for {
+		if parent.lvl.IsHead(r) {
+			return child.lvl.Head()
+		}
+		k := parent.lvl.Key(r)
+		if cr, ok := child.lvl.ByKey(k); ok {
+			return cr
+		}
+		r = parent.lvl.Prev(r)
+		op.Visit(w.hostFor(parent, w.rangeKey(parent, r)))
+	}
+}
+
+// splitBlock splits an overfull block of basic node bn in two, moving the
+// upper half (and its stratum copies) to a fresh host.
+func (w *BlockedWeb) splitBlock(bn *bnode, bi int, op *sim.Op) {
+	// Find the median key of the block by walking from its start.
+	var r RangeID
+	if bi == 0 {
+		r = bn.lvl.Head()
+	} else {
+		var ok bool
+		r, ok = bn.lvl.ByKey(bn.blockStarts[bi])
+		if !ok {
+			return // the start key vanished; rebuild lazily on next split
+		}
+	}
+	half := bn.blockSizes[bi] / 2
+	for i := 0; i < half; i++ {
+		nx := bn.lvl.Next(r)
+		if nx == NoRange {
+			break
+		}
+		r = nx
+	}
+	if bn.lvl.IsHead(r) {
+		return
+	}
+	medKey := bn.lvl.Key(r)
+	newHost := w.nextHost()
+	moved := bn.blockSizes[bi] - half
+	// Splice the new block into the directory.
+	bn.blockStarts = append(bn.blockStarts, 0)
+	copy(bn.blockStarts[bi+2:], bn.blockStarts[bi+1:])
+	bn.blockStarts[bi+1] = medKey
+	bn.blockHosts = append(bn.blockHosts, 0)
+	copy(bn.blockHosts[bi+2:], bn.blockHosts[bi+1:])
+	bn.blockHosts[bi+1] = newHost
+	bn.blockSizes = append(bn.blockSizes, 0)
+	copy(bn.blockSizes[bi+2:], bn.blockSizes[bi+1:])
+	bn.blockSizes[bi+1] = moved
+	bn.blockSizes[bi] = half
+	oldHost := bn.blockHosts[bi]
+	// Move the ranges and their co-located stratum copies: roughly two
+	// storage units per moved range on each side, one message per moved
+	// range (amortized against the inserts that grew the block).
+	w.net.AddStorage(oldHost, -2*moved)
+	w.net.AddStorage(newHost, 2*moved)
+	for i := 0; i < moved; i++ {
+		op.Send(newHost)
+	}
+}
+
+// Delete removes a key from every level on its bit path. Blocks are not
+// merged (deletions leave directory slack, as the paper amortizes).
+func (w *BlockedWeb) Delete(key uint64, origin sim.HostID) (int, error) {
+	op := w.net.NewOp(origin)
+	t0 := w.queryOp(key, op)
+	if w.root.lvl.IsHead(t0) || w.root.lvl.Key(t0) != key {
+		return op.Hops(), fmt.Errorf("core: key %d not found", key)
+	}
+	seen := make(map[sim.HostID]bool)
+	node := w.root
+	var path []*bnode
+	for node != nil {
+		path = append(path, node)
+		if node.kids[0] == nil {
+			break
+		}
+		node = node.kids[w.bitAt(key, node.depth)]
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		dead, _, err := n.lvl.DeleteKey(key)
+		if err != nil {
+			return op.Hops(), err
+		}
+		_ = dead
+		n.count--
+		// Storage: the range and its hyperlink leave the primary host.
+		w.net.AddStorage(w.hostFor(n, key), -2)
+		h := w.hostFor(n, key)
+		if !seen[h] {
+			seen[h] = true
+			op.Send(h)
+		}
+		if n.base == n {
+			bi := w.blockIndex(n, key)
+			if n.blockSizes[bi] > 0 {
+				n.blockSizes[bi]--
+			}
+		}
+	}
+	leaf := path[len(path)-1]
+	if leaf.kids[0] == nil && leaf.count == 0 {
+		w.removeLeaf(leaf)
+	}
+	for _, n := range path {
+		if n.kids[0] != nil && n.count <= w.merge {
+			w.mergeSubtree(n, op)
+			break
+		}
+	}
+	w.n--
+	return op.Hops(), nil
+}
+
+// splitLeaf splits an overfull set-tree leaf into two halves.
+func (w *BlockedWeb) splitLeaf(n *bnode, op *sim.Op) error {
+	keys := n.lvl.Keys()
+	var halves [2][]uint64
+	for _, k := range keys {
+		b := w.bitAt(k, n.depth)
+		halves[b] = append(halves[b], k)
+	}
+	for b := 0; b < 2; b++ {
+		kid, err := w.buildSubtree(halves[b], n.depth+1, n)
+		if err != nil {
+			return err
+		}
+		n.kids[b] = kid
+		for _, k := range halves[b] {
+			op.Send(w.hostFor(kid, k))
+		}
+	}
+	w.removeLeaf(n)
+	return nil
+}
+
+// mergeSubtree re-absorbs all descendants of n.
+func (w *BlockedWeb) mergeSubtree(n *bnode, op *sim.Op) {
+	var release func(k *bnode)
+	release = func(k *bnode) {
+		if k == nil {
+			return
+		}
+		release(k.kids[0])
+		release(k.kids[1])
+		for _, r := range k.lvl.Ranges() {
+			w.chargeRangeStorage(k, r, -1)
+			op.Send(w.hostFor(k, w.rangeKey(k, r)))
+		}
+		w.removeLeaf(k)
+	}
+	release(n.kids[0])
+	release(n.kids[1])
+	n.kids[0], n.kids[1] = nil, nil
+	if n.count > 0 {
+		w.addLeaf(n)
+	}
+}
+
+// CheckInvariants verifies that every level's list is sound, child key
+// sets partition their parent's, counts match, and block directories are
+// ordered.
+func (w *BlockedWeb) CheckInvariants() error {
+	var rec func(n *bnode) error
+	rec = func(n *bnode) error {
+		if err := n.lvl.CheckInvariants(); err != nil {
+			return fmt.Errorf("depth %d: %w", n.depth, err)
+		}
+		if n.lvl.Len() != n.count {
+			return fmt.Errorf("depth %d: level len %d, count %d", n.depth, n.lvl.Len(), n.count)
+		}
+		if n.base == n {
+			for i := 1; i < len(n.blockStarts); i++ {
+				if n.blockStarts[i] <= n.blockStarts[i-1] && i > 1 {
+					return fmt.Errorf("depth %d: block starts out of order", n.depth)
+				}
+			}
+		}
+		if n.kids[0] != nil {
+			if n.kids[0].count+n.kids[1].count != n.count {
+				return fmt.Errorf("depth %d: kid counts %d+%d != %d", n.depth, n.kids[0].count, n.kids[1].count, n.count)
+			}
+			seen := make(map[uint64]bool, n.count)
+			for b := 0; b < 2; b++ {
+				for _, k := range n.kids[b].lvl.Keys() {
+					if seen[k] {
+						return fmt.Errorf("depth %d: key %d in both halves", n.depth, k)
+					}
+					seen[k] = true
+					if _, ok := n.lvl.ByKey(k); !ok {
+						return fmt.Errorf("depth %d: child key %d missing from parent", n.depth, k)
+					}
+				}
+			}
+			if err := rec(n.kids[0]); err != nil {
+				return err
+			}
+			return rec(n.kids[1])
+		}
+		return nil
+	}
+	return rec(w.root)
+}
+
+// BucketWeb is the bucket skip-web of Table 1's final row: contiguous
+// buckets of keys on the bottom level (as in Aspnes et al.) with a
+// blocked skip-web routing over the bucket separators, giving per-host
+// memory O(n/H + log H) and query cost Õ(log_M H) — constant when
+// M = n^ε.
+type BucketWeb struct {
+	net     *sim.Network
+	web     *BlockedWeb
+	buckets map[uint64]*wbucket
+	target  int
+	origin  uint64 // seed
+}
+
+type wbucket struct {
+	min  uint64
+	keys []uint64
+	host sim.HostID
+}
+
+// NewBucketWeb builds the bucket skip-web over keys with roughly target
+// keys per bucket and host memory parameter m for the routing web.
+func NewBucketWeb(net *sim.Network, keys []uint64, target, m int, seed uint64) (*BucketWeb, error) {
+	if target < 1 {
+		target = 1
+	}
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("core: duplicate key %d", sorted[i])
+		}
+	}
+	b := &BucketWeb{net: net, buckets: make(map[uint64]*wbucket), target: target, origin: seed}
+	var mins []uint64
+	hostSeq := 0
+	for start := 0; start < len(sorted); start += target {
+		end := start + target
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		wb := &wbucket{
+			min:  sorted[start],
+			keys: append([]uint64(nil), sorted[start:end]...),
+			host: sim.HostID(hostSeq % net.Hosts()),
+		}
+		hostSeq++
+		b.buckets[wb.min] = wb
+		mins = append(mins, wb.min)
+		net.AddStorage(wb.host, len(wb.keys))
+	}
+	web, err := NewBlockedWeb(net, mins, BlockedConfig{Seed: seed, M: m})
+	if err != nil {
+		return nil, err
+	}
+	b.web = web
+	return b, nil
+}
+
+// Len returns the number of keys stored.
+func (b *BucketWeb) Len() int {
+	n := 0
+	for _, wb := range b.buckets {
+		n += len(wb.keys)
+	}
+	return n
+}
+
+// NumBuckets returns the bucket count H.
+func (b *BucketWeb) NumBuckets() int { return len(b.buckets) }
+
+// Query performs a floor query: route over separators, then one message
+// into the bucket. Deletions may leave a separator below its bucket's
+// first live key; the search then continues into predecessor buckets via
+// the ground list's level-0 links.
+func (b *BucketWeb) Query(q uint64, origin sim.HostID) (uint64, bool, int) {
+	min, ok, hops := b.web.Query(q, origin)
+	ground := b.web.Ground()
+	for ok {
+		wb := b.buckets[min]
+		hops++ // the hop into the bucket host
+		i := sort.Search(len(wb.keys), func(i int) bool { return wb.keys[i] > q })
+		if i > 0 {
+			return wb.keys[i-1], true, hops
+		}
+		r, found := ground.ByKey(min)
+		if !found {
+			break
+		}
+		prev := ground.Prev(r)
+		if ground.IsHead(prev) {
+			break
+		}
+		min = ground.Key(prev)
+		hops++
+	}
+	return 0, false, hops
+}
+
+// Insert routes to the bucket and adds the key, splitting overfull
+// buckets (amortized separator insertion).
+func (b *BucketWeb) Insert(key uint64, origin sim.HostID) (int, error) {
+	min, ok, hops := b.web.Query(key, origin)
+	if !ok {
+		// Key below every separator: extend the lowest bucket downward by
+		// rekeying its separator.
+		ground := b.web.Ground()
+		first := ground.Next(ground.Head())
+		if first == NoRange {
+			return hops, fmt.Errorf("core: bucket web is empty")
+		}
+		oldMin := ground.Key(first)
+		wb := b.buckets[oldMin]
+		delete(b.buckets, oldMin)
+		h1, err := b.web.Delete(oldMin, origin)
+		hops += h1
+		if err != nil {
+			return hops, err
+		}
+		h2, err := b.web.Insert(key, origin)
+		hops += h2
+		if err != nil {
+			return hops, err
+		}
+		wb.min = key
+		wb.keys = append([]uint64{key}, wb.keys...)
+		b.buckets[key] = wb
+		b.net.AddStorage(wb.host, 1)
+		return hops + 1, nil
+	}
+	wb := b.buckets[min]
+	i := sort.Search(len(wb.keys), func(i int) bool { return wb.keys[i] >= key })
+	if i < len(wb.keys) && wb.keys[i] == key {
+		return hops, fmt.Errorf("core: duplicate key %d", key)
+	}
+	wb.keys = append(wb.keys, 0)
+	copy(wb.keys[i+1:], wb.keys[i:])
+	wb.keys[i] = key
+	b.net.AddStorage(wb.host, 1)
+	hops++
+	if len(wb.keys) > 2*b.target {
+		mid := len(wb.keys) / 2
+		upper := append([]uint64(nil), wb.keys[mid:]...)
+		wb.keys = wb.keys[:mid]
+		nb := &wbucket{min: upper[0], keys: upper, host: sim.HostID(int(wb.host+1) % b.net.Hosts())}
+		b.buckets[nb.min] = nb
+		b.net.AddStorage(wb.host, -len(upper))
+		b.net.AddStorage(nb.host, len(upper))
+		sh, err := b.web.Insert(nb.min, origin)
+		if err != nil {
+			return hops, err
+		}
+		hops += sh + 1
+	}
+	return hops, nil
+}
+
+// Range reports every key in [lo, hi] in ascending order: one routed
+// floor query plus one message per bucket visited.
+func (b *BucketWeb) Range(lo, hi uint64, origin sim.HostID) ([]uint64, int) {
+	ground := b.web.Ground()
+	min, ok, hops := b.web.Query(lo, origin)
+	var r RangeID
+	if !ok {
+		// lo is below every separator: start at the first bucket.
+		r = ground.Next(ground.Head())
+	} else {
+		r, _ = ground.ByKey(min)
+	}
+	var out []uint64
+	for r != NoRange {
+		wb := b.buckets[ground.Key(r)]
+		hops++ // visiting the bucket host
+		done := false
+		for _, k := range wb.keys {
+			if k > hi {
+				done = true
+				break
+			}
+			if k >= lo {
+				out = append(out, k)
+			}
+		}
+		if done {
+			break
+		}
+		r = ground.Next(r)
+	}
+	return out, hops
+}
+
+// Delete routes to the bucket and removes the key (separators persist,
+// as in the bucket skip graph).
+func (b *BucketWeb) Delete(key uint64, origin sim.HostID) (int, error) {
+	min, ok, hops := b.web.Query(key, origin)
+	if !ok {
+		return hops, fmt.Errorf("core: key %d not found", key)
+	}
+	wb := b.buckets[min]
+	i := sort.Search(len(wb.keys), func(i int) bool { return wb.keys[i] >= key })
+	if i >= len(wb.keys) || wb.keys[i] != key {
+		return hops, fmt.Errorf("core: key %d not found", key)
+	}
+	wb.keys = append(wb.keys[:i], wb.keys[i+1:]...)
+	b.net.AddStorage(wb.host, -1)
+	return hops + 1, nil
+}

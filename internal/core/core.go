@@ -1,0 +1,918 @@
+// Package core implements the skip-web framework of Arge, Eppstein, and
+// Goodrich (PODC 2005): randomized distributed data structures built over
+// any range-determined link structure with a set-halving lemma.
+//
+// # The level hierarchy (Section 2.3)
+//
+// Given a ground set S, the framework repeatedly halves it at random:
+// S_b0 and S_b1 partition S_b according to one fresh random bit per
+// element. Each subset gets its own link structure D(S_b). The subsets
+// form a binary tree with D(S) at the bottom (level 0) and O(1)-size sets
+// at the top; an element belongs to one structure per level, so total
+// storage is O(n log n) ranges spread over the hosts.
+//
+// # Hyperlinks and routing (Sections 2.3, 2.5)
+//
+// Every range of D(S_b0) stores hyperlinks to the ranges of D(S_b) it
+// conflicts with. A query starts at a top-level structure (the searching
+// host's root), finds the maximal range containing the query there, and
+// follows hyperlinks level by level down to D(S), paying an expected O(1)
+// messages per level by the set-halving lemma — O(log n) expected
+// messages overall (Theorem 2).
+//
+// For nested range families (quadtree cells, trie loci) the conflict
+// hyperlink is a single exact pointer: every cell of D(T) is also a cell
+// of D(S) when T ⊆ S, so the hyperlink lands on the identical range in
+// the parent structure and a short local walk (expected O(1) steps, again
+// by the halving lemma) refines it to the parent terminal. For flat range
+// families (sorted-list intervals, trapezoids) the hyperlink is the
+// conflict list itself and the parent terminal is found by membership
+// tests over its expected-O(1) entries. Both realizations follow the
+// paper's routing; they differ only in which part of C(Q, S_b) is
+// materialized as pointers.
+//
+// # Updates (Section 4)
+//
+// An insertion first routes to the level-0 terminal like a query, then
+// climbs the element's own random bit path: at each level it derives the
+// child terminal from the parent terminal (an expected O(1)-step walk),
+// applies the O(1) structural change, and rewires the O(1) affected
+// hyperlinks — O(1) expected messages per level, O(log n) total.
+// Deletions run the same climb first and then unwind top-down so that
+// hyperlink repair always targets live ranges.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/skipwebs/skipwebs/internal/sim"
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// RangeID identifies a range (a node or link of a link structure) within
+// one level. NoRange means "none".
+type RangeID int32
+
+// NoRange is the sentinel RangeID.
+const NoRange RangeID = -1
+
+// ErrStatic is returned by Ops implementations that do not support
+// dynamic updates (the trapezoidal-map domain, per Section 4's
+// amortization caveat).
+var ErrStatic = errors.New("core: this link structure is static (build + query only)")
+
+// Change describes the O(1) structural delta a level structure undergoes
+// during an update.
+type Change struct {
+	// Added lists ranges created by the update.
+	Added []RangeID
+	// Removed lists ranges destroyed by the update.
+	Removed []RangeID
+	// Remapped maps each removed range to the surviving range that
+	// inherits hyperlinks anchored at it.
+	Remapped map[RangeID]RangeID
+	// Touched lists surviving ranges whose extent changed, requiring
+	// hyperlink recomputation.
+	Touched []RangeID
+}
+
+// Ops is the contract a range-determined link structure implements to
+// participate in a skip-web. L is the structure type, T the item type,
+// and Q the query-point type. Implementations must be deterministic.
+type Ops[L, T, Q any] interface {
+	// Build constructs D(items).
+	Build(items []T) (L, error)
+	// Ranges enumerates the live ranges of l.
+	Ranges(l L) []RangeID
+	// Contains reports whether range r of l contains query point q.
+	Contains(l L, r RangeID, q Q) bool
+	// Depth is the specificity of range r (deeper = finer). Flat range
+	// families return 0.
+	Depth(l L, r RangeID) int
+	// Step performs one local descent step from r toward the terminal
+	// range containing q, returning NoRange when r is terminal.
+	Step(l L, r RangeID, q Q) RangeID
+	// Anchors computes the hyperlinks for range r of child against
+	// parent, where child's item set is a subset of parent's: either the
+	// single identical range (nested families) or the conflict list
+	// (flat families). It is called at build and update time.
+	Anchors(child, parent L, r RangeID) ([]RangeID, error)
+	// ChildTerminal derives the terminal range of child containing q
+	// from the terminal tp of parent containing q, walking locally and
+	// incrementing *steps once per host-visible hop.
+	ChildTerminal(child, parent L, tp RangeID, q Q, steps *int) (RangeID, error)
+	// Locate performs a full local search for q's terminal range in l.
+	Locate(l L, q Q) RangeID
+	// QueryOf maps an item to its query point.
+	QueryOf(x T) Q
+	// CodeOf maps an item to a code used to derive its membership bits;
+	// it should be injective (hash collisions merely degrade leaf sizes).
+	CodeOf(x T) uint64
+	// Insert adds x (whose query point is q) to l; hint is the terminal
+	// range containing q before the insert, or NoRange.
+	Insert(l L, x T, q Q, hint RangeID) (Change, error)
+	// Delete removes x from l.
+	Delete(l L, x T, q Q) (Change, error)
+}
+
+// Config tunes a Web.
+type Config struct {
+	// Seed drives membership bits and host assignment.
+	Seed uint64
+	// LeafMax is the size above which a level-tree leaf set is split.
+	LeafMax int
+	// MergeMin is the size below which an internal set node re-absorbs
+	// its children.
+	MergeMin int
+	// MaxDepth caps the number of levels.
+	MaxDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeafMax <= 0 {
+		c.LeafMax = 4
+	}
+	if c.MergeMin <= 0 {
+		c.MergeMin = 2
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 60
+	}
+	return c
+}
+
+// backref records that range r of the given set-tree child is anchored at
+// some range of this node.
+type backref struct {
+	child *setNode
+	r     RangeID
+}
+
+// setNode is one node of the binary subset tree: a link structure over
+// S_b together with its hyperlinks into the parent structure.
+type setNode struct {
+	id        int
+	depth     int
+	count     int
+	hosts     map[RangeID]sim.HostID
+	anchors   map[RangeID][]RangeID // my range -> ranges of parent.s
+	backrefs  map[RangeID][]backref // my range -> child ranges anchored here
+	parent    *setNode
+	kids      [2]*setNode
+	inLeaves  bool // member of the query-entry list
+	structAny any  // the L value, stored untyped; Web methods re-type it
+}
+
+// Web is a distributed skip-web over items of type T with queries of type
+// Q, built on link structures of type L.
+type Web[L, T, Q any] struct {
+	ops    Ops[L, T, Q]
+	net    *sim.Network
+	cfg    Config
+	rng    *xrand.Rand
+	root   *setNode
+	leaves []*setNode // nonempty leaf structures, query entry points
+	items  map[*setNode][]T
+	nextID int
+	n      int
+}
+
+// NewWeb builds a skip-web over items. The network supplies hosts for
+// range placement; every range and hyperlink is charged as storage to its
+// host.
+func NewWeb[L, T, Q any](ops Ops[L, T, Q], net *sim.Network, items []T, cfg Config) (*Web[L, T, Q], error) {
+	cfg = cfg.withDefaults()
+	w := &Web[L, T, Q]{
+		ops:   ops,
+		net:   net,
+		cfg:   cfg,
+		rng:   xrand.New(cfg.Seed ^ 0x5eb5eb),
+		items: make(map[*setNode][]T),
+	}
+	root, err := w.buildSubtree(append([]T(nil), items...), 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	w.root = root
+	w.n = len(items)
+	return w, nil
+}
+
+// mix decorrelates an item code from any structure in the key space; bit
+// i of the result is the element's level-i membership bit.
+func (w *Web[L, T, Q]) mix(code uint64) uint64 {
+	z := code ^ w.cfg.Seed ^ 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (w *Web[L, T, Q]) bitAt(x T, depth int) int {
+	return int(w.mix(w.ops.CodeOf(x)) >> uint(depth) & 1)
+}
+
+func (w *Web[L, T, Q]) structOf(n *setNode) L { return n.structAny.(L) }
+
+// buildSubtree constructs the set node for items at the given depth,
+// recursing into halves while the set is large enough.
+func (w *Web[L, T, Q]) buildSubtree(items []T, depth int, parent *setNode) (*setNode, error) {
+	s, err := w.ops.Build(items)
+	if err != nil {
+		return nil, err
+	}
+	n := &setNode{
+		id:        w.nextID,
+		depth:     depth,
+		count:     len(items),
+		hosts:     make(map[RangeID]sim.HostID),
+		anchors:   make(map[RangeID][]RangeID),
+		backrefs:  make(map[RangeID][]backref),
+		parent:    parent,
+		structAny: s,
+	}
+	w.nextID++
+	w.items[n] = items
+	for _, r := range w.ops.Ranges(s) {
+		w.placeRange(n, r)
+	}
+	if parent != nil {
+		if err := w.rewireAll(n); err != nil {
+			return nil, err
+		}
+	}
+	if len(items) > w.cfg.LeafMax && depth < w.cfg.MaxDepth {
+		var halves [2][]T
+		for _, x := range items {
+			b := w.bitAt(x, depth)
+			halves[b] = append(halves[b], x)
+		}
+		for b := 0; b < 2; b++ {
+			kid, err := w.buildSubtree(halves[b], depth+1, n)
+			if err != nil {
+				return nil, err
+			}
+			n.kids[b] = kid
+		}
+	}
+	if n.kids[0] == nil && len(items) > 0 {
+		w.addLeaf(n)
+	}
+	return n, nil
+}
+
+// addLeaf registers n as a query entry point (a nonempty leaf structure).
+func (w *Web[L, T, Q]) addLeaf(n *setNode) {
+	if n.inLeaves {
+		return
+	}
+	n.inLeaves = true
+	w.leaves = append(w.leaves, n)
+}
+
+// placeRange assigns range r of node n to a host and charges storage.
+func (w *Web[L, T, Q]) placeRange(n *setNode, r RangeID) {
+	h := sim.HostID(w.rng.Intn(w.net.Hosts()))
+	n.hosts[r] = h
+	w.net.AddStorage(h, 1)
+}
+
+// dropRange releases range r of node n: storage, anchors, backref entries.
+func (w *Web[L, T, Q]) dropRange(n *setNode, r RangeID) {
+	if h, ok := n.hosts[r]; ok {
+		w.net.AddStorage(h, -1-len(n.anchors[r]))
+	}
+	if n.parent != nil {
+		for _, a := range n.anchors[r] {
+			w.removeBackref(n.parent, a, n, r)
+		}
+	}
+	delete(n.anchors, r)
+	delete(n.hosts, r)
+	delete(n.backrefs, r)
+}
+
+// setAnchors installs hyperlinks for range r of node n (whose parent must
+// exist), maintaining backrefs and storage accounting.
+func (w *Web[L, T, Q]) setAnchors(n *setNode, r RangeID, anchors []RangeID) {
+	old := n.anchors[r]
+	for _, a := range old {
+		w.removeBackref(n.parent, a, n, r)
+	}
+	w.net.AddStorage(n.hosts[r], len(anchors)-len(old))
+	n.anchors[r] = anchors
+	for _, a := range anchors {
+		n.parent.backrefs[a] = append(n.parent.backrefs[a], backref{child: n, r: r})
+	}
+}
+
+func (w *Web[L, T, Q]) removeBackref(parent *setNode, a RangeID, child *setNode, r RangeID) {
+	refs := parent.backrefs[a]
+	for i, br := range refs {
+		if br.child == child && br.r == r {
+			refs[i] = refs[len(refs)-1]
+			parent.backrefs[a] = refs[:len(refs)-1]
+			return
+		}
+	}
+}
+
+// rewireAll recomputes hyperlinks for every range of n against its parent.
+func (w *Web[L, T, Q]) rewireAll(n *setNode) error {
+	child := w.structOf(n)
+	parent := w.structOf(n.parent)
+	for _, r := range w.ops.Ranges(child) {
+		anchors, err := w.ops.Anchors(child, parent, r)
+		if err != nil {
+			return fmt.Errorf("core: anchors for range %d at depth %d: %w", r, n.depth, err)
+		}
+		w.setAnchors(n, r, anchors)
+	}
+	return nil
+}
+
+// Len returns the number of items stored.
+func (w *Web[L, T, Q]) Len() int { return w.n }
+
+// Levels returns the depth of the deepest set-tree leaf.
+func (w *Web[L, T, Q]) Levels() int {
+	max := 0
+	var rec func(*setNode)
+	rec = func(n *setNode) {
+		if n == nil {
+			return
+		}
+		if n.depth > max {
+			max = n.depth
+		}
+		rec(n.kids[0])
+		rec(n.kids[1])
+	}
+	rec(w.root)
+	return max + 1
+}
+
+// NumStructures returns the number of live level structures (set-tree
+// nodes).
+func (w *Web[L, T, Q]) NumStructures() int {
+	n := 0
+	var rec func(*setNode)
+	rec = func(sn *setNode) {
+		if sn == nil {
+			return
+		}
+		n++
+		rec(sn.kids[0])
+		rec(sn.kids[1])
+	}
+	rec(w.root)
+	return n
+}
+
+// entryLeaf picks the query entry structure for an originating host: its
+// "root" in the paper's terminology.
+func (w *Web[L, T, Q]) entryLeaf(origin sim.HostID) *setNode {
+	if len(w.leaves) == 0 {
+		return w.root
+	}
+	return w.leaves[int(origin)%len(w.leaves)]
+}
+
+// QueryResult carries the answer to a point query: the terminal range of
+// the ground structure D(S) and the message cost.
+type QueryResult struct {
+	Range RangeID
+	Hops  int
+}
+
+// Query routes a point query from the originating host to the terminal
+// range of D(S) containing q, counting messages (Section 2.5).
+func (w *Web[L, T, Q]) Query(q Q, origin sim.HostID) (QueryResult, error) {
+	op := w.net.NewOp(origin)
+	r, err := w.queryOp(q, op)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{Range: r, Hops: op.Hops()}, nil
+}
+
+// queryOp performs the descent under an existing accounting op and
+// returns the level-0 terminal.
+func (w *Web[L, T, Q]) queryOp(q Q, op *sim.Op) (RangeID, error) {
+	node := w.entryLeaf(op.Current())
+	cur, err := w.scanTerminal(node, q, op)
+	if err != nil {
+		return NoRange, err
+	}
+	for node.parent != nil {
+		cur, err = w.descendOne(node, cur, q, op)
+		if err != nil {
+			return NoRange, err
+		}
+		node = node.parent
+	}
+	return cur, nil
+}
+
+// scanTerminal finds the terminal range in an entry structure by scanning
+// its ranges (entry structures have O(1) expected size).
+func (w *Web[L, T, Q]) scanTerminal(n *setNode, q Q, op *sim.Op) (RangeID, error) {
+	s := w.structOf(n)
+	best := NoRange
+	bestDepth := -1
+	for _, r := range w.ops.Ranges(s) {
+		op.Visit(n.hosts[r])
+		if w.ops.Contains(s, r, q) {
+			if d := w.ops.Depth(s, r); d > bestDepth {
+				best, bestDepth = r, d
+			}
+		}
+	}
+	if best == NoRange {
+		return NoRange, fmt.Errorf("core: no range of entry structure (depth %d, %d items) contains query", n.depth, n.count)
+	}
+	return best, nil
+}
+
+// descendOne follows the hyperlinks of range cur of node n into n.parent
+// and refines to the parent terminal containing q.
+func (w *Web[L, T, Q]) descendOne(n *setNode, cur RangeID, q Q, op *sim.Op) (RangeID, error) {
+	parent := n.parent
+	ps := w.structOf(parent)
+	cands := n.anchors[cur]
+	if len(cands) == 0 {
+		return NoRange, fmt.Errorf("core: range %d at depth %d has no hyperlinks", cur, n.depth)
+	}
+	start := NoRange
+	for _, c := range cands {
+		op.Visit(parent.hosts[c])
+		if w.ops.Contains(ps, c, q) {
+			start = c
+			break
+		}
+	}
+	if start == NoRange {
+		// Flat families may have the terminal adjacent to the conflict
+		// list (the list covers the child range, which contains q, but
+		// boundary conventions can leave q in the last candidate's
+		// neighbor); the Step walk recovers it.
+		start = cands[len(cands)-1]
+	}
+	for {
+		next := w.ops.Step(ps, start, q)
+		if next == NoRange {
+			break
+		}
+		op.Visit(parent.hosts[next])
+		start = next
+	}
+	if !w.ops.Contains(ps, start, q) {
+		return NoRange, fmt.Errorf("core: descent at depth %d terminated at non-containing range", parent.depth)
+	}
+	return start, nil
+}
+
+// Insert adds item x, routing from the originating host. It returns the
+// message cost (Section 4).
+func (w *Web[L, T, Q]) Insert(x T, origin sim.HostID) (int, error) {
+	q := w.ops.QueryOf(x)
+	op := w.net.NewOp(origin)
+	t0, err := w.queryOp(q, op)
+	if err != nil {
+		return 0, err
+	}
+	// Level 0: apply the structural change to D(S).
+	if err := w.applyInsert(w.root, x, q, t0, op); err != nil {
+		return op.Hops(), err
+	}
+	// Climb x's bit path, deriving each child terminal from the parent's.
+	node := w.root
+	tp := w.reterminal(node, t0, q)
+	for node.kids[0] != nil {
+		child := node.kids[w.bitAt(x, node.depth)]
+		ct := NoRange
+		if child.count > 0 {
+			steps := 0
+			ct, err = w.ops.ChildTerminal(w.structOf(child), w.structOf(node), tp, q, &steps)
+			w.chargeSteps(op, child, ct, steps)
+			if err != nil {
+				return op.Hops(), fmt.Errorf("core: child terminal at depth %d: %w", child.depth, err)
+			}
+		}
+		if err := w.applyInsert(child, x, q, ct, op); err != nil {
+			return op.Hops(), err
+		}
+		node = child
+		if ct == NoRange {
+			tp = w.ops.Locate(w.structOf(node), q)
+		} else {
+			tp = w.reterminal(node, ct, q)
+		}
+	}
+	// The final leaf may have just become nonempty.
+	if node.kids[0] == nil && node.count > 0 {
+		w.addLeaf(node)
+	}
+	// Split the leaf set if it outgrew the threshold.
+	if node.count > w.cfg.LeafMax && node.depth < w.cfg.MaxDepth {
+		if err := w.splitLeaf(node, op); err != nil {
+			return op.Hops(), err
+		}
+	}
+	w.n++
+	return op.Hops(), nil
+}
+
+// reterminal refines a pre-update terminal to the post-update terminal by
+// local steps (free: the walk happens on the host that just applied the
+// structural change or its immediate neighbors, already visited).
+func (w *Web[L, T, Q]) reterminal(n *setNode, r RangeID, q Q) RangeID {
+	s := w.structOf(n)
+	for {
+		next := w.ops.Step(s, r, q)
+		if next == NoRange {
+			return r
+		}
+		r = next
+	}
+}
+
+func (w *Web[L, T, Q]) chargeSteps(op *sim.Op, n *setNode, r RangeID, steps int) {
+	// Charge the walk to the host of the resulting range: each step is a
+	// hop between structure nodes, which in the worst placement crosses
+	// hosts every time.
+	h, ok := n.hosts[r]
+	if !ok {
+		return
+	}
+	for i := 0; i < steps; i++ {
+		op.Send(h)
+	}
+}
+
+// anchorsEqual reports whether two hyperlink sets are identical as sets.
+func anchorsEqual(a, b []RangeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[RangeID]bool, len(a))
+	for _, r := range a {
+		set[r] = true
+	}
+	for _, r := range b {
+		if !set[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyInsert performs the structural insert on node n and fixes
+// hyperlinks for the O(1) affected ranges.
+func (w *Web[L, T, Q]) applyInsert(n *setNode, x T, q Q, hint RangeID, op *sim.Op) error {
+	s := w.structOf(n)
+	ch, err := w.ops.Insert(s, x, q, hint)
+	if err != nil {
+		return fmt.Errorf("core: insert at depth %d: %w", n.depth, err)
+	}
+	n.count++
+	w.items[n] = append(w.items[n], x)
+	for _, r := range ch.Added {
+		w.placeRange(n, r)
+		op.Send(n.hosts[r])
+	}
+	if n.parent != nil {
+		ps := w.structOf(n.parent)
+		for _, r := range append(append([]RangeID(nil), ch.Added...), ch.Touched...) {
+			anchors, err := w.ops.Anchors(s, ps, r)
+			if err != nil {
+				return fmt.Errorf("core: re-anchor range %d at depth %d: %w", r, n.depth, err)
+			}
+			if anchorsEqual(anchors, n.anchors[r]) {
+				continue
+			}
+			w.setAnchors(n, r, anchors)
+			op.Send(n.hosts[r])
+		}
+	}
+	// New parent-side ranges may now be the true hyperlink targets of
+	// child ranges whose conflicts changed; recompute for children
+	// anchored at touched ranges.
+	return w.repairChildren(n, append(append([]RangeID(nil), ch.Added...), ch.Touched...), op)
+}
+
+// repairChildren recomputes hyperlinks of child ranges currently anchored
+// at the given ranges of n (whose extents may have changed).
+func (w *Web[L, T, Q]) repairChildren(n *setNode, ranges []RangeID, op *sim.Op) error {
+	s := w.structOf(n)
+	type todo struct {
+		child *setNode
+		r     RangeID
+	}
+	var todos []todo
+	for _, pr := range ranges {
+		for _, br := range n.backrefs[pr] {
+			todos = append(todos, todo{br.child, br.r})
+		}
+	}
+	for _, td := range todos {
+		cs := w.structOf(td.child)
+		anchors, err := w.ops.Anchors(cs, s, td.r)
+		if err != nil {
+			return fmt.Errorf("core: repair anchors of child range %d: %w", td.r, err)
+		}
+		if anchorsEqual(anchors, td.child.anchors[td.r]) {
+			continue
+		}
+		w.setAnchors(td.child, td.r, anchors)
+		op.Send(td.child.hosts[td.r])
+	}
+	return nil
+}
+
+// Delete removes item x, routing from the originating host.
+func (w *Web[L, T, Q]) Delete(x T, origin sim.HostID) (int, error) {
+	q := w.ops.QueryOf(x)
+	op := w.net.NewOp(origin)
+	t0, err := w.queryOp(q, op)
+	if err != nil {
+		return 0, err
+	}
+	// Collect the terminal at each level along x's bit path (x present).
+	type frame struct {
+		node *setNode
+		term RangeID
+	}
+	frames := []frame{{w.root, t0}}
+	node, tp := w.root, t0
+	for node.kids[0] != nil {
+		child := node.kids[w.bitAt(x, node.depth)]
+		steps := 0
+		ct, err := w.ops.ChildTerminal(w.structOf(child), w.structOf(node), tp, q, &steps)
+		w.chargeSteps(op, child, ct, steps)
+		if err != nil {
+			return op.Hops(), fmt.Errorf("core: child terminal at depth %d: %w", child.depth, err)
+		}
+		frames = append(frames, frame{child, ct})
+		node, tp = child, ct
+	}
+	// Unwind top-down so hyperlink repair always targets live ranges.
+	for i := len(frames) - 1; i >= 0; i-- {
+		if err := w.applyDelete(frames[i].node, x, q, op); err != nil {
+			return op.Hops(), err
+		}
+	}
+	w.n--
+	// The path's leaf may have just drained.
+	last := frames[len(frames)-1].node
+	if last.kids[0] == nil && last.count == 0 {
+		w.removeLeaf(last)
+	}
+	// Re-absorb the shallowest underpopulated subtree along the path
+	// (hysteresis: merge at MergeMin, split at LeafMax, MergeMin < LeafMax).
+	for _, f := range frames {
+		if f.node.kids[0] != nil && f.node.count <= w.cfg.MergeMin {
+			w.mergeSubtree(f.node, op)
+			break
+		}
+	}
+	return op.Hops(), nil
+}
+
+func (w *Web[L, T, Q]) applyDelete(n *setNode, x T, q Q, op *sim.Op) error {
+	s := w.structOf(n)
+	ch, err := w.ops.Delete(s, x, q)
+	if err != nil {
+		return fmt.Errorf("core: delete at depth %d: %w", n.depth, err)
+	}
+	n.count--
+	items := w.items[n]
+	code := w.ops.CodeOf(x)
+	for i := range items {
+		if w.ops.CodeOf(items[i]) == code {
+			items[i] = items[len(items)-1]
+			w.items[n] = items[:len(items)-1]
+			break
+		}
+	}
+	// Redirect children anchored at removed ranges.
+	for _, dead := range ch.Removed {
+		to, ok := ch.Remapped[dead]
+		refs := append([]backref(nil), n.backrefs[dead]...)
+		for _, br := range refs {
+			if !ok {
+				return fmt.Errorf("core: removed range %d at depth %d has anchored children but no remap", dead, n.depth)
+			}
+			anchors := append([]RangeID(nil), br.child.anchors[br.r]...)
+			for i, a := range anchors {
+				if a == dead {
+					anchors[i] = to
+				}
+			}
+			w.setAnchors(br.child, br.r, dedupeRanges(anchors))
+			op.Send(br.child.hosts[br.r])
+		}
+		if h, ok := n.hosts[dead]; ok {
+			op.Send(h) // tombstone message to the range's host
+		}
+		w.dropRange(n, dead)
+	}
+	if n.parent != nil {
+		ps := w.structOf(n.parent)
+		for _, r := range ch.Touched {
+			anchors, err := w.ops.Anchors(s, ps, r)
+			if err != nil {
+				return fmt.Errorf("core: re-anchor range %d at depth %d: %w", r, n.depth, err)
+			}
+			if anchorsEqual(anchors, n.anchors[r]) {
+				continue
+			}
+			w.setAnchors(n, r, anchors)
+			op.Send(n.hosts[r])
+		}
+	}
+	return w.repairChildren(n, ch.Touched, op)
+}
+
+func dedupeRanges(rs []RangeID) []RangeID {
+	seen := make(map[RangeID]bool, len(rs))
+	out := rs[:0]
+	for _, r := range rs {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// splitLeaf turns a leaf set node into an internal node with two halves.
+func (w *Web[L, T, Q]) splitLeaf(n *setNode, op *sim.Op) error {
+	items := w.items[n]
+	var halves [2][]T
+	for _, x := range items {
+		b := w.bitAt(x, n.depth)
+		halves[b] = append(halves[b], x)
+	}
+	for b := 0; b < 2; b++ {
+		kid, err := w.buildSubtree(halves[b], n.depth+1, n)
+		if err != nil {
+			return fmt.Errorf("core: split leaf at depth %d: %w", n.depth, err)
+		}
+		n.kids[b] = kid
+		// Creating a structure of k ranges costs O(k) messages, amortized
+		// against the inserts that grew the leaf.
+		for r, h := range kid.hosts {
+			_ = r
+			op.Send(h)
+		}
+	}
+	w.removeLeaf(n)
+	return nil
+}
+
+// mergeSubtree re-absorbs all descendants of n, making it a leaf again.
+func (w *Web[L, T, Q]) mergeSubtree(n *setNode, op *sim.Op) {
+	var release func(k *setNode)
+	release = func(k *setNode) {
+		if k == nil {
+			return
+		}
+		release(k.kids[0])
+		release(k.kids[1])
+		for _, r := range w.ops.Ranges(w.structOf(k)) {
+			if h, ok := k.hosts[r]; ok {
+				op.Send(h)
+			}
+			w.dropRange(k, r)
+		}
+		w.removeLeaf(k)
+		delete(w.items, k)
+	}
+	release(n.kids[0])
+	release(n.kids[1])
+	n.kids[0], n.kids[1] = nil, nil
+	if n.count > 0 {
+		w.addLeaf(n)
+	}
+}
+
+func (w *Web[L, T, Q]) removeLeaf(n *setNode) {
+	if !n.inLeaves {
+		return
+	}
+	n.inLeaves = false
+	for i, l := range w.leaves {
+		if l == n {
+			w.leaves[i] = w.leaves[len(w.leaves)-1]
+			w.leaves = w.leaves[:len(w.leaves)-1]
+			return
+		}
+	}
+}
+
+// GroundStructure exposes the level-0 structure D(S) (for answer
+// extraction and tests).
+func (w *Web[L, T, Q]) GroundStructure() L { return w.structOf(w.root) }
+
+// LevelCensus describes one depth of the hierarchy (Figure 2): how many
+// structures S_b exist there and how many items they hold in total.
+type LevelCensus struct {
+	Depth      int
+	Structures int
+	Items      int
+	Ranges     int
+}
+
+// Census returns per-depth statistics of the level hierarchy.
+func (w *Web[L, T, Q]) Census() []LevelCensus {
+	byDepth := map[int]*LevelCensus{}
+	var rec func(*setNode)
+	rec = func(n *setNode) {
+		if n == nil {
+			return
+		}
+		c := byDepth[n.depth]
+		if c == nil {
+			c = &LevelCensus{Depth: n.depth}
+			byDepth[n.depth] = c
+		}
+		c.Structures++
+		c.Items += n.count
+		c.Ranges += len(w.ops.Ranges(w.structOf(n)))
+		rec(n.kids[0])
+		rec(n.kids[1])
+	}
+	rec(w.root)
+	out := make([]LevelCensus, 0, len(byDepth))
+	for d := 0; ; d++ {
+		c, ok := byDepth[d]
+		if !ok {
+			break
+		}
+		out = append(out, *c)
+	}
+	return out
+}
+
+// CheckInvariants verifies the full web: hyperlinks exactly match
+// recomputation, backrefs are symmetric, per-level item counts add up,
+// and every level structure's ranges are placed on hosts.
+func (w *Web[L, T, Q]) CheckInvariants() error {
+	var rec func(n *setNode) error
+	rec = func(n *setNode) error {
+		if n == nil {
+			return nil
+		}
+		s := w.structOf(n)
+		ranges := w.ops.Ranges(s)
+		if len(n.hosts) != len(ranges) {
+			return fmt.Errorf("core: depth %d: %d hosts for %d ranges", n.depth, len(n.hosts), len(ranges))
+		}
+		for _, r := range ranges {
+			if _, ok := n.hosts[r]; !ok {
+				return fmt.Errorf("core: depth %d: range %d unplaced", n.depth, r)
+			}
+			if n.parent != nil {
+				want, err := w.ops.Anchors(s, w.structOf(n.parent), r)
+				if err != nil {
+					return err
+				}
+				got := n.anchors[r]
+				if len(got) != len(want) {
+					return fmt.Errorf("core: depth %d range %d: %d anchors, want %d", n.depth, r, len(got), len(want))
+				}
+				wantSet := make(map[RangeID]bool, len(want))
+				for _, a := range want {
+					wantSet[a] = true
+				}
+				for _, a := range got {
+					if !wantSet[a] {
+						return fmt.Errorf("core: depth %d range %d: stale anchor %d", n.depth, r, a)
+					}
+					found := false
+					for _, br := range n.parent.backrefs[a] {
+						if br.child == n && br.r == r {
+							found = true
+							break
+						}
+					}
+					if !found {
+						return fmt.Errorf("core: depth %d range %d: missing backref at parent range %d", n.depth, r, a)
+					}
+				}
+			}
+		}
+		if n.kids[0] != nil {
+			if n.kids[0].count+n.kids[1].count != n.count {
+				return fmt.Errorf("core: depth %d: child counts %d+%d != %d",
+					n.depth, n.kids[0].count, n.kids[1].count, n.count)
+			}
+		}
+		if err := rec(n.kids[0]); err != nil {
+			return err
+		}
+		return rec(n.kids[1])
+	}
+	return rec(w.root)
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ListLevel is the sorted doubly-linked list link structure of Section 2.1
+// (and Lemma 1), with slot-stable range IDs. Range 0 is the head sentinel
+// covering (-inf, firstKey); every other range r covers [key(r), nextKey).
+// The ranges therefore partition the key universe.
+type ListLevel struct {
+	keys  []uint64
+	prev  []RangeID
+	next  []RangeID
+	live  []bool
+	free  []RangeID
+	index map[uint64]RangeID
+	n     int
+}
+
+// NewListLevel builds the structure over keys (which must be distinct).
+func NewListLevel(keys []uint64) (*ListLevel, error) {
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	l := &ListLevel{index: make(map[uint64]RangeID, len(keys))}
+	l.keys = append(l.keys, 0) // head sentinel
+	l.prev = append(l.prev, NoRange)
+	l.next = append(l.next, NoRange)
+	l.live = append(l.live, true)
+	cur := RangeID(0)
+	for i, k := range sorted {
+		if i > 0 && sorted[i-1] == k {
+			return nil, fmt.Errorf("core: duplicate key %d", k)
+		}
+		id := RangeID(len(l.keys))
+		l.keys = append(l.keys, k)
+		l.prev = append(l.prev, cur)
+		l.next = append(l.next, NoRange)
+		l.live = append(l.live, true)
+		l.next[cur] = id
+		l.index[k] = id
+		cur = id
+		l.n++
+	}
+	return l, nil
+}
+
+// Len returns the number of keys (excluding the sentinel).
+func (l *ListLevel) Len() int { return l.n }
+
+// Head returns the sentinel range.
+func (l *ListLevel) Head() RangeID { return 0 }
+
+// Key returns the key of range r; r must not be the head sentinel.
+func (l *ListLevel) Key(r RangeID) uint64 { return l.keys[r] }
+
+// IsHead reports whether r is the sentinel.
+func (l *ListLevel) IsHead(r RangeID) bool { return r == 0 }
+
+// ByKey returns the range holding exactly key k.
+func (l *ListLevel) ByKey(k uint64) (RangeID, bool) {
+	r, ok := l.index[k]
+	return r, ok
+}
+
+// Next and Prev expose the linked-list order.
+func (l *ListLevel) Next(r RangeID) RangeID { return l.next[r] }
+
+// Prev returns the predecessor range of r.
+func (l *ListLevel) Prev(r RangeID) RangeID { return l.prev[r] }
+
+// Ranges returns all live range IDs.
+func (l *ListLevel) Ranges() []RangeID {
+	out := make([]RangeID, 0, l.n+1)
+	for i, ok := range l.live {
+		if ok {
+			out = append(out, RangeID(i))
+		}
+	}
+	return out
+}
+
+// Contains reports whether range r covers q: key(r) <= q < key(next(r)),
+// with the sentinel covering everything below the first key.
+func (l *ListLevel) Contains(r RangeID, q uint64) bool {
+	if r != 0 && q < l.keys[r] {
+		return false
+	}
+	nx := l.next[r]
+	return nx == NoRange || q < l.keys[nx]
+}
+
+// Step moves one range toward q's terminal, or NoRange if r is terminal.
+func (l *ListLevel) Step(r RangeID, q uint64) RangeID {
+	if r != 0 && q < l.keys[r] {
+		return l.prev[r]
+	}
+	if nx := l.next[r]; nx != NoRange && q >= l.keys[nx] {
+		return nx
+	}
+	return NoRange
+}
+
+// Locate scans for the terminal range containing q.
+func (l *ListLevel) Locate(q uint64) RangeID {
+	r := RangeID(0)
+	for {
+		nx := l.next[r]
+		if nx == NoRange || q < l.keys[nx] {
+			return r
+		}
+		r = nx
+	}
+}
+
+// InsertKey splices k after range hint (which must be the terminal range
+// containing k, or a nearby range from which Step reaches it).
+func (l *ListLevel) InsertKey(k uint64, hint RangeID) (RangeID, error) {
+	if _, ok := l.index[k]; ok {
+		return NoRange, fmt.Errorf("core: duplicate key %d", k)
+	}
+	cur := hint
+	if cur == NoRange || !l.live[cur] {
+		cur = 0
+	}
+	for {
+		nx := l.Step(cur, k)
+		if nx == NoRange {
+			break
+		}
+		cur = nx
+	}
+	var id RangeID
+	if len(l.free) > 0 {
+		id = l.free[len(l.free)-1]
+		l.free = l.free[:len(l.free)-1]
+		l.keys[id] = k
+		l.live[id] = true
+	} else {
+		id = RangeID(len(l.keys))
+		l.keys = append(l.keys, k)
+		l.prev = append(l.prev, NoRange)
+		l.next = append(l.next, NoRange)
+		l.live = append(l.live, true)
+	}
+	nx := l.next[cur]
+	l.prev[id] = cur
+	l.next[id] = nx
+	l.next[cur] = id
+	if nx != NoRange {
+		l.prev[nx] = id
+	}
+	l.index[k] = id
+	l.n++
+	return id, nil
+}
+
+// DeleteKey removes key k, returning the dead range and its predecessor
+// (which inherits the dead range's interval).
+func (l *ListLevel) DeleteKey(k uint64) (dead, pred RangeID, err error) {
+	id, ok := l.index[k]
+	if !ok {
+		return NoRange, NoRange, fmt.Errorf("core: key %d not found", k)
+	}
+	p, nx := l.prev[id], l.next[id]
+	l.next[p] = nx
+	if nx != NoRange {
+		l.prev[nx] = p
+	}
+	l.live[id] = false
+	l.free = append(l.free, id)
+	delete(l.index, k)
+	l.n--
+	return id, p, nil
+}
+
+// Keys returns all keys in ascending order.
+func (l *ListLevel) Keys() []uint64 {
+	out := make([]uint64, 0, l.n)
+	for r := l.next[0]; r != NoRange; r = l.next[r] {
+		out = append(out, l.keys[r])
+	}
+	return out
+}
+
+// CheckInvariants verifies list structure: ascending keys, consistent
+// prev/next, index completeness.
+func (l *ListLevel) CheckInvariants() error {
+	count := 0
+	prev := RangeID(0)
+	for r := l.next[0]; r != NoRange; r = l.next[r] {
+		if !l.live[r] {
+			return fmt.Errorf("core: dead range %d linked", r)
+		}
+		if l.prev[r] != prev {
+			return fmt.Errorf("core: range %d prev %d, want %d", r, l.prev[r], prev)
+		}
+		if prev != 0 && l.keys[r] <= l.keys[prev] {
+			return fmt.Errorf("core: keys out of order at range %d", r)
+		}
+		if got, ok := l.index[l.keys[r]]; !ok || got != r {
+			return fmt.Errorf("core: index broken for key %d", l.keys[r])
+		}
+		prev = r
+		count++
+	}
+	if count != l.n || len(l.index) != l.n {
+		return fmt.Errorf("core: count %d, n %d, index %d", count, l.n, len(l.index))
+	}
+	return nil
+}

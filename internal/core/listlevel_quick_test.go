@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/skipwebs/skipwebs/internal/sim"
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// TestListLevelQuickOracle drives random build/insert/delete/locate
+// sequences against a sorted-slice oracle via testing/quick.
+func TestListLevelQuickOracle(t *testing.T) {
+	f := func(seedRaw uint32, opsRaw []uint16) bool {
+		rng := xrand.New(uint64(seedRaw))
+		l, err := NewListLevel(nil)
+		if err != nil {
+			return false
+		}
+		var oracle []uint64
+		contains := func(k uint64) bool {
+			i := sort.Search(len(oracle), func(i int) bool { return oracle[i] >= k })
+			return i < len(oracle) && oracle[i] == k
+		}
+		for _, opRaw := range opsRaw {
+			k := uint64(opRaw % 512)
+			switch rng.Intn(3) {
+			case 0: // insert
+				if contains(k) {
+					if _, err := l.InsertKey(k, NoRange); err == nil {
+						return false // duplicate accepted
+					}
+					continue
+				}
+				if _, err := l.InsertKey(k, l.Locate(k)); err != nil {
+					return false
+				}
+				i := sort.Search(len(oracle), func(i int) bool { return oracle[i] >= k })
+				oracle = append(oracle, 0)
+				copy(oracle[i+1:], oracle[i:])
+				oracle[i] = k
+			case 1: // delete
+				_, _, err := l.DeleteKey(k)
+				if contains(k) != (err == nil) {
+					return false
+				}
+				if err == nil {
+					i := sort.Search(len(oracle), func(i int) bool { return oracle[i] >= k })
+					oracle = append(oracle[:i], oracle[i+1:]...)
+				}
+			case 2: // locate = floor
+				r := l.Locate(k)
+				i := sort.Search(len(oracle), func(i int) bool { return oracle[i] > k })
+				if i == 0 {
+					if !l.IsHead(r) {
+						return false
+					}
+				} else if l.IsHead(r) || l.Key(r) != oracle[i-1] {
+					return false
+				}
+			}
+		}
+		return l.CheckInvariants() == nil && l.Len() == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlockedWebQuickFloor cross-checks the blocked web's floor answers
+// against a sorted slice for random key sets and queries.
+func TestBlockedWebQuickFloor(t *testing.T) {
+	net := newTestNet()
+	f := func(seedRaw uint32, qRaw []uint16) bool {
+		rng := xrand.New(uint64(seedRaw) ^ 0xabc)
+		n := 16 + rng.Intn(200)
+		keys := distinctKeys(rng, n, 4096)
+		w, err := NewBlockedWeb(net, keys, BlockedConfig{Seed: uint64(seedRaw), M: 4 + rng.Intn(30)})
+		if err != nil {
+			return false
+		}
+		sorted := append([]uint64(nil), keys...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, qr := range qRaw {
+			q := uint64(qr % 5000)
+			got, ok, _ := w.Query(q, 0)
+			i := sort.Search(len(sorted), func(i int) bool { return sorted[i] > q })
+			if i == 0 {
+				if ok {
+					return false
+				}
+			} else if !ok || got != sorted[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newTestNet returns a small shared network for quick tests (storage
+// accounting accumulates across iterations, which is irrelevant here).
+func newTestNet() *sim.Network { return sim.NewNetwork(64) }

@@ -1,0 +1,180 @@
+package detskipnet
+
+import (
+	"testing"
+
+	"github.com/skipwebs/skipwebs/internal/sim"
+)
+
+// Deterministic structures have no randomness to hide behind: these
+// tests drive the exact insertion/deletion orders that historically
+// break gap-invariant implementations.
+
+func TestSortedAscendingInserts(t *testing.T) {
+	net := sim.NewNetwork(1024)
+	l := New(net)
+	for i := uint64(0); i < 1000; i++ {
+		if _, err := l.Insert(i, 0); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if i%97 == 0 {
+			if err := l.CheckInvariants(); err != nil {
+				t.Fatalf("after %d: %v", i, err)
+			}
+		}
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedDescendingInserts(t *testing.T) {
+	net := sim.NewNetwork(1024)
+	l := New(net)
+	for i := uint64(1000); i > 0; i-- {
+		if _, err := l.Insert(i, 0); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if i%97 == 0 {
+			if err := l.CheckInvariants(); err != nil {
+				t.Fatalf("after %d: %v", i, err)
+			}
+		}
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAscendingInsertsDescendingDeletes(t *testing.T) {
+	net := sim.NewNetwork(1024)
+	l := New(net)
+	const n = 600
+	for i := uint64(0); i < n; i++ {
+		if _, err := l.Insert(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(n); i > 0; i-- {
+		if _, err := l.Delete(i-1, 0); err != nil {
+			t.Fatalf("delete %d: %v", i-1, err)
+		}
+		if (i-1)%53 == 0 {
+			if err := l.CheckInvariants(); err != nil {
+				t.Fatalf("after deleting %d: %v", i-1, err)
+			}
+		}
+	}
+	if l.Len() != 0 {
+		t.Fatalf("len %d", l.Len())
+	}
+}
+
+func TestDeleteFromFront(t *testing.T) {
+	net := sim.NewNetwork(1024)
+	l := New(net)
+	const n = 600
+	for i := uint64(0); i < n; i++ {
+		if _, err := l.Insert(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Deleting the minimum repeatedly stresses the head-boundary gaps.
+	for i := uint64(0); i < n; i++ {
+		if _, err := l.Delete(i, 0); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+		if i%53 == 0 {
+			if err := l.CheckInvariants(); err != nil {
+				t.Fatalf("after deleting %d: %v", i, err)
+			}
+		}
+	}
+	if l.Len() != 0 || l.Height() != 1 {
+		t.Fatalf("len %d height %d", l.Len(), l.Height())
+	}
+}
+
+func TestDeleteEveryOther(t *testing.T) {
+	net := sim.NewNetwork(2048)
+	l := New(net)
+	const n = 800
+	for i := uint64(0); i < n; i++ {
+		if _, err := l.Insert(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Alternating deletions create maximal gap fragmentation.
+	for i := uint64(0); i < n; i += 2 {
+		if _, err := l.Delete(i, 0); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i < n; i += 2 {
+		got, ok, _ := l.Search(i, 0)
+		if !ok || got != i {
+			t.Fatalf("Search(%d) = %d,%v", i, got, ok)
+		}
+		got, ok, _ = l.Search(i-1, 0)
+		if i == 1 {
+			if ok {
+				t.Fatal("phantom floor below minimum")
+			}
+		} else if !ok || got != i-2 {
+			t.Fatalf("Search(%d) = %d,%v want %d", i-1, got, ok, i-2)
+		}
+	}
+}
+
+func TestWorstCaseHeightBound(t *testing.T) {
+	// With gaps in [1,3], level i+1 has at least (|level i|-3)/4 posts,
+	// so height <= log_2(n) * 2 + c for any input order. Verify across
+	// three adversarial orders.
+	orders := map[string]func(n uint64) []uint64{
+		"ascending": func(n uint64) []uint64 {
+			out := make([]uint64, n)
+			for i := range out {
+				out[i] = uint64(i)
+			}
+			return out
+		},
+		"descending": func(n uint64) []uint64 {
+			out := make([]uint64, n)
+			for i := range out {
+				out[i] = n - uint64(i)
+			}
+			return out
+		},
+		"zigzag": func(n uint64) []uint64 {
+			out := make([]uint64, 0, n)
+			lo, hi := uint64(0), n
+			for lo < hi {
+				out = append(out, lo)
+				lo++
+				if lo < hi {
+					out = append(out, hi)
+					hi--
+				}
+			}
+			return out
+		},
+	}
+	for name, gen := range orders {
+		net := sim.NewNetwork(4096)
+		l := New(net)
+		for _, k := range gen(3000) {
+			if _, err := l.Insert(k, 0); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		if h := l.Height(); h > 26 {
+			t.Errorf("%s: height %d exceeds deterministic bound", name, h)
+		}
+		if err := l.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

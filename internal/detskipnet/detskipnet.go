@@ -1,0 +1,474 @@
+// Package detskipnet implements a deterministic distributed ordered
+// dictionary standing in for deterministic SkipNet (Harvey and Munro,
+// PODC 2003), the derandomized row of Table 1 in the skip-webs paper.
+//
+// The structure is a 1-2-3 deterministic skip list (after Munro,
+// Papadakis, and Sedgewick): between two consecutive elements of the
+// level-(i+1) list there are always 1 to 3 elements of the level-i list
+// (boundary gaps may hold 0 to 3). Searches are therefore worst-case
+// O(log n) messages with zero variance; insertions and deletions restore
+// the gap invariant by promoting or demoting elements, costing O(log n)
+// messages typically and O(log² n) in promotion/demotion cascades —
+// matching the paper's quoted Q(n) = O(log n), U(n) = O(log² n).
+//
+// Every key lives on its own host; a node's tower of height h costs
+// 2h+1 storage units there.
+package detskipnet
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/skipwebs/skipwebs/internal/sim"
+)
+
+// List is a deterministic 1-2-3 skip list. The zero value is not usable;
+// construct with New.
+type List struct {
+	net   *sim.Network
+	head  *dnode // sentinel, present at every level
+	nodes map[uint64]*dnode
+	keys  []uint64
+	seq   int
+}
+
+type dnode struct {
+	key    uint64
+	host   sim.HostID
+	isHead bool
+	next   []*dnode
+	prev   []*dnode
+}
+
+func (n *dnode) height() int { return len(n.next) }
+
+// New creates an empty list over net's hosts.
+func New(net *sim.Network) *List {
+	h := &dnode{isHead: true, host: 0}
+	h.next = append(h.next, nil)
+	h.prev = append(h.prev, nil)
+	return &List{net: net, head: h, nodes: make(map[uint64]*dnode)}
+}
+
+// Len returns the number of keys.
+func (l *List) Len() int { return len(l.nodes) }
+
+// Height returns the number of levels in use.
+func (l *List) Height() int { return l.head.height() }
+
+func (l *List) nextHost() sim.HostID {
+	h := sim.HostID(l.seq % l.net.Hosts())
+	l.seq++
+	return h
+}
+
+// Build inserts keys one by one without routing messages (the structure
+// is deterministic, so bulk construction equals repeated insertion).
+func (l *List) Build(keys []uint64) error {
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, k := range sorted {
+		if i > 0 && sorted[i-1] == k {
+			return fmt.Errorf("detskipnet: duplicate key %d", k)
+		}
+		if err := l.insertInternal(k, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Search performs a floor query, returning the largest key <= target.
+// Searches start at the head's host (the deterministic structure has a
+// distinguished entry), so the message count is the worst-case
+// deterministic path length.
+func (l *List) Search(target uint64, origin sim.HostID) (uint64, bool, int) {
+	op := l.net.NewOp(origin)
+	op.Visit(l.head.host)
+	cur := l.head
+	for lvl := l.head.height() - 1; lvl >= 0; lvl-- {
+		for {
+			nx := nextAt(cur, lvl)
+			if nx == nil || nx.key > target {
+				break
+			}
+			cur = nx
+			op.Visit(cur.host)
+		}
+	}
+	if cur.isHead {
+		return 0, false, op.Hops()
+	}
+	return cur.key, true, op.Hops()
+}
+
+func nextAt(n *dnode, lvl int) *dnode {
+	if lvl >= n.height() {
+		return nil
+	}
+	return n.next[lvl]
+}
+
+// Insert adds a key, restoring the gap invariant by promotions.
+func (l *List) Insert(key uint64, origin sim.HostID) (int, error) {
+	if _, ok := l.nodes[key]; ok {
+		return 0, fmt.Errorf("detskipnet: duplicate key %d", key)
+	}
+	op := l.net.NewOp(origin)
+	op.Visit(l.head.host)
+	if err := l.insertInternal(key, op); err != nil {
+		return op.Hops(), err
+	}
+	return op.Hops(), nil
+}
+
+// insertInternal splices the key at level 0 and fixes gaps upward. op may
+// be nil during bulk build.
+func (l *List) insertInternal(key uint64, op *sim.Op) error {
+	// Find level-0 predecessor via the deterministic search path.
+	preds := l.predecessors(key, op)
+	pred := preds[0]
+	n := &dnode{key: key, host: l.nextHost()}
+	n.next = append(n.next, pred.next[0])
+	n.prev = append(n.prev, pred)
+	if pred.next[0] != nil {
+		pred.next[0].prev[0] = n
+		l.send(op, pred.next[0].host)
+	}
+	pred.next[0] = n
+	l.send(op, pred.host)
+	l.nodes[key] = n
+	i := sort.Search(len(l.keys), func(i int) bool { return l.keys[i] >= key })
+	l.keys = append(l.keys, 0)
+	copy(l.keys[i+1:], l.keys[i:])
+	l.keys[i] = key
+	l.net.AddStorage(n.host, 3)
+	// Restore gaps bottom-up.
+	l.fixFrom(0, key, op)
+	return nil
+}
+
+// predecessors returns, for each level, the last node (head or key node)
+// whose key is < key, charging the walk to op.
+func (l *List) predecessors(key uint64, op *sim.Op) []*dnode {
+	h := l.head.height()
+	preds := make([]*dnode, h)
+	cur := l.head
+	for lvl := h - 1; lvl >= 0; lvl-- {
+		for {
+			nx := nextAt(cur, lvl)
+			if nx == nil || nx.key >= key {
+				break
+			}
+			cur = nx
+			l.visit(op, cur.host)
+		}
+		preds[lvl] = cur
+	}
+	return preds
+}
+
+func (l *List) visit(op *sim.Op, h sim.HostID) {
+	if op != nil {
+		op.Visit(h)
+	}
+}
+
+func (l *List) send(op *sim.Op, h sim.HostID) {
+	if op != nil {
+		op.Send(h)
+	}
+}
+
+// gapBetween counts level-lvl nodes strictly between a and b (b nil means
+// the end of the list).
+func (l *List) gapBetween(a, b *dnode, lvl int) int {
+	count := 0
+	for x := nextAt(a, lvl); x != nil && x != b; x = nextAt(x, lvl) {
+		count++
+	}
+	return count
+}
+
+// lastPostBelow returns the last level-lvl node (or the head) whose key is
+// strictly below key.
+func (l *List) lastPostBelow(lvl int, key uint64) *dnode {
+	a := l.head
+	for {
+		nx := nextAt(a, lvl)
+		if nx == nil || nx.key >= key {
+			return a
+		}
+		a = nx
+	}
+}
+
+// gapFix is a deferred invariant check at one level around one key.
+type gapFix struct {
+	lvl int
+	key uint64
+}
+
+// fixFrom restores the gap invariant via a worklist, seeding checks at
+// levels 0..maxLvl around the given key (an insert perturbs level 0; a
+// delete perturbs every level its tower occupied). Promotions (oversized
+// gaps) and borrows/merges (empty interior gaps) each enqueue the levels
+// they perturb; the cascade is bounded by O(height) fixes per level,
+// giving the O(log² n) worst-case update cost of the deterministic
+// structure.
+func (l *List) fixFrom(maxLvl int, key uint64, op *sim.Op) {
+	queue := make([]gapFix, 0, maxLvl+1)
+	for j := 0; j <= maxLvl; j++ {
+		queue = append(queue, gapFix{j, key})
+	}
+	guard := 0
+	for len(queue) > 0 {
+		if guard++; guard > 64*64 {
+			panic("detskipnet: rebalancing did not converge")
+		}
+		f := queue[0]
+		queue = queue[1:]
+		queue = append(queue, l.fixOne(f, op)...)
+	}
+	l.shrink()
+}
+
+// fixOne checks and repairs the gap containing f.key at level f.lvl,
+// returning follow-up fixes.
+func (l *List) fixOne(f gapFix, op *sim.Op) []gapFix {
+	lvl := f.lvl
+	if lvl >= l.head.height() {
+		return nil
+	}
+	if lvl+1 >= l.head.height() {
+		// Top level: bounded by 3 elements; grow a level if needed.
+		if l.gapBetween(l.head, nil, lvl) <= 3 {
+			return nil
+		}
+		l.head.next = append(l.head.next, nil)
+		l.head.prev = append(l.head.prev, nil)
+	}
+	a := l.lastPostBelow(lvl+1, f.key)
+	b := nextAt(a, lvl+1)
+	g := l.gapBetween(a, b, lvl)
+	switch {
+	case g > 3:
+		m := l.promoteMiddle(a, lvl, g, op)
+		return []gapFix{{lvl + 1, m.key}}
+	case g == 0 && b != nil && !a.isHead:
+		// Interior gaps must hold at least one element; boundary gaps
+		// (before the first post or after the last) may be empty.
+		return l.fixEmptyGap(a, b, lvl, op)
+	default:
+		return nil
+	}
+}
+
+// promoteMiddle promotes the middle element of the oversized gap after
+// post a at level lvl, returning the promoted node.
+func (l *List) promoteMiddle(a *dnode, lvl, g int, op *sim.Op) *dnode {
+	x := nextAt(a, lvl)
+	for i := 0; i < (g-1)/2; i++ {
+		x = nextAt(x, lvl)
+	}
+	l.splice(x, a, lvl+1, op)
+	return x
+}
+
+// splice raises node x to level lvl, inserting it after pred (its
+// level-lvl predecessor); x's height must be exactly lvl.
+func (l *List) splice(x, pred *dnode, lvl int, op *sim.Op) {
+	if x.height() != lvl {
+		panic(fmt.Sprintf("detskipnet: splice of height-%d node at level %d", x.height(), lvl))
+	}
+	nx := nextAt(pred, lvl)
+	x.next = append(x.next, nx)
+	x.prev = append(x.prev, pred)
+	pred.next[lvl] = x
+	if nx != nil {
+		nx.prev[lvl] = x
+		l.send(op, nx.host)
+	}
+	l.send(op, pred.host)
+	l.send(op, x.host)
+	l.net.AddStorage(x.host, 2)
+}
+
+// fixEmptyGap repairs an empty interior gap (a, b) at level lvl: borrow a
+// post position from a sibling gap when possible, otherwise merge by
+// removing post b from every level above lvl.
+func (l *List) fixEmptyGap(a, b *dnode, lvl int, op *sim.Op) []gapFix {
+	// Borrow right: shift post b onto the first element of its right gap.
+	c := nextAt(b, lvl+1)
+	if l.gapBetween(b, c, lvl) >= 2 {
+		e := nextAt(b, lvl)
+		l.replacePost(b, e, lvl+1, op)
+		return nil
+	}
+	// Borrow left: shift post a onto the last element of its left gap.
+	if !a.isHead {
+		pa := a.prev[lvl+1]
+		if gL := l.gapBetween(pa, a, lvl); gL >= 2 {
+			d := a.prev[lvl]
+			l.replacePost(a, d, lvl+1, op)
+			return nil
+		}
+	}
+	// Merge: remove post b from levels lvl+1 and above; the merged gaps at
+	// each higher level must be re-checked.
+	top := b.height() - 1
+	var fixes []gapFix
+	for j := top; j >= lvl+1; j-- {
+		p, nx := b.prev[j], b.next[j]
+		p.next[j] = nx
+		if nx != nil {
+			nx.prev[j] = p
+			l.send(op, nx.host)
+		}
+		l.send(op, p.host)
+		fixes = append(fixes, gapFix{j, b.key})
+	}
+	l.send(op, b.host)
+	l.net.AddStorage(b.host, -2*(top-lvl))
+	b.next = b.next[:lvl+1]
+	b.prev = b.prev[:lvl+1]
+	return fixes
+}
+
+// replacePost moves the tower of post b above fromLvl onto element e
+// (whose height must be exactly fromLvl), preserving all gap counts at
+// higher levels.
+func (l *List) replacePost(b, e *dnode, fromLvl int, op *sim.Op) {
+	if e.height() != fromLvl {
+		panic(fmt.Sprintf("detskipnet: replacePost with height-%d element at level %d", e.height(), fromLvl))
+	}
+	h := b.height()
+	for j := fromLvl; j < h; j++ {
+		p, nx := b.prev[j], b.next[j]
+		if p == b || nx == b {
+			panic("detskipnet: self link")
+		}
+		e.next = append(e.next, nx)
+		e.prev = append(e.prev, p)
+		p.next[j] = e
+		if nx != nil {
+			nx.prev[j] = e
+			l.send(op, nx.host)
+		}
+		l.send(op, p.host)
+	}
+	l.send(op, b.host)
+	l.send(op, e.host)
+	moved := h - fromLvl
+	l.net.AddStorage(b.host, -2*moved)
+	l.net.AddStorage(e.host, 2*moved)
+	b.next = b.next[:fromLvl]
+	b.prev = b.prev[:fromLvl]
+}
+
+// Delete removes a key, restoring the gap invariant by demotions and
+// re-promotions.
+func (l *List) Delete(key uint64, origin sim.HostID) (int, error) {
+	n, ok := l.nodes[key]
+	if !ok {
+		return 0, fmt.Errorf("detskipnet: key %d not found", key)
+	}
+	op := l.net.NewOp(origin)
+	op.Visit(l.head.host)
+	// Charge the search path.
+	l.predecessors(key, op)
+	h := n.height()
+	// Unlink n at all its levels.
+	for lvl := n.height() - 1; lvl >= 0; lvl-- {
+		p, nx := n.prev[lvl], n.next[lvl]
+		p.next[lvl] = nx
+		if nx != nil {
+			nx.prev[lvl] = p
+			l.send(op, nx.host)
+		}
+		l.send(op, p.host)
+	}
+	l.net.AddStorage(n.host, -(1 + 2*n.height()))
+	delete(l.nodes, key)
+	i := sort.Search(len(l.keys), func(i int) bool { return l.keys[i] >= key })
+	l.keys = append(l.keys[:i], l.keys[i+1:]...)
+	// Restore gaps from the bottom up around the removal point. Every
+	// level the removed tower occupied lost an element (and a post), so
+	// enqueue each of them.
+	l.fixFrom(h-1, key, op)
+	return op.Hops(), nil
+}
+
+// shrink removes empty top levels.
+func (l *List) shrink() {
+	for l.head.height() > 1 && l.head.next[l.head.height()-1] == nil {
+		l.head.next = l.head.next[:l.head.height()-1]
+		l.head.prev = l.head.prev[:len(l.head.next)]
+	}
+}
+
+// MaxHeight returns the tallest tower among key nodes.
+func (l *List) MaxHeight() int {
+	max := 0
+	for _, n := range l.nodes {
+		if n.height() > max {
+			max = n.height()
+		}
+	}
+	return max
+}
+
+// Keys returns the keys in sorted order.
+func (l *List) Keys() []uint64 { return append([]uint64(nil), l.keys...) }
+
+// CheckInvariants verifies sorted order, link symmetry, level nesting,
+// and the 1..3 gap invariant (boundary gaps 0..3).
+func (l *List) CheckInvariants() error {
+	// Every level sorted, doubly linked, and a subsequence of the level
+	// below.
+	for lvl := 0; lvl < l.head.height(); lvl++ {
+		var prevKey uint64
+		first := true
+		for x := nextAt(l.head, lvl); x != nil; x = nextAt(x, lvl) {
+			if !first && x.key <= prevKey {
+				return fmt.Errorf("detskipnet: level %d out of order at %d", lvl, x.key)
+			}
+			prevKey, first = x.key, false
+			if x.prev[lvl] != l.head && x.prev[lvl].next[lvl] != x {
+				return fmt.Errorf("detskipnet: level %d link asymmetry at %d", lvl, x.key)
+			}
+			if lvl > 0 && x.height() < lvl+1 {
+				return fmt.Errorf("detskipnet: level %d node %d too short", lvl, x.key)
+			}
+		}
+	}
+	// Gap invariant: interior gaps hold 1..3 elements, boundary gaps 0..3,
+	// and the top level holds at most 3 elements.
+	for lvl := 0; lvl < l.head.height(); lvl++ {
+		if lvl == l.head.height()-1 {
+			if g := l.gapBetween(l.head, nil, lvl); g > 3 {
+				return fmt.Errorf("detskipnet: top level %d has %d elements", lvl, g)
+			}
+			break
+		}
+		a := l.head
+		for {
+			b := nextAt(a, lvl+1)
+			g := l.gapBetween(a, b, lvl)
+			if g > 3 {
+				return fmt.Errorf("detskipnet: gap of %d at level %d", g, lvl)
+			}
+			if g < 1 && b != nil && !a.isHead {
+				return fmt.Errorf("detskipnet: empty interior gap at level %d before %d", lvl, b.key)
+			}
+			if b == nil {
+				break
+			}
+			a = b
+		}
+	}
+	if len(l.keys) != len(l.nodes) {
+		return fmt.Errorf("detskipnet: keys %d, nodes %d", len(l.keys), len(l.nodes))
+	}
+	return nil
+}

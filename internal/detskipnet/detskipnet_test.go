@@ -1,0 +1,263 @@
+package detskipnet
+
+import (
+	"math"
+	"testing"
+
+	"github.com/skipwebs/skipwebs/internal/sim"
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+func distinctKeys(rng *xrand.Rand, n int) []uint64 {
+	seen := map[uint64]bool{}
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		k := rng.Uint64n(1 << 40)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func bruteFloor(keys map[uint64]bool, q uint64) (uint64, bool) {
+	best, ok := uint64(0), false
+	for k := range keys {
+		if k <= q && (!ok || k > best) {
+			best, ok = k, true
+		}
+	}
+	return best, ok
+}
+
+func TestBuildInvariants(t *testing.T) {
+	rng := xrand.New(1)
+	for _, n := range []int{1, 2, 3, 4, 5, 10, 100, 1000} {
+		net := sim.NewNetwork(n)
+		l := New(net)
+		if err := l.Build(distinctKeys(rng.Split(), n)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if l.Len() != n {
+			t.Fatalf("n=%d: len %d", n, l.Len())
+		}
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := xrand.New(2)
+	keys := distinctKeys(rng, 500)
+	set := map[uint64]bool{}
+	for _, k := range keys {
+		set[k] = true
+	}
+	net := sim.NewNetwork(500)
+	l := New(net)
+	if err := l.Build(keys); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		q := rng.Uint64n(1 << 41)
+		got, ok, _ := l.Search(q, sim.HostID(rng.Intn(500)))
+		want, wok := bruteFloor(set, q)
+		if ok != wok || (ok && got != want) {
+			t.Fatalf("query %d: got %d,%v want %d,%v", q, got, ok, want, wok)
+		}
+	}
+}
+
+func TestDeterministicWorstCase(t *testing.T) {
+	// The defining property vs randomized structures: with the gap
+	// invariant, height is worst-case logarithmic, so the longest search
+	// path is bounded deterministically.
+	rng := xrand.New(3)
+	for _, n := range []int{1024, 4096} {
+		net := sim.NewNetwork(n)
+		l := New(net)
+		if err := l.Build(distinctKeys(rng.Split(), n)); err != nil {
+			t.Fatal(err)
+		}
+		// Height <= log2(n) + 2 for 1-2-3 gaps (each level at least
+		// halves... gaps >= 1 mean each level has <= the level below).
+		if h := l.Height(); h > 2*int(math.Log2(float64(n)))+3 {
+			t.Fatalf("n=%d: height %d too large", n, h)
+		}
+		maxHops := 0
+		qr := rng.Split()
+		for i := 0; i < 500; i++ {
+			_, _, hops := l.Search(qr.Uint64n(1<<40), 0)
+			if hops > maxHops {
+				maxHops = hops
+			}
+		}
+		// Worst-case path: height levels x <= 3 lateral moves.
+		bound := 4 * (2*int(math.Log2(float64(n))) + 3)
+		if maxHops > bound {
+			t.Fatalf("n=%d: max hops %d exceeds deterministic bound %d", n, maxHops, bound)
+		}
+	}
+}
+
+func TestInsertChurnInvariants(t *testing.T) {
+	rng := xrand.New(4)
+	net := sim.NewNetwork(2048)
+	l := New(net)
+	keys := distinctKeys(rng, 1000)
+	for i, k := range keys {
+		if _, err := l.Insert(k, sim.HostID(i%64)); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+		if i%100 == 0 {
+			if err := l.CheckInvariants(); err != nil {
+				t.Fatalf("after insert %d: %v", i, err)
+			}
+		}
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteChurnInvariants(t *testing.T) {
+	rng := xrand.New(5)
+	keys := distinctKeys(rng, 800)
+	set := map[uint64]bool{}
+	for _, k := range keys {
+		set[k] = true
+	}
+	net := sim.NewNetwork(1024)
+	l := New(net)
+	if err := l.Build(keys); err != nil {
+		t.Fatal(err)
+	}
+	perm := rng.Perm(len(keys))
+	for i, pi := range perm[:600] {
+		if _, err := l.Delete(keys[pi], sim.HostID(i%64)); err != nil {
+			t.Fatalf("delete %d: %v", keys[pi], err)
+		}
+		delete(set, keys[pi])
+		if i%40 == 0 {
+			if err := l.CheckInvariants(); err != nil {
+				t.Fatalf("after delete %d (key %d): %v", i, keys[pi], err)
+			}
+		}
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	qr := xrand.New(6)
+	for i := 0; i < 800; i++ {
+		q := qr.Uint64n(1 << 41)
+		got, ok, _ := l.Search(q, 0)
+		want, wok := bruteFloor(set, q)
+		if ok != wok || (ok && got != want) {
+			t.Fatalf("after churn: query %d got %d,%v want %d,%v", q, got, ok, want, wok)
+		}
+	}
+}
+
+func TestMixedChurnOracle(t *testing.T) {
+	rng := xrand.New(7)
+	net := sim.NewNetwork(512)
+	l := New(net)
+	set := map[uint64]bool{}
+	for i := 0; i < 3000; i++ {
+		k := rng.Uint64n(2000)
+		switch {
+		case !set[k]:
+			if _, err := l.Insert(k, 0); err != nil {
+				t.Fatalf("op %d insert %d: %v", i, k, err)
+			}
+			set[k] = true
+		case rng.Bool():
+			if _, err := l.Delete(k, 0); err != nil {
+				t.Fatalf("op %d delete %d: %v", i, k, err)
+			}
+			delete(set, k)
+		default:
+			got, ok, _ := l.Search(k, 0)
+			if !ok || got != k {
+				t.Fatalf("op %d: search %d = %d,%v", i, k, got, ok)
+			}
+		}
+		if i%250 == 0 {
+			if err := l.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if l.Len() != len(set) {
+		t.Fatalf("len %d, oracle %d", l.Len(), len(set))
+	}
+}
+
+func TestDrainToEmpty(t *testing.T) {
+	rng := xrand.New(8)
+	keys := distinctKeys(rng, 100)
+	net := sim.NewNetwork(128)
+	l := New(net)
+	if err := l.Build(keys); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if _, err := l.Delete(k, 0); err != nil {
+			t.Fatalf("delete %d (%d): %v", i, k, err)
+		}
+		if err := l.CheckInvariants(); err != nil {
+			t.Fatalf("after delete %d: %v", i, err)
+		}
+	}
+	if l.Len() != 0 || l.Height() != 1 {
+		t.Fatalf("len %d height %d after drain", l.Len(), l.Height())
+	}
+	s := net.Snapshot()
+	if s.MaxStorage != 0 {
+		t.Fatalf("storage leak: %d", s.MaxStorage)
+	}
+}
+
+func TestDuplicatesAndMissing(t *testing.T) {
+	net := sim.NewNetwork(4)
+	l := New(net)
+	if _, err := l.Insert(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Insert(5, 0); err == nil {
+		t.Fatal("duplicate insert accepted")
+	}
+	if _, err := l.Delete(6, 0); err == nil {
+		t.Fatal("missing delete accepted")
+	}
+	if err := l.Build([]uint64{7, 7}); err == nil {
+		t.Fatal("duplicate build accepted")
+	}
+}
+
+func TestZeroVariance(t *testing.T) {
+	// Two lists built over the same keys are identical structures: the
+	// construction is deterministic (no coin flips).
+	rng := xrand.New(9)
+	keys := distinctKeys(rng, 300)
+	net1 := sim.NewNetwork(300)
+	net2 := sim.NewNetwork(300)
+	l1, l2 := New(net1), New(net2)
+	if err := l1.Build(keys); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Build(keys); err != nil {
+		t.Fatal(err)
+	}
+	qr := xrand.New(10)
+	for i := 0; i < 300; i++ {
+		q := qr.Uint64n(1 << 41)
+		_, _, h1 := l1.Search(q, 0)
+		_, _, h2 := l2.Search(q, 0)
+		if h1 != h2 {
+			t.Fatalf("query %d: hop counts differ (%d vs %d)", q, h1, h2)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/skipwebs/skipwebs/internal/core"
+	"github.com/skipwebs/skipwebs/internal/sim"
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// AblationRow compares the general skip-web (arbitrary range placement,
+// Section 2.4) against the blocked placement (Section 2.4.1) on the same
+// key set, isolating what the blocking strategy alone buys.
+type AblationRow struct {
+	N            int
+	ArbitraryQ   float64 // mean query messages, arbitrary placement
+	BlockedQ     float64 // mean query messages, blocked placement
+	ArbitraryMem float64
+	BlockedMem   float64
+	Speedup      float64
+}
+
+// AblationReport aggregates the blocking ablation.
+type AblationReport struct {
+	Rows []AblationRow
+}
+
+// String renders the report.
+func (r *AblationReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: Section 2.4.1 blocking vs arbitrary placement (same hierarchy, same keys)\n")
+	fmt.Fprintf(&b, "%8s %12s %12s %10s %12s %12s\n",
+		"n", "Q(arbitrary)", "Q(blocked)", "speedup", "M(arbitrary)", "M(blocked)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d %12.2f %12.2f %10.2fx %12.1f %12.1f\n",
+			row.N, row.ArbitraryQ, row.BlockedQ, row.Speedup, row.ArbitraryMem, row.BlockedMem)
+	}
+	return b.String()
+}
+
+// AblationBlocking runs the blocking ablation across the configured
+// sizes.
+func AblationBlocking(cfg TheoremConfig) (*AblationReport, error) {
+	rep := &AblationReport{}
+	for _, n := range cfg.Sizes {
+		rng := xrand.New(cfg.Seed ^ uint64(n) ^ 0xab1a)
+		keys := Keys(rng, n, 1<<50)
+
+		// Arbitrary placement: the generic engine over lists.
+		netA := sim.NewNetwork(n)
+		wa, err := core.NewWeb[*core.ListLevel, uint64, uint64](
+			core.ListOps{}, netA, keys, core.Config{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		memA := netA.Snapshot().MeanStorage
+		qr := rng.Split()
+		totalA := 0
+		for i := 0; i < cfg.Queries; i++ {
+			res, err := wa.Query(qr.Uint64n(1<<50), sim.HostID(qr.Intn(n)))
+			if err != nil {
+				return nil, err
+			}
+			totalA += res.Hops
+		}
+
+		// Blocked placement over the same keys.
+		netB := sim.NewNetwork(n)
+		wb, err := core.NewBlockedWeb(netB, keys, core.BlockedConfig{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		memB := netB.Snapshot().MeanStorage
+		qr = rng.Split()
+		totalB := 0
+		for i := 0; i < cfg.Queries; i++ {
+			_, _, hops := wb.Query(qr.Uint64n(1<<50), sim.HostID(qr.Intn(n)))
+			totalB += hops
+		}
+
+		qa := float64(totalA) / float64(cfg.Queries)
+		qb := float64(totalB) / float64(cfg.Queries)
+		rep.Rows = append(rep.Rows, AblationRow{
+			N: n, ArbitraryQ: qa, BlockedQ: qb,
+			ArbitraryMem: memA, BlockedMem: memB,
+			Speedup: qa / qb,
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1QuickShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := Table1Config{Sizes: []int{512, 2048}, Queries: 200, Updates: 96, Seed: 1}
+	rep, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Table1Row{}
+	for _, r := range rep.Rows {
+		byKey[r.Method+"/"+itoa(r.N)] = r
+	}
+	// Shape 1: NoN memory well above plain skip-graph memory.
+	if byKey["NoN skip-graphs/2048"].MeanMem < 2*byKey["skip graphs/SkipNet/2048"].MeanMem {
+		t.Errorf("NoN memory not clearly above plain: %.1f vs %.1f",
+			byKey["NoN skip-graphs/2048"].MeanMem, byKey["skip graphs/SkipNet/2048"].MeanMem)
+	}
+	// Shape 2: family trees use constant memory.
+	if byKey["family trees/2048"].MaxMem != byKey["family trees/512"].MaxMem {
+		t.Errorf("family tree memory grows: %d vs %d",
+			byKey["family trees/512"].MaxMem, byKey["family trees/2048"].MaxMem)
+	}
+	// Shape 3: skip-webs query at 2048 beats plain skip graphs.
+	if byKey["skip-webs/2048"].QueryHops >= byKey["skip graphs/SkipNet/2048"].QueryHops {
+		t.Errorf("skip-webs (%.1f) not beating skip graphs (%.1f) at n=2048",
+			byKey["skip-webs/2048"].QueryHops, byKey["skip graphs/SkipNet/2048"].QueryHops)
+	}
+	// Shape 4: bucket variants (H = n/8) answer in fewer hops than their
+	// H = n counterparts.
+	if byKey["bucket skip-webs/2048"].QueryHops >= byKey["skip-webs/2048"].QueryHops {
+		t.Errorf("bucket skip-webs (%.1f) not beating skip-webs (%.1f)",
+			byKey["bucket skip-webs/2048"].QueryHops, byKey["skip-webs/2048"].QueryHops)
+	}
+	// Shape 5: skip-web memory stays O(log n)-ish (far below NoN).
+	if byKey["skip-webs/2048"].MeanMem > byKey["NoN skip-graphs/2048"].MeanMem {
+		t.Errorf("skip-web memory above NoN")
+	}
+	// Report renders.
+	if !strings.Contains(rep.String(), "skip-webs") {
+		t.Error("report missing rows")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var d []byte
+	for n > 0 {
+		d = append([]byte{byte('0' + n%10)}, d...)
+		n /= 10
+	}
+	return string(d)
+}
+
+func TestLemma1Constant(t *testing.T) {
+	rep, err := Lemma1(LemmaConfig{Sizes: []int{256, 4096, 65536}, Trials: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Rows {
+		if r.Mean > 7 {
+			t.Errorf("n=%d: mean conflicts %.2f exceed the lemma's bound 7", r.N, r.Mean)
+		}
+	}
+	// Flat in n: largest mean within 1.5x of smallest.
+	if rep.Rows[2].Mean > rep.Rows[0].Mean*1.5+1 {
+		t.Errorf("conflicts grow with n: %+v", rep.Rows)
+	}
+}
+
+func TestLemma3Constant(t *testing.T) {
+	rep, err := Lemma3(LemmaConfig{Sizes: []int{512, 4096}, Trials: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Rows {
+		if r.Mean > 10 {
+			t.Errorf("%s n=%d: mean conflicts %.2f not O(1)-like", r.Workload, r.N, r.Mean)
+		}
+	}
+}
+
+func TestLemma4Constant(t *testing.T) {
+	rep, err := Lemma4(LemmaConfig{Sizes: []int{512, 4096}, Trials: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Rows {
+		if r.Mean > 10 {
+			t.Errorf("%s n=%d: mean conflicts %.2f not O(1)-like", r.Workload, r.N, r.Mean)
+		}
+	}
+}
+
+func TestLemma5ConstantAndIdentity(t *testing.T) {
+	rep, err := Lemma5(LemmaConfig{Sizes: []int{256, 1024}, Trials: 150, Seed: 2})
+	if err != nil {
+		t.Fatal(err) // the identity check runs inside
+	}
+	for _, r := range rep.Rows {
+		if r.Mean > 10 {
+			t.Errorf("n=%d: mean conflicts %.2f not O(1)-like", r.N, r.Mean)
+		}
+	}
+}
+
+func TestTheorem2MultiDimLogarithmic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := Theorem2MultiDim(TheoremConfig{Sizes: []int{256, 1024}, Queries: 150, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Rows {
+		if r.PerLog > 12 {
+			t.Errorf("%s/%s n=%d: Q/log2n = %.2f not logarithmic", r.Structure, r.Workload, r.N, r.PerLog)
+		}
+		switch r.Workload {
+		case "clustered":
+			// Quadtree depth is capped by coordinate precision (31 levels
+			// for d=2); the adversarial input drives it to that cap, far
+			// above the balanced O(log_4 n).
+			if r.Depth < 25 {
+				t.Errorf("quadtree/clustered: adversarial depth only %d", r.Depth)
+			}
+		case "sharedprefix":
+			if r.Depth < r.N/2 {
+				t.Errorf("trie/sharedprefix: adversarial depth only %d", r.Depth)
+			}
+		}
+	}
+}
+
+func TestTheorem2BlockingShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := Theorem2Blocking(TheoremConfig{Sizes: []int{512, 2048, 8192}, Queries: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The M sweep must be monotically improving (allowing small noise).
+	var msweep []float64
+	for _, r := range rep.Rows {
+		if r.Sweep == "M" {
+			msweep = append(msweep, r.MeanHops)
+		}
+	}
+	if msweep[len(msweep)-1] >= msweep[0] {
+		t.Errorf("M sweep not improving: %v", msweep)
+	}
+	// The n sweep at M = log n must be sub-logarithmic.
+	if ratio := SubLogCheck(rep.Rows); !(ratio < 1.0) {
+		t.Errorf("Q/log2n ratio trend %.3f not shrinking", ratio)
+	}
+}
+
+func TestUpdatesLogarithmic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := Updates(TheoremConfig{Sizes: []int{256, 1024}, Queries: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Rows {
+		if r.PerLog > 14 {
+			t.Errorf("%s n=%d: U/log2n = %.2f too large", r.Structure, r.N, r.PerLog)
+		}
+	}
+}
+
+func TestCongestionBalanced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := Congestion(TheoremConfig{Sizes: []int{512}, Queries: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Rows {
+		if r.MaxPerOp > 3 {
+			t.Errorf("%s n=%d: max congestion %.2f per op (hotspot)", r.Structure, r.N, r.MaxPerOp)
+		}
+	}
+}
+
+func TestFigures(t *testing.T) {
+	f1 := Figure1(1)
+	if !strings.Contains(f1, "L00") {
+		t.Error("figure 1 missing levels")
+	}
+	f2, err := Figure2(1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f2, "level") {
+		t.Error("figure 2 missing census")
+	}
+	f4, err := Figure4(1, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f4, "faces = 3n+1") {
+		t.Error("figure 4 missing face count")
+	}
+}
+
+func TestWorkloadGenerators(t *testing.T) {
+	rng := newRng(5)
+	keys := Keys(rng, 100, 1000)
+	seen := map[uint64]bool{}
+	for _, k := range keys {
+		if k >= 1000 || seen[k] {
+			t.Fatalf("bad key %d", k)
+		}
+		seen[k] = true
+	}
+	pts := ClusteredPoints(rng, 64)
+	if len(pts) != 64 {
+		t.Fatalf("clustered points: %d", len(pts))
+	}
+	strs := SharedPrefixStrings(10)
+	if strs[9] != strings.Repeat("a", 10) {
+		t.Fatal("shared prefix strings wrong")
+	}
+}
+
+func TestAblationBlockingWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := AblationBlocking(TheoremConfig{Sizes: []int{2048, 8192}, Queries: 250, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Rows {
+		if r.Speedup <= 1.0 {
+			t.Errorf("n=%d: blocking speedup %.2fx (expected > 1)", r.N, r.Speedup)
+		}
+	}
+	// The speedup should grow with n (log n vs log n / log log n).
+	if rep.Rows[1].Speedup < rep.Rows[0].Speedup*0.95 {
+		t.Errorf("speedup not growing: %+v", rep.Rows)
+	}
+}

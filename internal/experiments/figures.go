@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/skipwebs/skipwebs/internal/core"
+	"github.com/skipwebs/skipwebs/internal/sim"
+	"github.com/skipwebs/skipwebs/internal/skiplist"
+	"github.com/skipwebs/skipwebs/internal/trapmap"
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// Figure1 regenerates the paper's Figure 1: a skip list rendering plus
+// the O(log n) expected search-path statistic it illustrates.
+func Figure1(seed uint64) string {
+	rng := xrand.New(seed)
+	l := skiplist.New[int, int](rng)
+	for i := 1; i <= 12; i++ {
+		l.Set(i*10, i)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: a skip list (each node copied up with probability 1/2)\n\n")
+	b.WriteString(l.Render())
+	total := 0
+	const n, queries = 4096, 500
+	big := skiplist.New[int, int](rng.Split())
+	for i := 0; i < n; i++ {
+		big.Set(i, i)
+	}
+	qr := rng.Split()
+	for i := 0; i < queries; i++ {
+		total += big.SearchPathLen(qr.Intn(n))
+	}
+	fmt.Fprintf(&b, "\nexpected search path at n=%d: %.1f nodes (log2 n = 12)\n",
+		n, float64(total)/queries)
+	return b.String()
+}
+
+// Figure2 regenerates the paper's Figure 2 as a level census of a 1-d
+// skip-web: set sizes halve per level and top-level structures are O(1).
+func Figure2(seed uint64, n int) (string, error) {
+	rng := xrand.New(seed)
+	keys := Keys(rng, n, 1<<40)
+	net := sim.NewNetwork(n)
+	w, err := core.NewWeb[*core.ListLevel, uint64, uint64](
+		core.ListOps{}, net, keys, core.Config{Seed: seed})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: the 1-d skip-web level hierarchy at n=%d\n", n)
+	fmt.Fprintf(&b, "%8s %12s %10s %12s %14s\n", "level", "structures", "items", "ranges", "mean set size")
+	for _, c := range w.Census() {
+		mean := 0.0
+		if c.Structures > 0 {
+			mean = float64(c.Items) / float64(c.Structures)
+		}
+		fmt.Fprintf(&b, "%8d %12d %10d %12d %14.2f\n", c.Depth, c.Structures, c.Items, c.Ranges, mean)
+	}
+	return b.String(), nil
+}
+
+// Figure4 regenerates the paper's Figure 4: an ASCII raster of a
+// trapezoidal map.
+func Figure4(seed uint64, n int) (string, error) {
+	bounds := trapmap.Rect{MinX: -1000, MinY: -1000, MaxX: 1000, MaxY: 1000}
+	rng := xrand.New(seed)
+	segs := DisjointSegments(rng, n, bounds)
+	m, err := trapmap.Build(segs, bounds)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: a trapezoidal map of %d disjoint segments (%d faces = 3n+1)\n\n",
+		n, m.NumTraps())
+	b.WriteString(m.Render(72, 24))
+	return b.String(), nil
+}

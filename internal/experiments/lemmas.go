@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/skipwebs/skipwebs/internal/core"
+	"github.com/skipwebs/skipwebs/internal/quadtree"
+	"github.com/skipwebs/skipwebs/internal/trapmap"
+	"github.com/skipwebs/skipwebs/internal/trie"
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// HalvingRow is one measurement of a set-halving lemma: the mean and max
+// size of the conflict list C(Q, S) for the terminal range Q of D(T)
+// containing a random query, where T is a random half of S.
+type HalvingRow struct {
+	N        int
+	Mean     float64
+	Max      int
+	Trials   int
+	Workload string
+}
+
+// HalvingReport aggregates one lemma's sweep.
+type HalvingReport struct {
+	Lemma string
+	Bound string
+	Rows  []HalvingRow
+}
+
+// String renders the report.
+func (r *HalvingReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — paper bound: %s\n", r.Lemma, r.Bound)
+	fmt.Fprintf(&b, "%10s %-12s %10s %8s %8s\n", "n", "workload", "E|C(Q,S)|", "max", "trials")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%10d %-12s %10.2f %8d %8d\n", row.N, row.Workload, row.Mean, row.Max, row.Trials)
+	}
+	return b.String()
+}
+
+// LemmaConfig tunes the halving experiments E2–E5.
+type LemmaConfig struct {
+	Sizes  []int
+	Trials int
+	Seed   uint64
+}
+
+// DefaultLemmaConfig is the EXPERIMENTS.md scale.
+func DefaultLemmaConfig() LemmaConfig {
+	return LemmaConfig{Sizes: []int{256, 1024, 4096, 16384, 65536}, Trials: 400, Seed: 2}
+}
+
+// QuickLemmaConfig is a smoke-scale configuration.
+func QuickLemmaConfig() LemmaConfig {
+	return LemmaConfig{Sizes: []int{256, 1024}, Trials: 100, Seed: 2}
+}
+
+// Lemma1 measures the sorted-list halving lemma (E2): E|C(Q,S)| <= 7.
+func Lemma1(cfg LemmaConfig) (*HalvingReport, error) {
+	rep := &HalvingReport{Lemma: "Lemma 1 (sorted lists)", Bound: "E|C(Q,S)| <= 7"}
+	for _, n := range cfg.Sizes {
+		rng := xrand.New(cfg.Seed ^ uint64(n))
+		keys := Keys(rng, n, 1<<40)
+		full, err := core.NewListLevel(keys)
+		if err != nil {
+			return nil, err
+		}
+		half, err := core.NewListLevel(Half(rng, keys))
+		if err != nil {
+			return nil, err
+		}
+		total, max := 0, 0
+		for i := 0; i < cfg.Trials; i++ {
+			q := rng.Uint64n(1 << 40)
+			r := half.Locate(q)
+			// Conflicts of the half-list range [a, b) with the full list:
+			// the full-list ranges covering [a, b) — count by walking.
+			count := 1
+			var until uint64
+			hasUntil := false
+			if nx := half.Next(r); nx != core.NoRange {
+				until, hasUntil = half.Key(nx), true
+			}
+			var fr core.RangeID
+			if half.IsHead(r) {
+				fr = full.Head()
+			} else {
+				var ok bool
+				fr, ok = full.ByKey(half.Key(r))
+				if !ok {
+					return nil, fmt.Errorf("lemma1: key missing from full list")
+				}
+			}
+			for nx := full.Next(fr); nx != core.NoRange; nx = full.Next(nx) {
+				if hasUntil && full.Key(nx) >= until {
+					break
+				}
+				count++
+			}
+			total += count
+			if count > max {
+				max = count
+			}
+		}
+		rep.Rows = append(rep.Rows, HalvingRow{
+			N: n, Mean: float64(total) / float64(cfg.Trials), Max: max,
+			Trials: cfg.Trials, Workload: "uniform",
+		})
+	}
+	return rep, nil
+}
+
+// Lemma3 measures the quadtree halving lemma (E3 / Figure 3) on uniform
+// and adversarially clustered points.
+func Lemma3(cfg LemmaConfig) (*HalvingReport, error) {
+	rep := &HalvingReport{Lemma: "Lemma 3 (compressed quadtrees)", Bound: "E|C(Q,S)| = O(1)"}
+	for _, workload := range []string{"uniform", "clustered"} {
+		for _, n := range cfg.Sizes {
+			rng := xrand.New(cfg.Seed ^ uint64(n) ^ uint64(len(workload)))
+			var pts []quadtree.Point
+			if workload == "uniform" {
+				pts = UniformPoints(rng, 2, n, 1<<30)
+			} else {
+				pts = ClusteredPoints(rng, n)
+			}
+			full, err := quadtree.Build(2, pts)
+			if err != nil {
+				return nil, err
+			}
+			sub, err := quadtree.Build(2, Half(rng, pts))
+			if err != nil {
+				return nil, err
+			}
+			total, max := 0, 0
+			for i := 0; i < cfg.Trials; i++ {
+				q := quadtree.Point{uint32(rng.Uint64n(1 << 30)), uint32(rng.Uint64n(1 << 30))}
+				code, err := sub.Code(q)
+				if err != nil {
+					return nil, err
+				}
+				id, _ := sub.Locate(code)
+				if id == quadtree.NoNode {
+					continue
+				}
+				// The terminal region is the deepest cell of D(T)
+				// containing q minus its children; its conflicts are the
+				// cells of D(S) meeting that region: the anchor chain from
+				// the same cell in D(S) down to q's terminal there.
+				anchor := full.LocateCell(sub.CellOf(id))
+				count := 1
+				cur := anchor
+				for {
+					next := full.StepToward(cur, code)
+					if next == quadtree.NoNode {
+						break
+					}
+					cur = next
+					count++
+				}
+				total += count
+				if count > max {
+					max = count
+				}
+			}
+			rep.Rows = append(rep.Rows, HalvingRow{
+				N: n, Mean: float64(total) / float64(cfg.Trials), Max: max,
+				Trials: cfg.Trials, Workload: workload,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// Lemma4 measures the trie halving lemma (E4) on uniform and
+// shared-prefix adversarial strings.
+func Lemma4(cfg LemmaConfig) (*HalvingReport, error) {
+	rep := &HalvingReport{Lemma: "Lemma 4 (compressed tries)", Bound: "E|C(Q,S)| = O(1)"}
+	for _, workload := range []string{"uniform", "sharedprefix"} {
+		for _, n := range cfg.Sizes {
+			if workload == "sharedprefix" && n > 8192 {
+				// The degenerate keys a, aa, aaa, ... occupy Θ(n²) bytes;
+				// larger sizes add memory pressure without new signal.
+				continue
+			}
+			rng := xrand.New(cfg.Seed ^ uint64(n) ^ uint64(len(workload)))
+			var keys []string
+			if workload == "uniform" {
+				keys = UniformStrings(rng, n, "acgt", 4, 24)
+			} else {
+				keys = SharedPrefixStrings(n)
+			}
+			full, err := trie.Build(keys)
+			if err != nil {
+				return nil, err
+			}
+			sub, err := trie.Build(Half(rng, keys))
+			if err != nil {
+				return nil, err
+			}
+			total, max := 0, 0
+			for i := 0; i < cfg.Trials; i++ {
+				var q string
+				if workload == "uniform" {
+					q = UniformStrings(rng, 1, "acgt", 4, 24)[0]
+				} else {
+					q = strings.Repeat("a", 1+rng.Intn(n+4))
+				}
+				id, _ := sub.Locate(q)
+				anchor := full.LocateLocus(sub.Locus(id))
+				count := 1
+				cur := anchor
+				for {
+					next := full.StepToward(cur, q)
+					if next == trie.NoNode {
+						break
+					}
+					cur = next
+					count++
+				}
+				total += count
+				if count > max {
+					max = count
+				}
+			}
+			rep.Rows = append(rep.Rows, HalvingRow{
+				N: n, Mean: float64(total) / float64(cfg.Trials), Max: max,
+				Trials: cfg.Trials, Workload: workload,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// Lemma5 measures the trapezoidal-map halving lemma (E5 / Figure 4),
+// also verifying the 1 + a + 2b + 3c identity on every sampled face.
+func Lemma5(cfg LemmaConfig) (*HalvingReport, error) {
+	rep := &HalvingReport{Lemma: "Lemma 5 (trapezoidal maps)", Bound: "E|C(t,S)| = O(1); |C| = 1+a+2b+3c"}
+	bounds := trapmap.Rect{MinX: -30000, MinY: -30000, MaxX: 30000, MaxY: 30000}
+	for _, n := range cfg.Sizes {
+		if n > 4096 {
+			continue // O(n^2) construction; larger sizes add nothing
+		}
+		rng := xrand.New(cfg.Seed ^ uint64(n))
+		segs := DisjointSegments(rng, n, bounds)
+		full, err := trapmap.Build(segs, bounds)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := trapmap.Build(Half(rng, segs), bounds)
+		if err != nil {
+			return nil, err
+		}
+		total, max := 0, 0
+		for i := 0; i < cfg.Trials; i++ {
+			q := trapmap.Point{
+				X: bounds.MinX + int64(rng.Uint64n(uint64(bounds.MaxX-bounds.MinX))),
+				Y: bounds.MinY + int64(rng.Uint64n(uint64(bounds.MaxY-bounds.MinY))),
+			}
+			id, err := sub.Locate(q)
+			if err != nil {
+				return nil, err
+			}
+			tr := sub.Trap(id)
+			conflicts := len(full.Conflicts(tr))
+			if identity := full.ConflictStats(tr).Count(); identity != conflicts {
+				return nil, fmt.Errorf("lemma5: identity violated: %d conflicts, 1+a+2b+3c = %d", conflicts, identity)
+			}
+			total += conflicts
+			if conflicts > max {
+				max = conflicts
+			}
+		}
+		rep.Rows = append(rep.Rows, HalvingRow{
+			N: n, Mean: float64(total) / float64(cfg.Trials), Max: max,
+			Trials: cfg.Trials, Workload: "disjoint",
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/skipwebs/skipwebs/internal/bucketskipgraph"
+	"github.com/skipwebs/skipwebs/internal/core"
+	"github.com/skipwebs/skipwebs/internal/detskipnet"
+	"github.com/skipwebs/skipwebs/internal/familytree"
+	"github.com/skipwebs/skipwebs/internal/sim"
+	"github.com/skipwebs/skipwebs/internal/skipgraph"
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// Table1Config tunes experiment E1.
+type Table1Config struct {
+	Sizes   []int // n sweep
+	Queries int   // queries per size
+	Updates int   // inserts per size
+	Seed    uint64
+}
+
+// DefaultTable1Config mirrors the scale used in EXPERIMENTS.md.
+func DefaultTable1Config() Table1Config {
+	return Table1Config{
+		Sizes:   []int{256, 1024, 4096, 16384},
+		Queries: 512,
+		Updates: 256,
+		Seed:    1,
+	}
+}
+
+// QuickTable1Config is a fast smoke-scale configuration.
+func QuickTable1Config() Table1Config {
+	return Table1Config{Sizes: []int{256, 1024}, Queries: 128, Updates: 64, Seed: 1}
+}
+
+// Table1Row is one (method, n) measurement.
+type Table1Row struct {
+	Method     string
+	N          int
+	Hosts      int
+	MeanMem    float64 // per-host storage units
+	MaxMem     int64
+	CongPerOp  float64 // max per-host touches / operations
+	QueryHops  float64
+	UpdateHops float64
+}
+
+// Table1Report holds all rows plus the paper's asymptotic claims.
+type Table1Report struct {
+	Rows []Table1Row
+}
+
+// table1Method abstracts one comparison row.
+type table1Method struct {
+	name   string
+	hosts  func(n int) int
+	paper  string // the paper's (M, C, Q, U) row
+	driver func(net *sim.Network, keys []uint64, seed uint64) (t1Ops, error)
+}
+
+// t1Ops is the uniform search/insert surface.
+type t1Ops struct {
+	search func(q uint64, origin sim.HostID) int
+	insert func(k uint64, origin sim.HostID) (int, error)
+}
+
+func table1Methods() []table1Method {
+	return []table1Method{
+		{
+			name:  "skip graphs/SkipNet",
+			hosts: func(n int) int { return n },
+			paper: "M=O(log n) C=O(log n) Q=~O(log n) U=~O(log n)",
+			driver: func(net *sim.Network, keys []uint64, seed uint64) (t1Ops, error) {
+				g := skipgraph.New(net, seed, false)
+				if err := g.Build(keys); err != nil {
+					return t1Ops{}, err
+				}
+				return t1Ops{
+					search: func(q uint64, o sim.HostID) int { _, _, h := g.Search(q, o); return h },
+					insert: g.Insert,
+				}, nil
+			},
+		},
+		{
+			name:  "NoN skip-graphs",
+			hosts: func(n int) int { return n },
+			paper: "M=O(log^2 n) C=O(log^2 n) Q=~O(log n/loglog n) U=~O(log^2 n)",
+			driver: func(net *sim.Network, keys []uint64, seed uint64) (t1Ops, error) {
+				g := skipgraph.New(net, seed, true)
+				if err := g.Build(keys); err != nil {
+					return t1Ops{}, err
+				}
+				return t1Ops{
+					search: func(q uint64, o sim.HostID) int { _, _, h := g.Search(q, o); return h },
+					insert: g.Insert,
+				}, nil
+			},
+		},
+		{
+			name:  "family trees",
+			hosts: func(n int) int { return n },
+			paper: "M=O(1) C=O(log n) Q=~O(log n) U=~O(log n)",
+			driver: func(net *sim.Network, keys []uint64, seed uint64) (t1Ops, error) {
+				f := familytree.New(net, seed)
+				if err := f.Build(keys); err != nil {
+					return t1Ops{}, err
+				}
+				return t1Ops{
+					search: func(q uint64, o sim.HostID) int { _, _, h := f.Search(q, o); return h },
+					insert: f.Insert,
+				}, nil
+			},
+		},
+		{
+			name:  "deterministic SkipNet",
+			hosts: func(n int) int { return n },
+			paper: "M=O(log n) C=O(log n) Q=O(log n) U=O(log^2 n)",
+			driver: func(net *sim.Network, keys []uint64, seed uint64) (t1Ops, error) {
+				l := detskipnet.New(net)
+				if err := l.Build(keys); err != nil {
+					return t1Ops{}, err
+				}
+				return t1Ops{
+					search: func(q uint64, o sim.HostID) int { _, _, h := l.Search(q, o); return h },
+					insert: l.Insert,
+				}, nil
+			},
+		},
+		{
+			name:  "bucket skip graphs",
+			hosts: func(n int) int { return maxi(n/8, 4) },
+			paper: "M=O(n/H+log H) C=O(n/H+log H) Q=~O(log H) U=~O(log H)",
+			driver: func(net *sim.Network, keys []uint64, seed uint64) (t1Ops, error) {
+				g := bucketskipgraph.New(net, seed, maxi(len(keys)/net.Hosts(), 1))
+				if err := g.Build(keys); err != nil {
+					return t1Ops{}, err
+				}
+				return t1Ops{
+					search: func(q uint64, o sim.HostID) int { _, _, h := g.Search(q, o); return h },
+					insert: g.Insert,
+				}, nil
+			},
+		},
+		{
+			name:  "skip-webs",
+			hosts: func(n int) int { return n },
+			paper: "M=O(log n) C=O(log n) Q=~O(log n/loglog n) U=~O(log n/loglog n)",
+			driver: func(net *sim.Network, keys []uint64, seed uint64) (t1Ops, error) {
+				w, err := core.NewBlockedWeb(net, keys, core.BlockedConfig{Seed: seed})
+				if err != nil {
+					return t1Ops{}, err
+				}
+				return t1Ops{
+					search: func(q uint64, o sim.HostID) int { _, _, h := w.Query(q, o); return h },
+					insert: w.Insert,
+				}, nil
+			},
+		},
+		{
+			name:  "bucket skip-webs",
+			hosts: func(n int) int { return maxi(n/8, 4) },
+			paper: "M=O(n/H+log H) C=O(n/H+log H) Q=~O(log_M H) U=~O(log_M H)",
+			driver: func(net *sim.Network, keys []uint64, seed uint64) (t1Ops, error) {
+				target := maxi(len(keys)/net.Hosts(), 1)
+				w, err := core.NewBucketWeb(net, keys, target, 0, seed)
+				if err != nil {
+					return t1Ops{}, err
+				}
+				return t1Ops{
+					search: func(q uint64, o sim.HostID) int { _, _, h := w.Query(q, o); return h },
+					insert: w.Insert,
+				}, nil
+			},
+		},
+	}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Table1 runs experiment E1: the empirical version of the paper's
+// Table 1 across all seven methods.
+func Table1(cfg Table1Config) (*Table1Report, error) {
+	rep := &Table1Report{}
+	for _, n := range cfg.Sizes {
+		for _, m := range table1Methods() {
+			row, err := runTable1Cell(m, n, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s at n=%d: %w", m.name, n, err)
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+func runTable1Cell(m table1Method, n int, cfg Table1Config) (Table1Row, error) {
+	rng := xrand.New(cfg.Seed ^ uint64(n)*0x9e37)
+	keys := Keys(rng, n+cfg.Updates, 1<<40)
+	build, extra := keys[:n], keys[n:]
+	hosts := m.hosts(n)
+	net := sim.NewNetwork(hosts)
+	ops, err := m.driver(net, build, cfg.Seed)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	memStats := net.Snapshot()
+	net.ResetTraffic()
+
+	qr := rng.Split()
+	queryTotal := 0
+	for i := 0; i < cfg.Queries; i++ {
+		queryTotal += ops.search(qr.Uint64n(1<<40), sim.HostID(qr.Intn(hosts)))
+	}
+	queryStats := net.Snapshot()
+	net.ResetTraffic()
+
+	updateTotal := 0
+	for i, k := range extra {
+		h, err := ops.insert(k, sim.HostID(i%hosts))
+		if err != nil {
+			return Table1Row{}, err
+		}
+		updateTotal += h
+	}
+
+	return Table1Row{
+		Method:     m.name,
+		N:          n,
+		Hosts:      hosts,
+		MeanMem:    memStats.MeanStorage,
+		MaxMem:     memStats.MaxStorage,
+		CongPerOp:  float64(queryStats.MaxCongestion) / float64(maxi(cfg.Queries, 1)),
+		QueryHops:  float64(queryTotal) / float64(maxi(cfg.Queries, 1)),
+		UpdateHops: float64(updateTotal) / float64(maxi(cfg.Updates, 1)),
+	}, nil
+}
+
+// String renders the report in the layout of the paper's Table 1, with
+// measured columns.
+func (r *Table1Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1 (measured): H hosts, per-host memory M, congestion C/op, query Q, update U\n")
+	fmt.Fprintf(&b, "%-22s %8s %8s %10s %10s %8s %8s %8s\n",
+		"method", "n", "H", "meanM", "maxM", "C/op", "Q", "U")
+	cur := -1
+	for _, row := range r.Rows {
+		if row.N != cur {
+			cur = row.N
+			fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 90))
+		}
+		fmt.Fprintf(&b, "%-22s %8d %8d %10.1f %10d %8.2f %8.1f %8.1f\n",
+			row.Method, row.N, row.Hosts, row.MeanMem, row.MaxMem,
+			row.CongPerOp, row.QueryHops, row.UpdateHops)
+	}
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 90))
+	fmt.Fprintf(&b, "paper's asymptotic rows:\n")
+	for _, m := range table1Methods() {
+		fmt.Fprintf(&b, "  %-22s %s\n", m.name, m.paper)
+	}
+	return b.String()
+}
+
+// RatioToLog returns hops / log2(n), the normalization used in the shape
+// checks.
+func RatioToLog(hops float64, n int) float64 {
+	return hops / math.Log2(float64(n))
+}

@@ -1,0 +1,461 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/skipwebs/skipwebs/internal/core"
+	"github.com/skipwebs/skipwebs/internal/quadtree"
+	"github.com/skipwebs/skipwebs/internal/sim"
+	"github.com/skipwebs/skipwebs/internal/trapmap"
+	"github.com/skipwebs/skipwebs/internal/trie"
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// QueryRow is one (structure, workload, n) query-cost measurement.
+type QueryRow struct {
+	Structure string
+	Workload  string
+	N         int
+	Depth     int // underlying ground-structure depth
+	MeanHops  float64
+	MaxHops   int
+	PerLog    float64 // MeanHops / log2 n
+}
+
+// QueryReport aggregates query-cost sweeps.
+type QueryReport struct {
+	Title string
+	Claim string
+	Rows  []QueryRow
+}
+
+// String renders the report.
+func (r *QueryReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.Title, r.Claim)
+	fmt.Fprintf(&b, "%-12s %-12s %8s %8s %10s %8s %10s\n",
+		"structure", "workload", "n", "depth", "meanQ", "maxQ", "Q/log2n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %-12s %8d %8d %10.2f %8d %10.3f\n",
+			row.Structure, row.Workload, row.N, row.Depth, row.MeanHops, row.MaxHops, row.PerLog)
+	}
+	return b.String()
+}
+
+// TheoremConfig tunes E6/E7/E8.
+type TheoremConfig struct {
+	Sizes   []int
+	Queries int
+	Seed    uint64
+}
+
+// DefaultTheoremConfig is the EXPERIMENTS.md scale.
+func DefaultTheoremConfig() TheoremConfig {
+	return TheoremConfig{Sizes: []int{256, 1024, 4096}, Queries: 400, Seed: 3}
+}
+
+// QuickTheoremConfig is a smoke-scale configuration.
+func QuickTheoremConfig() TheoremConfig {
+	return TheoremConfig{Sizes: []int{128, 512}, Queries: 100, Seed: 3}
+}
+
+// Theorem2MultiDim runs E6: query message complexity of the
+// multi-dimensional skip-webs, on uniform and adversarial (linear-depth)
+// inputs, verifying Q(n) = O(log n) regardless of structure depth.
+func Theorem2MultiDim(cfg TheoremConfig) (*QueryReport, error) {
+	rep := &QueryReport{
+		Title: "Theorem 2 (multi-dimensional)",
+		Claim: "Q(n) = O(log n) messages even at structure depth Theta(n)",
+	}
+	for _, n := range cfg.Sizes {
+		// Quadtree web: uniform and clustered.
+		for _, workload := range []string{"uniform", "clustered"} {
+			rng := xrand.New(cfg.Seed ^ uint64(n) ^ uint64(len(workload)))
+			var pts []quadtree.Point
+			if workload == "uniform" {
+				pts = UniformPoints(rng, 2, n, 1<<30)
+			} else {
+				pts = ClusteredPoints(rng, n)
+			}
+			ops := core.NewQuadOps(2)
+			net := sim.NewNetwork(n)
+			w, err := core.NewWeb[*quadtree.Tree, quadtree.Point, uint64](
+				ops, net, pts, core.Config{Seed: cfg.Seed})
+			if err != nil {
+				return nil, err
+			}
+			row := QueryRow{Structure: "quadtree", Workload: workload, N: n,
+				Depth: w.GroundStructure().Depth()}
+			total := 0
+			for i := 0; i < cfg.Queries; i++ {
+				q := quadtree.Point{uint32(rng.Uint64n(1 << 30)), uint32(rng.Uint64n(1 << 30))}
+				code, _ := ops.Code(q)
+				res, err := w.Query(code, sim.HostID(rng.Intn(n)))
+				if err != nil {
+					return nil, err
+				}
+				total += res.Hops
+				if res.Hops > row.MaxHops {
+					row.MaxHops = res.Hops
+				}
+			}
+			row.MeanHops = float64(total) / float64(cfg.Queries)
+			row.PerLog = RatioToLog(row.MeanHops, n)
+			rep.Rows = append(rep.Rows, row)
+		}
+		// Trie web: uniform and shared-prefix.
+		for _, workload := range []string{"uniform", "sharedprefix"} {
+			rng := xrand.New(cfg.Seed ^ uint64(n) ^ 77)
+			var keys []string
+			if workload == "uniform" {
+				keys = UniformStrings(rng, n, "acgt", 4, 24)
+			} else {
+				keys = SharedPrefixStrings(n)
+			}
+			net := sim.NewNetwork(n)
+			w, err := core.NewWeb[*trie.Trie, string, string](
+				core.TrieOps{}, net, keys, core.Config{Seed: cfg.Seed})
+			if err != nil {
+				return nil, err
+			}
+			row := QueryRow{Structure: "trie", Workload: workload, N: n,
+				Depth: w.GroundStructure().Depth()}
+			total := 0
+			for i := 0; i < cfg.Queries; i++ {
+				var q string
+				if workload == "uniform" {
+					q = UniformStrings(rng, 1, "acgt", 4, 24)[0]
+				} else {
+					q = strings.Repeat("a", 1+rng.Intn(n+4))
+				}
+				res, err := w.Query(q, sim.HostID(rng.Intn(n)))
+				if err != nil {
+					return nil, err
+				}
+				total += res.Hops
+				if res.Hops > row.MaxHops {
+					row.MaxHops = res.Hops
+				}
+			}
+			row.MeanHops = float64(total) / float64(cfg.Queries)
+			row.PerLog = RatioToLog(row.MeanHops, n)
+			rep.Rows = append(rep.Rows, row)
+		}
+		// Trapezoidal-map web (O(n^2) build: cap the size).
+		if n <= 2048 {
+			rng := xrand.New(cfg.Seed ^ uint64(n) ^ 99)
+			bounds := trapmap.Rect{MinX: -30000, MinY: -30000, MaxX: 30000, MaxY: 30000}
+			segs := DisjointSegments(rng, n, bounds)
+			net := sim.NewNetwork(n)
+			w, err := core.NewWeb[*trapmap.Map, trapmap.Segment, trapmap.Point](
+				core.TrapOps{Bounds: bounds}, net, segs, core.Config{Seed: cfg.Seed})
+			if err != nil {
+				return nil, err
+			}
+			row := QueryRow{Structure: "trapmap", Workload: "disjoint", N: n}
+			total := 0
+			for i := 0; i < cfg.Queries; i++ {
+				q := trapmap.Point{
+					X: bounds.MinX + int64(rng.Uint64n(uint64(bounds.MaxX-bounds.MinX))),
+					Y: bounds.MinY + int64(rng.Uint64n(uint64(bounds.MaxY-bounds.MinY))),
+				}
+				res, err := w.Query(q, sim.HostID(rng.Intn(n)))
+				if err != nil {
+					return nil, err
+				}
+				total += res.Hops
+				if res.Hops > row.MaxHops {
+					row.MaxHops = res.Hops
+				}
+			}
+			row.MeanHops = float64(total) / float64(cfg.Queries)
+			row.PerLog = RatioToLog(row.MeanHops, n)
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+// BlockingRow is one point of E7: blocked skip-web query cost as a
+// function of M (fixed n) or of n (M = log n).
+type BlockingRow struct {
+	N        int
+	M        int
+	Stratum  int
+	MeanHops float64
+	PerLogN  float64
+	Sweep    string // "M" or "n"
+}
+
+// BlockingReport aggregates E7.
+type BlockingReport struct {
+	Rows []BlockingRow
+}
+
+// String renders the report.
+func (r *BlockingReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Theorem 2 (1-d blocking, Figure 2): Q = O(log n / log M); constant for M = n^eps\n")
+	fmt.Fprintf(&b, "%-6s %8s %8s %8s %10s %10s\n", "sweep", "n", "M", "L", "meanQ", "Q/log2n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-6s %8d %8d %8d %10.2f %10.3f\n",
+			row.Sweep, row.N, row.M, row.Stratum, row.MeanHops, row.PerLogN)
+	}
+	return b.String()
+}
+
+// Theorem2Blocking runs E7: the M sweep at fixed n and the n sweep at
+// M = log n.
+func Theorem2Blocking(cfg TheoremConfig) (*BlockingReport, error) {
+	rep := &BlockingReport{}
+	// M sweep at the largest configured n.
+	n := cfg.Sizes[len(cfg.Sizes)-1] * 2
+	rng := xrand.New(cfg.Seed)
+	keys := Keys(rng, n, 1<<50)
+	for _, m := range []int{4, 8, 16, 64, 256, 1024} {
+		net := sim.NewNetwork(n)
+		w, err := core.NewBlockedWeb(net, keys, core.BlockedConfig{Seed: cfg.Seed, M: m})
+		if err != nil {
+			return nil, err
+		}
+		mean, err := meanBlockedHops(w, n, cfg.Queries, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, BlockingRow{
+			N: n, M: m, Stratum: w.StratumHeight(),
+			MeanHops: mean, PerLogN: RatioToLog(mean, n), Sweep: "M",
+		})
+	}
+	// n sweep at default M = ceil(log2 n)+1.
+	for _, n := range cfg.Sizes {
+		rng := xrand.New(cfg.Seed ^ uint64(n))
+		keys := Keys(rng, n, 1<<50)
+		net := sim.NewNetwork(n)
+		w, err := core.NewBlockedWeb(net, keys, core.BlockedConfig{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		mean, err := meanBlockedHops(w, n, cfg.Queries, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, BlockingRow{
+			N: n, M: w.M(), Stratum: w.StratumHeight(),
+			MeanHops: mean, PerLogN: RatioToLog(mean, n), Sweep: "n",
+		})
+	}
+	return rep, nil
+}
+
+func meanBlockedHops(w *core.BlockedWeb, hosts, queries int, rng *xrand.Rand) (float64, error) {
+	total := 0
+	for i := 0; i < queries; i++ {
+		_, _, hops := w.Query(rng.Uint64n(1<<50), sim.HostID(rng.Intn(hosts)))
+		total += hops
+	}
+	return float64(total) / float64(queries), nil
+}
+
+// UpdateRow is one point of E8.
+type UpdateRow struct {
+	Structure string
+	N         int
+	MeanHops  float64
+	PerLog    float64
+}
+
+// UpdateReport aggregates E8.
+type UpdateReport struct {
+	Rows []UpdateRow
+}
+
+// String renders the report.
+func (r *UpdateReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 4 (updates): U = O(log n) multi-d, O(log n / loglog n) 1-d\n")
+	fmt.Fprintf(&b, "%-12s %8s %10s %10s\n", "structure", "n", "meanU", "U/log2n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %8d %10.2f %10.3f\n", row.Structure, row.N, row.MeanHops, row.PerLog)
+	}
+	return b.String()
+}
+
+// Updates runs E8: insertion message complexity per structure.
+func Updates(cfg TheoremConfig) (*UpdateReport, error) {
+	rep := &UpdateReport{}
+	updates := cfg.Queries / 2
+	if updates < 16 {
+		updates = 16
+	}
+	for _, n := range cfg.Sizes {
+		// Blocked 1-d web.
+		rng := xrand.New(cfg.Seed ^ uint64(n))
+		keys := Keys(rng, n+updates, 1<<50)
+		net := sim.NewNetwork(n)
+		w1, err := core.NewBlockedWeb(net, keys[:n], core.BlockedConfig{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		total := 0
+		for i, k := range keys[n:] {
+			h, err := w1.Insert(k, sim.HostID(i%n))
+			if err != nil {
+				return nil, err
+			}
+			total += h
+		}
+		mean := float64(total) / float64(updates)
+		rep.Rows = append(rep.Rows, UpdateRow{Structure: "1-d blocked", N: n,
+			MeanHops: mean, PerLog: RatioToLog(mean, n)})
+
+		// Quadtree web.
+		pts := UniformPoints(rng, 2, n+updates, 1<<30)
+		net2 := sim.NewNetwork(n)
+		ops := core.NewQuadOps(2)
+		w2, err := core.NewWeb[*quadtree.Tree, quadtree.Point, uint64](
+			ops, net2, pts[:n], core.Config{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		total = 0
+		for i, p := range pts[n:] {
+			h, err := w2.Insert(p, sim.HostID(i%n))
+			if err != nil {
+				return nil, err
+			}
+			total += h
+		}
+		mean = float64(total) / float64(updates)
+		rep.Rows = append(rep.Rows, UpdateRow{Structure: "quadtree", N: n,
+			MeanHops: mean, PerLog: RatioToLog(mean, n)})
+
+		// Trie web.
+		strs := UniformStrings(rng, n+updates, "acgt", 6, 24)
+		net3 := sim.NewNetwork(n)
+		w3, err := core.NewWeb[*trie.Trie, string, string](
+			core.TrieOps{}, net3, strs[:n], core.Config{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		total = 0
+		for i, s := range strs[n:] {
+			h, err := w3.Insert(s, sim.HostID(i%n))
+			if err != nil {
+				return nil, err
+			}
+			total += h
+		}
+		mean = float64(total) / float64(updates)
+		rep.Rows = append(rep.Rows, UpdateRow{Structure: "trie", N: n,
+			MeanHops: mean, PerLog: RatioToLog(mean, n)})
+	}
+	return rep, nil
+}
+
+// CongestionRow is one point of E9.
+type CongestionRow struct {
+	Structure   string
+	N           int
+	MaxPerOp    float64 // max per-host touches / queries
+	MeanPerOp   float64
+	MaxStorage  int64
+	MeanStorage float64
+}
+
+// CongestionReport aggregates E9.
+type CongestionReport struct {
+	Rows []CongestionRow
+}
+
+// String renders the report.
+func (r *CongestionReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Congestion / load balance (Section 1.1): C(n) = O(log n) per host\n")
+	fmt.Fprintf(&b, "%-12s %8s %12s %12s %10s %10s\n",
+		"structure", "n", "maxC/op", "meanC/op", "maxMem", "meanMem")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %8d %12.3f %12.3f %10d %10.1f\n",
+			row.Structure, row.N, row.MaxPerOp, row.MeanPerOp, row.MaxStorage, row.MeanStorage)
+	}
+	return b.String()
+}
+
+// Congestion runs E9: per-host load under a uniform query mix on the
+// blocked 1-d web and the quadtree web.
+func Congestion(cfg TheoremConfig) (*CongestionReport, error) {
+	rep := &CongestionReport{}
+	queries := cfg.Queries * 4
+	for _, n := range cfg.Sizes {
+		rng := xrand.New(cfg.Seed ^ uint64(n))
+		keys := Keys(rng, n, 1<<50)
+		net := sim.NewNetwork(n)
+		w, err := core.NewBlockedWeb(net, keys, core.BlockedConfig{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		mem := net.Snapshot()
+		net.ResetTraffic()
+		for i := 0; i < queries; i++ {
+			w.Query(rng.Uint64n(1<<50), sim.HostID(rng.Intn(n)))
+		}
+		s := net.Snapshot()
+		rep.Rows = append(rep.Rows, CongestionRow{
+			Structure: "1-d blocked", N: n,
+			MaxPerOp:    float64(s.MaxCongestion) / float64(queries),
+			MeanPerOp:   s.MeanCongestion / float64(queries),
+			MaxStorage:  mem.MaxStorage,
+			MeanStorage: mem.MeanStorage,
+		})
+
+		pts := UniformPoints(rng, 2, n, 1<<30)
+		net2 := sim.NewNetwork(n)
+		ops := core.NewQuadOps(2)
+		w2, err := core.NewWeb[*quadtree.Tree, quadtree.Point, uint64](
+			ops, net2, pts, core.Config{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		mem = net2.Snapshot()
+		net2.ResetTraffic()
+		for i := 0; i < queries; i++ {
+			q := quadtree.Point{uint32(rng.Uint64n(1 << 30)), uint32(rng.Uint64n(1 << 30))}
+			code, _ := ops.Code(q)
+			if _, err := w2.Query(code, sim.HostID(rng.Intn(n))); err != nil {
+				return nil, err
+			}
+		}
+		s = net2.Snapshot()
+		rep.Rows = append(rep.Rows, CongestionRow{
+			Structure: "quadtree", N: n,
+			MaxPerOp:    float64(s.MaxCongestion) / float64(queries),
+			MeanPerOp:   s.MeanCongestion / float64(queries),
+			MaxStorage:  mem.MaxStorage,
+			MeanStorage: mem.MeanStorage,
+		})
+	}
+	return rep, nil
+}
+
+// SubLogCheck quantifies the Q/log2(n) trend of a series: negative slope
+// means sub-logarithmic growth (used by tests and EXPERIMENTS.md).
+func SubLogCheck(rows []BlockingRow) float64 {
+	var first, last float64
+	seen := false
+	for _, r := range rows {
+		if r.Sweep != "n" {
+			continue
+		}
+		if !seen {
+			first = r.PerLogN
+			seen = true
+		}
+		last = r.PerLogN
+	}
+	if !seen || first == 0 {
+		return math.NaN()
+	}
+	return last / first
+}

@@ -1,0 +1,175 @@
+// Package experiments regenerates every table and figure of the
+// skip-webs paper (Arge, Eppstein, Goodrich, PODC 2005) on the
+// message-counting simulator. Each experiment returns structured rows
+// plus a formatted report; cmd/skipweb-bench drives them and
+// EXPERIMENTS.md records paper-vs-measured outcomes.
+package experiments
+
+import (
+	"strings"
+
+	"github.com/skipwebs/skipwebs/internal/quadtree"
+	"github.com/skipwebs/skipwebs/internal/trapmap"
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// Keys generates n distinct uint64 keys below bound.
+func Keys(rng *xrand.Rand, n int, bound uint64) []uint64 {
+	seen := make(map[uint64]bool, n)
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		k := rng.Uint64n(bound)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// UniformPoints generates n distinct d-dimensional points with
+// coordinates below bound.
+func UniformPoints(rng *xrand.Rand, d, n int, bound uint64) []quadtree.Point {
+	proto := quadtree.New(d)
+	seen := make(map[uint64]bool, n)
+	out := make([]quadtree.Point, 0, n)
+	for len(out) < n {
+		p := make(quadtree.Point, d)
+		for i := range p {
+			p[i] = uint32(rng.Uint64n(bound))
+		}
+		c, err := proto.Code(p)
+		if err != nil {
+			panic(err)
+		}
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ClusteredPoints generates n points in nested pairs at exponentially
+// shrinking separation: the compressed quadtree over them has depth
+// Θ(n) — the adversarial regime of Section 3.1. Requires n even and
+// n/2 <= 29 nesting levels times any number of repetitions; extra points
+// are placed uniformly.
+func ClusteredPoints(rng *xrand.Rand, n int) []quadtree.Point {
+	var pts []quadtree.Point
+	step := uint32(1) << 29
+	var base uint32
+	for len(pts)+2 <= n && step > 1 {
+		pts = append(pts, quadtree.Point{base + step, base + step})
+		pts = append(pts, quadtree.Point{base + step + 1, base + step + 1})
+		step >>= 1
+	}
+	// Fill the remainder with uniform points (dedup against existing).
+	proto := quadtree.New(2)
+	seen := make(map[uint64]bool, n)
+	for _, p := range pts {
+		c, _ := proto.Code(p)
+		seen[c] = true
+	}
+	for len(pts) < n {
+		p := quadtree.Point{uint32(rng.Uint64n(1 << 30)), uint32(rng.Uint64n(1 << 30))}
+		c, _ := proto.Code(p)
+		if !seen[c] {
+			seen[c] = true
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+// UniformStrings generates n distinct strings over alphabet with lengths
+// in [minLen, maxLen].
+func UniformStrings(rng *xrand.Rand, n int, alphabet string, minLen, maxLen int) []string {
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		l := minLen + rng.Intn(maxLen-minLen+1)
+		var b strings.Builder
+		for i := 0; i < l; i++ {
+			b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		s := b.String()
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SharedPrefixStrings generates the degenerate keys a, aa, aaa, ... whose
+// compressed trie is a path of depth n (Section 3.2's adversarial case).
+func SharedPrefixStrings(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = strings.Repeat("a", i+1)
+	}
+	return out
+}
+
+// DisjointSegments generates n pairwise-disjoint segments with distinct
+// endpoint x coordinates inside bounds, by rejection sampling.
+func DisjointSegments(rng *xrand.Rand, n int, bounds trapmap.Rect) []trapmap.Segment {
+	usedX := map[int64]bool{}
+	var out []trapmap.Segment
+	w := bounds.MaxX - bounds.MinX
+	h := bounds.MaxY - bounds.MinY
+	for len(out) < n {
+		x1 := bounds.MinX + 1 + int64(rng.Uint64n(uint64(w-2)))
+		x2 := x1 + 1 + int64(rng.Uint64n(uint64(w)/8+1))
+		if x2 >= bounds.MaxX || usedX[x1] || usedX[x2] {
+			continue
+		}
+		y1 := bounds.MinY + 1 + int64(rng.Uint64n(uint64(h-2)))
+		y2 := bounds.MinY + 1 + int64(rng.Uint64n(uint64(h-2)))
+		s := trapmap.Segment{A: trapmap.Point{X: x1, Y: y1}, B: trapmap.Point{X: x2, Y: y2}}
+		ok := true
+		for _, t := range out {
+			if SegmentsIntersect(s, t) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		usedX[x1] = true
+		usedX[x2] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+// SegmentsIntersect is an exact segment-intersection predicate (shared
+// with the rejection sampler; Build re-validates).
+func SegmentsIntersect(a, b trapmap.Segment) bool {
+	o := func(s trapmap.Segment, p trapmap.Point) int64 {
+		return (s.B.X-s.A.X)*(p.Y-s.A.Y) - (s.B.Y-s.A.Y)*(p.X-s.A.X)
+	}
+	o1, o2 := o(a, b.A), o(a, b.B)
+	o3, o4 := o(b, a.A), o(b, a.B)
+	if ((o1 > 0) != (o2 > 0)) && ((o3 > 0) != (o4 > 0)) && o1 != 0 && o2 != 0 && o3 != 0 && o4 != 0 {
+		return true
+	}
+	return o1 == 0 || o2 == 0 || o3 == 0 || o4 == 0
+}
+
+// Half selects each element independently with probability 1/2 (the
+// halving step of Section 2.2).
+func Half[T any](rng *xrand.Rand, items []T) []T {
+	var out []T
+	for _, x := range items {
+		if rng.Bool() {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// newRng is a tiny helper so tests do not import xrand directly.
+func newRng(seed uint64) *xrand.Rand { return xrand.New(seed) }

@@ -1,0 +1,437 @@
+// Package familytree implements a constant-degree distributed ordered
+// dictionary standing in for the family trees of Zatloukal and Harvey
+// (SODA 2004), the O(1)-memory row of Table 1 in the skip-webs paper.
+//
+// Substitution note (see DESIGN.md): the full family-tree construction is
+// replaced by a randomized treap overlay with finger search. Each key
+// lives on its own host and stores O(1) state: parent, two children, and
+// its subtree's key interval. Searches start at the originating host's
+// own node, climb while the target lies outside the local subtree
+// interval, and descend — expected O(log n) messages. Inserts and deletes
+// are treap rotations, expected O(log n) messages. This reproduces the
+// (H, M, C, Q, U) = (n, O(1), O(log n), Õ(log n), Õ(log n)) profile the
+// paper quotes for family trees, which is all Table 1 compares.
+package familytree
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/skipwebs/skipwebs/internal/sim"
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// Tree is the constant-degree overlay. The zero value is not usable;
+// construct with New.
+type Tree struct {
+	net   *sim.Network
+	rng   *xrand.Rand
+	nodes map[uint64]*tnode
+	keys  []uint64 // sorted, for deterministic origin sampling
+	root  *tnode
+	seq   int
+}
+
+type tnode struct {
+	key      uint64
+	prio     uint64
+	host     sim.HostID
+	parent   *tnode
+	left     *tnode
+	right    *tnode
+	min, max uint64 // subtree key interval, maintained under rotations
+}
+
+// storageUnits is the O(1) per-host footprint: key, priority, 3 pointers,
+// 2 interval bounds.
+const storageUnits = 7
+
+// New creates an empty overlay on net's hosts.
+func New(net *sim.Network, seed uint64) *Tree {
+	// The seed is salted so that a caller seeding its workload generator
+	// identically cannot correlate keys with treap priorities.
+	return &Tree{net: net, rng: xrand.New(seed ^ 0xfa317a5), nodes: make(map[uint64]*tnode)}
+}
+
+// Len returns the number of keys.
+func (t *Tree) Len() int { return len(t.nodes) }
+
+func (t *Tree) nextHost() sim.HostID {
+	h := sim.HostID(t.seq % t.net.Hosts())
+	t.seq++
+	return h
+}
+
+// Build constructs the overlay over keys without routing messages.
+func (t *Tree) Build(keys []uint64) error {
+	for _, k := range keys {
+		if _, ok := t.nodes[k]; ok {
+			return fmt.Errorf("familytree: duplicate key %d", k)
+		}
+		n := &tnode{key: k, prio: t.rng.Uint64(), host: t.nextHost(), min: k, max: k}
+		t.nodes[k] = n
+		t.addKey(k)
+		t.net.AddStorage(n.host, storageUnits)
+		t.bstInsert(n, nil)
+	}
+	return nil
+}
+
+// originFor picks the node whose search begins at the given host.
+func (t *Tree) originFor(origin sim.HostID) *tnode {
+	if len(t.keys) == 0 {
+		return nil
+	}
+	return t.nodes[t.keys[int(origin)%len(t.keys)]]
+}
+
+func (t *Tree) addKey(k uint64) {
+	i := sort.Search(len(t.keys), func(i int) bool { return t.keys[i] >= k })
+	t.keys = append(t.keys, 0)
+	copy(t.keys[i+1:], t.keys[i:])
+	t.keys[i] = k
+}
+
+func (t *Tree) dropKey(k uint64) {
+	i := sort.Search(len(t.keys), func(i int) bool { return t.keys[i] >= k })
+	if i < len(t.keys) && t.keys[i] == k {
+		t.keys = append(t.keys[:i], t.keys[i+1:]...)
+	}
+}
+
+// Search performs a floor query from the originating host's node: climb
+// while the target is outside the current subtree interval, then descend.
+func (t *Tree) Search(target uint64, origin sim.HostID) (uint64, bool, int) {
+	start := t.originFor(origin)
+	if start == nil {
+		return 0, false, 0
+	}
+	op := t.net.NewOp(start.host)
+	cur := start
+	for cur.parent != nil && (target < cur.min || target > cur.max) {
+		cur = cur.parent
+		op.Visit(cur.host)
+	}
+	// Descend tracking the best floor seen.
+	var best *tnode
+	for cur != nil {
+		if cur.key == target {
+			best = cur
+			break
+		}
+		if cur.key < target {
+			if best == nil || cur.key > best.key {
+				best = cur
+			}
+			cur = cur.right
+		} else {
+			cur = cur.left
+		}
+		if cur != nil {
+			op.Visit(cur.host)
+		}
+	}
+	if best == nil {
+		return 0, false, op.Hops()
+	}
+	return best.key, true, op.Hops()
+}
+
+// Insert routes from the originating host, splices the key in as a BST
+// leaf, and rotates it to its treap position.
+func (t *Tree) Insert(key uint64, origin sim.HostID) (int, error) {
+	if _, ok := t.nodes[key]; ok {
+		return 0, fmt.Errorf("familytree: duplicate key %d", key)
+	}
+	n := &tnode{key: key, prio: t.rng.Uint64(), host: t.nextHost(), min: key, max: key}
+	if t.root == nil {
+		t.root = n
+		t.nodes[key] = n
+		t.addKey(key)
+		t.net.AddStorage(n.host, storageUnits)
+		return 0, nil
+	}
+	start := t.originFor(origin)
+	op := t.net.NewOp(start.host)
+	// Climb to cover the key, then descend to the attach point.
+	cur := start
+	for cur.parent != nil && (key < cur.min || key > cur.max) {
+		cur = cur.parent
+		op.Visit(cur.host)
+	}
+	for {
+		if key < cur.key {
+			if cur.left == nil {
+				cur.left = n
+				break
+			}
+			cur = cur.left
+		} else {
+			if cur.right == nil {
+				cur.right = n
+				break
+			}
+			cur = cur.right
+		}
+		op.Visit(cur.host)
+	}
+	n.parent = cur
+	op.Send(cur.host)
+	t.nodes[key] = n
+	t.addKey(key)
+	t.net.AddStorage(n.host, storageUnits)
+	t.fixIntervalsUp(cur, op)
+	// Rotate up while the heap property is violated.
+	for n.parent != nil && n.prio > n.parent.prio {
+		t.rotateUp(n, op)
+	}
+	return op.Hops(), nil
+}
+
+// Delete routes to the key, rotates it down to a leaf, and unlinks it.
+func (t *Tree) Delete(key uint64, origin sim.HostID) (int, error) {
+	n, ok := t.nodes[key]
+	if !ok {
+		return 0, fmt.Errorf("familytree: key %d not found", key)
+	}
+	start := t.originFor(origin)
+	op := t.net.NewOp(start.host)
+	cur := start
+	for cur.parent != nil && (key < cur.min || key > cur.max) {
+		cur = cur.parent
+		op.Visit(cur.host)
+	}
+	for cur != nil && cur.key != key {
+		if key < cur.key {
+			cur = cur.left
+		} else {
+			cur = cur.right
+		}
+		if cur != nil {
+			op.Visit(cur.host)
+		}
+	}
+	for n.left != nil || n.right != nil {
+		// Rotate the higher-priority child above n.
+		c := n.left
+		if c == nil || (n.right != nil && n.right.prio > c.prio) {
+			c = n.right
+		}
+		t.rotateUp(c, op)
+	}
+	p := n.parent
+	if p == nil {
+		t.root = nil
+	} else {
+		if p.left == n {
+			p.left = nil
+		} else {
+			p.right = nil
+		}
+		op.Send(p.host)
+		t.fixIntervalsUp(p, op)
+	}
+	delete(t.nodes, key)
+	t.dropKey(key)
+	t.net.AddStorage(n.host, -storageUnits)
+	return op.Hops(), nil
+}
+
+// rotateUp rotates n above its parent, charging one message per pointer
+// owner touched, and fixes the two nodes' intervals.
+func (t *Tree) rotateUp(n *tnode, op *sim.Op) {
+	p := n.parent
+	gp := p.parent
+	if p.left == n {
+		p.left = n.right
+		if n.right != nil {
+			n.right.parent = p
+			op.Send(n.right.host)
+		}
+		n.right = p
+	} else {
+		p.right = n.left
+		if n.left != nil {
+			n.left.parent = p
+			op.Send(n.left.host)
+		}
+		n.left = p
+	}
+	p.parent = n
+	n.parent = gp
+	if gp == nil {
+		t.root = n
+	} else {
+		if gp.left == p {
+			gp.left = n
+		} else {
+			gp.right = n
+		}
+		op.Send(gp.host)
+	}
+	op.Send(p.host)
+	op.Send(n.host)
+	t.refreshInterval(p)
+	t.refreshInterval(n)
+}
+
+func (t *Tree) refreshInterval(n *tnode) {
+	n.min, n.max = n.key, n.key
+	if n.left != nil {
+		if n.left.min < n.min {
+			n.min = n.left.min
+		}
+		if n.left.max > n.max {
+			n.max = n.left.max
+		}
+	}
+	if n.right != nil {
+		if n.right.min < n.min {
+			n.min = n.right.min
+		}
+		if n.right.max > n.max {
+			n.max = n.right.max
+		}
+	}
+}
+
+// fixIntervalsUp refreshes intervals from n to the root, charging one
+// message per host whose stored interval changes.
+func (t *Tree) fixIntervalsUp(n *tnode, op *sim.Op) {
+	for cur := n; cur != nil; cur = cur.parent {
+		oldMin, oldMax := cur.min, cur.max
+		t.refreshInterval(cur)
+		if cur.min == oldMin && cur.max == oldMax {
+			break
+		}
+		op.Send(cur.host)
+	}
+}
+
+// bstInsert attaches n below the root without message accounting (build).
+func (t *Tree) bstInsert(n *tnode, _ *tnode) {
+	if t.root == nil {
+		t.root = n
+		return
+	}
+	cur := t.root
+	for {
+		if n.key < cur.key {
+			if cur.left == nil {
+				cur.left = n
+				break
+			}
+			cur = cur.left
+		} else {
+			if cur.right == nil {
+				cur.right = n
+				break
+			}
+			cur = cur.right
+		}
+	}
+	n.parent = cur
+	for n.parent != nil && n.prio > n.parent.prio {
+		t.rotateUpSilent(n)
+	}
+	for cur := n.parent; cur != nil; cur = cur.parent {
+		t.refreshInterval(cur)
+	}
+	t.refreshInterval(n)
+}
+
+func (t *Tree) rotateUpSilent(n *tnode) {
+	p := n.parent
+	gp := p.parent
+	if p.left == n {
+		p.left = n.right
+		if n.right != nil {
+			n.right.parent = p
+		}
+		n.right = p
+	} else {
+		p.right = n.left
+		if n.left != nil {
+			n.left.parent = p
+		}
+		n.left = p
+	}
+	p.parent = n
+	n.parent = gp
+	if gp == nil {
+		t.root = n
+	} else if gp.left == p {
+		gp.left = n
+	} else {
+		gp.right = n
+	}
+	t.refreshInterval(p)
+	t.refreshInterval(n)
+}
+
+// Depth returns the tree height (for sanity checks).
+func (t *Tree) Depth() int {
+	var rec func(*tnode) int
+	rec = func(n *tnode) int {
+		if n == nil {
+			return 0
+		}
+		l, r := rec(n.left), rec(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return rec(t.root)
+}
+
+// CheckInvariants verifies BST order, heap order on priorities, parent
+// pointers, and interval correctness.
+func (t *Tree) CheckInvariants() error {
+	count := 0
+	var rec func(n *tnode, lo, hi uint64, hasLo, hasHi bool) error
+	rec = func(n *tnode, lo, hi uint64, hasLo, hasHi bool) error {
+		if n == nil {
+			return nil
+		}
+		count++
+		if hasLo && n.key <= lo {
+			return fmt.Errorf("familytree: BST order violated at %d", n.key)
+		}
+		if hasHi && n.key >= hi {
+			return fmt.Errorf("familytree: BST order violated at %d", n.key)
+		}
+		min, max := n.key, n.key
+		for _, c := range []*tnode{n.left, n.right} {
+			if c == nil {
+				continue
+			}
+			if c.parent != n {
+				return fmt.Errorf("familytree: parent pointer broken at %d", c.key)
+			}
+			if c.prio > n.prio {
+				return fmt.Errorf("familytree: heap order violated at %d", c.key)
+			}
+			if c.min < min {
+				min = c.min
+			}
+			if c.max > max {
+				max = c.max
+			}
+		}
+		if n.min != min || n.max != max {
+			return fmt.Errorf("familytree: interval stale at %d: [%d,%d] want [%d,%d]", n.key, n.min, n.max, min, max)
+		}
+		if err := rec(n.left, lo, n.key, hasLo, true); err != nil {
+			return err
+		}
+		return rec(n.right, n.key, hi, true, hasHi)
+	}
+	if err := rec(t.root, 0, 0, false, false); err != nil {
+		return err
+	}
+	if count != len(t.nodes) {
+		return fmt.Errorf("familytree: %d reachable nodes, %d registered", count, len(t.nodes))
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package familytree
+
+import (
+	"math"
+	"testing"
+
+	"github.com/skipwebs/skipwebs/internal/sim"
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+func distinctKeys(rng *xrand.Rand, n int) []uint64 {
+	seen := map[uint64]bool{}
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		k := rng.Uint64n(1 << 40)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func bruteFloor(keys []uint64, q uint64) (uint64, bool) {
+	best, ok := uint64(0), false
+	for _, k := range keys {
+		if k <= q && (!ok || k > best) {
+			best, ok = k, true
+		}
+	}
+	return best, ok
+}
+
+func TestBuildInvariants(t *testing.T) {
+	rng := xrand.New(1)
+	net := sim.NewNetwork(512)
+	tr := New(net, 1)
+	if err := tr.Build(distinctKeys(rng, 512)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := xrand.New(2)
+	keys := distinctKeys(rng, 400)
+	net := sim.NewNetwork(400)
+	tr := New(net, 2)
+	if err := tr.Build(keys); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1500; i++ {
+		q := rng.Uint64n(1 << 41)
+		got, ok, _ := tr.Search(q, sim.HostID(rng.Intn(400)))
+		want, wok := bruteFloor(keys, q)
+		if ok != wok || (ok && got != want) {
+			t.Fatalf("query %d: got %d,%v want %d,%v", q, got, ok, want, wok)
+		}
+	}
+}
+
+func TestSearchHopsLogarithmic(t *testing.T) {
+	rng := xrand.New(3)
+	var ratios []float64
+	for _, n := range []int{512, 2048, 8192} {
+		keys := distinctKeys(rng.Split(), n)
+		net := sim.NewNetwork(n)
+		tr := New(net, uint64(n))
+		if err := tr.Build(keys); err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		const queries = 300
+		qr := rng.Split()
+		for i := 0; i < queries; i++ {
+			_, _, hops := tr.Search(qr.Uint64n(1<<40), sim.HostID(qr.Intn(n)))
+			total += hops
+		}
+		ratios = append(ratios, float64(total)/queries/math.Log2(float64(n)))
+	}
+	if ratios[2] > ratios[0]*1.6 {
+		t.Fatalf("hops grow faster than log n: %v", ratios)
+	}
+}
+
+func TestConstantMemoryPerHost(t *testing.T) {
+	rng := xrand.New(4)
+	for _, n := range []int{512, 4096} {
+		net := sim.NewNetwork(n)
+		tr := New(net, uint64(n))
+		if err := tr.Build(distinctKeys(rng.Split(), n)); err != nil {
+			t.Fatal(err)
+		}
+		s := net.Snapshot()
+		if s.MaxStorage != storageUnits {
+			t.Fatalf("n=%d: max storage %d, want constant %d", n, s.MaxStorage, storageUnits)
+		}
+	}
+}
+
+func TestInsertDeleteChurn(t *testing.T) {
+	rng := xrand.New(5)
+	keys := distinctKeys(rng, 600)
+	net := sim.NewNetwork(1024)
+	tr := New(net, 5)
+	if err := tr.Build(keys[:300]); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys[300:] {
+		if _, err := tr.Insert(k, sim.HostID(i%300)); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+		if i%60 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after insert %d: %v", i, err)
+			}
+		}
+	}
+	for i := 0; i < 300; i += 2 {
+		if _, err := tr.Delete(keys[i], sim.HostID(i%256)); err != nil {
+			t.Fatalf("delete %d: %v", keys[i], err)
+		}
+		if i%60 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after delete %d: %v", i, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var live []uint64
+	for i := 1; i < 300; i += 2 {
+		live = append(live, keys[i])
+	}
+	live = append(live, keys[300:]...)
+	qr := xrand.New(6)
+	for i := 0; i < 600; i++ {
+		q := qr.Uint64n(1 << 41)
+		got, ok, _ := tr.Search(q, sim.HostID(qr.Intn(600)))
+		want, wok := bruteFloor(live, q)
+		if ok != wok || (ok && got != want) {
+			t.Fatalf("after churn: query %d got %d,%v want %d,%v", q, got, ok, want, wok)
+		}
+	}
+}
+
+func TestDepthLogarithmic(t *testing.T) {
+	rng := xrand.New(7)
+	net := sim.NewNetwork(8192)
+	tr := New(net, 7)
+	if err := tr.Build(distinctKeys(rng, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	if d := tr.Depth(); d < 13 || d > 60 {
+		t.Fatalf("depth %d for n=8192", d)
+	}
+}
+
+func TestDuplicatesAndMissing(t *testing.T) {
+	net := sim.NewNetwork(4)
+	tr := New(net, 8)
+	if err := tr.Build([]uint64{10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Insert(10, 0); err == nil {
+		t.Fatal("duplicate insert accepted")
+	}
+	if _, err := tr.Delete(99, 0); err == nil {
+		t.Fatal("missing delete accepted")
+	}
+	if err := tr.Build([]uint64{10}); err == nil {
+		t.Fatal("duplicate build accepted")
+	}
+}
+
+func TestDrainToEmpty(t *testing.T) {
+	rng := xrand.New(9)
+	keys := distinctKeys(rng, 64)
+	net := sim.NewNetwork(64)
+	tr := New(net, 9)
+	if err := tr.Build(keys); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if _, err := tr.Delete(k, 0); err != nil {
+			t.Fatalf("delete %d: %v", k, err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len %d after drain", tr.Len())
+	}
+	if _, ok, _ := tr.Search(5, 0); ok {
+		t.Fatal("search on empty returned ok")
+	}
+	if _, err := tr.Insert(42, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := tr.Search(42, 0); !ok || got != 42 {
+		t.Fatal("reuse after drain failed")
+	}
+}

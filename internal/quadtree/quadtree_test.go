@@ -1,0 +1,449 @@
+package quadtree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+func randPoints(rng *xrand.Rand, d, n int, coordRange uint32) []Point {
+	seen := map[uint64]bool{}
+	t := New(d)
+	pts := make([]Point, 0, n)
+	for len(pts) < n {
+		p := make(Point, d)
+		for i := range p {
+			p[i] = uint32(rng.Uint64n(uint64(coordRange)))
+		}
+		c, err := t.Code(p)
+		if err != nil {
+			panic(err)
+		}
+		if !seen[c] {
+			seen[c] = true
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func TestNewPanicsOnBadDim(t *testing.T) {
+	for _, d := range []int{0, 1, 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", d)
+				}
+			}()
+			New(d)
+		}()
+	}
+}
+
+func TestBuildEmptyAndSingle(t *testing.T) {
+	tr, err := Build(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root() != NoNode || tr.Len() != 0 {
+		t.Fatal("empty tree malformed")
+	}
+	tr, err = Build(2, []Point{{5, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 {
+		t.Fatal("single-point tree wrong len")
+	}
+	if c := tr.CellOf(tr.Root()); c.PLen != 0 {
+		t.Fatalf("root not universal: %+v", c)
+	}
+	kids := tr.Children(tr.Root())
+	if len(kids) != 1 || !tr.IsLeaf(kids[0]) {
+		t.Fatal("single-point tree malformed")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildRejectsDuplicates(t *testing.T) {
+	if _, err := Build(2, []Point{{1, 2}, {1, 2}}); err == nil {
+		t.Fatal("duplicate points accepted")
+	}
+}
+
+func TestBuildRejectsBadPoints(t *testing.T) {
+	if _, err := Build(2, []Point{{1, 2, 3}}); err == nil {
+		t.Fatal("wrong-dimension point accepted")
+	}
+	if _, err := Build(2, []Point{{1 << 31, 2}}); err == nil {
+		t.Fatal("out-of-range coordinate accepted")
+	}
+}
+
+func TestBuildInvariantsRandom(t *testing.T) {
+	rng := xrand.New(1)
+	for _, d := range []int{2, 3} {
+		for _, n := range []int{2, 10, 100, 1000} {
+			pts := randPoints(rng.Split(), d, n, 1<<10)
+			tr, err := Build(d, pts)
+			if err != nil {
+				t.Fatalf("d=%d n=%d: %v", d, n, err)
+			}
+			if tr.Len() != n {
+				t.Fatalf("d=%d n=%d: len %d", d, n, tr.Len())
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("d=%d n=%d: %v", d, n, err)
+			}
+		}
+	}
+}
+
+func TestLocateFindsEveryPoint(t *testing.T) {
+	rng := xrand.New(2)
+	pts := randPoints(rng, 2, 500, 1<<16)
+	tr, err := Build(2, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		code, _ := tr.Code(p)
+		id, _ := tr.Locate(code)
+		if !tr.IsLeaf(id) {
+			t.Fatalf("point %v located non-leaf", p)
+		}
+		got := tr.PointAt(id)
+		if got[0] != p[0] || got[1] != p[1] {
+			t.Fatalf("point %v located leaf %v", p, got)
+		}
+	}
+}
+
+func TestLocateAbsentPointTerminates(t *testing.T) {
+	tr, _ := Build(2, []Point{{0, 0}, {1 << 20, 1 << 20}})
+	code, _ := tr.Code(Point{3, 3})
+	id, steps := tr.Locate(code)
+	if id == NoNode {
+		t.Fatal("locate returned NoNode on nonempty tree")
+	}
+	if steps < 0 {
+		t.Fatal("negative steps")
+	}
+}
+
+func TestInsertMatchesBuild(t *testing.T) {
+	rng := xrand.New(3)
+	pts := randPoints(rng, 2, 300, 1<<12)
+	tr := New(2)
+	for i, p := range pts {
+		res, err := tr.Insert(p)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if res.Leaf == NoNode {
+			t.Fatalf("insert %d: no leaf", i)
+		}
+	}
+	if tr.Len() != len(pts) {
+		t.Fatalf("len %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Same node count as a bulk build (structure is unique).
+	bulk, err := Build(2, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != bulk.NumNodes() {
+		t.Fatalf("incremental %d nodes, bulk %d", tr.NumNodes(), bulk.NumNodes())
+	}
+}
+
+func TestInsertRejectsDuplicate(t *testing.T) {
+	tr := New(2)
+	if _, err := tr.Insert(Point{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Insert(Point{5, 5}); err == nil {
+		t.Fatal("duplicate insert accepted")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("len %d after rejected duplicate", tr.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := xrand.New(4)
+	pts := randPoints(rng, 2, 200, 1<<12)
+	tr, err := Build(2, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if _, err := tr.Delete(p); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after delete %d: %v", i, err)
+		}
+	}
+	if tr.Len() != 0 || tr.Root() != NoNode {
+		t.Fatal("tree not empty after deleting all")
+	}
+	if _, err := tr.Delete(pts[0]); err == nil {
+		t.Fatal("delete of absent point succeeded")
+	}
+}
+
+func TestInsertDeleteMix(t *testing.T) {
+	rng := xrand.New(5)
+	tr := New(3)
+	live := map[string]Point{}
+	keyOf := func(p Point) string {
+		return string([]byte{byte(p[0]), byte(p[0] >> 8), byte(p[1]), byte(p[1] >> 8), byte(p[2]), byte(p[2] >> 8)})
+	}
+	for i := 0; i < 2000; i++ {
+		p := Point{uint32(rng.Intn(64)), uint32(rng.Intn(64)), uint32(rng.Intn(64))}
+		k := keyOf(p)
+		if _, ok := live[k]; ok && rng.Bool() {
+			if _, err := tr.Delete(p); err != nil {
+				t.Fatalf("op %d delete: %v", i, err)
+			}
+			delete(live, k)
+		} else if _, ok := live[k]; !ok {
+			if _, err := tr.Insert(p); err != nil {
+				t.Fatalf("op %d insert: %v", i, err)
+			}
+			live[k] = p
+		}
+	}
+	if tr.Len() != len(live) {
+		t.Fatalf("len %d, oracle %d", tr.Len(), len(live))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressedDepthLinearForClusters(t *testing.T) {
+	// Nested pairs at exponentially decreasing separation force a deep
+	// compressed tree: each pair needs its own tiny cell. This is the
+	// adversarial O(n)-depth regime of Section 3.1.
+	var pts []Point
+	base := uint32(0)
+	step := uint32(1) << 29
+	for i := 0; i < 28; i++ {
+		pts = append(pts, Point{base + step, base + step})
+		pts = append(pts, Point{base + step + 1, base + step + 1})
+		step >>= 1
+	}
+	// Dedupe guard: all generated points distinct by construction.
+	tr, err := Build(2, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tr.Depth(); d < 10 {
+		t.Fatalf("expected deep tree, depth %d", d)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellArithmetic(t *testing.T) {
+	tr := New(2)
+	whole := Cell{Prefix: 0, PLen: 0}
+	c1 := Cell{Prefix: 0b01, PLen: 2}
+	c2 := Cell{Prefix: 0b0110, PLen: 4}
+	c3 := Cell{Prefix: 0b10, PLen: 2}
+	if !tr.CellContainsCell(whole, c1) || !tr.CellContainsCell(c1, c2) {
+		t.Fatal("containment failed")
+	}
+	if tr.CellContainsCell(c1, c3) || tr.CellContainsCell(c3, c2) {
+		t.Fatal("false containment")
+	}
+	if !tr.CellsIntersect(c2, c1) {
+		t.Fatal("nested cells must intersect")
+	}
+	if tr.CellsIntersect(c2, c3) {
+		t.Fatal("disjoint cells intersect")
+	}
+}
+
+func TestConflictsMatchBruteForce(t *testing.T) {
+	rng := xrand.New(6)
+	pts := randPoints(rng, 2, 150, 1<<8)
+	tr, err := Build(2, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For a sample of cells (every node's cell), conflicts must equal the
+	// brute-force set of nodes whose cell intersects.
+	var all []NodeID
+	var walk func(NodeID)
+	walk = func(id NodeID) {
+		all = append(all, id)
+		for _, c := range tr.Children(id) {
+			walk(c)
+		}
+	}
+	walk(tr.Root())
+	for _, id := range all {
+		c := tr.CellOf(id)
+		got := map[NodeID]bool{}
+		for _, x := range tr.Conflicts(c) {
+			got[x] = true
+		}
+		for _, other := range all {
+			want := tr.CellsIntersect(c, tr.CellOf(other))
+			if got[other] != want {
+				t.Fatalf("cell of node %d vs node %d: conflict=%v want %v", id, other, got[other], want)
+			}
+		}
+	}
+}
+
+func TestLocateCellAnchors(t *testing.T) {
+	rng := xrand.New(7)
+	// Build S and a random half T; every cell of D(T) must anchor at a
+	// node of D(S) whose cell contains it.
+	pts := randPoints(rng, 2, 400, 1<<10)
+	full, err := Build(2, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var half []Point
+	for _, p := range pts {
+		if rng.Bool() {
+			half = append(half, p)
+		}
+	}
+	sub, err := Build(2, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(NodeID)
+	walk = func(id NodeID) {
+		c := sub.CellOf(id)
+		anchor := full.LocateCell(c)
+		if anchor == NoNode {
+			t.Fatalf("no anchor for cell of node %d", id)
+		}
+		ac := full.CellOf(anchor)
+		if !full.CellContainsCell(ac, c) && full.Parent(anchor) != NoNode {
+			// The anchor must contain c unless it is a boundary case where
+			// only the root's parent region (whole space) contains c; the
+			// walk returns the deepest container or the root.
+			par := full.Parent(anchor)
+			if !full.CellContainsCell(full.CellOf(par), c) {
+				t.Fatalf("anchor cell %+v does not contain %+v", ac, c)
+			}
+		}
+		for _, ch := range sub.Children(id) {
+			walk(ch)
+		}
+	}
+	if sub.Root() != NoNode {
+		walk(sub.Root())
+	}
+}
+
+func TestHalvingConflictConstant(t *testing.T) {
+	// Empirical Lemma 3 smoke test (the full experiment is E3): the mean
+	// conflict count of the cell containing a random query point in D(T)
+	// against D(S) stays small.
+	rng := xrand.New(8)
+	pts := randPoints(rng, 2, 2000, 1<<20)
+	full, err := Build(2, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var half []Point
+	for _, p := range pts {
+		if rng.Bool() {
+			half = append(half, p)
+		}
+	}
+	sub, err := Build(2, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		q := Point{uint32(rng.Uint64n(1 << 20)), uint32(rng.Uint64n(1 << 20))}
+		code, _ := sub.Code(q)
+		id, _ := sub.Locate(code)
+		// The terminal region: the deepest cell of D(T) containing q. Count
+		// conflicts of the leaf-most cell against the full tree, excluding
+		// the subtree below (which measures the descent work).
+		conf := full.Conflicts(sub.CellOf(id))
+		total += len(conf)
+	}
+	mean := float64(total) / trials
+	if mean > 60 {
+		t.Fatalf("mean conflicts %.1f too large for a halved set", mean)
+	}
+}
+
+func TestCodeRoundTripQuick(t *testing.T) {
+	tr := New(2)
+	f := func(x, y uint32) bool {
+		x &= 1<<31 - 1
+		y &= 1<<31 - 1
+		c, err := tr.Code(Point{x, y})
+		if err != nil {
+			return false
+		}
+		// Decode by collecting alternate bits.
+		var dx, dy uint32
+		for b := 0; b < 31; b++ {
+			dx = dx<<1 | uint32(c>>(61-2*b)&1)
+			dy = dy<<1 | uint32(c>>(60-2*b)&1)
+		}
+		return dx == x && dy == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderSmoke(t *testing.T) {
+	tr, _ := Build(2, []Point{{1, 1}, {100, 100}, {200, 50}})
+	out := tr.Render()
+	if len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func BenchmarkBuild1k(b *testing.B) {
+	rng := xrand.New(1)
+	pts := randPoints(rng, 2, 1000, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(2, pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocate(b *testing.B) {
+	rng := xrand.New(1)
+	pts := randPoints(rng, 2, 10000, 1<<20)
+	tr, err := Build(2, pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	codes := make([]uint64, 1024)
+	for i := range codes {
+		codes[i], _ = tr.Code(Point{uint32(rng.Uint64n(1 << 20)), uint32(rng.Uint64n(1 << 20))})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Locate(codes[i%len(codes)])
+	}
+}

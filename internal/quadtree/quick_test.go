@@ -1,0 +1,97 @@
+package quadtree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// TestChurnEqualsRebuildQuick verifies structural canonicity: the
+// compressed quadtree reached by any interleaving of inserts and deletes
+// equals the bulk-built tree over the surviving points (same node count,
+// same cells) — the "unique link structure" property skip-webs require
+// (Section 2.1).
+func TestChurnEqualsRebuildQuick(t *testing.T) {
+	f := func(seedRaw uint32, opsRaw []uint8) bool {
+		rng := xrand.New(uint64(seedRaw) ^ 0x9dc)
+		tr := New(2)
+		live := map[uint64]Point{}
+		for _, op := range opsRaw {
+			p := Point{uint32(op % 16), uint32(rng.Intn(16))}
+			code, err := tr.Code(p)
+			if err != nil {
+				return false
+			}
+			if _, ok := live[code]; ok && rng.Bool() {
+				if _, err := tr.Delete(p); err != nil {
+					return false
+				}
+				delete(live, code)
+			} else if _, ok := live[code]; !ok {
+				if _, err := tr.Insert(p); err != nil {
+					return false
+				}
+				live[code] = p
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			return false
+		}
+		var pts []Point
+		for _, p := range live {
+			pts = append(pts, p)
+		}
+		bulk, err := Build(2, pts)
+		if err != nil {
+			return false
+		}
+		if tr.NumNodes() != bulk.NumNodes() {
+			return false
+		}
+		// Every live cell of one exists in the other.
+		for _, id := range tr.Nodes() {
+			if _, ok := bulk.NodeByCell(tr.CellOf(id)); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubsetCellsQuick verifies the anchor premise used by the skip-web
+// engine: every node cell of a tree over a subset exists as a node cell
+// of the tree over the superset.
+func TestSubsetCellsQuick(t *testing.T) {
+	f := func(seedRaw uint32) bool {
+		rng := xrand.New(uint64(seedRaw) ^ 0x577)
+		n := 8 + rng.Intn(120)
+		pts := randPoints(rng, 2, n, 1<<12)
+		full, err := Build(2, pts)
+		if err != nil {
+			return false
+		}
+		var half []Point
+		for _, p := range pts {
+			if rng.Bool() {
+				half = append(half, p)
+			}
+		}
+		sub, err := Build(2, half)
+		if err != nil {
+			return false
+		}
+		for _, id := range sub.Nodes() {
+			if _, ok := full.NodeByCell(sub.CellOf(id)); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,291 @@
+// Package sim provides the distributed-systems substrate on which every
+// structure in this repository is built and measured.
+//
+// The skip-webs paper (Arge, Eppstein, Goodrich, PODC 2005) evaluates
+// distributed data structures by four cost measures over a network of H
+// hosts: per-host memory M, per-host congestion C(n), query message count
+// Q(n), and update message count U(n). None of those are wall-clock
+// quantities, so the substrate is an accounting simulator: hosts are
+// identities, and every cross-host pointer dereference performed by a
+// structure is recorded as one message. Same-host pointer follows are free,
+// exactly as in the paper's model (Section 1.1).
+//
+// Two execution modes are provided:
+//
+//   - Network alone: synchronous, deterministic accounting. All experiment
+//     numbers in EXPERIMENTS.md come from this mode.
+//   - Cluster: runs one goroutine per host and executes work on the owning
+//     host's goroutine, serializing per-host state access the way a real
+//     message-passing node would. Integration tests use it (with -race) to
+//     demonstrate the structures operate correctly as concurrent
+//     message-passing code.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// HostID identifies a host in the network. Hosts are numbered 0..H-1.
+type HostID int32
+
+// None is the sentinel for "no host"; operations that have not yet visited
+// any host start there.
+const None HostID = -1
+
+// Network models a failure-free peer-to-peer network in which any host can
+// send a message to any other host. It records, per host: messages
+// received, storage units held, and query touches (the congestion measure).
+// All counters are atomic so a Cluster may share a Network across
+// goroutines.
+type Network struct {
+	hosts    int
+	messages []atomic.Int64 // messages delivered to host i
+	storage  []atomic.Int64 // storage units (items, nodes, links, pointers) at host i
+	touches  []atomic.Int64 // operations that touched host i (congestion)
+
+	totalMessages atomic.Int64
+	totalOps      atomic.Int64
+}
+
+// NewNetwork creates a network of h hosts. It panics if h <= 0, since a
+// network without hosts cannot hold a structure.
+func NewNetwork(h int) *Network {
+	if h <= 0 {
+		panic(fmt.Sprintf("sim: NewNetwork with non-positive host count %d", h))
+	}
+	return &Network{
+		hosts:    h,
+		messages: make([]atomic.Int64, h),
+		storage:  make([]atomic.Int64, h),
+		touches:  make([]atomic.Int64, h),
+	}
+}
+
+// Hosts returns the number of hosts H.
+func (n *Network) Hosts() int { return n.hosts }
+
+// AddStorage records delta storage units at host h. Structures call this
+// when placing or removing nodes, links, and hyperlink pointers.
+func (n *Network) AddStorage(h HostID, delta int) {
+	n.storage[h].Add(int64(delta))
+}
+
+// Storage returns the storage units currently recorded at host h.
+func (n *Network) Storage(h HostID) int64 { return n.storage[h].Load() }
+
+// TotalMessages returns the number of messages delivered since creation.
+func (n *Network) TotalMessages() int64 { return n.totalMessages.Load() }
+
+// TotalOps returns the number of operations started since creation.
+func (n *Network) TotalOps() int64 { return n.totalOps.Load() }
+
+// Op is the accounting context for a single logical operation (one query or
+// one update). An operation has a current host; moving to a different host
+// costs one message. Op is not safe for concurrent use; each in-flight
+// operation owns its Op.
+type Op struct {
+	net  *Network
+	cur  HostID
+	hops int
+}
+
+// NewOp starts an operation at host start (use None when the operation has
+// not yet chosen an entry host; the first Visit is then free, modelling the
+// originating host beginning at its own root).
+func (n *Network) NewOp(start HostID) *Op {
+	n.totalOps.Add(1)
+	op := &Op{net: n, cur: start}
+	if start != None {
+		n.touches[start].Add(1)
+	}
+	return op
+}
+
+// Visit moves the operation to host h. If h differs from the current host,
+// one message is charged and congestion at h is bumped. The very first
+// placement of an operation that started at None is free: it models the
+// originating host beginning the search at its own root.
+func (o *Op) Visit(h HostID) {
+	if h == None || h == o.cur {
+		return
+	}
+	if o.cur == None {
+		o.cur = h
+		o.net.touches[h].Add(1)
+		return
+	}
+	o.charge(h)
+	o.cur = h
+}
+
+func (o *Op) charge(h HostID) {
+	o.hops++
+	o.net.totalMessages.Add(1)
+	o.net.messages[h].Add(1)
+	o.net.touches[h].Add(1)
+}
+
+// Send charges one explicit message to host h without moving the operation
+// there. It models auxiliary round trips (e.g. a remote host returning
+// hyperlinks rather than forwarding the query).
+func (o *Op) Send(h HostID) {
+	o.net.totalMessages.Add(1)
+	o.net.messages[h].Add(1)
+	o.net.touches[h].Add(1)
+	o.hops++
+}
+
+// Hops returns the number of messages this operation has cost so far.
+func (o *Op) Hops() int { return o.hops }
+
+// Current returns the host the operation is currently executing at.
+func (o *Op) Current() HostID { return o.cur }
+
+// Stats is a cross-host summary of a Network's counters.
+type Stats struct {
+	Hosts          int
+	TotalMessages  int64
+	TotalOps       int64
+	MaxStorage     int64
+	MeanStorage    float64
+	MaxCongestion  int64
+	MeanCongestion float64
+	MaxMessages    int64
+	MeanMessages   float64
+}
+
+// Snapshot summarizes the per-host counters.
+func (n *Network) Snapshot() Stats {
+	s := Stats{
+		Hosts:         n.hosts,
+		TotalMessages: n.totalMessages.Load(),
+		TotalOps:      n.totalOps.Load(),
+	}
+	var sumSt, sumTo, sumMs int64
+	for i := 0; i < n.hosts; i++ {
+		st := n.storage[i].Load()
+		to := n.touches[i].Load()
+		ms := n.messages[i].Load()
+		sumSt += st
+		sumTo += to
+		sumMs += ms
+		if st > s.MaxStorage {
+			s.MaxStorage = st
+		}
+		if to > s.MaxCongestion {
+			s.MaxCongestion = to
+		}
+		if ms > s.MaxMessages {
+			s.MaxMessages = ms
+		}
+	}
+	h := float64(n.hosts)
+	s.MeanStorage = float64(sumSt) / h
+	s.MeanCongestion = float64(sumTo) / h
+	s.MeanMessages = float64(sumMs) / h
+	return s
+}
+
+// StorageQuantiles returns the q-quantiles (e.g. 0.5, 0.99, 1.0) of the
+// per-host storage distribution, in the order requested.
+func (n *Network) StorageQuantiles(qs ...float64) []int64 {
+	vals := make([]int64, n.hosts)
+	for i := range vals {
+		vals[i] = n.storage[i].Load()
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	out := make([]int64, len(qs))
+	for i, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		idx := int(math.Ceil(q*float64(n.hosts))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out[i] = vals[idx]
+	}
+	return out
+}
+
+// ResetTraffic zeroes the message and congestion counters while preserving
+// storage, so an experiment can measure query traffic separately from
+// construction traffic.
+func (n *Network) ResetTraffic() {
+	for i := 0; i < n.hosts; i++ {
+		n.messages[i].Store(0)
+		n.touches[i].Store(0)
+	}
+	n.totalMessages.Store(0)
+	n.totalOps.Store(0)
+}
+
+// Cluster executes work on per-host goroutines. Each host runs a single
+// worker goroutine; Do(h, fn) runs fn on host h's goroutine and waits for
+// it, so all state owned by a host is accessed from exactly one goroutine
+// at a time — the actor discipline of a message-passing node.
+type Cluster struct {
+	net     *Network
+	inboxes []chan task
+	wg      sync.WaitGroup
+	stopped atomic.Bool
+}
+
+type task struct {
+	fn   func()
+	done chan struct{}
+}
+
+// NewCluster creates and starts a cluster over net's hosts. Call Stop when
+// done; the Cluster owns one goroutine per host until then.
+func NewCluster(net *Network) *Cluster {
+	c := &Cluster{
+		net:     net,
+		inboxes: make([]chan task, net.Hosts()),
+	}
+	for i := range c.inboxes {
+		// Buffer of one so a sender handing off work to an idle host does
+		// not block on the rendezvous (per style guidance: size one or none).
+		inbox := make(chan task, 1)
+		c.inboxes[i] = inbox
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			for t := range inbox {
+				t.fn()
+				close(t.done)
+			}
+		}()
+	}
+	return c
+}
+
+// Do runs fn on host h's goroutine and blocks until it completes. It must
+// not be called after Stop. fn must not call Do for the same host h (that
+// would deadlock, just as a node cannot wait on a message to itself).
+func (c *Cluster) Do(h HostID, fn func()) {
+	if c.stopped.Load() {
+		panic("sim: Cluster.Do after Stop")
+	}
+	t := task{fn: fn, done: make(chan struct{})}
+	c.inboxes[h] <- t
+	<-t.done
+}
+
+// Stop shuts down all host goroutines and waits for them to exit.
+func (c *Cluster) Stop() {
+	if c.stopped.Swap(true) {
+		return
+	}
+	for _, inbox := range c.inboxes {
+		close(inbox)
+	}
+	c.wg.Wait()
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNewNetworkPanicsOnZeroHosts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewNetwork(0) did not panic")
+		}
+	}()
+	NewNetwork(0)
+}
+
+func TestOpHopAccounting(t *testing.T) {
+	n := NewNetwork(4)
+	op := n.NewOp(0)
+	op.Visit(0) // same host: free
+	if op.Hops() != 0 {
+		t.Fatalf("same-host visit charged: %d", op.Hops())
+	}
+	op.Visit(1)
+	op.Visit(1)
+	op.Visit(2)
+	op.Visit(3)
+	if op.Hops() != 3 {
+		t.Fatalf("hops = %d, want 3", op.Hops())
+	}
+	if n.TotalMessages() != 3 {
+		t.Fatalf("total messages = %d, want 3", n.TotalMessages())
+	}
+}
+
+func TestOpStartAtNoneFirstVisitFree(t *testing.T) {
+	n := NewNetwork(4)
+	op := n.NewOp(None)
+	op.Visit(2)
+	if op.Hops() != 0 {
+		t.Fatalf("first placement charged: %d hops", op.Hops())
+	}
+	op.Visit(3)
+	if op.Hops() != 1 {
+		t.Fatalf("hops = %d, want 1", op.Hops())
+	}
+	if op.Current() != 3 {
+		t.Fatalf("current = %d, want 3", op.Current())
+	}
+}
+
+func TestVisitNoneIsNoop(t *testing.T) {
+	n := NewNetwork(2)
+	op := n.NewOp(0)
+	op.Visit(None)
+	if op.Hops() != 0 || op.Current() != 0 {
+		t.Fatal("Visit(None) changed state")
+	}
+}
+
+func TestSendChargesWithoutMoving(t *testing.T) {
+	n := NewNetwork(3)
+	op := n.NewOp(0)
+	op.Send(2)
+	if op.Hops() != 1 {
+		t.Fatalf("hops = %d, want 1", op.Hops())
+	}
+	if op.Current() != 0 {
+		t.Fatalf("Send moved the op to %d", op.Current())
+	}
+}
+
+func TestStorageAccounting(t *testing.T) {
+	n := NewNetwork(3)
+	n.AddStorage(0, 10)
+	n.AddStorage(1, 4)
+	n.AddStorage(0, -3)
+	if got := n.Storage(0); got != 7 {
+		t.Fatalf("storage(0) = %d, want 7", got)
+	}
+	s := n.Snapshot()
+	if s.MaxStorage != 7 {
+		t.Fatalf("max storage = %d, want 7", s.MaxStorage)
+	}
+	wantMean := (7.0 + 4.0 + 0.0) / 3.0
+	if s.MeanStorage != wantMean {
+		t.Fatalf("mean storage = %v, want %v", s.MeanStorage, wantMean)
+	}
+}
+
+func TestSnapshotCongestion(t *testing.T) {
+	n := NewNetwork(2)
+	op := n.NewOp(0)
+	op.Visit(1)
+	op.Visit(0)
+	op.Visit(1)
+	s := n.Snapshot()
+	if s.TotalOps != 1 {
+		t.Fatalf("total ops = %d", s.TotalOps)
+	}
+	// Host 1 was touched twice (two arrivals), host 0 twice (start + return).
+	if s.MaxCongestion != 2 {
+		t.Fatalf("max congestion = %d, want 2", s.MaxCongestion)
+	}
+}
+
+func TestResetTrafficPreservesStorage(t *testing.T) {
+	n := NewNetwork(2)
+	n.AddStorage(1, 9)
+	op := n.NewOp(0)
+	op.Visit(1)
+	n.ResetTraffic()
+	if n.TotalMessages() != 0 || n.TotalOps() != 0 {
+		t.Fatal("traffic not reset")
+	}
+	if n.Storage(1) != 9 {
+		t.Fatal("storage was reset")
+	}
+}
+
+func TestStorageQuantiles(t *testing.T) {
+	n := NewNetwork(4)
+	for i, v := range []int{1, 2, 3, 4} {
+		n.AddStorage(HostID(i), v)
+	}
+	qs := n.StorageQuantiles(0.25, 0.5, 1.0)
+	if qs[0] != 1 || qs[1] != 2 || qs[2] != 4 {
+		t.Fatalf("quantiles = %v, want [1 2 4]", qs)
+	}
+}
+
+func TestClusterSerializesPerHost(t *testing.T) {
+	n := NewNetwork(4)
+	c := NewCluster(n)
+	defer c.Stop()
+
+	// Many goroutines increment an unguarded counter on host 0; the actor
+	// discipline must serialize them (run with -race to verify).
+	counter := 0
+	var wg sync.WaitGroup
+	const workers, each = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Do(0, func() { counter++ })
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*each {
+		t.Fatalf("counter = %d, want %d", counter, workers*each)
+	}
+}
+
+func TestClusterCrossHostWork(t *testing.T) {
+	n := NewNetwork(8)
+	c := NewCluster(n)
+	defer c.Stop()
+
+	results := make([]int, 8)
+	var wg sync.WaitGroup
+	for h := 0; h < 8; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			c.Do(HostID(h), func() { results[h] = h * h })
+		}(h)
+	}
+	wg.Wait()
+	for h := 0; h < 8; h++ {
+		if results[h] != h*h {
+			t.Fatalf("host %d result %d", h, results[h])
+		}
+	}
+}
+
+func TestClusterStopIdempotent(t *testing.T) {
+	c := NewCluster(NewNetwork(2))
+	c.Stop()
+	c.Stop() // must not panic or deadlock
+}
+
+func TestClusterDoAfterStopPanics(t *testing.T) {
+	c := NewCluster(NewNetwork(1))
+	c.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Do after Stop did not panic")
+		}
+	}()
+	c.Do(0, func() {})
+}

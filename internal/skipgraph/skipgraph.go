@@ -1,0 +1,499 @@
+// Package skipgraph implements skip graphs (Aspnes and Shah, SODA 2003) —
+// equivalently SkipNet (Harvey et al.) — the randomized distributed
+// ordered dictionaries that skip-webs compare against in Table 1, plus
+// the neighbor-of-neighbor (NoN) routing of Manku, Naor, and Wieder
+// (STOC 2004).
+//
+// Every key lives on its own host. Each key draws a random membership
+// vector; the level-i list links keys sharing an i-bit membership prefix,
+// in key order. A node's tower extends until it is alone in its prefix
+// group, so expected height (and per-host memory) is O(log n).
+//
+// Plain routing moves along the highest useful level: O(log n) expected
+// messages. NoN routing additionally caches each neighbor's neighbor
+// list and greedily jumps to the best neighbor-of-neighbor: O(log n /
+// log log n) expected messages, at the price of O(log² n) memory and
+// congestion and O(log² n) expected update messages for table
+// maintenance — exactly the Table 1 trade-off.
+package skipgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/skipwebs/skipwebs/internal/sim"
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// maxLevels bounds membership vectors; 64 levels covers any workload here.
+const maxLevels = 64
+
+// Graph is a skip graph over uint64 keys. The zero value is not usable;
+// construct with New.
+type Graph struct {
+	net   *sim.Network
+	rng   *xrand.Rand
+	nodes map[uint64]*gnode
+	keys  []uint64 // maintained sorted (for origin sampling and checks)
+	non   bool     // maintain and use NoN tables
+	seq   int      // next host to assign
+}
+
+type gnode struct {
+	key   uint64
+	host  sim.HostID
+	mv    uint64 // membership vector bits; bit i read as mv>>i&1
+	left  []*gnode
+	right []*gnode
+}
+
+// height is the number of levels this node participates in.
+func (n *gnode) height() int { return len(n.right) }
+
+// New creates an empty skip graph over net's hosts. If non is true the
+// graph maintains neighbor-of-neighbor tables: searches use NoN routing
+// and updates pay the table-maintenance messages.
+func New(net *sim.Network, seed uint64, non bool) *Graph {
+	return &Graph{
+		net:   net,
+		rng:   xrand.New(seed ^ 0x5c19a7), // salted against workload-seed correlation
+		nodes: make(map[uint64]*gnode),
+		non:   non,
+	}
+}
+
+// Len returns the number of keys.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Keys returns the keys in sorted order.
+func (g *Graph) Keys() []uint64 { return append([]uint64(nil), g.keys...) }
+
+// PrevKey returns the key immediately below k in sorted order (the
+// level-0 left neighbor of k's node).
+func (g *Graph) PrevKey(k uint64) (uint64, bool) {
+	i := sort.Search(len(g.keys), func(i int) bool { return g.keys[i] >= k })
+	if i == 0 {
+		return 0, false
+	}
+	return g.keys[i-1], true
+}
+
+// HostOf returns the host storing key k.
+func (g *Graph) HostOf(k uint64) (sim.HostID, bool) {
+	n, ok := g.nodes[k]
+	if !ok {
+		return 0, false
+	}
+	return n.host, true
+}
+
+// Build constructs the graph over keys directly (without routing
+// messages), for experiment setup. Keys must be distinct.
+func (g *Graph) Build(keys []uint64) error {
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return fmt.Errorf("skipgraph: duplicate key %d", sorted[i])
+		}
+	}
+	nodes := make([]*gnode, len(sorted))
+	for i, k := range sorted {
+		nodes[i] = &gnode{key: k, host: g.nextHost(), mv: g.rng.Uint64()}
+		g.nodes[k] = nodes[i]
+	}
+	g.keys = sorted
+	g.linkGroup(nodes, 0)
+	for _, n := range nodes {
+		g.chargeStorage(n, 1)
+	}
+	return nil
+}
+
+// linkGroup links the level-lvl list over group (sorted, all sharing an
+// lvl-bit membership prefix) and recurses into the two sub-groups.
+func (g *Graph) linkGroup(group []*gnode, lvl int) {
+	if len(group) == 0 || lvl >= maxLevels {
+		return
+	}
+	var prev *gnode
+	for _, n := range group {
+		for len(n.left) <= lvl {
+			n.left = append(n.left, nil)
+			n.right = append(n.right, nil)
+		}
+		n.left[lvl] = prev
+		if prev != nil {
+			prev.right[lvl] = n
+		}
+		prev = n
+	}
+	if len(group) == 1 {
+		return
+	}
+	var zero, one []*gnode
+	for _, n := range group {
+		if n.mv>>lvl&1 == 0 {
+			zero = append(zero, n)
+		} else {
+			one = append(one, n)
+		}
+	}
+	g.linkGroup(zero, lvl+1)
+	g.linkGroup(one, lvl+1)
+}
+
+func (g *Graph) nextHost() sim.HostID {
+	h := sim.HostID(g.seq % g.net.Hosts())
+	g.seq++
+	return h
+}
+
+// chargeStorage records a node's footprint: key + 2 pointers per level,
+// plus the cached neighbor lists when NoN tables are on.
+func (g *Graph) chargeStorage(n *gnode, sign int) {
+	units := 1 + 2*n.height()
+	if g.non {
+		for lvl := 0; lvl < n.height(); lvl++ {
+			if l := n.left[lvl]; l != nil {
+				units += l.height()
+			}
+			if r := n.right[lvl]; r != nil {
+				units += r.height()
+			}
+		}
+	}
+	g.net.AddStorage(n.host, sign*units)
+}
+
+// originFor picks the node whose search begins at the given host (hosts
+// and nodes are 1:1 up to wraparound).
+func (g *Graph) originFor(origin sim.HostID) *gnode {
+	if len(g.keys) == 0 {
+		return nil
+	}
+	k := g.keys[int(origin)%len(g.keys)]
+	return g.nodes[k]
+}
+
+// Search routes a floor query (largest key <= target) from the node at
+// the originating host, returning the floor key (ok=false if target is
+// below every key) and the message count.
+func (g *Graph) Search(target uint64, origin sim.HostID) (uint64, bool, int) {
+	start := g.originFor(origin)
+	if start == nil {
+		return 0, false, 0
+	}
+	op := g.net.NewOp(start.host)
+	var cur *gnode
+	if g.non {
+		cur = g.searchNoN(start, target, op)
+	} else {
+		cur = g.searchPlain(start, target, op)
+	}
+	if cur == nil {
+		return 0, false, op.Hops()
+	}
+	return cur.key, true, op.Hops()
+}
+
+// searchPlain is classic skip-graph routing: at the highest level that
+// makes progress without overshooting, move toward the target.
+func (g *Graph) searchPlain(start *gnode, target uint64, op *sim.Op) *gnode {
+	cur := start
+	for lvl := cur.height() - 1; lvl >= 0; {
+		if lvl >= cur.height() {
+			lvl = cur.height() - 1
+			continue
+		}
+		moved := false
+		if cur.key < target {
+			if r := cur.right[lvl]; r != nil && r.key <= target {
+				cur = r
+				op.Visit(cur.host)
+				moved = true
+			}
+		} else if cur.key > target {
+			if l := cur.left[lvl]; l != nil && l.key >= target {
+				cur = l
+				op.Visit(cur.host)
+				moved = true
+			} else if l != nil && cur.key > target {
+				// Dropping below target: the floor is to the left even
+				// though l.key < target; take it at level 0 only.
+				if lvl == 0 {
+					cur = l
+					op.Visit(cur.host)
+					return cur
+				}
+			}
+		}
+		if cur.key == target {
+			return cur
+		}
+		if !moved {
+			lvl--
+		}
+	}
+	if cur.key > target {
+		// cur is the ceiling; floor is its level-0 left neighbor.
+		l := cur.left[0]
+		if l != nil {
+			op.Visit(l.host)
+		}
+		return l
+	}
+	return cur
+}
+
+// searchNoN routes using locally cached neighbor-of-neighbor tables: from
+// cur, all neighbors and neighbors-of-neighbors are known without
+// messages; jump straight to the one closest to the target without
+// overshooting (Manku-Naor-Wieder lookahead).
+func (g *Graph) searchNoN(start *gnode, target uint64, op *sim.Op) *gnode {
+	cur := start
+	for {
+		if cur.key == target {
+			return cur
+		}
+		best := cur
+		consider := func(c *gnode) {
+			if c == nil {
+				return
+			}
+			if cur.key < target {
+				// Moving right: want the largest key <= target.
+				if c.key <= target && c.key > best.key {
+					best = c
+				}
+			} else {
+				// Moving left: want the smallest key >= target... but for
+				// floor semantics we overshoot-protect below.
+				if c.key >= target && c.key < best.key {
+					best = c
+				}
+			}
+		}
+		for lvl := 0; lvl < cur.height(); lvl++ {
+			for _, nb := range []*gnode{cur.left[lvl], cur.right[lvl]} {
+				if nb == nil {
+					continue
+				}
+				consider(nb)
+				// The NoN table holds nb's own neighbor lists.
+				for l2 := 0; l2 < nb.height(); l2++ {
+					consider(nb.left[l2])
+					consider(nb.right[l2])
+				}
+			}
+		}
+		if best == cur {
+			break
+		}
+		cur = best
+		op.Visit(cur.host)
+	}
+	if cur.key > target {
+		l := cur.left[0]
+		if l != nil {
+			op.Visit(l.host)
+		}
+		return l
+	}
+	return cur
+}
+
+// Insert routes from the originating host and splices the key in,
+// returning the message count. With NoN tables on, the update also pays
+// one message per second-degree neighbor whose cached table changes.
+func (g *Graph) Insert(key uint64, origin sim.HostID) (int, error) {
+	if _, ok := g.nodes[key]; ok {
+		return 0, fmt.Errorf("skipgraph: duplicate key %d", key)
+	}
+	n := &gnode{key: key, host: g.nextHost(), mv: g.rng.Uint64()}
+	if len(g.nodes) == 0 {
+		g.nodes[key] = n
+		g.keys = []uint64{key}
+		n.left = append(n.left, nil)
+		n.right = append(n.right, nil)
+		g.chargeStorage(n, 1)
+		return 0, nil
+	}
+	start := g.originFor(origin)
+	op := g.net.NewOp(start.host)
+	floor := g.searchPlain(start, key, op)
+
+	// Splice at level 0.
+	var leftN, rightN *gnode
+	if floor == nil {
+		// key is below every existing key: its right neighbor is the min.
+		rightN = g.nodes[g.keys[0]]
+	} else {
+		leftN = floor
+		rightN = floor.right[0]
+	}
+	n.left = append(n.left, leftN)
+	n.right = append(n.right, rightN)
+	if leftN != nil {
+		leftN.right[0] = n
+		op.Send(leftN.host)
+	}
+	if rightN != nil {
+		rightN.left[0] = n
+		op.Send(rightN.host)
+	}
+
+	// Build higher levels: scan along level lvl for the nearest node on
+	// each side sharing an (lvl+1)-bit membership prefix.
+	for lvl := 0; lvl < maxLevels-1; lvl++ {
+		mask := uint64(1)<<uint(lvl+1) - 1
+		want := n.mv & mask
+		var l2, r2 *gnode
+		for l := n.left[lvl]; l != nil; l = l.left[lvl] {
+			op.Send(l.host) // probe message
+			if l.mv&mask == want {
+				l2 = l
+				break
+			}
+		}
+		for r := n.right[lvl]; r != nil; r = r.right[lvl] {
+			op.Send(r.host)
+			if r.mv&mask == want {
+				r2 = r
+				break
+			}
+		}
+		if l2 == nil && r2 == nil {
+			break
+		}
+		n.left = append(n.left, l2)
+		n.right = append(n.right, r2)
+		if l2 != nil {
+			for len(l2.right) <= lvl+1 {
+				l2.left = append(l2.left, nil)
+				l2.right = append(l2.right, nil)
+			}
+			l2.right[lvl+1] = n
+			op.Send(l2.host)
+		}
+		if r2 != nil {
+			for len(r2.left) <= lvl+1 {
+				r2.left = append(r2.left, nil)
+				r2.right = append(r2.right, nil)
+			}
+			r2.left[lvl+1] = n
+			op.Send(r2.host)
+		}
+	}
+	g.nodes[key] = n
+	i := sort.Search(len(g.keys), func(i int) bool { return g.keys[i] >= key })
+	g.keys = append(g.keys, 0)
+	copy(g.keys[i+1:], g.keys[i:])
+	g.keys[i] = key
+	g.chargeStorage(n, 1)
+	if g.non {
+		g.propagateTables(n, op)
+	}
+	return op.Hops(), nil
+}
+
+// Delete unlinks the key at every level, returning the message count.
+func (g *Graph) Delete(key uint64, origin sim.HostID) (int, error) {
+	n, ok := g.nodes[key]
+	if !ok {
+		return 0, fmt.Errorf("skipgraph: key %d not found", key)
+	}
+	start := g.originFor(origin)
+	op := g.net.NewOp(start.host)
+	if found := g.searchPlain(start, key, op); found != n {
+		// Routing must land on the key itself.
+		op.Visit(n.host)
+	}
+	g.chargeStorage(n, -1)
+	for lvl := 0; lvl < n.height(); lvl++ {
+		l, r := n.left[lvl], n.right[lvl]
+		if l != nil {
+			l.right[lvl] = r
+			op.Send(l.host)
+		}
+		if r != nil {
+			r.left[lvl] = l
+			op.Send(r.host)
+		}
+	}
+	delete(g.nodes, key)
+	i := sort.Search(len(g.keys), func(i int) bool { return g.keys[i] >= key })
+	g.keys = append(g.keys[:i], g.keys[i+1:]...)
+	if g.non {
+		g.propagateTables(n, op)
+	}
+	return op.Hops(), nil
+}
+
+// propagateTables charges the NoN maintenance traffic after a structural
+// change at n: every neighbor re-announces its list to its own neighbors,
+// so each node within two hops of n receives one update message.
+func (g *Graph) propagateTables(n *gnode, op *sim.Op) {
+	seen := map[*gnode]bool{}
+	for lvl := 0; lvl < n.height(); lvl++ {
+		for _, nb := range []*gnode{n.left[lvl], n.right[lvl]} {
+			if nb == nil || seen[nb] {
+				continue
+			}
+			seen[nb] = true
+			op.Send(nb.host)
+			for l2 := 0; l2 < nb.height(); l2++ {
+				for _, nn := range []*gnode{nb.left[l2], nb.right[l2]} {
+					if nn == nil || nn == n || seen[nn] {
+						continue
+					}
+					seen[nn] = true
+					op.Send(nn.host)
+				}
+			}
+		}
+	}
+}
+
+// MaxHeight returns the tallest tower.
+func (g *Graph) MaxHeight() int {
+	max := 0
+	for _, n := range g.nodes {
+		if n.height() > max {
+			max = n.height()
+		}
+	}
+	return max
+}
+
+// CheckInvariants verifies the skip-graph structure: every level list is
+// sorted and doubly linked, level-(i+1) neighbors share an (i+1)-bit
+// membership prefix and are the nearest such nodes at level i.
+func (g *Graph) CheckInvariants() error {
+	for _, n := range g.nodes {
+		for lvl := 0; lvl < n.height(); lvl++ {
+			if r := n.right[lvl]; r != nil {
+				if r.key <= n.key {
+					return fmt.Errorf("skipgraph: level %d order violated at %d", lvl, n.key)
+				}
+				if lvl >= r.height() || r.left[lvl] != n {
+					return fmt.Errorf("skipgraph: level %d link asymmetry at %d", lvl, n.key)
+				}
+				if lvl > 0 {
+					mask := uint64(1)<<uint(lvl) - 1
+					if n.mv&mask != r.mv&mask {
+						return fmt.Errorf("skipgraph: level %d prefix mismatch at %d", lvl, n.key)
+					}
+					// r must be the nearest right node at level lvl-1 with
+					// the matching prefix.
+					for x := n.right[lvl-1]; x != nil && x != r; x = x.right[lvl-1] {
+						if x.mv&mask == n.mv&mask {
+							return fmt.Errorf("skipgraph: level %d skips matching node %d", lvl, x.key)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

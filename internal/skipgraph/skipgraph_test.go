@@ -1,0 +1,256 @@
+package skipgraph
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/skipwebs/skipwebs/internal/sim"
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+func distinctKeys(rng *xrand.Rand, n int) []uint64 {
+	seen := map[uint64]bool{}
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		k := rng.Uint64n(1 << 40)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func bruteFloor(keys []uint64, q uint64) (uint64, bool) {
+	best, ok := uint64(0), false
+	for _, k := range keys {
+		if k <= q && (!ok || k > best) {
+			best, ok = k, true
+		}
+	}
+	return best, ok
+}
+
+func buildGraph(t testing.TB, n int, seed uint64, non bool) (*Graph, *sim.Network, []uint64) {
+	t.Helper()
+	rng := xrand.New(seed)
+	keys := distinctKeys(rng, n)
+	net := sim.NewNetwork(n)
+	g := New(net, seed, non)
+	if err := g.Build(keys); err != nil {
+		t.Fatal(err)
+	}
+	return g, net, keys
+}
+
+func TestBuildInvariants(t *testing.T) {
+	for _, non := range []bool{false, true} {
+		g, _, _ := buildGraph(t, 500, 1, non)
+		if err := g.CheckInvariants(); err != nil {
+			t.Fatalf("non=%v: %v", non, err)
+		}
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	for _, non := range []bool{false, true} {
+		g, _, keys := buildGraph(t, 400, 2, non)
+		rng := xrand.New(77)
+		for i := 0; i < 1500; i++ {
+			q := rng.Uint64n(1 << 41)
+			got, ok, _ := g.Search(q, sim.HostID(rng.Intn(400)))
+			want, wok := bruteFloor(keys, q)
+			if ok != wok || (ok && got != want) {
+				t.Fatalf("non=%v query %d: got %d,%v want %d,%v", non, q, got, ok, want, wok)
+			}
+		}
+	}
+}
+
+func TestSearchExactKeys(t *testing.T) {
+	g, _, keys := buildGraph(t, 300, 3, false)
+	for _, k := range keys {
+		got, ok, _ := g.Search(k, 0)
+		if !ok || got != k {
+			t.Fatalf("Search(%d) = %d,%v", k, got, ok)
+		}
+	}
+}
+
+func TestSearchHopsLogarithmic(t *testing.T) {
+	rng := xrand.New(5)
+	var plain, non []float64
+	for _, n := range []int{512, 2048, 8192} {
+		for _, useNoN := range []bool{false, true} {
+			g, _, _ := buildGraph(t, n, uint64(n), useNoN)
+			total := 0
+			const queries = 400
+			qr := rng.Split()
+			for i := 0; i < queries; i++ {
+				_, _, hops := g.Search(qr.Uint64n(1<<40), sim.HostID(qr.Intn(n)))
+				total += hops
+			}
+			mean := float64(total) / queries
+			ratio := mean / math.Log2(float64(n))
+			if useNoN {
+				non = append(non, ratio)
+			} else {
+				plain = append(plain, ratio)
+			}
+		}
+	}
+	// Plain routing ~ c*log n: ratio roughly flat.
+	if plain[2] > plain[0]*1.5 {
+		t.Fatalf("plain ratios grow: %v", plain)
+	}
+	// NoN routing must be measurably faster than plain at n=8192.
+	if non[2] >= plain[2] {
+		t.Fatalf("NoN (%v) not faster than plain (%v) at n=8192", non[2], plain[2])
+	}
+}
+
+func TestNoNMemoryQuadratic(t *testing.T) {
+	// NoN tables push per-host storage from O(log n) toward O(log² n).
+	n := 2048
+	_, netPlain, _ := buildGraph(t, n, 9, false)
+	_, netNoN, _ := buildGraph(t, n, 9, true)
+	sp := netPlain.Snapshot()
+	sn := netNoN.Snapshot()
+	if sn.MeanStorage < 2*sp.MeanStorage {
+		t.Fatalf("NoN mean storage %.1f not clearly above plain %.1f", sn.MeanStorage, sp.MeanStorage)
+	}
+}
+
+func TestInsertMatchesSemantics(t *testing.T) {
+	rng := xrand.New(13)
+	net := sim.NewNetwork(600)
+	g := New(net, 13, false)
+	keys := distinctKeys(rng, 500)
+	if err := g.Build(keys[:300]); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys[300:] {
+		if _, err := g.Insert(k, sim.HostID(i%300)); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 500 {
+		t.Fatalf("len %d", g.Len())
+	}
+	qr := xrand.New(14)
+	for i := 0; i < 800; i++ {
+		q := qr.Uint64n(1 << 41)
+		got, ok, _ := g.Search(q, sim.HostID(qr.Intn(500)))
+		want, wok := bruteFloor(keys, q)
+		if ok != wok || (ok && got != want) {
+			t.Fatalf("after inserts: query %d got %d,%v want %d,%v", q, got, ok, want, wok)
+		}
+	}
+}
+
+func TestInsertBelowMinimum(t *testing.T) {
+	net := sim.NewNetwork(8)
+	g := New(net, 3, false)
+	if err := g.Build([]uint64{100, 200, 300}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Insert(50, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := g.Search(60, 0)
+	if !ok || got != 50 {
+		t.Fatalf("Search(60) = %d,%v", got, ok)
+	}
+	if _, ok, _ := g.Search(10, 0); ok {
+		t.Fatal("Search(10) found phantom floor")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	g, _, keys := buildGraph(t, 200, 15, false)
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for i := 0; i < len(keys); i += 2 {
+		if _, err := g.Delete(keys[i], 0); err != nil {
+			t.Fatalf("delete %d: %v", keys[i], err)
+		}
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var remaining []uint64
+	for i := 1; i < len(keys); i += 2 {
+		remaining = append(remaining, keys[i])
+	}
+	qr := xrand.New(16)
+	for i := 0; i < 500; i++ {
+		q := qr.Uint64n(1 << 41)
+		got, ok, _ := g.Search(q, sim.HostID(qr.Intn(100)))
+		want, wok := bruteFloor(remaining, q)
+		if ok != wok || (ok && got != want) {
+			t.Fatalf("after deletes: query %d got %d,%v want %d,%v", q, got, ok, want, wok)
+		}
+	}
+	if _, err := g.Delete(keys[0], 0); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestInsertDuplicateFails(t *testing.T) {
+	g, _, keys := buildGraph(t, 16, 17, false)
+	if _, err := g.Insert(keys[0], 0); err == nil {
+		t.Fatal("duplicate insert accepted")
+	}
+}
+
+func TestUpdateCostNoNHigher(t *testing.T) {
+	// NoN table maintenance should make updates clearly costlier.
+	rng := xrand.New(19)
+	keys := distinctKeys(rng, 1024)
+	extra := distinctKeys(xrand.New(20), 1200)[1024:]
+	costPlain, costNoN := 0, 0
+	for _, non := range []bool{false, true} {
+		net := sim.NewNetwork(2048)
+		g := New(net, 19, non)
+		if err := g.Build(keys); err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for i, k := range extra {
+			h, err := g.Insert(k, sim.HostID(i%1024))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += h
+		}
+		if non {
+			costNoN = total
+		} else {
+			costPlain = total
+		}
+	}
+	if costNoN <= costPlain {
+		t.Fatalf("NoN update cost %d not above plain %d", costNoN, costPlain)
+	}
+}
+
+func TestMaxHeightLogarithmic(t *testing.T) {
+	g, _, _ := buildGraph(t, 4096, 23, false)
+	if h := g.MaxHeight(); h < 8 || h > 40 {
+		t.Fatalf("max height %d for n=4096", h)
+	}
+}
+
+func TestEmptyGraphSearch(t *testing.T) {
+	net := sim.NewNetwork(4)
+	g := New(net, 1, false)
+	if _, ok, _ := g.Search(5, 0); ok {
+		t.Fatal("search on empty graph returned ok")
+	}
+}

@@ -1,0 +1,291 @@
+// Package skiplist implements the classic randomized skip list of Pugh
+// (CACM 1990), the structure shown in Figure 1 of the skip-webs paper.
+//
+// Each element exists in the bottom-level list, and each node on one level
+// is copied to the next higher level with probability 1/2. A search starts
+// at the top and proceeds as far as it can on a given level, then drops
+// down, giving O(log n) expected query time and O(n) expected space.
+//
+// In this repository the skip list serves three roles: the Figure 1
+// artifact, the centralized baseline that distributed structures are
+// compared against, and the reference oracle for property-based tests of
+// every ordered-set implementation.
+package skiplist
+
+import (
+	"cmp"
+	"fmt"
+	"strings"
+
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// MaxLevel bounds tower height; 2^48 elements is far beyond any workload
+// in this repository.
+const MaxLevel = 48
+
+// List is a skip list mapping ordered keys to values. The zero value is
+// not usable; construct with New.
+type List[K cmp.Ordered, V any] struct {
+	head  *node[K, V]
+	level int // highest level in use, >= 1
+	n     int
+	rng   *xrand.Rand
+}
+
+type node[K cmp.Ordered, V any] struct {
+	key   K
+	value V
+	next  []*node[K, V]
+}
+
+// New creates an empty skip list whose tower heights are drawn from rng.
+func New[K cmp.Ordered, V any](rng *xrand.Rand) *List[K, V] {
+	return &List[K, V]{
+		head:  &node[K, V]{next: make([]*node[K, V], MaxLevel)},
+		level: 1,
+		rng:   rng,
+	}
+}
+
+// Len returns the number of elements.
+func (l *List[K, V]) Len() int { return l.n }
+
+// Level returns the current number of levels in use.
+func (l *List[K, V]) Level() int { return l.level }
+
+// findPredecessors fills update with, at each level, the last node whose
+// key is < key, and returns the bottom-level candidate (the node at or
+// after key).
+func (l *List[K, V]) findPredecessors(key K, update []*node[K, V]) *node[K, V] {
+	x := l.head
+	for i := l.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	return x.next[0]
+}
+
+// Get returns the value stored for key and whether it is present.
+func (l *List[K, V]) Get(key K) (V, bool) {
+	x := l.head
+	for i := l.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+	}
+	c := x.next[0]
+	if c != nil && c.key == key {
+		return c.value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is present.
+func (l *List[K, V]) Contains(key K) bool {
+	_, ok := l.Get(key)
+	return ok
+}
+
+// Set inserts key with value, replacing any existing value. It returns
+// true if the key was newly inserted.
+func (l *List[K, V]) Set(key K, value V) bool {
+	var update [MaxLevel]*node[K, V]
+	c := l.findPredecessors(key, update[:])
+	if c != nil && c.key == key {
+		c.value = value
+		return false
+	}
+	h := l.rng.Geometric(MaxLevel-1) + 1
+	if h > l.level {
+		for i := l.level; i < h; i++ {
+			update[i] = l.head
+		}
+		l.level = h
+	}
+	nn := &node[K, V]{key: key, value: value, next: make([]*node[K, V], h)}
+	for i := 0; i < h; i++ {
+		nn.next[i] = update[i].next[i]
+		update[i].next[i] = nn
+	}
+	l.n++
+	return true
+}
+
+// Delete removes key, returning true if it was present.
+func (l *List[K, V]) Delete(key K) bool {
+	var update [MaxLevel]*node[K, V]
+	c := l.findPredecessors(key, update[:])
+	if c == nil || c.key != key {
+		return false
+	}
+	for i := 0; i < len(c.next); i++ {
+		if update[i].next[i] != c {
+			break
+		}
+		update[i].next[i] = c.next[i]
+	}
+	for l.level > 1 && l.head.next[l.level-1] == nil {
+		l.level--
+	}
+	l.n--
+	return true
+}
+
+// Floor returns the greatest key <= key, if any.
+func (l *List[K, V]) Floor(key K) (K, V, bool) {
+	x := l.head
+	for i := l.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key <= key {
+			x = x.next[i]
+		}
+	}
+	if x == l.head {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	return x.key, x.value, true
+}
+
+// Ceiling returns the least key >= key, if any.
+func (l *List[K, V]) Ceiling(key K) (K, V, bool) {
+	var update [MaxLevel]*node[K, V]
+	c := l.findPredecessors(key, update[:])
+	if c == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	return c.key, c.value, true
+}
+
+// Min returns the smallest key, if any.
+func (l *List[K, V]) Min() (K, V, bool) {
+	c := l.head.next[0]
+	if c == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	return c.key, c.value, true
+}
+
+// Max returns the largest key, if any.
+func (l *List[K, V]) Max() (K, V, bool) {
+	x := l.head
+	for i := l.level - 1; i >= 0; i-- {
+		for x.next[i] != nil {
+			x = x.next[i]
+		}
+	}
+	if x == l.head {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	return x.key, x.value, true
+}
+
+// Range calls fn for each key/value with lo <= key < hi in ascending order
+// until fn returns false.
+func (l *List[K, V]) Range(lo, hi K, fn func(K, V) bool) {
+	var update [MaxLevel]*node[K, V]
+	c := l.findPredecessors(lo, update[:])
+	for c != nil && c.key < hi {
+		if !fn(c.key, c.value) {
+			return
+		}
+		c = c.next[0]
+	}
+}
+
+// Keys returns all keys in ascending order.
+func (l *List[K, V]) Keys() []K {
+	out := make([]K, 0, l.n)
+	for c := l.head.next[0]; c != nil; c = c.next[0] {
+		out = append(out, c.key)
+	}
+	return out
+}
+
+// SearchPathLen returns the number of nodes inspected while searching for
+// key, the quantity Figure 1's O(log n) bound describes. It is exported
+// for the Figure 1 experiment.
+func (l *List[K, V]) SearchPathLen(key K) int {
+	steps := 0
+	x := l.head
+	for i := l.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+			steps++
+		}
+		steps++ // inspecting the level transition
+	}
+	return steps
+}
+
+// CheckInvariants verifies structural soundness: keys strictly ascending at
+// every level, every level-i node present at level i-1, and tower heights
+// within bounds. It returns an error describing the first violation.
+func (l *List[K, V]) CheckInvariants() error {
+	if l.level < 1 || l.level > MaxLevel {
+		return fmt.Errorf("skiplist: level %d out of range", l.level)
+	}
+	// Bottom-level ordering and count.
+	count := 0
+	for c := l.head.next[0]; c != nil; c = c.next[0] {
+		count++
+		if c.next[0] != nil && c.next[0].key <= c.key {
+			return fmt.Errorf("skiplist: keys out of order at level 0: %v !< %v", c.key, c.next[0].key)
+		}
+	}
+	if count != l.n {
+		return fmt.Errorf("skiplist: count %d != recorded len %d", count, l.n)
+	}
+	// Each level is a subsequence of the level below.
+	for i := 1; i < l.level; i++ {
+		below := make(map[K]bool)
+		for c := l.head.next[i-1]; c != nil; c = c.next[i-1] {
+			below[c.key] = true
+		}
+		prevSet := false
+		var prev K
+		for c := l.head.next[i]; c != nil; c = c.next[i] {
+			if !below[c.key] {
+				return fmt.Errorf("skiplist: key %v at level %d missing from level %d", c.key, i, i-1)
+			}
+			if prevSet && c.key <= prev {
+				return fmt.Errorf("skiplist: keys out of order at level %d", i)
+			}
+			prev, prevSet = c.key, true
+		}
+	}
+	return nil
+}
+
+// Render draws the skip list in the style of the paper's Figure 1: one row
+// per level (top first), with towers aligned over their bottom-level keys.
+// It is intended for small lists.
+func (l *List[K, V]) Render() string {
+	keys := l.Keys()
+	pos := make(map[K]int, len(keys))
+	for i, k := range keys {
+		pos[k] = i
+	}
+	var b strings.Builder
+	for i := l.level - 1; i >= 0; i-- {
+		cells := make([]string, len(keys))
+		for j := range cells {
+			cells[j] = strings.Repeat("-", 6)
+		}
+		for c := l.head.next[i]; c != nil; c = c.next[i] {
+			cells[pos[c.key]] = fmt.Sprintf("%6v", c.key)
+		}
+		fmt.Fprintf(&b, "L%02d |%s|\n", i, strings.Join(cells, " "))
+	}
+	return b.String()
+}

@@ -1,0 +1,353 @@
+package skiplist
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+func newList(t *testing.T) *List[int, int] {
+	t.Helper()
+	return New[int, int](xrand.New(1))
+}
+
+func TestEmpty(t *testing.T) {
+	l := newList(t)
+	if l.Len() != 0 {
+		t.Fatal("new list not empty")
+	}
+	if _, ok := l.Get(5); ok {
+		t.Fatal("Get on empty returned ok")
+	}
+	if _, _, ok := l.Min(); ok {
+		t.Fatal("Min on empty returned ok")
+	}
+	if _, _, ok := l.Max(); ok {
+		t.Fatal("Max on empty returned ok")
+	}
+	if _, _, ok := l.Floor(3); ok {
+		t.Fatal("Floor on empty returned ok")
+	}
+	if _, _, ok := l.Ceiling(3); ok {
+		t.Fatal("Ceiling on empty returned ok")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetGetDelete(t *testing.T) {
+	l := newList(t)
+	for i := 0; i < 100; i++ {
+		if !l.Set(i*2, i) {
+			t.Fatalf("Set(%d) reported existing", i*2)
+		}
+	}
+	if l.Len() != 100 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := l.Get(i * 2)
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v", i*2, v, ok)
+		}
+		if _, ok := l.Get(i*2 + 1); ok {
+			t.Fatalf("Get(%d) found phantom", i*2+1)
+		}
+	}
+	if l.Set(10, 99) {
+		t.Fatal("overwrite reported new insert")
+	}
+	if v, _ := l.Get(10); v != 99 {
+		t.Fatal("overwrite did not stick")
+	}
+	for i := 0; i < 100; i += 2 {
+		if !l.Delete(i * 2) {
+			t.Fatalf("Delete(%d) failed", i*2)
+		}
+		if l.Delete(i * 2) {
+			t.Fatalf("double Delete(%d) succeeded", i*2)
+		}
+	}
+	if l.Len() != 50 {
+		t.Fatalf("len after deletes = %d", l.Len())
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloorCeiling(t *testing.T) {
+	l := newList(t)
+	for _, k := range []int{10, 20, 30, 40} {
+		l.Set(k, k)
+	}
+	cases := []struct {
+		q               int
+		floor, ceil     int
+		floorOK, ceilOK bool
+	}{
+		{5, 0, 10, false, true},
+		{10, 10, 10, true, true},
+		{15, 10, 20, true, true},
+		{40, 40, 40, true, true},
+		{45, 40, 0, true, false},
+	}
+	for _, c := range cases {
+		fk, _, fok := l.Floor(c.q)
+		if fok != c.floorOK || (fok && fk != c.floor) {
+			t.Errorf("Floor(%d) = %d,%v want %d,%v", c.q, fk, fok, c.floor, c.floorOK)
+		}
+		ck, _, cok := l.Ceiling(c.q)
+		if cok != c.ceilOK || (cok && ck != c.ceil) {
+			t.Errorf("Ceiling(%d) = %d,%v want %d,%v", c.q, ck, cok, c.ceil, c.ceilOK)
+		}
+	}
+}
+
+func TestMinMaxKeys(t *testing.T) {
+	l := newList(t)
+	keys := []int{42, 7, 99, 13, 55}
+	for _, k := range keys {
+		l.Set(k, 0)
+	}
+	if k, _, _ := l.Min(); k != 7 {
+		t.Fatalf("Min = %d", k)
+	}
+	if k, _, _ := l.Max(); k != 99 {
+		t.Fatalf("Max = %d", k)
+	}
+	got := l.Keys()
+	want := append([]int(nil), keys...)
+	sort.Ints(want)
+	if len(got) != len(want) {
+		t.Fatalf("Keys len %d", len(got))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Keys[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	l := newList(t)
+	for i := 0; i < 20; i++ {
+		l.Set(i, i)
+	}
+	var got []int
+	l.Range(5, 12, func(k, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 7 || got[0] != 5 || got[6] != 11 {
+		t.Fatalf("Range(5,12) = %v", got)
+	}
+	// Early stop.
+	got = got[:0]
+	l.Range(0, 20, func(k, _ int) bool {
+		got = append(got, k)
+		return len(got) < 3
+	})
+	if len(got) != 3 {
+		t.Fatalf("early-stop Range returned %d items", len(got))
+	}
+}
+
+// TestAgainstMapOracle drives a long random operation sequence against a
+// Go map + sorted-slice oracle.
+func TestAgainstMapOracle(t *testing.T) {
+	rng := xrand.New(99)
+	l := New[int, int](rng.Split())
+	oracle := make(map[int]int)
+	const ops = 20000
+	for i := 0; i < ops; i++ {
+		k := rng.Intn(500)
+		switch rng.Intn(3) {
+		case 0:
+			l.Set(k, i)
+			oracle[k] = i
+		case 1:
+			got := l.Delete(k)
+			_, want := oracle[k]
+			if got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, oracle %v", i, k, got, want)
+			}
+			delete(oracle, k)
+		case 2:
+			v, ok := l.Get(k)
+			wv, wok := oracle[k]
+			if ok != wok || (ok && v != wv) {
+				t.Fatalf("op %d: Get(%d) = %d,%v, oracle %d,%v", i, k, v, ok, wv, wok)
+			}
+		}
+	}
+	if l.Len() != len(oracle) {
+		t.Fatalf("len %d, oracle %d", l.Len(), len(oracle))
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloorCeilingPropertyQuick(t *testing.T) {
+	rng := xrand.New(7)
+	f := func(keysRaw []uint16, qRaw uint16) bool {
+		l := New[int, int](rng.Split())
+		keys := make([]int, 0, len(keysRaw))
+		seen := map[int]bool{}
+		for _, kr := range keysRaw {
+			k := int(kr % 1000)
+			l.Set(k, k)
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		sort.Ints(keys)
+		q := int(qRaw % 1100)
+		// Brute-force floor and ceiling.
+		wantFloorOK, wantCeilOK := false, false
+		var wantFloor, wantCeil int
+		for _, k := range keys {
+			if k <= q {
+				wantFloor, wantFloorOK = k, true
+			}
+			if k >= q && !wantCeilOK {
+				wantCeil, wantCeilOK = k, true
+			}
+		}
+		fk, _, fok := l.Floor(q)
+		ck, _, cok := l.Ceiling(q)
+		if fok != wantFloorOK || (fok && fk != wantFloor) {
+			return false
+		}
+		if cok != wantCeilOK || (cok && ck != wantCeil) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchPathLogarithmic(t *testing.T) {
+	rng := xrand.New(5)
+	// Mean search path at n=16384 should be well under c*log2(n) for a
+	// generous constant, and the ratio path/log(n) should not grow.
+	ratios := make([]float64, 0, 3)
+	for _, n := range []int{1024, 4096, 16384} {
+		l := New[int, int](rng.Split())
+		for i := 0; i < n; i++ {
+			l.Set(i, i)
+		}
+		total := 0
+		const queries = 500
+		qr := rng.Split()
+		for q := 0; q < queries; q++ {
+			total += l.SearchPathLen(qr.Intn(n))
+		}
+		mean := float64(total) / queries
+		ratios = append(ratios, mean/math.Log2(float64(n)))
+	}
+	for _, r := range ratios {
+		if r > 6 {
+			t.Fatalf("search path ratio %v too large (ratios %v)", r, ratios)
+		}
+	}
+	if ratios[2] > ratios[0]*1.5 {
+		t.Fatalf("search path growing super-logarithmically: %v", ratios)
+	}
+}
+
+func TestExpectedHeight(t *testing.T) {
+	rng := xrand.New(21)
+	l := New[int, int](rng)
+	const n = 8192
+	for i := 0; i < n; i++ {
+		l.Set(i, i)
+	}
+	// Expected max level ~ log2(n) = 13; allow slack.
+	if l.Level() < 8 || l.Level() > 30 {
+		t.Fatalf("level = %d for n = %d", l.Level(), n)
+	}
+}
+
+func TestRenderFigure1(t *testing.T) {
+	rng := xrand.New(1)
+	l := New[int, int](rng)
+	for i := 1; i <= 8; i++ {
+		l.Set(i*10, i)
+	}
+	out := l.Render()
+	if !strings.Contains(out, "L00") {
+		t.Fatalf("render missing bottom level:\n%s", out)
+	}
+	// Bottom row must contain every key.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	bottom := lines[len(lines)-1]
+	for i := 1; i <= 8; i++ {
+		if !strings.Contains(bottom, itoa(i*10)) {
+			t.Fatalf("bottom row missing %d:\n%s", i*10, out)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func TestDeleteToEmptyAndReuse(t *testing.T) {
+	l := newList(t)
+	for i := 0; i < 50; i++ {
+		l.Set(i, i)
+	}
+	for i := 0; i < 50; i++ {
+		l.Delete(i)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("len = %d after full delete", l.Len())
+	}
+	if l.Level() != 1 {
+		t.Fatalf("level = %d after full delete, want 1", l.Level())
+	}
+	l.Set(7, 7)
+	if v, ok := l.Get(7); !ok || v != 7 {
+		t.Fatal("reuse after drain failed")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	l := New[int, int](xrand.New(1))
+	for i := 0; i < b.N; i++ {
+		l.Set(i, i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	l := New[int, int](xrand.New(1))
+	for i := 0; i < 1<<16; i++ {
+		l.Set(i, i)
+	}
+	rng := xrand.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Get(rng.Intn(1 << 16))
+	}
+}

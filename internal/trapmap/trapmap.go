@@ -1,0 +1,623 @@
+// Package trapmap implements trapezoidal maps of non-crossing line
+// segments in the plane, the range-determined link structure of Section
+// 3.3 of the skip-webs paper (Figure 4).
+//
+// A trapezoidal map D(S) subdivides the plane by the input segments plus
+// vertical walls extended up and down from each segment endpoint until
+// they hit another segment or the bounding box. The range of each node is
+// its trapezoid; Lemma 5 shows the conflict count of a trapezoid t of
+// D(T) against D(S) is exactly 1 + a + 2b + 3c, where a segments cut all
+// the way across t, b have one endpoint inside, and c have both.
+//
+// All geometry is exact: coordinates are integers with |x|,|y| <= MaxCoord,
+// internally scaled by 4 so that every slab midpoint is an exact interior
+// integer, and query points are offset by +1 in scaled space — a symbolic
+// perturbation that keeps queries off every wall. Every predicate is a
+// sign computation on int64 products that cannot overflow.
+//
+// General-position requirements (validated by Build): segments are
+// pairwise disjoint (no crossings, no shared endpoints — the paper's
+// "disjoint line segments"), no vertical segments, and all endpoint
+// x-coordinates are distinct.
+package trapmap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MaxCoord bounds |X| and |Y| of every coordinate so that the three-factor
+// products in exact predicates fit comfortably in int64 after the internal
+// scaling by 4.
+const MaxCoord = 1 << 16
+
+// Scale is the internal coordinate multiplier. Endpoints and walls live
+// at multiples of Scale; slab midpoints at multiples of 2; perturbed
+// query points at odd coordinates. The three layers never collide.
+// Trapezoid values returned by Trap are in this scaled space; divide by
+// Scale to recover user coordinates (exact for endpoints and walls).
+const Scale = 4
+
+// scale is the internal alias.
+const scale = Scale
+
+// Point is an exact integer point.
+type Point struct {
+	X, Y int64
+}
+
+// Segment is a non-vertical segment with A.X < B.X.
+type Segment struct {
+	A, B Point
+}
+
+// Rect is an axis-aligned bounding box.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY int64
+}
+
+// TrapID identifies a trapezoid within one Map. NoTrap means "none".
+type TrapID int32
+
+// NoTrap is the sentinel TrapID.
+const NoTrap TrapID = -1
+
+// Trapezoid describes one face of the map in doubled internal coordinates.
+// Top/Bottom are the bounding segments; HasTop/HasBottom are false when
+// the face is bounded by the box edge instead. L and R are the x
+// coordinates of the left and right walls. A trapezoid owns the points
+// with L <= x < R that are strictly above Bottom-or-on-Bottom and strictly
+// below Top ("on a segment" counts as above it).
+type Trapezoid struct {
+	Top, Bottom       Segment
+	HasTop, HasBottom bool
+	L, R              int64
+}
+
+// Map is a trapezoidal map over a fixed segment set. The zero value is not
+// usable; construct with Build.
+type Map struct {
+	segs   []Segment // doubled coordinates
+	bounds Rect      // doubled
+	traps  []Trapezoid
+	index  map[trapKey]TrapID
+}
+
+type trapKey struct {
+	top, bottom       Segment
+	hasTop, hasBottom bool
+	l                 int64
+}
+
+func keyOf(t Trapezoid) trapKey {
+	k := trapKey{hasTop: t.HasTop, hasBottom: t.HasBottom, l: t.L}
+	if t.HasTop {
+		k.top = t.Top
+	}
+	if t.HasBottom {
+		k.bottom = t.Bottom
+	}
+	return k
+}
+
+// cross returns the sign of the cross product (B-A) x (P-A): positive when
+// P is strictly above the directed line A->B (with A.X < B.X).
+func cross(s Segment, p Point) int {
+	v := (s.B.X-s.A.X)*(p.Y-s.A.Y) - (s.B.Y-s.A.Y)*(p.X-s.A.X)
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// cmpAtX compares s1(x) and s2(x), the y values of the two segments at
+// abscissa x; both segments must span x. The result is the sign of
+// s1(x) - s2(x).
+func cmpAtX(s1, s2 Segment, x int64) int {
+	dx1 := s1.B.X - s1.A.X
+	dx2 := s2.B.X - s2.A.X
+	// y_i(x) = A.Y + (B.Y-A.Y)(x-A.X)/dx_i; compare via cross-multiplying
+	// by the (positive) denominators.
+	n1 := (s1.A.Y*dx1 + (s1.B.Y-s1.A.Y)*(x-s1.A.X)) * dx2
+	n2 := (s2.A.Y*dx2 + (s2.B.Y-s2.A.Y)*(x-s2.A.X)) * dx1
+	switch {
+	case n1 > n2:
+		return 1
+	case n1 < n2:
+		return -1
+	default:
+		return 0
+	}
+}
+
+func segSpansOpen(s Segment, x int64) bool { return s.A.X < x && x < s.B.X }
+
+// segmentsIntersect reports whether two segments share any point,
+// including endpoints (exact).
+func segmentsIntersect(a, b Segment) bool {
+	o1 := cross(a, b.A)
+	o2 := cross(a, b.B)
+	o3 := cross(b, a.A)
+	o4 := cross(b, a.B)
+	if o1*o2 < 0 && o3*o4 < 0 {
+		return true
+	}
+	onSeg := func(s Segment, p Point) bool {
+		if cross(s, p) != 0 {
+			return false
+		}
+		return s.A.X <= p.X && p.X <= s.B.X &&
+			min64(s.A.Y, s.B.Y) <= p.Y && p.Y <= max64(s.A.Y, s.B.Y)
+	}
+	return onSeg(a, b.A) || onSeg(a, b.B) || onSeg(b, a.A) || onSeg(b, a.B)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ValidateDisjoint checks the general-position requirements on a segment
+// set in user coordinates. It is exported for workload generators.
+func ValidateDisjoint(segs []Segment, bounds Rect) error {
+	xs := map[int64]bool{}
+	for i, s := range segs {
+		if s.A.X >= s.B.X {
+			return fmt.Errorf("trapmap: segment %d not left-to-right (vertical segments unsupported)", i)
+		}
+		for _, p := range []Point{s.A, s.B} {
+			if p.X < -MaxCoord || p.X > MaxCoord || p.Y < -MaxCoord || p.Y > MaxCoord {
+				return fmt.Errorf("trapmap: segment %d coordinate out of range ±%d", i, MaxCoord)
+			}
+			if p.X <= bounds.MinX || p.X >= bounds.MaxX || p.Y <= bounds.MinY || p.Y >= bounds.MaxY {
+				return fmt.Errorf("trapmap: segment %d endpoint %+v not strictly inside bounds %+v", i, p, bounds)
+			}
+			if xs[p.X] {
+				return fmt.Errorf("trapmap: duplicate endpoint x-coordinate %d (general position required)", p.X)
+			}
+			xs[p.X] = true
+		}
+	}
+	for i := range segs {
+		for j := i + 1; j < len(segs); j++ {
+			if segmentsIntersect(segs[i], segs[j]) {
+				return fmt.Errorf("trapmap: segments %d and %d intersect", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Build constructs the trapezoidal map of segs within bounds. Inputs are
+// in user coordinates and validated; the error reports the violation.
+func Build(segs []Segment, bounds Rect) (*Map, error) {
+	if bounds.MinX >= bounds.MaxX || bounds.MinY >= bounds.MaxY {
+		return nil, fmt.Errorf("trapmap: empty bounds %+v", bounds)
+	}
+	if bounds.MinX < -MaxCoord || bounds.MaxX > MaxCoord || bounds.MinY < -MaxCoord || bounds.MaxY > MaxCoord {
+		return nil, fmt.Errorf("trapmap: bounds out of range ±%d", MaxCoord)
+	}
+	if err := ValidateDisjoint(segs, bounds); err != nil {
+		return nil, err
+	}
+	m := &Map{
+		segs:   make([]Segment, len(segs)),
+		bounds: Rect{bounds.MinX * scale, bounds.MinY * scale, bounds.MaxX * scale, bounds.MaxY * scale},
+		index:  make(map[trapKey]TrapID),
+	}
+	for i, s := range segs {
+		m.segs[i] = Segment{
+			Point{s.A.X * scale, s.A.Y * scale},
+			Point{s.B.X * scale, s.B.Y * scale},
+		}
+	}
+	m.enumerate()
+	return m, nil
+}
+
+// enumerate lists all trapezoids by scanning each slab between consecutive
+// wall x-coordinates and deduplicating faces that span multiple slabs.
+func (m *Map) enumerate() {
+	xs := []int64{m.bounds.MinX, m.bounds.MaxX}
+	for _, s := range m.segs {
+		xs = append(xs, s.A.X, s.B.X)
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	for i := 0; i+1 < len(xs); i++ {
+		if xs[i] == xs[i+1] {
+			continue
+		}
+		// Walls are multiples of scale and distinct, so the midpoint is an
+		// exact integer strictly inside the slab.
+		xm := (xs[i] + xs[i+1]) / 2
+		crossing := m.segmentsAt(xm)
+		// Strips bottom-to-top: (box bottom, s1), (s1, s2), ..., (sk, box top).
+		for j := 0; j <= len(crossing); j++ {
+			var t Trapezoid
+			if j > 0 {
+				t.Bottom = crossing[j-1]
+				t.HasBottom = true
+			}
+			if j < len(crossing) {
+				t.Top = crossing[j]
+				t.HasTop = true
+			}
+			t.L = m.wallLeft(t, xm)
+			t.R = m.wallRight(t, xm)
+			k := keyOf(t)
+			if _, ok := m.index[k]; !ok {
+				m.index[k] = TrapID(len(m.traps))
+				m.traps = append(m.traps, t)
+			}
+		}
+	}
+}
+
+// segmentsAt returns the segments spanning abscissa x, sorted bottom to top.
+func (m *Map) segmentsAt(x int64) []Segment {
+	var out []Segment
+	for _, s := range m.segs {
+		if segSpansOpen(s, x) {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return cmpAtX(out[i], out[j], x) < 0 })
+	return out
+}
+
+// wallLeft computes the left wall of the face whose top/bottom are t's and
+// which contains abscissa x: the rightmost wall candidate at or left of x.
+func (m *Map) wallLeft(t Trapezoid, x int64) int64 {
+	l := m.bounds.MinX
+	if t.HasTop && t.Top.A.X > l {
+		l = t.Top.A.X
+	}
+	if t.HasBottom && t.Bottom.A.X > l {
+		l = t.Bottom.A.X
+	}
+	for _, s := range m.segs {
+		for _, p := range []Point{s.A, s.B} {
+			if p.X <= l || p.X > x {
+				continue
+			}
+			if m.strictlyInStrip(t, p) {
+				l = p.X
+			}
+		}
+	}
+	return l
+}
+
+// wallRight is symmetric: the leftmost wall candidate strictly right of x.
+func (m *Map) wallRight(t Trapezoid, x int64) int64 {
+	r := m.bounds.MaxX
+	if t.HasTop && t.Top.B.X < r {
+		r = t.Top.B.X
+	}
+	if t.HasBottom && t.Bottom.B.X < r {
+		r = t.Bottom.B.X
+	}
+	for _, s := range m.segs {
+		for _, p := range []Point{s.A, s.B} {
+			if p.X <= x || p.X >= r {
+				continue
+			}
+			if m.strictlyInStrip(t, p) {
+				r = p.X
+			}
+		}
+	}
+	return r
+}
+
+// strictlyInStrip reports whether point p lies strictly between t's bottom
+// and top boundaries at abscissa p.X. Both boundaries must span p.X for
+// the test to be meaningful; a boundary that does not span p.X cannot
+// bound the face there, and the caller's wall-candidate x filters ensure
+// spanning, except for box sentinels which always "span".
+func (m *Map) strictlyInStrip(t Trapezoid, p Point) bool {
+	if t.HasBottom {
+		if !segSpansOpen(t.Bottom, p.X) {
+			return false
+		}
+		if cross(t.Bottom, p) <= 0 {
+			return false
+		}
+	} else if p.Y <= m.bounds.MinY {
+		return false
+	}
+	if t.HasTop {
+		if !segSpansOpen(t.Top, p.X) {
+			return false
+		}
+		if cross(t.Top, p) >= 0 {
+			return false
+		}
+	} else if p.Y >= m.bounds.MaxY {
+		return false
+	}
+	return true
+}
+
+// NumTraps returns the number of trapezoids. For n disjoint segments the
+// count is exactly 3n+1 in general position.
+func (m *Map) NumTraps() int { return len(m.traps) }
+
+// Trap returns trapezoid id (doubled coordinates).
+func (m *Map) Trap(id TrapID) Trapezoid { return m.traps[id] }
+
+// Segments returns the map's segments in doubled internal coordinates.
+func (m *Map) Segments() []Segment { return append([]Segment(nil), m.segs...) }
+
+// Bounds returns the doubled bounding box.
+func (m *Map) Bounds() Rect { return m.bounds }
+
+// Locate returns the trapezoid containing the user-coordinate point q,
+// under a symbolic up-right perturbation: q is mapped to (4q.X+1, 4q.Y+1)
+// in internal coordinates, so queries exactly on a wall or segment resolve
+// deterministically to the face up and to the right. An error is returned
+// if q is outside the bounding box.
+func (m *Map) Locate(q Point) (TrapID, error) {
+	return m.locateInternal(perturb(q))
+}
+
+// perturb maps a user-coordinate query point into scaled space, offset so
+// it can never coincide with a wall abscissa.
+func perturb(q Point) Point {
+	return Point{q.X*scale + 1, q.Y*scale + 1}
+}
+
+func (m *Map) locateInternal(p Point) (TrapID, error) {
+	if p.X < m.bounds.MinX || p.X >= m.bounds.MaxX || p.Y < m.bounds.MinY || p.Y >= m.bounds.MaxY {
+		return NoTrap, fmt.Errorf("trapmap: point %+v outside bounds", p)
+	}
+	var t Trapezoid
+	// Find the tightest boundaries around p among segments spanning p.X.
+	for _, s := range m.segs {
+		if !segSpansOpen(s, p.X) {
+			continue
+		}
+		if cross(s, p) >= 0 {
+			// s is at or below p: candidate bottom (keep the highest).
+			if !t.HasBottom || cmpAtX(s, t.Bottom, p.X) > 0 {
+				t.Bottom = s
+				t.HasBottom = true
+			}
+		} else {
+			if !t.HasTop || cmpAtX(s, t.Top, p.X) < 0 {
+				t.Top = s
+				t.HasTop = true
+			}
+		}
+	}
+	t.L = m.wallLeft(t, p.X)
+	t.R = m.wallRight(t, p.X)
+	// p.X may itself be a wall (when p.X equals an endpoint x); the point
+	// belongs to the face on the right, which wallLeft already honors
+	// because candidates use p.X inclusively on the left side.
+	id, ok := m.index[keyOf(t)]
+	if !ok {
+		return NoTrap, fmt.Errorf("trapmap: internal error: face %+v not enumerated", t)
+	}
+	return id, nil
+}
+
+// Contains reports whether trapezoid id contains the user-coordinate point
+// q, under the same symbolic perturbation as Locate (so Contains agrees
+// with Locate on every query, including degenerate ones).
+func (m *Map) Contains(id TrapID, q Point) bool {
+	p := perturb(q)
+	t := m.traps[id]
+	if p.X < t.L || p.X >= t.R {
+		return false
+	}
+	if t.HasBottom {
+		if !segSpansOpen(t.Bottom, p.X) || cross(t.Bottom, p) < 0 {
+			return false
+		}
+	} else if p.Y < m.bounds.MinY {
+		return false
+	}
+	if t.HasTop {
+		if !segSpansOpen(t.Top, p.X) || cross(t.Top, p) >= 0 {
+			return false
+		}
+	} else if p.Y >= m.bounds.MaxY {
+		return false
+	}
+	return true
+}
+
+// ConflictStats is the decomposition of Lemma 5: a segments cut across the
+// trapezoid, b have one endpoint strictly inside, c have both. The lemma
+// proves the conflict count against D(S) equals 1 + a + 2b + 3c.
+type ConflictStats struct {
+	A, B, C int
+}
+
+// Count returns 1 + a + 2b + 3c.
+func (c ConflictStats) Count() int { return 1 + c.A + 2*c.B + 3*c.C }
+
+// ConflictStats computes Lemma 5's decomposition for trapezoid t (in
+// doubled coordinates, e.g. from Trap of another map built over a subset)
+// against this map's segments.
+func (m *Map) ConflictStats(t Trapezoid) ConflictStats {
+	var cs ConflictStats
+	for _, s := range m.segs {
+		if t.HasTop && s == t.Top || t.HasBottom && s == t.Bottom {
+			continue
+		}
+		inside := 0
+		for _, p := range []Point{s.A, s.B} {
+			if p.X > t.L && p.X < t.R && m.strictlyInStrip(t, p) {
+				inside++
+			}
+		}
+		switch inside {
+		case 2:
+			cs.C++
+		case 1:
+			cs.B++
+		default:
+			// No endpoint inside: s conflicts iff it cuts across the open
+			// interior, i.e. its span overlaps (L, R) and it runs strictly
+			// between bottom and top there.
+			xlo := max64(t.L, s.A.X)
+			xhi := min64(t.R, s.B.X)
+			if xlo >= xhi {
+				continue
+			}
+			xm := (xlo + xhi) / 2
+			// Evaluate "strictly between" by comparing s against the
+			// boundaries at xm with exact segment-vs-segment comparison.
+			// A box-edge boundary never excludes s (segments live strictly
+			// inside the box).
+			between := true
+			if t.HasBottom {
+				if !segSpansOpen(t.Bottom, xm) || cmpAtX(s, t.Bottom, xm) <= 0 {
+					between = false
+				}
+			}
+			if between && t.HasTop {
+				if !segSpansOpen(t.Top, xm) || cmpAtX(s, t.Top, xm) >= 0 {
+					between = false
+				}
+			}
+			if between {
+				cs.A++
+			}
+		}
+	}
+	return cs
+}
+
+// Intersects reports whether the open interiors of two trapezoids
+// intersect. The trapezoids may come from maps over different subsets of
+// the same non-crossing arrangement (both in scaled coordinates); because
+// no two segments cross, vertical order is constant over any common
+// x-range, so a single exact comparison at the overlap midpoint decides.
+// Open-interior overlap matches Lemma 5's counting: a trapezoid conflicts
+// with itself and with anything crossing or containing part of its
+// interior, but not with faces it merely touches along a wall.
+func Intersects(a, b Trapezoid) bool {
+	xlo := max64(a.L, b.L)
+	xhi := min64(a.R, b.R)
+	if xlo >= xhi {
+		return false
+	}
+	xm := (xlo + xhi) / 2
+	// Vertical overlap at xm: max(bottoms) < min(tops). A box-edge
+	// boundary never excludes overlap against a segment boundary, since
+	// segments live strictly inside the box.
+	if a.HasBottom && b.HasTop && cmpAtX(a.Bottom, b.Top, xm) >= 0 {
+		return false
+	}
+	if b.HasBottom && a.HasTop && cmpAtX(b.Bottom, a.Top, xm) >= 0 {
+		return false
+	}
+	return true
+}
+
+// Conflicts returns the trapezoids of this map whose interiors intersect
+// trapezoid t (doubled coordinates, typically from a map over a subset).
+func (m *Map) Conflicts(t Trapezoid) []TrapID {
+	var out []TrapID
+	for id := range m.traps {
+		if Intersects(m.traps[id], t) {
+			out = append(out, TrapID(id))
+		}
+	}
+	return out
+}
+
+// InteriorPoint returns a point strictly inside trapezoid id, in doubled
+// coordinates. Every trapezoid of a valid map has one.
+func (m *Map) InteriorPoint(id TrapID) Point {
+	t := m.traps[id]
+	xm := (t.L + t.R) / 2
+	var lo, hi int64
+	if t.HasBottom {
+		lo = segYFloorAt(t.Bottom, xm) // may be slightly below the true value
+	} else {
+		lo = m.bounds.MinY
+	}
+	if t.HasTop {
+		hi = segYFloorAt(t.Top, xm)
+	} else {
+		hi = m.bounds.MaxY
+	}
+	return Point{X: xm, Y: (lo + hi) / 2}
+}
+
+// segYFloorAt returns floor of the y value of s at x.
+func segYFloorAt(s Segment, x int64) int64 {
+	dx := s.B.X - s.A.X
+	num := s.A.Y*dx + (s.B.Y-s.A.Y)*(x-s.A.X)
+	// Floor division for possibly negative numerator.
+	q := num / dx
+	if num%dx != 0 && (num < 0) != (dx < 0) {
+		q--
+	}
+	return q
+}
+
+// CheckInvariants verifies that the map is a subdivision: trapezoid count
+// is 3n+1, faces pairwise interior-disjoint, and a grid of probe points is
+// covered by exactly one face each.
+func (m *Map) CheckInvariants() error {
+	want := 3*len(m.segs) + 1
+	if len(m.traps) != want {
+		return fmt.Errorf("trapmap: %d trapezoids for %d segments, want %d", len(m.traps), len(m.segs), want)
+	}
+	for i := range m.traps {
+		for j := i + 1; j < len(m.traps); j++ {
+			if Intersects(m.traps[i], m.traps[j]) {
+				return fmt.Errorf("trapmap: faces %d and %d overlap", i, j)
+			}
+		}
+	}
+	for i := range m.traps {
+		t := m.traps[i]
+		if t.L >= t.R {
+			return fmt.Errorf("trapmap: face %d empty x-range [%d,%d)", i, t.L, t.R)
+		}
+	}
+	return nil
+}
+
+// Render draws a coarse ASCII raster of the map (Figure 4 style): each
+// cell shows the index (mod 62) of the trapezoid containing its center.
+func (m *Map) Render(cols, rows int) string {
+	alphabet := "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	var b strings.Builder
+	w := m.bounds.MaxX - m.bounds.MinX
+	h := m.bounds.MaxY - m.bounds.MinY
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			x := m.bounds.MinX + w*int64(2*c+1)/int64(2*cols)
+			y := m.bounds.MaxY - h*int64(2*r+1)/int64(2*rows)
+			id, err := m.locateInternal(Point{x, y})
+			if err != nil {
+				b.WriteByte('?')
+				continue
+			}
+			b.WriteByte(alphabet[int(id)%len(alphabet)])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

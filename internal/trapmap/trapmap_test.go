@@ -1,0 +1,371 @@
+package trapmap
+
+import (
+	"testing"
+
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+var testBounds = Rect{MinX: -1000, MinY: -1000, MaxX: 1000, MaxY: 1000}
+
+// genSegments produces n pairwise-disjoint segments with distinct endpoint
+// x-coordinates via rejection sampling, in user coordinates.
+func genSegments(rng *xrand.Rand, n int, bounds Rect) []Segment {
+	usedX := map[int64]bool{}
+	var out []Segment
+	width := bounds.MaxX - bounds.MinX
+	height := bounds.MaxY - bounds.MinY
+	for len(out) < n {
+		x1 := bounds.MinX + 1 + int64(rng.Uint64n(uint64(width-2)))
+		dx := 1 + int64(rng.Uint64n(uint64(width)/8+1))
+		x2 := x1 + dx
+		if x2 >= bounds.MaxX {
+			continue
+		}
+		y1 := bounds.MinY + 1 + int64(rng.Uint64n(uint64(height-2)))
+		y2 := bounds.MinY + 1 + int64(rng.Uint64n(uint64(height-2)))
+		if usedX[x1] || usedX[x2] || x1 == x2 {
+			continue
+		}
+		s := Segment{Point{x1, y1}, Point{x2, y2}}
+		ok := true
+		for _, t := range out {
+			if segmentsIntersect(s, t) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		usedX[x1] = true
+		usedX[x2] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestBuildValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		segs []Segment
+	}{
+		{"vertical", []Segment{{Point{5, 0}, Point{5, 10}}}},
+		{"right-to-left", []Segment{{Point{10, 0}, Point{5, 0}}}},
+		{"crossing", []Segment{
+			{Point{0, 0}, Point{10, 10}},
+			{Point{1, 9}, Point{9, 1}},
+		}},
+		{"shared endpoint", []Segment{
+			{Point{0, 0}, Point{10, 10}},
+			{Point{10, 10}, Point{20, 0}},
+		}},
+		{"duplicate x", []Segment{
+			{Point{0, 0}, Point{10, 10}},
+			{Point{0, 50}, Point{11, 60}},
+		}},
+		{"outside bounds", []Segment{{Point{-5000, 0}, Point{5000, 0}}}},
+	}
+	for _, c := range cases {
+		if _, err := Build(c.segs, testBounds); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestEmptyMap(t *testing.T) {
+	m, err := Build(nil, testBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTraps() != 1 {
+		t.Fatalf("empty map has %d traps", m.NumTraps())
+	}
+	id, err := m.Locate(Point{0, 0})
+	if err != nil || id != 0 {
+		t.Fatalf("locate in empty map: %v %v", id, err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleSegment(t *testing.T) {
+	m, err := Build([]Segment{{Point{-100, 0}, Point{100, 50}}}, testBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3n+1 = 4 trapezoids: left, above, below, right.
+	if m.NumTraps() != 4 {
+		t.Fatalf("traps = %d, want 4", m.NumTraps())
+	}
+	above, _ := m.Locate(Point{0, 500})
+	below, _ := m.Locate(Point{0, -500})
+	left, _ := m.Locate(Point{-500, 0})
+	right, _ := m.Locate(Point{500, 0})
+	ids := map[TrapID]bool{above: true, below: true, left: true, right: true}
+	if len(ids) != 4 {
+		t.Fatalf("four regions map to %d distinct traps", len(ids))
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrapCount3nPlus1(t *testing.T) {
+	rng := xrand.New(1)
+	for _, n := range []int{1, 2, 5, 10, 40, 100} {
+		segs := genSegments(rng.Split(), n, testBounds)
+		m, err := Build(segs, testBounds)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if m.NumTraps() != 3*n+1 {
+			t.Fatalf("n=%d: traps = %d, want %d", n, m.NumTraps(), 3*n+1)
+		}
+	}
+}
+
+func TestLocateContainsAgree(t *testing.T) {
+	rng := xrand.New(2)
+	segs := genSegments(rng, 60, testBounds)
+	m, err := Build(segs, testBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3000; trial++ {
+		q := Point{
+			X: testBounds.MinX + int64(rng.Uint64n(uint64(testBounds.MaxX-testBounds.MinX))),
+			Y: testBounds.MinY + int64(rng.Uint64n(uint64(testBounds.MaxY-testBounds.MinY))),
+		}
+		id, err := m.Locate(q)
+		if err != nil {
+			t.Fatalf("locate %+v: %v", q, err)
+		}
+		if !m.Contains(id, q) {
+			t.Fatalf("Locate(%+v) = %d but Contains is false", q, id)
+		}
+		// No other trapezoid may contain it.
+		for other := 0; other < m.NumTraps(); other++ {
+			if TrapID(other) != id && m.Contains(TrapID(other), q) {
+				t.Fatalf("point %+v in both %d and %d", q, id, other)
+			}
+		}
+	}
+}
+
+func TestLocateOnDegeneratePoints(t *testing.T) {
+	// Queries exactly on segment endpoints and directly on segments must
+	// resolve deterministically and consistently.
+	segs := []Segment{
+		{Point{-100, 0}, Point{100, 0}},   // horizontal through origin
+		{Point{-90, 200}, Point{90, 300}}, // above it
+	}
+	m, err := Build(segs, testBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []Point{
+		{-100, 0}, {100, 0}, {0, 0}, {-90, 200}, {50, 0},
+	} {
+		id, err := m.Locate(q)
+		if err != nil {
+			t.Fatalf("locate %+v: %v", q, err)
+		}
+		if !m.Contains(id, q) {
+			t.Fatalf("degenerate %+v: Locate/Contains disagree", q)
+		}
+	}
+}
+
+func TestInteriorPointRoundTrip(t *testing.T) {
+	rng := xrand.New(3)
+	segs := genSegments(rng, 40, testBounds)
+	m, err := Build(segs, testBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < m.NumTraps(); id++ {
+		p := m.InteriorPoint(TrapID(id))
+		got, err := m.locateInternal(p)
+		if err != nil {
+			t.Fatalf("trap %d interior point %+v: %v", id, p, err)
+		}
+		if got != TrapID(id) {
+			t.Fatalf("trap %d interior point locates to %d", id, got)
+		}
+	}
+}
+
+func TestConflictsSelf(t *testing.T) {
+	rng := xrand.New(4)
+	segs := genSegments(rng, 30, testBounds)
+	m, err := Build(segs, testBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every trapezoid conflicts with itself and nothing else in its own map
+	// (faces of one map are interior-disjoint).
+	for id := 0; id < m.NumTraps(); id++ {
+		conf := m.Conflicts(m.Trap(TrapID(id)))
+		if len(conf) != 1 || conf[0] != TrapID(id) {
+			t.Fatalf("trap %d self-conflicts = %v", id, conf)
+		}
+	}
+}
+
+func TestLemma5Identity(t *testing.T) {
+	// The number of trapezoids of D(S) intersecting a trapezoid t of D(T)
+	// must equal 1 + a + 2b + 3c (proved by induction in Lemma 5).
+	rng := xrand.New(5)
+	segs := genSegments(rng, 64, testBounds)
+	full, err := Build(segs, testBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var half []Segment
+	for _, s := range segs {
+		if rng.Bool() {
+			half = append(half, s)
+		}
+	}
+	sub, err := Build(half, testBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < sub.NumTraps(); id++ {
+		tr := sub.Trap(TrapID(id))
+		conflicts := len(full.Conflicts(tr))
+		cs := full.ConflictStats(tr)
+		if conflicts != cs.Count() {
+			t.Fatalf("trap %d: %d conflicts, 1+a+2b+3c = %d (a=%d b=%d c=%d)",
+				id, conflicts, cs.Count(), cs.A, cs.B, cs.C)
+		}
+	}
+}
+
+func TestHalvingConflictConstant(t *testing.T) {
+	// Lemma 5 smoke test: E[conflicts of the trapezoid containing a random
+	// query] stays small when T is a random half of S.
+	rng := xrand.New(6)
+	segs := genSegments(rng, 200, testBounds)
+	full, err := Build(segs, testBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var half []Segment
+	for _, s := range segs {
+		if rng.Bool() {
+			half = append(half, s)
+		}
+	}
+	sub, err := Build(half, testBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		q := Point{
+			X: testBounds.MinX + int64(rng.Uint64n(uint64(testBounds.MaxX-testBounds.MinX))),
+			Y: testBounds.MinY + int64(rng.Uint64n(uint64(testBounds.MaxY-testBounds.MinY))),
+		}
+		id, err := sub.Locate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(full.Conflicts(sub.Trap(id)))
+	}
+	if mean := float64(total) / trials; mean > 12 {
+		t.Fatalf("mean conflicts %.2f too large", mean)
+	}
+}
+
+func TestConflictsContainQueryTrap(t *testing.T) {
+	// The trapezoid of D(S) containing q must always appear in the
+	// conflict list of the trapezoid of D(T) containing q — the property
+	// the skip-web descent relies on.
+	rng := xrand.New(7)
+	segs := genSegments(rng, 100, testBounds)
+	full, err := Build(segs, testBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var half []Segment
+	for _, s := range segs {
+		if rng.Bool() {
+			half = append(half, s)
+		}
+	}
+	sub, err := Build(half, testBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 500; trial++ {
+		q := Point{
+			X: testBounds.MinX + int64(rng.Uint64n(uint64(testBounds.MaxX-testBounds.MinX))),
+			Y: testBounds.MinY + int64(rng.Uint64n(uint64(testBounds.MaxY-testBounds.MinY))),
+		}
+		subID, err := sub.Locate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullID, err := full.Locate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, c := range full.Conflicts(sub.Trap(subID)) {
+			if c == fullID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("trial %d: answer trap %d not in conflicts of sub trap %d", trial, fullID, subID)
+		}
+	}
+}
+
+func TestRenderSmoke(t *testing.T) {
+	rng := xrand.New(8)
+	segs := genSegments(rng, 10, testBounds)
+	m, err := Build(segs, testBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Render(40, 12)
+	if len(out) < 40*12 {
+		t.Fatalf("render too short:\n%s", out)
+	}
+}
+
+func BenchmarkBuild64(b *testing.B) {
+	rng := xrand.New(1)
+	segs := genSegments(rng, 64, testBounds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(segs, testBounds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocate(b *testing.B) {
+	rng := xrand.New(1)
+	segs := genSegments(rng, 256, testBounds)
+	m, err := Build(segs, testBounds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := Point{
+			X: testBounds.MinX + int64(rng.Uint64n(2000)),
+			Y: testBounds.MinY + int64(rng.Uint64n(2000)),
+		}
+		if _, err := m.Locate(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package trie
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// TestChurnEqualsRebuildQuick verifies structural canonicity: the trie
+// reached by any interleaving of inserts and deletes equals the
+// bulk-built trie over the surviving keys (same nodes, same loci) — the
+// "unique link structure" property skip-webs require.
+func TestChurnEqualsRebuildQuick(t *testing.T) {
+	alphabet := "ab"
+	f := func(seedRaw uint32, opsRaw []uint8) bool {
+		rng := xrand.New(uint64(seedRaw) ^ 0x371e)
+		tr := New()
+		live := map[string]bool{}
+		for range opsRaw {
+			l := 1 + rng.Intn(6)
+			b := make([]byte, l)
+			for i := range b {
+				b[i] = alphabet[rng.Intn(len(alphabet))]
+			}
+			k := string(b)
+			if live[k] && rng.Bool() {
+				if _, err := tr.Delete(k); err != nil {
+					return false
+				}
+				delete(live, k)
+			} else if !live[k] {
+				if _, err := tr.Insert(k); err != nil {
+					return false
+				}
+				live[k] = true
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			return false
+		}
+		var keys []string
+		for k := range live {
+			keys = append(keys, k)
+		}
+		bulk, err := Build(keys)
+		if err != nil {
+			return false
+		}
+		if tr.NumNodes() != bulk.NumNodes() {
+			return false
+		}
+		for _, id := range tr.Nodes() {
+			bid, ok := bulk.NodeByLocus(tr.Locus(id))
+			if !ok {
+				return false
+			}
+			if bulk.IsKey(bid) != tr.IsKey(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubsetLociQuick verifies the anchor premise: every locus of a trie
+// over a subset exists in the trie over the superset.
+func TestSubsetLociQuick(t *testing.T) {
+	f := func(seedRaw uint32) bool {
+		rng := xrand.New(uint64(seedRaw) ^ 0x88a)
+		n := 8 + rng.Intn(150)
+		keys := randKeys(rng, n, 1, 10, "abc")
+		full, err := Build(keys)
+		if err != nil {
+			return false
+		}
+		var half []string
+		for _, k := range keys {
+			if rng.Bool() {
+				half = append(half, k)
+			}
+		}
+		sub, err := Build(half)
+		if err != nil {
+			return false
+		}
+		for _, id := range sub.Nodes() {
+			if _, ok := full.NodeByLocus(sub.Locus(id)); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,357 @@
+package trie
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+func randKeys(rng *xrand.Rand, n, minLen, maxLen int, alphabet string) []string {
+	seen := map[string]bool{}
+	out := make([]string, 0, n)
+	for len(out) < n {
+		l := minLen + rng.Intn(maxLen-minLen+1)
+		var b strings.Builder
+		for i := 0; i < l; i++ {
+			b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		s := b.String()
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func TestEmptyTrie(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 || tr.NumNodes() != 1 {
+		t.Fatal("empty trie malformed")
+	}
+	if tr.Contains("x") {
+		t.Fatal("phantom key")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.KeysWithPrefix("a", 0); len(got) != 0 {
+		t.Fatalf("prefix query on empty returned %v", got)
+	}
+}
+
+func TestInsertContains(t *testing.T) {
+	tr := New()
+	keys := []string{"cat", "car", "cart", "dog", "do", "done", "c"}
+	for _, k := range keys {
+		if _, err := tr.Insert(k); err != nil {
+			t.Fatalf("insert %q: %v", k, err)
+		}
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("len %d", tr.Len())
+	}
+	for _, k := range keys {
+		if !tr.Contains(k) {
+			t.Fatalf("missing %q", k)
+		}
+	}
+	for _, k := range []string{"ca", "cats", "d", "doner", "x", "care"} {
+		if tr.Contains(k) {
+			t.Fatalf("phantom %q", k)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertRejects(t *testing.T) {
+	tr := New()
+	if _, err := tr.Insert(""); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if _, err := tr.Insert("abc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Insert("abc"); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestBuildMatchesInserts(t *testing.T) {
+	rng := xrand.New(1)
+	keys := randKeys(rng, 500, 1, 12, "abcd")
+	tr, err := Build(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("len %d", tr.Len())
+	}
+	got := tr.Keys()
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys[%d] = %q want %q", i, got[i], want[i])
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildRejectsDuplicates(t *testing.T) {
+	if _, err := Build([]string{"a", "b", "a"}); err == nil {
+		t.Fatal("duplicates accepted")
+	}
+}
+
+func TestKeysWithPrefix(t *testing.T) {
+	tr, err := Build([]string{"shell", "she", "shore", "ship", "apple", "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		p    string
+		want []string
+	}{
+		{"sh", []string{"she", "shell", "ship", "shore"}},
+		{"she", []string{"she", "shell"}},
+		{"shel", []string{"shell"}},
+		{"shells", nil},
+		{"", []string{"apple", "s", "she", "shell", "ship", "shore"}},
+		{"a", []string{"apple"}},
+		{"z", nil},
+		{"s", []string{"s", "she", "shell", "ship", "shore"}},
+	}
+	for _, c := range cases {
+		got := tr.KeysWithPrefix(c.p, 0)
+		if len(got) != len(c.want) {
+			t.Fatalf("prefix %q: got %v want %v", c.p, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("prefix %q: got %v want %v", c.p, got, c.want)
+			}
+		}
+	}
+	// Max limiting.
+	if got := tr.KeysWithPrefix("sh", 2); len(got) != 2 {
+		t.Fatalf("max-limited returned %v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := xrand.New(2)
+	keys := randKeys(rng, 300, 1, 10, "ab")
+	tr, err := Build(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rng.Perm(len(keys))
+	for i, pi := range perm {
+		if _, err := tr.Delete(keys[pi]); err != nil {
+			t.Fatalf("delete %d %q: %v", i, keys[pi], err)
+		}
+		if tr.Contains(keys[pi]) {
+			t.Fatalf("key %q survives delete", keys[pi])
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after delete %d: %v", i, err)
+		}
+	}
+	if tr.Len() != 0 || tr.NumNodes() != 1 {
+		t.Fatalf("trie not drained: len=%d nodes=%d", tr.Len(), tr.NumNodes())
+	}
+	if _, err := tr.Delete("a"); err == nil {
+		t.Fatal("delete of absent key succeeded")
+	}
+}
+
+func TestDeletePrefixKeyKeepsDescendants(t *testing.T) {
+	tr, _ := Build([]string{"do", "dog", "dogs"})
+	if _, err := tr.Delete("dog"); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Contains("do") || !tr.Contains("dogs") || tr.Contains("dog") {
+		t.Fatal("wrong keys after deleting middle prefix")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertDeleteMixOracle(t *testing.T) {
+	rng := xrand.New(3)
+	tr := New()
+	oracle := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		k := randKeys(rng, 1, 1, 6, "abc")[0]
+		switch {
+		case !oracle[k]:
+			if _, err := tr.Insert(k); err != nil {
+				t.Fatalf("op %d insert %q: %v", i, k, err)
+			}
+			oracle[k] = true
+		case rng.Bool():
+			if _, err := tr.Delete(k); err != nil {
+				t.Fatalf("op %d delete %q: %v", i, k, err)
+			}
+			delete(oracle, k)
+		default:
+			if !tr.Contains(k) {
+				t.Fatalf("op %d: %q missing", i, k)
+			}
+		}
+	}
+	if tr.Len() != len(oracle) {
+		t.Fatalf("len %d oracle %d", tr.Len(), len(oracle))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocateSemantics(t *testing.T) {
+	tr, _ := Build([]string{"abcde", "abcxy", "q"})
+	// Deepest node with locus a prefix of the query.
+	id, _ := tr.Locate("abcdz")
+	if got := tr.Locus(id); got != "abc" {
+		t.Fatalf("Locate(abcdz) locus %q, want abc", got)
+	}
+	id, _ = tr.Locate("abcde")
+	if got := tr.Locus(id); got != "abcde" {
+		t.Fatalf("Locate(abcde) locus %q", got)
+	}
+	id, _ = tr.Locate("zzz")
+	if got := tr.Locus(id); got != "" {
+		t.Fatalf("Locate(zzz) locus %q, want root", got)
+	}
+}
+
+func TestDepthLinearForSharedPrefixes(t *testing.T) {
+	// Keys a, aa, aaa, ... force a path-shaped trie of depth n.
+	var keys []string
+	for i := 1; i <= 64; i++ {
+		keys = append(keys, strings.Repeat("a", i))
+	}
+	tr, err := Build(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tr.Depth(); d != 64 {
+		t.Fatalf("depth %d, want 64", d)
+	}
+}
+
+func TestConflictsMatchBruteForce(t *testing.T) {
+	rng := xrand.New(4)
+	keys := randKeys(rng, 120, 1, 8, "ab")
+	tr, err := Build(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []NodeID
+	var walk func(NodeID)
+	walk = func(id NodeID) {
+		all = append(all, id)
+		for _, c := range tr.Children(id) {
+			walk(c)
+		}
+	}
+	walk(tr.Root())
+	for _, id := range all {
+		locus := tr.Locus(id)
+		got := map[NodeID]bool{}
+		for _, x := range tr.Conflicts(locus) {
+			got[x] = true
+		}
+		for _, other := range all {
+			want := LociNested(locus, tr.Locus(other))
+			if got[other] != want {
+				t.Fatalf("conflicts(%q) vs node %q: got %v want %v",
+					locus, tr.Locus(other), got[other], want)
+			}
+		}
+	}
+}
+
+func TestHalvingConflictConstant(t *testing.T) {
+	// Lemma 4 smoke test: terminal-locus conflicts of D(T) against D(S)
+	// stay small for a random half T.
+	rng := xrand.New(5)
+	keys := randKeys(rng, 2000, 4, 16, "acgt")
+	full, err := Build(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var half []string
+	for _, k := range keys {
+		if rng.Bool() {
+			half = append(half, k)
+		}
+	}
+	sub, err := Build(half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		q := randKeys(rng, 1, 4, 16, "acgt")[0]
+		id, _ := sub.Locate(q)
+		total += len(full.Conflicts(sub.Locus(id)))
+	}
+	if mean := float64(total) / trials; mean > 80 {
+		t.Fatalf("mean conflicts %.1f too large", mean)
+	}
+}
+
+func TestLocateFromSteps(t *testing.T) {
+	tr, _ := Build([]string{"aaaa", "aaab", "aabb", "abbb"})
+	root := tr.Root()
+	id, steps := tr.LocateFrom(root, "aaab")
+	if tr.Locus(id) != "aaab" {
+		t.Fatalf("landed at %q", tr.Locus(id))
+	}
+	if steps < 2 {
+		t.Fatalf("steps = %d, want >= 2", steps)
+	}
+}
+
+func TestRenderSmoke(t *testing.T) {
+	tr, _ := Build([]string{"ab", "ac"})
+	if out := tr.Render(); !strings.Contains(out, `"ab" *`) {
+		t.Fatalf("render missing key marker:\n%s", out)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := xrand.New(1)
+	keys := randKeys(rng, 100000, 4, 20, "abcdefgh")
+	b.ResetTimer()
+	tr := New()
+	for i := 0; i < b.N; i++ {
+		if i%len(keys) == 0 && i > 0 {
+			tr = New()
+		}
+		_, _ = tr.Insert(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkLocate(b *testing.B) {
+	rng := xrand.New(1)
+	keys := randKeys(rng, 10000, 4, 20, "abcdefgh")
+	tr, err := Build(keys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Locate(keys[i%len(keys)])
+	}
+}

@@ -1,0 +1,135 @@
+// Package xrand provides a deterministic, splittable pseudo-random number
+// generator used by every randomized structure in this repository.
+//
+// All level coin-flips, membership vectors, and workload generators draw
+// from xrand so that experiments and tests are exactly reproducible from a
+// seed. The generator is xoshiro256**, seeded via SplitMix64, following the
+// reference construction of Blackman and Vigna. It is NOT safe for
+// concurrent use; each goroutine should own its own generator (use Split).
+package xrand
+
+import "math/bits"
+
+// Rand is a deterministic xoshiro256** generator.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via SplitMix64 so that nearby
+// seeds yield statistically unrelated streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// A xoshiro state of all zeros is a fixed point; SplitMix64 cannot
+	// produce four zero words from any seed, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Split returns a new generator whose stream is independent of r's future
+// output. It advances r.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64())
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's multiply-shift
+// rejection method. It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with zero n")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a fair coin flip.
+func (r *Rand) Bool() bool {
+	return r.Uint64()&1 == 1
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// Geometric returns the number of consecutive heads flipped before the
+// first tails, i.e. a sample from Geometric(1/2) starting at 0. It is used
+// for skip-list/skip-web level assignment. The result is capped at max to
+// bound structure height.
+func (r *Rand) Geometric(max int) int {
+	h := 0
+	for h < max && r.Bool() {
+		h++
+	}
+	return h
+}
+
+// Bits returns a slice of n fair random bits, each 0 or 1. It is used to
+// build membership vectors for skip graphs and skip-web level indices.
+func (r *Rand) Bits(n int) []byte {
+	b := make([]byte, n)
+	var word uint64
+	for i := 0; i < n; i++ {
+		if i%64 == 0 {
+			word = r.Uint64()
+		}
+		b[i] = byte(word & 1)
+		word >>= 1
+	}
+	return b
+}

@@ -1,0 +1,198 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs of 64", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child stream should not replay the parent stream.
+	p0 := parent.Uint64()
+	c0 := child.Uint64()
+	if p0 == c0 {
+		t.Fatal("split stream mirrors parent")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	if err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(11)
+	const buckets, trials = 10, 100000
+	counts := make([]int, buckets)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(trials) / buckets
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Errorf("bucket %d: got %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestGeometricDistribution(t *testing.T) {
+	r := New(9)
+	const trials = 200000
+	sum := 0
+	maxSeen := 0
+	for i := 0; i < trials; i++ {
+		g := r.Geometric(40)
+		if g < 0 || g > 40 {
+			t.Fatalf("Geometric out of range: %d", g)
+		}
+		sum += g
+		if g > maxSeen {
+			maxSeen = g
+		}
+	}
+	mean := float64(sum) / trials
+	// Geometric(1/2) starting at 0 has mean 1.
+	if math.Abs(mean-1.0) > 0.02 {
+		t.Errorf("geometric mean %.4f, want ~1.0", mean)
+	}
+	if maxSeen < 10 {
+		t.Errorf("max geometric %d suspiciously small over %d trials", maxSeen, trials)
+	}
+}
+
+func TestGeometricCap(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 100000; i++ {
+		if g := r.Geometric(3); g > 3 {
+			t.Fatalf("cap violated: %d", g)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(17)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestBits(t *testing.T) {
+	r := New(23)
+	bits := r.Bits(1000)
+	if len(bits) != 1000 {
+		t.Fatalf("Bits length %d", len(bits))
+	}
+	ones := 0
+	for _, b := range bits {
+		if b != 0 && b != 1 {
+			t.Fatalf("bit value %d", b)
+		}
+		ones += int(b)
+	}
+	if ones < 400 || ones > 600 {
+		t.Errorf("ones = %d of 1000, want near 500", ones)
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(29)
+	trues := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if math.Abs(float64(trues)/trials-0.5) > 0.01 {
+		t.Errorf("Bool true fraction %.4f", float64(trues)/trials)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(31)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	orig := append([]int(nil), xs...)
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, v := range xs {
+		seen[v] = true
+	}
+	if len(seen) != len(orig) {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}

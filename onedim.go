@@ -1,0 +1,216 @@
+package skipwebs
+
+import (
+	"fmt"
+
+	"github.com/skipwebs/skipwebs/internal/core"
+)
+
+// Options tunes structure construction.
+type Options struct {
+	// Seed drives all randomness (level bits, host assignment). The zero
+	// seed is valid and deterministic.
+	Seed uint64
+	// M is the per-host memory parameter for Blocked and Bucketed webs;
+	// 0 means ceil(log2 n)+1.
+	M int
+	// BucketSize is the keys-per-host target for Bucketed webs; 0 means
+	// n/H.
+	BucketSize int
+}
+
+// FloorResult is the answer to a one-dimensional nearest-neighbor query.
+type FloorResult struct {
+	// Key is the largest stored key <= the query; valid only when Found.
+	Key uint64
+	// Found is false when the query is below every stored key.
+	Found bool
+	// Hops is the number of messages the query cost.
+	Hops int
+}
+
+// OneDim is the general skip-web over a sorted set (arbitrary blocking):
+// O(log n) per-host memory and O(log n) expected query and update
+// messages, matching skip graphs while using the level-partition
+// hierarchy of Figure 2.
+type OneDim struct {
+	c *Cluster
+	w *core.Web[*core.ListLevel, uint64, uint64]
+}
+
+// NewOneDim builds a general 1-d skip-web over keys (distinct).
+func NewOneDim(c *Cluster, keys []uint64, opts Options) (*OneDim, error) {
+	w, err := core.NewWeb[*core.ListLevel, uint64, uint64](
+		core.ListOps{}, c.network(), keys, core.Config{Seed: opts.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("skipwebs: %w", err)
+	}
+	return &OneDim{c: c, w: w}, nil
+}
+
+// Len returns the number of stored keys.
+func (d *OneDim) Len() int { return d.w.Len() }
+
+// Floor answers a nearest-neighbor (floor) query from the given host.
+func (d *OneDim) Floor(q uint64, origin HostID) (FloorResult, error) {
+	res, err := d.w.Query(q, origin)
+	if err != nil {
+		return FloorResult{}, fmt.Errorf("skipwebs: %w", err)
+	}
+	g := d.w.GroundStructure()
+	if g.IsHead(res.Range) {
+		return FloorResult{Found: false, Hops: res.Hops}, nil
+	}
+	return FloorResult{Key: g.Key(res.Range), Found: true, Hops: res.Hops}, nil
+}
+
+// Contains reports whether key is stored, with the query's message cost.
+func (d *OneDim) Contains(key uint64, origin HostID) (bool, int, error) {
+	r, err := d.Floor(key, origin)
+	if err != nil {
+		return false, 0, err
+	}
+	return r.Found && r.Key == key, r.Hops, nil
+}
+
+// Insert adds a key, returning the update's message cost.
+func (d *OneDim) Insert(key uint64, origin HostID) (int, error) {
+	h, err := d.w.Insert(key, origin)
+	if err != nil {
+		return h, fmt.Errorf("skipwebs: %w", err)
+	}
+	return h, nil
+}
+
+// Delete removes a key, returning the update's message cost.
+func (d *OneDim) Delete(key uint64, origin HostID) (int, error) {
+	h, err := d.w.Delete(key, origin)
+	if err != nil {
+		return h, fmt.Errorf("skipwebs: %w", err)
+	}
+	return h, nil
+}
+
+// Keys returns the stored keys in ascending order.
+func (d *OneDim) Keys() []uint64 { return d.w.GroundStructure().Keys() }
+
+// Blocked is the improved one-dimensional skip-web of Section 2.4.1:
+// with per-host memory M, queries and updates take O(log n / log M)
+// expected messages — O(log n / log log n) at M = Θ(log n).
+type Blocked struct {
+	c *Cluster
+	w *core.BlockedWeb
+}
+
+// NewBlocked builds the blocked 1-d skip-web over keys (distinct).
+func NewBlocked(c *Cluster, keys []uint64, opts Options) (*Blocked, error) {
+	w, err := core.NewBlockedWeb(c.network(), keys, core.BlockedConfig{Seed: opts.Seed, M: opts.M})
+	if err != nil {
+		return nil, fmt.Errorf("skipwebs: %w", err)
+	}
+	return &Blocked{c: c, w: w}, nil
+}
+
+// Len returns the number of stored keys.
+func (b *Blocked) Len() int { return b.w.Len() }
+
+// M returns the effective memory parameter.
+func (b *Blocked) M() int { return b.w.M() }
+
+// Floor answers a nearest-neighbor (floor) query from the given host.
+func (b *Blocked) Floor(q uint64, origin HostID) (FloorResult, error) {
+	k, ok, hops := b.w.Query(q, origin)
+	return FloorResult{Key: k, Found: ok, Hops: hops}, nil
+}
+
+// Range returns every stored key in [lo, hi] in ascending order, plus
+// the message cost: one floor query plus one message per storage block
+// the walk crosses.
+func (b *Blocked) Range(lo, hi uint64, origin HostID) ([]uint64, int, error) {
+	if lo > hi {
+		return nil, 0, fmt.Errorf("skipwebs: empty range [%d, %d]", lo, hi)
+	}
+	keys, hops := b.w.Range(lo, hi, origin)
+	return keys, hops, nil
+}
+
+// Insert adds a key, returning the update's message cost.
+func (b *Blocked) Insert(key uint64, origin HostID) (int, error) {
+	h, err := b.w.Insert(key, origin)
+	if err != nil {
+		return h, fmt.Errorf("skipwebs: %w", err)
+	}
+	return h, nil
+}
+
+// Delete removes a key, returning the update's message cost.
+func (b *Blocked) Delete(key uint64, origin HostID) (int, error) {
+	h, err := b.w.Delete(key, origin)
+	if err != nil {
+		return h, fmt.Errorf("skipwebs: %w", err)
+	}
+	return h, nil
+}
+
+// Bucketed is the bucket skip-web (Table 1, last row): H < n hosts, each
+// holding a contiguous run of ~n/H keys, with a blocked skip-web routing
+// over the bucket separators. Queries and updates cost Õ(log_M H)
+// messages — expected constant when M = n^ε.
+type Bucketed struct {
+	c *Cluster
+	w *core.BucketWeb
+}
+
+// NewBucketed builds the bucket skip-web over keys (distinct).
+func NewBucketed(c *Cluster, keys []uint64, opts Options) (*Bucketed, error) {
+	target := opts.BucketSize
+	if target <= 0 {
+		target = len(keys)/c.Hosts() + 1
+	}
+	w, err := core.NewBucketWeb(c.network(), keys, target, opts.M, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("skipwebs: %w", err)
+	}
+	return &Bucketed{c: c, w: w}, nil
+}
+
+// Len returns the number of stored keys.
+func (b *Bucketed) Len() int { return b.w.Len() }
+
+// NumBuckets returns the number of buckets.
+func (b *Bucketed) NumBuckets() int { return b.w.NumBuckets() }
+
+// Floor answers a nearest-neighbor (floor) query from the given host.
+func (b *Bucketed) Floor(q uint64, origin HostID) (FloorResult, error) {
+	k, ok, hops := b.w.Query(q, origin)
+	return FloorResult{Key: k, Found: ok, Hops: hops}, nil
+}
+
+// Range returns every stored key in [lo, hi] in ascending order, plus
+// the message cost: one routed floor query plus one message per bucket
+// visited.
+func (b *Bucketed) Range(lo, hi uint64, origin HostID) ([]uint64, int, error) {
+	if lo > hi {
+		return nil, 0, fmt.Errorf("skipwebs: empty range [%d, %d]", lo, hi)
+	}
+	keys, hops := b.w.Range(lo, hi, origin)
+	return keys, hops, nil
+}
+
+// Insert adds a key, returning the update's message cost.
+func (b *Bucketed) Insert(key uint64, origin HostID) (int, error) {
+	h, err := b.w.Insert(key, origin)
+	if err != nil {
+		return h, fmt.Errorf("skipwebs: %w", err)
+	}
+	return h, nil
+}
+
+// Delete removes a key, returning the update's message cost.
+func (b *Bucketed) Delete(key uint64, origin HostID) (int, error) {
+	h, err := b.w.Delete(key, origin)
+	if err != nil {
+		return h, fmt.Errorf("skipwebs: %w", err)
+	}
+	return h, nil
+}

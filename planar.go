@@ -1,0 +1,104 @@
+package skipwebs
+
+import (
+	"fmt"
+
+	"github.com/skipwebs/skipwebs/internal/core"
+	"github.com/skipwebs/skipwebs/internal/trapmap"
+)
+
+// PlanarPoint is an exact integer point in the plane, |X|,|Y| <= MaxCoord.
+type PlanarPoint struct {
+	X, Y int64
+}
+
+// PlanarSegment is a non-vertical segment with A.X < B.X.
+type PlanarSegment struct {
+	A, B PlanarPoint
+}
+
+// PlanarBounds is the bounding box of a planar subdivision.
+type PlanarBounds struct {
+	MinX, MinY, MaxX, MaxY int64
+}
+
+// MaxPlanarCoord bounds all planar coordinates (exact arithmetic).
+const MaxPlanarCoord = trapmap.MaxCoord
+
+// Trapezoid describes the face containing a query point: its bounding
+// segments (when not the box edge) and wall abscissas, in the original
+// input coordinates where exact (walls fall on endpoint coordinates).
+type Trapezoid struct {
+	Top, Bottom       PlanarSegment
+	HasTop, HasBottom bool
+	LeftX, RightX     int64
+	// Hops is the number of messages the query cost.
+	Hops int
+}
+
+// Planar is a skip-web over a trapezoidal map of non-crossing segments
+// (Section 3.3): planar point-location in O(log n) expected messages.
+// The structure is static (build + query), matching the paper's
+// amortization caveat for trapezoid updates.
+type Planar struct {
+	c *Cluster
+	w *core.Web[*trapmap.Map, trapmap.Segment, trapmap.Point]
+}
+
+// NewPlanar builds a planar point-location skip-web over pairwise
+// disjoint segments in general position (distinct endpoint x
+// coordinates, no verticals), all strictly inside bounds.
+func NewPlanar(c *Cluster, segments []PlanarSegment, bounds PlanarBounds, opts Options) (*Planar, error) {
+	segs := make([]trapmap.Segment, len(segments))
+	for i, s := range segments {
+		segs[i] = trapmap.Segment{
+			A: trapmap.Point{X: s.A.X, Y: s.A.Y},
+			B: trapmap.Point{X: s.B.X, Y: s.B.Y},
+		}
+	}
+	ops := core.TrapOps{Bounds: trapmap.Rect{
+		MinX: bounds.MinX, MinY: bounds.MinY, MaxX: bounds.MaxX, MaxY: bounds.MaxY,
+	}}
+	w, err := core.NewWeb[*trapmap.Map, trapmap.Segment, trapmap.Point](
+		ops, c.network(), segs, core.Config{Seed: opts.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("skipwebs: %w", err)
+	}
+	return &Planar{c: c, w: w}, nil
+}
+
+// Len returns the number of segments.
+func (p *Planar) Len() int { return p.w.Len() }
+
+// NumFaces returns the number of trapezoids in the ground map (3n+1).
+func (p *Planar) NumFaces() int { return p.w.GroundStructure().NumTraps() }
+
+// Locate routes a planar point-location query from the given host.
+func (p *Planar) Locate(q PlanarPoint, origin HostID) (Trapezoid, error) {
+	res, err := p.w.Query(trapmap.Point{X: q.X, Y: q.Y}, origin)
+	if err != nil {
+		return Trapezoid{}, fmt.Errorf("skipwebs: %w", err)
+	}
+	g := p.w.GroundStructure()
+	t := g.Trap(trapmap.TrapID(res.Range))
+	out := Trapezoid{
+		HasTop:    t.HasTop,
+		HasBottom: t.HasBottom,
+		LeftX:     t.L / trapmap.Scale,
+		RightX:    t.R / trapmap.Scale,
+		Hops:      res.Hops,
+	}
+	if t.HasTop {
+		out.Top = PlanarSegment{
+			A: PlanarPoint{X: t.Top.A.X / trapmap.Scale, Y: t.Top.A.Y / trapmap.Scale},
+			B: PlanarPoint{X: t.Top.B.X / trapmap.Scale, Y: t.Top.B.Y / trapmap.Scale},
+		}
+	}
+	if t.HasBottom {
+		out.Bottom = PlanarSegment{
+			A: PlanarPoint{X: t.Bottom.A.X / trapmap.Scale, Y: t.Bottom.A.Y / trapmap.Scale},
+			B: PlanarPoint{X: t.Bottom.B.X / trapmap.Scale, Y: t.Bottom.B.Y / trapmap.Scale},
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,256 @@
+package skipwebs
+
+import (
+	"fmt"
+
+	"github.com/skipwebs/skipwebs/internal/core"
+	"github.com/skipwebs/skipwebs/internal/quadtree"
+)
+
+// Point is a d-dimensional point with non-negative integer coordinates.
+// Coordinates must be below 2^(62/d) per dimension (2^31 for d = 2, 2^20
+// for d = 3).
+type Point []uint32
+
+// PointLocation is the answer to a point-location query in the quadtree
+// subdivision: the deepest cell of the compressed quadtree containing the
+// query point, per Section 3.1. Point-location answers support
+// approximate nearest-neighbor and range queries (Eppstein et al.).
+type PointLocation struct {
+	// Leaf is true when the cell stores exactly one data point.
+	Leaf bool
+	// LeafPoint is that point when Leaf.
+	LeafPoint Point
+	// CellPrefix and CellBits identify the dyadic cell (a Morton-code
+	// prefix of CellBits bits).
+	CellPrefix uint64
+	CellBits   int
+	// Hops is the number of messages the query cost.
+	Hops int
+}
+
+// Points is a skip-web over a d-dimensional point set, built on
+// compressed quadtrees (d = 2) or octrees (d >= 3): O(log n) expected
+// messages per point-location query even when the underlying tree has
+// depth Θ(n).
+type Points struct {
+	c   *Cluster
+	ops *core.QuadOps
+	w   *core.Web[*quadtree.Tree, quadtree.Point, uint64]
+}
+
+// NewPoints builds a point-set skip-web of the given dimension
+// (2 <= d <= 6) over distinct points.
+func NewPoints(c *Cluster, d int, points []Point, opts Options) (*Points, error) {
+	if d < 2 || d > 6 {
+		return nil, fmt.Errorf("skipwebs: dimension %d out of range [2, 6]", d)
+	}
+	ops := core.NewQuadOps(d)
+	items := make([]quadtree.Point, len(points))
+	for i, p := range points {
+		items[i] = quadtree.Point(p)
+	}
+	w, err := core.NewWeb[*quadtree.Tree, quadtree.Point, uint64](
+		ops, c.network(), items, core.Config{Seed: opts.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("skipwebs: %w", err)
+	}
+	return &Points{c: c, ops: ops, w: w}, nil
+}
+
+// Len returns the number of stored points.
+func (p *Points) Len() int { return p.w.Len() }
+
+// TreeDepth returns the depth of the underlying ground quadtree (which
+// may be Θ(n) for clustered inputs — queries stay O(log n) regardless).
+func (p *Points) TreeDepth() int { return p.w.GroundStructure().Depth() }
+
+// Locate routes a point-location query from the given host.
+func (p *Points) Locate(q Point, origin HostID) (PointLocation, error) {
+	code, err := p.ops.Code(quadtree.Point(q))
+	if err != nil {
+		return PointLocation{}, fmt.Errorf("skipwebs: %w", err)
+	}
+	res, err := p.w.Query(code, origin)
+	if err != nil {
+		return PointLocation{}, fmt.Errorf("skipwebs: %w", err)
+	}
+	g := p.w.GroundStructure()
+	id := quadtree.NodeID(res.Range)
+	loc := PointLocation{Hops: res.Hops}
+	cell := g.CellOf(id)
+	loc.CellPrefix, loc.CellBits = cell.Prefix, cell.PLen
+	if g.IsLeaf(id) {
+		loc.Leaf = true
+		loc.LeafPoint = Point(g.PointAt(id))
+	}
+	return loc, nil
+}
+
+// Contains reports whether the exact point is stored.
+func (p *Points) Contains(q Point, origin HostID) (bool, int, error) {
+	loc, err := p.Locate(q, origin)
+	if err != nil {
+		return false, 0, err
+	}
+	if !loc.Leaf {
+		return false, loc.Hops, nil
+	}
+	if len(loc.LeafPoint) != len(q) {
+		return false, loc.Hops, nil
+	}
+	for i := range q {
+		if loc.LeafPoint[i] != q[i] {
+			return false, loc.Hops, nil
+		}
+	}
+	return true, loc.Hops, nil
+}
+
+// Nearest returns the exact nearest stored point to q under squared
+// Euclidean distance. It first routes a distributed point-location query
+// (the skip-web part), then refines with a best-first search over the
+// ground tree, charging one extra hop per tree node expanded — the
+// standard way point location supports neighbor queries (Section 3.1).
+func (p *Points) Nearest(q Point, origin HostID) (Point, int, error) {
+	loc, err := p.Locate(q, origin)
+	if err != nil {
+		return nil, 0, err
+	}
+	g := p.w.GroundStructure()
+	if g.Len() == 0 {
+		return nil, loc.Hops, fmt.Errorf("skipwebs: empty point set")
+	}
+	best, extra := nearestInTree(g, quadtree.Point(q))
+	return Point(best), loc.Hops + extra, nil
+}
+
+// nearestInTree is a best-first search with cell distance pruning.
+func nearestInTree(g *quadtree.Tree, q quadtree.Point) (quadtree.Point, int) {
+	type item struct {
+		id   quadtree.NodeID
+		dist uint64
+	}
+	var bestPt quadtree.Point
+	bestDist := ^uint64(0)
+	expanded := 0
+	var heap []item
+	push := func(it item) {
+		heap = append(heap, it)
+		for i := len(heap) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if heap[parent].dist <= heap[i].dist {
+				break
+			}
+			heap[parent], heap[i] = heap[i], heap[parent]
+			i = parent
+		}
+	}
+	pop := func() item {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(heap) && heap[l].dist < heap[small].dist {
+				small = l
+			}
+			if r < len(heap) && heap[r].dist < heap[small].dist {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+		return top
+	}
+	push(item{id: g.Root(), dist: cellDist(g, g.Root(), q)})
+	for len(heap) > 0 {
+		it := pop()
+		if it.dist >= bestDist {
+			break
+		}
+		expanded++
+		if g.IsLeaf(it.id) {
+			d := pointDist(g.PointAt(it.id), q)
+			if d < bestDist {
+				bestDist = d
+				bestPt = g.PointAt(it.id)
+			}
+			continue
+		}
+		for _, c := range g.Children(it.id) {
+			if d := cellDist(g, c, q); d < bestDist {
+				push(item{id: c, dist: d})
+			}
+		}
+	}
+	return bestPt, expanded
+}
+
+// cellDist is the squared distance from q to node id's cell.
+func cellDist(g *quadtree.Tree, id quadtree.NodeID, q quadtree.Point) uint64 {
+	cell := g.CellOf(id)
+	d := g.Dim()
+	k := g.CoordBits()
+	side := uint32(1) << uint(k-cell.PLen/d)
+	// Decode the cell's corner from the Morton prefix.
+	corner := make([]uint32, d)
+	for b := 0; b < cell.PLen; b++ {
+		dim := b % d
+		bit := (cell.Prefix >> uint(cell.PLen-1-b)) & 1
+		corner[dim] = corner[dim]<<1 | uint32(bit)
+	}
+	for i := 0; i < d; i++ {
+		corner[i] <<= uint(k - cell.PLen/d)
+	}
+	var sum uint64
+	for i := 0; i < d; i++ {
+		lo, hi := corner[i], corner[i]+side-1
+		var diff uint64
+		switch {
+		case q[i] < lo:
+			diff = uint64(lo - q[i])
+		case q[i] > hi:
+			diff = uint64(q[i] - hi)
+		}
+		sum += diff * diff
+	}
+	return sum
+}
+
+func pointDist(a, b quadtree.Point) uint64 {
+	var sum uint64
+	for i := range a {
+		var diff uint64
+		if a[i] > b[i] {
+			diff = uint64(a[i] - b[i])
+		} else {
+			diff = uint64(b[i] - a[i])
+		}
+		sum += diff * diff
+	}
+	return sum
+}
+
+// Insert adds a point, returning the update's message cost.
+func (p *Points) Insert(q Point, origin HostID) (int, error) {
+	h, err := p.w.Insert(quadtree.Point(q), origin)
+	if err != nil {
+		return h, fmt.Errorf("skipwebs: %w", err)
+	}
+	return h, nil
+}
+
+// Delete removes a point, returning the update's message cost.
+func (p *Points) Delete(q Point, origin HostID) (int, error) {
+	h, err := p.w.Delete(quadtree.Point(q), origin)
+	if err != nil {
+		return h, fmt.Errorf("skipwebs: %w", err)
+	}
+	return h, nil
+}

@@ -1,0 +1,81 @@
+// Package skipwebs implements skip-webs, the randomized distributed data
+// structures of Arge, Eppstein, and Goodrich ("Skip-Webs: Efficient
+// Distributed Data Structures for Multi-Dimensional Data Sets", PODC
+// 2005), together with the substrate structures and baselines the paper
+// builds on and compares against.
+//
+// A skip-web stores a data set across the hosts of a peer-to-peer
+// network and routes queries host-to-host. The framework applies to any
+// "range-determined link structure" with a set-halving lemma; this
+// package provides the paper's four instantiations:
+//
+//   - OneDim / Blocked / Bucketed — sorted sets with floor
+//     (nearest-neighbor) queries. Blocked applies the paper's Section
+//     2.4.1 blocking for O(log n / log log n) expected messages;
+//     Bucketed additionally stores n/H keys per host for Õ(log_M H).
+//   - Points — compressed quadtrees/octrees over d-dimensional integer
+//     points with point-location queries (Section 3.1).
+//   - Strings — compressed tries over fixed-alphabet strings with
+//     exact-match and prefix queries (Section 3.2).
+//   - Planar — trapezoidal maps of non-crossing segments with planar
+//     point location (Section 3.3; static).
+//
+// All structures run on a simulated message-passing network that counts
+// every cross-host hop, so the Hops values returned by queries and
+// updates are exactly the message complexity the paper bounds. Per-host
+// storage and congestion are tracked on the same network and exposed via
+// Cluster.Stats.
+package skipwebs
+
+import (
+	"github.com/skipwebs/skipwebs/internal/sim"
+)
+
+// HostID identifies a host in a Cluster.
+type HostID = sim.HostID
+
+// Cluster is a failure-free peer-to-peer network of hosts with message,
+// storage, and congestion accounting. All structures attached to a
+// Cluster share its hosts and counters.
+type Cluster struct {
+	net *sim.Network
+}
+
+// NewCluster creates a cluster of h hosts. It panics if h <= 0.
+func NewCluster(h int) *Cluster {
+	return &Cluster{net: sim.NewNetwork(h)}
+}
+
+// Hosts returns the number of hosts.
+func (c *Cluster) Hosts() int { return c.net.Hosts() }
+
+// Stats summarizes cluster-wide accounting.
+type Stats struct {
+	Hosts          int
+	TotalMessages  int64
+	TotalOps       int64
+	MaxStorage     int64
+	MeanStorage    float64
+	MaxCongestion  int64
+	MeanCongestion float64
+}
+
+// Stats returns the current cluster counters.
+func (c *Cluster) Stats() Stats {
+	s := c.net.Snapshot()
+	return Stats{
+		Hosts:          s.Hosts,
+		TotalMessages:  s.TotalMessages,
+		TotalOps:       s.TotalOps,
+		MaxStorage:     s.MaxStorage,
+		MeanStorage:    s.MeanStorage,
+		MaxCongestion:  s.MaxCongestion,
+		MeanCongestion: s.MeanCongestion,
+	}
+}
+
+// ResetTraffic zeroes message and congestion counters while keeping
+// storage, so query traffic can be measured separately from construction.
+func (c *Cluster) ResetTraffic() { c.net.ResetTraffic() }
+
+func (c *Cluster) network() *sim.Network { return c.net }

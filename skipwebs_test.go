@@ -1,0 +1,436 @@
+package skipwebs
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+func distinctKeys(rng *xrand.Rand, n int) []uint64 {
+	seen := map[uint64]bool{}
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		k := rng.Uint64n(1 << 40)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func TestOneDimEndToEnd(t *testing.T) {
+	c := NewCluster(256)
+	rng := xrand.New(1)
+	keys := distinctKeys(rng, 256)
+	d, err := NewOneDim(c, keys, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 256 {
+		t.Fatalf("len %d", d.Len())
+	}
+	for _, k := range keys[:50] {
+		r, err := d.Floor(k, HostID(int(k)%256))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Found || r.Key != k {
+			t.Fatalf("Floor(%d) = %+v", k, r)
+		}
+		if r.Hops <= 0 {
+			t.Fatalf("Floor(%d) cost %d hops", k, r.Hops)
+		}
+	}
+	ok, _, err := d.Contains(keys[0], 3)
+	if err != nil || !ok {
+		t.Fatalf("Contains(stored) = %v, %v", ok, err)
+	}
+	if _, err := d.Insert(keys[0], 0); err == nil {
+		t.Fatal("duplicate insert accepted")
+	}
+	if _, err := d.Insert(1<<41, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Delete(keys[1], 0); err != nil {
+		t.Fatal(err)
+	}
+	got := d.Keys()
+	if len(got) != 256 {
+		t.Fatalf("keys after churn: %d", len(got))
+	}
+	s := c.Stats()
+	if s.TotalMessages == 0 || s.MaxStorage == 0 {
+		t.Fatalf("accounting empty: %+v", s)
+	}
+}
+
+func TestBlockedEndToEnd(t *testing.T) {
+	c := NewCluster(512)
+	rng := xrand.New(2)
+	keys := distinctKeys(rng, 512)
+	b, err := NewBlocked(c, keys, Options{Seed: 2, M: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.M() != 16 {
+		t.Fatalf("M = %d", b.M())
+	}
+	for i := 0; i < 200; i++ {
+		q := rng.Uint64n(1 << 41)
+		r, err := b.Floor(q, HostID(i%512))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wok := bruteFloor(keys, q)
+		if r.Found != wok || (r.Found && r.Key != want) {
+			t.Fatalf("Floor(%d) = %+v want %d,%v", q, r, want, wok)
+		}
+	}
+	if _, err := b.Insert(1<<41, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Delete(keys[0], 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bruteFloor(keys []uint64, q uint64) (uint64, bool) {
+	best, ok := uint64(0), false
+	for _, k := range keys {
+		if k <= q && (!ok || k > best) {
+			best, ok = k, true
+		}
+	}
+	return best, ok
+}
+
+func TestBucketedEndToEnd(t *testing.T) {
+	c := NewCluster(64)
+	rng := xrand.New(3)
+	keys := distinctKeys(rng, 1024)
+	b, err := NewBucketed(c, keys, Options{Seed: 3, M: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 1024 {
+		t.Fatalf("len %d", b.Len())
+	}
+	if b.NumBuckets() == 0 || b.NumBuckets() > 64 {
+		t.Fatalf("buckets %d", b.NumBuckets())
+	}
+	for i := 0; i < 300; i++ {
+		q := rng.Uint64n(1 << 41)
+		r, err := b.Floor(q, HostID(i%64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wok := bruteFloor(keys, q)
+		if r.Found != wok || (r.Found && r.Key != want) {
+			t.Fatalf("Floor(%d) = %+v want %d,%v", q, r, want, wok)
+		}
+	}
+	if _, err := b.Insert(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Delete(keys[5], 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointsEndToEnd(t *testing.T) {
+	c := NewCluster(128)
+	rng := xrand.New(4)
+	var pts []Point
+	seen := map[uint64]bool{}
+	for len(pts) < 200 {
+		p := Point{uint32(rng.Uint64n(1 << 20)), uint32(rng.Uint64n(1 << 20))}
+		k := uint64(p[0])<<32 | uint64(p[1])
+		if !seen[k] {
+			seen[k] = true
+			pts = append(pts, p)
+		}
+	}
+	w, err := NewPoints(c, 2, pts, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stored points locate to their own leaves.
+	for _, p := range pts[:40] {
+		ok, hops, err := w.Contains(p, HostID(int(p[0])%128))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("Contains(%v) false", p)
+		}
+		if hops <= 0 {
+			t.Fatal("free query")
+		}
+	}
+	// Nearest matches brute force.
+	for i := 0; i < 60; i++ {
+		q := Point{uint32(rng.Uint64n(1 << 20)), uint32(rng.Uint64n(1 << 20))}
+		got, _, err := w.Nearest(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want Point
+		best := ^uint64(0)
+		for _, p := range pts {
+			dx := int64(p[0]) - int64(q[0])
+			dy := int64(p[1]) - int64(q[1])
+			d := uint64(dx*dx + dy*dy)
+			if d < best {
+				best = d
+				want = p
+			}
+		}
+		gdx := int64(got[0]) - int64(q[0])
+		gdy := int64(got[1]) - int64(q[1])
+		if uint64(gdx*gdx+gdy*gdy) != best {
+			t.Fatalf("Nearest(%v) = %v, brute force %v", q, got, want)
+		}
+	}
+	if _, err := w.Insert(Point{1, 2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Delete(pts[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPoints(c, 1, nil, Options{}); err == nil {
+		t.Fatal("dimension 1 accepted")
+	}
+}
+
+func TestStringsEndToEnd(t *testing.T) {
+	c := NewCluster(64)
+	keys := []string{"carrot", "car", "cart", "dog", "dodge", "apple", "applet", "ape"}
+	s, err := NewStrings(c, keys, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		ok, _, err := s.Contains(k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("Contains(%q) false", k)
+		}
+	}
+	ok, _, err := s.Contains("ca", 0)
+	if err != nil || ok {
+		t.Fatalf("Contains(ca) = %v, %v", ok, err)
+	}
+	got, _, err := s.PrefixSearch("car", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"car", "carrot", "cart"}
+	if len(got) != len(want) {
+		t.Fatalf("PrefixSearch(car) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PrefixSearch(car) = %v", got)
+		}
+	}
+	if _, err := s.Insert("carpet", 0); err != nil {
+		t.Fatal(err)
+	}
+	ok, _, _ = s.Contains("carpet", 0)
+	if !ok {
+		t.Fatal("inserted key missing")
+	}
+	if _, err := s.Delete("dog", 0); err != nil {
+		t.Fatal(err)
+	}
+	ok, _, _ = s.Contains("dog", 0)
+	if ok {
+		t.Fatal("deleted key present")
+	}
+	loc, err := s.Search("application", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix("application", loc.Locus) {
+		t.Fatalf("Search locus %q not a prefix", loc.Locus)
+	}
+}
+
+func TestPlanarEndToEnd(t *testing.T) {
+	c := NewCluster(32)
+	bounds := PlanarBounds{MinX: -1000, MinY: -1000, MaxX: 1000, MaxY: 1000}
+	segments := []PlanarSegment{
+		{A: PlanarPoint{-500, 0}, B: PlanarPoint{500, 100}},
+		{A: PlanarPoint{-400, 300}, B: PlanarPoint{450, 400}},
+		{A: PlanarPoint{-300, -400}, B: PlanarPoint{350, -350}},
+	}
+	p, err := NewPlanar(c, segments, bounds, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumFaces() != 10 {
+		t.Fatalf("faces = %d, want 3n+1 = 10", p.NumFaces())
+	}
+	tr, err := p.Locate(PlanarPoint{0, 200}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Between the two upper segments: bottom is segment 0, top segment 1.
+	if !tr.HasTop || !tr.HasBottom {
+		t.Fatalf("face %+v should have both boundaries", tr)
+	}
+	if tr.Bottom.A != (PlanarPoint{-500, 0}) {
+		t.Fatalf("bottom = %+v", tr.Bottom)
+	}
+	if tr.Top.A != (PlanarPoint{-400, 300}) {
+		t.Fatalf("top = %+v", tr.Top)
+	}
+	// Above everything: top is the box.
+	tr, err = p.Locate(PlanarPoint{0, 900}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.HasTop {
+		t.Fatalf("face %+v should be bounded by the box above", tr)
+	}
+}
+
+func TestClusterAccounting(t *testing.T) {
+	c := NewCluster(16)
+	keys := distinctKeys(xrand.New(7), 64)
+	d, err := NewOneDim(c, keys, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.Stats()
+	c.ResetTraffic()
+	for i := 0; i < 10; i++ {
+		if _, err := d.Floor(keys[i], HostID(i%16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := c.Stats()
+	if after.TotalOps != 10 {
+		t.Fatalf("ops = %d", after.TotalOps)
+	}
+	if after.MaxStorage != before.MaxStorage {
+		t.Fatal("queries changed storage")
+	}
+}
+
+func TestBlockedRange(t *testing.T) {
+	c := NewCluster(64)
+	keys := []uint64{}
+	for i := uint64(0); i < 300; i++ {
+		keys = append(keys, i*10)
+	}
+	b, err := NewBlocked(c, keys, Options{Seed: 21, M: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, hops, err := b.Range(95, 152, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{100, 110, 120, 130, 140, 150}
+	if len(got) != len(want) {
+		t.Fatalf("Range(95,152) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range(95,152) = %v", got)
+		}
+	}
+	if hops <= 0 {
+		t.Fatal("free range query")
+	}
+	// Inclusive bounds on stored keys.
+	got, _, _ = b.Range(100, 100, 0)
+	if len(got) != 1 || got[0] != 100 {
+		t.Fatalf("Range(100,100) = %v", got)
+	}
+	// Empty result region.
+	got, _, _ = b.Range(3001, 3005, 0)
+	if len(got) != 0 {
+		t.Fatalf("Range past max = %v", got)
+	}
+	// Whole set.
+	got, _, _ = b.Range(0, 1<<40, 0)
+	if len(got) != 300 {
+		t.Fatalf("full range returned %d keys", len(got))
+	}
+	// Invalid range rejected.
+	if _, _, err := b.Range(10, 5, 0); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestPointsOctree3D(t *testing.T) {
+	c := NewCluster(64)
+	rng := xrand.New(51)
+	var pts []Point
+	seen := map[uint64]bool{}
+	for len(pts) < 300 {
+		p := Point{
+			uint32(rng.Uint64n(1 << 20)),
+			uint32(rng.Uint64n(1 << 20)),
+			uint32(rng.Uint64n(1 << 20)),
+		}
+		k := uint64(p[0])<<40 | uint64(p[1])<<20 | uint64(p[2])
+		if !seen[k] {
+			seen[k] = true
+			pts = append(pts, p)
+		}
+	}
+	w, err := NewPoints(c, 3, pts, Options{Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts[:50] {
+		ok, _, err := w.Contains(p, HostID(int(p[0])%64))
+		if err != nil || !ok {
+			t.Fatalf("Contains(%v) = %v, %v", p, ok, err)
+		}
+	}
+	// Exact 3-d nearest neighbor against brute force.
+	for i := 0; i < 30; i++ {
+		q := Point{
+			uint32(rng.Uint64n(1 << 20)),
+			uint32(rng.Uint64n(1 << 20)),
+			uint32(rng.Uint64n(1 << 20)),
+		}
+		got, _, err := w.Nearest(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := ^uint64(0)
+		for _, p := range pts {
+			var d uint64
+			for j := 0; j < 3; j++ {
+				diff := int64(p[j]) - int64(q[j])
+				d += uint64(diff * diff)
+			}
+			if d < best {
+				best = d
+			}
+		}
+		var gd uint64
+		for j := 0; j < 3; j++ {
+			diff := int64(got[j]) - int64(q[j])
+			gd += uint64(diff * diff)
+		}
+		if gd != best {
+			t.Fatalf("3-d Nearest(%v) = %v (dist %d, brute %d)", q, got, gd, best)
+		}
+	}
+	if _, err := w.Insert(Point{1, 2, 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Delete(pts[0], 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package skipwebs
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/skipwebs/skipwebs/internal/core"
+	"github.com/skipwebs/skipwebs/internal/trie"
+)
+
+// StringLocation is the answer to a trie search (Section 3.2): the
+// deepest stored locus that is a prefix of the query — "the first place
+// where the query differs from the strings in the structure".
+type StringLocation struct {
+	// Locus is the longest stored prefix of the query.
+	Locus string
+	// IsKey reports whether Locus is itself a stored key.
+	IsKey bool
+	// Exact reports whether the query equals a stored key.
+	Exact bool
+	// Hops is the number of messages the query cost.
+	Hops int
+}
+
+// Strings is a skip-web over a set of character strings, built on
+// compressed digital tries: O(log n) expected messages per search even
+// when the trie has depth Θ(n) (long shared prefixes).
+type Strings struct {
+	c *Cluster
+	w *core.Web[*trie.Trie, string, string]
+}
+
+// NewStrings builds a string skip-web over distinct non-empty keys.
+func NewStrings(c *Cluster, keys []string, opts Options) (*Strings, error) {
+	w, err := core.NewWeb[*trie.Trie, string, string](
+		core.TrieOps{}, c.network(), keys, core.Config{Seed: opts.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("skipwebs: %w", err)
+	}
+	return &Strings{c: c, w: w}, nil
+}
+
+// Len returns the number of stored keys.
+func (s *Strings) Len() int { return s.w.Len() }
+
+// TrieDepth returns the depth of the ground trie.
+func (s *Strings) TrieDepth() int { return s.w.GroundStructure().Depth() }
+
+// Search routes a string search from the given host.
+func (s *Strings) Search(q string, origin HostID) (StringLocation, error) {
+	res, err := s.w.Query(q, origin)
+	if err != nil {
+		return StringLocation{}, fmt.Errorf("skipwebs: %w", err)
+	}
+	g := s.w.GroundStructure()
+	id := trie.NodeID(res.Range)
+	locus := g.Locus(id)
+	return StringLocation{
+		Locus: locus,
+		IsKey: g.IsKey(id),
+		Exact: g.IsKey(id) && locus == q,
+		Hops:  res.Hops,
+	}, nil
+}
+
+// Contains reports whether the exact key is stored.
+func (s *Strings) Contains(q string, origin HostID) (bool, int, error) {
+	loc, err := s.Search(q, origin)
+	if err != nil {
+		return false, 0, err
+	}
+	return loc.Exact, loc.Hops, nil
+}
+
+// PrefixSearch returns up to max stored keys with the given prefix (max
+// <= 0 means all), in sorted order. The skip-web routes to the prefix
+// locus; enumerating the k results costs one extra hop per result, which
+// is charged into the returned hop count.
+func (s *Strings) PrefixSearch(prefix string, max int, origin HostID) ([]string, int, error) {
+	loc, err := s.Search(prefix, origin)
+	if err != nil {
+		return nil, 0, err
+	}
+	g := s.w.GroundStructure()
+	// The terminal locus is the deepest stored prefix of `prefix`; the
+	// subtree holding all `prefix`-keys hangs at or just below it.
+	if !strings.HasPrefix(loc.Locus, prefix) {
+		id, ok := g.LocatePrefix(prefix)
+		if !ok {
+			return nil, loc.Hops, nil
+		}
+		_ = id
+	}
+	keys := g.KeysWithPrefix(prefix, max)
+	return keys, loc.Hops + len(keys), nil
+}
+
+// Insert adds a key, returning the update's message cost.
+func (s *Strings) Insert(key string, origin HostID) (int, error) {
+	h, err := s.w.Insert(key, origin)
+	if err != nil {
+		return h, fmt.Errorf("skipwebs: %w", err)
+	}
+	return h, nil
+}
+
+// Delete removes a key, returning the update's message cost.
+func (s *Strings) Delete(key string, origin HostID) (int, error) {
+	h, err := s.w.Delete(key, origin)
+	if err != nil {
+		return h, fmt.Errorf("skipwebs: %w", err)
+	}
+	return h, nil
+}
