@@ -1,0 +1,129 @@
+package skipwebs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Batch execution engine.
+//
+// Every structure in this package exposes batch variants of its
+// operations (FloorBatch, LocateBatch, SearchBatch, InsertBatch, ...)
+// that execute N operations concurrently over the cluster instead of one
+// at a time. The i-th operation runs on its origin host's worker
+// goroutine, dispatched with send-and-continue message passing, so
+// operations with distinct origins proceed in parallel while operations
+// sharing an origin serialize in order — exactly the many-simultaneous-
+// queries regime the paper's congestion measure C(n) is defined over
+// (Section 1.1).
+//
+// Concurrency control is single-writer/many-reader per cluster: read
+// batches (queries) hold the cluster's read lock and run fully parallel,
+// including across different structures on the same cluster; update
+// batches (inserts, deletes) hold the write lock and apply their
+// operations one at a time. Query descent touches only immutable routing
+// state plus atomic counters, so parallel reads are safe; see the
+// concurrency notes in internal/core.
+//
+// Accounting is identical to the synchronous path: each batched operation
+// opens its own sim.Op from its origin host and follows the same
+// host-to-host route, so per-operation hop counts and the cluster's
+// message/congestion counters match a sequential execution of the same
+// workload operation for operation.
+//
+// Origins: every batch method takes an origins slice designating the host
+// each operation starts from. Pass nil to spread operations round-robin
+// over all hosts (origin i%H for the i-th operation); otherwise the i-th
+// operation uses origins[i%len(origins)], so a single-element slice pins
+// the whole batch to one host and a len(N) slice assigns origins
+// one-to-one.
+
+// ContainsResult is one answer of a membership batch.
+type ContainsResult struct {
+	// Found reports whether the exact key/point is stored.
+	Found bool
+	// Hops is the number of messages the query cost.
+	Hops int
+}
+
+// KeyRange is one [Lo, Hi] query of a range batch (inclusive bounds).
+type KeyRange struct {
+	Lo, Hi uint64
+}
+
+// RangeResult is one answer of a range batch.
+type RangeResult struct {
+	// Keys are the stored keys in [Lo, Hi], ascending.
+	Keys []uint64
+	// Hops is the number of messages the query cost.
+	Hops int
+}
+
+// checkOrigins validates an origins slice against the cluster size.
+func (c *Cluster) checkOrigins(origins []HostID) error {
+	for _, o := range origins {
+		if int(o) < 0 || int(o) >= c.Hosts() {
+			return fmt.Errorf("skipwebs: origin host %d out of range [0, %d)", o, c.Hosts())
+		}
+	}
+	return nil
+}
+
+// originAt resolves the origin of the i-th operation of a batch.
+func (c *Cluster) originAt(origins []HostID, i int) HostID {
+	if len(origins) == 0 {
+		return HostID(i % c.Hosts())
+	}
+	return origins[i%len(origins)]
+}
+
+// runReadBatch executes one query per element of qs concurrently on the
+// origin hosts' workers, under the cluster's read lock. All queries run
+// even when some fail; the returned error joins the per-operation errors.
+func runReadBatch[Q, R any](c *Cluster, qs []Q, origins []HostID, do func(q Q, origin HostID) (R, error)) ([]R, error) {
+	if err := c.checkOrigins(origins); err != nil {
+		return nil, err
+	}
+	out := make([]R, len(qs))
+	if len(qs) == 0 {
+		return out, nil
+	}
+	errs := make([]error, len(qs))
+	cl := c.cluster()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	cl.RunBatch(len(qs),
+		func(i int) HostID { return c.originAt(origins, i) },
+		func(i int) {
+			origin := c.originAt(origins, i)
+			out[i], errs[i] = do(qs[i], origin)
+		})
+	return out, errors.Join(errs...)
+}
+
+// runWriteBatch executes one update per element of xs under the cluster's
+// write lock. Updates apply one at a time (single writer), each on its
+// origin host's worker goroutine; remaining updates still run after one
+// fails, and the returned error joins the per-operation errors. The hop
+// cost of each update is returned in order.
+func runWriteBatch[X any](c *Cluster, xs []X, origins []HostID, do func(x X, origin HostID) (int, error)) ([]int, error) {
+	if err := c.checkOrigins(origins); err != nil {
+		return nil, err
+	}
+	hops := make([]int, len(xs))
+	if len(xs) == 0 {
+		return hops, nil
+	}
+	errs := make([]error, len(xs))
+	cl := c.cluster()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range xs {
+		i := i
+		origin := c.originAt(origins, i)
+		cl.Do(origin, func() {
+			hops[i], errs[i] = do(xs[i], origin)
+		})
+	}
+	return hops, errors.Join(errs...)
+}

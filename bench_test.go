@@ -337,6 +337,34 @@ func BenchmarkCongestion(b *testing.B) {
 	b.ReportMetric(float64(s.MaxCongestion)/float64(b.N), "maxtouch/query")
 }
 
+// --- Batch engine: wall-clock throughput of concurrent batch queries.
+
+func BenchmarkBatchFloorThroughput(b *testing.B) {
+	cluster := NewCluster(256)
+	defer cluster.Close()
+	keys := benchKeys(0)
+	w, err := NewBlocked(cluster, keys, Options{Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(10)
+	const batch = 8192
+	qs := make([]uint64, batch)
+	for i := range qs {
+		qs[i] = rng.Uint64n(1 << 40)
+	}
+	if _, err := w.FloorBatch(qs[:512], nil); err != nil { // warm the pool
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.FloorBatch(qs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+}
+
 // --- Figures: structure regeneration cost (and smoke coverage).
 
 func BenchmarkFigure2Census(b *testing.B) {

@@ -1,48 +1,196 @@
 // Command skipweb-bench regenerates every table and figure of the
-// skip-webs paper on the message-counting simulator.
+// skip-webs paper on the message-counting simulator, and measures the
+// wall-clock throughput of the concurrent batch query engine.
 //
 // Usage:
 //
-//	skipweb-bench [-experiment all|table1|lemma1|lemma3|lemma4|lemma5|
+//	skipweb-bench [-mode experiments|throughput]
+//	              [-experiment all|table1|lemma1|lemma3|lemma4|lemma5|
 //	               theorem2|blocking|updates|congestion|ablation|figures]
 //	              [-quick] [-seed N]
+//	              [-hosts H] [-keys N] [-queries Q] [-procs 1,2,4]
 //
-// The default runs everything at the EXPERIMENTS.md scale; -quick runs a
-// reduced sweep for smoke testing.
+// The default mode runs the paper experiments at the EXPERIMENTS.md
+// scale; -quick runs a reduced sweep for smoke testing. Throughput mode
+// runs batched floor queries over a Blocked skip-web at each GOMAXPROCS
+// value in -procs, reports ops/sec, and verifies that batched execution
+// charges exactly the same messages as the synchronous path.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
 
+	skipwebs "github.com/skipwebs/skipwebs"
 	"github.com/skipwebs/skipwebs/internal/experiments"
+	"github.com/skipwebs/skipwebs/internal/xrand"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "skipweb-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	experiment := flag.String("experiment", "all", "which experiment to run")
-	quick := flag.Bool("quick", false, "reduced sweep for smoke testing")
-	seed := flag.Uint64("seed", 1, "random seed")
-	flag.Parse()
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("skipweb-bench", flag.ContinueOnError)
+	mode := fs.String("mode", "experiments", "experiments or throughput")
+	experiment := fs.String("experiment", "all", "which experiment to run")
+	quick := fs.Bool("quick", false, "reduced sweep for smoke testing")
+	seed := fs.Uint64("seed", 1, "random seed")
+	hosts := fs.Int("hosts", 256, "throughput: number of hosts")
+	keyN := fs.Int("keys", 4096, "throughput: stored key count")
+	queries := fs.Int("queries", 20000, "throughput: queries per batch")
+	procs := fs.String("procs", "1,2,4", "throughput: comma-separated GOMAXPROCS values")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help printed usage; not a failure
+		}
+		return err
+	}
 
+	switch *mode {
+	case "experiments":
+		return runExperiments(out, *experiment, *quick, *seed)
+	case "throughput":
+		return runThroughput(out, *hosts, *keyN, *queries, *procs, *seed)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+// runThroughput measures batched floor-query throughput at each
+// GOMAXPROCS setting and checks message-accounting parity with the
+// synchronous path on the identical workload.
+func runThroughput(out io.Writer, hosts, keyN, queries int, procList string, seed uint64) error {
+	if hosts < 1 {
+		return fmt.Errorf("-hosts must be positive, got %d", hosts)
+	}
+	if keyN < 1 {
+		return fmt.Errorf("-keys must be positive, got %d", keyN)
+	}
+	if queries < 1 {
+		return fmt.Errorf("-queries must be positive, got %d", queries)
+	}
+	var procVals []int
+	for _, f := range strings.Split(procList, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || p < 1 {
+			return fmt.Errorf("bad -procs entry %q", f)
+		}
+		procVals = append(procVals, p)
+	}
+
+	rng := xrand.New(seed)
+	keys := experiments.Keys(rng, keyN, 1<<40)
+	qs := make([]uint64, queries)
+	origins := make([]skipwebs.HostID, queries)
+	for i := range qs {
+		qs[i] = rng.Uint64n(1 << 40)
+		origins[i] = skipwebs.HostID(rng.Intn(hosts))
+	}
+
+	build := func() (*skipwebs.Cluster, *skipwebs.Blocked, error) {
+		c := skipwebs.NewCluster(hosts)
+		w, err := skipwebs.NewBlocked(c, keys, skipwebs.Options{Seed: seed})
+		if err != nil {
+			return nil, nil, err
+		}
+		c.ResetTraffic()
+		return c, w, nil
+	}
+
+	// Parity: the same workload, synchronous vs batched, must charge the
+	// same total messages and operations.
+	cSync, wSync, err := build()
+	if err != nil {
+		return err
+	}
+	for i := range qs {
+		if _, err := wSync.Floor(qs[i], origins[i]); err != nil {
+			return err
+		}
+	}
+	cBatch, wBatch, err := build()
+	if err != nil {
+		return err
+	}
+	defer cBatch.Close()
+	if _, err := wBatch.FloorBatch(qs, origins); err != nil {
+		return err
+	}
+	ss, bs := cSync.Stats(), cBatch.Stats()
+	fmt.Fprintf(out, "=== T1: batch floor throughput (hosts=%d keys=%d queries=%d, machine has %d CPUs) ===\n",
+		hosts, keyN, queries, runtime.NumCPU())
+	ok := "OK"
+	if ss.TotalMessages != bs.TotalMessages || ss.TotalOps != bs.TotalOps ||
+		ss.MaxCongestion != bs.MaxCongestion {
+		ok = "MISMATCH"
+	}
+	fmt.Fprintf(out, "accounting parity: sync msgs=%d ops=%d maxC=%d | batch msgs=%d ops=%d maxC=%d  %s\n",
+		ss.TotalMessages, ss.TotalOps, ss.MaxCongestion,
+		bs.TotalMessages, bs.TotalOps, bs.MaxCongestion, ok)
+	if ok != "OK" {
+		return fmt.Errorf("batch accounting diverged from synchronous path")
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var base float64
+	for _, p := range procVals {
+		runtime.GOMAXPROCS(p)
+		c, w, err := build()
+		if err != nil {
+			return err
+		}
+		// Warm up the worker pool, then time enough rounds to smooth noise.
+		if _, err := w.FloorBatch(qs[:min(queries, 512)], origins); err != nil {
+			c.Close()
+			return err
+		}
+		const rounds = 3
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			if _, err := w.FloorBatch(qs, origins); err != nil {
+				c.Close()
+				return err
+			}
+		}
+		elapsed := time.Since(start)
+		c.Close()
+		opsSec := float64(rounds*queries) / elapsed.Seconds()
+		if base == 0 {
+			base = opsSec
+		}
+		note := ""
+		if p > runtime.NumCPU() {
+			note = "  (exceeds physical CPUs; no further speedup possible)"
+		}
+		fmt.Fprintf(out, "GOMAXPROCS=%-3d  %12.0f ops/sec  speedup %.2fx%s\n", p, opsSec, opsSec/base, note)
+	}
+	return nil
+}
+
+func runExperiments(out io.Writer, experiment string, quick bool, seed uint64) error {
 	t1 := experiments.DefaultTable1Config()
 	lm := experiments.DefaultLemmaConfig()
 	th := experiments.DefaultTheoremConfig()
-	if *quick {
+	if quick {
 		t1 = experiments.QuickTable1Config()
 		lm = experiments.QuickLemmaConfig()
 		th = experiments.QuickTheoremConfig()
 	}
-	t1.Seed, lm.Seed, th.Seed = *seed, *seed+1, *seed+2
+	t1.Seed, lm.Seed, th.Seed = seed, seed+1, seed+2
 
-	want := func(name string) bool { return *experiment == "all" || *experiment == name }
+	want := func(name string) bool { return experiment == "all" || experiment == name }
 	ran := false
 
 	if want("table1") {
@@ -51,8 +199,8 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("=== E1: Table 1 ===")
-		fmt.Println(rep)
+		fmt.Fprintln(out, "=== E1: Table 1 ===")
+		fmt.Fprintln(out, rep)
 	}
 	if want("lemma1") {
 		ran = true
@@ -60,8 +208,8 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("=== E2: Lemma 1 ===")
-		fmt.Println(rep)
+		fmt.Fprintln(out, "=== E2: Lemma 1 ===")
+		fmt.Fprintln(out, rep)
 	}
 	if want("lemma3") {
 		ran = true
@@ -69,8 +217,8 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("=== E3: Lemma 3 / Figure 3 ===")
-		fmt.Println(rep)
+		fmt.Fprintln(out, "=== E3: Lemma 3 / Figure 3 ===")
+		fmt.Fprintln(out, rep)
 	}
 	if want("lemma4") {
 		ran = true
@@ -78,8 +226,8 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("=== E4: Lemma 4 ===")
-		fmt.Println(rep)
+		fmt.Fprintln(out, "=== E4: Lemma 4 ===")
+		fmt.Fprintln(out, rep)
 	}
 	if want("lemma5") {
 		ran = true
@@ -87,8 +235,8 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("=== E5: Lemma 5 / Figure 4 ===")
-		fmt.Println(rep)
+		fmt.Fprintln(out, "=== E5: Lemma 5 / Figure 4 ===")
+		fmt.Fprintln(out, rep)
 	}
 	if want("theorem2") {
 		ran = true
@@ -96,8 +244,8 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("=== E6: Theorem 2, multi-dimensional ===")
-		fmt.Println(rep)
+		fmt.Fprintln(out, "=== E6: Theorem 2, multi-dimensional ===")
+		fmt.Fprintln(out, rep)
 	}
 	if want("blocking") {
 		ran = true
@@ -105,9 +253,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("=== E7: Theorem 2, 1-d blocking ===")
-		fmt.Println(rep)
-		fmt.Printf("sub-log trend (Q/log2n last/first, <1 is sub-logarithmic): %.3f\n\n",
+		fmt.Fprintln(out, "=== E7: Theorem 2, 1-d blocking ===")
+		fmt.Fprintln(out, rep)
+		fmt.Fprintf(out, "sub-log trend (Q/log2n last/first, <1 is sub-logarithmic): %.3f\n\n",
 			experiments.SubLogCheck(rep.Rows))
 	}
 	if want("updates") {
@@ -116,8 +264,8 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("=== E8: Section 4 updates ===")
-		fmt.Println(rep)
+		fmt.Fprintln(out, "=== E8: Section 4 updates ===")
+		fmt.Fprintln(out, rep)
 	}
 	if want("congestion") {
 		ran = true
@@ -125,8 +273,8 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("=== E9: congestion / load balance ===")
-		fmt.Println(rep)
+		fmt.Fprintln(out, "=== E9: congestion / load balance ===")
+		fmt.Fprintln(out, rep)
 	}
 	if want("ablation") {
 		ran = true
@@ -134,28 +282,28 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("=== A1: blocking ablation ===")
-		fmt.Println(rep)
+		fmt.Fprintln(out, "=== A1: blocking ablation ===")
+		fmt.Fprintln(out, rep)
 	}
 	if want("figures") {
 		ran = true
-		fmt.Println("=== F1: Figure 1 ===")
-		fmt.Println(experiments.Figure1(*seed))
-		f2, err := experiments.Figure2(*seed, 1024)
+		fmt.Fprintln(out, "=== F1: Figure 1 ===")
+		fmt.Fprintln(out, experiments.Figure1(seed))
+		f2, err := experiments.Figure2(seed, 1024)
 		if err != nil {
 			return err
 		}
-		fmt.Println("=== F2: Figure 2 ===")
-		fmt.Println(f2)
-		f4, err := experiments.Figure4(*seed, 14)
+		fmt.Fprintln(out, "=== F2: Figure 2 ===")
+		fmt.Fprintln(out, f2)
+		f4, err := experiments.Figure4(seed, 14)
 		if err != nil {
 			return err
 		}
-		fmt.Println("=== F4: Figure 4 ===")
-		fmt.Println(f4)
+		fmt.Fprintln(out, "=== F4: Figure 4 ===")
+		fmt.Fprintln(out, f4)
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q", *experiment)
+		return fmt.Errorf("unknown experiment %q", experiment)
 	}
 	return nil
 }

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunExperimentQuickSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-experiment", "lemma1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "=== E2: Lemma 1 ===") {
+		t.Fatalf("missing experiment header in output:\n%s", got)
+	}
+	if len(strings.TrimSpace(strings.TrimPrefix(got, "=== E2: Lemma 1 ==="))) == 0 {
+		t.Fatalf("empty report body:\n%s", got)
+	}
+}
+
+func TestRunFiguresSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-experiment", "figures"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"=== F1: Figure 1 ===", "=== F2: Figure 2 ===", "=== F4: Figure 4 ==="} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in output:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunThroughputSmoke(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-mode", "throughput",
+		"-hosts", "32", "-keys", "512", "-queries", "800", "-procs", "1,2",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "accounting parity:") || !strings.Contains(got, "OK") {
+		t.Fatalf("missing accounting parity line in output:\n%s", got)
+	}
+	if !strings.Contains(got, "GOMAXPROCS=1") || !strings.Contains(got, "GOMAXPROCS=2") {
+		t.Fatalf("missing per-proc throughput lines in output:\n%s", got)
+	}
+	if !strings.Contains(got, "ops/sec") {
+		t.Fatalf("missing ops/sec metric in output:\n%s", got)
+	}
+}
+
+func TestRunRejectsUnknownModeAndExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mode", "nope"}, &out); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := run([]string{"-experiment", "nope"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -23,19 +25,25 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "skipweb-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	hosts := flag.Int("hosts", 256, "number of hosts")
-	keys := flag.Int("keys", 4096, "initial key count")
-	clients := flag.Int("clients", 8, "concurrent client goroutines")
-	ops := flag.Int("ops", 2000, "operations per client")
-	seed := flag.Uint64("seed", 1, "random seed")
-	flag.Parse()
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("skipweb-sim", flag.ContinueOnError)
+	hosts := fs.Int("hosts", 256, "number of hosts")
+	keys := fs.Int("keys", 4096, "initial key count")
+	clients := fs.Int("clients", 8, "concurrent client goroutines")
+	ops := fs.Int("ops", 2000, "operations per client")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help printed usage; not a failure
+		}
+		return err
+	}
 
 	rng := xrand.New(*seed)
 	initial := experiments.Keys(rng, *keys, 1<<40)
@@ -51,6 +59,8 @@ func run() error {
 	// while clients run concurrently and contend for it — the actor
 	// discipline a coordinator-replica deployment would use. Routing
 	// state reads happen inside the same actor, so -race stays clean.
+	// (Work submitted from host 0's own tasks would simply run inline;
+	// same-host re-entry no longer deadlocks.)
 	cluster := sim.NewCluster(net)
 	defer cluster.Stop()
 
@@ -88,20 +98,20 @@ func run() error {
 	wg.Wait()
 
 	q := queries.Load()
-	fmt.Printf("clients=%d ops/client=%d keys(final)=%d\n", *clients, *ops, web.Len())
-	fmt.Printf("queries=%d inserts=%d mean hops=%.2f\n", q, inserts.Load(),
+	fmt.Fprintf(out, "clients=%d ops/client=%d keys(final)=%d\n", *clients, *ops, web.Len())
+	fmt.Fprintf(out, "queries=%d inserts=%d mean hops=%.2f\n", q, inserts.Load(),
 		float64(totalHops.Load())/float64(max64(q, 1)))
-	fmt.Println("hop histogram:")
+	fmt.Fprintln(out, "hop histogram:")
 	for h := 0; h < len(hist); h++ {
 		c := hist[h].Load()
 		if c == 0 {
 			continue
 		}
 		bar := int(c * 50 / max64(q, 1))
-		fmt.Printf("  %3d %7d %s\n", h, c, stars(bar))
+		fmt.Fprintf(out, "  %3d %7d %s\n", h, c, stars(bar))
 	}
 	s := net.Snapshot()
-	fmt.Printf("network: messages=%d maxCongestion=%d meanStorage=%.1f maxStorage=%d\n",
+	fmt.Fprintf(out, "network: messages=%d maxCongestion=%d meanStorage=%.1f maxStorage=%d\n",
 		s.TotalMessages, s.MaxCongestion, s.MeanStorage, s.MaxStorage)
 	return nil
 }

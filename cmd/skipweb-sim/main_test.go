@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-hosts", "16", "-keys", "128", "-clients", "2", "-ops", "50"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"clients=2 ops/client=50",
+		"queries=",
+		"hop histogram:",
+		"network: messages=",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in output:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "keys(final)=0") {
+		t.Fatalf("web drained to zero keys:\n%s", got)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-hosts", "not-a-number"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -59,6 +59,19 @@ func main() {
 	}
 	fmt.Printf("range [10000,12000] -> %v (%d messages)\n", inRange, hops)
 
+	// Batch queries: N floors execute concurrently on per-host workers
+	// (nil origins spreads them round-robin over the hosts), with the
+	// same per-query message accounting as the loop above.
+	defer cluster.Close()
+	batch, err := web.FloorBatch([]uint64{4, 40, 400, 4000, 40000}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nbatched floors:")
+	for _, r := range batch {
+		fmt.Printf("  %6d found=%-5v (%d messages)\n", r.Key, r.Found, r.Hops)
+	}
+
 	// Cluster-wide accounting.
 	s := cluster.Stats()
 	fmt.Printf("\ncluster: %d ops, %d messages, mean storage %.1f units/host, max %d\n",

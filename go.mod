@@ -1,0 +1,3 @@
+module github.com/skipwebs/skipwebs
+
+go 1.21

@@ -264,6 +264,11 @@ func (w *BlockedWeb) entryLeaf(origin sim.HostID) *bnode {
 
 // Query routes a floor query to the terminal range of D(S), returning
 // the floor key (ok=false if q is below every key) and the hop count.
+//
+// Query and Range are safe for concurrent use by multiple goroutines as
+// long as no update runs concurrently: the descent reads only immutable
+// level lists and block directories plus atomic network counters (the
+// single-writer/many-reader contract the batch engine enforces).
 func (w *BlockedWeb) Query(q uint64, origin sim.HostID) (uint64, bool, int) {
 	op := w.net.NewOp(origin)
 	r := w.queryOp(q, op)
@@ -690,7 +695,8 @@ func (b *BucketWeb) NumBuckets() int { return len(b.buckets) }
 // Query performs a floor query: route over separators, then one message
 // into the bucket. Deletions may leave a separator below its bucket's
 // first live key; the search then continues into predecessor buckets via
-// the ground list's level-0 links.
+// the ground list's level-0 links. Like BlockedWeb.Query, it is safe for
+// concurrent use provided no update runs concurrently.
 func (b *BucketWeb) Query(q uint64, origin sim.HostID) (uint64, bool, int) {
 	min, ok, hops := b.web.Query(q, origin)
 	ground := b.web.Ground()

@@ -387,6 +387,14 @@ type QueryResult struct {
 
 // Query routes a point query from the originating host to the terminal
 // range of D(S) containing q, counting messages (Section 2.5).
+//
+// Query is safe for concurrent use by multiple goroutines as long as no
+// update (Insert, Delete) runs concurrently: the descent reads only
+// immutable routing state (set-tree links, hyperlinks, host placement,
+// and the underlying link structures, whose Contains/Step/Locate paths
+// are all pure) plus the network's atomic counters. The public batch
+// engine relies on this, holding a reader lock for query batches and a
+// writer lock for updates.
 func (w *Web[L, T, Q]) Query(q Q, origin sim.HostID) (QueryResult, error) {
 	op := w.net.NewOp(origin)
 	r, err := w.queryOp(q, op)

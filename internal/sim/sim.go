@@ -16,14 +16,17 @@
 //     numbers in EXPERIMENTS.md come from this mode.
 //   - Cluster: runs one goroutine per host and executes work on the owning
 //     host's goroutine, serializing per-host state access the way a real
-//     message-passing node would. Integration tests use it (with -race) to
-//     demonstrate the structures operate correctly as concurrent
-//     message-passing code.
+//     message-passing node would. Do is the blocking rendezvous; Go is the
+//     send-and-continue variant backing the batch query engine, and
+//     RunBatch fans a whole batch out over the per-host workers.
+//     Integration tests use it (with -race) to demonstrate the structures
+//     operate correctly as concurrent message-passing code.
 package sim
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -36,19 +39,28 @@ type HostID int32
 // any host start there.
 const None HostID = -1
 
+// counter is a cache-line-padded atomic counter. Per-host counters are
+// bumped from many worker goroutines during batch execution; without
+// padding, eight adjacent hosts share one cache line and concurrent
+// queries false-share even when they touch entirely different hosts.
+type counter struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
 // Network models a failure-free peer-to-peer network in which any host can
 // send a message to any other host. It records, per host: messages
 // received, storage units held, and query touches (the congestion measure).
-// All counters are atomic so a Cluster may share a Network across
-// goroutines.
+// All counters are atomic — and sharded per host with no global hot spot —
+// so a Cluster may run many operations against a shared Network in
+// parallel without the accounting itself becoming the bottleneck. Totals
+// are summed over hosts on read.
 type Network struct {
 	hosts    int
-	messages []atomic.Int64 // messages delivered to host i
-	storage  []atomic.Int64 // storage units (items, nodes, links, pointers) at host i
-	touches  []atomic.Int64 // operations that touched host i (congestion)
-
-	totalMessages atomic.Int64
-	totalOps      atomic.Int64
+	messages []counter // messages delivered to host i
+	storage  []counter // storage units (items, nodes, links, pointers) at host i
+	touches  []counter // operations that touched host i (congestion)
+	ops      []counter // operations started at host i-1 (slot 0: started at None)
 }
 
 // NewNetwork creates a network of h hosts. It panics if h <= 0, since a
@@ -59,9 +71,10 @@ func NewNetwork(h int) *Network {
 	}
 	return &Network{
 		hosts:    h,
-		messages: make([]atomic.Int64, h),
-		storage:  make([]atomic.Int64, h),
-		touches:  make([]atomic.Int64, h),
+		messages: make([]counter, h),
+		storage:  make([]counter, h),
+		touches:  make([]counter, h),
+		ops:      make([]counter, h+1),
 	}
 }
 
@@ -71,17 +84,29 @@ func (n *Network) Hosts() int { return n.hosts }
 // AddStorage records delta storage units at host h. Structures call this
 // when placing or removing nodes, links, and hyperlink pointers.
 func (n *Network) AddStorage(h HostID, delta int) {
-	n.storage[h].Add(int64(delta))
+	n.storage[h].n.Add(int64(delta))
 }
 
 // Storage returns the storage units currently recorded at host h.
-func (n *Network) Storage(h HostID) int64 { return n.storage[h].Load() }
+func (n *Network) Storage(h HostID) int64 { return n.storage[h].n.Load() }
 
 // TotalMessages returns the number of messages delivered since creation.
-func (n *Network) TotalMessages() int64 { return n.totalMessages.Load() }
+func (n *Network) TotalMessages() int64 {
+	var sum int64
+	for i := range n.messages {
+		sum += n.messages[i].n.Load()
+	}
+	return sum
+}
 
 // TotalOps returns the number of operations started since creation.
-func (n *Network) TotalOps() int64 { return n.totalOps.Load() }
+func (n *Network) TotalOps() int64 {
+	var sum int64
+	for i := range n.ops {
+		sum += n.ops[i].n.Load()
+	}
+	return sum
+}
 
 // Op is the accounting context for a single logical operation (one query or
 // one update). An operation has a current host; moving to a different host
@@ -97,10 +122,10 @@ type Op struct {
 // not yet chosen an entry host; the first Visit is then free, modelling the
 // originating host beginning at its own root).
 func (n *Network) NewOp(start HostID) *Op {
-	n.totalOps.Add(1)
+	n.ops[int(start)+1].n.Add(1)
 	op := &Op{net: n, cur: start}
 	if start != None {
-		n.touches[start].Add(1)
+		n.touches[start].n.Add(1)
 	}
 	return op
 }
@@ -115,7 +140,7 @@ func (o *Op) Visit(h HostID) {
 	}
 	if o.cur == None {
 		o.cur = h
-		o.net.touches[h].Add(1)
+		o.net.touches[h].n.Add(1)
 		return
 	}
 	o.charge(h)
@@ -124,19 +149,15 @@ func (o *Op) Visit(h HostID) {
 
 func (o *Op) charge(h HostID) {
 	o.hops++
-	o.net.totalMessages.Add(1)
-	o.net.messages[h].Add(1)
-	o.net.touches[h].Add(1)
+	o.net.messages[h].n.Add(1)
+	o.net.touches[h].n.Add(1)
 }
 
 // Send charges one explicit message to host h without moving the operation
 // there. It models auxiliary round trips (e.g. a remote host returning
 // hyperlinks rather than forwarding the query).
 func (o *Op) Send(h HostID) {
-	o.net.totalMessages.Add(1)
-	o.net.messages[h].Add(1)
-	o.net.touches[h].Add(1)
-	o.hops++
+	o.charge(h)
 }
 
 // Hops returns the number of messages this operation has cost so far.
@@ -161,15 +182,14 @@ type Stats struct {
 // Snapshot summarizes the per-host counters.
 func (n *Network) Snapshot() Stats {
 	s := Stats{
-		Hosts:         n.hosts,
-		TotalMessages: n.totalMessages.Load(),
-		TotalOps:      n.totalOps.Load(),
+		Hosts:    n.hosts,
+		TotalOps: n.TotalOps(),
 	}
 	var sumSt, sumTo, sumMs int64
 	for i := 0; i < n.hosts; i++ {
-		st := n.storage[i].Load()
-		to := n.touches[i].Load()
-		ms := n.messages[i].Load()
+		st := n.storage[i].n.Load()
+		to := n.touches[i].n.Load()
+		ms := n.messages[i].n.Load()
 		sumSt += st
 		sumTo += to
 		sumMs += ms
@@ -184,6 +204,7 @@ func (n *Network) Snapshot() Stats {
 		}
 	}
 	h := float64(n.hosts)
+	s.TotalMessages = sumMs
 	s.MeanStorage = float64(sumSt) / h
 	s.MeanCongestion = float64(sumTo) / h
 	s.MeanMessages = float64(sumMs) / h
@@ -195,7 +216,7 @@ func (n *Network) Snapshot() Stats {
 func (n *Network) StorageQuantiles(qs ...float64) []int64 {
 	vals := make([]int64, n.hosts)
 	for i := range vals {
-		vals[i] = n.storage[i].Load()
+		vals[i] = n.storage[i].n.Load()
 	}
 	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
 	out := make([]int64, len(qs))
@@ -220,72 +241,227 @@ func (n *Network) StorageQuantiles(qs ...float64) []int64 {
 // construction traffic.
 func (n *Network) ResetTraffic() {
 	for i := 0; i < n.hosts; i++ {
-		n.messages[i].Store(0)
-		n.touches[i].Store(0)
+		n.messages[i].n.Store(0)
+		n.touches[i].n.Store(0)
 	}
-	n.totalMessages.Store(0)
-	n.totalOps.Store(0)
+	for i := range n.ops {
+		n.ops[i].n.Store(0)
+	}
 }
 
 // Cluster executes work on per-host goroutines. Each host runs a single
-// worker goroutine; Do(h, fn) runs fn on host h's goroutine and waits for
-// it, so all state owned by a host is accessed from exactly one goroutine
-// at a time — the actor discipline of a message-passing node.
+// worker goroutine draining an unbounded mailbox; Do(h, fn) runs fn on
+// host h's goroutine and waits for it, so all state owned by a host is
+// accessed from exactly one goroutine at a time — the actor discipline of
+// a message-passing node. Go(h, fn) is the asynchronous variant: it
+// enqueues fn and returns immediately (send-and-continue message passing),
+// which is what the batch query engine uses to keep every host busy.
 type Cluster struct {
 	net     *Network
-	inboxes []chan task
+	mail    []*mailbox
 	wg      sync.WaitGroup
 	stopped atomic.Bool
+	// running maps a worker goroutine's id to the host it executes for,
+	// so Do can detect same-host re-entry and run inline instead of
+	// deadlocking on a message to itself.
+	running sync.Map // uint64 (goroutine id) -> HostID
 }
 
 type task struct {
 	fn   func()
-	done chan struct{}
+	done chan struct{} // nil for asynchronous (send-and-continue) tasks
+}
+
+// mailbox is an unbounded FIFO task queue with a single consumer. An
+// unbounded queue models a node's inbound message buffer: senders never
+// block, exactly as a send-and-continue message leaves the sender free.
+type mailbox struct {
+	mu     sync.Mutex
+	queue  []task
+	wake   chan struct{} // buffered(1): signals the worker that work exists
+	closed bool
+}
+
+// put enqueues t, reporting false when the mailbox is closed.
+func (m *mailbox) put(t task) bool {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return false
+	}
+	m.queue = append(m.queue, t)
+	m.mu.Unlock()
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// take pops the next task, blocking until one arrives. It returns ok=false
+// once the mailbox is closed and fully drained.
+func (m *mailbox) take() (task, bool) {
+	for {
+		m.mu.Lock()
+		if len(m.queue) > 0 {
+			t := m.queue[0]
+			m.queue[0] = task{}
+			m.queue = m.queue[1:]
+			m.mu.Unlock()
+			return t, true
+		}
+		closed := m.closed
+		m.mu.Unlock()
+		if closed {
+			return task{}, false
+		}
+		<-m.wake
+	}
+}
+
+// close marks the mailbox closed and wakes the worker; queued tasks still
+// drain before the worker exits.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// goid returns the current goroutine's id, parsed from the runtime stack
+// header ("goroutine N [...]"). It is used only to detect whether Do is
+// already executing on the target host's worker goroutine.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	var id uint64
+	for _, ch := range buf[len("goroutine "):n] {
+		if ch < '0' || ch > '9' {
+			break
+		}
+		id = id*10 + uint64(ch-'0')
+	}
+	return id
 }
 
 // NewCluster creates and starts a cluster over net's hosts. Call Stop when
 // done; the Cluster owns one goroutine per host until then.
 func NewCluster(net *Network) *Cluster {
 	c := &Cluster{
-		net:     net,
-		inboxes: make([]chan task, net.Hosts()),
+		net:  net,
+		mail: make([]*mailbox, net.Hosts()),
 	}
-	for i := range c.inboxes {
-		// Buffer of one so a sender handing off work to an idle host does
-		// not block on the rendezvous (per style guidance: size one or none).
-		inbox := make(chan task, 1)
-		c.inboxes[i] = inbox
+	for i := range c.mail {
+		m := &mailbox{wake: make(chan struct{}, 1)}
+		c.mail[i] = m
 		c.wg.Add(1)
-		go func() {
+		go func(h HostID, m *mailbox) {
 			defer c.wg.Done()
-			for t := range inbox {
+			g := goid()
+			c.running.Store(g, h)
+			defer c.running.Delete(g)
+			for {
+				t, ok := m.take()
+				if !ok {
+					return
+				}
 				t.fn()
-				close(t.done)
+				if t.done != nil {
+					close(t.done)
+				}
 			}
-		}()
+		}(HostID(i), m)
 	}
 	return c
 }
 
+// onHost reports whether the calling goroutine is host h's worker.
+func (c *Cluster) onHost(h HostID) bool {
+	g, ok := c.running.Load(goid())
+	return ok && g.(HostID) == h
+}
+
 // Do runs fn on host h's goroutine and blocks until it completes. It must
-// not be called after Stop. fn must not call Do for the same host h (that
-// would deadlock, just as a node cannot wait on a message to itself).
+// not be called after Stop. When the caller is already executing on host
+// h's worker goroutine, fn runs inline — a node processing one of its own
+// messages — so same-host re-entry cannot deadlock. Cross-host re-entry
+// cycles (host A waiting on B while B waits on A) remain the caller's
+// responsibility, as in any synchronous message exchange.
 func (c *Cluster) Do(h HostID, fn func()) {
 	if c.stopped.Load() {
 		panic("sim: Cluster.Do after Stop")
 	}
+	if c.onHost(h) {
+		fn()
+		return
+	}
 	t := task{fn: fn, done: make(chan struct{})}
-	c.inboxes[h] <- t
+	if !c.mail[h].put(t) {
+		panic("sim: Cluster.Do after Stop")
+	}
 	<-t.done
 }
 
-// Stop shuts down all host goroutines and waits for them to exit.
+// Go enqueues fn on host h's goroutine and returns immediately without
+// waiting for it to run — send-and-continue message passing. Tasks from
+// one sender to one host run in FIFO order; completion is the caller's
+// concern (pair with a sync.WaitGroup, as RunBatch does). Go must not be
+// called after Stop, but tasks already enqueued when Stop is called are
+// drained before the workers exit.
+func (c *Cluster) Go(h HostID, fn func()) {
+	if c.stopped.Load() {
+		panic("sim: Cluster.Go after Stop")
+	}
+	if !c.mail[h].put(task{fn: fn}) {
+		panic("sim: Cluster.Go after Stop")
+	}
+}
+
+// RunBatch executes n operations concurrently across the cluster: the
+// i-th operation runs on host origin(i)'s goroutine, and RunBatch returns
+// once every operation has completed. Operations sharing an origin host
+// serialize in index order; operations on distinct hosts run in parallel.
+//
+// Operations are grouped by origin and delivered as one message per host
+// rather than one per operation, so the dispatch cost is O(distinct
+// origins) and the per-operation overhead is a plain function call on the
+// worker — without this, mailbox and scheduler churn swamps the
+// microsecond-scale routing work and the batch stops scaling with
+// GOMAXPROCS.
+func (c *Cluster) RunBatch(n int, origin func(i int) HostID, run func(i int)) {
+	groups := make([][]int, c.net.Hosts())
+	for i := 0; i < n; i++ {
+		h := origin(i)
+		groups[h] = append(groups[h], i)
+	}
+	var wg sync.WaitGroup
+	for h, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		idxs := idxs
+		wg.Add(1)
+		c.Go(HostID(h), func() {
+			defer wg.Done()
+			for _, i := range idxs {
+				run(i)
+			}
+		})
+	}
+	wg.Wait()
+}
+
+// Stop shuts down all host goroutines, draining already-enqueued tasks,
+// and waits for the workers to exit.
 func (c *Cluster) Stop() {
 	if c.stopped.Swap(true) {
 		return
 	}
-	for _, inbox := range c.inboxes {
-		close(inbox)
+	for _, m := range c.mail {
+		m.close()
 	}
 	c.wg.Wait()
 }

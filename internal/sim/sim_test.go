@@ -176,6 +176,105 @@ func TestClusterCrossHostWork(t *testing.T) {
 	}
 }
 
+func TestClusterDoSameHostReentry(t *testing.T) {
+	// Regression: Do(h, fn) where fn calls Do(h, ...) used to deadlock
+	// (the worker waited on a message to itself). Re-entry must run inline
+	// on the worker goroutine.
+	n := NewNetwork(2)
+	c := NewCluster(n)
+	defer c.Stop()
+
+	ran := 0
+	c.Do(0, func() {
+		ran++
+		c.Do(0, func() {
+			ran++
+			c.Do(0, func() { ran++ }) // nested twice for good measure
+		})
+	})
+	if ran != 3 {
+		t.Fatalf("ran = %d, want 3", ran)
+	}
+
+	// Cross-host nesting from a worker goroutine must still work: host 0's
+	// worker synchronously asks host 1 for a value.
+	got := 0
+	c.Do(0, func() {
+		c.Do(1, func() { got = 41 })
+		got++
+	})
+	if got != 42 {
+		t.Fatalf("cross-host nested Do got %d, want 42", got)
+	}
+}
+
+func TestClusterGoAsyncCompletes(t *testing.T) {
+	n := NewNetwork(4)
+	c := NewCluster(n)
+	defer c.Stop()
+
+	var wg sync.WaitGroup
+	counters := make([]int, 4)
+	const each = 500
+	for h := 0; h < 4; h++ {
+		for i := 0; i < each; i++ {
+			wg.Add(1)
+			h := h
+			c.Go(HostID(h), func() {
+				defer wg.Done()
+				counters[h]++ // unguarded: the per-host worker serializes
+			})
+		}
+	}
+	wg.Wait()
+	for h, got := range counters {
+		if got != each {
+			t.Fatalf("host %d counter = %d, want %d", h, got, each)
+		}
+	}
+}
+
+func TestClusterStopDrainsAsyncTasks(t *testing.T) {
+	n := NewNetwork(2)
+	c := NewCluster(n)
+	count := 0
+	for i := 0; i < 100; i++ {
+		c.Go(0, func() { count++ })
+	}
+	c.Stop() // must drain all 100 enqueued tasks before workers exit
+	if count != 100 {
+		t.Fatalf("drained %d tasks, want 100", count)
+	}
+}
+
+func TestClusterGoAfterStopPanics(t *testing.T) {
+	c := NewCluster(NewNetwork(1))
+	c.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Go after Stop did not panic")
+		}
+	}()
+	c.Go(0, func() {})
+}
+
+func TestClusterRunBatch(t *testing.T) {
+	n := NewNetwork(8)
+	c := NewCluster(n)
+	defer c.Stop()
+
+	const ops = 400
+	results := make([]int, ops)
+	c.RunBatch(ops,
+		func(i int) HostID { return HostID(i % 8) },
+		func(i int) { results[i] = i * i })
+	for i, r := range results {
+		if r != i*i {
+			t.Fatalf("op %d result %d, want %d", i, r, i*i)
+		}
+	}
+}
+
 func TestClusterStopIdempotent(t *testing.T) {
 	c := NewCluster(NewNetwork(2))
 	c.Stop()

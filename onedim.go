@@ -94,6 +94,32 @@ func (d *OneDim) Delete(key uint64, origin HostID) (int, error) {
 // Keys returns the stored keys in ascending order.
 func (d *OneDim) Keys() []uint64 { return d.w.GroundStructure().Keys() }
 
+// FloorBatch answers one floor query per element of qs concurrently (see
+// the batch engine notes in batch.go). Results are in input order.
+func (d *OneDim) FloorBatch(qs []uint64, origins []HostID) ([]FloorResult, error) {
+	return runReadBatch(d.c, qs, origins, d.Floor)
+}
+
+// ContainsBatch answers one membership query per key concurrently.
+func (d *OneDim) ContainsBatch(keys []uint64, origins []HostID) ([]ContainsResult, error) {
+	return runReadBatch(d.c, keys, origins, func(k uint64, origin HostID) (ContainsResult, error) {
+		ok, hops, err := d.Contains(k, origin)
+		return ContainsResult{Found: ok, Hops: hops}, err
+	})
+}
+
+// InsertBatch adds the keys under the cluster's write lock (single
+// writer), returning each update's message cost in input order.
+func (d *OneDim) InsertBatch(keys []uint64, origins []HostID) ([]int, error) {
+	return runWriteBatch(d.c, keys, origins, d.Insert)
+}
+
+// DeleteBatch removes the keys under the cluster's write lock, returning
+// each update's message cost in input order.
+func (d *OneDim) DeleteBatch(keys []uint64, origins []HostID) ([]int, error) {
+	return runWriteBatch(d.c, keys, origins, d.Delete)
+}
+
 // Blocked is the improved one-dimensional skip-web of Section 2.4.1:
 // with per-host memory M, queries and updates take O(log n / log M)
 // expected messages — O(log n / log log n) at M = Θ(log n).
@@ -150,6 +176,40 @@ func (b *Blocked) Delete(key uint64, origin HostID) (int, error) {
 		return h, fmt.Errorf("skipwebs: %w", err)
 	}
 	return h, nil
+}
+
+// FloorBatch answers one floor query per element of qs concurrently (see
+// the batch engine notes in batch.go). Results are in input order.
+func (b *Blocked) FloorBatch(qs []uint64, origins []HostID) ([]FloorResult, error) {
+	return runReadBatch(b.c, qs, origins, b.Floor)
+}
+
+// ContainsBatch answers one membership query per key concurrently.
+func (b *Blocked) ContainsBatch(keys []uint64, origins []HostID) ([]ContainsResult, error) {
+	return runReadBatch(b.c, keys, origins, func(k uint64, origin HostID) (ContainsResult, error) {
+		r, err := b.Floor(k, origin)
+		return ContainsResult{Found: r.Found && r.Key == k, Hops: r.Hops}, err
+	})
+}
+
+// RangeBatch answers one range query per element of rs concurrently.
+func (b *Blocked) RangeBatch(rs []KeyRange, origins []HostID) ([]RangeResult, error) {
+	return runReadBatch(b.c, rs, origins, func(r KeyRange, origin HostID) (RangeResult, error) {
+		keys, hops, err := b.Range(r.Lo, r.Hi, origin)
+		return RangeResult{Keys: keys, Hops: hops}, err
+	})
+}
+
+// InsertBatch adds the keys under the cluster's write lock (single
+// writer), returning each update's message cost in input order.
+func (b *Blocked) InsertBatch(keys []uint64, origins []HostID) ([]int, error) {
+	return runWriteBatch(b.c, keys, origins, b.Insert)
+}
+
+// DeleteBatch removes the keys under the cluster's write lock, returning
+// each update's message cost in input order.
+func (b *Blocked) DeleteBatch(keys []uint64, origins []HostID) ([]int, error) {
+	return runWriteBatch(b.c, keys, origins, b.Delete)
 }
 
 // Bucketed is the bucket skip-web (Table 1, last row): H < n hosts, each
@@ -213,4 +273,38 @@ func (b *Bucketed) Delete(key uint64, origin HostID) (int, error) {
 		return h, fmt.Errorf("skipwebs: %w", err)
 	}
 	return h, nil
+}
+
+// FloorBatch answers one floor query per element of qs concurrently (see
+// the batch engine notes in batch.go). Results are in input order.
+func (b *Bucketed) FloorBatch(qs []uint64, origins []HostID) ([]FloorResult, error) {
+	return runReadBatch(b.c, qs, origins, b.Floor)
+}
+
+// ContainsBatch answers one membership query per key concurrently.
+func (b *Bucketed) ContainsBatch(keys []uint64, origins []HostID) ([]ContainsResult, error) {
+	return runReadBatch(b.c, keys, origins, func(k uint64, origin HostID) (ContainsResult, error) {
+		r, err := b.Floor(k, origin)
+		return ContainsResult{Found: r.Found && r.Key == k, Hops: r.Hops}, err
+	})
+}
+
+// RangeBatch answers one range query per element of rs concurrently.
+func (b *Bucketed) RangeBatch(rs []KeyRange, origins []HostID) ([]RangeResult, error) {
+	return runReadBatch(b.c, rs, origins, func(r KeyRange, origin HostID) (RangeResult, error) {
+		keys, hops, err := b.Range(r.Lo, r.Hi, origin)
+		return RangeResult{Keys: keys, Hops: hops}, err
+	})
+}
+
+// InsertBatch adds the keys under the cluster's write lock (single
+// writer), returning each update's message cost in input order.
+func (b *Bucketed) InsertBatch(keys []uint64, origins []HostID) ([]int, error) {
+	return runWriteBatch(b.c, keys, origins, b.Insert)
+}
+
+// DeleteBatch removes the keys under the cluster's write lock, returning
+// each update's message cost in input order.
+func (b *Bucketed) DeleteBatch(keys []uint64, origins []HostID) ([]int, error) {
+	return runWriteBatch(b.c, keys, origins, b.Delete)
 }

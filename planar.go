@@ -102,3 +102,10 @@ func (p *Planar) Locate(q PlanarPoint, origin HostID) (Trapezoid, error) {
 	}
 	return out, nil
 }
+
+// LocateBatch answers one planar point-location query per element of qs
+// concurrently (see the batch engine notes in batch.go). Results are in
+// input order. The structure is static, so there is no update batch.
+func (p *Planar) LocateBatch(qs []PlanarPoint, origins []HostID) ([]Trapezoid, error) {
+	return runReadBatch(p.c, qs, origins, p.Locate)
+}

@@ -254,3 +254,47 @@ func (p *Points) Delete(q Point, origin HostID) (int, error) {
 	}
 	return h, nil
 }
+
+// NearestResult is one answer of a nearest-neighbor batch.
+type NearestResult struct {
+	// Point is the nearest stored point under squared Euclidean distance.
+	Point Point
+	// Hops is the number of messages the query cost.
+	Hops int
+}
+
+// LocateBatch answers one point-location query per element of qs
+// concurrently (see the batch engine notes in batch.go). Results are in
+// input order.
+func (p *Points) LocateBatch(qs []Point, origins []HostID) ([]PointLocation, error) {
+	return runReadBatch(p.c, qs, origins, p.Locate)
+}
+
+// ContainsBatch answers one exact-membership query per point concurrently.
+func (p *Points) ContainsBatch(qs []Point, origins []HostID) ([]ContainsResult, error) {
+	return runReadBatch(p.c, qs, origins, func(q Point, origin HostID) (ContainsResult, error) {
+		ok, hops, err := p.Contains(q, origin)
+		return ContainsResult{Found: ok, Hops: hops}, err
+	})
+}
+
+// NearestBatch answers one exact nearest-neighbor query per point
+// concurrently.
+func (p *Points) NearestBatch(qs []Point, origins []HostID) ([]NearestResult, error) {
+	return runReadBatch(p.c, qs, origins, func(q Point, origin HostID) (NearestResult, error) {
+		pt, hops, err := p.Nearest(q, origin)
+		return NearestResult{Point: pt, Hops: hops}, err
+	})
+}
+
+// InsertBatch adds the points under the cluster's write lock (single
+// writer), returning each update's message cost in input order.
+func (p *Points) InsertBatch(qs []Point, origins []HostID) ([]int, error) {
+	return runWriteBatch(p.c, qs, origins, p.Insert)
+}
+
+// DeleteBatch removes the points under the cluster's write lock,
+// returning each update's message cost in input order.
+func (p *Points) DeleteBatch(qs []Point, origins []HostID) ([]int, error) {
+	return runWriteBatch(p.c, qs, origins, p.Delete)
+}

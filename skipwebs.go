@@ -28,6 +28,8 @@
 package skipwebs
 
 import (
+	"sync"
+
 	"github.com/skipwebs/skipwebs/internal/sim"
 )
 
@@ -37,8 +39,26 @@ type HostID = sim.HostID
 // Cluster is a failure-free peer-to-peer network of hosts with message,
 // storage, and congestion accounting. All structures attached to a
 // Cluster share its hosts and counters.
+//
+// A Cluster also owns the concurrent batch engine: the first batch call
+// (FloorBatch, LocateBatch, InsertBatch, ...) on any attached structure
+// starts one worker goroutine per host, and batches execute their
+// operations on the origin hosts' workers via send-and-continue message
+// passing. Read batches from all structures run fully in parallel under a
+// shared read lock; update batches take the write lock and serialize —
+// single-writer/many-reader concurrency control. Call Close to stop the
+// workers when batches have been used.
 type Cluster struct {
 	net *sim.Network
+
+	// mu is the single-writer/many-reader lock over every structure
+	// attached to this cluster: read batches hold RLock, update batches
+	// hold Lock. Synchronous (non-batch) calls are not locked; do not run
+	// them concurrently with batches.
+	mu sync.RWMutex
+
+	workersOnce sync.Once
+	workers     *sim.Cluster
 }
 
 // NewCluster creates a cluster of h hosts. It panics if h <= 0.
@@ -77,5 +97,26 @@ func (c *Cluster) Stats() Stats {
 // ResetTraffic zeroes message and congestion counters while keeping
 // storage, so query traffic can be measured separately from construction.
 func (c *Cluster) ResetTraffic() { c.net.ResetTraffic() }
+
+// Close stops the per-host worker goroutines backing batch execution,
+// draining any enqueued work first. Batch calls after Close panic;
+// synchronous calls remain valid. Close is idempotent and free when no
+// batch was ever run (the worker pool is never started just to be torn
+// down).
+func (c *Cluster) Close() {
+	c.workersOnce.Do(func() {}) // ensure no pool can start after Close
+	if c.workers != nil {
+		c.workers.Stop()
+	}
+}
+
+// cluster returns the per-host worker pool, starting it on first use.
+func (c *Cluster) cluster() *sim.Cluster {
+	c.workersOnce.Do(func() { c.workers = sim.NewCluster(c.net) })
+	if c.workers == nil {
+		panic("skipwebs: batch operation after Cluster.Close")
+	}
+	return c.workers
+}
 
 func (c *Cluster) network() *sim.Network { return c.net }

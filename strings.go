@@ -112,3 +112,46 @@ func (s *Strings) Delete(key string, origin HostID) (int, error) {
 	}
 	return h, nil
 }
+
+// PrefixResult is one answer of a prefix-search batch.
+type PrefixResult struct {
+	// Keys are the stored keys with the queried prefix, sorted.
+	Keys []string
+	// Hops is the number of messages the query cost.
+	Hops int
+}
+
+// SearchBatch answers one trie search per element of qs concurrently (see
+// the batch engine notes in batch.go). Results are in input order.
+func (s *Strings) SearchBatch(qs []string, origins []HostID) ([]StringLocation, error) {
+	return runReadBatch(s.c, qs, origins, s.Search)
+}
+
+// ContainsBatch answers one exact-membership query per key concurrently.
+func (s *Strings) ContainsBatch(qs []string, origins []HostID) ([]ContainsResult, error) {
+	return runReadBatch(s.c, qs, origins, func(q string, origin HostID) (ContainsResult, error) {
+		ok, hops, err := s.Contains(q, origin)
+		return ContainsResult{Found: ok, Hops: hops}, err
+	})
+}
+
+// PrefixSearchBatch answers one prefix enumeration per prefix
+// concurrently, each returning up to max keys (max <= 0 means all).
+func (s *Strings) PrefixSearchBatch(prefixes []string, max int, origins []HostID) ([]PrefixResult, error) {
+	return runReadBatch(s.c, prefixes, origins, func(p string, origin HostID) (PrefixResult, error) {
+		keys, hops, err := s.PrefixSearch(p, max, origin)
+		return PrefixResult{Keys: keys, Hops: hops}, err
+	})
+}
+
+// InsertBatch adds the keys under the cluster's write lock (single
+// writer), returning each update's message cost in input order.
+func (s *Strings) InsertBatch(keys []string, origins []HostID) ([]int, error) {
+	return runWriteBatch(s.c, keys, origins, s.Insert)
+}
+
+// DeleteBatch removes the keys under the cluster's write lock, returning
+// each update's message cost in input order.
+func (s *Strings) DeleteBatch(keys []string, origins []HostID) ([]int, error) {
+	return runWriteBatch(s.c, keys, origins, s.Delete)
+}
