@@ -1,0 +1,156 @@
+// Allocation benchmarks for the hot paths: the point-query descent and
+// the update climb. These pin the allocation-free descent guarantees
+// documented in README.md's Performance section — `go test -bench=Allocs`
+// shows allocs/op alongside the paper's msgs/op metric, and CI's bench
+// smoke job keeps them from regressing silently.
+package skipwebs
+
+import (
+	"testing"
+
+	"github.com/skipwebs/skipwebs/internal/experiments"
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// BenchmarkQueryAllocs measures per-query heap allocations on the point
+// query descent of each structure. The Blocked and OneDim descents are
+// allocation-free in steady state (pooled sim.Op, iterator-based range
+// enumeration, binary-search local search); tree-backed descents allocate
+// only what their answers require.
+func BenchmarkQueryAllocs(b *testing.B) {
+	b.Run("blocked-floor", func(b *testing.B) {
+		c := NewCluster(256)
+		w, err := NewBlocked(c, benchKeys(0), Options{Seed: 17})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := xrand.New(18)
+		total := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r, err := w.Floor(rng.Uint64n(1<<40), HostID(rng.Intn(256)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += r.Hops
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "msgs/query")
+	})
+	b.Run("onedim-floor", func(b *testing.B) {
+		c := NewCluster(256)
+		w, err := NewOneDim(c, benchKeys(0), Options{Seed: 17})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := xrand.New(18)
+		total := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r, err := w.Floor(rng.Uint64n(1<<40), HostID(rng.Intn(256)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += r.Hops
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "msgs/query")
+	})
+	b.Run("points-locate", func(b *testing.B) {
+		c := NewCluster(256)
+		rng := xrand.New(19)
+		raw := experiments.UniformPoints(rng, 2, 2048, 1<<30)
+		pts := make([]Point, len(raw))
+		for i, p := range raw {
+			pts[i] = Point(p)
+		}
+		w, err := NewPoints(c, 2, pts, Options{Seed: 17})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Pre-generate queries: the Point composite literal would otherwise
+		// be charged to the descent.
+		qs := make([]Point, 4096)
+		for i := range qs {
+			qs[i] = Point{uint32(rng.Uint64n(1 << 30)), uint32(rng.Uint64n(1 << 30))}
+		}
+		total := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			loc, err := w.Locate(qs[i%len(qs)], HostID(i%256))
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += loc.Hops
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "msgs/query")
+	})
+	b.Run("strings-search", func(b *testing.B) {
+		c := NewCluster(256)
+		rng := xrand.New(20)
+		keys := experiments.UniformStrings(rng, 2048, "acgt", 6, 24)
+		w, err := NewStrings(c, keys, Options{Seed: 17})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			loc, err := w.Search(keys[i%len(keys)], HostID(i%256))
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += loc.Hops
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "msgs/query")
+	})
+}
+
+// BenchmarkInsertAllocs measures per-update heap allocations on the
+// insert climb (query descent + structural change + hyperlink rewiring).
+// Updates still allocate where ownership demands it (stored hyperlink
+// slices, level growth), but all per-level scratch is pooled.
+func BenchmarkInsertAllocs(b *testing.B) {
+	b.Run("blocked", func(b *testing.B) {
+		c := NewCluster(256)
+		keys := benchKeys(b.N)
+		w, err := NewBlocked(c, keys[:benchN], Options{Seed: 23})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := xrand.New(24)
+		total := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h, err := w.Insert(keys[benchN+i], HostID(rng.Intn(256)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += h
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "msgs/insert")
+	})
+	b.Run("onedim", func(b *testing.B) {
+		c := NewCluster(256)
+		keys := benchKeys(b.N)
+		w, err := NewOneDim(c, keys[:benchN], Options{Seed: 23})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := xrand.New(24)
+		total := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h, err := w.Insert(keys[benchN+i], HostID(rng.Intn(256)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += h
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "msgs/insert")
+	})
+}

@@ -31,6 +31,7 @@ func runQueryBench(b *testing.B, search func(q uint64, o sim.HostID) int, hosts 
 	b.Helper()
 	rng := xrand.New(2)
 	total := 0
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		total += search(rng.Uint64n(1<<40), sim.HostID(rng.Intn(hosts)))
@@ -125,6 +126,7 @@ func BenchmarkTable1_Updates(b *testing.B) {
 				insert = w.Insert
 			}
 			total := 0
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				h, err := insert(keys[benchN+i], sim.HostID(i%benchN))
@@ -141,6 +143,7 @@ func BenchmarkTable1_Updates(b *testing.B) {
 // --- Lemmas (E2–E5): conflict-list size per halving trial.
 
 func BenchmarkLemma1Halving(b *testing.B) {
+	b.ReportAllocs()
 	rep, err := experiments.Lemma1(experiments.LemmaConfig{Sizes: []int{benchN}, Trials: b.N, Seed: 2})
 	if err != nil {
 		b.Fatal(err)
@@ -149,6 +152,7 @@ func BenchmarkLemma1Halving(b *testing.B) {
 }
 
 func BenchmarkLemma3Halving(b *testing.B) {
+	b.ReportAllocs()
 	rep, err := experiments.Lemma3(experiments.LemmaConfig{Sizes: []int{benchN}, Trials: b.N, Seed: 2})
 	if err != nil {
 		b.Fatal(err)
@@ -157,6 +161,7 @@ func BenchmarkLemma3Halving(b *testing.B) {
 }
 
 func BenchmarkLemma4Halving(b *testing.B) {
+	b.ReportAllocs()
 	rep, err := experiments.Lemma4(experiments.LemmaConfig{Sizes: []int{benchN}, Trials: b.N, Seed: 2})
 	if err != nil {
 		b.Fatal(err)
@@ -165,6 +170,7 @@ func BenchmarkLemma4Halving(b *testing.B) {
 }
 
 func BenchmarkLemma5Halving(b *testing.B) {
+	b.ReportAllocs()
 	rep, err := experiments.Lemma5(experiments.LemmaConfig{Sizes: []int{512}, Trials: b.N, Seed: 2})
 	if err != nil {
 		b.Fatal(err)
@@ -224,6 +230,7 @@ func BenchmarkTheorem2MultiDim(b *testing.B) {
 				}
 			}
 			total := 0
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				total += search(i)
@@ -246,6 +253,7 @@ func BenchmarkTheorem2Blocking(b *testing.B) {
 			}
 			rng := xrand.New(4)
 			total := 0
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_, _, h := w.Query(rng.Uint64n(1<<40), sim.HostID(rng.Intn(benchN)))
@@ -310,6 +318,7 @@ func BenchmarkUpdates(b *testing.B) {
 				}
 			}
 			total := 0
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				total += insert(i)
@@ -329,6 +338,7 @@ func BenchmarkCongestion(b *testing.B) {
 	}
 	net.ResetTraffic()
 	rng := xrand.New(7)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w.Query(rng.Uint64n(1<<40), sim.HostID(rng.Intn(benchN)))
@@ -356,6 +366,7 @@ func BenchmarkBatchFloorThroughput(b *testing.B) {
 	if _, err := w.FloorBatch(qs[:512], nil); err != nil { // warm the pool
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := w.FloorBatch(qs, nil); err != nil {
@@ -368,6 +379,7 @@ func BenchmarkBatchFloorThroughput(b *testing.B) {
 // --- Figures: structure regeneration cost (and smoke coverage).
 
 func BenchmarkFigure2Census(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure2(uint64(i), 1024); err != nil {
 			b.Fatal(err)

@@ -4,20 +4,29 @@
 //
 // Usage:
 //
-//	skipweb-bench [-mode experiments|throughput]
+//	skipweb-bench [-mode experiments|throughput|bench]
 //	              [-experiment all|table1|lemma1|lemma3|lemma4|lemma5|
 //	               theorem2|blocking|updates|congestion|ablation|figures]
 //	              [-quick] [-seed N]
 //	              [-hosts H] [-keys N] [-queries Q] [-procs 1,2,4]
+//	              [-json FILE]
 //
 // The default mode runs the paper experiments at the EXPERIMENTS.md
 // scale; -quick runs a reduced sweep for smoke testing. Throughput mode
 // runs batched floor queries over a Blocked skip-web at each GOMAXPROCS
 // value in -procs, reports ops/sec, and verifies that batched execution
 // charges exactly the same messages as the synchronous path.
+//
+// Bench mode measures wall-clock micro-benchmarks of the hot paths
+// (ns/op, allocs/op, ops/sec — plus msgs/op, the paper's cost metric)
+// and, with -json, writes them as a JSON document (e.g. BENCH_PR2.json)
+// so perf trajectories can be compared run over run (`benchstat` works
+// on the plain `go test -bench` output; the JSON is for dashboards and
+// CI artifacts).
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -26,9 +35,11 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"testing"
 	"time"
 
 	skipwebs "github.com/skipwebs/skipwebs"
+	"github.com/skipwebs/skipwebs/internal/core"
 	"github.com/skipwebs/skipwebs/internal/experiments"
 	"github.com/skipwebs/skipwebs/internal/xrand"
 )
@@ -42,7 +53,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("skipweb-bench", flag.ContinueOnError)
-	mode := fs.String("mode", "experiments", "experiments or throughput")
+	mode := fs.String("mode", "experiments", "experiments, throughput, or bench")
 	experiment := fs.String("experiment", "all", "which experiment to run")
 	quick := fs.Bool("quick", false, "reduced sweep for smoke testing")
 	seed := fs.Uint64("seed", 1, "random seed")
@@ -50,6 +61,7 @@ func run(args []string, out io.Writer) error {
 	keyN := fs.Int("keys", 4096, "throughput: stored key count")
 	queries := fs.Int("queries", 20000, "throughput: queries per batch")
 	procs := fs.String("procs", "1,2,4", "throughput: comma-separated GOMAXPROCS values")
+	jsonPath := fs.String("json", "", "bench: also write results as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h/-help printed usage; not a failure
@@ -62,9 +74,257 @@ func run(args []string, out io.Writer) error {
 		return runExperiments(out, *experiment, *quick, *seed)
 	case "throughput":
 		return runThroughput(out, *hosts, *keyN, *queries, *procs, *seed)
+	case "bench":
+		return runBench(out, *jsonPath, *keyN, *hosts, *seed, *quick)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
+}
+
+// benchRecord is one micro-benchmark result in the JSON document.
+type benchRecord struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	AllocsOp float64 `json:"allocs_per_op"`
+	BytesOp  float64 `json:"bytes_per_op"`
+	OpsSec   float64 `json:"ops_per_sec"`
+	MsgsOp   float64 `json:"msgs_per_op,omitempty"`
+	N        int     `json:"iterations"`
+}
+
+// benchDoc is the top-level JSON document written by -json.
+type benchDoc struct {
+	Mode    string        `json:"mode"`
+	Keys    int           `json:"keys"`
+	Hosts   int           `json:"hosts"`
+	Seed    uint64        `json:"seed"`
+	Go      string        `json:"go"`
+	CPUs    int           `json:"cpus"`
+	Results []benchRecord `json:"results"`
+}
+
+// measure runs fn under testing.Benchmark and converts the result; msgs
+// is the total message count accumulated by fn across iterations (pass
+// nil to omit the msgs/op metric).
+func measure(name string, msgs *int64, fn func(b *testing.B)) benchRecord {
+	// testing.Benchmark re-invokes fn with growing b.N; reset the message
+	// tally on each invocation so the final run's count matches res.N.
+	res := testing.Benchmark(func(b *testing.B) {
+		if msgs != nil {
+			*msgs = 0
+		}
+		b.ReportAllocs()
+		fn(b)
+	})
+	rec := benchRecord{
+		Name:     name,
+		NsPerOp:  float64(res.NsPerOp()),
+		AllocsOp: float64(res.AllocsPerOp()),
+		BytesOp:  float64(res.AllocedBytesPerOp()),
+		N:        res.N,
+	}
+	if res.T > 0 {
+		rec.OpsSec = float64(res.N) / res.T.Seconds()
+	}
+	if msgs != nil {
+		rec.MsgsOp = float64(*msgs) / float64(res.N)
+	}
+	return rec
+}
+
+// runBench measures the hot-path micro-benchmarks and reports ns/op,
+// allocs/op, ops/sec, and msgs/op. With jsonPath, the results are also
+// written as a JSON document (the repo records PR-over-PR trajectories
+// in files like BENCH_PR2.json).
+func runBench(out io.Writer, jsonPath string, keyN, hosts int, seed uint64, quick bool) error {
+	if keyN < 64 {
+		return fmt.Errorf("-keys must be >= 64 for bench mode, got %d", keyN)
+	}
+	if hosts < 1 {
+		return fmt.Errorf("-hosts must be positive, got %d", hosts)
+	}
+	listN := 100_000
+	if quick {
+		listN = 10_000
+	}
+	rng := xrand.New(seed)
+	keys := experiments.Keys(rng, keyN, 1<<40)
+	doc := benchDoc{
+		Mode:  "bench",
+		Keys:  keyN,
+		Hosts: hosts,
+		Seed:  seed,
+		Go:    runtime.Version(),
+		CPUs:  runtime.NumCPU(),
+	}
+	var msgs int64
+
+	// Point-query descent, per structure.
+	{
+		c := skipwebs.NewCluster(hosts)
+		w, err := skipwebs.NewBlocked(c, keys[:keyN], skipwebs.Options{Seed: seed})
+		if err != nil {
+			return err
+		}
+		qrng := xrand.New(seed + 1)
+		doc.Results = append(doc.Results, measure("query/blocked-floor", &msgs, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := w.Floor(qrng.Uint64n(1<<40), skipwebs.HostID(i%hosts))
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs += int64(r.Hops)
+			}
+		}))
+	}
+	{
+		c := skipwebs.NewCluster(hosts)
+		w, err := skipwebs.NewOneDim(c, keys[:keyN], skipwebs.Options{Seed: seed})
+		if err != nil {
+			return err
+		}
+		qrng := xrand.New(seed + 2)
+		doc.Results = append(doc.Results, measure("query/onedim-floor", &msgs, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := w.Floor(qrng.Uint64n(1<<40), skipwebs.HostID(i%hosts))
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs += int64(r.Hops)
+			}
+		}))
+	}
+	{
+		c := skipwebs.NewCluster(hosts)
+		prng := xrand.New(seed + 3)
+		raw := experiments.UniformPoints(prng, 2, keyN, 1<<30)
+		pts := make([]skipwebs.Point, len(raw))
+		for i, p := range raw {
+			pts[i] = skipwebs.Point(p)
+		}
+		w, err := skipwebs.NewPoints(c, 2, pts, skipwebs.Options{Seed: seed})
+		if err != nil {
+			return err
+		}
+		// Pre-generate queries so the Point composite literal is not
+		// charged to the descent's allocs/op.
+		qs := make([]skipwebs.Point, 4096)
+		for i := range qs {
+			qs[i] = skipwebs.Point{uint32(prng.Uint64n(1 << 30)), uint32(prng.Uint64n(1 << 30))}
+		}
+		doc.Results = append(doc.Results, measure("query/points-locate", &msgs, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				loc, err := w.Locate(qs[i%len(qs)], skipwebs.HostID(i%hosts))
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs += int64(loc.Hops)
+			}
+		}))
+	}
+	{
+		c := skipwebs.NewCluster(hosts)
+		srng := xrand.New(seed + 4)
+		skeys := experiments.UniformStrings(srng, keyN, "acgt", 6, 24)
+		w, err := skipwebs.NewStrings(c, skeys, skipwebs.Options{Seed: seed})
+		if err != nil {
+			return err
+		}
+		doc.Results = append(doc.Results, measure("query/strings-search", &msgs, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				loc, err := w.Search(skeys[i%len(skeys)], skipwebs.HostID(i%hosts))
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs += int64(loc.Hops)
+			}
+		}))
+	}
+
+	// Update climb (blocked web inserts over a fresh key stream).
+	{
+		c := skipwebs.NewCluster(hosts)
+		w, err := skipwebs.NewBlocked(c, keys[:keyN], skipwebs.Options{Seed: seed})
+		if err != nil {
+			return err
+		}
+		next := uint64(1) << 41
+		doc.Results = append(doc.Results, measure("update/blocked-insert", &msgs, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				next++
+				h, err := w.Insert(next, skipwebs.HostID(i%hosts))
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs += int64(h)
+			}
+		}))
+	}
+
+	// Local search: binary-search Locate vs the pre-PR2 head walk, on a
+	// listN-key level (the PR 2 acceptance bar is binary >= 100x walk).
+	{
+		lrng := xrand.New(seed + 5)
+		lkeys := experiments.Keys(lrng, listN, 1<<40)
+		lvl, err := core.NewListLevel(lkeys)
+		if err != nil {
+			return err
+		}
+		qrng := xrand.New(seed + 6)
+		doc.Results = append(doc.Results, measure("local/listlevel-locate-binary", nil, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lvl.Locate(qrng.Uint64n(1 << 40))
+			}
+		}))
+		doc.Results = append(doc.Results, measure("local/listlevel-locate-walk", nil, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// The old implementation: Step from the head sentinel.
+				q := qrng.Uint64n(1 << 40)
+				r := lvl.Head()
+				for {
+					nx := lvl.Step(r, q)
+					if nx == core.NoRange {
+						break
+					}
+					r = nx
+				}
+			}
+		}))
+	}
+
+	fmt.Fprintf(out, "=== B1: hot-path micro-benchmarks (keys=%d hosts=%d list=%d) ===\n", keyN, hosts, listN)
+	for _, r := range doc.Results {
+		fmt.Fprintf(out, "%-32s %12.1f ns/op %8.0f allocs/op %10.0f ops/sec", r.Name, r.NsPerOp, r.AllocsOp, r.OpsSec)
+		if r.MsgsOp > 0 {
+			fmt.Fprintf(out, " %8.2f msgs/op", r.MsgsOp)
+		}
+		fmt.Fprintln(out)
+	}
+	var binaryNs, walkNs float64
+	for _, r := range doc.Results {
+		switch r.Name {
+		case "local/listlevel-locate-binary":
+			binaryNs = r.NsPerOp
+		case "local/listlevel-locate-walk":
+			walkNs = r.NsPerOp
+		}
+	}
+	if binaryNs > 0 {
+		fmt.Fprintf(out, "listlevel locate speedup (walk/binary, %d keys): %.0fx\n", listN, walkNs/binaryNs)
+	}
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	return nil
 }
 
 // runThroughput measures batched floor-query throughput at each

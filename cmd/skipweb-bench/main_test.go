@@ -1,9 +1,58 @@
 package main
 
 import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+func TestRunBenchJSONSmoke(t *testing.T) {
+	// Cap the in-process testing.Benchmark iterations so the smoke test
+	// does not spend the default 1s per micro-benchmark.
+	if f := flag.Lookup("test.benchtime"); f != nil {
+		old := f.Value.String()
+		if err := flag.Set("test.benchtime", "8x"); err == nil {
+			defer flag.Set("test.benchtime", old)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out strings.Builder
+	if err := run([]string{"-mode", "bench", "-quick", "-keys", "128", "-hosts", "16", "-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"query/blocked-floor", "local/listlevel-locate-binary", "msgs/op", "wrote "} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in bench output:\n%s", want, got)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Mode    string `json:"mode"`
+		Results []struct {
+			Name    string  `json:"name"`
+			NsPerOp float64 `json:"ns_per_op"`
+			OpsSec  float64 `json:"ops_per_sec"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("bench JSON does not parse: %v", err)
+	}
+	if doc.Mode != "bench" || len(doc.Results) < 6 {
+		t.Fatalf("bench JSON incomplete: mode=%q results=%d", doc.Mode, len(doc.Results))
+	}
+	for _, r := range doc.Results {
+		if r.Name == "" || r.NsPerOp <= 0 {
+			t.Fatalf("bench JSON has empty record: %+v", r)
+		}
+	}
+}
 
 func TestRunExperimentQuickSmoke(t *testing.T) {
 	var out strings.Builder

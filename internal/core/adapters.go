@@ -21,8 +21,8 @@ var _ Ops[*ListLevel, uint64, uint64] = ListOps{}
 // Build constructs the level structure over keys.
 func (ListOps) Build(items []uint64) (*ListLevel, error) { return NewListLevel(items) }
 
-// Ranges enumerates live ranges.
-func (ListOps) Ranges(l *ListLevel) []RangeID { return l.Ranges() }
+// VisitRanges enumerates live ranges without allocating.
+func (ListOps) VisitRanges(l *ListLevel, visit func(RangeID) bool) { l.VisitRanges(visit) }
 
 // Contains tests range membership.
 func (ListOps) Contains(l *ListLevel, r RangeID, q uint64) bool { return l.Contains(r, q) }
@@ -120,14 +120,10 @@ func (o *QuadOps) Build(items []quadtree.Point) (*quadtree.Tree, error) {
 	return quadtree.Build(o.Dim, items)
 }
 
-// Ranges enumerates live nodes (node and link ranges coincide on cells).
-func (o *QuadOps) Ranges(l *quadtree.Tree) []RangeID {
-	nodes := l.Nodes()
-	out := make([]RangeID, len(nodes))
-	for i, n := range nodes {
-		out[i] = RangeID(n)
-	}
-	return out
+// VisitRanges enumerates live nodes without allocating (node and link
+// ranges coincide on cells).
+func (o *QuadOps) VisitRanges(l *quadtree.Tree, visit func(RangeID) bool) {
+	l.VisitNodes(func(n quadtree.NodeID) bool { return visit(RangeID(n)) })
 }
 
 // Contains tests cell membership of the query code.
@@ -239,14 +235,9 @@ var _ Ops[*trie.Trie, string, string] = TrieOps{}
 // Build constructs the compressed trie.
 func (TrieOps) Build(items []string) (*trie.Trie, error) { return trie.Build(items) }
 
-// Ranges enumerates live nodes.
-func (TrieOps) Ranges(l *trie.Trie) []RangeID {
-	nodes := l.Nodes()
-	out := make([]RangeID, len(nodes))
-	for i, n := range nodes {
-		out[i] = RangeID(n)
-	}
-	return out
+// VisitRanges enumerates live nodes without allocating.
+func (TrieOps) VisitRanges(l *trie.Trie, visit func(RangeID) bool) {
+	l.VisitNodes(func(n trie.NodeID) bool { return visit(RangeID(n)) })
 }
 
 // Contains reports whether q extends the node's locus.
@@ -354,13 +345,14 @@ func (o TrapOps) Build(items []trapmap.Segment) (*trapmap.Map, error) {
 	return trapmap.Build(items, o.Bounds)
 }
 
-// Ranges enumerates the trapezoids.
-func (o TrapOps) Ranges(l *trapmap.Map) []RangeID {
-	out := make([]RangeID, l.NumTraps())
-	for i := range out {
-		out[i] = RangeID(i)
+// VisitRanges enumerates the trapezoids without allocating: trapezoid
+// IDs are dense, so the iteration is a plain counted loop.
+func (o TrapOps) VisitRanges(l *trapmap.Map, visit func(RangeID) bool) {
+	for i, n := 0, l.NumTraps(); i < n; i++ {
+		if !visit(RangeID(i)) {
+			return
+		}
 	}
-	return out
 }
 
 // Contains tests trapezoid membership.

@@ -36,6 +36,28 @@ type BlockedWeb struct {
 	leaves  []*bnode
 	hostSeq int
 	n       int
+
+	// seenScratch is the per-update set of block hosts already charged,
+	// reused across operations (updates are single-writer). Distinct hosts
+	// per update are O(log n / log M), so a linear scan beats a map and
+	// allocates nothing.
+	seenScratch []sim.HostID
+	// pathScratch is Delete's bit-path stack, reused across operations.
+	pathScratch []*bnode
+}
+
+// resetSeen clears the seen-host scratch set at the start of an update.
+func (w *BlockedWeb) resetSeen() { w.seenScratch = w.seenScratch[:0] }
+
+// chargeOnce sends one message to h unless this update already charged h.
+func (w *BlockedWeb) chargeOnce(h sim.HostID, op *sim.Op) {
+	for _, s := range w.seenScratch {
+		if s == h {
+			return
+		}
+	}
+	op.Send(h)
+	w.seenScratch = append(w.seenScratch, h)
 }
 
 // bnode is one set-tree node: a sorted-list level plus, when basic, its
@@ -154,9 +176,10 @@ func (w *BlockedWeb) buildSubtree(keys []uint64, depth int, parent *bnode) (*bno
 	}
 	// Storage: one unit per range plus one for its hyperlink, at the
 	// range's primary block host; boundary-straddling copies add one.
-	for _, r := range lvl.Ranges() {
+	lvl.VisitRanges(func(r RangeID) bool {
 		w.chargeRangeStorage(n, r, 1)
-	}
+		return true
+	})
 	if len(keys) > w.leafMax && depth < w.maxDep {
 		var halves [2][]uint64
 		for _, k := range keys {
@@ -271,6 +294,7 @@ func (w *BlockedWeb) entryLeaf(origin sim.HostID) *bnode {
 // single-writer/many-reader contract the batch engine enforces).
 func (w *BlockedWeb) Query(q uint64, origin sim.HostID) (uint64, bool, int) {
 	op := w.net.NewOp(origin)
+	defer op.Free()
 	r := w.queryOp(q, op)
 	g := w.root.lvl
 	if g.IsHead(r) {
@@ -327,6 +351,7 @@ func (w *BlockedWeb) walk(n *bnode, r RangeID, q uint64, op *sim.Op) RangeID {
 // for k results.
 func (w *BlockedWeb) Range(lo, hi uint64, origin sim.HostID) ([]uint64, int) {
 	op := w.net.NewOp(origin)
+	defer op.Free()
 	r := w.queryOp(lo, op)
 	g := w.root.lvl
 	// The terminal is floor(lo); the first in-range key is the terminal
@@ -351,14 +376,15 @@ func (w *BlockedWeb) Range(lo, hi uint64, origin sim.HostID) ([]uint64, int) {
 // stratum boundaries (Section 4: O(log n / log log n) expected for 1-d).
 func (w *BlockedWeb) Insert(key uint64, origin sim.HostID) (int, error) {
 	op := w.net.NewOp(origin)
+	defer op.Free()
 	t0 := w.queryOp(key, op)
 	if !w.root.lvl.IsHead(t0) && w.root.lvl.Key(t0) == key {
 		return op.Hops(), fmt.Errorf("core: duplicate key %d", key)
 	}
-	seen := make(map[sim.HostID]bool)
+	w.resetSeen()
 	node, hint := w.root, t0
 	for {
-		if err := w.insertAt(node, key, hint, op, seen); err != nil {
+		if err := w.insertAt(node, key, hint, op); err != nil {
 			return op.Hops(), err
 		}
 		if node.kids[0] == nil {
@@ -385,18 +411,14 @@ func (w *BlockedWeb) Insert(key uint64, origin sim.HostID) (int, error) {
 // insertAt splices key into node's level. One message is charged per
 // distinct block host touched by this whole insert operation, so updates
 // confined to a stratum's co-located copies cost a single message.
-func (w *BlockedWeb) insertAt(n *bnode, key uint64, hint RangeID, op *sim.Op, seen map[sim.HostID]bool) error {
+func (w *BlockedWeb) insertAt(n *bnode, key uint64, hint RangeID, op *sim.Op) error {
 	id, err := n.lvl.InsertKey(key, hint)
 	if err != nil {
 		return err
 	}
 	n.count++
 	w.chargeRangeStorage(n, id, 1)
-	h := w.hostFor(n, key)
-	if !seen[h] {
-		seen[h] = true
-		op.Send(h)
-	}
+	w.chargeOnce(w.hostFor(n, key), op)
 	if n.base == n {
 		bi := w.blockIndex(n, key)
 		n.blockSizes[bi]++
@@ -482,13 +504,15 @@ func (w *BlockedWeb) splitBlock(bn *bnode, bi int, op *sim.Op) {
 // merged (deletions leave directory slack, as the paper amortizes).
 func (w *BlockedWeb) Delete(key uint64, origin sim.HostID) (int, error) {
 	op := w.net.NewOp(origin)
+	defer op.Free()
 	t0 := w.queryOp(key, op)
 	if w.root.lvl.IsHead(t0) || w.root.lvl.Key(t0) != key {
 		return op.Hops(), fmt.Errorf("core: key %d not found", key)
 	}
-	seen := make(map[sim.HostID]bool)
+	w.resetSeen()
 	node := w.root
-	var path []*bnode
+	path := w.pathScratch[:0]
+	defer func() { w.pathScratch = path[:0] }()
 	for node != nil {
 		path = append(path, node)
 		if node.kids[0] == nil {
@@ -506,11 +530,7 @@ func (w *BlockedWeb) Delete(key uint64, origin sim.HostID) (int, error) {
 		n.count--
 		// Storage: the range and its hyperlink leave the primary host.
 		w.net.AddStorage(w.hostFor(n, key), -2)
-		h := w.hostFor(n, key)
-		if !seen[h] {
-			seen[h] = true
-			op.Send(h)
-		}
+		w.chargeOnce(w.hostFor(n, key), op)
 		if n.base == n {
 			bi := w.blockIndex(n, key)
 			if n.blockSizes[bi] > 0 {
@@ -563,10 +583,11 @@ func (w *BlockedWeb) mergeSubtree(n *bnode, op *sim.Op) {
 		}
 		release(k.kids[0])
 		release(k.kids[1])
-		for _, r := range k.lvl.Ranges() {
+		k.lvl.VisitRanges(func(r RangeID) bool {
 			w.chargeRangeStorage(k, r, -1)
 			op.Send(w.hostFor(k, w.rangeKey(k, r)))
-		}
+			return true
+		})
 		w.removeLeaf(k)
 	}
 	release(n.kids[0])

@@ -83,8 +83,11 @@ type Change struct {
 type Ops[L, T, Q any] interface {
 	// Build constructs D(items).
 	Build(items []T) (L, error)
-	// Ranges enumerates the live ranges of l.
-	Ranges(l L) []RangeID
+	// VisitRanges enumerates the live ranges of l, calling visit for each
+	// until visit returns false. Implementations must not allocate per
+	// call: the query descent runs on this enumeration. Use RangesOf to
+	// materialize a slice in cold paths.
+	VisitRanges(l L, visit func(RangeID) bool)
 	// Contains reports whether range r of l contains query point q.
 	Contains(l L, r RangeID, q Q) bool
 	// Depth is the specificity of range r (deeper = finer). Flat range
@@ -114,6 +117,18 @@ type Ops[L, T, Q any] interface {
 	Insert(l L, x T, q Q, hint RangeID) (Change, error)
 	// Delete removes x from l.
 	Delete(l L, x T, q Q) (Change, error)
+}
+
+// RangesOf materializes the live ranges of l into a fresh slice. It is a
+// convenience for cold paths (invariant checks, statistics, tests); hot
+// paths iterate with Ops.VisitRanges directly.
+func RangesOf[L, T, Q any](ops Ops[L, T, Q], l L) []RangeID {
+	var out []RangeID
+	ops.VisitRanges(l, func(r RangeID) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
 }
 
 // Config tunes a Web.
@@ -162,6 +177,14 @@ type setNode struct {
 	kids      [2]*setNode
 	inLeaves  bool // member of the query-entry list
 	structAny any  // the L value, stored untyped; Web methods re-type it
+
+	// rangeCache is the materialized range enumeration, maintained only
+	// while the node is a query-entry leaf (inLeaves). Entry leaves are
+	// O(1) size and every query descent starts by scanning one, so the
+	// scan iterates this plain slice instead of the VisitRanges iterator:
+	// no closure, no allocation. Rebuilt by the (single-writer) update
+	// path whenever the leaf's structure changes.
+	rangeCache []RangeID
 }
 
 // Web is a distributed skip-web over items of type T with queries of type
@@ -176,6 +199,27 @@ type Web[L, T, Q any] struct {
 	items  map[*setNode][]T
 	nextID int
 	n      int
+
+	// Update-path scratch buffers, reused across operations so the
+	// insert/delete hot paths allocate nothing per level. Updates are
+	// single-writer (the batch engine serializes them), so plain fields
+	// are safe.
+	dirtyScratch []RangeID  // Added+Touched ranges in applyInsert/applyDelete
+	todoScratch  []childRef // repairChildren work list
+	frameScratch []delFrame // Delete's per-level terminal stack
+	refScratch   []backref  // applyDelete's backref snapshot
+}
+
+// childRef identifies one child range whose hyperlinks need recomputation.
+type childRef struct {
+	child *setNode
+	r     RangeID
+}
+
+// delFrame records the terminal range at one level of a delete's bit path.
+type delFrame struct {
+	node *setNode
+	term RangeID
 }
 
 // NewWeb builds a skip-web over items. The network supplies hosts for
@@ -233,9 +277,10 @@ func (w *Web[L, T, Q]) buildSubtree(items []T, depth int, parent *setNode) (*set
 	}
 	w.nextID++
 	w.items[n] = items
-	for _, r := range w.ops.Ranges(s) {
+	w.ops.VisitRanges(s, func(r RangeID) bool {
 		w.placeRange(n, r)
-	}
+		return true
+	})
 	if parent != nil {
 		if err := w.rewireAll(n); err != nil {
 			return nil, err
@@ -261,13 +306,28 @@ func (w *Web[L, T, Q]) buildSubtree(items []T, depth int, parent *setNode) (*set
 	return n, nil
 }
 
-// addLeaf registers n as a query entry point (a nonempty leaf structure).
+// addLeaf registers n as a query entry point (a nonempty leaf structure)
+// and builds its range cache. Nodes already registered keep their cache
+// current via the applyInsert/applyDelete refresh, so re-adding is free.
 func (w *Web[L, T, Q]) addLeaf(n *setNode) {
 	if n.inLeaves {
 		return
 	}
 	n.inLeaves = true
 	w.leaves = append(w.leaves, n)
+	w.refreshRangeCache(n)
+}
+
+// refreshRangeCache rematerializes n's cached range enumeration in
+// VisitRanges (slot) order, preserving the exact host-visit order of the
+// entry scan.
+func (w *Web[L, T, Q]) refreshRangeCache(n *setNode) {
+	buf := n.rangeCache[:0]
+	w.ops.VisitRanges(w.structOf(n), func(r RangeID) bool {
+		buf = append(buf, r)
+		return true
+	})
+	n.rangeCache = buf
 }
 
 // placeRange assigns range r of node n to a host and charges storage.
@@ -321,14 +381,17 @@ func (w *Web[L, T, Q]) removeBackref(parent *setNode, a RangeID, child *setNode,
 func (w *Web[L, T, Q]) rewireAll(n *setNode) error {
 	child := w.structOf(n)
 	parent := w.structOf(n.parent)
-	for _, r := range w.ops.Ranges(child) {
-		anchors, err := w.ops.Anchors(child, parent, r)
-		if err != nil {
-			return fmt.Errorf("core: anchors for range %d at depth %d: %w", r, n.depth, err)
+	var err error
+	w.ops.VisitRanges(child, func(r RangeID) bool {
+		anchors, aerr := w.ops.Anchors(child, parent, r)
+		if aerr != nil {
+			err = fmt.Errorf("core: anchors for range %d at depth %d: %w", r, n.depth, aerr)
+			return false
 		}
 		w.setAnchors(n, r, anchors)
-	}
-	return nil
+		return true
+	})
+	return err
 }
 
 // Len returns the number of items stored.
@@ -397,6 +460,7 @@ type QueryResult struct {
 // writer lock for updates.
 func (w *Web[L, T, Q]) Query(q Q, origin sim.HostID) (QueryResult, error) {
 	op := w.net.NewOp(origin)
+	defer op.Free()
 	r, err := w.queryOp(q, op)
 	if err != nil {
 		return QueryResult{}, err
@@ -423,23 +487,53 @@ func (w *Web[L, T, Q]) queryOp(q Q, op *sim.Op) (RangeID, error) {
 }
 
 // scanTerminal finds the terminal range in an entry structure by scanning
-// its ranges (entry structures have O(1) expected size).
+// its ranges (entry structures have O(1) expected size). The scan runs on
+// the allocation-free VisitRanges iterator: this is the entry step of
+// every query descent.
 func (w *Web[L, T, Q]) scanTerminal(n *setNode, q Q, op *sim.Op) (RangeID, error) {
 	s := w.structOf(n)
 	best := NoRange
 	bestDepth := -1
-	for _, r := range w.ops.Ranges(s) {
+	if n.inLeaves {
+		// Entry leaves keep a materialized cache: the common case, and
+		// the one the allocation-free descent guarantee covers.
+		for _, r := range n.rangeCache {
+			op.Visit(n.hosts[r])
+			if w.ops.Contains(s, r, q) {
+				if d := w.ops.Depth(s, r); d > bestDepth {
+					best, bestDepth = r, d
+				}
+			}
+		}
+	} else {
+		// Entry at a non-leaf happens only for a drained web (no
+		// nonempty leaves); fall back to the iterator. This lives in its
+		// own method so scanTerminal itself contains no closure — a
+		// closure over best/bestDepth would force them onto the heap
+		// even on the cached path.
+		best = w.scanTerminalSlow(n, s, q, op)
+	}
+	if best == NoRange {
+		return NoRange, fmt.Errorf("core: no range of entry structure (depth %d, %d items) contains query", n.depth, n.count)
+	}
+	return best, nil
+}
+
+// scanTerminalSlow is scanTerminal's iterator fallback for entry at a
+// node without a range cache.
+func (w *Web[L, T, Q]) scanTerminalSlow(n *setNode, s L, q Q, op *sim.Op) RangeID {
+	best := NoRange
+	bestDepth := -1
+	w.ops.VisitRanges(s, func(r RangeID) bool {
 		op.Visit(n.hosts[r])
 		if w.ops.Contains(s, r, q) {
 			if d := w.ops.Depth(s, r); d > bestDepth {
 				best, bestDepth = r, d
 			}
 		}
-	}
-	if best == NoRange {
-		return NoRange, fmt.Errorf("core: no range of entry structure (depth %d, %d items) contains query", n.depth, n.count)
-	}
-	return best, nil
+		return true
+	})
+	return best
 }
 
 // descendOne follows the hyperlinks of range cur of node n into n.parent
@@ -485,6 +579,7 @@ func (w *Web[L, T, Q]) descendOne(n *setNode, cur RangeID, q Q, op *sim.Op) (Ran
 func (w *Web[L, T, Q]) Insert(x T, origin sim.HostID) (int, error) {
 	q := w.ops.QueryOf(x)
 	op := w.net.NewOp(origin)
+	defer op.Free()
 	t0, err := w.queryOp(q, op)
 	if err != nil {
 		return 0, err
@@ -559,16 +654,22 @@ func (w *Web[L, T, Q]) chargeSteps(op *sim.Op, n *setNode, r RangeID, steps int)
 }
 
 // anchorsEqual reports whether two hyperlink sets are identical as sets.
+// Hyperlink sets are expected O(1) (the set-halving lemma), so the
+// quadratic scan beats building a set — and allocates nothing, which
+// matters because this runs once per touched range on every update.
 func anchorsEqual(a, b []RangeID) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	set := make(map[RangeID]bool, len(a))
 	for _, r := range a {
-		set[r] = true
-	}
-	for _, r := range b {
-		if !set[r] {
+		found := false
+		for _, s := range b {
+			if s == r {
+				found = true
+				break
+			}
+		}
+		if !found {
 			return false
 		}
 	}
@@ -576,7 +677,8 @@ func anchorsEqual(a, b []RangeID) bool {
 }
 
 // applyInsert performs the structural insert on node n and fixes
-// hyperlinks for the O(1) affected ranges.
+// hyperlinks for the O(1) affected ranges. The Added+Touched work list
+// lives in w.dirtyScratch, reused across operations.
 func (w *Web[L, T, Q]) applyInsert(n *setNode, x T, q Q, hint RangeID, op *sim.Op) error {
 	s := w.structOf(n)
 	ch, err := w.ops.Insert(s, x, q, hint)
@@ -589,9 +691,11 @@ func (w *Web[L, T, Q]) applyInsert(n *setNode, x T, q Q, hint RangeID, op *sim.O
 		w.placeRange(n, r)
 		op.Send(n.hosts[r])
 	}
+	dirty := append(append(w.dirtyScratch[:0], ch.Added...), ch.Touched...)
+	w.dirtyScratch = dirty[:0]
 	if n.parent != nil {
 		ps := w.structOf(n.parent)
-		for _, r := range append(append([]RangeID(nil), ch.Added...), ch.Touched...) {
+		for _, r := range dirty {
 			anchors, err := w.ops.Anchors(s, ps, r)
 			if err != nil {
 				return fmt.Errorf("core: re-anchor range %d at depth %d: %w", r, n.depth, err)
@@ -603,26 +707,29 @@ func (w *Web[L, T, Q]) applyInsert(n *setNode, x T, q Q, hint RangeID, op *sim.O
 			op.Send(n.hosts[r])
 		}
 	}
+	if n.inLeaves {
+		w.refreshRangeCache(n)
+	}
 	// New parent-side ranges may now be the true hyperlink targets of
 	// child ranges whose conflicts changed; recompute for children
 	// anchored at touched ranges.
-	return w.repairChildren(n, append(append([]RangeID(nil), ch.Added...), ch.Touched...), op)
+	return w.repairChildren(n, dirty, op)
 }
 
 // repairChildren recomputes hyperlinks of child ranges currently anchored
-// at the given ranges of n (whose extents may have changed).
+// at the given ranges of n (whose extents may have changed). The work
+// list must be snapshotted before recomputation because setAnchors
+// mutates the backrefs being iterated; the snapshot lives in
+// w.todoScratch, reused across operations.
 func (w *Web[L, T, Q]) repairChildren(n *setNode, ranges []RangeID, op *sim.Op) error {
 	s := w.structOf(n)
-	type todo struct {
-		child *setNode
-		r     RangeID
-	}
-	var todos []todo
+	todos := w.todoScratch[:0]
 	for _, pr := range ranges {
 		for _, br := range n.backrefs[pr] {
-			todos = append(todos, todo{br.child, br.r})
+			todos = append(todos, childRef{br.child, br.r})
 		}
 	}
+	w.todoScratch = todos[:0]
 	for _, td := range todos {
 		cs := w.structOf(td.child)
 		anchors, err := w.ops.Anchors(cs, s, td.r)
@@ -642,16 +749,15 @@ func (w *Web[L, T, Q]) repairChildren(n *setNode, ranges []RangeID, op *sim.Op) 
 func (w *Web[L, T, Q]) Delete(x T, origin sim.HostID) (int, error) {
 	q := w.ops.QueryOf(x)
 	op := w.net.NewOp(origin)
+	defer op.Free()
 	t0, err := w.queryOp(q, op)
 	if err != nil {
 		return 0, err
 	}
 	// Collect the terminal at each level along x's bit path (x present).
-	type frame struct {
-		node *setNode
-		term RangeID
-	}
-	frames := []frame{{w.root, t0}}
+	// The stack lives in w.frameScratch, reused across operations.
+	frames := append(w.frameScratch[:0], delFrame{w.root, t0})
+	defer func() { w.frameScratch = frames[:0] }()
 	node, tp := w.root, t0
 	for node.kids[0] != nil {
 		child := node.kids[w.bitAt(x, node.depth)]
@@ -661,7 +767,7 @@ func (w *Web[L, T, Q]) Delete(x T, origin sim.HostID) (int, error) {
 		if err != nil {
 			return op.Hops(), fmt.Errorf("core: child terminal at depth %d: %w", child.depth, err)
 		}
-		frames = append(frames, frame{child, ct})
+		frames = append(frames, delFrame{child, ct})
 		node, tp = child, ct
 	}
 	// Unwind top-down so hyperlink repair always targets live ranges.
@@ -703,10 +809,14 @@ func (w *Web[L, T, Q]) applyDelete(n *setNode, x T, q Q, op *sim.Op) error {
 			break
 		}
 	}
-	// Redirect children anchored at removed ranges.
+	// Redirect children anchored at removed ranges. The backref list must
+	// be snapshotted (setAnchors rewrites it); the snapshot reuses
+	// w.refScratch. The rewritten anchor slice itself is a real
+	// allocation: setAnchors stores it, so ownership passes to the child.
 	for _, dead := range ch.Removed {
 		to, ok := ch.Remapped[dead]
-		refs := append([]backref(nil), n.backrefs[dead]...)
+		refs := append(w.refScratch[:0], n.backrefs[dead]...)
+		w.refScratch = refs[:0]
 		for _, br := range refs {
 			if !ok {
 				return fmt.Errorf("core: removed range %d at depth %d has anchored children but no remap", dead, n.depth)
@@ -739,15 +849,26 @@ func (w *Web[L, T, Q]) applyDelete(n *setNode, x T, q Q, op *sim.Op) error {
 			op.Send(n.hosts[r])
 		}
 	}
+	if n.inLeaves {
+		w.refreshRangeCache(n)
+	}
 	return w.repairChildren(n, ch.Touched, op)
 }
 
+// dedupeRanges removes duplicates in place. Hyperlink sets are expected
+// O(1), so the quadratic membership scan is both faster than a hash set
+// and allocation-free.
 func dedupeRanges(rs []RangeID) []RangeID {
-	seen := make(map[RangeID]bool, len(rs))
 	out := rs[:0]
 	for _, r := range rs {
-		if !seen[r] {
-			seen[r] = true
+		dup := false
+		for _, o := range out {
+			if o == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, r)
 		}
 	}
@@ -788,12 +909,13 @@ func (w *Web[L, T, Q]) mergeSubtree(n *setNode, op *sim.Op) {
 		}
 		release(k.kids[0])
 		release(k.kids[1])
-		for _, r := range w.ops.Ranges(w.structOf(k)) {
+		w.ops.VisitRanges(w.structOf(k), func(r RangeID) bool {
 			if h, ok := k.hosts[r]; ok {
 				op.Send(h)
 			}
 			w.dropRange(k, r)
-		}
+			return true
+		})
 		w.removeLeaf(k)
 		delete(w.items, k)
 	}
@@ -847,7 +969,10 @@ func (w *Web[L, T, Q]) Census() []LevelCensus {
 		}
 		c.Structures++
 		c.Items += n.count
-		c.Ranges += len(w.ops.Ranges(w.structOf(n)))
+		w.ops.VisitRanges(w.structOf(n), func(RangeID) bool {
+			c.Ranges++
+			return true
+		})
 		rec(n.kids[0])
 		rec(n.kids[1])
 	}
@@ -873,9 +998,19 @@ func (w *Web[L, T, Q]) CheckInvariants() error {
 			return nil
 		}
 		s := w.structOf(n)
-		ranges := w.ops.Ranges(s)
+		ranges := RangesOf(w.ops, s)
 		if len(n.hosts) != len(ranges) {
 			return fmt.Errorf("core: depth %d: %d hosts for %d ranges", n.depth, len(n.hosts), len(ranges))
+		}
+		if n.inLeaves {
+			if len(n.rangeCache) != len(ranges) {
+				return fmt.Errorf("core: depth %d: range cache holds %d ranges, want %d", n.depth, len(n.rangeCache), len(ranges))
+			}
+			for i, r := range ranges {
+				if n.rangeCache[i] != r {
+					return fmt.Errorf("core: depth %d: range cache stale at position %d", n.depth, i)
+				}
+			}
 		}
 		for _, r := range ranges {
 			if _, ok := n.hosts[r]; !ok {

@@ -5,10 +5,31 @@ import (
 	"sort"
 )
 
+// sorted-order index tuning: pending inserts and tombstoned deletes are
+// absorbed into the base array once either exceeds these bounds, keeping
+// Locate at O(log n + pendMax + deadMax) while updates cost O(pendMax)
+// plus an amortized O(n / min(pendMax, deadMax)) share of each rebuild —
+// far below the O(n) memmove an eagerly maintained array would pay per
+// update.
+const (
+	pendMax = 64
+	deadMax = 64
+)
+
 // ListLevel is the sorted doubly-linked list link structure of Section 2.1
 // (and Lemma 1), with slot-stable range IDs. Range 0 is the head sentinel
 // covering (-inf, firstKey); every other range r covers [key(r), nextKey).
 // The ranges therefore partition the key universe.
+//
+// Alongside the linked list, ListLevel maintains the live ranges in a
+// sorted-order index, so full local searches (Locate, and InsertKey's
+// fallback when the hint is dead) are O(log n) binary searches instead of
+// O(n) head walks. The index is a base sorted array plus a small sorted
+// pending buffer: inserts go to the buffer, deletes tombstone the base
+// (or drop from the buffer), and either overflowing triggers a merge
+// rebuild. The index is pure execution-level state: routing still charges
+// messages per linked-list hop, so the paper's cost accounting is
+// unchanged.
 type ListLevel struct {
 	keys  []uint64
 	prev  []RangeID
@@ -17,6 +38,17 @@ type ListLevel struct {
 	free  []RangeID
 	index map[uint64]RangeID
 	n     int
+
+	// baseKeys holds live keys in ascending order; baseIDs[i] is the
+	// range holding baseKeys[i], or NoRange for a tombstoned (deleted)
+	// entry awaiting the next rebuild.
+	baseKeys []uint64
+	baseIDs  []RangeID
+	// pendKeys/pendIDs buffer keys inserted since the last rebuild, in
+	// ascending order, at most pendMax entries.
+	pendKeys []uint64
+	pendIDs  []RangeID
+	dead     int // tombstones in baseIDs
 }
 
 // NewListLevel builds the structure over keys (which must be distinct).
@@ -28,6 +60,8 @@ func NewListLevel(keys []uint64) (*ListLevel, error) {
 	l.prev = append(l.prev, NoRange)
 	l.next = append(l.next, NoRange)
 	l.live = append(l.live, true)
+	l.baseKeys = make([]uint64, 0, len(keys))
+	l.baseIDs = make([]RangeID, 0, len(keys))
 	cur := RangeID(0)
 	for i, k := range sorted {
 		if i > 0 && sorted[i-1] == k {
@@ -40,6 +74,8 @@ func NewListLevel(keys []uint64) (*ListLevel, error) {
 		l.live = append(l.live, true)
 		l.next[cur] = id
 		l.index[k] = id
+		l.baseKeys = append(l.baseKeys, k)
+		l.baseIDs = append(l.baseIDs, id)
 		cur = id
 		l.n++
 	}
@@ -73,12 +109,21 @@ func (l *ListLevel) Prev(r RangeID) RangeID { return l.prev[r] }
 // Ranges returns all live range IDs.
 func (l *ListLevel) Ranges() []RangeID {
 	out := make([]RangeID, 0, l.n+1)
+	l.VisitRanges(func(r RangeID) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// VisitRanges calls visit for every live range ID (in slot order) until
+// visit returns false. It performs no allocation.
+func (l *ListLevel) VisitRanges(visit func(RangeID) bool) {
 	for i, ok := range l.live {
-		if ok {
-			out = append(out, RangeID(i))
+		if ok && !visit(RangeID(i)) {
+			return
 		}
 	}
-	return out
 }
 
 // Contains reports whether range r covers q: key(r) <= q < key(next(r)),
@@ -102,8 +147,51 @@ func (l *ListLevel) Step(r RangeID, q uint64) RangeID {
 	return NoRange
 }
 
-// Locate scans for the terminal range containing q.
+// floorIndex returns the position in ks of the largest key <= q, or -1
+// when q is below every key.
+func floorIndex(ks []uint64, q uint64) int {
+	lo, hi := 0, len(ks)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ks[mid] <= q {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// Locate finds the terminal range containing q by binary search over the
+// sorted-order index — O(log n + pendMax + deadMax), allocation-free.
 func (l *ListLevel) Locate(q uint64) RangeID {
+	// Base floor, skipping tombstones leftward (dead runs are bounded by
+	// deadMax, the rebuild threshold).
+	bi := floorIndex(l.baseKeys, q)
+	for bi >= 0 && l.baseIDs[bi] == NoRange {
+		bi--
+	}
+	// Pending floor.
+	pi := floorIndex(l.pendKeys, q)
+	// The true floor is the larger of the two candidates: every live key
+	// is in exactly one of base (untombstoned) and pending.
+	switch {
+	case bi < 0 && pi < 0:
+		return 0
+	case bi < 0:
+		return l.pendIDs[pi]
+	case pi < 0:
+		return l.baseIDs[bi]
+	case l.pendKeys[pi] > l.baseKeys[bi]:
+		return l.pendIDs[pi]
+	default:
+		return l.baseIDs[bi]
+	}
+}
+
+// locateWalk is the pre-refactor O(n) head-walk search, kept as the
+// reference implementation for the Locate property test.
+func (l *ListLevel) locateWalk(q uint64) RangeID {
 	r := RangeID(0)
 	for {
 		nx := l.next[r]
@@ -114,15 +202,91 @@ func (l *ListLevel) Locate(q uint64) RangeID {
 	}
 }
 
+// rebuild merges the pending buffer into the base array and drops
+// tombstones. Triggered once per O(min(pendMax, deadMax)) updates, so
+// its O(n) cost amortizes to O(n / threshold) per update.
+func (l *ListLevel) rebuild() {
+	// Append-only fast path: a pending buffer entirely above a
+	// tombstone-free base extends it in place (the common bulk-load and
+	// log-structured workload).
+	if l.dead == 0 && (len(l.baseKeys) == 0 || len(l.pendKeys) == 0 ||
+		l.pendKeys[0] > l.baseKeys[len(l.baseKeys)-1]) {
+		l.baseKeys = append(l.baseKeys, l.pendKeys...)
+		l.baseIDs = append(l.baseIDs, l.pendIDs...)
+		l.pendKeys, l.pendIDs = l.pendKeys[:0], l.pendIDs[:0]
+		return
+	}
+	merged := make([]uint64, 0, l.n)
+	mergedIDs := make([]RangeID, 0, l.n)
+	bi, pi := 0, 0
+	for bi < len(l.baseKeys) || pi < len(l.pendKeys) {
+		if bi < len(l.baseKeys) && l.baseIDs[bi] == NoRange {
+			bi++
+			continue
+		}
+		takeBase := pi >= len(l.pendKeys) ||
+			(bi < len(l.baseKeys) && l.baseKeys[bi] < l.pendKeys[pi])
+		if takeBase {
+			merged = append(merged, l.baseKeys[bi])
+			mergedIDs = append(mergedIDs, l.baseIDs[bi])
+			bi++
+		} else {
+			merged = append(merged, l.pendKeys[pi])
+			mergedIDs = append(mergedIDs, l.pendIDs[pi])
+			pi++
+		}
+	}
+	l.baseKeys, l.baseIDs = merged, mergedIDs
+	l.pendKeys, l.pendIDs = l.pendKeys[:0], l.pendIDs[:0]
+	l.dead = 0
+}
+
+// indexInsert records (k, id) in the sorted-order index.
+func (l *ListLevel) indexInsert(k uint64, id RangeID) {
+	// A tombstoned base entry for k (delete then re-insert) is fine: the
+	// pending entry is live and Locate prefers it by the larger-key rule
+	// (equal keys: base tombstone is skipped leftward).
+	i := floorIndex(l.pendKeys, k) + 1
+	l.pendKeys = append(l.pendKeys, 0)
+	copy(l.pendKeys[i+1:], l.pendKeys[i:])
+	l.pendKeys[i] = k
+	l.pendIDs = append(l.pendIDs, NoRange)
+	copy(l.pendIDs[i+1:], l.pendIDs[i:])
+	l.pendIDs[i] = id
+	if len(l.pendKeys) > pendMax {
+		l.rebuild()
+	}
+}
+
+// indexDelete removes key k from the sorted-order index.
+func (l *ListLevel) indexDelete(k uint64) {
+	if i := floorIndex(l.pendKeys, k); i >= 0 && l.pendKeys[i] == k {
+		l.pendKeys = append(l.pendKeys[:i], l.pendKeys[i+1:]...)
+		l.pendIDs = append(l.pendIDs[:i], l.pendIDs[i+1:]...)
+		return
+	}
+	i := floorIndex(l.baseKeys, k)
+	if i < 0 || l.baseKeys[i] != k || l.baseIDs[i] == NoRange {
+		return
+	}
+	l.baseIDs[i] = NoRange
+	l.dead++
+	if l.dead > deadMax {
+		l.rebuild()
+	}
+}
+
 // InsertKey splices k after range hint (which must be the terminal range
-// containing k, or a nearby range from which Step reaches it).
+// containing k, or a nearby range from which Step reaches it). A NoRange
+// or dead hint falls back to the O(log n) binary search rather than
+// walking from the head sentinel.
 func (l *ListLevel) InsertKey(k uint64, hint RangeID) (RangeID, error) {
 	if _, ok := l.index[k]; ok {
 		return NoRange, fmt.Errorf("core: duplicate key %d", k)
 	}
 	cur := hint
-	if cur == NoRange || !l.live[cur] {
-		cur = 0
+	if cur == NoRange || int(cur) >= len(l.live) || !l.live[cur] {
+		cur = l.Locate(k)
 	}
 	for {
 		nx := l.Step(cur, k)
@@ -152,6 +316,7 @@ func (l *ListLevel) InsertKey(k uint64, hint RangeID) (RangeID, error) {
 		l.prev[nx] = id
 	}
 	l.index[k] = id
+	l.indexInsert(k, id)
 	l.n++
 	return id, nil
 }
@@ -171,6 +336,7 @@ func (l *ListLevel) DeleteKey(k uint64) (dead, pred RangeID, err error) {
 	l.live[id] = false
 	l.free = append(l.free, id)
 	delete(l.index, k)
+	l.indexDelete(k)
 	l.n--
 	return id, p, nil
 }
@@ -185,7 +351,8 @@ func (l *ListLevel) Keys() []uint64 {
 }
 
 // CheckInvariants verifies list structure: ascending keys, consistent
-// prev/next, index completeness.
+// prev/next, index completeness, and agreement between the linked list
+// and the sorted-order index (base + pending merge).
 func (l *ListLevel) CheckInvariants() error {
 	count := 0
 	prev := RangeID(0)
@@ -202,11 +369,41 @@ func (l *ListLevel) CheckInvariants() error {
 		if got, ok := l.index[l.keys[r]]; !ok || got != r {
 			return fmt.Errorf("core: index broken for key %d", l.keys[r])
 		}
+		if got := l.Locate(l.keys[r]); got != r {
+			return fmt.Errorf("core: sorted-order Locate(%d) = %d, want %d", l.keys[r], got, r)
+		}
 		prev = r
 		count++
 	}
 	if count != l.n || len(l.index) != l.n {
 		return fmt.Errorf("core: count %d, n %d, index %d", count, l.n, len(l.index))
+	}
+	live := 0
+	for i, id := range l.baseIDs {
+		if i > 0 && l.baseKeys[i] <= l.baseKeys[i-1] {
+			return fmt.Errorf("core: base index out of order at %d", i)
+		}
+		if id != NoRange {
+			live++
+			if l.keys[id] != l.baseKeys[i] {
+				return fmt.Errorf("core: base index key mismatch at %d", i)
+			}
+		}
+	}
+	for i, id := range l.pendIDs {
+		if i > 0 && l.pendKeys[i] <= l.pendKeys[i-1] {
+			return fmt.Errorf("core: pending index out of order at %d", i)
+		}
+		if id == NoRange || l.keys[id] != l.pendKeys[i] {
+			return fmt.Errorf("core: pending index broken at %d", i)
+		}
+		live++
+	}
+	if live != l.n {
+		return fmt.Errorf("core: sorted-order index holds %d live keys, n %d", live, l.n)
+	}
+	if len(l.baseIDs) != len(l.baseKeys) || len(l.pendIDs) != len(l.pendKeys) {
+		return fmt.Errorf("core: sorted-order index arrays diverge in length")
 	}
 	return nil
 }

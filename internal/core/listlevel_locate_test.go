@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// TestLocateAgreesWithWalk is the property test for the binary-search
+// Locate: across random insert/delete sequences, the sorted-order search
+// must agree with the pre-refactor linked-list head walk on every probe.
+func TestLocateAgreesWithWalk(t *testing.T) {
+	rng := xrand.New(0x10c473)
+	for trial := 0; trial < 50; trial++ {
+		l, err := NewListLevel(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		present := make(map[uint64]bool)
+		for step := 0; step < 400; step++ {
+			k := rng.Uint64n(2048)
+			switch rng.Intn(3) {
+			case 0:
+				if !present[k] {
+					if _, err := l.InsertKey(k, l.Locate(k)); err != nil {
+						t.Fatalf("trial %d step %d: insert %d: %v", trial, step, k, err)
+					}
+					present[k] = true
+				}
+			case 1:
+				if present[k] {
+					if _, _, err := l.DeleteKey(k); err != nil {
+						t.Fatalf("trial %d step %d: delete %d: %v", trial, step, k, err)
+					}
+					delete(present, k)
+				}
+			default:
+				// probe only
+			}
+			q := rng.Uint64n(2560)
+			if got, want := l.Locate(q), l.locateWalk(q); got != want {
+				t.Fatalf("trial %d step %d: Locate(%d) = %d, walk = %d", trial, step, q, got, want)
+			}
+		}
+		if err := l.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestInsertKeyDeadHintFallback is the regression test for InsertKey's
+// fallback path: with a NoRange or dead hint on a 10k-key list, the
+// splice must land correctly (it previously restarted at the head
+// sentinel and Stepped O(n) times; it now binary-searches).
+func TestInsertKeyDeadHintFallback(t *testing.T) {
+	const n = 10000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i) * 4
+	}
+	l, err := NewListLevel(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// NoRange hint: splice near the far end of the list.
+	id, err := l.InsertKey(uint64(n-1)*4+1, NoRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := l.Prev(id); l.IsHead(p) || l.Key(p) != uint64(n-1)*4 {
+		t.Fatalf("NoRange hint splice: prev of new range is %d", p)
+	}
+
+	// Dead hint: delete a key, then insert using its stale range as hint.
+	dead, _, err := l.DeleteKey(uint64(n / 2 * 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := l.InsertKey(uint64(n-2)*4+2, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := l.Prev(id2); l.IsHead(p) || l.Key(p) != uint64(n-2)*4 {
+		t.Fatalf("dead hint splice: prev of new range is %d", p)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fallback must run on the sorted-order index, not a head walk:
+	// the index bounds every Locate to O(log n) binary probes plus at
+	// most pendMax pending entries and deadMax tombstone skips.
+	if len(l.pendKeys) > pendMax {
+		t.Fatalf("pending buffer exceeded its bound: %d > %d", len(l.pendKeys), pendMax)
+	}
+	if l.dead > deadMax {
+		t.Fatalf("tombstones exceeded their bound: %d > %d", l.dead, deadMax)
+	}
+}
+
+// TestIndexRebuildAmortization drives enough churn through a level to
+// force several pending-buffer and tombstone rebuilds and verifies the
+// sorted-order index stays consistent throughout.
+func TestIndexRebuildAmortization(t *testing.T) {
+	l, err := NewListLevel(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(7)
+	present := map[uint64]bool{}
+	for i := 0; i < 10*pendMax; i++ {
+		k := rng.Uint64n(1 << 20)
+		if present[k] {
+			continue
+		}
+		if _, err := l.InsertKey(k, NoRange); err != nil {
+			t.Fatal(err)
+		}
+		present[k] = true
+	}
+	removed := 0
+	for k := range present {
+		if removed >= 3*deadMax {
+			break
+		}
+		if _, _, err := l.DeleteKey(k); err != nil {
+			t.Fatal(err)
+		}
+		delete(present, k)
+		removed++
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k := range present {
+		if got := l.Locate(k); l.IsHead(got) || l.Key(got) != k {
+			t.Fatalf("Locate(%d) = %d after churn", k, got)
+		}
+	}
+}

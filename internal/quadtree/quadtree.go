@@ -230,12 +230,21 @@ func (t *Tree) NumNodes() int {
 // Nodes returns the IDs of all live nodes.
 func (t *Tree) Nodes() []NodeID {
 	out := make([]NodeID, 0, len(t.nodes))
+	t.VisitNodes(func(id NodeID) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// VisitNodes calls visit for every live node ID (in slot order) until
+// visit returns false. It performs no allocation.
+func (t *Tree) VisitNodes(visit func(NodeID) bool) {
 	for i := range t.nodes {
-		if !t.nodes[i].dead {
-			out = append(out, NodeID(i))
+		if !t.nodes[i].dead && !visit(NodeID(i)) {
+			return
 		}
 	}
-	return out
 }
 
 // Code returns the Morton code of p: coordinate bits interleaved from most

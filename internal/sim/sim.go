@@ -118,16 +118,33 @@ type Op struct {
 	hops int
 }
 
+// opPool recycles Ops so the query and update hot paths allocate nothing
+// per operation. Ops returned via Free are reused by any Network; Ops that
+// are never freed are simply collected, so callers outside the hot paths
+// need not change.
+var opPool = sync.Pool{New: func() any { return new(Op) }}
+
 // NewOp starts an operation at host start (use None when the operation has
 // not yet chosen an entry host; the first Visit is then free, modelling the
-// originating host beginning at its own root).
+// originating host beginning at its own root). The Op comes from a pool;
+// call Free when the operation completes to recycle it.
 func (n *Network) NewOp(start HostID) *Op {
 	n.ops[int(start)+1].n.Add(1)
-	op := &Op{net: n, cur: start}
+	op := opPool.Get().(*Op)
+	op.net, op.cur, op.hops = n, start, 0
 	if start != None {
 		n.touches[start].n.Add(1)
 	}
 	return op
+}
+
+// Free returns the Op to the pool. The caller must not use the Op after
+// Free; values needed from it (Hops, Current) must be read first. Free is
+// optional — an unfreed Op is garbage-collected like any value — but the
+// hot paths free every Op so steady-state operation allocates nothing.
+func (o *Op) Free() {
+	o.net = nil
+	opPool.Put(o)
 }
 
 // Visit moves the operation to host h. If h differs from the current host,

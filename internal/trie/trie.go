@@ -118,12 +118,21 @@ func (t *Trie) Locus(id NodeID) string { return t.nodes[id].locus }
 // Nodes returns the IDs of all live nodes, including the root.
 func (t *Trie) Nodes() []NodeID {
 	out := make([]NodeID, 0, len(t.nodes))
+	t.VisitNodes(func(id NodeID) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// VisitNodes calls visit for every live node ID (in slot order) until
+// visit returns false. It performs no allocation.
+func (t *Trie) VisitNodes(visit func(NodeID) bool) {
 	for i := range t.nodes {
-		if !t.nodes[i].dead {
-			out = append(out, NodeID(i))
+		if !t.nodes[i].dead && !visit(NodeID(i)) {
+			return
 		}
 	}
-	return out
 }
 
 // Parent returns the parent of id, or NoNode for the root.

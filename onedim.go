@@ -52,6 +52,11 @@ func NewOneDim(c *Cluster, keys []uint64, opts Options) (*OneDim, error) {
 func (d *OneDim) Len() int { return d.w.Len() }
 
 // Floor answers a nearest-neighbor (floor) query from the given host.
+//
+// The descent is allocation-free in steady state: the accounting Op is
+// pooled, range enumeration uses the core iterator, and all local
+// searches are O(log n) binary searches over each level's maintained
+// sorted order. Message accounting is unaffected by any of this.
 func (d *OneDim) Floor(q uint64, origin HostID) (FloorResult, error) {
 	res, err := d.w.Query(q, origin)
 	if err != nil {
@@ -144,6 +149,8 @@ func (b *Blocked) Len() int { return b.w.Len() }
 func (b *Blocked) M() int { return b.w.M() }
 
 // Floor answers a nearest-neighbor (floor) query from the given host.
+// The descent performs no per-query heap allocation (see the package
+// README's Performance section).
 func (b *Blocked) Floor(q uint64, origin HostID) (FloorResult, error) {
 	k, ok, hops := b.w.Query(q, origin)
 	return FloorResult{Key: k, Found: ok, Hops: hops}, nil

@@ -1,0 +1,240 @@
+package skipwebs
+
+import (
+	"testing"
+
+	"github.com/skipwebs/skipwebs/internal/experiments"
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// goldenParity pins the exact message accounting of fixed-seed workloads.
+// The values were recorded before the allocation-free descent refactor
+// (PR 2); the paper's cost model counts messages, so any performance work
+// on the Go execution must leave every number here byte-identical. If a
+// deliberate accounting change ever invalidates them, regenerate with
+// `go test -run TestParityGolden -v` and review the diff as a semantic
+// change, not a refactor.
+var goldenParity = map[string]int64{
+	"onedim/hops":      goldenOneDimHops,
+	"onedim/messages":  goldenOneDimMessages,
+	"blocked/hops":     goldenBlockedHops,
+	"blocked/messages": goldenBlockedMessages,
+	"bucketed/hops":    goldenBucketedHops,
+	"points/hops":      goldenPointsHops,
+	"strings/hops":     goldenStringsHops,
+}
+
+const (
+	goldenOneDimHops      = 31435
+	goldenOneDimMessages  = 31435
+	goldenBlockedHops     = 21513
+	goldenBlockedMessages = 21513
+	goldenBucketedHops    = 2796
+	goldenPointsHops      = 24064
+	goldenStringsHops     = 23708
+)
+
+// parityWorkloads runs each structure through a fixed mixed workload and
+// returns the observed accounting totals keyed like goldenParity.
+func parityWorkloads(t *testing.T) map[string]int64 {
+	t.Helper()
+	got := make(map[string]int64)
+
+	// One-dimensional general web: queries, inserts, deletes.
+	{
+		c := NewCluster(64)
+		keys := experiments.Keys(xrand.New(11), 1024, 1<<40)
+		w, err := NewOneDim(c, keys[:768], Options{Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := xrand.New(12)
+		var hops int64
+		for i := 0; i < 512; i++ {
+			r, err := w.Floor(rng.Uint64n(1<<40), HostID(rng.Intn(64)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hops += int64(r.Hops)
+		}
+		for i := 768; i < 1024; i++ {
+			h, err := w.Insert(keys[i], HostID(rng.Intn(64)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hops += int64(h)
+		}
+		for i := 0; i < 256; i++ {
+			h, err := w.Delete(keys[i*3], HostID(rng.Intn(64)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hops += int64(h)
+		}
+		got["onedim/hops"] = hops
+		got["onedim/messages"] = c.Stats().TotalMessages
+	}
+
+	// Blocked web: floor queries, range queries, inserts, deletes.
+	{
+		c := NewCluster(64)
+		keys := experiments.Keys(xrand.New(21), 2048, 1<<40)
+		w, err := NewBlocked(c, keys[:1536], Options{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := xrand.New(22)
+		var hops int64
+		for i := 0; i < 512; i++ {
+			r, err := w.Floor(rng.Uint64n(1<<40), HostID(rng.Intn(64)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hops += int64(r.Hops)
+		}
+		for i := 0; i < 64; i++ {
+			lo := rng.Uint64n(1 << 40)
+			_, h, err := w.Range(lo, lo+(1<<33), HostID(rng.Intn(64)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hops += int64(h)
+		}
+		for i := 1536; i < 2048; i++ {
+			h, err := w.Insert(keys[i], HostID(rng.Intn(64)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hops += int64(h)
+		}
+		for i := 0; i < 512; i++ {
+			h, err := w.Delete(keys[i*2], HostID(rng.Intn(64)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hops += int64(h)
+		}
+		got["blocked/hops"] = hops
+		got["blocked/messages"] = c.Stats().TotalMessages
+	}
+
+	// Bucketed web: floor queries and inserts.
+	{
+		c := NewCluster(32)
+		keys := experiments.Keys(xrand.New(31), 1024, 1<<40)
+		w, err := NewBucketed(c, keys[:896], Options{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := xrand.New(32)
+		var hops int64
+		for i := 0; i < 256; i++ {
+			r, err := w.Floor(rng.Uint64n(1<<40), HostID(rng.Intn(32)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hops += int64(r.Hops)
+		}
+		for i := 896; i < 1024; i++ {
+			h, err := w.Insert(keys[i], HostID(rng.Intn(32)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hops += int64(h)
+		}
+		got["bucketed/hops"] = hops
+	}
+
+	// Point set (quadtree): locations, inserts, deletes.
+	{
+		c := NewCluster(64)
+		rng := xrand.New(41)
+		raw := experiments.UniformPoints(rng, 2, 768, 1<<30)
+		pts := make([]Point, len(raw))
+		for i, p := range raw {
+			pts[i] = Point(p)
+		}
+		w, err := NewPoints(c, 2, pts[:512], Options{Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qrng := xrand.New(42)
+		var hops int64
+		for i := 0; i < 256; i++ {
+			q := Point{uint32(qrng.Uint64n(1 << 30)), uint32(qrng.Uint64n(1 << 30))}
+			loc, err := w.Locate(q, HostID(qrng.Intn(64)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hops += int64(loc.Hops)
+		}
+		for i := 512; i < 768; i++ {
+			h, err := w.Insert(pts[i], HostID(qrng.Intn(64)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hops += int64(h)
+		}
+		for i := 0; i < 128; i++ {
+			h, err := w.Delete(pts[i*2], HostID(qrng.Intn(64)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hops += int64(h)
+		}
+		got["points/hops"] = hops
+	}
+
+	// String set (trie): searches, inserts, deletes.
+	{
+		c := NewCluster(64)
+		rng := xrand.New(51)
+		keys := experiments.UniformStrings(rng, 768, "acgt", 6, 24)
+		w, err := NewStrings(c, keys[:512], Options{Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qrng := xrand.New(52)
+		var hops int64
+		for i := 0; i < 256; i++ {
+			loc, err := w.Search(keys[qrng.Intn(512)], HostID(qrng.Intn(64)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hops += int64(loc.Hops)
+		}
+		for i := 512; i < 768; i++ {
+			h, err := w.Insert(keys[i], HostID(qrng.Intn(64)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hops += int64(h)
+		}
+		for i := 0; i < 128; i++ {
+			h, err := w.Delete(keys[i*2], HostID(qrng.Intn(64)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hops += int64(h)
+		}
+		got["strings/hops"] = hops
+	}
+
+	return got
+}
+
+// TestParityGolden asserts that message/hop accounting on fixed seeds is
+// unchanged by performance refactors.
+func TestParityGolden(t *testing.T) {
+	got := parityWorkloads(t)
+	for name, want := range goldenParity {
+		if got[name] != want {
+			t.Errorf("parity %s: got %d, want %d", name, got[name], want)
+		}
+	}
+	if t.Failed() || testing.Verbose() {
+		for name, v := range got {
+			t.Logf("observed %s = %d", name, v)
+		}
+	}
+}

@@ -73,7 +73,10 @@ func (p *Planar) Len() int { return p.w.Len() }
 // NumFaces returns the number of trapezoids in the ground map (3n+1).
 func (p *Planar) NumFaces() int { return p.w.GroundStructure().NumTraps() }
 
-// Locate routes a planar point-location query from the given host.
+// Locate routes a planar point-location query from the given host. The
+// descent is allocation-free in steady state (pooled accounting Op,
+// counted-loop trapezoid enumeration); only the returned Trapezoid value
+// is materialized per call.
 func (p *Planar) Locate(q PlanarPoint, origin HostID) (Trapezoid, error) {
 	res, err := p.w.Query(trapmap.Point{X: q.X, Y: q.Y}, origin)
 	if err != nil {

@@ -2,6 +2,7 @@ package skipwebs
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/skipwebs/skipwebs/internal/core"
 	"github.com/skipwebs/skipwebs/internal/quadtree"
@@ -125,16 +126,29 @@ func (p *Points) Nearest(q Point, origin HostID) (Point, int, error) {
 	return Point(best), loc.Hops + extra, nil
 }
 
+// nearestItem is one frontier entry of the best-first search.
+type nearestItem struct {
+	id   quadtree.NodeID
+	dist uint64
+}
+
+// nearestHeapPool recycles frontier buffers across Nearest calls (and
+// across the concurrent NearestBatch workers), so the refinement search
+// does not allocate a heap per query.
+var nearestHeapPool = sync.Pool{New: func() any { return new([]nearestItem) }}
+
 // nearestInTree is a best-first search with cell distance pruning.
 func nearestInTree(g *quadtree.Tree, q quadtree.Point) (quadtree.Point, int) {
-	type item struct {
-		id   quadtree.NodeID
-		dist uint64
-	}
+	type item = nearestItem
 	var bestPt quadtree.Point
 	bestDist := ^uint64(0)
 	expanded := 0
-	var heap []item
+	heapBuf := nearestHeapPool.Get().(*[]nearestItem)
+	heap := (*heapBuf)[:0]
+	defer func() {
+		*heapBuf = heap[:0]
+		nearestHeapPool.Put(heapBuf)
+	}()
 	push := func(it item) {
 		heap = append(heap, it)
 		for i := len(heap) - 1; i > 0; {
@@ -198,8 +212,10 @@ func cellDist(g *quadtree.Tree, id quadtree.NodeID, q quadtree.Point) uint64 {
 	d := g.Dim()
 	k := g.CoordBits()
 	side := uint32(1) << uint(k-cell.PLen/d)
-	// Decode the cell's corner from the Morton prefix.
-	corner := make([]uint32, d)
+	// Decode the cell's corner from the Morton prefix. Dimension is at
+	// most 6, so a fixed-size array keeps this allocation-free.
+	var cornerBuf [6]uint32
+	corner := cornerBuf[:d]
 	for b := 0; b < cell.PLen; b++ {
 		dim := b % d
 		bit := (cell.Prefix >> uint(cell.PLen-1-b)) & 1

@@ -46,7 +46,10 @@ func (s *Strings) Len() int { return s.w.Len() }
 // TrieDepth returns the depth of the ground trie.
 func (s *Strings) TrieDepth() int { return s.w.GroundStructure().Depth() }
 
-// Search routes a string search from the given host.
+// Search routes a string search from the given host. The descent itself
+// is allocation-free (pooled accounting Op, iterator-based range
+// enumeration); only the returned location's locus string is shared with
+// the ground trie, never copied.
 func (s *Strings) Search(q string, origin HostID) (StringLocation, error) {
 	res, err := s.w.Query(q, origin)
 	if err != nil {
