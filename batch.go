@@ -59,20 +59,23 @@ type RangeResult struct {
 	Hops int
 }
 
-// checkOrigins validates an origins slice against the cluster size.
+// checkOrigins validates an origins slice: every origin must be a live
+// host (departed hosts issue no operations).
 func (c *Cluster) checkOrigins(origins []HostID) error {
 	for _, o := range origins {
-		if int(o) < 0 || int(o) >= c.Hosts() {
-			return fmt.Errorf("skipwebs: origin host %d out of range [0, %d)", o, c.Hosts())
+		if !c.net.Alive(o) {
+			return fmt.Errorf("skipwebs: origin host %d is not a live host", o)
 		}
 	}
 	return nil
 }
 
-// originAt resolves the origin of the i-th operation of a batch.
+// originAt resolves the origin of the i-th operation of a batch. The nil
+// default spreads operations round-robin over the live hosts, so batches
+// keep working across host churn.
 func (c *Cluster) originAt(origins []HostID, i int) HostID {
 	if len(origins) == 0 {
-		return HostID(i % c.Hosts())
+		return c.net.LiveAt(i % c.net.LiveHosts())
 	}
 	return origins[i%len(origins)]
 }
@@ -81,17 +84,21 @@ func (c *Cluster) originAt(origins []HostID, i int) HostID {
 // origin hosts' workers, under the cluster's read lock. All queries run
 // even when some fail; the returned error joins the per-operation errors.
 func runReadBatch[Q, R any](c *Cluster, qs []Q, origins []HostID, do func(q Q, origin HostID) (R, error)) ([]R, error) {
+	out := make([]R, len(qs))
+	errs := make([]error, len(qs))
+	// Origin validation and the worker pool's lazy start both read the
+	// network's host set, which churn (Join/Leave, write lock) mutates —
+	// they must run under the lock, which also closes the window between
+	// "origin checked live" and "origin's mailbox still open".
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if err := c.checkOrigins(origins); err != nil {
 		return nil, err
 	}
-	out := make([]R, len(qs))
 	if len(qs) == 0 {
 		return out, nil
 	}
-	errs := make([]error, len(qs))
 	cl := c.cluster()
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	cl.RunBatch(len(qs),
 		func(i int) HostID { return c.originAt(origins, i) },
 		func(i int) {
@@ -107,17 +114,18 @@ func runReadBatch[Q, R any](c *Cluster, qs []Q, origins []HostID, do func(q Q, o
 // fails, and the returned error joins the per-operation errors. The hop
 // cost of each update is returned in order.
 func runWriteBatch[X any](c *Cluster, xs []X, origins []HostID, do func(x X, origin HostID) (int, error)) ([]int, error) {
+	hops := make([]int, len(xs))
+	errs := make([]error, len(xs))
+	// Validation must run under the lock; see runReadBatch.
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if err := c.checkOrigins(origins); err != nil {
 		return nil, err
 	}
-	hops := make([]int, len(xs))
 	if len(xs) == 0 {
 		return hops, nil
 	}
-	errs := make([]error, len(xs))
 	cl := c.cluster()
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	for i := range xs {
 		i := i
 		origin := c.originAt(origins, i)

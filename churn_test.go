@@ -1,0 +1,411 @@
+package skipwebs
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// TestJoinLeaveMigratesAndStaysConsistent drives the public churn API
+// over every structure kind at once and verifies the acceptance
+// contract: CheckConsistent after every event, zero lost keys, and all
+// migration traffic visible in the cluster's message totals.
+func TestJoinLeaveMigratesAndStaysConsistent(t *testing.T) {
+	c := NewCluster(12)
+	rng := xrand.New(3)
+	keys := distinctKeys(rng, 400)
+	oned, err := NewOneDim(c, keys, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, err := NewBlocked(c, keys, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bucketed, err := NewBucketed(c, keys, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckConsistent(); err != nil {
+		t.Fatalf("fresh cluster: %v", err)
+	}
+	c.ResetTraffic()
+
+	checkKeys := func(stage string) {
+		t.Helper()
+		for i, k := range keys {
+			if ok, _, err := oned.Contains(k, c.HostAt(i)); err != nil || !ok {
+				t.Fatalf("%s: onedim lost key %d: %v", stage, k, err)
+			}
+			if r, err := blocked.Floor(k, c.HostAt(i)); err != nil || !r.Found || r.Key != k {
+				t.Fatalf("%s: blocked lost key %d: %v", stage, k, err)
+			}
+			if r, err := bucketed.Floor(k, c.HostAt(i)); err != nil || !r.Found || r.Key != k {
+				t.Fatalf("%s: bucketed lost key %d: %v", stage, k, err)
+			}
+		}
+	}
+
+	// A leave must drain the host, charge visible migration traffic, and
+	// leave every structure consistent.
+	before := c.Stats().TotalMessages
+	victim := c.HostAt(7)
+	if err := c.Leave(victim); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	if got := c.Stats().TotalMessages; got <= before {
+		t.Fatalf("leave charged no migration messages (total %d -> %d)", before, got)
+	}
+	if c.Hosts() != 11 {
+		t.Fatalf("hosts = %d after leave, want 11", c.Hosts())
+	}
+	if err := c.CheckConsistent(); err != nil {
+		t.Fatalf("after leave: %v", err)
+	}
+	checkKeys("after leave")
+
+	// A join hands the newcomer load and stays consistent.
+	before = c.Stats().TotalMessages
+	h := c.Join()
+	if !c.net.Alive(h) || c.Hosts() != 12 {
+		t.Fatalf("join: host %d alive=%v hosts=%d", h, c.net.Alive(h), c.Hosts())
+	}
+	if got := c.Stats().TotalMessages; got <= before {
+		t.Fatalf("join charged no migration messages (total %d -> %d)", before, got)
+	}
+	if c.net.Storage(h) == 0 {
+		t.Fatalf("joiner %d received no storage", h)
+	}
+	if err := c.CheckConsistent(); err != nil {
+		t.Fatalf("after join: %v", err)
+	}
+	checkKeys("after join")
+
+	// Leaving a departed host or a bogus id fails cleanly.
+	if err := c.Leave(victim); err == nil {
+		t.Fatal("second leave of same host succeeded")
+	}
+	if err := c.Leave(HostID(10_000)); err == nil {
+		t.Fatal("leave of unknown host succeeded")
+	}
+}
+
+// TestLeaveAfterUpdates pins the exactness of the blocked/bucket webs'
+// storage accounting: inserts and deletes move boundary-straddle copies
+// and split blocks, and Leave requires the departing host to drain to
+// exactly zero — any drift in the update paths fails here.
+func TestLeaveAfterUpdates(t *testing.T) {
+	c := NewCluster(16)
+	rng := xrand.New(5)
+	keys := distinctKeys(rng, 600)
+	b, err := NewBlocked(c, keys[:400], Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bu, err := NewBucketed(c, keys[:400], Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 400; i < 600; i++ {
+		if _, err := b.Insert(keys[i], c.HostAt(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bu.Insert(keys[i], c.HostAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := b.Delete(keys[i*2], c.HostAt(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bu.Delete(keys[i*2], c.HostAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for c.Hosts() > 4 {
+		if err := c.Leave(c.HostAt(1)); err != nil {
+			t.Fatalf("leave after updates: %v", err)
+		}
+		if err := c.CheckConsistent(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Interleave more updates with the shrunken cluster and leave again.
+	if _, err := b.Insert(1<<41, c.HostAt(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Leave(c.HostAt(0)); err != nil {
+		t.Fatalf("leave after post-churn insert: %v", err)
+	}
+	if err := c.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeaveDownToOneHost shrinks a cluster until a single host holds
+// everything: queries must keep working the whole way down, and the
+// last live host must refuse to leave.
+func TestLeaveDownToOneHost(t *testing.T) {
+	c := NewCluster(6)
+	rng := xrand.New(17)
+	keys := distinctKeys(rng, 200)
+	w, err := NewOneDim(c, keys, Options{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []Point{{1, 2}, {5, 9}, {100, 7}, {42, 42}, {7, 300}}
+	pweb, err := NewPoints(c, 2, pts, Options{Seed: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c.Hosts() > 1 {
+		if err := c.Leave(c.HostAt(0)); err != nil {
+			t.Fatalf("leave at %d hosts: %v", c.Hosts(), err)
+		}
+		if err := c.CheckConsistent(); err != nil {
+			t.Fatalf("consistency at %d hosts: %v", c.Hosts(), err)
+		}
+		for i, k := range keys[:32] {
+			if ok, _, err := w.Contains(k, c.HostAt(i)); err != nil || !ok {
+				t.Fatalf("key %d lost at %d hosts: %v", k, c.Hosts(), err)
+			}
+		}
+	}
+	last := c.HostAt(0)
+	if err := c.Leave(last); err == nil {
+		t.Fatal("last live host allowed to leave")
+	}
+	// Everything must now live on the one survivor, and queries cost no
+	// messages (all state is local).
+	if st := c.net.Storage(last); st == 0 {
+		t.Fatal("survivor holds no storage")
+	}
+	for _, p := range pts {
+		ok, hops, err := pweb.Contains(p, last)
+		if err != nil || !ok {
+			t.Fatalf("point %v lost on single host: %v", p, err)
+		}
+		if hops != 0 {
+			t.Fatalf("single-host query cost %d messages, want 0", hops)
+		}
+	}
+	// The cluster can grow again from one host.
+	c.Join()
+	if err := c.CheckConsistent(); err != nil {
+		t.Fatalf("after regrow: %v", err)
+	}
+}
+
+// TestJoinDuringInFlightBatch races churn against a running read batch:
+// Join/Leave take the cluster's write lock, so they serialize behind
+// the batch and the combination must stay consistent (run with -race).
+func TestJoinDuringInFlightBatch(t *testing.T) {
+	c := NewCluster(16)
+	defer c.Close()
+	rng := xrand.New(23)
+	keys := distinctKeys(rng, 512)
+	w, err := NewBlocked(c, keys, Options{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]uint64, 4096)
+	for i := range qs {
+		qs[i] = rng.Uint64n(1 << 34)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// One goroutine pins explicit origins so the origin-liveness
+			// validation path (not just the nil round-robin default) races
+			// the churn below; origin 0 never leaves in this test.
+			var origins []HostID
+			if g == 0 {
+				origins = []HostID{0}
+			}
+			for round := 0; round < 4; round++ {
+				res, err := w.FloorBatch(qs, origins)
+				if err != nil {
+					t.Errorf("batch: %v", err)
+					return
+				}
+				for i, r := range res {
+					want, wok := bruteFloor(keys, qs[i])
+					if r.Found != wok || (r.Found && r.Key != want) {
+						t.Errorf("floor(%d) = %+v, want %d,%v", qs[i], r, want, wok)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; i < 4; i++ {
+			h := c.Join()
+			if err := c.Leave(h); err != nil {
+				t.Errorf("leave joined host %d: %v", h, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	churn.Wait()
+	if err := c.CheckConsistent(); err != nil {
+		t.Fatalf("after concurrent churn+batch: %v", err)
+	}
+}
+
+// TestChurnAfterClose pins Close's contract: batch calls panic after
+// Close, but synchronous calls — including Join and Leave — remain
+// valid.
+func TestChurnAfterClose(t *testing.T) {
+	c := NewCluster(4)
+	rng := xrand.New(61)
+	keys := distinctKeys(rng, 64)
+	w, err := NewOneDim(c, keys, Options{Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.FloorBatch(keys[:8], nil); err != nil { // start the worker pool
+		t.Fatal(err)
+	}
+	c.Close()
+	h := c.Join()
+	if err := c.CheckConsistent(); err != nil {
+		t.Fatalf("after post-Close join: %v", err)
+	}
+	if err := c.Leave(h); err != nil {
+		t.Fatalf("post-Close leave: %v", err)
+	}
+	if ok, _, err := w.Contains(keys[0], c.HostAt(0)); err != nil || !ok {
+		t.Fatalf("key lost across post-Close churn: %v", err)
+	}
+}
+
+// TestCloseRacesJoin pins that Close serializes with concurrent churn:
+// a Join landing around Close must neither deadlock Close nor leak a
+// worker (run with -race).
+func TestCloseRacesJoin(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		c := NewCluster(4)
+		rng := xrand.New(uint64(71 + round))
+		keys := distinctKeys(rng, 32)
+		w, err := NewOneDim(c, keys, Options{Seed: 71})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.FloorBatch(keys[:4], nil); err != nil { // start the pool
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < 3; i++ {
+				c.Join()
+			}
+		}()
+		c.Close() // must return even with joins in flight
+		<-done
+		if err := c.CheckConsistent(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestChurnStormProperty is the storm property test: a seeded random
+// interleaving of joins, leaves, inserts, deletes, and queries, after
+// which (a) every structure passes CheckConsistent, (b) the surviving
+// key set answers exactly like a freshly built churn-free web — the
+// golden-parity property that churn only moves data, never changes
+// answers — and (c) query hop counts stay within the routed-descent
+// regime rather than degrading toward a broadcast.
+func TestChurnStormProperty(t *testing.T) {
+	c := NewCluster(10)
+	rng := xrand.New(41)
+	keys := distinctKeys(rng, 600)
+	live := make(map[uint64]bool, 400)
+	w, err := NewOneDim(c, keys[:400], Options{Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys[:400] {
+		live[k] = true
+	}
+	next := 400
+	for step := 0; step < 120; step++ {
+		switch rng.Intn(6) {
+		case 0:
+			c.Join()
+		case 1:
+			if c.Hosts() > 3 {
+				if err := c.Leave(c.HostAt(rng.Intn(c.Hosts()))); err != nil {
+					t.Fatalf("storm leave: %v", err)
+				}
+			}
+		case 2, 3:
+			if next < len(keys) {
+				if _, err := w.Insert(keys[next], c.HostAt(rng.Intn(c.Hosts()))); err != nil {
+					t.Fatalf("storm insert: %v", err)
+				}
+				live[keys[next]] = true
+				next++
+			}
+		case 4:
+			for _, k := range keys[:next] {
+				if live[k] {
+					if _, err := w.Delete(k, c.HostAt(rng.Intn(c.Hosts()))); err != nil {
+						t.Fatalf("storm delete: %v", err)
+					}
+					delete(live, k)
+					break
+				}
+			}
+		case 5:
+			if _, err := w.Floor(rng.Uint64n(1<<36), c.HostAt(rng.Intn(c.Hosts()))); err != nil {
+				t.Fatalf("storm query: %v", err)
+			}
+		}
+		if err := c.CheckConsistent(); err != nil {
+			t.Fatalf("storm step %d: %v", step, err)
+		}
+	}
+
+	// Golden parity against a churn-free control built over the same
+	// surviving key set: identical answers on identical queries, and
+	// stormed hop counts within the same O(log n) regime.
+	var survivors []uint64
+	for k := range live {
+		survivors = append(survivors, k)
+	}
+	control := NewCluster(c.Hosts())
+	cw, err := NewOneDim(control, survivors, Options{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qrng := xrand.New(99)
+	var stormHops, controlHops int
+	for i := 0; i < 500; i++ {
+		q := qrng.Uint64n(1 << 36)
+		got, err := w.Floor(q, c.HostAt(i))
+		if err != nil {
+			t.Fatalf("storm floor: %v", err)
+		}
+		want, err := cw.Floor(q, control.HostAt(i))
+		if err != nil {
+			t.Fatalf("control floor: %v", err)
+		}
+		if got.Found != want.Found || (got.Found && got.Key != want.Key) {
+			t.Fatalf("Floor(%d) = %+v after storm, control says %+v", q, got, want)
+		}
+		stormHops += got.Hops
+		controlHops += want.Hops
+	}
+	if stormHops > 4*controlHops {
+		t.Fatalf("storm hops %d vs control %d: routing degraded past the descent regime", stormHops, controlHops)
+	}
+}

@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	skipweb-bench [-mode experiments|throughput|bench]
+//	skipweb-bench [-mode experiments|throughput|bench|churn]
 //	              [-experiment all|table1|lemma1|lemma3|lemma4|lemma5|
 //	               theorem2|blocking|updates|congestion|ablation|figures]
 //	              [-quick] [-seed N]
 //	              [-hosts H] [-keys N] [-queries Q] [-procs 1,2,4]
+//	              [-churn-rates 0,0.002,0.01,0.04]
 //	              [-json FILE]
 //
 // The default mode runs the paper experiments at the EXPERIMENTS.md
@@ -23,6 +24,15 @@
 // so perf trajectories can be compared run over run (`benchstat` works
 // on the plain `go test -bench` output; the JSON is for dashboards and
 // CI artifacts).
+//
+// Churn mode runs a join/leave storm against every structure at once:
+// at each rate in -churn-rates (churn events per operation), a mixed
+// query workload of -queries operations is interleaved with alternating
+// Cluster.Leave and Cluster.Join events. After every churn event the
+// mode verifies Cluster.CheckConsistent and spot-checks stored keys; at
+// the end it sweeps every key of every structure (zero lost keys) and
+// reports ops/sec, query msgs/op, migration msgs/event, and the
+// per-host storage quantiles — how load rebalances under churn.
 package main
 
 import (
@@ -31,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -41,6 +52,7 @@ import (
 	skipwebs "github.com/skipwebs/skipwebs"
 	"github.com/skipwebs/skipwebs/internal/core"
 	"github.com/skipwebs/skipwebs/internal/experiments"
+	"github.com/skipwebs/skipwebs/internal/trapmap"
 	"github.com/skipwebs/skipwebs/internal/xrand"
 )
 
@@ -53,7 +65,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("skipweb-bench", flag.ContinueOnError)
-	mode := fs.String("mode", "experiments", "experiments, throughput, or bench")
+	mode := fs.String("mode", "experiments", "experiments, throughput, bench, or churn")
 	experiment := fs.String("experiment", "all", "which experiment to run")
 	quick := fs.Bool("quick", false, "reduced sweep for smoke testing")
 	seed := fs.Uint64("seed", 1, "random seed")
@@ -61,7 +73,8 @@ func run(args []string, out io.Writer) error {
 	keyN := fs.Int("keys", 4096, "throughput: stored key count")
 	queries := fs.Int("queries", 20000, "throughput: queries per batch")
 	procs := fs.String("procs", "1,2,4", "throughput: comma-separated GOMAXPROCS values")
-	jsonPath := fs.String("json", "", "bench: also write results as JSON to this file")
+	churnRates := fs.String("churn-rates", "0,0.002,0.01,0.04", "churn: comma-separated churn events per operation")
+	jsonPath := fs.String("json", "", "bench/churn: also write results as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h/-help printed usage; not a failure
@@ -76,6 +89,8 @@ func run(args []string, out io.Writer) error {
 		return runThroughput(out, *hosts, *keyN, *queries, *procs, *seed)
 	case "bench":
 		return runBench(out, *jsonPath, *keyN, *hosts, *seed, *quick)
+	case "churn":
+		return runChurn(out, *jsonPath, *hosts, *keyN, *queries, *churnRates, *seed, *quick)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -325,6 +340,256 @@ func runBench(out io.Writer, jsonPath string, keyN, hosts int, seed uint64, quic
 		fmt.Fprintf(out, "wrote %s\n", jsonPath)
 	}
 	return nil
+}
+
+// churnRow is one churn-rate measurement in the JSON document.
+type churnRow struct {
+	Rate           float64 `json:"rate"`
+	Events         int     `json:"events"`
+	Joins          int     `json:"joins"`
+	Leaves         int     `json:"leaves"`
+	FinalHosts     int     `json:"final_hosts"`
+	QueryMsgsOp    float64 `json:"query_msgs_per_op"`
+	ChurnMsgs      int64   `json:"churn_msgs_total"`
+	ChurnMsgsEvent float64 `json:"churn_msgs_per_event"`
+	OpsSec         float64 `json:"ops_per_sec"`
+	StorageP50     int64   `json:"storage_p50"`
+	StorageP99     int64   `json:"storage_p99"`
+	StorageMax     int64   `json:"storage_max"`
+}
+
+// churnDoc is the top-level JSON document written by -mode churn -json.
+type churnDoc struct {
+	Mode  string     `json:"mode"`
+	Hosts int        `json:"hosts"`
+	Keys  int        `json:"keys"`
+	Ops   int        `json:"ops"`
+	Seed  uint64     `json:"seed"`
+	Rows  []churnRow `json:"rows"`
+}
+
+// runChurn measures the cost and safety of host churn: for each rate, a
+// mixed query workload over all six structures is interleaved with
+// join/leave events, with full consistency checks after every event and
+// a zero-lost-keys sweep at the end.
+func runChurn(out io.Writer, jsonPath string, hosts, keyN, ops int, ratesStr string, seed uint64, quick bool) error {
+	if hosts < 4 {
+		return fmt.Errorf("-hosts must be >= 4 for churn mode, got %d", hosts)
+	}
+	if keyN < 64 {
+		return fmt.Errorf("-keys must be >= 64 for churn mode, got %d", keyN)
+	}
+	if quick {
+		if ops > 2000 {
+			ops = 2000
+		}
+		if keyN > 1024 {
+			keyN = 1024
+		}
+	}
+	var rates []float64
+	for _, f := range strings.Split(ratesStr, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || r < 0 || r > 0.5 {
+			return fmt.Errorf("bad -churn-rates entry %q (want 0 <= rate <= 0.5)", f)
+		}
+		rates = append(rates, r)
+	}
+	doc := churnDoc{Mode: "churn", Hosts: hosts, Keys: keyN, Ops: ops, Seed: seed}
+	fmt.Fprintf(out, "=== C1: host churn (hosts=%d keys=%d ops=%d, 6 structures, consistency-checked) ===\n", hosts, keyN, ops)
+	fmt.Fprintf(out, "%8s %7s %6s %6s %6s %14s %16s %12s %8s %8s %8s\n",
+		"rate", "events", "joins", "leaves", "hosts", "query msgs/op", "churn msgs/evt", "ops/sec", "st p50", "st p99", "st max")
+	for _, rate := range rates {
+		row, err := churnTrial(hosts, keyN, ops, rate, seed)
+		if err != nil {
+			return fmt.Errorf("churn rate %g: %w", rate, err)
+		}
+		doc.Rows = append(doc.Rows, row)
+		fmt.Fprintf(out, "%8.4f %7d %6d %6d %6d %14.2f %16.1f %12.0f %8d %8d %8d\n",
+			row.Rate, row.Events, row.Joins, row.Leaves, row.FinalHosts,
+			row.QueryMsgsOp, row.ChurnMsgsEvent, row.OpsSec,
+			row.StorageP50, row.StorageP99, row.StorageMax)
+	}
+	fmt.Fprintln(out, "zero lost keys: every key of every structure answered correctly after the storm")
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// churnTrial runs one churn-rate cell: build all six structures on a
+// fresh cluster, interleave queries with alternating leave/join events,
+// check consistency after every event, and sweep for lost keys at the
+// end.
+func churnTrial(hosts, keyN, ops int, rate float64, seed uint64) (churnRow, error) {
+	row := churnRow{Rate: rate}
+	rng := xrand.New(seed)
+	keys := experiments.Keys(rng, keyN, 1<<40)
+	segN := keyN / 8
+	if segN > 256 {
+		segN = 256
+	}
+
+	c := skipwebs.NewCluster(hosts)
+	oned, err := skipwebs.NewOneDim(c, keys, skipwebs.Options{Seed: seed})
+	if err != nil {
+		return row, err
+	}
+	blocked, err := skipwebs.NewBlocked(c, keys, skipwebs.Options{Seed: seed + 1})
+	if err != nil {
+		return row, err
+	}
+	bucketed, err := skipwebs.NewBucketed(c, keys, skipwebs.Options{Seed: seed + 2})
+	if err != nil {
+		return row, err
+	}
+	raw := experiments.UniformPoints(rng, 2, keyN, 1<<30)
+	pts := make([]skipwebs.Point, len(raw))
+	for i, p := range raw {
+		pts[i] = skipwebs.Point(p)
+	}
+	points, err := skipwebs.NewPoints(c, 2, pts, skipwebs.Options{Seed: seed + 3})
+	if err != nil {
+		return row, err
+	}
+	strKeys := experiments.UniformStrings(rng, keyN, "acgt", 8, 24)
+	strs, err := skipwebs.NewStrings(c, strKeys, skipwebs.Options{Seed: seed + 4})
+	if err != nil {
+		return row, err
+	}
+	rawSegs := experiments.DisjointSegments(rng, segN, trapmap.Rect{MinX: -1000, MinY: -1000, MaxX: 1000, MaxY: 1000})
+	segs := make([]skipwebs.PlanarSegment, len(rawSegs))
+	for i, s := range rawSegs {
+		segs[i] = skipwebs.PlanarSegment{
+			A: skipwebs.PlanarPoint{X: s.A.X, Y: s.A.Y},
+			B: skipwebs.PlanarPoint{X: s.B.X, Y: s.B.Y},
+		}
+	}
+	planar, err := skipwebs.NewPlanar(c, segs,
+		skipwebs.PlanarBounds{MinX: -1000, MinY: -1000, MaxX: 1000, MaxY: 1000},
+		skipwebs.Options{Seed: seed + 5})
+	if err != nil {
+		return row, err
+	}
+	c.ResetTraffic()
+
+	step := 0
+	if rate > 0 {
+		step = int(math.Round(1 / rate))
+	}
+	qrng := xrand.New(seed + 99)
+	var queryTime time.Duration
+	var verifyMsgs int64
+	for i := 0; i < ops; i++ {
+		if step > 0 && i > 0 && i%step == 0 {
+			before := c.Stats().TotalMessages
+			if row.Events%2 == 0 && c.Hosts() > 2 {
+				h := c.HostAt(qrng.Intn(c.Hosts()))
+				if err := c.Leave(h); err != nil {
+					return row, err
+				}
+				row.Leaves++
+			} else {
+				c.Join()
+				row.Joins++
+			}
+			row.Events++
+			row.ChurnMsgs += c.Stats().TotalMessages - before
+			if err := c.CheckConsistent(); err != nil {
+				return row, fmt.Errorf("consistency after event %d: %w", row.Events, err)
+			}
+			// Spot-check traffic is verification overhead, not workload:
+			// track it separately so QueryMsgsOp stays a pure per-query
+			// measure at every churn rate.
+			beforeVerify := c.Stats().TotalMessages
+			for s := 0; s < 8; s++ {
+				k := keys[qrng.Intn(len(keys))]
+				found, _, err := oned.Contains(k, c.HostAt(qrng.Intn(c.Hosts())))
+				if err != nil {
+					return row, err
+				}
+				if !found {
+					return row, fmt.Errorf("key %d lost after event %d", k, row.Events)
+				}
+			}
+			verifyMsgs += c.Stats().TotalMessages - beforeVerify
+		}
+		origin := c.HostAt(qrng.Intn(c.Hosts()))
+		start := time.Now()
+		switch i % 6 {
+		case 0:
+			_, err = oned.Floor(qrng.Uint64n(1<<40), origin)
+		case 1:
+			_, err = blocked.Floor(qrng.Uint64n(1<<40), origin)
+		case 2:
+			_, err = bucketed.Floor(qrng.Uint64n(1<<40), origin)
+		case 3:
+			q := skipwebs.Point{uint32(qrng.Uint64n(1 << 30)), uint32(qrng.Uint64n(1 << 30))}
+			_, err = points.Locate(q, origin)
+		case 4:
+			_, err = strs.Search(strKeys[qrng.Intn(len(strKeys))], origin)
+		case 5:
+			q := skipwebs.PlanarPoint{
+				X: int64(qrng.Uint64n(1998)) - 999,
+				Y: int64(qrng.Uint64n(1998)) - 999,
+			}
+			_, err = planar.Locate(q, origin)
+		}
+		queryTime += time.Since(start)
+		if err != nil {
+			return row, err
+		}
+	}
+
+	// Capture accounting before the verification sweep so msgs/op covers
+	// exactly the measured workload.
+	stats := c.Stats()
+	qs := c.StorageQuantiles(0.5, 0.99, 1.0)
+	row.FinalHosts = c.Hosts()
+	row.QueryMsgsOp = float64(stats.TotalMessages-row.ChurnMsgs-verifyMsgs) / float64(ops)
+	if row.Events > 0 {
+		row.ChurnMsgsEvent = float64(row.ChurnMsgs) / float64(row.Events)
+	}
+	if queryTime > 0 {
+		row.OpsSec = float64(ops) / queryTime.Seconds()
+	}
+	row.StorageP50, row.StorageP99, row.StorageMax = qs[0], qs[1], qs[2]
+
+	// Zero lost keys: every item of every structure must still be
+	// reachable by a routed query, and every structure must be consistent.
+	if err := c.CheckConsistent(); err != nil {
+		return row, fmt.Errorf("final consistency: %w", err)
+	}
+	for i, k := range keys {
+		if found, _, err := oned.Contains(k, c.HostAt(i)); err != nil || !found {
+			return row, fmt.Errorf("onedim lost key %d: %v", k, err)
+		}
+		if r, err := blocked.Floor(k, c.HostAt(i)); err != nil || !r.Found || r.Key != k {
+			return row, fmt.Errorf("blocked lost key %d: %v", k, err)
+		}
+		if r, err := bucketed.Floor(k, c.HostAt(i)); err != nil || !r.Found || r.Key != k {
+			return row, fmt.Errorf("bucketed lost key %d: %v", k, err)
+		}
+	}
+	for i, p := range pts {
+		if found, _, err := points.Contains(p, c.HostAt(i)); err != nil || !found {
+			return row, fmt.Errorf("points lost %v: %v", p, err)
+		}
+	}
+	for i, s := range strKeys {
+		if found, _, err := strs.Contains(s, c.HostAt(i)); err != nil || !found {
+			return row, fmt.Errorf("strings lost %q: %v", s, err)
+		}
+	}
+	return row, nil
 }
 
 // runThroughput measures batched floor-query throughput at each

@@ -102,6 +102,56 @@ func TestRunThroughputSmoke(t *testing.T) {
 	}
 }
 
+func TestRunChurnSmoke(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "churn.json")
+	var out strings.Builder
+	err := run([]string{
+		"-mode", "churn", "-quick",
+		"-hosts", "16", "-keys", "256", "-queries", "600",
+		"-churn-rates", "0,0.02", "-json", path,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"=== C1: host churn", "zero lost keys", "wrote "} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in churn output:\n%s", want, got)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Mode string `json:"mode"`
+		Rows []struct {
+			Rate        float64 `json:"rate"`
+			Events      int     `json:"events"`
+			ChurnMsgs   int64   `json:"churn_msgs_total"`
+			QueryMsgsOp float64 `json:"query_msgs_per_op"`
+			StorageMax  int64   `json:"storage_max"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("churn JSON does not parse: %v", err)
+	}
+	if doc.Mode != "churn" || len(doc.Rows) != 2 {
+		t.Fatalf("churn JSON incomplete: mode=%q rows=%d", doc.Mode, len(doc.Rows))
+	}
+	if doc.Rows[0].Events != 0 || doc.Rows[0].ChurnMsgs != 0 {
+		t.Fatalf("rate-0 row should have no churn: %+v", doc.Rows[0])
+	}
+	if doc.Rows[1].Events == 0 || doc.Rows[1].ChurnMsgs == 0 {
+		t.Fatalf("churn row recorded no migration traffic: %+v", doc.Rows[1])
+	}
+	for _, r := range doc.Rows {
+		if r.QueryMsgsOp <= 0 || r.StorageMax <= 0 {
+			t.Fatalf("churn row has empty metrics: %+v", r)
+		}
+	}
+}
+
 func TestRunRejectsUnknownModeAndExperiment(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-mode", "nope"}, &out); err == nil {

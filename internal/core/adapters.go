@@ -63,6 +63,10 @@ func (ListOps) ChildTerminal(child, parent *ListLevel, tp RangeID, q uint64, ste
 	}
 }
 
+// Payload is one storage unit: a list range is a single key node, and a
+// churn migration moves it in one message.
+func (ListOps) Payload(l *ListLevel, r RangeID) int { return 1 }
+
 // Locate performs a full local search.
 func (ListOps) Locate(l *ListLevel, q uint64) RangeID { return l.Locate(q) }
 
@@ -170,6 +174,11 @@ func (o *QuadOps) ChildTerminal(child, parent *quadtree.Tree, tp RangeID, q uint
 	}
 	return NoRange, fmt.Errorf("core: no ancestor cell of parent terminal exists in child tree")
 }
+
+// Payload is one storage unit: a quadtree range is one compressed-tree
+// node (cell plus, at leaves, its single point), moved in one message
+// during churn.
+func (o *QuadOps) Payload(l *quadtree.Tree, r RangeID) int { return 1 }
 
 // Locate performs a full local point location.
 func (o *QuadOps) Locate(l *quadtree.Tree, q uint64) RangeID {
@@ -282,6 +291,10 @@ func (TrieOps) ChildTerminal(child, parent *trie.Trie, tp RangeID, q string, ste
 	return NoRange, fmt.Errorf("core: no ancestor locus of parent terminal exists in child trie")
 }
 
+// Payload is one storage unit: a trie range is one compressed-trie node
+// (locus plus child edges), moved in one message during churn.
+func (TrieOps) Payload(l *trie.Trie, r RangeID) int { return 1 }
+
 // Locate performs a full local search.
 func (TrieOps) Locate(l *trie.Trie, q string) RangeID {
 	id, _ := l.Locate(q)
@@ -384,6 +397,11 @@ func (o TrapOps) Anchors(child, parent *trapmap.Map, r RangeID) ([]RangeID, erro
 func (o TrapOps) ChildTerminal(child, parent *trapmap.Map, tp RangeID, q trapmap.Point, steps *int) (RangeID, error) {
 	return NoRange, ErrStatic
 }
+
+// Payload is one storage unit: a trapezoid is one face record (its
+// bounding segments are shared references), moved in one message during
+// churn.
+func (o TrapOps) Payload(l *trapmap.Map, r RangeID) int { return 1 }
 
 // Locate performs full local point location.
 func (o TrapOps) Locate(l *trapmap.Map, q trapmap.Point) RangeID {

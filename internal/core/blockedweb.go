@@ -156,8 +156,11 @@ func (w *BlockedWeb) bitAt(k uint64, depth int) int {
 	return int(w.mix(k) >> uint(depth) & 1)
 }
 
+// nextHost draws the next live host round-robin. With no churn the live
+// set is 0..H-1, so the sequence matches the pre-churn hostSeq % Hosts()
+// and block placement stays seed-compatible.
 func (w *BlockedWeb) nextHost() sim.HostID {
-	h := sim.HostID(w.hostSeq % w.net.Hosts())
+	h := w.net.LiveAt(w.hostSeq % w.net.LiveHosts())
 	w.hostSeq++
 	return h
 }
@@ -248,12 +251,44 @@ func (w *BlockedWeb) chargeRangeStorage(n *bnode, r RangeID, sign int) {
 	k := w.rangeKey(n, r)
 	primary := w.hostFor(n, k)
 	w.net.AddStorage(primary, sign*2)
-	if nx := n.lvl.Next(r); nx != NoRange {
-		nk := n.lvl.Key(nx)
-		if w.blockIndex(n.base, nk) != w.blockIndex(n.base, k) {
-			w.net.AddStorage(w.hostFor(n, nk), sign)
-		}
+	w.straddleCopy(n, r, n.lvl.Next(r), sign)
+}
+
+// straddleCopy charges sign units for the boundary copy induced by the
+// adjacent pair (r, next) of node n: the copy of r kept on next's block
+// host when the pair spans two blocks. It reads only the pair's keys
+// and the block directory, so callers may pass a pair as it existed
+// before a splice as well as the current one — that is how the update
+// paths keep per-host storage exact (Cluster.Leave asserts a departing
+// host drains to exactly zero).
+func (w *BlockedWeb) straddleCopy(n *bnode, r, next RangeID, sign int) {
+	if next == NoRange {
+		return
 	}
+	k := w.rangeKey(n, r)
+	nk := n.lvl.Key(next)
+	if w.blockIndex(n.base, nk) != w.blockIndex(n.base, k) {
+		w.net.AddStorage(w.hostFor(n, nk), sign)
+	}
+}
+
+// stratumMembers returns bn's stratum (every node co-located with basic
+// node bn's blocks, bn included) in DFS order. The stratum is the
+// maximal subtree below bn whose nodes share bn as their base; recursion
+// stops at the next stratum's basic nodes.
+func (w *BlockedWeb) stratumMembers(bn *bnode) []*bnode {
+	var out []*bnode
+	var rec func(n *bnode)
+	rec = func(n *bnode) {
+		if n == nil || n.base != bn {
+			return
+		}
+		out = append(out, n)
+		rec(n.kids[0])
+		rec(n.kids[1])
+	}
+	rec(bn)
+	return out
 }
 
 func (w *BlockedWeb) addLeaf(n *bnode) {
@@ -418,6 +453,12 @@ func (w *BlockedWeb) insertAt(n *bnode, key uint64, hint RangeID, op *sim.Op) er
 	}
 	n.count++
 	w.chargeRangeStorage(n, id, 1)
+	// The predecessor's boundary copy follows its successor: retire the
+	// copy induced by the old pair (pred, next-of-id) and charge the one
+	// induced by the new pair (pred, id), keeping per-host storage exact.
+	pred := n.lvl.Prev(id)
+	w.straddleCopy(n, pred, n.lvl.Next(id), -1)
+	w.straddleCopy(n, pred, id, 1)
 	w.chargeOnce(w.hostFor(n, key), op)
 	if n.base == n {
 		bi := w.blockIndex(n, key)
@@ -478,6 +519,24 @@ func (w *BlockedWeb) splitBlock(bn *bnode, bi int, op *sim.Op) {
 	medKey := bn.lvl.Key(r)
 	newHost := w.nextHost()
 	moved := bn.blockSizes[bi] - half
+	// The directory splice rehosts only the key span [medKey, hi) — hi
+	// being the old block's upper bound — and can newly straddle the
+	// pair crossing medKey. For every stratum member, discharge exactly
+	// that span (plus the one predecessor range whose straddle copy may
+	// change) under the old directory and recharge it under the new one:
+	// exact per-host storage (the churn drain check relies on it) at
+	// O(block) cost instead of O(stratum).
+	var hi uint64
+	hasHi := bi+1 < len(bn.blockStarts)
+	if hasHi {
+		hi = bn.blockStarts[bi+1]
+	}
+	members := w.stratumMembers(bn)
+	for _, n := range members {
+		w.spanRanges(n, medKey, hi, hasHi, func(r RangeID) {
+			w.chargeRangeStorage(n, r, -1)
+		})
+	}
 	// Splice the new block into the directory.
 	bn.blockStarts = append(bn.blockStarts, 0)
 	copy(bn.blockStarts[bi+2:], bn.blockStarts[bi+1:])
@@ -489,14 +548,35 @@ func (w *BlockedWeb) splitBlock(bn *bnode, bi int, op *sim.Op) {
 	copy(bn.blockSizes[bi+2:], bn.blockSizes[bi+1:])
 	bn.blockSizes[bi+1] = moved
 	bn.blockSizes[bi] = half
-	oldHost := bn.blockHosts[bi]
-	// Move the ranges and their co-located stratum copies: roughly two
-	// storage units per moved range on each side, one message per moved
-	// range (amortized against the inserts that grew the block).
-	w.net.AddStorage(oldHost, -2*moved)
-	w.net.AddStorage(newHost, 2*moved)
+	for _, n := range members {
+		w.spanRanges(n, medKey, hi, hasHi, func(r RangeID) {
+			w.chargeRangeStorage(n, r, 1)
+		})
+	}
+	// One message per moved range (amortized against the inserts that
+	// grew the block).
 	for i := 0; i < moved; i++ {
 		op.Send(newHost)
+	}
+}
+
+// spanRanges visits, in member n, the ranges whose storage footprint
+// depends on the directory's treatment of the key span [lo, hi): the
+// predecessor of the first range with key >= lo (its boundary copy may
+// appear, vanish, or move host) followed by every range with key in
+// [lo, hi). hasHi=false means the span extends to +inf. Both splitBlock
+// and retargetBlocks use it to keep their exact storage transfers
+// O(span) instead of O(stratum).
+func (w *BlockedWeb) spanRanges(n *bnode, lo, hi uint64, hasHi bool, visit func(RangeID)) {
+	r := n.lvl.Locate(lo) // floor: the last range with key <= lo
+	if !n.lvl.IsHead(r) && n.lvl.Key(r) == lo {
+		r = n.lvl.Prev(r)
+	}
+	for ; r != NoRange; r = n.lvl.Next(r) {
+		if hasHi && !n.lvl.IsHead(r) && n.lvl.Key(r) >= hi {
+			return
+		}
+		visit(r)
 	}
 }
 
@@ -522,14 +602,23 @@ func (w *BlockedWeb) Delete(key uint64, origin sim.HostID) (int, error) {
 	}
 	for i := len(path) - 1; i >= 0; i-- {
 		n := path[i]
-		dead, _, err := n.lvl.DeleteKey(key)
-		if err != nil {
+		// Discharge before the unsplice, while the dying range's key and
+		// neighbors are still readable: its primary copy and straddle,
+		// plus the predecessor's straddle for the old pair (pred, r) —
+		// the pair (pred, next-of-r) is recharged after the delete. This
+		// keeps per-host storage exact (Leave asserts exact drains).
+		r, ok := n.lvl.ByKey(key)
+		if !ok {
+			return op.Hops(), fmt.Errorf("core: key %d missing from level at depth %d", key, n.depth)
+		}
+		pred, nx := n.lvl.Prev(r), n.lvl.Next(r)
+		w.chargeRangeStorage(n, r, -1)
+		w.straddleCopy(n, pred, r, -1)
+		if _, _, err := n.lvl.DeleteKey(key); err != nil {
 			return op.Hops(), err
 		}
-		_ = dead
+		w.straddleCopy(n, pred, nx, 1)
 		n.count--
-		// Storage: the range and its hyperlink leave the primary host.
-		w.net.AddStorage(w.hostFor(n, key), -2)
 		w.chargeOnce(w.hostFor(n, key), op)
 		if n.base == n {
 			bi := w.blockIndex(n, key)
@@ -598,9 +687,144 @@ func (w *BlockedWeb) mergeSubtree(n *bnode, op *sim.Op) {
 	}
 }
 
+// retargetBlocks reassigns block hosts across the whole hierarchy:
+// decide(h) returns the replacement host for a block currently at h (ok
+// = false keeps it). Storage moves exactly — every range's primary copy
+// (2 units) and boundary-straddling copy (1 unit) is discharged under
+// the old directory and recharged under the new one — and one message
+// per moved storage unit is charged to op. Iteration is deterministic
+// (basic nodes in DFS order, blocks ascending), so a fixed seed yields a
+// fixed migration transcript.
+func (w *BlockedWeb) retargetBlocks(decide func(sim.HostID) (sim.HostID, bool), op *sim.Op) {
+	// Basic nodes in DFS order; each one's blocks co-locate the ranges
+	// of its whole stratum.
+	var basics []*bnode
+	var rec func(n *bnode)
+	rec = func(n *bnode) {
+		if n == nil {
+			return
+		}
+		if n.base == n {
+			basics = append(basics, n)
+		}
+		rec(n.kids[0])
+		rec(n.kids[1])
+	}
+	rec(w.root)
+	for _, bn := range basics {
+		moved := make([]bool, len(bn.blockHosts))
+		next := make([]sim.HostID, len(bn.blockHosts))
+		any := false
+		for bi, h := range bn.blockHosts {
+			if nh, ok := decide(h); ok && nh != h {
+				moved[bi], next[bi], any = true, nh, true
+			}
+		}
+		if !any {
+			continue
+		}
+		// Only blocks change hosts, never interval boundaries, so a
+		// range's footprint can move only when its own key — or its
+		// successor's, for the straddle copy — lies in a moved block.
+		// Visit exactly those: the maximal runs of consecutive moved
+		// blocks (merged so a shared boundary range is not transferred
+		// twice), each with its one predecessor range — O(moved blocks),
+		// not O(stratum).
+		type span struct {
+			lo, hi uint64
+			hasHi  bool
+		}
+		var runs []span
+		for bi := 0; bi < len(moved); bi++ {
+			if !moved[bi] {
+				continue
+			}
+			end := bi
+			for end+1 < len(moved) && moved[end+1] {
+				end++
+			}
+			s := span{lo: bn.blockStarts[bi], hasHi: end+1 < len(bn.blockStarts)}
+			if s.hasHi {
+				s.hi = bn.blockStarts[end+1]
+			}
+			runs = append(runs, s)
+			bi = end
+		}
+		// Visits ascend within a member, so a later run's predecessor can
+		// only repeat the member's most recent visit (when the member has
+		// no range in the gap between runs); the `last` cursor skips that
+		// one possible duplicate so no range transfers twice.
+		members := w.stratumMembers(bn)
+		forEachSpanRange := func(n *bnode, visit func(RangeID)) {
+			last := NoRange
+			for _, s := range runs {
+				w.spanRanges(n, s.lo, s.hi, s.hasHi, func(r RangeID) {
+					if r == last {
+						return
+					}
+					last = r
+					visit(r)
+				})
+			}
+		}
+		for _, n := range members {
+			forEachSpanRange(n, func(r RangeID) {
+				w.chargeRangeStorage(n, r, -1)
+			})
+		}
+		for bi := range moved {
+			if moved[bi] {
+				bn.blockHosts[bi] = next[bi]
+			}
+		}
+		for _, n := range members {
+			forEachSpanRange(n, func(r RangeID) {
+				w.chargeRangeStorage(n, r, 1)
+				k := w.rangeKey(n, r)
+				bi := w.blockIndex(bn, k)
+				if moved[bi] {
+					op.Send(bn.blockHosts[bi]) // the range...
+					op.Send(bn.blockHosts[bi]) // ...and its hyperlink
+				}
+				if nx := n.lvl.Next(r); nx != NoRange {
+					if bj := w.blockIndex(bn, n.lvl.Key(nx)); bj != bi && moved[bj] {
+						op.Send(bn.blockHosts[bj]) // the straddling copy
+					}
+				}
+			})
+		}
+	}
+}
+
+// Rehome migrates every block hosted on the departed host `from` onto
+// the next live hosts in round-robin order, charging one message per
+// moved storage unit to op.
+func (w *BlockedWeb) Rehome(from sim.HostID, op *sim.Op) {
+	w.retargetBlocks(func(h sim.HostID) (sim.HostID, bool) {
+		if h != from {
+			return 0, false
+		}
+		return w.nextHost(), true
+	}, op)
+}
+
+// Rebalance moves each block independently onto the freshly joined host
+// `onto` with probability 1/LiveHosts — the expected 1/H share of every
+// basic node's directory a from-scratch build over the enlarged live set
+// would assign it — charging every migration hop to op.
+func (w *BlockedWeb) Rebalance(onto sim.HostID, op *sim.Op) {
+	live := w.net.LiveHosts()
+	w.retargetBlocks(func(h sim.HostID) (sim.HostID, bool) {
+		if h != onto && w.rng.Intn(live) == 0 {
+			return onto, true
+		}
+		return 0, false
+	}, op)
+}
+
 // CheckInvariants verifies that every level's list is sound, child key
-// sets partition their parent's, counts match, and block directories are
-// ordered.
+// sets partition their parent's, counts match, block directories are
+// ordered, and every block lives on a live host.
 func (w *BlockedWeb) CheckInvariants() error {
 	var rec func(n *bnode) error
 	rec = func(n *bnode) error {
@@ -614,6 +838,11 @@ func (w *BlockedWeb) CheckInvariants() error {
 			for i := 1; i < len(n.blockStarts); i++ {
 				if n.blockStarts[i] <= n.blockStarts[i-1] && i > 1 {
 					return fmt.Errorf("depth %d: block starts out of order", n.depth)
+				}
+			}
+			for bi, h := range n.blockHosts {
+				if !w.net.Alive(h) {
+					return fmt.Errorf("depth %d: block %d on departed host %d", n.depth, bi, h)
 				}
 			}
 		}
@@ -686,7 +915,7 @@ func NewBucketWeb(net *sim.Network, keys []uint64, target, m int, seed uint64) (
 		wb := &wbucket{
 			min:  sorted[start],
 			keys: append([]uint64(nil), sorted[start:end]...),
-			host: sim.HostID(hostSeq % net.Hosts()),
+			host: net.LiveAt(hostSeq % net.LiveHosts()),
 		}
 		hostSeq++
 		b.buckets[wb.min] = wb
@@ -787,7 +1016,7 @@ func (b *BucketWeb) Insert(key uint64, origin sim.HostID) (int, error) {
 		mid := len(wb.keys) / 2
 		upper := append([]uint64(nil), wb.keys[mid:]...)
 		wb.keys = wb.keys[:mid]
-		nb := &wbucket{min: upper[0], keys: upper, host: sim.HostID(int(wb.host+1) % b.net.Hosts())}
+		nb := &wbucket{min: upper[0], keys: upper, host: b.net.NextLive(wb.host)}
 		b.buckets[nb.min] = nb
 		b.net.AddStorage(wb.host, -len(upper))
 		b.net.AddStorage(nb.host, len(upper))
@@ -832,6 +1061,89 @@ func (b *BucketWeb) Range(lo, hi uint64, origin sim.HostID) ([]uint64, int) {
 		r = ground.Next(r)
 	}
 	return out, hops
+}
+
+// sortedBuckets returns the buckets in ascending separator order — the
+// deterministic iteration order churn migration uses.
+func (b *BucketWeb) sortedBuckets() []*wbucket {
+	mins := make([]uint64, 0, len(b.buckets))
+	for m := range b.buckets {
+		mins = append(mins, m)
+	}
+	sort.Slice(mins, func(i, j int) bool { return mins[i] < mins[j] })
+	out := make([]*wbucket, len(mins))
+	for i, m := range mins {
+		out[i] = b.buckets[m]
+	}
+	return out
+}
+
+// moveBucket migrates a bucket's key payload to host `to`, one message
+// per key moved.
+func (b *BucketWeb) moveBucket(wb *wbucket, to sim.HostID, op *sim.Op) {
+	if to == wb.host {
+		return
+	}
+	b.net.AddStorage(wb.host, -len(wb.keys))
+	b.net.AddStorage(to, len(wb.keys))
+	wb.host = to
+	for range wb.keys {
+		op.Send(to)
+	}
+}
+
+// Rehome migrates the separator routing web off the departed host `from`
+// and moves every bucket it hosted (n/H keys each) to the next live
+// hosts, charging one message per key moved.
+func (b *BucketWeb) Rehome(from sim.HostID, op *sim.Op) {
+	b.web.Rehome(from, op)
+	for _, wb := range b.sortedBuckets() {
+		if wb.host == from {
+			b.moveBucket(wb, b.web.nextHost(), op)
+		}
+	}
+}
+
+// Rebalance hands the freshly joined host `onto` its expected 1/H share
+// of the routing web and of the buckets, charging every migration hop.
+func (b *BucketWeb) Rebalance(onto sim.HostID, op *sim.Op) {
+	b.web.Rebalance(onto, op)
+	live := b.net.LiveHosts()
+	for _, wb := range b.sortedBuckets() {
+		if wb.host != onto && b.web.rng.Intn(live) == 0 {
+			b.moveBucket(wb, onto, op)
+		}
+	}
+}
+
+// CheckInvariants verifies the separator web, that every bucket is keyed
+// by its separator, sorted, hosted on a live host, and that separators
+// in the ground list and buckets correspond one to one.
+func (b *BucketWeb) CheckInvariants() error {
+	if err := b.web.CheckInvariants(); err != nil {
+		return err
+	}
+	ground := b.web.Ground()
+	for min, wb := range b.buckets {
+		if wb.min != min {
+			return fmt.Errorf("bucket keyed %d has min %d", min, wb.min)
+		}
+		if !b.net.Alive(wb.host) {
+			return fmt.Errorf("bucket %d on departed host %d", min, wb.host)
+		}
+		for i := 1; i < len(wb.keys); i++ {
+			if wb.keys[i] <= wb.keys[i-1] {
+				return fmt.Errorf("bucket %d keys out of order", min)
+			}
+		}
+		if _, ok := ground.ByKey(min); !ok {
+			return fmt.Errorf("bucket separator %d missing from routing web", min)
+		}
+	}
+	if ground.Len() != len(b.buckets) {
+		return fmt.Errorf("routing web holds %d separators for %d buckets", ground.Len(), len(b.buckets))
+	}
+	return nil
 }
 
 // Delete routes to the bucket and removes the key (separators persist,

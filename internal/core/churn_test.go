@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/skipwebs/skipwebs/internal/sim"
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// hostDrained asserts that host h holds no storage after a rehome.
+func hostDrained(t *testing.T, net *sim.Network, h sim.HostID) {
+	t.Helper()
+	if got := net.Storage(h); got != 0 {
+		t.Fatalf("host %d still holds %d storage units after rehome", h, got)
+	}
+}
+
+func TestWebRehomeDrainsDepartedHost(t *testing.T) {
+	rng := xrand.New(7)
+	keys := distinctKeys(rng, 300, 1<<40)
+	net := sim.NewNetwork(16)
+	w, err := NewWeb[*ListLevel, uint64, uint64](ListOps{}, net, keys, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := net.TotalMessages()
+	victim := sim.HostID(5)
+	if net.Storage(victim) == 0 {
+		t.Fatalf("victim host %d holds no storage; pick another seed", victim)
+	}
+	net.RemoveHost(victim)
+	op := net.NewOp(victim)
+	w.Rehome(victim, op)
+	op.Free()
+	hostDrained(t, net, victim)
+	if net.TotalMessages() == before {
+		t.Fatal("rehome charged no migration messages")
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after rehome: %v", err)
+	}
+	// Every key still reachable by a routed query from a live origin.
+	g := w.GroundStructure()
+	for i, k := range keys {
+		res, err := w.Query(k, net.LiveAt(i%net.LiveHosts()))
+		if err != nil {
+			t.Fatalf("query %d after rehome: %v", k, err)
+		}
+		if g.IsHead(res.Range) || g.Key(res.Range) != k {
+			t.Fatalf("key %d lost after rehome", k)
+		}
+	}
+}
+
+func TestWebRebalanceMovesShareToJoiner(t *testing.T) {
+	rng := xrand.New(9)
+	keys := distinctKeys(rng, 400, 1<<40)
+	net := sim.NewNetwork(8)
+	w, err := NewWeb[*ListLevel, uint64, uint64](ListOps{}, net, keys, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := net.AddHost()
+	op := net.NewOp(h)
+	w.Rebalance(h, op)
+	op.Free()
+	if net.Storage(h) == 0 {
+		t.Fatal("joiner received no storage from rebalance")
+	}
+	// The joiner's share should be in the ballpark of 1/H of the mean.
+	mean := net.Snapshot().MeanStorage
+	if got := float64(net.Storage(h)); got > 3*mean {
+		t.Fatalf("joiner over-loaded: %v vs mean %v", got, mean)
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after rebalance: %v", err)
+	}
+}
+
+func TestBlockedWebChurn(t *testing.T) {
+	rng := xrand.New(11)
+	keys := distinctKeys(rng, 600, 1<<40)
+	net := sim.NewNetwork(12)
+	w, err := NewBlockedWeb(net, keys, BlockedConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leave: every block off the victim, storage drained exactly.
+	victim := sim.HostID(3)
+	net.RemoveHost(victim)
+	op := net.NewOp(victim)
+	w.Rehome(victim, op)
+	if net.Storage(victim) != 0 {
+		t.Fatalf("victim still holds %d units", net.Storage(victim))
+	}
+	if op.Hops() == 0 {
+		t.Fatal("block migration charged no messages")
+	}
+	op.Free()
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after rehome: %v", err)
+	}
+	// Join: the newcomer picks up blocks.
+	h := net.AddHost()
+	op = net.NewOp(h)
+	w.Rebalance(h, op)
+	op.Free()
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after rebalance: %v", err)
+	}
+	// Queries still exact after both events.
+	for i, k := range keys {
+		got, ok, _ := w.Query(k, net.LiveAt(i%net.LiveHosts()))
+		if !ok || got != k {
+			t.Fatalf("key %d lost after churn (got %d, %v)", k, got, ok)
+		}
+	}
+}
+
+func TestBucketWebHostChurn(t *testing.T) {
+	rng := xrand.New(13)
+	keys := distinctKeys(rng, 500, 1<<40)
+	net := sim.NewNetwork(10)
+	b, err := NewBucketWeb(net, keys, 16, 0, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatalf("fresh invariants: %v", err)
+	}
+	victim := sim.HostID(4)
+	net.RemoveHost(victim)
+	op := net.NewOp(victim)
+	b.Rehome(victim, op)
+	op.Free()
+	if net.Storage(victim) != 0 {
+		t.Fatalf("victim still holds %d units", net.Storage(victim))
+	}
+	h := net.AddHost()
+	op = net.NewOp(h)
+	b.Rebalance(h, op)
+	op.Free()
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after churn: %v", err)
+	}
+	for i, k := range keys {
+		got, ok, _ := b.Query(k, net.LiveAt(i%net.LiveHosts()))
+		if !ok || got != k {
+			t.Fatalf("key %d lost after churn (got %d, %v)", k, got, ok)
+		}
+	}
+}
+
+// TestWebRehomeDeterministic pins that a fixed seed yields a fixed
+// migration transcript: two identical webs rehomed the same way charge
+// identical message counts and leave identical placements.
+func TestWebRehomeDeterministic(t *testing.T) {
+	build := func() (int, int64) {
+		rng := xrand.New(21)
+		keys := distinctKeys(rng, 200, 1<<40)
+		net := sim.NewNetwork(8)
+		w, err := NewWeb[*ListLevel, uint64, uint64](ListOps{}, net, keys, Config{Seed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.RemoveHost(2)
+		op := net.NewOp(2)
+		defer op.Free()
+		w.Rehome(2, op)
+		return op.Hops(), net.TotalMessages()
+	}
+	h1, m1 := build()
+	h2, m2 := build()
+	if h1 != h2 || m1 != m2 {
+		t.Fatalf("rehome not deterministic: (%d,%d) vs (%d,%d)", h1, m1, h2, m2)
+	}
+}

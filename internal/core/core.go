@@ -101,6 +101,15 @@ type Ops[L, T, Q any] interface {
 	// single identical range (nested families) or the conflict list
 	// (flat families). It is called at build and update time.
 	Anchors(child, parent L, r RangeID) ([]RangeID, error)
+	// Payload reports the storage units range r of l occupies at its
+	// host beyond the engine-owned hyperlink pointers — the data a
+	// host-churn migration must physically move. The engine charges
+	// Payload(l, r) units when placing r and moves them, one message per
+	// unit, when Rehome or Rebalance reassigns r to a new host.
+	// Implementations must be pure in l's mutable state: Payload is also
+	// consulted while releasing a range that the structural delete has
+	// already unspliced.
+	Payload(l L, r RangeID) int
 	// ChildTerminal derives the terminal range of child containing q
 	// from the terminal tp of parent containing q, walking locally and
 	// incrementing *steps once per host-visible hop.
@@ -330,17 +339,25 @@ func (w *Web[L, T, Q]) refreshRangeCache(n *setNode) {
 	n.rangeCache = buf
 }
 
-// placeRange assigns range r of node n to a host and charges storage.
+// pickHost draws a uniformly random live host. With no churn the live
+// set is 0..H-1, so the draw consumes the same randomness as the
+// pre-churn rng.Intn(Hosts()) and placement stays seed-compatible.
+func (w *Web[L, T, Q]) pickHost() sim.HostID {
+	return w.net.LiveAt(w.rng.Intn(w.net.LiveHosts()))
+}
+
+// placeRange assigns range r of node n to a live host and charges its
+// payload as storage.
 func (w *Web[L, T, Q]) placeRange(n *setNode, r RangeID) {
-	h := sim.HostID(w.rng.Intn(w.net.Hosts()))
+	h := w.pickHost()
 	n.hosts[r] = h
-	w.net.AddStorage(h, 1)
+	w.net.AddStorage(h, w.ops.Payload(w.structOf(n), r))
 }
 
 // dropRange releases range r of node n: storage, anchors, backref entries.
 func (w *Web[L, T, Q]) dropRange(n *setNode, r RangeID) {
 	if h, ok := n.hosts[r]; ok {
-		w.net.AddStorage(h, -1-len(n.anchors[r]))
+		w.net.AddStorage(h, -w.ops.Payload(w.structOf(n), r)-len(n.anchors[r]))
 	}
 	if n.parent != nil {
 		for _, a := range n.anchors[r] {
@@ -941,6 +958,77 @@ func (w *Web[L, T, Q]) removeLeaf(n *setNode) {
 	}
 }
 
+// walkNodes visits every set-tree node in deterministic DFS order
+// (node, kids[0], kids[1]) — the iteration order all churn migration
+// uses, so a fixed seed yields a fixed migration transcript.
+func (w *Web[L, T, Q]) walkNodes(visit func(*setNode)) {
+	var rec func(*setNode)
+	rec = func(n *setNode) {
+		if n == nil {
+			return
+		}
+		visit(n)
+		rec(n.kids[0])
+		rec(n.kids[1])
+	}
+	rec(w.root)
+}
+
+// moveRange migrates range r of node n to host `to`: its payload and
+// hyperlink pointers transfer as storage, one message is charged per
+// unit moved, and every child range anchored at r is sent one
+// address-update message (children dereference r by host when routing).
+func (w *Web[L, T, Q]) moveRange(n *setNode, r RangeID, to sim.HostID, op *sim.Op) {
+	from := n.hosts[r]
+	if to == from {
+		return
+	}
+	units := w.ops.Payload(w.structOf(n), r) + len(n.anchors[r])
+	w.net.AddStorage(from, -units)
+	w.net.AddStorage(to, units)
+	n.hosts[r] = to
+	for i := 0; i < units; i++ {
+		op.Send(to)
+	}
+	for _, br := range n.backrefs[r] {
+		op.Send(br.child.hosts[br.r])
+	}
+}
+
+// Rehome migrates every range placed on host `from` — which the network
+// must already have marked departed — onto randomly drawn live hosts,
+// charging each migration hop to op. Cost: one message per storage unit
+// moved plus one per anchored child notified, so a departing host that
+// holds an s-unit share of the structure pays Θ(s) messages, the
+// paper's per-host memory M = O((n/H) log n) in expectation.
+func (w *Web[L, T, Q]) Rehome(from sim.HostID, op *sim.Op) {
+	w.walkNodes(func(n *setNode) {
+		w.ops.VisitRanges(w.structOf(n), func(r RangeID) bool {
+			if n.hosts[r] == from {
+				w.moveRange(n, r, w.pickHost(), op)
+			}
+			return true
+		})
+	})
+}
+
+// Rebalance moves each range independently onto the (freshly joined)
+// host `onto` with probability 1/LiveHosts, restoring the uniform
+// placement distribution a from-scratch build over the enlarged live set
+// would have produced: the joiner picks up an expected 1/H share of
+// every level, and every migration hop is charged to op.
+func (w *Web[L, T, Q]) Rebalance(onto sim.HostID, op *sim.Op) {
+	live := w.net.LiveHosts()
+	w.walkNodes(func(n *setNode) {
+		w.ops.VisitRanges(w.structOf(n), func(r RangeID) bool {
+			if w.rng.Intn(live) == 0 {
+				w.moveRange(n, r, onto, op)
+			}
+			return true
+		})
+	})
+}
+
 // GroundStructure exposes the level-0 structure D(S) (for answer
 // extraction and tests).
 func (w *Web[L, T, Q]) GroundStructure() L { return w.structOf(w.root) }
@@ -990,7 +1078,8 @@ func (w *Web[L, T, Q]) Census() []LevelCensus {
 
 // CheckInvariants verifies the full web: hyperlinks exactly match
 // recomputation, backrefs are symmetric, per-level item counts add up,
-// and every level structure's ranges are placed on hosts.
+// and every level structure's ranges are placed on live hosts — the
+// consistency contract host churn must preserve.
 func (w *Web[L, T, Q]) CheckInvariants() error {
 	var rec func(n *setNode) error
 	rec = func(n *setNode) error {
@@ -1013,8 +1102,12 @@ func (w *Web[L, T, Q]) CheckInvariants() error {
 			}
 		}
 		for _, r := range ranges {
-			if _, ok := n.hosts[r]; !ok {
+			h, ok := n.hosts[r]
+			if !ok {
 				return fmt.Errorf("core: depth %d: range %d unplaced", n.depth, r)
+			}
+			if !w.net.Alive(h) {
+				return fmt.Errorf("core: depth %d: range %d placed on departed host %d", n.depth, r, h)
 			}
 			if n.parent != nil {
 				want, err := w.ops.Anchors(s, w.structOf(n.parent), r)

@@ -55,8 +55,18 @@ type counter struct {
 // so a Cluster may run many operations against a shared Network in
 // parallel without the accounting itself becoming the bottleneck. Totals
 // are summed over hosts on read.
+//
+// Hosts may join and leave after construction (AddHost, RemoveHost).
+// Host IDs are never reused: a departed host keeps its counter slot — so
+// traffic it received stays in the totals and an in-flight Op parked
+// there can still account its remaining hops — but it is excluded from
+// the live set that placement and origin selection draw from. Churn calls
+// are NOT safe concurrently with in-flight operations; callers serialize
+// them behind their own write lock (the public wrapper does).
 type Network struct {
 	hosts    int
+	alive    []bool    // alive[i]: host i has joined and not left
+	live     []HostID  // live host ids, ascending
 	messages []counter // messages delivered to host i
 	storage  []counter // storage units (items, nodes, links, pointers) at host i
 	touches  []counter // operations that touched host i (congestion)
@@ -69,17 +79,83 @@ func NewNetwork(h int) *Network {
 	if h <= 0 {
 		panic(fmt.Sprintf("sim: NewNetwork with non-positive host count %d", h))
 	}
-	return &Network{
+	n := &Network{
 		hosts:    h,
+		alive:    make([]bool, h),
+		live:     make([]HostID, h),
 		messages: make([]counter, h),
 		storage:  make([]counter, h),
 		touches:  make([]counter, h),
 		ops:      make([]counter, h+1),
 	}
+	for i := range n.alive {
+		n.alive[i] = true
+		n.live[i] = HostID(i)
+	}
+	return n
 }
 
-// Hosts returns the number of hosts H.
+// Hosts returns the number of host slots ever created (live plus
+// departed). Valid HostIDs are 0..Hosts()-1; use Alive to distinguish.
 func (n *Network) Hosts() int { return n.hosts }
+
+// LiveHosts returns the number of currently live hosts.
+func (n *Network) LiveHosts() int { return len(n.live) }
+
+// Alive reports whether host h has joined and not departed.
+func (n *Network) Alive(h HostID) bool {
+	return h >= 0 && int(h) < n.hosts && n.alive[h]
+}
+
+// LiveAt returns the i-th live host in ascending HostID order. Before any
+// churn, LiveAt(i) == HostID(i), so modulo-style placement over
+// LiveHosts() is backward compatible with a static network.
+func (n *Network) LiveAt(i int) HostID { return n.live[i] }
+
+// NextLive returns the first live host with id greater than h, wrapping
+// to the smallest live id — the cyclic successor used for round-robin
+// placement across churn.
+func (n *Network) NextLive(h HostID) HostID {
+	i := sort.Search(len(n.live), func(i int) bool { return n.live[i] > h })
+	if i == len(n.live) {
+		i = 0
+	}
+	return n.live[i]
+}
+
+// AddHost adds a fresh host to the network and returns its id. The new
+// host starts with zero storage, traffic, and congestion; ids are never
+// reused, so the id is always Hosts()-1 after the call. AddHost must not
+// run concurrently with in-flight operations (see the Network doc).
+func (n *Network) AddHost() HostID {
+	h := HostID(n.hosts)
+	n.hosts++
+	n.alive = append(n.alive, true)
+	n.live = append(n.live, h) // ids grow monotonically: ascending order kept
+	n.messages = append(n.messages, counter{})
+	n.storage = append(n.storage, counter{})
+	n.touches = append(n.touches, counter{})
+	n.ops = append(n.ops, counter{})
+	return h
+}
+
+// RemoveHost marks host h as departed, excluding it from the live set.
+// Its counter slot is retained: historical traffic stays in the totals
+// and in-flight accounting against it remains valid. The caller is
+// responsible for migrating the host's storage first (the structures'
+// Rehome methods); RemoveHost panics when h is not live or is the last
+// live host, and must not run concurrently with in-flight operations.
+func (n *Network) RemoveHost(h HostID) {
+	if !n.Alive(h) {
+		panic(fmt.Sprintf("sim: RemoveHost(%d): not a live host", h))
+	}
+	if len(n.live) == 1 {
+		panic("sim: RemoveHost would remove the last live host")
+	}
+	n.alive[h] = false
+	i := sort.Search(len(n.live), func(i int) bool { return n.live[i] >= h })
+	n.live = append(n.live[:i], n.live[i+1:]...)
+}
 
 // AddStorage records delta storage units at host h. Structures call this
 // when placing or removing nodes, links, and hyperlink pointers.
@@ -183,7 +259,9 @@ func (o *Op) Hops() int { return o.hops }
 // Current returns the host the operation is currently executing at.
 func (o *Op) Current() HostID { return o.cur }
 
-// Stats is a cross-host summary of a Network's counters.
+// Stats is a cross-host summary of a Network's counters. Hosts, maxima,
+// and means cover the live hosts; the totals additionally include traffic
+// that was delivered to hosts that have since departed.
 type Stats struct {
 	Hosts          int
 	TotalMessages  int64
@@ -199,14 +277,19 @@ type Stats struct {
 // Snapshot summarizes the per-host counters.
 func (n *Network) Snapshot() Stats {
 	s := Stats{
-		Hosts:    n.hosts,
+		Hosts:    len(n.live),
 		TotalOps: n.TotalOps(),
 	}
-	var sumSt, sumTo, sumMs int64
+	var sumSt, sumTo, sumMs int64 // live hosts only: the load profile
+	var allMs int64               // every slot: the traffic total
 	for i := 0; i < n.hosts; i++ {
+		ms := n.messages[i].n.Load()
+		allMs += ms
+		if !n.alive[i] {
+			continue // departed hosts keep history but drop out of the load profile
+		}
 		st := n.storage[i].n.Load()
 		to := n.touches[i].n.Load()
-		ms := n.messages[i].n.Load()
 		sumSt += st
 		sumTo += to
 		sumMs += ms
@@ -220,8 +303,8 @@ func (n *Network) Snapshot() Stats {
 			s.MaxMessages = ms
 		}
 	}
-	h := float64(n.hosts)
-	s.TotalMessages = sumMs
+	h := float64(len(n.live))
+	s.TotalMessages = allMs
 	s.MeanStorage = float64(sumSt) / h
 	s.MeanCongestion = float64(sumTo) / h
 	s.MeanMessages = float64(sumMs) / h
@@ -229,11 +312,11 @@ func (n *Network) Snapshot() Stats {
 }
 
 // StorageQuantiles returns the q-quantiles (e.g. 0.5, 0.99, 1.0) of the
-// per-host storage distribution, in the order requested.
+// per-live-host storage distribution, in the order requested.
 func (n *Network) StorageQuantiles(qs ...float64) []int64 {
-	vals := make([]int64, n.hosts)
-	for i := range vals {
-		vals[i] = n.storage[i].n.Load()
+	vals := make([]int64, 0, len(n.live))
+	for _, h := range n.live {
+		vals = append(vals, n.storage[h].n.Load())
 	}
 	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
 	out := make([]int64, len(qs))
@@ -244,7 +327,7 @@ func (n *Network) StorageQuantiles(qs ...float64) []int64 {
 		if q > 1 {
 			q = 1
 		}
-		idx := int(math.Ceil(q*float64(n.hosts))) - 1
+		idx := int(math.Ceil(q*float64(len(vals)))) - 1
 		if idx < 0 {
 			idx = 0
 		}
@@ -275,6 +358,7 @@ func (n *Network) ResetTraffic() {
 // which is what the batch query engine uses to keep every host busy.
 type Cluster struct {
 	net     *Network
+	mailMu  sync.RWMutex // guards the mail slice header across host churn
 	mail    []*mailbox
 	wg      sync.WaitGroup
 	stopped atomic.Bool
@@ -364,36 +448,91 @@ func goid() uint64 {
 	return id
 }
 
-// NewCluster creates and starts a cluster over net's hosts. Call Stop when
-// done; the Cluster owns one goroutine per host until then.
+// NewCluster creates and starts a cluster over net's hosts (one worker
+// per host slot, including any already-departed slots, whose workers
+// simply idle). Call Stop when done; the Cluster owns one goroutine per
+// host until then.
 func NewCluster(net *Network) *Cluster {
 	c := &Cluster{
 		net:  net,
-		mail: make([]*mailbox, net.Hosts()),
+		mail: make([]*mailbox, 0, net.Hosts()),
 	}
-	for i := range c.mail {
-		m := &mailbox{wake: make(chan struct{}, 1)}
-		c.mail[i] = m
-		c.wg.Add(1)
-		go func(h HostID, m *mailbox) {
-			defer c.wg.Done()
-			g := goid()
-			c.running.Store(g, h)
-			defer c.running.Delete(g)
-			for {
-				t, ok := m.take()
-				if !ok {
-					return
-				}
-				t.fn()
-				if t.done != nil {
-					close(t.done)
-				}
-			}
-		}(HostID(i), m)
+	for i := 0; i < net.Hosts(); i++ {
+		c.spawn(HostID(i))
+		// A slot that departed before the pool started gets its mailbox
+		// closed immediately, so sends to it panic exactly as they would
+		// had the pool been running at departure time.
+		if !net.Alive(HostID(i)) {
+			c.mail[i].close()
+		}
 	}
 	return c
 }
+
+// spawn appends a mailbox for host h and starts its worker goroutine. The
+// caller must hold mailMu (or be the only goroutine with access, as in
+// NewCluster).
+func (c *Cluster) spawn(h HostID) {
+	m := &mailbox{wake: make(chan struct{}, 1)}
+	c.mail = append(c.mail, m)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		g := goid()
+		c.running.Store(g, h)
+		defer c.running.Delete(g)
+		for {
+			t, ok := m.take()
+			if !ok {
+				return
+			}
+			t.fn()
+			if t.done != nil {
+				close(t.done)
+			}
+		}
+	}()
+}
+
+// AddHost starts worker goroutines for every network host slot up to and
+// including h — pairing Network.AddHost with the mailbox spin-up of the
+// new host's actor. It must not be called after Stop, and like Network
+// churn it must be serialized against in-flight batches by the caller.
+func (c *Cluster) AddHost(h HostID) {
+	if c.stopped.Load() {
+		panic("sim: Cluster.AddHost after Stop")
+	}
+	c.mailMu.Lock()
+	defer c.mailMu.Unlock()
+	for HostID(len(c.mail)) <= h {
+		c.spawn(HostID(len(c.mail)))
+	}
+}
+
+// RemoveHost drains and closes host h's mailbox: tasks already enqueued
+// still run, then the worker goroutine exits. Further sends to h panic,
+// matching the network-level rule that departed hosts receive no new
+// work. RemoveHost is idempotent and must be serialized against
+// in-flight batches by the caller.
+func (c *Cluster) RemoveHost(h HostID) {
+	c.mailMu.RLock()
+	m := c.mail[h]
+	c.mailMu.RUnlock()
+	m.close()
+}
+
+// box returns host h's mailbox under the churn lock.
+func (c *Cluster) box(h HostID) *mailbox {
+	c.mailMu.RLock()
+	m := c.mail[h]
+	c.mailMu.RUnlock()
+	return m
+}
+
+// Stopped reports whether Stop has been called. Callers that manage
+// worker lifecycles across host churn use it to skip mailbox work on a
+// stopped cluster instead of panicking.
+func (c *Cluster) Stopped() bool { return c.stopped.Load() }
 
 // onHost reports whether the calling goroutine is host h's worker.
 func (c *Cluster) onHost(h HostID) bool {
@@ -416,8 +555,8 @@ func (c *Cluster) Do(h HostID, fn func()) {
 		return
 	}
 	t := task{fn: fn, done: make(chan struct{})}
-	if !c.mail[h].put(t) {
-		panic("sim: Cluster.Do after Stop")
+	if !c.box(h).put(t) {
+		panic(fmt.Sprintf("sim: Cluster.Do to stopped or departed host %d", h))
 	}
 	<-t.done
 }
@@ -432,8 +571,8 @@ func (c *Cluster) Go(h HostID, fn func()) {
 	if c.stopped.Load() {
 		panic("sim: Cluster.Go after Stop")
 	}
-	if !c.mail[h].put(task{fn: fn}) {
-		panic("sim: Cluster.Go after Stop")
+	if !c.box(h).put(task{fn: fn}) {
+		panic(fmt.Sprintf("sim: Cluster.Go to stopped or departed host %d", h))
 	}
 }
 
@@ -477,7 +616,10 @@ func (c *Cluster) Stop() {
 	if c.stopped.Swap(true) {
 		return
 	}
-	for _, m := range c.mail {
+	c.mailMu.RLock()
+	mail := c.mail
+	c.mailMu.RUnlock()
+	for _, m := range mail {
 		m.close()
 	}
 	c.wg.Wait()

@@ -291,3 +291,170 @@ func TestClusterDoAfterStopPanics(t *testing.T) {
 	}()
 	c.Do(0, func() {})
 }
+
+func TestNetworkChurnLiveTracking(t *testing.T) {
+	n := NewNetwork(4)
+	if n.LiveHosts() != 4 || n.Hosts() != 4 {
+		t.Fatalf("fresh network: live=%d slots=%d", n.LiveHosts(), n.Hosts())
+	}
+	h := n.AddHost()
+	if h != 4 || n.LiveHosts() != 5 || n.Hosts() != 5 {
+		t.Fatalf("AddHost: id=%d live=%d slots=%d", h, n.LiveHosts(), n.Hosts())
+	}
+	n.RemoveHost(2)
+	if n.Alive(2) {
+		t.Fatal("removed host still alive")
+	}
+	if n.LiveHosts() != 4 || n.Hosts() != 5 {
+		t.Fatalf("after remove: live=%d slots=%d", n.LiveHosts(), n.Hosts())
+	}
+	want := []HostID{0, 1, 3, 4}
+	for i, w := range want {
+		if got := n.LiveAt(i); got != w {
+			t.Fatalf("LiveAt(%d) = %d, want %d", i, got, w)
+		}
+	}
+	// NextLive wraps cyclically and skips the departed host.
+	if got := n.NextLive(1); got != 3 {
+		t.Fatalf("NextLive(1) = %d, want 3", got)
+	}
+	if got := n.NextLive(4); got != 0 {
+		t.Fatalf("NextLive(4) = %d, want 0", got)
+	}
+	// Ids are never reused: a new joiner gets a fresh slot.
+	if h2 := n.AddHost(); h2 != 5 {
+		t.Fatalf("AddHost after removal = %d, want 5", h2)
+	}
+}
+
+func TestNetworkRemoveHostPanics(t *testing.T) {
+	n := NewNetwork(2)
+	n.RemoveHost(0)
+	for name, f := range map[string]func(){
+		"remove departed":  func() { n.RemoveHost(0) },
+		"remove last live": func() { n.RemoveHost(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestOpSurvivesHostRemoval covers the churn edge case of removing the
+// host an operation is currently visiting: the departed slot keeps its
+// counters, so the op finishes its route and every hop stays counted.
+func TestOpSurvivesHostRemoval(t *testing.T) {
+	n := NewNetwork(4)
+	op := n.NewOp(0)
+	op.Visit(2) // op is now parked on host 2
+	n.RemoveHost(2)
+	op.Visit(3) // move off the departed host: still one charged message
+	op.Send(2)  // a straggler message to the departed slot stays counted
+	if op.Hops() != 3 {
+		t.Fatalf("hops = %d, want 3", op.Hops())
+	}
+	if n.TotalMessages() != 3 {
+		t.Fatalf("total messages = %d, want 3 (history must include departed hosts)", n.TotalMessages())
+	}
+	s := n.Snapshot()
+	if s.Hosts != 3 {
+		t.Fatalf("snapshot hosts = %d, want 3 live", s.Hosts)
+	}
+}
+
+func TestStorageQuantilesSkipDepartedHosts(t *testing.T) {
+	n := NewNetwork(4)
+	for h := 0; h < 4; h++ {
+		n.AddStorage(HostID(h), (h+1)*10)
+	}
+	n.AddStorage(3, -40) // host 3 drained by migration...
+	n.RemoveHost(3)      // ...and departed
+	qs := n.StorageQuantiles(0.5, 1.0)
+	if qs[0] != 20 || qs[1] != 30 {
+		t.Fatalf("quantiles = %v, want [20 30] over live hosts only", qs)
+	}
+}
+
+// TestClusterHostChurn exercises mailbox spin-up for a joiner and
+// drain-on-departure for a leaver.
+func TestClusterHostChurn(t *testing.T) {
+	n := NewNetwork(2)
+	c := NewCluster(n)
+	defer c.Stop()
+	h := n.AddHost()
+	c.AddHost(h)
+	ran := false
+	c.Do(h, func() { ran = true })
+	if !ran {
+		t.Fatal("task on joined host did not run")
+	}
+	// Tasks enqueued before departure drain; sends after it panic.
+	var mu sync.Mutex
+	count := 0
+	for i := 0; i < 8; i++ {
+		c.Go(1, func() { mu.Lock(); count++; mu.Unlock() })
+	}
+	n.RemoveHost(1)
+	c.RemoveHost(1)
+	c.Do(0, func() {}) // other hosts unaffected
+	deadline := make(chan struct{})
+	go func() {
+		for {
+			mu.Lock()
+			done := count == 8
+			mu.Unlock()
+			if done {
+				close(deadline)
+				return
+			}
+		}
+	}()
+	<-deadline
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Go to departed host did not panic")
+		}
+	}()
+	c.Go(1, func() {})
+}
+
+func TestSnapshotMeansCoverLiveHostsOnly(t *testing.T) {
+	n := NewNetwork(4)
+	op := n.NewOp(0)
+	for i := 0; i < 100; i++ {
+		op.Send(3) // host 3 receives heavy traffic...
+	}
+	op.Send(1)
+	op.Send(2)
+	n.RemoveHost(3) // ...then departs
+	s := n.Snapshot()
+	if s.TotalMessages != 102 {
+		t.Fatalf("total = %d, want 102 (history includes departed hosts)", s.TotalMessages)
+	}
+	if s.MeanMessages != 2.0/3.0 {
+		t.Fatalf("mean messages = %v, want 2/3 (live hosts only)", s.MeanMessages)
+	}
+	if s.MaxMessages != 1 {
+		t.Fatalf("max messages = %d, want 1 (live hosts only)", s.MaxMessages)
+	}
+}
+
+func TestClusterStartedAfterDepartureClosesDeadMailboxes(t *testing.T) {
+	n := NewNetwork(3)
+	n.RemoveHost(1) // departs before the worker pool starts
+	c := NewCluster(n)
+	defer c.Stop()
+	c.Do(0, func() {}) // live hosts work
+	c.Do(2, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Go to pre-departed host did not panic")
+		}
+	}()
+	c.Go(1, func() {})
+}

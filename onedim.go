@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/skipwebs/skipwebs/internal/core"
+	"github.com/skipwebs/skipwebs/internal/sim"
 )
 
 // Options tunes structure construction.
@@ -39,19 +40,25 @@ type OneDim struct {
 }
 
 // NewOneDim builds a general 1-d skip-web over keys (distinct).
+// Construction costs O(n log n) expected storage units spread over the
+// hosts (Theorem 2's memory bound divided among H hosts).
 func NewOneDim(c *Cluster, keys []uint64, opts Options) (*OneDim, error) {
 	w, err := core.NewWeb[*core.ListLevel, uint64, uint64](
 		core.ListOps{}, c.network(), keys, core.Config{Seed: opts.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("skipwebs: %w", err)
 	}
-	return &OneDim{c: c, w: w}, nil
+	d := &OneDim{c: c, w: w}
+	c.attach(d)
+	return d, nil
 }
 
 // Len returns the number of stored keys.
 func (d *OneDim) Len() int { return d.w.Len() }
 
-// Floor answers a nearest-neighbor (floor) query from the given host.
+// Floor answers a nearest-neighbor (floor) query from the given host in
+// O(log n) expected messages (Theorem 2): one hyperlink hop plus an
+// expected O(1) local refinement per level of the hierarchy.
 //
 // The descent is allocation-free in steady state: the accounting Op is
 // pooled, range enumeration uses the core iterator, and all local
@@ -69,7 +76,8 @@ func (d *OneDim) Floor(q uint64, origin HostID) (FloorResult, error) {
 	return FloorResult{Key: g.Key(res.Range), Found: true, Hops: res.Hops}, nil
 }
 
-// Contains reports whether key is stored, with the query's message cost.
+// Contains reports whether key is stored, with the query's message cost
+// — O(log n) expected messages, the same bound as Floor.
 func (d *OneDim) Contains(key uint64, origin HostID) (bool, int, error) {
 	r, err := d.Floor(key, origin)
 	if err != nil {
@@ -78,7 +86,9 @@ func (d *OneDim) Contains(key uint64, origin HostID) (bool, int, error) {
 	return r.Found && r.Key == key, r.Hops, nil
 }
 
-// Insert adds a key, returning the update's message cost.
+// Insert adds a key, returning the update's message cost — O(log n)
+// expected messages (Section 4): a routed query plus an O(1)-message
+// structural change per level of the key's bit path.
 func (d *OneDim) Insert(key uint64, origin HostID) (int, error) {
 	h, err := d.w.Insert(key, origin)
 	if err != nil {
@@ -87,7 +97,9 @@ func (d *OneDim) Insert(key uint64, origin HostID) (int, error) {
 	return h, nil
 }
 
-// Delete removes a key, returning the update's message cost.
+// Delete removes a key, returning the update's message cost — O(log n)
+// expected messages (Section 4), unwound top-down so hyperlink repair
+// always targets live ranges.
 func (d *OneDim) Delete(key uint64, origin HostID) (int, error) {
 	h, err := d.w.Delete(key, origin)
 	if err != nil {
@@ -98,6 +110,17 @@ func (d *OneDim) Delete(key uint64, origin HostID) (int, error) {
 
 // Keys returns the stored keys in ascending order.
 func (d *OneDim) Keys() []uint64 { return d.w.GroundStructure().Keys() }
+
+// rehome and rebalance are the churn hooks Cluster.Leave and
+// Cluster.Join drive (see the migrator contract in skipwebs.go).
+func (d *OneDim) rehome(from HostID, op *sim.Op)    { d.w.Rehome(from, op) }
+func (d *OneDim) rebalance(onto HostID, op *sim.Op) { d.w.Rebalance(onto, op) }
+
+// CheckConsistent verifies the web's invariants: every range placed on
+// a live host, hyperlinks matching recomputation, symmetric backrefs,
+// and per-level counts that add up. Cost: O(n log n) local work, no
+// messages.
+func (d *OneDim) CheckConsistent() error { return d.w.CheckInvariants() }
 
 // FloorBatch answers one floor query per element of qs concurrently (see
 // the batch engine notes in batch.go). Results are in input order.
@@ -134,12 +157,16 @@ type Blocked struct {
 }
 
 // NewBlocked builds the blocked 1-d skip-web over keys (distinct).
+// Construction places O(n log n) expected storage units in blocks of
+// O(M) contiguous ranges, one block per host (Section 2.4.1).
 func NewBlocked(c *Cluster, keys []uint64, opts Options) (*Blocked, error) {
 	w, err := core.NewBlockedWeb(c.network(), keys, core.BlockedConfig{Seed: opts.Seed, M: opts.M})
 	if err != nil {
 		return nil, fmt.Errorf("skipwebs: %w", err)
 	}
-	return &Blocked{c: c, w: w}, nil
+	b := &Blocked{c: c, w: w}
+	c.attach(b)
+	return b, nil
 }
 
 // Len returns the number of stored keys.
@@ -148,8 +175,10 @@ func (b *Blocked) Len() int { return b.w.Len() }
 // M returns the effective memory parameter.
 func (b *Blocked) M() int { return b.w.M() }
 
-// Floor answers a nearest-neighbor (floor) query from the given host.
-// The descent performs no per-query heap allocation (see the package
+// Floor answers a nearest-neighbor (floor) query from the given host in
+// O(log n / log M) expected messages (Theorem 2 with Section 2.4.1
+// blocking): the query pays only when it crosses between strata. The
+// descent performs no per-query heap allocation (see the package
 // README's Performance section).
 func (b *Blocked) Floor(q uint64, origin HostID) (FloorResult, error) {
 	k, ok, hops := b.w.Query(q, origin)
@@ -167,7 +196,9 @@ func (b *Blocked) Range(lo, hi uint64, origin HostID) ([]uint64, int, error) {
 	return keys, hops, nil
 }
 
-// Insert adds a key, returning the update's message cost.
+// Insert adds a key, returning the update's message cost — O(log n /
+// log M) expected messages (Section 4): updates confined to one
+// stratum's co-located copies cost a single message per stratum.
 func (b *Blocked) Insert(key uint64, origin HostID) (int, error) {
 	h, err := b.w.Insert(key, origin)
 	if err != nil {
@@ -176,7 +207,9 @@ func (b *Blocked) Insert(key uint64, origin HostID) (int, error) {
 	return h, nil
 }
 
-// Delete removes a key, returning the update's message cost.
+// Delete removes a key, returning the update's message cost — O(log n /
+// log M) expected messages (Section 4); blocks keep directory slack
+// rather than merging, as the paper amortizes.
 func (b *Blocked) Delete(key uint64, origin HostID) (int, error) {
 	h, err := b.w.Delete(key, origin)
 	if err != nil {
@@ -219,6 +252,18 @@ func (b *Blocked) DeleteBatch(keys []uint64, origins []HostID) ([]int, error) {
 	return runWriteBatch(b.c, keys, origins, b.Delete)
 }
 
+// rehome and rebalance are the churn hooks Cluster.Leave and
+// Cluster.Join drive: whole blocks (and their co-located stratum
+// copies) migrate between hosts, one message per storage unit moved.
+func (b *Blocked) rehome(from HostID, op *sim.Op)    { b.w.Rehome(from, op) }
+func (b *Blocked) rebalance(onto HostID, op *sim.Op) { b.w.Rebalance(onto, op) }
+
+// CheckConsistent verifies the blocked web's invariants: sound level
+// lists, child key sets partitioning their parents', ordered block
+// directories, and every block on a live host. Cost: O(n log n) local
+// work, no messages.
+func (b *Blocked) CheckConsistent() error { return b.w.CheckInvariants() }
+
 // Bucketed is the bucket skip-web (Table 1, last row): H < n hosts, each
 // holding a contiguous run of ~n/H keys, with a blocked skip-web routing
 // over the bucket separators. Queries and updates cost Õ(log_M H)
@@ -238,7 +283,9 @@ func NewBucketed(c *Cluster, keys []uint64, opts Options) (*Bucketed, error) {
 	if err != nil {
 		return nil, fmt.Errorf("skipwebs: %w", err)
 	}
-	return &Bucketed{c: c, w: w}, nil
+	b := &Bucketed{c: c, w: w}
+	c.attach(b)
+	return b, nil
 }
 
 // Len returns the number of stored keys.
@@ -247,7 +294,10 @@ func (b *Bucketed) Len() int { return b.w.Len() }
 // NumBuckets returns the number of buckets.
 func (b *Bucketed) NumBuckets() int { return b.w.NumBuckets() }
 
-// Floor answers a nearest-neighbor (floor) query from the given host.
+// Floor answers a nearest-neighbor (floor) query from the given host in
+// Õ(log_M H) expected messages (Table 1, last row): a routed query over
+// the H bucket separators plus one hop into the bucket — expected
+// constant when M = n^ε.
 func (b *Bucketed) Floor(q uint64, origin HostID) (FloorResult, error) {
 	k, ok, hops := b.w.Query(q, origin)
 	return FloorResult{Key: k, Found: ok, Hops: hops}, nil
@@ -264,7 +314,9 @@ func (b *Bucketed) Range(lo, hi uint64, origin HostID) ([]uint64, int, error) {
 	return keys, hops, nil
 }
 
-// Insert adds a key, returning the update's message cost.
+// Insert adds a key, returning the update's message cost — Õ(log_M H)
+// expected messages: a routed floor query plus one hop into the bucket,
+// with amortized separator insertions on bucket splits.
 func (b *Bucketed) Insert(key uint64, origin HostID) (int, error) {
 	h, err := b.w.Insert(key, origin)
 	if err != nil {
@@ -273,7 +325,9 @@ func (b *Bucketed) Insert(key uint64, origin HostID) (int, error) {
 	return h, nil
 }
 
-// Delete removes a key, returning the update's message cost.
+// Delete removes a key, returning the update's message cost — Õ(log_M
+// H) expected messages; separators persist, as in the bucket skip
+// graph.
 func (b *Bucketed) Delete(key uint64, origin HostID) (int, error) {
 	h, err := b.w.Delete(key, origin)
 	if err != nil {
@@ -315,3 +369,16 @@ func (b *Bucketed) InsertBatch(keys []uint64, origins []HostID) ([]int, error) {
 func (b *Bucketed) DeleteBatch(keys []uint64, origins []HostID) ([]int, error) {
 	return runWriteBatch(b.c, keys, origins, b.Delete)
 }
+
+// rehome and rebalance are the churn hooks Cluster.Leave and
+// Cluster.Join drive: the separator routing web migrates like a blocked
+// web, and each bucket moves as one unit of ~n/H keys, one message per
+// key moved.
+func (b *Bucketed) rehome(from HostID, op *sim.Op)    { b.w.Rehome(from, op) }
+func (b *Bucketed) rebalance(onto HostID, op *sim.Op) { b.w.Rebalance(onto, op) }
+
+// CheckConsistent verifies the separator web's invariants plus the
+// bucket directory: every bucket keyed by its separator, sorted, on a
+// live host, and in one-to-one correspondence with the routing web's
+// ground list. Cost: O(n log n) local work, no messages.
+func (b *Bucketed) CheckConsistent() error { return b.w.CheckInvariants() }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/skipwebs/skipwebs/internal/core"
+	"github.com/skipwebs/skipwebs/internal/sim"
 	"github.com/skipwebs/skipwebs/internal/trapmap"
 )
 
@@ -64,7 +65,9 @@ func NewPlanar(c *Cluster, segments []PlanarSegment, bounds PlanarBounds, opts O
 	if err != nil {
 		return nil, fmt.Errorf("skipwebs: %w", err)
 	}
-	return &Planar{c: c, w: w}, nil
+	p := &Planar{c: c, w: w}
+	c.attach(p)
+	return p, nil
 }
 
 // Len returns the number of segments.
@@ -73,10 +76,12 @@ func (p *Planar) Len() int { return p.w.Len() }
 // NumFaces returns the number of trapezoids in the ground map (3n+1).
 func (p *Planar) NumFaces() int { return p.w.GroundStructure().NumTraps() }
 
-// Locate routes a planar point-location query from the given host. The
-// descent is allocation-free in steady state (pooled accounting Op,
-// counted-loop trapezoid enumeration); only the returned Trapezoid value
-// is materialized per call.
+// Locate routes a planar point-location query from the given host in
+// O(log n) expected messages (Theorem 2 via Lemma 5): one expected-O(1)
+// conflict-list hop per level of the hierarchy. The descent is
+// allocation-free in steady state (pooled accounting Op, counted-loop
+// trapezoid enumeration); only the returned Trapezoid value is
+// materialized per call.
 func (p *Planar) Locate(q PlanarPoint, origin HostID) (Trapezoid, error) {
 	res, err := p.w.Query(trapmap.Point{X: q.X, Y: q.Y}, origin)
 	if err != nil {
@@ -112,3 +117,16 @@ func (p *Planar) Locate(q PlanarPoint, origin HostID) (Trapezoid, error) {
 func (p *Planar) LocateBatch(qs []PlanarPoint, origins []HostID) ([]Trapezoid, error) {
 	return runReadBatch(p.c, qs, origins, p.Locate)
 }
+
+// rehome and rebalance are the churn hooks Cluster.Leave and
+// Cluster.Join drive. The trapezoid set is static but its placement is
+// not: faces migrate between hosts with their conflict-list hyperlinks,
+// one message per storage unit moved.
+func (p *Planar) rehome(from HostID, op *sim.Op)    { p.w.Rehome(from, op) }
+func (p *Planar) rebalance(onto HostID, op *sim.Op) { p.w.Rebalance(onto, op) }
+
+// CheckConsistent verifies the planar web's invariants: every trapezoid
+// on a live host, conflict-list hyperlinks matching recomputation, and
+// per-level counts that add up. Cost: O(n log n) local work, no
+// messages.
+func (p *Planar) CheckConsistent() error { return p.w.CheckInvariants() }

@@ -6,6 +6,7 @@ import (
 
 	"github.com/skipwebs/skipwebs/internal/core"
 	"github.com/skipwebs/skipwebs/internal/quadtree"
+	"github.com/skipwebs/skipwebs/internal/sim"
 )
 
 // Point is a d-dimensional point with non-negative integer coordinates.
@@ -56,7 +57,9 @@ func NewPoints(c *Cluster, d int, points []Point, opts Options) (*Points, error)
 	if err != nil {
 		return nil, fmt.Errorf("skipwebs: %w", err)
 	}
-	return &Points{c: c, ops: ops, w: w}, nil
+	p := &Points{c: c, ops: ops, w: w}
+	c.attach(p)
+	return p, nil
 }
 
 // Len returns the number of stored points.
@@ -66,7 +69,9 @@ func (p *Points) Len() int { return p.w.Len() }
 // may be Θ(n) for clustered inputs — queries stay O(log n) regardless).
 func (p *Points) TreeDepth() int { return p.w.GroundStructure().Depth() }
 
-// Locate routes a point-location query from the given host.
+// Locate routes a point-location query from the given host in O(log n)
+// expected messages (Theorem 2 via Lemma 3), independent of the tree
+// depth — the skip-web's advantage over walking the quadtree itself.
 func (p *Points) Locate(q Point, origin HostID) (PointLocation, error) {
 	code, err := p.ops.Code(quadtree.Point(q))
 	if err != nil {
@@ -88,7 +93,8 @@ func (p *Points) Locate(q Point, origin HostID) (PointLocation, error) {
 	return loc, nil
 }
 
-// Contains reports whether the exact point is stored.
+// Contains reports whether the exact point is stored — O(log n)
+// expected messages, the same bound as Locate.
 func (p *Points) Contains(q Point, origin HostID) (bool, int, error) {
 	loc, err := p.Locate(q, origin)
 	if err != nil {
@@ -253,7 +259,9 @@ func pointDist(a, b quadtree.Point) uint64 {
 	return sum
 }
 
-// Insert adds a point, returning the update's message cost.
+// Insert adds a point, returning the update's message cost — O(log n)
+// expected messages (Section 4): a routed location plus an
+// O(1)-message cell split per level of the point's bit path.
 func (p *Points) Insert(q Point, origin HostID) (int, error) {
 	h, err := p.w.Insert(quadtree.Point(q), origin)
 	if err != nil {
@@ -262,7 +270,9 @@ func (p *Points) Insert(q Point, origin HostID) (int, error) {
 	return h, nil
 }
 
-// Delete removes a point, returning the update's message cost.
+// Delete removes a point, returning the update's message cost — O(log
+// n) expected messages (Section 4), pruning emptied cells level by
+// level.
 func (p *Points) Delete(q Point, origin HostID) (int, error) {
 	h, err := p.w.Delete(quadtree.Point(q), origin)
 	if err != nil {
@@ -314,3 +324,14 @@ func (p *Points) InsertBatch(qs []Point, origins []HostID) ([]int, error) {
 func (p *Points) DeleteBatch(qs []Point, origins []HostID) ([]int, error) {
 	return runWriteBatch(p.c, qs, origins, p.Delete)
 }
+
+// rehome and rebalance are the churn hooks Cluster.Leave and
+// Cluster.Join drive: quadtree cells migrate between hosts with their
+// hyperlinks, one message per storage unit moved.
+func (p *Points) rehome(from HostID, op *sim.Op)    { p.w.Rehome(from, op) }
+func (p *Points) rebalance(onto HostID, op *sim.Op) { p.w.Rebalance(onto, op) }
+
+// CheckConsistent verifies the point web's invariants: every cell on a
+// live host, hyperlinks matching recomputation, and per-level counts
+// that add up. Cost: O(n log n) local work, no messages.
+func (p *Points) CheckConsistent() error { return p.w.CheckInvariants() }

@@ -28,13 +28,26 @@
 package skipwebs
 
 import (
+	"fmt"
 	"sync"
 
 	"github.com/skipwebs/skipwebs/internal/sim"
 )
 
-// HostID identifies a host in a Cluster.
+// HostID identifies a host in a Cluster. IDs are never reused: a host
+// that leaves keeps its id (and its place in the traffic history), and a
+// joining host always gets a fresh id.
 type HostID = sim.HostID
+
+// migrator is the churn contract every structure registers with its
+// Cluster at construction: migrate everything off a departing host,
+// pick up a fair share of load for a joining host, and verify internal
+// consistency. All three run under the cluster's write lock.
+type migrator interface {
+	rehome(from HostID, op *sim.Op)
+	rebalance(onto HostID, op *sim.Op)
+	CheckConsistent() error
+}
 
 // Cluster is a failure-free peer-to-peer network of hosts with message,
 // storage, and congestion accounting. All structures attached to a
@@ -53,9 +66,14 @@ type Cluster struct {
 
 	// mu is the single-writer/many-reader lock over every structure
 	// attached to this cluster: read batches hold RLock, update batches
-	// hold Lock. Synchronous (non-batch) calls are not locked; do not run
-	// them concurrently with batches.
+	// and churn events (Join, Leave) hold Lock. Synchronous (non-batch)
+	// calls are not locked; do not run them concurrently with batches or
+	// churn.
 	mu sync.RWMutex
+
+	// structs are the attached structures, in construction order; churn
+	// migrates each in turn.
+	structs []migrator
 
 	workersOnce sync.Once
 	workers     *sim.Cluster
@@ -66,8 +84,123 @@ func NewCluster(h int) *Cluster {
 	return &Cluster{net: sim.NewNetwork(h)}
 }
 
-// Hosts returns the number of hosts.
-func (c *Cluster) Hosts() int { return c.net.Hosts() }
+// Hosts returns the number of live hosts. Like every accessor that
+// reads the host set, it takes the cluster's read lock so it is safe
+// against concurrent Join/Leave.
+func (c *Cluster) Hosts() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.LiveHosts()
+}
+
+// HostAt returns the i-th live host in ascending id order (i taken
+// modulo the live count) — the churn-safe way to choose an origin host,
+// since after a Leave the live ids are no longer contiguous. Before any
+// churn, HostAt(i) == HostID(i).
+func (c *Cluster) HostAt(i int) HostID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	i %= c.net.LiveHosts()
+	if i < 0 {
+		i += c.net.LiveHosts()
+	}
+	return c.net.LiveAt(i)
+}
+
+// StorageQuantiles returns the q-quantiles (e.g. 0.5, 0.99, 1.0) of the
+// per-live-host storage distribution, in the order requested — the load
+// profile churn rebalancing is judged by.
+func (c *Cluster) StorageQuantiles(qs ...float64) []int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.StorageQuantiles(qs...)
+}
+
+// attach registers a structure for churn migration and consistency
+// checking. Every structure constructor calls it.
+func (c *Cluster) attach(m migrator) {
+	c.mu.Lock()
+	c.structs = append(c.structs, m)
+	c.mu.Unlock()
+}
+
+// Join adds a fresh host to the cluster and returns its id. Every
+// attached structure rebalances an expected 1/H share of its load onto
+// the joiner, with each migration hop charged to the network — so churn
+// cost is measurable in Stats exactly like query cost. Expected
+// migration traffic is O(S/H) messages for S total storage units.
+// Join blocks until in-flight batches drain (it takes the write lock).
+func (c *Cluster) Join() HostID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.net.AddHost()
+	// After Close the worker pool is stopped but synchronous calls —
+	// including churn — remain valid: the joiner simply gets no mailbox
+	// (batches after Close panic anyway).
+	if c.workers != nil && !c.workers.Stopped() {
+		c.workers.AddHost(h)
+	}
+	op := c.net.NewOp(h)
+	defer op.Free()
+	for _, s := range c.structs {
+		s.rebalance(h, op)
+	}
+	return h
+}
+
+// Leave removes host h from the cluster after migrating every node,
+// block, and bucket it stores onto surviving hosts — expected O(S/H)
+// messages for S total storage units, all charged to the network. The
+// host's id is retired, never reused. Leave fails on a host that is not
+// live and on the last live host, and blocks until in-flight batches
+// drain (it takes the write lock).
+func (c *Cluster) Leave(h HostID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.net.Alive(h) {
+		return fmt.Errorf("skipwebs: host %d is not a live host", h)
+	}
+	if c.net.LiveHosts() == 1 {
+		return fmt.Errorf("skipwebs: cannot remove the last live host %d", h)
+	}
+	c.net.RemoveHost(h)
+	op := c.net.NewOp(h)
+	defer op.Free()
+	for _, s := range c.structs {
+		s.rehome(h, op)
+	}
+	// Complete the teardown (mailbox drained and closed) before the
+	// drain audit below, so even its failure path leaves no half-applied
+	// churn state behind. The worker guard matches Join: after Close
+	// there is no mailbox, and a host that joined post-Close never had
+	// one.
+	if c.workers != nil && !c.workers.Stopped() {
+		c.workers.RemoveHost(h)
+	}
+	// A non-zero residual means a structure's storage accounting is
+	// broken, not that the caller misused the API: the departure itself
+	// has fully taken effect, and the error exists to make the
+	// accounting bug loud (the churn tests assert it never fires).
+	if left := c.net.Storage(h); left != 0 {
+		return fmt.Errorf("skipwebs: host %d still holds %d storage units after migration (storage accounting bug)", h, left)
+	}
+	return nil
+}
+
+// CheckConsistent verifies the invariants of every structure attached to
+// the cluster: complete and live host placement, hyperlinks that match
+// recomputation, and per-level item counts that add up. It is the churn
+// acceptance check — after any Join/Leave sequence it must return nil.
+func (c *Cluster) CheckConsistent() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, s := range c.structs {
+		if err := s.CheckConsistent(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Stats summarizes cluster-wide accounting.
 type Stats struct {
@@ -82,6 +215,8 @@ type Stats struct {
 
 // Stats returns the current cluster counters.
 func (c *Cluster) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	s := c.net.Snapshot()
 	return Stats{
 		Hosts:          s.Hosts,
@@ -96,7 +231,11 @@ func (c *Cluster) Stats() Stats {
 
 // ResetTraffic zeroes message and congestion counters while keeping
 // storage, so query traffic can be measured separately from construction.
-func (c *Cluster) ResetTraffic() { c.net.ResetTraffic() }
+func (c *Cluster) ResetTraffic() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.net.ResetTraffic()
+}
 
 // Close stops the per-host worker goroutines backing batch execution,
 // draining any enqueued work first. Batch calls after Close panic;
@@ -104,6 +243,12 @@ func (c *Cluster) ResetTraffic() { c.net.ResetTraffic() }
 // batch was ever run (the worker pool is never started just to be torn
 // down).
 func (c *Cluster) Close() {
+	// Take the write lock so Close serializes with churn: without it, a
+	// concurrent Join could spawn a worker between Stop's mailbox
+	// snapshot and its wait, leaving Stop blocked on a mailbox it never
+	// closed. In-flight batches (read lock) drain before Close proceeds.
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.workersOnce.Do(func() {}) // ensure no pool can start after Close
 	if c.workers != nil {
 		c.workers.Stop()

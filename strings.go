@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/skipwebs/skipwebs/internal/core"
+	"github.com/skipwebs/skipwebs/internal/sim"
 	"github.com/skipwebs/skipwebs/internal/trie"
 )
 
@@ -37,7 +38,9 @@ func NewStrings(c *Cluster, keys []string, opts Options) (*Strings, error) {
 	if err != nil {
 		return nil, fmt.Errorf("skipwebs: %w", err)
 	}
-	return &Strings{c: c, w: w}, nil
+	s := &Strings{c: c, w: w}
+	c.attach(s)
+	return s, nil
 }
 
 // Len returns the number of stored keys.
@@ -46,7 +49,9 @@ func (s *Strings) Len() int { return s.w.Len() }
 // TrieDepth returns the depth of the ground trie.
 func (s *Strings) TrieDepth() int { return s.w.GroundStructure().Depth() }
 
-// Search routes a string search from the given host. The descent itself
+// Search routes a string search from the given host in O(log n)
+// expected messages (Theorem 2 via Lemma 4), independent of the trie
+// depth — long shared prefixes cost nothing extra. The descent itself
 // is allocation-free (pooled accounting Op, iterator-based range
 // enumeration); only the returned location's locus string is shared with
 // the ground trie, never copied.
@@ -66,7 +71,8 @@ func (s *Strings) Search(q string, origin HostID) (StringLocation, error) {
 	}, nil
 }
 
-// Contains reports whether the exact key is stored.
+// Contains reports whether the exact key is stored — O(log n) expected
+// messages, the same bound as Search.
 func (s *Strings) Contains(q string, origin HostID) (bool, int, error) {
 	loc, err := s.Search(q, origin)
 	if err != nil {
@@ -98,7 +104,9 @@ func (s *Strings) PrefixSearch(prefix string, max int, origin HostID) ([]string,
 	return keys, loc.Hops + len(keys), nil
 }
 
-// Insert adds a key, returning the update's message cost.
+// Insert adds a key, returning the update's message cost — O(log n)
+// expected messages (Section 4): a routed search plus an O(1)-message
+// locus change per level of the key's bit path.
 func (s *Strings) Insert(key string, origin HostID) (int, error) {
 	h, err := s.w.Insert(key, origin)
 	if err != nil {
@@ -107,7 +115,9 @@ func (s *Strings) Insert(key string, origin HostID) (int, error) {
 	return h, nil
 }
 
-// Delete removes a key, returning the update's message cost.
+// Delete removes a key, returning the update's message cost — O(log n)
+// expected messages (Section 4), pruning unbranched loci level by
+// level.
 func (s *Strings) Delete(key string, origin HostID) (int, error) {
 	h, err := s.w.Delete(key, origin)
 	if err != nil {
@@ -158,3 +168,14 @@ func (s *Strings) InsertBatch(keys []string, origins []HostID) ([]int, error) {
 func (s *Strings) DeleteBatch(keys []string, origins []HostID) ([]int, error) {
 	return runWriteBatch(s.c, keys, origins, s.Delete)
 }
+
+// rehome and rebalance are the churn hooks Cluster.Leave and
+// Cluster.Join drive: trie loci migrate between hosts with their
+// hyperlinks, one message per storage unit moved.
+func (s *Strings) rehome(from HostID, op *sim.Op)    { s.w.Rehome(from, op) }
+func (s *Strings) rebalance(onto HostID, op *sim.Op) { s.w.Rebalance(onto, op) }
+
+// CheckConsistent verifies the string web's invariants: every locus on
+// a live host, hyperlinks matching recomputation, and per-level counts
+// that add up. Cost: O(n log n) local work, no messages.
+func (s *Strings) CheckConsistent() error { return s.w.CheckInvariants() }
