@@ -108,6 +108,53 @@ func runReadBatch[Q, R any](c *Cluster, qs []Q, origins []HostID, do func(q Q, o
 	return out, errors.Join(errs...)
 }
 
+// runInsertBatchKeys is runWriteBatch specialized for uint64-keyed
+// inserts with a sorted-run fast path. Operations still apply strictly
+// in input order (single writer), but maximal consecutive stretches that
+// share an origin and carry strictly ascending keys are dispatched to
+// the origin's worker as one run instead of one rendezvous per
+// operation, and executed through the structure's run inserter, which
+// shares the uncharged parts of consecutive descents (hyperlink
+// resolutions, index splices). Because execution order and every charged
+// visit are unchanged, per-operation hop counts and the cluster's
+// counters are identical to per-op inserts, counter for counter. Callers
+// that want the fast path to engage should group a batch by origin and
+// sort each group's keys; the default round-robin origins yield runs of
+// length one, which fall back to per-op dispatch.
+func runInsertBatchKeys(c *Cluster, keys []uint64, origins []HostID,
+	do func(k uint64, origin HostID) (int, error),
+	doRun func(ks []uint64, origin HostID, hops []int, errs []error),
+) ([]int, error) {
+	hops := make([]int, len(keys))
+	errs := make([]error, len(keys))
+	// Validation must run under the lock; see runReadBatch.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.checkOrigins(origins); err != nil {
+		return nil, err
+	}
+	if len(keys) == 0 {
+		return hops, nil
+	}
+	cl := c.cluster()
+	for i := 0; i < len(keys); {
+		origin := c.originAt(origins, i)
+		j := i + 1
+		for j < len(keys) && keys[j] > keys[j-1] && c.originAt(origins, j) == origin {
+			j++
+		}
+		if j-i > 1 {
+			i0, j0 := i, j
+			cl.Do(origin, func() { doRun(keys[i0:j0], origin, hops[i0:j0], errs[i0:j0]) })
+		} else {
+			i0 := i
+			cl.Do(origin, func() { hops[i0], errs[i0] = do(keys[i0], origin) })
+		}
+		i = j
+	}
+	return hops, errors.Join(errs...)
+}
+
 // runWriteBatch executes one update per element of xs under the cluster's
 // write lock. Updates apply one at a time (single writer), each on its
 // origin host's worker goroutine; remaining updates still run after one

@@ -138,6 +138,113 @@ func TestInsertDeleteBatchMatchesSync(t *testing.T) {
 	}
 }
 
+// TestInsertBatchSortedRunMatchesSync pins the sorted-run fast path's
+// acceptance property: a batch of strictly ascending keys from a single
+// pinned origin — the shape that engages run dispatch and descent-prefix
+// sharing — must charge exactly the same per-operation hops and cluster
+// counters as the same inserts issued one at a time, for every structure
+// with a run path (Blocked, OneDim, Bucketed). A mixed unsorted batch is
+// re-checked as the control.
+func TestInsertBatchSortedRunMatchesSync(t *testing.T) {
+	const hosts, n, ups = 64, 512, 256
+	type twin struct {
+		name   string
+		ins    func(k uint64, origin HostID) (int, error) // sync twin
+		batch  func(keys []uint64, origins []HostID) ([]int, error)
+		cSync  *Cluster
+		cBatch *Cluster
+	}
+	mk := func(seed uint64) []twin {
+		keys := distinctKeys(xrand.New(seed), n)
+		var tws []twin
+		{
+			cs, cb := NewCluster(hosts), NewCluster(hosts)
+			ws, err := NewBlocked(cs, keys, Options{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wb, err := NewBlocked(cb, keys, Options{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tws = append(tws, twin{"blocked", ws.Insert, wb.InsertBatch, cs, cb})
+		}
+		{
+			cs, cb := NewCluster(hosts), NewCluster(hosts)
+			ws, err := NewOneDim(cs, keys, Options{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wb, err := NewOneDim(cb, keys, Options{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tws = append(tws, twin{"onedim", ws.Insert, wb.InsertBatch, cs, cb})
+		}
+		{
+			cs, cb := NewCluster(hosts), NewCluster(hosts)
+			ws, err := NewBucketed(cs, keys, Options{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wb, err := NewBucketed(cb, keys, Options{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tws = append(tws, twin{"bucketed", ws.Insert, wb.InsertBatch, cs, cb})
+		}
+		return tws
+	}
+
+	check := func(name string, tw twin, ins []uint64, origins []HostID) {
+		t.Helper()
+		tw.cSync.ResetTraffic()
+		want := make([]int, len(ins))
+		for i := range ins {
+			h, err := tw.ins(ins[i], origins[i%len(origins)])
+			if err != nil {
+				t.Fatalf("%s/%s sync insert %d: %v", tw.name, name, i, err)
+			}
+			want[i] = h
+		}
+		tw.cBatch.ResetTraffic()
+		got, err := tw.batch(ins, origins)
+		if err != nil {
+			t.Fatalf("%s/%s batch: %v", tw.name, name, err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s/%s insert %d: batch %d hops, sync %d", tw.name, name, i, got[i], want[i])
+			}
+		}
+		if ss, bs := tw.cSync.Stats(), tw.cBatch.Stats(); ss != bs {
+			t.Fatalf("%s/%s accounting diverged:\n sync  %+v\n batch %+v", tw.name, name, ss, bs)
+		}
+	}
+
+	// Sorted ascending run, single pinned origin: the fast-path shape.
+	rng := xrand.New(99)
+	sorted := make([]uint64, 0, ups)
+	next := uint64(1) << 41
+	for len(sorted) < ups {
+		next += 1 + rng.Uint64n(1<<20)
+		sorted = append(sorted, next)
+	}
+	for _, tw := range mk(31) {
+		check("sorted-run", tw, sorted, []HostID{3})
+	}
+
+	// Unsorted keys over mixed origins: the per-op fallback control.
+	mixed := distinctKeys(xrand.New(41), n+ups)[n:]
+	origins := make([]HostID, ups)
+	for i := range origins {
+		origins[i] = HostID(rng.Intn(hosts))
+	}
+	for _, tw := range mk(41) {
+		check("mixed", tw, mixed, origins)
+	}
+}
+
 // TestBatchAcrossStructures smoke-tests every batch entry point against
 // its synchronous twin on small inputs.
 func TestBatchAcrossStructures(t *testing.T) {

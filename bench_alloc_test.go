@@ -133,6 +133,29 @@ func BenchmarkInsertAllocs(b *testing.B) {
 		}
 		b.ReportMetric(float64(total)/float64(b.N), "msgs/insert")
 	})
+	b.Run("blocked-ascending", func(b *testing.B) {
+		// The sorted-stream regime of the -mode=bench update row: fresh
+		// keys above every stored key, the log-structured fast case.
+		c := NewCluster(256)
+		keys := benchKeys(0)
+		w, err := NewBlocked(c, keys, Options{Seed: 23})
+		if err != nil {
+			b.Fatal(err)
+		}
+		next := uint64(1) << 41
+		total := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			next++
+			h, err := w.Insert(next, HostID(i%256))
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += h
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "msgs/insert")
+	})
 	b.Run("onedim", func(b *testing.B) {
 		c := NewCluster(256)
 		keys := benchKeys(b.N)

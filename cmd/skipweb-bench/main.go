@@ -10,7 +10,7 @@
 //	              [-quick] [-seed N]
 //	              [-hosts H] [-keys N] [-queries Q] [-procs 1,2,4]
 //	              [-churn-rates 0,0.002,0.01,0.04]
-//	              [-json FILE]
+//	              [-json FILE] [-baseline FILE]
 //
 // The default mode runs the paper experiments at the EXPERIMENTS.md
 // scale; -quick runs a reduced sweep for smoke testing. Throughput mode
@@ -75,6 +75,7 @@ func run(args []string, out io.Writer) error {
 	procs := fs.String("procs", "1,2,4", "throughput: comma-separated GOMAXPROCS values")
 	churnRates := fs.String("churn-rates", "0,0.002,0.01,0.04", "churn: comma-separated churn events per operation")
 	jsonPath := fs.String("json", "", "bench/churn: also write results as JSON to this file")
+	baseline := fs.String("baseline", "", "bench: compare allocs/op and msgs/op against the ceilings in this JSON file and fail on regression")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h/-help printed usage; not a failure
@@ -88,7 +89,7 @@ func run(args []string, out io.Writer) error {
 	case "throughput":
 		return runThroughput(out, *hosts, *keyN, *queries, *procs, *seed)
 	case "bench":
-		return runBench(out, *jsonPath, *keyN, *hosts, *seed, *quick)
+		return runBench(out, *jsonPath, *baseline, *keyN, *hosts, *seed, *quick)
 	case "churn":
 		return runChurn(out, *jsonPath, *hosts, *keyN, *queries, *churnRates, *seed, *quick)
 	default:
@@ -147,11 +148,78 @@ func measure(name string, msgs *int64, fn func(b *testing.B)) benchRecord {
 	return rec
 }
 
+// baselineCeiling is one row of the checked-in perf baseline: ceilings
+// on allocs/op and msgs/op for a named benchmark at the CI invocation's
+// scale. A nil ceiling skips that metric.
+type baselineCeiling struct {
+	Name     string   `json:"name"`
+	AllocsOp *float64 `json:"max_allocs_per_op,omitempty"`
+	MsgsOp   *float64 `json:"max_msgs_per_op,omitempty"`
+}
+
+// baselineDoc is the checked-in perf-regression baseline (-baseline).
+type baselineDoc struct {
+	Note     string            `json:"note"`
+	Ceilings []baselineCeiling `json:"ceilings"`
+}
+
+// checkBaseline compares the measured results against the baseline
+// ceilings: a missing benchmark row or an exceeded ceiling is a failure.
+// allocs/op ceilings are exact integers in practice, so they compare
+// directly; msgs/op ceilings carry the tolerance in the committed value.
+func checkBaseline(out io.Writer, doc benchDoc, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base baselineDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	byName := make(map[string]benchRecord, len(doc.Results))
+	for _, r := range doc.Results {
+		byName[r.Name] = r
+	}
+	var failures []string
+	for _, c := range base.Ceilings {
+		r, ok := byName[c.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: benchmark missing from this run (guard erosion)", c.Name))
+			continue
+		}
+		if c.AllocsOp != nil && r.AllocsOp > *c.AllocsOp {
+			failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op exceeds ceiling %.0f", c.Name, r.AllocsOp, *c.AllocsOp))
+		}
+		if c.MsgsOp != nil && r.MsgsOp > *c.MsgsOp {
+			failures = append(failures, fmt.Sprintf("%s: %.2f msgs/op exceeds ceiling %.2f", c.Name, r.MsgsOp, *c.MsgsOp))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(out, "PERF REGRESSION:", f)
+		}
+		return fmt.Errorf("%d perf regression(s) against %s", len(failures), path)
+	}
+	fmt.Fprintf(out, "baseline %s: all %d ceilings hold\n", path, len(base.Ceilings))
+	return nil
+}
+
 // runBench measures the hot-path micro-benchmarks and reports ns/op,
 // allocs/op, ops/sec, and msgs/op. With jsonPath, the results are also
 // written as a JSON document (the repo records PR-over-PR trajectories
-// in files like BENCH_PR2.json).
-func runBench(out io.Writer, jsonPath string, keyN, hosts int, seed uint64, quick bool) error {
+// in files like BENCH_PR4.json); with baselinePath, measured allocs/op
+// and msgs/op are checked against the committed ceilings.
+//
+// Update rows measure the steady state at the configured size: inserts
+// stream fresh ascending keys and the structure is rebuilt fresh —
+// outside the timer — once keyN timed inserts have landed, so the
+// structure size stays within [keyN, 2 keyN); delete rows build over
+// 2 keyN keys and rebuild after keyN timed deletes. (The PR 2 harness
+// let the insert benchmark grow the structure with the iteration count,
+// so its ns/op conflated update cost with structure growth; EXPERIMENTS
+// notes the change.) The -quick flag skips the large-n (262144-key,
+// bulk-loaded) rows and the bulk-vs-sequential construction comparison.
+func runBench(out io.Writer, jsonPath, baselinePath string, keyN, hosts int, seed uint64, quick bool) error {
 	if keyN < 64 {
 		return fmt.Errorf("-keys must be >= 64 for bench mode, got %d", keyN)
 	}
@@ -163,7 +231,7 @@ func runBench(out io.Writer, jsonPath string, keyN, hosts int, seed uint64, quic
 		listN = 10_000
 	}
 	rng := xrand.New(seed)
-	keys := experiments.Keys(rng, keyN, 1<<40)
+	keys := experiments.Keys(rng, 2*keyN, 1<<40)
 	doc := benchDoc{
 		Mode:  "bench",
 		Keys:  keyN,
@@ -174,7 +242,7 @@ func runBench(out io.Writer, jsonPath string, keyN, hosts int, seed uint64, quic
 	}
 	var msgs int64
 
-	// Point-query descent, per structure.
+	// --- Point-query descent, per structure. ---
 	{
 		c := skipwebs.NewCluster(hosts)
 		w, err := skipwebs.NewBlocked(c, keys[:keyN], skipwebs.Options{Seed: seed})
@@ -211,12 +279,38 @@ func runBench(out io.Writer, jsonPath string, keyN, hosts int, seed uint64, quic
 	}
 	{
 		c := skipwebs.NewCluster(hosts)
-		prng := xrand.New(seed + 3)
-		raw := experiments.UniformPoints(prng, 2, keyN, 1<<30)
-		pts := make([]skipwebs.Point, len(raw))
-		for i, p := range raw {
-			pts[i] = skipwebs.Point(p)
+		w, err := skipwebs.NewBucketed(c, keys[:keyN], skipwebs.Options{Seed: seed})
+		if err != nil {
+			return err
 		}
+		qrng := xrand.New(seed + 7)
+		doc.Results = append(doc.Results, measure("query/bucketed-floor", &msgs, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := w.Floor(qrng.Uint64n(1<<40), skipwebs.HostID(i%hosts))
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs += int64(r.Hops)
+			}
+		}))
+	}
+	pointPool := func(prng *xrand.Rand, n int) []skipwebs.Point {
+		seen := make(map[uint64]bool, n)
+		pts := make([]skipwebs.Point, 0, n)
+		for len(pts) < n {
+			p := skipwebs.Point{uint32(prng.Uint64n(1 << 30)), uint32(prng.Uint64n(1 << 30))}
+			code := uint64(p[0])<<31 | uint64(p[1])
+			if !seen[code] {
+				seen[code] = true
+				pts = append(pts, p)
+			}
+		}
+		return pts
+	}
+	{
+		c := skipwebs.NewCluster(hosts)
+		prng := xrand.New(seed + 3)
+		pts := pointPool(prng, keyN)
 		w, err := skipwebs.NewPoints(c, 2, pts, skipwebs.Options{Seed: seed})
 		if err != nil {
 			return err
@@ -255,29 +349,208 @@ func runBench(out io.Writer, jsonPath string, keyN, hosts int, seed uint64, quic
 			}
 		}))
 	}
-
-	// Update climb (blocked web inserts over a fresh key stream).
+	segBounds := skipwebs.PlanarBounds{MinX: -60000, MinY: -60000, MaxX: 60000, MaxY: 60000}
+	segRect := trapmap.Rect{MinX: -60000, MinY: -60000, MaxX: 60000, MaxY: 60000}
+	segN := keyN / 8
+	if segN > 512 {
+		segN = 512
+	}
+	mkSegs := func(srng *xrand.Rand) []skipwebs.PlanarSegment {
+		raw := experiments.DisjointSegments(srng, segN, segRect)
+		segs := make([]skipwebs.PlanarSegment, len(raw))
+		for i, s := range raw {
+			segs[i] = skipwebs.PlanarSegment{
+				A: skipwebs.PlanarPoint{X: s.A.X, Y: s.A.Y},
+				B: skipwebs.PlanarPoint{X: s.B.X, Y: s.B.Y},
+			}
+		}
+		return segs
+	}
 	{
+		srng := xrand.New(seed + 5)
+		segs := mkSegs(srng)
 		c := skipwebs.NewCluster(hosts)
-		w, err := skipwebs.NewBlocked(c, keys[:keyN], skipwebs.Options{Seed: seed})
+		w, err := skipwebs.NewPlanar(c, segs, segBounds, skipwebs.Options{Seed: seed})
 		if err != nil {
 			return err
 		}
-		next := uint64(1) << 41
-		doc.Results = append(doc.Results, measure("update/blocked-insert", &msgs, func(b *testing.B) {
+		doc.Results = append(doc.Results, measure("query/planar-locate", &msgs, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				next++
-				h, err := w.Insert(next, skipwebs.HostID(i%hosts))
+				q := skipwebs.PlanarPoint{
+					X: int64(srng.Uint64n(119998)) - 59999,
+					Y: int64(srng.Uint64n(119998)) - 59999,
+				}
+				loc, err := w.Locate(q, skipwebs.HostID(i%hosts))
 				if err != nil {
 					b.Fatal(err)
 				}
-				msgs += int64(h)
+				msgs += int64(loc.Hops)
 			}
 		}))
 	}
 
-	// Local search: binary-search Locate vs the pre-PR2 head walk, on a
-	// listN-key level (the PR 2 acceptance bar is binary >= 100x walk).
+	// --- Steady-state update rows. ---
+	// steadyUpdate drives one op per iteration from a cyclic schedule of
+	// length keyN; after each full cycle the structure is rebuilt fresh
+	// outside the timer, so the size band never drifts with b.N.
+	steadyUpdate := func(name string, reset func() error, op func(i int) (int, error)) error {
+		var outerErr error
+		doc.Results = append(doc.Results, measure(name, &msgs, func(b *testing.B) {
+			b.StopTimer()
+			if outerErr = reset(); outerErr != nil {
+				b.Fatal(outerErr)
+			}
+			count := 0
+			b.StartTimer()
+			for i := 0; i < b.N; i++ {
+				if count == keyN {
+					b.StopTimer()
+					if outerErr = reset(); outerErr != nil {
+						b.Fatal(outerErr)
+					}
+					count = 0
+					b.StartTimer()
+				}
+				h, err := op(count)
+				if err != nil {
+					outerErr = err
+					b.Fatal(err)
+				}
+				msgs += int64(h)
+				count++
+			}
+		}))
+		return outerErr
+	}
+
+	// The three key-addressed structures share insert/delete schedules:
+	// inserts stream fresh ascending keys above the stored range; deletes
+	// walk a fixed shuffled permutation of the 2 keyN stored keys.
+	delOrder := xrand.New(seed + 6).Perm(keyN)
+	type u64Struct struct {
+		name  string
+		build func(ks []uint64) (ins, del func(uint64, skipwebs.HostID) (int, error), err error)
+	}
+	u64Structs := []u64Struct{
+		{"onedim", func(ks []uint64) (func(uint64, skipwebs.HostID) (int, error), func(uint64, skipwebs.HostID) (int, error), error) {
+			w, err := skipwebs.NewOneDim(skipwebs.NewCluster(hosts), ks, skipwebs.Options{Seed: seed})
+			if err != nil {
+				return nil, nil, err
+			}
+			return w.Insert, w.Delete, nil
+		}},
+		{"blocked", func(ks []uint64) (func(uint64, skipwebs.HostID) (int, error), func(uint64, skipwebs.HostID) (int, error), error) {
+			w, err := skipwebs.NewBlocked(skipwebs.NewCluster(hosts), ks, skipwebs.Options{Seed: seed})
+			if err != nil {
+				return nil, nil, err
+			}
+			return w.Insert, w.Delete, nil
+		}},
+		{"bucketed", func(ks []uint64) (func(uint64, skipwebs.HostID) (int, error), func(uint64, skipwebs.HostID) (int, error), error) {
+			w, err := skipwebs.NewBucketed(skipwebs.NewCluster(hosts), ks, skipwebs.Options{Seed: seed})
+			if err != nil {
+				return nil, nil, err
+			}
+			return w.Insert, w.Delete, nil
+		}},
+	}
+	for _, st := range u64Structs {
+		st := st
+		var ins func(uint64, skipwebs.HostID) (int, error)
+		var next uint64
+		if err := steadyUpdate("update/"+st.name+"-insert", func() error {
+			var err error
+			ins, _, err = st.build(keys[:keyN])
+			next = uint64(1) << 41
+			return err
+		}, func(i int) (int, error) {
+			next++
+			return ins(next, skipwebs.HostID(i%hosts))
+		}); err != nil {
+			return err
+		}
+		var del func(uint64, skipwebs.HostID) (int, error)
+		if err := steadyUpdate("update/"+st.name+"-delete", func() error {
+			var err error
+			_, del, err = st.build(keys)
+			return err
+		}, func(i int) (int, error) {
+			return del(keys[delOrder[i]], skipwebs.HostID(i%hosts))
+		}); err != nil {
+			return err
+		}
+	}
+	{
+		prng := xrand.New(seed + 8)
+		base := pointPool(prng, 2*keyN)
+		fresh := pointPool(xrand.New(seed+9), keyN) // disjoint seed-space is checked at insert time
+		var w *skipwebs.Points
+		if err := steadyUpdate("update/points-insert", func() error {
+			var err error
+			w, err = skipwebs.NewPoints(skipwebs.NewCluster(hosts), 2, base[:keyN], skipwebs.Options{Seed: seed})
+			return err
+		}, func(i int) (int, error) {
+			h, err := w.Insert(fresh[i], skipwebs.HostID(i%hosts))
+			if err != nil {
+				// A fresh point may collide with a base point; skip it.
+				return w.Insert(skipwebs.Point{uint32(prng.Uint64n(1 << 30)), uint32(prng.Uint64n(1 << 30))}, skipwebs.HostID(i%hosts))
+			}
+			return h, nil
+		}); err != nil {
+			return err
+		}
+		if err := steadyUpdate("update/points-delete", func() error {
+			var err error
+			w, err = skipwebs.NewPoints(skipwebs.NewCluster(hosts), 2, base, skipwebs.Options{Seed: seed})
+			return err
+		}, func(i int) (int, error) {
+			return w.Delete(base[delOrder[i]], skipwebs.HostID(i%hosts))
+		}); err != nil {
+			return err
+		}
+	}
+	{
+		srng := xrand.New(seed + 11)
+		base := experiments.UniformStrings(srng, 2*keyN, "acgt", 10, 24)
+		fresh := make([]string, keyN)
+		for i := range fresh {
+			fresh[i] = base[keyN+i] + "x" // distinct: base alphabet has no 'x'
+		}
+		var w *skipwebs.Strings
+		if err := steadyUpdate("update/strings-insert", func() error {
+			var err error
+			w, err = skipwebs.NewStrings(skipwebs.NewCluster(hosts), base[:keyN], skipwebs.Options{Seed: seed})
+			return err
+		}, func(i int) (int, error) {
+			return w.Insert(fresh[i], skipwebs.HostID(i%hosts))
+		}); err != nil {
+			return err
+		}
+		if err := steadyUpdate("update/strings-delete", func() error {
+			var err error
+			w, err = skipwebs.NewStrings(skipwebs.NewCluster(hosts), base, skipwebs.Options{Seed: seed})
+			return err
+		}, func(i int) (int, error) {
+			return w.Delete(base[delOrder[i]], skipwebs.HostID(i%hosts))
+		}); err != nil {
+			return err
+		}
+	}
+	{
+		// Planar is static (Section 4's amortization caveat): its only
+		// "update" is a rebuild, measured per construction.
+		srng := xrand.New(seed + 12)
+		segs := mkSegs(srng)
+		doc.Results = append(doc.Results, measure("build/planar-rebuild", nil, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := skipwebs.NewPlanar(skipwebs.NewCluster(hosts), segs, segBounds, skipwebs.Options{Seed: seed}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	// --- Local search: binary-search Locate vs the pre-PR2 head walk. ---
 	{
 		lrng := xrand.New(seed + 5)
 		lkeys := experiments.Keys(lrng, listN, 1<<40)
@@ -307,7 +580,65 @@ func runBench(out io.Writer, jsonPath string, keyN, hosts int, seed uint64, quic
 		}))
 	}
 
-	fmt.Fprintf(out, "=== B1: hot-path micro-benchmarks (keys=%d hosts=%d list=%d) ===\n", keyN, hosts, listN)
+	// --- Large-n rows: 262144 keys, bulk-loaded (full mode only). ---
+	var bulkBuild, seqBuild time.Duration
+	if !quick {
+		const bigN = 262144
+		bigKeys := experiments.Keys(xrand.New(seed+20), bigN, 1<<40)
+		t0 := time.Now()
+		cBig := skipwebs.NewCluster(hosts)
+		wBig, err := skipwebs.NewBlocked(cBig, bigKeys, skipwebs.Options{Seed: seed})
+		if err != nil {
+			return err
+		}
+		bulkBuild = time.Since(t0)
+		doc.Results = append(doc.Results, benchRecord{
+			Name: "build/blocked-bulk-262144", NsPerOp: float64(bulkBuild.Nanoseconds()),
+			OpsSec: 1 / bulkBuild.Seconds(), N: 1,
+		})
+		qrng := xrand.New(seed + 21)
+		doc.Results = append(doc.Results, measure("query/blocked-floor-262144", &msgs, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := wBig.Floor(qrng.Uint64n(1<<40), skipwebs.HostID(i%hosts))
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs += int64(r.Hops)
+			}
+		}))
+		next := uint64(1) << 41
+		doc.Results = append(doc.Results, measure("update/blocked-insert-262144", &msgs, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				next++
+				h, err := wBig.Insert(next, skipwebs.HostID(i%hosts))
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs += int64(h)
+			}
+		}))
+		// Sequential-insertion construction, the pre-bulk-load baseline:
+		// build over one key, insert the rest one at a time.
+		t1 := time.Now()
+		cSeq := skipwebs.NewCluster(hosts)
+		m := wBig.M()
+		wSeq, err := skipwebs.NewBlocked(cSeq, bigKeys[:1], skipwebs.Options{Seed: seed, M: m})
+		if err != nil {
+			return err
+		}
+		for i := 1; i < bigN; i++ {
+			if _, err := wSeq.Insert(bigKeys[i], skipwebs.HostID(i%hosts)); err != nil {
+				return err
+			}
+		}
+		seqBuild = time.Since(t1)
+		doc.Results = append(doc.Results, benchRecord{
+			Name: "build/blocked-seqinsert-262144", NsPerOp: float64(seqBuild.Nanoseconds()),
+			OpsSec: 1 / seqBuild.Seconds(), N: 1,
+		})
+	}
+
+	fmt.Fprintf(out, "=== B1: hot-path micro-benchmarks (keys=%d hosts=%d list=%d, steady-state updates) ===\n", keyN, hosts, listN)
 	for _, r := range doc.Results {
 		fmt.Fprintf(out, "%-32s %12.1f ns/op %8.0f allocs/op %10.0f ops/sec", r.Name, r.NsPerOp, r.AllocsOp, r.OpsSec)
 		if r.MsgsOp > 0 {
@@ -327,6 +658,10 @@ func runBench(out io.Writer, jsonPath string, keyN, hosts int, seed uint64, quic
 	if binaryNs > 0 {
 		fmt.Fprintf(out, "listlevel locate speedup (walk/binary, %d keys): %.0fx\n", listN, walkNs/binaryNs)
 	}
+	if seqBuild > 0 {
+		fmt.Fprintf(out, "bulk construction speedup at n=262144 (seq-insert/bulk): %.1fx (%v vs %v)\n",
+			float64(seqBuild)/float64(bulkBuild), seqBuild, bulkBuild)
+	}
 
 	if jsonPath != "" {
 		buf, err := json.MarshalIndent(doc, "", "  ")
@@ -338,6 +673,9 @@ func runBench(out io.Writer, jsonPath string, keyN, hosts int, seed uint64, quic
 			return err
 		}
 		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	if baselinePath != "" {
+		return checkBaseline(out, doc, baselinePath)
 	}
 	return nil
 }

@@ -54,6 +54,43 @@ func TestRunBenchJSONSmoke(t *testing.T) {
 	}
 }
 
+func TestCheckBaseline(t *testing.T) {
+	doc := benchDoc{Results: []benchRecord{
+		{Name: "query/x", AllocsOp: 0, MsgsOp: 10},
+		{Name: "update/x", AllocsOp: 2, MsgsOp: 30},
+	}}
+	write := func(body string) string {
+		p := filepath.Join(t.TempDir(), "base.json")
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	var out strings.Builder
+
+	ok := write(`{"ceilings":[
+		{"name":"query/x","max_allocs_per_op":0,"max_msgs_per_op":11},
+		{"name":"update/x","max_allocs_per_op":2,"max_msgs_per_op":33}]}`)
+	if err := checkBaseline(&out, doc, ok); err != nil {
+		t.Fatalf("ceilings that hold reported a regression: %v", err)
+	}
+
+	regress := write(`{"ceilings":[{"name":"update/x","max_allocs_per_op":1}]}`)
+	if err := checkBaseline(&out, doc, regress); err == nil {
+		t.Fatal("exceeded allocs ceiling not reported")
+	}
+
+	msgs := write(`{"ceilings":[{"name":"update/x","max_msgs_per_op":29.5}]}`)
+	if err := checkBaseline(&out, doc, msgs); err == nil {
+		t.Fatal("exceeded msgs ceiling not reported")
+	}
+
+	missing := write(`{"ceilings":[{"name":"update/vanished","max_allocs_per_op":1}]}`)
+	if err := checkBaseline(&out, doc, missing); err == nil {
+		t.Fatal("missing benchmark row (guard erosion) not reported")
+	}
+}
+
 func TestRunExperimentQuickSmoke(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-quick", "-experiment", "lemma1"}, &out); err != nil {

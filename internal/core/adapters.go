@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"hash/fnv"
+	"slices"
+	"sort"
 
 	"github.com/skipwebs/skipwebs/internal/quadtree"
 	"github.com/skipwebs/skipwebs/internal/trapmap"
@@ -13,43 +15,63 @@ import (
 // One-dimensional sorted lists (Section 2.1, Lemma 1).
 
 // ListOps adapts ListLevel to the skip-web engine. Items and query points
-// are uint64 keys.
-type ListOps struct{}
+// are uint64 keys. The Change buffers are reused across updates (updates
+// are single-writer), so the steady-state update path allocates nothing
+// here; construct one instance per web with NewListOps.
+type ListOps struct {
+	addedBuf, touchedBuf, removedBuf, remapBuf, anchorBuf [1]RangeID
+}
 
-var _ Ops[*ListLevel, uint64, uint64] = ListOps{}
+// NewListOps creates the adapter.
+func NewListOps() *ListOps { return &ListOps{} }
+
+var _ Ops[*ListLevel, uint64, uint64] = (*ListOps)(nil)
+var _ BulkOps[*ListLevel, uint64] = (*ListOps)(nil)
 
 // Build constructs the level structure over keys.
-func (ListOps) Build(items []uint64) (*ListLevel, error) { return NewListLevel(items) }
+func (*ListOps) Build(items []uint64) (*ListLevel, error) { return NewListLevel(items) }
+
+// SortForBuild orders keys ascending — the canonical build order.
+func (*ListOps) SortForBuild(items []uint64) bool {
+	slices.Sort(items)
+	return true
+}
+
+// BuildSorted is the O(n) bulk-load build over ascending keys.
+func (*ListOps) BuildSorted(items []uint64) (*ListLevel, error) { return NewListLevelSorted(items) }
 
 // VisitRanges enumerates live ranges without allocating.
-func (ListOps) VisitRanges(l *ListLevel, visit func(RangeID) bool) { l.VisitRanges(visit) }
+func (*ListOps) VisitRanges(l *ListLevel, visit func(RangeID) bool) { l.VisitRanges(visit) }
 
 // Contains tests range membership.
-func (ListOps) Contains(l *ListLevel, r RangeID, q uint64) bool { return l.Contains(r, q) }
+func (*ListOps) Contains(l *ListLevel, r RangeID, q uint64) bool { return l.Contains(r, q) }
 
 // Depth is constant: list ranges partition the key space.
-func (ListOps) Depth(l *ListLevel, r RangeID) int { return 0 }
+func (*ListOps) Depth(l *ListLevel, r RangeID) int { return 0 }
 
 // Step walks one range toward q.
-func (ListOps) Step(l *ListLevel, r RangeID, q uint64) RangeID { return l.Step(r, q) }
+func (*ListOps) Step(l *ListLevel, r RangeID, q uint64) RangeID { return l.Step(r, q) }
 
 // Anchors maps a child range to the parent range holding the same key;
 // the parent terminal is then an expected-O(1) Step walk away (Lemma 1).
-func (ListOps) Anchors(child, parent *ListLevel, r RangeID) ([]RangeID, error) {
+// The result aliases the adapter's scratch (the engine copies it).
+func (o *ListOps) Anchors(child, parent *ListLevel, r RangeID) ([]RangeID, error) {
 	if child.IsHead(r) {
-		return []RangeID{parent.Head()}, nil
+		o.anchorBuf[0] = parent.Head()
+		return o.anchorBuf[:], nil
 	}
 	pr, ok := parent.ByKey(child.Key(r))
 	if !ok {
 		return nil, fmt.Errorf("core: key %d of child level missing from parent level", child.Key(r))
 	}
-	return []RangeID{pr}, nil
+	o.anchorBuf[0] = pr
+	return o.anchorBuf[:], nil
 }
 
 // ChildTerminal walks left from the parent terminal to the nearest key
 // present in the child level — an expected O(1)-step walk, since each
 // parent key is in the child with probability 1/2.
-func (ListOps) ChildTerminal(child, parent *ListLevel, tp RangeID, q uint64, steps *int) (RangeID, error) {
+func (*ListOps) ChildTerminal(child, parent *ListLevel, tp RangeID, q uint64, steps *int) (RangeID, error) {
 	cur := tp
 	for {
 		if parent.IsHead(cur) {
@@ -65,36 +87,41 @@ func (ListOps) ChildTerminal(child, parent *ListLevel, tp RangeID, q uint64, ste
 
 // Payload is one storage unit: a list range is a single key node, and a
 // churn migration moves it in one message.
-func (ListOps) Payload(l *ListLevel, r RangeID) int { return 1 }
+func (*ListOps) Payload(l *ListLevel, r RangeID) int { return 1 }
 
 // Locate performs a full local search.
-func (ListOps) Locate(l *ListLevel, q uint64) RangeID { return l.Locate(q) }
+func (*ListOps) Locate(l *ListLevel, q uint64) RangeID { return l.Locate(q) }
 
 // QueryOf is the identity: items are their own query points.
-func (ListOps) QueryOf(x uint64) uint64 { return x }
+func (*ListOps) QueryOf(x uint64) uint64 { return x }
 
 // CodeOf is the identity; the engine mixes it with the web seed.
-func (ListOps) CodeOf(x uint64) uint64 { return x }
+func (*ListOps) CodeOf(x uint64) uint64 { return x }
 
-// Insert splices the key in after the hinted terminal.
-func (ListOps) Insert(l *ListLevel, x uint64, q uint64, hint RangeID) (Change, error) {
+// Insert splices the key in after the hinted terminal. The Change
+// aliases the adapter's reusable buffers (see the Change contract).
+func (o *ListOps) Insert(l *ListLevel, x uint64, q uint64, hint RangeID) (Change, error) {
 	id, err := l.InsertKey(x, hint)
 	if err != nil {
 		return Change{}, err
 	}
-	return Change{Added: []RangeID{id}, Touched: []RangeID{l.Prev(id)}}, nil
+	o.addedBuf[0] = id
+	o.touchedBuf[0] = l.Prev(id)
+	return Change{Added: o.addedBuf[:], Touched: o.touchedBuf[:]}, nil
 }
 
 // Delete unsplices the key; the predecessor inherits its interval.
-func (ListOps) Delete(l *ListLevel, x uint64, q uint64) (Change, error) {
+func (o *ListOps) Delete(l *ListLevel, x uint64, q uint64) (Change, error) {
 	dead, pred, err := l.DeleteKey(x)
 	if err != nil {
 		return Change{}, err
 	}
+	o.removedBuf[0], o.remapBuf[0] = dead, pred
+	o.touchedBuf[0] = pred
 	return Change{
-		Removed:  []RangeID{dead},
-		Remapped: map[RangeID]RangeID{dead: pred},
-		Touched:  []RangeID{pred},
+		Removed: o.removedBuf[:],
+		RemapTo: o.remapBuf[:],
+		Touched: o.touchedBuf[:],
 	}, nil
 }
 
@@ -102,11 +129,17 @@ func (ListOps) Delete(l *ListLevel, x uint64, q uint64) (Change, error) {
 // Compressed quadtrees / octrees (Section 3.1, Lemma 3).
 
 // QuadOps adapts quadtree.Tree to the skip-web engine. Items are points;
-// query points are Morton codes.
+// query points are Morton codes. The Change buffers are reused across
+// updates (updates are single-writer), so the steady-state update path
+// allocates only what the tree itself must.
 type QuadOps struct {
 	// Dim is the dimension (2 = quadtree, 3 = octree, up to 6).
 	Dim   int
 	proto *quadtree.Tree
+
+	addedBuf, removedBuf, remapBuf []RangeID
+	anchorBuf                      [1]RangeID
+	codeBuf                        []uint64
 }
 
 // NewQuadOps creates the adapter for d-dimensional points.
@@ -115,6 +148,7 @@ func NewQuadOps(d int) *QuadOps {
 }
 
 var _ Ops[*quadtree.Tree, quadtree.Point, uint64] = (*QuadOps)(nil)
+var _ BulkOps[*quadtree.Tree, quadtree.Point] = (*QuadOps)(nil)
 
 // Code converts a point to its Morton code (the engine's query type).
 func (o *QuadOps) Code(p quadtree.Point) (uint64, error) { return o.proto.Code(p) }
@@ -122,6 +156,43 @@ func (o *QuadOps) Code(p quadtree.Point) (uint64, error) { return o.proto.Code(p
 // Build constructs the compressed tree.
 func (o *QuadOps) Build(items []quadtree.Point) (*quadtree.Tree, error) {
 	return quadtree.Build(o.Dim, items)
+}
+
+// SortForBuild orders points by Morton code — the canonical build order
+// (quadtree.Build sorts by code internally, so the built tree is
+// order-independent). Invalid coordinates report false: the plain Build
+// path then surfaces its usual error.
+func (o *QuadOps) SortForBuild(items []quadtree.Point) bool {
+	codes := o.codeBuf[:0]
+	for _, p := range items {
+		c, err := o.proto.Code(p)
+		if err != nil {
+			o.codeBuf = codes[:0]
+			return false
+		}
+		codes = append(codes, c)
+	}
+	o.codeBuf = codes[:0]
+	sort.Sort(&pointsByCode{items: items, codes: codes})
+	return true
+}
+
+// pointsByCode sorts points and their precomputed Morton codes together.
+type pointsByCode struct {
+	items []quadtree.Point
+	codes []uint64
+}
+
+func (s *pointsByCode) Len() int           { return len(s.items) }
+func (s *pointsByCode) Less(i, j int) bool { return s.codes[i] < s.codes[j] }
+func (s *pointsByCode) Swap(i, j int) {
+	s.items[i], s.items[j] = s.items[j], s.items[i]
+	s.codes[i], s.codes[j] = s.codes[j], s.codes[i]
+}
+
+// BuildSorted is the O(n) bulk-load build over code-ordered points.
+func (o *QuadOps) BuildSorted(items []quadtree.Point) (*quadtree.Tree, error) {
+	return quadtree.BuildSorted(o.Dim, items)
 }
 
 // VisitRanges enumerates live nodes without allocating (node and link
@@ -151,14 +222,15 @@ func (o *QuadOps) Step(l *quadtree.Tree, r RangeID, q uint64) RangeID {
 
 // Anchors returns the parent node with the identical cell: every cell of
 // D(T) is a cell of D(S) for T ⊆ S, since both are LCA cells of the same
-// points.
+// points. The result aliases the adapter's scratch (the engine copies it).
 func (o *QuadOps) Anchors(child, parent *quadtree.Tree, r RangeID) ([]RangeID, error) {
 	c := child.CellOf(quadtree.NodeID(r))
 	pid, ok := parent.NodeByCell(c)
 	if !ok {
 		return nil, fmt.Errorf("core: cell {%b %d} of child tree missing from parent tree", c.Prefix, c.PLen)
 	}
-	return []RangeID{RangeID(pid)}, nil
+	o.anchorBuf[0] = RangeID(pid)
+	return o.anchorBuf[:], nil
 }
 
 // ChildTerminal climbs from the parent terminal until reaching a cell
@@ -204,15 +276,17 @@ func (o *QuadOps) QueryOf(x quadtree.Point) uint64 {
 func (o *QuadOps) CodeOf(x quadtree.Point) uint64 { return o.QueryOf(x) }
 
 // Insert adds the point; hint is unused (tree inserts are local walks).
+// The Change aliases the adapter's reusable buffers.
 func (o *QuadOps) Insert(l *quadtree.Tree, x quadtree.Point, q uint64, hint RangeID) (Change, error) {
 	res, err := l.Insert(x)
 	if err != nil {
 		return Change{}, err
 	}
-	added := make([]RangeID, len(res.Created))
-	for i, n := range res.Created {
-		added[i] = RangeID(n)
+	added := o.addedBuf[:0]
+	for _, n := range res.Created {
+		added = append(added, RangeID(n))
 	}
+	o.addedBuf = added[:0]
 	return Change{Added: added}, nil
 }
 
@@ -222,43 +296,65 @@ func (o *QuadOps) Delete(l *quadtree.Tree, x quadtree.Point, q uint64) (Change, 
 	if err != nil {
 		return Change{}, err
 	}
-	ch := Change{Remapped: make(map[RangeID]RangeID, len(res.Removed))}
+	removed, remap := o.removedBuf[:0], o.remapBuf[:0]
 	for _, n := range res.Removed {
-		ch.Removed = append(ch.Removed, RangeID(n))
+		removed = append(removed, RangeID(n))
 		if res.Survivor != quadtree.NoNode {
-			ch.Remapped[RangeID(n)] = RangeID(res.Survivor)
+			remap = append(remap, RangeID(res.Survivor))
+		} else {
+			remap = append(remap, NoRange)
 		}
 	}
-	return ch, nil
+	o.removedBuf, o.remapBuf = removed[:0], remap[:0]
+	return Change{Removed: removed, RemapTo: remap}, nil
 }
 
 // ---------------------------------------------------------------------------
 // Compressed digital tries (Section 3.2, Lemma 4).
 
 // TrieOps adapts trie.Trie to the skip-web engine. Items and query points
-// are strings.
-type TrieOps struct{}
+// are strings. The Change buffers are reused across updates (updates are
+// single-writer); construct one instance per web with NewTrieOps.
+type TrieOps struct {
+	addedBuf, removedBuf, remapBuf []RangeID
+	anchorBuf                      [1]RangeID
+}
 
-var _ Ops[*trie.Trie, string, string] = TrieOps{}
+// NewTrieOps creates the adapter.
+func NewTrieOps() *TrieOps { return &TrieOps{} }
+
+var _ Ops[*trie.Trie, string, string] = (*TrieOps)(nil)
+var _ BulkOps[*trie.Trie, string] = (*TrieOps)(nil)
 
 // Build constructs the compressed trie.
-func (TrieOps) Build(items []string) (*trie.Trie, error) { return trie.Build(items) }
+func (*TrieOps) Build(items []string) (*trie.Trie, error) { return trie.Build(items) }
+
+// SortForBuild orders keys lexicographically — the canonical build order
+// (trie.Build sorts internally, so the built trie is order-independent).
+func (*TrieOps) SortForBuild(items []string) bool {
+	sort.Strings(items)
+	return true
+}
+
+// BuildSorted is the bulk-load build over pre-sorted keys, skipping the
+// per-level re-sort.
+func (*TrieOps) BuildSorted(items []string) (*trie.Trie, error) { return trie.BuildSorted(items) }
 
 // VisitRanges enumerates live nodes without allocating.
-func (TrieOps) VisitRanges(l *trie.Trie, visit func(RangeID) bool) {
+func (*TrieOps) VisitRanges(l *trie.Trie, visit func(RangeID) bool) {
 	l.VisitNodes(func(n trie.NodeID) bool { return visit(RangeID(n)) })
 }
 
 // Contains reports whether q extends the node's locus.
-func (TrieOps) Contains(l *trie.Trie, r RangeID, q string) bool {
+func (*TrieOps) Contains(l *trie.Trie, r RangeID, q string) bool {
 	return l.LocusContains(trie.NodeID(r), q)
 }
 
 // Depth is the locus length.
-func (TrieOps) Depth(l *trie.Trie, r RangeID) int { return len(l.Locus(trie.NodeID(r))) }
+func (*TrieOps) Depth(l *trie.Trie, r RangeID) int { return len(l.Locus(trie.NodeID(r))) }
 
 // Step descends one node toward q.
-func (TrieOps) Step(l *trie.Trie, r RangeID, q string) RangeID {
+func (*TrieOps) Step(l *trie.Trie, r RangeID, q string) RangeID {
 	next := l.StepToward(trie.NodeID(r), q)
 	if next == trie.NoNode {
 		return NoRange
@@ -267,19 +363,21 @@ func (TrieOps) Step(l *trie.Trie, r RangeID, q string) RangeID {
 }
 
 // Anchors returns the parent node at the identical locus: every locus of
-// D(T) (a key or a branching point of T ⊆ S) is a locus of D(S).
-func (TrieOps) Anchors(child, parent *trie.Trie, r RangeID) ([]RangeID, error) {
+// D(T) (a key or a branching point of T ⊆ S) is a locus of D(S). The
+// result aliases the adapter's scratch (the engine copies it).
+func (o *TrieOps) Anchors(child, parent *trie.Trie, r RangeID) ([]RangeID, error) {
 	locus := child.Locus(trie.NodeID(r))
 	pid, ok := parent.NodeByLocus(locus)
 	if !ok {
 		return nil, fmt.Errorf("core: locus %q of child trie missing from parent trie", locus)
 	}
-	return []RangeID{RangeID(pid)}, nil
+	o.anchorBuf[0] = RangeID(pid)
+	return o.anchorBuf[:], nil
 }
 
 // ChildTerminal climbs from the parent terminal until reaching a locus
 // that exists in the child trie — expected O(1) steps by Lemma 4.
-func (TrieOps) ChildTerminal(child, parent *trie.Trie, tp RangeID, q string, steps *int) (RangeID, error) {
+func (*TrieOps) ChildTerminal(child, parent *trie.Trie, tp RangeID, q string, steps *int) (RangeID, error) {
 	cur := trie.NodeID(tp)
 	for cur != trie.NoNode {
 		if cid, ok := child.NodeByLocus(parent.Locus(cur)); ok {
@@ -293,51 +391,55 @@ func (TrieOps) ChildTerminal(child, parent *trie.Trie, tp RangeID, q string, ste
 
 // Payload is one storage unit: a trie range is one compressed-trie node
 // (locus plus child edges), moved in one message during churn.
-func (TrieOps) Payload(l *trie.Trie, r RangeID) int { return 1 }
+func (*TrieOps) Payload(l *trie.Trie, r RangeID) int { return 1 }
 
 // Locate performs a full local search.
-func (TrieOps) Locate(l *trie.Trie, q string) RangeID {
+func (*TrieOps) Locate(l *trie.Trie, q string) RangeID {
 	id, _ := l.Locate(q)
 	return RangeID(id)
 }
 
 // QueryOf is the identity.
-func (TrieOps) QueryOf(x string) string { return x }
+func (*TrieOps) QueryOf(x string) string { return x }
 
 // CodeOf hashes the string (FNV-1a); collisions only degrade leaf sizes.
-func (TrieOps) CodeOf(x string) uint64 {
+func (*TrieOps) CodeOf(x string) uint64 {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(x))
 	return h.Sum64()
 }
 
-// Insert adds the key.
-func (TrieOps) Insert(l *trie.Trie, x string, q string, hint RangeID) (Change, error) {
+// Insert adds the key. The Change aliases the adapter's reusable buffers.
+func (o *TrieOps) Insert(l *trie.Trie, x string, q string, hint RangeID) (Change, error) {
 	res, err := l.Insert(x)
 	if err != nil {
 		return Change{}, err
 	}
-	added := make([]RangeID, len(res.Created))
-	for i, n := range res.Created {
-		added[i] = RangeID(n)
+	added := o.addedBuf[:0]
+	for _, n := range res.Created {
+		added = append(added, RangeID(n))
 	}
+	o.addedBuf = added[:0]
 	return Change{Added: added}, nil
 }
 
 // Delete removes the key, remapping pruned loci to the survivor.
-func (TrieOps) Delete(l *trie.Trie, x string, q string) (Change, error) {
+func (o *TrieOps) Delete(l *trie.Trie, x string, q string) (Change, error) {
 	res, err := l.Delete(x)
 	if err != nil {
 		return Change{}, err
 	}
-	ch := Change{Remapped: make(map[RangeID]RangeID, len(res.Removed))}
+	removed, remap := o.removedBuf[:0], o.remapBuf[:0]
 	for _, n := range res.Removed {
-		ch.Removed = append(ch.Removed, RangeID(n))
+		removed = append(removed, RangeID(n))
 		if res.Survivor != trie.NoNode {
-			ch.Remapped[RangeID(n)] = RangeID(res.Survivor)
+			remap = append(remap, RangeID(res.Survivor))
+		} else {
+			remap = append(remap, NoRange)
 		}
 	}
-	return ch, nil
+	o.removedBuf, o.remapBuf = removed[:0], remap[:0]
+	return Change{Removed: removed, RemapTo: remap}, nil
 }
 
 // ---------------------------------------------------------------------------

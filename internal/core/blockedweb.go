@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"github.com/skipwebs/skipwebs/internal/sim"
@@ -44,6 +45,39 @@ type BlockedWeb struct {
 	seenScratch []sim.HostID
 	// pathScratch is Delete's bit-path stack, reused across operations.
 	pathScratch []*bnode
+	// memberScratch is the stratum enumeration buffer of splitBlock and
+	// retargetBlocks, reused across operations.
+	memberScratch []*bnode
+	// keysScratch and halfScratch are splitLeaf's key snapshot and
+	// bit-partition buffers, reused across operations.
+	keysScratch []uint64
+	halfScratch [2][]uint64
+
+	// Set-tree nodes and their levels are recycled: mergeSubtree releases
+	// into the free lists, splitLeaf and buildSubtree draw from them, and
+	// fresh objects come from bump-allocated slabs so a split charges at
+	// most a fraction of one allocation for its two new structures. Slabs
+	// are never shrunk or moved (pointers into them stay valid); pooled
+	// levels keep their slot and index capacity across reuse.
+	nodeFree []*bnode
+	nodeSlab []bnode
+	lvlFree  []*ListLevel
+	lvlSlab  []ListLevel
+
+	// descMemo caches the uncharged hyperlink resolutions (child key ->
+	// parent range) of the latest descent per depth, used by sorted-run
+	// batch inserts to share descent prefixes. Entries are validated
+	// against the live structure before use, so staleness is harmless;
+	// charged visits are always recomputed, keeping accounting identical.
+	descMemo   []descEntry
+	memoActive bool
+}
+
+// descEntry is one depth's memoized hyperlink resolution.
+type descEntry struct {
+	node *bnode
+	key  uint64
+	pr   RangeID
 }
 
 // resetSeen clears the seen-host scratch set at the start of an update.
@@ -70,12 +104,21 @@ type bnode struct {
 	depth    int
 	count    int
 	inLeaves bool
+	leafIdx  int // position in w.leaves while inLeaves (O(1) removal)
 
 	// Block directory (basic nodes only). Block 0 covers keys below
 	// blockStarts[1]; block i covers [blockStarts[i], blockStarts[i+1]).
 	blockStarts []uint64
 	blockHosts  []sim.HostID
 	blockSizes  []int
+
+	// inline* are the initial directory storage: fresh basic leaves hold
+	// a handful of blocks, so their directories live inside the node
+	// (which itself comes from a slab) and a leaf split allocates
+	// nothing for them. Larger directories spill to the heap via append.
+	inlineStarts [4]uint64
+	inlineHosts  [4]sim.HostID
+	inlineSizes  [4]int
 }
 
 // BlockedConfig tunes a BlockedWeb.
@@ -91,7 +134,14 @@ type BlockedConfig struct {
 	MaxDepth int
 }
 
-// NewBlockedWeb builds the blocked skip-web over keys.
+// NewBlockedWeb builds the blocked skip-web over keys via the O(n)-per-
+// level bulk-load path: the keys are sorted (and checked distinct) once,
+// every level partition preserves that order, and each level's list is
+// built by the linear NewListLevelSorted splice instead of a re-sort.
+// Randomness (membership bits, block host assignment) is consumed in
+// exactly the order of the incremental path, so construction remains
+// seed-compatible with pre-bulk builds; construction charges storage
+// only, never messages (an update's messages are charged to the update).
 func NewBlockedWeb(net *sim.Network, keys []uint64, cfg BlockedConfig) (*BlockedWeb, error) {
 	if cfg.M <= 0 {
 		cfg.M = int(math.Ceil(math.Log2(float64(len(keys)+2)))) + 1
@@ -124,13 +174,66 @@ func NewBlockedWeb(net *sim.Network, keys []uint64, cfg BlockedConfig) (*Blocked
 		maxDep:  cfg.MaxDepth,
 		rng:     xrand.New(cfg.Seed ^ 0xb10c),
 	}
-	root, err := w.buildSubtree(keys, 0, nil)
-	if err != nil {
-		return nil, err
+	sorted := append([]uint64(nil), keys...)
+	slices.Sort(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("core: duplicate key %d", sorted[i])
+		}
 	}
-	w.root = root
+	w.root = w.buildSubtree(sorted, 0, nil)
 	w.n = len(keys)
 	return w, nil
+}
+
+// newNode returns a zeroed set-tree node from the free list or slab.
+func (w *BlockedWeb) newNode() *bnode {
+	if k := len(w.nodeFree); k > 0 {
+		n := w.nodeFree[k-1]
+		w.nodeFree = w.nodeFree[:k-1]
+		*n = bnode{
+			blockStarts: n.blockStarts[:0],
+			blockHosts:  n.blockHosts[:0],
+			blockSizes:  n.blockSizes[:0],
+		}
+		return n
+	}
+	if len(w.nodeSlab) == cap(w.nodeSlab) {
+		w.nodeSlab = make([]bnode, 0, 64)
+	}
+	w.nodeSlab = append(w.nodeSlab, bnode{})
+	n := &w.nodeSlab[len(w.nodeSlab)-1]
+	n.blockStarts = n.inlineStarts[:0]
+	n.blockHosts = n.inlineHosts[:0]
+	n.blockSizes = n.inlineSizes[:0]
+	return n
+}
+
+// newLevel returns a list level over the strictly ascending keys, drawn
+// from the free list or slab; pooled levels keep their slot and index
+// capacity, so recycling a released leaf level allocates nothing.
+func (w *BlockedWeb) newLevel(sorted []uint64) *ListLevel {
+	if k := len(w.lvlFree); k > 0 {
+		l := w.lvlFree[k-1]
+		w.lvlFree = w.lvlFree[:k-1]
+		l.reset(sorted)
+		return l
+	}
+	if len(w.lvlSlab) == cap(w.lvlSlab) {
+		w.lvlSlab = make([]ListLevel, 0, 64)
+	}
+	w.lvlSlab = append(w.lvlSlab, ListLevel{})
+	l := &w.lvlSlab[len(w.lvlSlab)-1]
+	l.reset(sorted)
+	return l
+}
+
+// releaseNode returns a merged-away node and its level to the pools.
+func (w *BlockedWeb) releaseNode(n *bnode) {
+	w.lvlFree = append(w.lvlFree, n.lvl)
+	n.lvl, n.parent, n.base = nil, nil, nil
+	n.kids[0], n.kids[1] = nil, nil
+	w.nodeFree = append(w.nodeFree, n)
 }
 
 // Len returns the number of keys stored.
@@ -165,24 +268,24 @@ func (w *BlockedWeb) nextHost() sim.HostID {
 	return h
 }
 
-func (w *BlockedWeb) buildSubtree(keys []uint64, depth int, parent *bnode) (*bnode, error) {
-	lvl, err := NewListLevel(keys)
-	if err != nil {
-		return nil, err
-	}
-	n := &bnode{lvl: lvl, parent: parent, depth: depth, count: len(keys)}
+// buildSubtree constructs the set node over keys, which must be strictly
+// ascending: the single sort in NewBlockedWeb propagates through every
+// bit partition, so each level builds in O(level size).
+func (w *BlockedWeb) buildSubtree(keys []uint64, depth int, parent *bnode) *bnode {
+	n := w.newNode()
+	n.lvl = w.newLevel(keys)
+	n.parent, n.depth, n.count = parent, depth, len(keys)
 	if depth%w.strat == 0 {
 		n.base = n
-		w.buildBlocks(n)
+		w.buildBlocks(n, keys)
 	} else {
 		n.base = parent.base
 	}
 	// Storage: one unit per range plus one for its hyperlink, at the
 	// range's primary block host; boundary-straddling copies add one.
-	lvl.VisitRanges(func(r RangeID) bool {
-		w.chargeRangeStorage(n, r, 1)
-		return true
-	})
+	// The freshly built level is iterated in key order, so a block
+	// cursor charges each range in O(1) amortized.
+	w.chargeBuildStorage(n)
 	if len(keys) > w.leafMax && depth < w.maxDep {
 		var halves [2][]uint64
 		for _, k := range keys {
@@ -190,26 +293,22 @@ func (w *BlockedWeb) buildSubtree(keys []uint64, depth int, parent *bnode) (*bno
 			halves[b] = append(halves[b], k)
 		}
 		for b := 0; b < 2; b++ {
-			kid, err := w.buildSubtree(halves[b], depth+1, n)
-			if err != nil {
-				return nil, err
-			}
-			n.kids[b] = kid
+			n.kids[b] = w.buildSubtree(halves[b], depth+1, n)
 		}
 	}
 	if n.kids[0] == nil && n.count > 0 {
 		w.addLeaf(n)
 	}
-	return n, nil
+	return n
 }
 
-// buildBlocks cuts a basic node's key sequence into blocks of blockSz
-// contiguous ranges, assigning one host per block.
-func (w *BlockedWeb) buildBlocks(n *bnode) {
-	keys := n.lvl.Keys()
-	n.blockStarts = []uint64{0} // block 0 holds the head region
-	n.blockHosts = []sim.HostID{w.nextHost()}
-	n.blockSizes = []int{1} // the head sentinel
+// buildBlocks cuts a basic node's key sequence (passed in ascending
+// order) into blocks of blockSz contiguous ranges, assigning one host
+// per block. Directory capacity from a pooled node is reused.
+func (w *BlockedWeb) buildBlocks(n *bnode, keys []uint64) {
+	n.blockStarts = append(n.blockStarts[:0], 0) // block 0 holds the head region
+	n.blockHosts = append(n.blockHosts[:0], w.nextHost())
+	n.blockSizes = append(n.blockSizes[:0], 1) // the head sentinel
 	for i, k := range keys {
 		bi := len(n.blockHosts) - 1
 		if n.blockSizes[bi] >= w.blockSz && i > 0 {
@@ -222,9 +321,62 @@ func (w *BlockedWeb) buildBlocks(n *bnode) {
 	}
 }
 
-// blockIndex returns the block of basic node bn covering key q.
+// chargeBuildStorage charges the construction storage of every range of
+// node n's freshly built level — 2 units (range + hyperlink) on the
+// primary block host, plus 1 for each boundary-straddling copy — by a
+// single list-order sweep with a block cursor. The per-host sums equal
+// a chargeRangeStorage call per range.
+func (w *BlockedWeb) chargeBuildStorage(n *bnode) {
+	bn := n.base
+	bi := 0 // the head sentinel's block
+	for r := n.lvl.Head(); r != NoRange; r = n.lvl.Next(r) {
+		w.net.AddStorage(bn.blockHosts[bi], 2)
+		if next := n.lvl.Next(r); next != NoRange {
+			bj := w.blockIndexNear(bn, n.lvl.Key(next), bi)
+			if bj != bi {
+				w.net.AddStorage(bn.blockHosts[bj], 1)
+			}
+			bi = bj
+		}
+	}
+}
+
+// blockIndex returns the block of basic node bn covering key q: the last
+// block whose start is <= q (block 0 starts at -inf). Manual binary
+// search — this sits on every hostFor of every routed hop.
 func (w *BlockedWeb) blockIndex(bn *bnode, q uint64) int {
-	i := sort.Search(len(bn.blockStarts)-1, func(i int) bool { return bn.blockStarts[i+1] > q })
+	lo, hi := 1, len(bn.blockStarts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if bn.blockStarts[mid] <= q {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// blockIndexNear is blockIndex with a cursor: when q lies in block hint
+// or an adjacent block — the common case for a walk moving one range at
+// a time — the lookup is O(1); anything farther falls back to the binary
+// search. Callers must pass a valid block index as hint.
+func (w *BlockedWeb) blockIndexNear(bn *bnode, q uint64, hint int) int {
+	starts := bn.blockStarts
+	i := hint
+	if i > 0 && q < starts[i] {
+		i--
+		if i > 0 && q < starts[i] {
+			return w.blockIndex(bn, q)
+		}
+		return i
+	}
+	if i+1 < len(starts) && q >= starts[i+1] {
+		i++
+		if i+1 < len(starts) && q >= starts[i+1] {
+			return w.blockIndex(bn, q)
+		}
+	}
 	return i
 }
 
@@ -246,12 +398,19 @@ func (w *BlockedWeb) rangeKey(n *bnode, r RangeID) uint64 {
 
 // chargeRangeStorage adds (or removes, sign -1) the storage for range r
 // of node n: range + hyperlink on the primary host, plus a copy when the
-// range straddles into the next block.
+// range straddles into the next block. The straddle reuses the primary's
+// block index instead of recomputing it.
 func (w *BlockedWeb) chargeRangeStorage(n *bnode, r RangeID, sign int) {
 	k := w.rangeKey(n, r)
-	primary := w.hostFor(n, k)
-	w.net.AddStorage(primary, sign*2)
-	w.straddleCopy(n, r, n.lvl.Next(r), sign)
+	bn := n.base
+	bi := w.blockIndex(bn, k)
+	w.net.AddStorage(bn.blockHosts[bi], sign*2)
+	if next := n.lvl.Next(r); next != NoRange {
+		nk := n.lvl.Key(next)
+		if bj := w.blockIndexNear(bn, nk, bi); bj != bi {
+			w.net.AddStorage(bn.blockHosts[bj], sign)
+		}
+	}
 }
 
 // straddleCopy charges sign units for the boundary copy induced by the
@@ -275,20 +434,22 @@ func (w *BlockedWeb) straddleCopy(n *bnode, r, next RangeID, sign int) {
 // stratumMembers returns bn's stratum (every node co-located with basic
 // node bn's blocks, bn included) in DFS order. The stratum is the
 // maximal subtree below bn whose nodes share bn as their base; recursion
-// stops at the next stratum's basic nodes.
+// stops at the next stratum's basic nodes. The returned slice aliases
+// w.memberScratch (single-writer update path) and is valid until the
+// next stratumMembers call.
 func (w *BlockedWeb) stratumMembers(bn *bnode) []*bnode {
-	var out []*bnode
-	var rec func(n *bnode)
-	rec = func(n *bnode) {
-		if n == nil || n.base != bn {
-			return
-		}
-		out = append(out, n)
-		rec(n.kids[0])
-		rec(n.kids[1])
-	}
-	rec(bn)
+	out := w.appendStratum(bn, bn, w.memberScratch[:0])
+	w.memberScratch = out[:0]
 	return out
+}
+
+func (w *BlockedWeb) appendStratum(bn, n *bnode, out []*bnode) []*bnode {
+	if n == nil || n.base != bn {
+		return out
+	}
+	out = append(out, n)
+	out = w.appendStratum(bn, n.kids[0], out)
+	return w.appendStratum(bn, n.kids[1], out)
 }
 
 func (w *BlockedWeb) addLeaf(n *bnode) {
@@ -296,6 +457,7 @@ func (w *BlockedWeb) addLeaf(n *bnode) {
 		return
 	}
 	n.inLeaves = true
+	n.leafIdx = len(w.leaves)
 	w.leaves = append(w.leaves, n)
 }
 
@@ -304,13 +466,11 @@ func (w *BlockedWeb) removeLeaf(n *bnode) {
 		return
 	}
 	n.inLeaves = false
-	for i, l := range w.leaves {
-		if l == n {
-			w.leaves[i] = w.leaves[len(w.leaves)-1]
-			w.leaves = w.leaves[:len(w.leaves)-1]
-			return
-		}
-	}
+	last := len(w.leaves) - 1
+	moved := w.leaves[last]
+	w.leaves[n.leafIdx] = moved
+	moved.leafIdx = n.leafIdx
+	w.leaves = w.leaves[:last]
 }
 
 func (w *BlockedWeb) entryLeaf(origin sim.HostID) *bnode {
@@ -345,8 +505,9 @@ func (w *BlockedWeb) queryOp(q uint64, op *sim.Op) RangeID {
 	// Locate within the entry structure, visiting block hosts as the walk
 	// moves (entry structures hold O(1) ranges).
 	r := RangeID(0)
-	op.Visit(w.hostFor(node, w.rangeKey(node, r)))
-	r = w.walk(node, r, q, op)
+	bi := w.blockIndex(node.base, w.rangeKey(node, r))
+	op.Visit(node.base.blockHosts[bi])
+	r = w.walk(node, r, q, bi, op)
 	for node.parent != nil {
 		parent := node.parent
 		// Hyperlink: the parent range holding the same key.
@@ -354,29 +515,52 @@ func (w *BlockedWeb) queryOp(q uint64, op *sim.Op) RangeID {
 		if node.lvl.IsHead(r) {
 			pr = parent.lvl.Head()
 		} else {
-			var ok bool
-			pr, ok = parent.lvl.ByKey(node.lvl.Key(r))
-			if !ok {
-				panic(fmt.Sprintf("core: blocked web key %d missing from parent level", node.lvl.Key(r)))
+			k := node.lvl.Key(r)
+			pr = NoRange
+			if w.memoActive {
+				pr = w.memoGet(parent, k)
+			}
+			if pr == NoRange {
+				var ok bool
+				pr, ok = parent.lvl.ByKey(k)
+				if !ok {
+					panic(fmt.Sprintf("core: blocked web key %d missing from parent level", k))
+				}
+				if w.memoActive {
+					w.memoPut(parent, k, pr)
+				}
 			}
 		}
-		op.Visit(w.hostFor(parent, w.rangeKey(parent, pr)))
-		r = w.walk(parent, pr, q, op)
+		bi = w.blockIndex(parent.base, w.rangeKey(parent, pr))
+		op.Visit(parent.base.blockHosts[bi])
+		r = w.walk(parent, pr, q, bi, op)
 		node = parent
 	}
 	return r
 }
 
 // walk performs the local Step descent in node n from range r toward q's
-// terminal, visiting the block host of each range stepped through.
-func (w *BlockedWeb) walk(n *bnode, r RangeID, q uint64, op *sim.Op) RangeID {
+// terminal, visiting the block host of each range stepped through. The
+// walk moves one range at a time, so a block cursor — seeded with bi,
+// the block index of r's key when the caller already resolved it, or -1
+// — resolves each host in O(1) amortized instead of a directory binary
+// search per step; the visited hosts — and hence the charged messages —
+// are identical.
+func (w *BlockedWeb) walk(n *bnode, r RangeID, q uint64, bi int, op *sim.Op) RangeID {
+	bn := n.base
 	for {
 		nx := n.lvl.Step(r, q)
 		if nx == NoRange {
 			return r
 		}
 		r = nx
-		op.Visit(w.hostFor(n, w.rangeKey(n, r)))
+		k := w.rangeKey(n, r)
+		if bi < 0 {
+			bi = w.blockIndex(bn, k)
+		} else {
+			bi = w.blockIndexNear(bn, k, bi)
+		}
+		op.Visit(bn.blockHosts[bi])
 	}
 }
 
@@ -407,6 +591,49 @@ func (w *BlockedWeb) Range(lo, hi uint64, origin sim.HostID) ([]uint64, int) {
 	return out, op.Hops()
 }
 
+// memoGet returns the memoized parent range for (parent level, child
+// key), or NoRange. Entries are validated by node pointer and key, so a
+// stale entry can only miss, never mislead; during a run no level dies
+// and no range slot is recycled (inserts only), so a hit is always the
+// range ByKey would return.
+func (w *BlockedWeb) memoGet(parent *bnode, k uint64) RangeID {
+	d := parent.depth
+	if d >= len(w.descMemo) {
+		return NoRange
+	}
+	if e := w.descMemo[d]; e.node == parent && e.key == k {
+		return e.pr
+	}
+	return NoRange
+}
+
+// memoPut records a hyperlink resolution for the current run.
+func (w *BlockedWeb) memoPut(parent *bnode, k uint64, pr RangeID) {
+	d := parent.depth
+	for len(w.descMemo) <= d {
+		w.descMemo = append(w.descMemo, descEntry{})
+	}
+	w.descMemo[d] = descEntry{node: parent, key: k, pr: pr}
+}
+
+// InsertRun executes a strictly-ascending run of inserts from a single
+// origin — the batch engine's sorted-run fast path. Consecutive descents
+// share their uncharged hyperlink resolutions through the per-depth memo
+// (the charged walk of every operation is recomputed in full), and the
+// ascending key order makes every level's sorted-order index splice an
+// O(1) amortized append; per-operation message accounting is therefore
+// identical, counter for counter, to calling Insert in the same order.
+// hops and errs receive each operation's cost and error in input order;
+// a failed insert (duplicate key) does not stop the run.
+func (w *BlockedWeb) InsertRun(keys []uint64, origin sim.HostID, hops []int, errs []error) {
+	w.memoActive = true
+	w.descMemo = w.descMemo[:0]
+	defer func() { w.memoActive = false }()
+	for i, k := range keys {
+		hops[i], errs[i] = w.Insert(k, origin)
+	}
+}
+
 // Insert adds a key, climbing its bit path and paying messages only at
 // stratum boundaries (Section 4: O(log n / log log n) expected for 1-d).
 func (w *BlockedWeb) Insert(key uint64, origin sim.HostID) (int, error) {
@@ -419,25 +646,21 @@ func (w *BlockedWeb) Insert(key uint64, origin sim.HostID) (int, error) {
 	w.resetSeen()
 	node, hint := w.root, t0
 	for {
-		if err := w.insertAt(node, key, hint, op); err != nil {
-			return op.Hops(), err
-		}
+		id := w.insertAt(node, key, hint, op)
 		if node.kids[0] == nil {
 			break
 		}
 		child := node.kids[w.bitAt(key, node.depth)]
 		// Derive the child terminal: walk left in node's level from key's
-		// new position to the nearest key present in the child.
-		hint = w.childTerminal(node, child, key, op)
+		// newly spliced range to the nearest key present in the child.
+		hint = w.childTerminal(node, child, key, id, op)
 		node = child
 	}
 	if node.kids[0] == nil && node.count > 0 {
 		w.addLeaf(node)
 	}
 	if node.count > w.leafMax && node.depth < w.maxDep {
-		if err := w.splitLeaf(node, op); err != nil {
-			return op.Hops(), err
-		}
+		w.splitLeaf(node, op)
 	}
 	w.n++
 	return op.Hops(), nil
@@ -446,48 +669,80 @@ func (w *BlockedWeb) Insert(key uint64, origin sim.HostID) (int, error) {
 // insertAt splices key into node's level. One message is charged per
 // distinct block host touched by this whole insert operation, so updates
 // confined to a stratum's co-located copies cost a single message.
-func (w *BlockedWeb) insertAt(n *bnode, key uint64, hint RangeID, op *sim.Op) error {
-	id, err := n.lvl.InsertKey(key, hint)
-	if err != nil {
-		return err
-	}
+// The splice skips the duplicate probe: Insert has already verified the
+// key absent at the ground level, whose key set contains every level's.
+func (w *BlockedWeb) insertAt(n *bnode, key uint64, hint RangeID, op *sim.Op) RangeID {
+	id := n.lvl.insertKeyUnchecked(key, hint)
 	n.count++
-	w.chargeRangeStorage(n, id, 1)
-	// The predecessor's boundary copy follows its successor: retire the
-	// copy induced by the old pair (pred, next-of-id) and charge the one
-	// induced by the new pair (pred, id), keeping per-host storage exact.
-	pred := n.lvl.Prev(id)
-	w.straddleCopy(n, pred, n.lvl.Next(id), -1)
-	w.straddleCopy(n, pred, id, 1)
-	w.chargeOnce(w.hostFor(n, key), op)
-	if n.base == n {
-		bi := w.blockIndex(n, key)
-		n.blockSizes[bi]++
-		if n.blockSizes[bi] > 2*w.blockSz {
-			w.splitBlock(n, bi, op)
+	// Storage deltas, all resolved around key's block with one directory
+	// search (the neighbors' blocks are found by cursor): the new range's
+	// primary copy and straddle, then the predecessor's boundary copy,
+	// which follows its successor — retire the copy induced by the old
+	// pair (pred, next-of-id) and charge the one induced by the new pair
+	// (pred, id), keeping per-host storage exact.
+	bn := n.base
+	biKey := w.blockIndex(bn, key)
+	w.net.AddStorage(bn.blockHosts[biKey], 2)
+	nx := n.lvl.Next(id)
+	biNx := -1
+	if nx != NoRange {
+		biNx = w.blockIndexNear(bn, n.lvl.Key(nx), biKey)
+		if biNx != biKey {
+			w.net.AddStorage(bn.blockHosts[biNx], 1)
 		}
 	}
-	return nil
+	pred := n.lvl.Prev(id)
+	biPred := w.blockIndexNear(bn, w.rangeKey(n, pred), biKey)
+	if nx != NoRange && biNx != biPred {
+		w.net.AddStorage(bn.blockHosts[biNx], -1)
+	}
+	if biKey != biPred {
+		w.net.AddStorage(bn.blockHosts[biKey], 1)
+	}
+	w.chargeOnce(bn.blockHosts[biKey], op)
+	if n.base == n {
+		n.blockSizes[biKey]++
+		if n.blockSizes[biKey] > 2*w.blockSz {
+			w.splitBlock(n, biKey, op)
+		}
+	}
+	return id
 }
 
-// childTerminal walks left from key's position in parent until reaching
-// a key present in child (expected O(1) steps), charging block-host
-// visits.
-func (w *BlockedWeb) childTerminal(parent, child *bnode, key uint64, op *sim.Op) RangeID {
-	r, ok := parent.lvl.ByKey(key)
-	if !ok {
-		r = parent.lvl.Locate(key)
+// childTerminal walks left in parent from key's freshly spliced range r
+// until reaching a key present in child (expected O(1) steps), charging
+// block-host visits. The walk's destination is known up front — the
+// first parent key present in the child is exactly the child's floor of
+// key, since the child's key set is a subset of the parent's — so one
+// child-level search replaces a child membership probe per step, and
+// the walk itself just compares parent keys against the destination.
+// The visited hosts (resolved through a block cursor, as in walk) are
+// identical to the probe-per-step formulation, so the charged messages
+// are unchanged.
+func (w *BlockedWeb) childTerminal(parent, child *bnode, key uint64, r RangeID, op *sim.Op) RangeID {
+	cf := child.lvl.Locate(key)
+	stopAtHead := child.lvl.IsHead(cf)
+	var stopKey uint64
+	if !stopAtHead {
+		stopKey = child.lvl.Key(cf)
 	}
+	bn := parent.base
+	bi := -1
 	for {
 		if parent.lvl.IsHead(r) {
 			return child.lvl.Head()
 		}
-		k := parent.lvl.Key(r)
-		if cr, ok := child.lvl.ByKey(k); ok {
-			return cr
+		if !stopAtHead && parent.lvl.Key(r) == stopKey {
+			return cf
 		}
 		r = parent.lvl.Prev(r)
-		op.Visit(w.hostFor(parent, w.rangeKey(parent, r)))
+		rk := w.rangeKey(parent, r)
+		if bi < 0 {
+			bi = w.blockIndex(bn, rk)
+		} else {
+			bi = w.blockIndexNear(bn, rk, bi)
+		}
+		op.Visit(bn.blockHosts[bi])
 	}
 }
 
@@ -521,11 +776,10 @@ func (w *BlockedWeb) splitBlock(bn *bnode, bi int, op *sim.Op) {
 	moved := bn.blockSizes[bi] - half
 	// The directory splice rehosts only the key span [medKey, hi) — hi
 	// being the old block's upper bound — and can newly straddle the
-	// pair crossing medKey. For every stratum member, discharge exactly
-	// that span (plus the one predecessor range whose straddle copy may
-	// change) under the old directory and recharge it under the new one:
+	// pair crossing medKey. For every stratum member, transfer exactly
+	// that span's footprint from the old block host to the new one:
 	// exact per-host storage (the churn drain check relies on it) at
-	// O(block) cost instead of O(stratum).
+	// O(block) cost with no directory searches beyond the span floor.
 	var hi uint64
 	hasHi := bi+1 < len(bn.blockStarts)
 	if hasHi {
@@ -533,9 +787,7 @@ func (w *BlockedWeb) splitBlock(bn *bnode, bi int, op *sim.Op) {
 	}
 	members := w.stratumMembers(bn)
 	for _, n := range members {
-		w.spanRanges(n, medKey, hi, hasHi, func(r RangeID) {
-			w.chargeRangeStorage(n, r, -1)
-		})
+		w.transferSpanStorage(n, bn, bi, medKey, hi, hasHi, newHost)
 	}
 	// Splice the new block into the directory.
 	bn.blockStarts = append(bn.blockStarts, 0)
@@ -548,11 +800,6 @@ func (w *BlockedWeb) splitBlock(bn *bnode, bi int, op *sim.Op) {
 	copy(bn.blockSizes[bi+2:], bn.blockSizes[bi+1:])
 	bn.blockSizes[bi+1] = moved
 	bn.blockSizes[bi] = half
-	for _, n := range members {
-		w.spanRanges(n, medKey, hi, hasHi, func(r RangeID) {
-			w.chargeRangeStorage(n, r, 1)
-		})
-	}
 	// One message per moved range (amortized against the inserts that
 	// grew the block).
 	for i := 0; i < moved; i++ {
@@ -560,13 +807,56 @@ func (w *BlockedWeb) splitBlock(bn *bnode, bi int, op *sim.Op) {
 	}
 }
 
+// transferSpanStorage moves member n's storage footprint for the key
+// span [lo, hi) — the upper half of block bi, about to be spliced out
+// onto newHost — from the old block host to the new one. It must run
+// against the pre-splice directory. The net deltas are derived instead
+// of discharged-and-recharged range by range:
+//
+//   - every span range's primary copy (range + hyperlink, 2 units)
+//     moves from block bi's host to newHost;
+//   - the pair (pred, first-span-range) straddled into block bi before
+//     the splice only when pred lay in an earlier block (copy at block
+//     bi's host, now retired) and always straddles into the new block
+//     afterwards (copy on newHost);
+//   - the pair at the span's upper end keeps both its existence and its
+//     copy's host: the successor's block merely shifts index, and
+//     every pair internal to the span is co-located both before (block
+//     bi) and after (the new block).
+//
+// The per-host sums are identical to recomputing every affected range's
+// footprint under both directories — splitBlock's exactness contract
+// (Cluster.Leave asserts exact drains) rests on that — at O(span) cost
+// with a single search to find the span floor.
+func (w *BlockedWeb) transferSpanStorage(n, bn *bnode, bi int, lo, hi uint64, hasHi bool, newHost sim.HostID) {
+	oldHost := bn.blockHosts[bi]
+	r := n.lvl.Locate(lo) // floor: the last range with key <= lo
+	var pred, s1 RangeID
+	if !n.lvl.IsHead(r) && n.lvl.Key(r) == lo {
+		pred, s1 = n.lvl.Prev(r), r
+	} else {
+		pred, s1 = r, n.lvl.Next(r)
+	}
+	if s1 == NoRange || (hasHi && n.lvl.Key(s1) >= hi) {
+		return // no member range in the span: footprint unchanged
+	}
+	for s := s1; s != NoRange && (!hasHi || n.lvl.Key(s) < hi); s = n.lvl.Next(s) {
+		w.net.AddStorage(oldHost, -2)
+		w.net.AddStorage(newHost, 2)
+	}
+	if w.blockIndex(bn, w.rangeKey(n, pred)) != bi {
+		w.net.AddStorage(oldHost, -1)
+	}
+	w.net.AddStorage(newHost, 1)
+}
+
 // spanRanges visits, in member n, the ranges whose storage footprint
 // depends on the directory's treatment of the key span [lo, hi): the
 // predecessor of the first range with key >= lo (its boundary copy may
 // appear, vanish, or move host) followed by every range with key in
-// [lo, hi). hasHi=false means the span extends to +inf. Both splitBlock
-// and retargetBlocks use it to keep their exact storage transfers
-// O(span) instead of O(stratum).
+// [lo, hi). hasHi=false means the span extends to +inf. retargetBlocks
+// uses it to keep churn's exact storage transfers O(span) instead of
+// O(stratum); splitBlock uses the fused transferSpanStorage instead.
 func (w *BlockedWeb) spanRanges(n *bnode, lo, hi uint64, hasHi bool, visit func(RangeID)) {
 	r := n.lvl.Locate(lo) // floor: the last range with key <= lo
 	if !n.lvl.IsHead(r) && n.lvl.Key(r) == lo {
@@ -641,50 +931,53 @@ func (w *BlockedWeb) Delete(key uint64, origin sim.HostID) (int, error) {
 	return op.Hops(), nil
 }
 
-// splitLeaf splits an overfull set-tree leaf into two halves.
-func (w *BlockedWeb) splitLeaf(n *bnode, op *sim.Op) error {
-	keys := n.lvl.Keys()
-	var halves [2][]uint64
+// splitLeaf splits an overfull set-tree leaf into two halves. The key
+// snapshot and bit-partition buffers are per-web scratch, and the two
+// kid structures come from the node/level pools, so a steady-state split
+// allocates (at most) fractions of slab chunks.
+func (w *BlockedWeb) splitLeaf(n *bnode, op *sim.Op) {
+	keys := n.lvl.AppendKeys(w.keysScratch[:0])
+	w.keysScratch = keys[:0]
+	halves := [2][]uint64{w.halfScratch[0][:0], w.halfScratch[1][:0]}
 	for _, k := range keys {
 		b := w.bitAt(k, n.depth)
 		halves[b] = append(halves[b], k)
 	}
+	w.halfScratch[0], w.halfScratch[1] = halves[0][:0], halves[1][:0]
 	for b := 0; b < 2; b++ {
-		kid, err := w.buildSubtree(halves[b], n.depth+1, n)
-		if err != nil {
-			return err
-		}
+		kid := w.buildSubtree(halves[b], n.depth+1, n)
 		n.kids[b] = kid
 		for _, k := range halves[b] {
 			op.Send(w.hostFor(kid, k))
 		}
 	}
 	w.removeLeaf(n)
-	return nil
 }
 
-// mergeSubtree re-absorbs all descendants of n.
+// mergeSubtree re-absorbs all descendants of n, releasing their nodes
+// and levels to the pools splitLeaf draws from.
 func (w *BlockedWeb) mergeSubtree(n *bnode, op *sim.Op) {
-	var release func(k *bnode)
-	release = func(k *bnode) {
-		if k == nil {
-			return
-		}
-		release(k.kids[0])
-		release(k.kids[1])
-		k.lvl.VisitRanges(func(r RangeID) bool {
-			w.chargeRangeStorage(k, r, -1)
-			op.Send(w.hostFor(k, w.rangeKey(k, r)))
-			return true
-		})
-		w.removeLeaf(k)
-	}
-	release(n.kids[0])
-	release(n.kids[1])
+	w.releaseSubtree(n.kids[0], op)
+	w.releaseSubtree(n.kids[1], op)
 	n.kids[0], n.kids[1] = nil, nil
 	if n.count > 0 {
 		w.addLeaf(n)
 	}
+}
+
+func (w *BlockedWeb) releaseSubtree(k *bnode, op *sim.Op) {
+	if k == nil {
+		return
+	}
+	w.releaseSubtree(k.kids[0], op)
+	w.releaseSubtree(k.kids[1], op)
+	k.lvl.VisitRanges(func(r RangeID) bool {
+		w.chargeRangeStorage(k, r, -1)
+		op.Send(w.hostFor(k, w.rangeKey(k, r)))
+		return true
+	})
+	w.removeLeaf(k)
+	w.releaseNode(k)
 }
 
 // retargetBlocks reassigns block hosts across the whole hierarchy:
@@ -898,7 +1191,7 @@ func NewBucketWeb(net *sim.Network, keys []uint64, target, m int, seed uint64) (
 		target = 1
 	}
 	sorted := append([]uint64(nil), keys...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	for i := 1; i < len(sorted); i++ {
 		if sorted[i] == sorted[i-1] {
 			return nil, fmt.Errorf("core: duplicate key %d", sorted[i])

@@ -19,7 +19,7 @@ func TestWebRehomeDrainsDepartedHost(t *testing.T) {
 	rng := xrand.New(7)
 	keys := distinctKeys(rng, 300, 1<<40)
 	net := sim.NewNetwork(16)
-	w, err := NewWeb[*ListLevel, uint64, uint64](ListOps{}, net, keys, Config{Seed: 7})
+	w, err := NewWeb[*ListLevel, uint64, uint64](NewListOps(), net, keys, Config{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestWebRebalanceMovesShareToJoiner(t *testing.T) {
 	rng := xrand.New(9)
 	keys := distinctKeys(rng, 400, 1<<40)
 	net := sim.NewNetwork(8)
-	w, err := NewWeb[*ListLevel, uint64, uint64](ListOps{}, net, keys, Config{Seed: 9})
+	w, err := NewWeb[*ListLevel, uint64, uint64](NewListOps(), net, keys, Config{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestWebRehomeDeterministic(t *testing.T) {
 		rng := xrand.New(21)
 		keys := distinctKeys(rng, 200, 1<<40)
 		net := sim.NewNetwork(8)
-		w, err := NewWeb[*ListLevel, uint64, uint64](ListOps{}, net, keys, Config{Seed: 21})
+		w, err := NewWeb[*ListLevel, uint64, uint64](NewListOps(), net, keys, Config{Seed: 21})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -63,15 +63,18 @@ const NoRange RangeID = -1
 var ErrStatic = errors.New("core: this link structure is static (build + query only)")
 
 // Change describes the O(1) structural delta a level structure undergoes
-// during an update.
+// during an update. The engine consumes a Change synchronously: its
+// slices may be scratch buffers owned by the Ops implementation, valid
+// only until the next Insert or Delete call on the same instance.
 type Change struct {
 	// Added lists ranges created by the update.
 	Added []RangeID
 	// Removed lists ranges destroyed by the update.
 	Removed []RangeID
-	// Remapped maps each removed range to the surviving range that
-	// inherits hyperlinks anchored at it.
-	Remapped map[RangeID]RangeID
+	// RemapTo is parallel to Removed: RemapTo[i] is the surviving range
+	// that inherits hyperlinks anchored at Removed[i], or NoRange when
+	// nothing survives (legal only if no child is anchored there).
+	RemapTo []RangeID
 	// Touched lists surviving ranges whose extent changed, requiring
 	// hyperlink recomputation.
 	Touched []RangeID
@@ -99,7 +102,9 @@ type Ops[L, T, Q any] interface {
 	// Anchors computes the hyperlinks for range r of child against
 	// parent, where child's item set is a subset of parent's: either the
 	// single identical range (nested families) or the conflict list
-	// (flat families). It is called at build and update time.
+	// (flat families). It is called at build and update time. The engine
+	// copies the result into its own storage, so implementations may
+	// return a reusable scratch buffer, valid until the next Anchors call.
 	Anchors(child, parent L, r RangeID) ([]RangeID, error)
 	// Payload reports the storage units range r of l occupies at its
 	// host beyond the engine-owned hyperlink pointers — the data a
@@ -126,6 +131,24 @@ type Ops[L, T, Q any] interface {
 	Insert(l L, x T, q Q, hint RangeID) (Change, error)
 	// Delete removes x from l.
 	Delete(l L, x T, q Q) (Change, error)
+}
+
+// BulkOps is the optional bulk-load extension of Ops. A structure whose
+// Build result is independent of item order can expose a canonical sort
+// plus a sorted-input build: NewWeb then sorts the item set once at the
+// root, every bit partition preserves that order, and each level builds
+// through BuildSorted in O(level size) instead of re-sorting — O(n) per
+// level for the whole hierarchy. Because Build is order-independent, the
+// produced structures (and therefore range enumeration order, host
+// placement, and message accounting) are identical to the incremental
+// path on any seed.
+type BulkOps[L, T any] interface {
+	// SortForBuild sorts items in place into the canonical build order,
+	// reporting false when the items cannot be ordered (e.g. invalid
+	// coordinates); the engine then falls back to the plain Build path.
+	SortForBuild(items []T) bool
+	// BuildSorted constructs D(items) from canonically ordered items.
+	BuildSorted(items []T) (L, error)
 }
 
 // RangesOf materializes the live ranges of l into a fresh slice. It is a
@@ -185,6 +208,7 @@ type setNode struct {
 	parent    *setNode
 	kids      [2]*setNode
 	inLeaves  bool // member of the query-entry list
+	leafIdx   int  // position in w.leaves while inLeaves (O(1) removal)
 	structAny any  // the L value, stored untyped; Web methods re-type it
 
 	// rangeCache is the materialized range enumeration, maintained only
@@ -200,12 +224,19 @@ type setNode struct {
 // Q, built on link structures of type L.
 type Web[L, T, Q any] struct {
 	ops    Ops[L, T, Q]
+	bulk   BulkOps[L, T] // non-nil when ops supports sorted bulk loads
 	net    *sim.Network
 	cfg    Config
 	rng    *xrand.Rand
 	root   *setNode
 	leaves []*setNode // nonempty leaf structures, query entry points
 	items  map[*setNode][]T
+	// codes is parallel to items: codes[n][i] == ops.CodeOf(items[n][i]).
+	// Codes are computed once per item and threaded through partition,
+	// insert, and delete, so membership-bit derivation and the delete
+	// path's item search never recompute CodeOf (for tree-backed items a
+	// CodeOf is a full Morton/hash encode).
+	codes  map[*setNode][]uint64
 	nextID int
 	n      int
 
@@ -216,7 +247,6 @@ type Web[L, T, Q any] struct {
 	dirtyScratch []RangeID  // Added+Touched ranges in applyInsert/applyDelete
 	todoScratch  []childRef // repairChildren work list
 	frameScratch []delFrame // Delete's per-level terminal stack
-	refScratch   []backref  // applyDelete's backref snapshot
 }
 
 // childRef identifies one child range whose hyperlinks need recomputation.
@@ -232,8 +262,12 @@ type delFrame struct {
 }
 
 // NewWeb builds a skip-web over items. The network supplies hosts for
-// range placement; every range and hyperlink is charged as storage to its
-// host.
+// range placement; every range and hyperlink is charged as storage to
+// its host — construction charges storage only, never messages. When
+// ops implements BulkOps, construction takes the O(n)-per-level bulk
+// path: one canonical sort at the root, order-preserving partitions,
+// and BuildSorted per level, with placement and accounting identical to
+// the plain path.
 func NewWeb[L, T, Q any](ops Ops[L, T, Q], net *sim.Network, items []T, cfg Config) (*Web[L, T, Q], error) {
 	cfg = cfg.withDefaults()
 	w := &Web[L, T, Q]{
@@ -242,8 +276,20 @@ func NewWeb[L, T, Q any](ops Ops[L, T, Q], net *sim.Network, items []T, cfg Conf
 		cfg:   cfg,
 		rng:   xrand.New(cfg.Seed ^ 0x5eb5eb),
 		items: make(map[*setNode][]T),
+		codes: make(map[*setNode][]uint64),
 	}
-	root, err := w.buildSubtree(append([]T(nil), items...), 0, nil)
+	all := append([]T(nil), items...)
+	sorted := false
+	if b, ok := any(ops).(BulkOps[L, T]); ok {
+		if b.SortForBuild(all) {
+			w.bulk = b
+			sorted = true
+		}
+	}
+	// Codes are computed lazily inside the root buildSubtree, after the
+	// level-0 Build has validated every item: CodeOf may panic on items
+	// Build would reject with an error (invalid quadtree points).
+	root, err := w.buildSubtree(all, nil, 0, nil, sorted)
 	if err != nil {
 		return nil, err
 	}
@@ -262,17 +308,39 @@ func (w *Web[L, T, Q]) mix(code uint64) uint64 {
 }
 
 func (w *Web[L, T, Q]) bitAt(x T, depth int) int {
-	return int(w.mix(w.ops.CodeOf(x)) >> uint(depth) & 1)
+	return w.bitFromCode(w.ops.CodeOf(x), depth)
+}
+
+// bitFromCode is the level-depth membership bit of a precomputed code.
+func (w *Web[L, T, Q]) bitFromCode(code uint64, depth int) int {
+	return int(w.mix(code) >> uint(depth) & 1)
 }
 
 func (w *Web[L, T, Q]) structOf(n *setNode) L { return n.structAny.(L) }
 
 // buildSubtree constructs the set node for items at the given depth,
-// recursing into halves while the set is large enough.
-func (w *Web[L, T, Q]) buildSubtree(items []T, depth int, parent *setNode) (*setNode, error) {
-	s, err := w.ops.Build(items)
+// recursing into halves while the set is large enough. With sorted set
+// (items in canonical build order, bulk path), each level builds via
+// BuildSorted; partitions preserve the order, so sortedness propagates.
+// codes must parallel items (codes[i] == CodeOf(items[i])); the root
+// call passes nil and the codes are filled in once Build has accepted
+// the full item set (CodeOf may panic on items Build rejects).
+func (w *Web[L, T, Q]) buildSubtree(items []T, codes []uint64, depth int, parent *setNode, sorted bool) (*setNode, error) {
+	var s L
+	var err error
+	if sorted && w.bulk != nil {
+		s, err = w.bulk.BuildSorted(items)
+	} else {
+		s, err = w.ops.Build(items)
+	}
 	if err != nil {
 		return nil, err
+	}
+	if codes == nil {
+		codes = make([]uint64, len(items))
+		for i, x := range items {
+			codes[i] = w.ops.CodeOf(x)
+		}
 	}
 	n := &setNode{
 		id:        w.nextID,
@@ -286,6 +354,7 @@ func (w *Web[L, T, Q]) buildSubtree(items []T, depth int, parent *setNode) (*set
 	}
 	w.nextID++
 	w.items[n] = items
+	w.codes[n] = codes
 	w.ops.VisitRanges(s, func(r RangeID) bool {
 		w.placeRange(n, r)
 		return true
@@ -297,12 +366,14 @@ func (w *Web[L, T, Q]) buildSubtree(items []T, depth int, parent *setNode) (*set
 	}
 	if len(items) > w.cfg.LeafMax && depth < w.cfg.MaxDepth {
 		var halves [2][]T
-		for _, x := range items {
-			b := w.bitAt(x, depth)
+		var codeHalves [2][]uint64
+		for i, x := range items {
+			b := w.bitFromCode(codes[i], depth)
 			halves[b] = append(halves[b], x)
+			codeHalves[b] = append(codeHalves[b], codes[i])
 		}
 		for b := 0; b < 2; b++ {
-			kid, err := w.buildSubtree(halves[b], depth+1, n)
+			kid, err := w.buildSubtree(halves[b], codeHalves[b], depth+1, n, sorted)
 			if err != nil {
 				return nil, err
 			}
@@ -323,6 +394,7 @@ func (w *Web[L, T, Q]) addLeaf(n *setNode) {
 		return
 	}
 	n.inLeaves = true
+	n.leafIdx = len(w.leaves)
 	w.leaves = append(w.leaves, n)
 	w.refreshRangeCache(n)
 }
@@ -370,14 +442,17 @@ func (w *Web[L, T, Q]) dropRange(n *setNode, r RangeID) {
 }
 
 // setAnchors installs hyperlinks for range r of node n (whose parent must
-// exist), maintaining backrefs and storage accounting.
+// exist), maintaining backrefs and storage accounting. The anchors slice
+// is copied into the replaced set's capacity, so callers may pass
+// scratch-backed Ops.Anchors results and the steady state allocates
+// nothing here.
 func (w *Web[L, T, Q]) setAnchors(n *setNode, r RangeID, anchors []RangeID) {
 	old := n.anchors[r]
 	for _, a := range old {
 		w.removeBackref(n.parent, a, n, r)
 	}
 	w.net.AddStorage(n.hosts[r], len(anchors)-len(old))
-	n.anchors[r] = anchors
+	n.anchors[r] = append(old[:0], anchors...)
 	for _, a := range anchors {
 		n.parent.backrefs[a] = append(n.parent.backrefs[a], backref{child: n, r: r})
 	}
@@ -595,6 +670,7 @@ func (w *Web[L, T, Q]) descendOne(n *setNode, cur RangeID, q Q, op *sim.Op) (Ran
 // message cost (Section 4).
 func (w *Web[L, T, Q]) Insert(x T, origin sim.HostID) (int, error) {
 	q := w.ops.QueryOf(x)
+	code := w.ops.CodeOf(x)
 	op := w.net.NewOp(origin)
 	defer op.Free()
 	t0, err := w.queryOp(q, op)
@@ -602,14 +678,14 @@ func (w *Web[L, T, Q]) Insert(x T, origin sim.HostID) (int, error) {
 		return 0, err
 	}
 	// Level 0: apply the structural change to D(S).
-	if err := w.applyInsert(w.root, x, q, t0, op); err != nil {
+	if err := w.applyInsert(w.root, x, q, code, t0, op); err != nil {
 		return op.Hops(), err
 	}
 	// Climb x's bit path, deriving each child terminal from the parent's.
 	node := w.root
 	tp := w.reterminal(node, t0, q)
 	for node.kids[0] != nil {
-		child := node.kids[w.bitAt(x, node.depth)]
+		child := node.kids[w.bitFromCode(code, node.depth)]
 		ct := NoRange
 		if child.count > 0 {
 			steps := 0
@@ -619,7 +695,7 @@ func (w *Web[L, T, Q]) Insert(x T, origin sim.HostID) (int, error) {
 				return op.Hops(), fmt.Errorf("core: child terminal at depth %d: %w", child.depth, err)
 			}
 		}
-		if err := w.applyInsert(child, x, q, ct, op); err != nil {
+		if err := w.applyInsert(child, x, q, code, ct, op); err != nil {
 			return op.Hops(), err
 		}
 		node = child
@@ -696,7 +772,7 @@ func anchorsEqual(a, b []RangeID) bool {
 // applyInsert performs the structural insert on node n and fixes
 // hyperlinks for the O(1) affected ranges. The Added+Touched work list
 // lives in w.dirtyScratch, reused across operations.
-func (w *Web[L, T, Q]) applyInsert(n *setNode, x T, q Q, hint RangeID, op *sim.Op) error {
+func (w *Web[L, T, Q]) applyInsert(n *setNode, x T, q Q, code uint64, hint RangeID, op *sim.Op) error {
 	s := w.structOf(n)
 	ch, err := w.ops.Insert(s, x, q, hint)
 	if err != nil {
@@ -704,6 +780,7 @@ func (w *Web[L, T, Q]) applyInsert(n *setNode, x T, q Q, hint RangeID, op *sim.O
 	}
 	n.count++
 	w.items[n] = append(w.items[n], x)
+	w.codes[n] = append(w.codes[n], code)
 	for _, r := range ch.Added {
 		w.placeRange(n, r)
 		op.Send(n.hosts[r])
@@ -765,6 +842,7 @@ func (w *Web[L, T, Q]) repairChildren(n *setNode, ranges []RangeID, op *sim.Op) 
 // Delete removes item x, routing from the originating host.
 func (w *Web[L, T, Q]) Delete(x T, origin sim.HostID) (int, error) {
 	q := w.ops.QueryOf(x)
+	code := w.ops.CodeOf(x)
 	op := w.net.NewOp(origin)
 	defer op.Free()
 	t0, err := w.queryOp(q, op)
@@ -777,7 +855,7 @@ func (w *Web[L, T, Q]) Delete(x T, origin sim.HostID) (int, error) {
 	defer func() { w.frameScratch = frames[:0] }()
 	node, tp := w.root, t0
 	for node.kids[0] != nil {
-		child := node.kids[w.bitAt(x, node.depth)]
+		child := node.kids[w.bitFromCode(code, node.depth)]
 		steps := 0
 		ct, err := w.ops.ChildTerminal(w.structOf(child), w.structOf(node), tp, q, &steps)
 		w.chargeSteps(op, child, ct, steps)
@@ -789,7 +867,7 @@ func (w *Web[L, T, Q]) Delete(x T, origin sim.HostID) (int, error) {
 	}
 	// Unwind top-down so hyperlink repair always targets live ranges.
 	for i := len(frames) - 1; i >= 0; i-- {
-		if err := w.applyDelete(frames[i].node, x, q, op); err != nil {
+		if err := w.applyDelete(frames[i].node, x, q, code, op); err != nil {
 			return op.Hops(), err
 		}
 	}
@@ -810,41 +888,39 @@ func (w *Web[L, T, Q]) Delete(x T, origin sim.HostID) (int, error) {
 	return op.Hops(), nil
 }
 
-func (w *Web[L, T, Q]) applyDelete(n *setNode, x T, q Q, op *sim.Op) error {
+func (w *Web[L, T, Q]) applyDelete(n *setNode, x T, q Q, code uint64, op *sim.Op) error {
 	s := w.structOf(n)
 	ch, err := w.ops.Delete(s, x, q)
 	if err != nil {
 		return fmt.Errorf("core: delete at depth %d: %w", n.depth, err)
 	}
 	n.count--
-	items := w.items[n]
-	code := w.ops.CodeOf(x)
-	for i := range items {
-		if w.ops.CodeOf(items[i]) == code {
-			items[i] = items[len(items)-1]
-			w.items[n] = items[:len(items)-1]
+	// Drop x from the item set by scanning the parallel code slice — a
+	// plain uint64 sweep, no CodeOf recomputation.
+	items, cs := w.items[n], w.codes[n]
+	for i := range cs {
+		if cs[i] == code {
+			last := len(items) - 1
+			items[i], cs[i] = items[last], cs[last]
+			w.items[n] = items[:last]
+			w.codes[n] = cs[:last]
 			break
 		}
 	}
-	// Redirect children anchored at removed ranges. The backref list must
-	// be snapshotted (setAnchors rewrites it); the snapshot reuses
-	// w.refScratch. The rewritten anchor slice itself is a real
-	// allocation: setAnchors stores it, so ownership passes to the child.
-	for _, dead := range ch.Removed {
-		to, ok := ch.Remapped[dead]
-		refs := append(w.refScratch[:0], n.backrefs[dead]...)
-		w.refScratch = refs[:0]
-		for _, br := range refs {
-			if !ok {
+	// Redirect children anchored at removed ranges, rewriting each
+	// child's hyperlink set in place: no snapshot and no replacement
+	// slice — the backref list under the dead range is left stale and
+	// dropped wholesale by dropRange below.
+	for i, dead := range ch.Removed {
+		to := NoRange
+		if i < len(ch.RemapTo) {
+			to = ch.RemapTo[i]
+		}
+		for _, br := range n.backrefs[dead] {
+			if to == NoRange {
 				return fmt.Errorf("core: removed range %d at depth %d has anchored children but no remap", dead, n.depth)
 			}
-			anchors := append([]RangeID(nil), br.child.anchors[br.r]...)
-			for i, a := range anchors {
-				if a == dead {
-					anchors[i] = to
-				}
-			}
-			w.setAnchors(br.child, br.r, dedupeRanges(anchors))
+			w.redirectAnchor(n, br.child, br.r, dead, to)
 			op.Send(br.child.hosts[br.r])
 		}
 		if h, ok := n.hosts[dead]; ok {
@@ -872,36 +948,64 @@ func (w *Web[L, T, Q]) applyDelete(n *setNode, x T, q Q, op *sim.Op) error {
 	return w.repairChildren(n, ch.Touched, op)
 }
 
-// dedupeRanges removes duplicates in place. Hyperlink sets are expected
-// O(1), so the quadratic membership scan is both faster than a hash set
-// and allocation-free.
-func dedupeRanges(rs []RangeID) []RangeID {
-	out := rs[:0]
-	for _, r := range rs {
+// redirectAnchor rewrites child range r's hyperlink set in place:
+// every occurrence of parent range dead becomes to (keeping its
+// position), duplicates are dropped keeping first occurrences, the
+// child host's storage is adjusted by the length delta, and — when to
+// was not already an anchor — the symmetric backref is appended at the
+// parent. The stale backref under dead is not touched; the caller drops
+// that range (and its whole backref list) immediately after. The
+// resulting anchor set, storage deltas, and messages are identical to
+// the replace-copy-dedupe-setAnchors composition this replaces, without
+// allocating. Hyperlink sets are expected O(1) (set-halving lemma), so
+// the quadratic dedupe scan is free.
+func (w *Web[L, T, Q]) redirectAnchor(parent, child *setNode, r RangeID, dead, to RangeID) {
+	anchors := child.anchors[r]
+	hadTo := false
+	for _, a := range anchors {
+		if a == to {
+			hadTo = true
+			break
+		}
+	}
+	out := anchors[:0]
+	for _, a := range anchors {
+		if a == dead {
+			a = to
+		}
 		dup := false
 		for _, o := range out {
-			if o == r {
+			if o == a {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			out = append(out, r)
+			out = append(out, a)
 		}
 	}
-	return out
+	child.anchors[r] = out
+	if len(out) != len(anchors) {
+		w.net.AddStorage(child.hosts[r], len(out)-len(anchors))
+	}
+	if !hadTo {
+		parent.backrefs[to] = append(parent.backrefs[to], backref{child: child, r: r})
+	}
 }
 
 // splitLeaf turns a leaf set node into an internal node with two halves.
 func (w *Web[L, T, Q]) splitLeaf(n *setNode, op *sim.Op) error {
 	items := w.items[n]
+	codes := w.codes[n]
 	var halves [2][]T
-	for _, x := range items {
-		b := w.bitAt(x, n.depth)
+	var codeHalves [2][]uint64
+	for i, x := range items {
+		b := w.bitFromCode(codes[i], n.depth)
 		halves[b] = append(halves[b], x)
+		codeHalves[b] = append(codeHalves[b], codes[i])
 	}
 	for b := 0; b < 2; b++ {
-		kid, err := w.buildSubtree(halves[b], n.depth+1, n)
+		kid, err := w.buildSubtree(halves[b], codeHalves[b], n.depth+1, n, false)
 		if err != nil {
 			return fmt.Errorf("core: split leaf at depth %d: %w", n.depth, err)
 		}
@@ -935,6 +1039,7 @@ func (w *Web[L, T, Q]) mergeSubtree(n *setNode, op *sim.Op) {
 		})
 		w.removeLeaf(k)
 		delete(w.items, k)
+		delete(w.codes, k)
 	}
 	release(n.kids[0])
 	release(n.kids[1])
@@ -949,13 +1054,11 @@ func (w *Web[L, T, Q]) removeLeaf(n *setNode) {
 		return
 	}
 	n.inLeaves = false
-	for i, l := range w.leaves {
-		if l == n {
-			w.leaves[i] = w.leaves[len(w.leaves)-1]
-			w.leaves = w.leaves[:len(w.leaves)-1]
-			return
-		}
-	}
+	last := len(w.leaves) - 1
+	moved := w.leaves[last]
+	w.leaves[n.leafIdx] = moved
+	moved.leafIdx = n.leafIdx
+	w.leaves = w.leaves[:last]
 }
 
 // walkNodes visits every set-tree node in deterministic DFS order

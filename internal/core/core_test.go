@@ -30,7 +30,7 @@ func newListWeb(t testing.TB, n int, seed uint64) (*Web[*ListLevel, uint64, uint
 	rng := xrand.New(seed)
 	keys := distinctKeys(rng, n, 1<<40)
 	net := sim.NewNetwork(maxInt(n, 1))
-	w, err := NewWeb[*ListLevel, uint64, uint64](ListOps{}, net, keys, Config{Seed: seed})
+	w, err := NewWeb[*ListLevel, uint64, uint64](NewListOps(), net, keys, Config{Seed: seed})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestListWebQueryHopsLogarithmic(t *testing.T) {
 	for _, n := range []int{256, 1024, 4096} {
 		keys := distinctKeys(rng.Split(), n, 1<<40)
 		net := sim.NewNetwork(n)
-		w, err := NewWeb[*ListLevel, uint64, uint64](ListOps{}, net, keys, Config{Seed: uint64(n)})
+		w, err := NewWeb[*ListLevel, uint64, uint64](NewListOps(), net, keys, Config{Seed: uint64(n)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -176,7 +176,7 @@ func TestListWebInsertDelete(t *testing.T) {
 
 func TestListWebInsertIntoEmpty(t *testing.T) {
 	net := sim.NewNetwork(8)
-	w, err := NewWeb[*ListLevel, uint64, uint64](ListOps{}, net, nil, Config{Seed: 9})
+	w, err := NewWeb[*ListLevel, uint64, uint64](NewListOps(), net, nil, Config{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestListWebStoragePerHostLogarithmic(t *testing.T) {
 	for _, n := range []int{512, 2048} {
 		keys := distinctKeys(rng.Split(), n, 1<<40)
 		net := sim.NewNetwork(n)
-		if _, err := NewWeb[*ListLevel, uint64, uint64](ListOps{}, net, keys, Config{Seed: uint64(n)}); err != nil {
+		if _, err := NewWeb[*ListLevel, uint64, uint64](NewListOps(), net, keys, Config{Seed: uint64(n)}); err != nil {
 			t.Fatal(err)
 		}
 		s := net.Snapshot()
@@ -421,7 +421,7 @@ func TestTrieWebQueryMatchesOracle(t *testing.T) {
 	rng := xrand.New(41)
 	keys := randStrings(rng, 400, "acgt", 4, 14)
 	net := sim.NewNetwork(400)
-	w, err := NewWeb[*trie.Trie, string, string](TrieOps{}, net, keys, Config{Seed: 41})
+	w, err := NewWeb[*trie.Trie, string, string](NewTrieOps(), net, keys, Config{Seed: 41})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -451,7 +451,7 @@ func TestTrieWebDeepSharedPrefixes(t *testing.T) {
 		keys = append(keys, strings.Repeat("a", i))
 	}
 	net := sim.NewNetwork(128)
-	w, err := NewWeb[*trie.Trie, string, string](TrieOps{}, net, keys, Config{Seed: 43})
+	w, err := NewWeb[*trie.Trie, string, string](NewTrieOps(), net, keys, Config{Seed: 43})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -478,7 +478,7 @@ func TestTrieWebInsertDelete(t *testing.T) {
 	rng := xrand.New(51)
 	keys := randStrings(rng, 150, "ab", 2, 12)
 	net := sim.NewNetwork(128)
-	w, err := NewWeb[*trie.Trie, string, string](TrieOps{}, net, keys[:100], Config{Seed: 51})
+	w, err := NewWeb[*trie.Trie, string, string](NewTrieOps(), net, keys[:100], Config{Seed: 51})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,84 +2,194 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
-// sorted-order index tuning: pending inserts and tombstoned deletes are
-// absorbed into the base array once either exceeds these bounds, keeping
-// Locate at O(log n + pendMax + deadMax) while updates cost O(pendMax)
-// plus an amortized O(n / min(pendMax, deadMax)) share of each rebuild —
-// far below the O(n) memmove an eagerly maintained array would pay per
-// update.
+// Sorted-order index tuning. Levels of at most indexMin keys keep no
+// index at all: every local search is a short walk over the (sorted)
+// linked list, and the level fits entirely in its inline slot storage —
+// the common case for the O(1)-size leaf levels the update path creates
+// and destroys constantly, which therefore cost zero index maintenance.
+//
+// Larger levels maintain the base + pending index. The buffer bounds
+// adapt to the level size: pending inserts and tombstoned deletes are
+// absorbed into the base array once either exceeds ~sqrt(n) (never less
+// than pendMax/deadMax), balancing the O(buffer) splice cost of an
+// update against the amortized O(n/buffer) share of each rebuild — the
+// fixed 64-entry bound of PR 2 paid an O(n/64) rebuild share per update,
+// which dominated the update path at n in the hundreds of thousands.
 const (
-	pendMax = 64
-	deadMax = 64
+	indexMin = 16
+	pendMax  = 64
+	deadMax  = 64
 )
+
+// inlineSlots is the slot capacity embedded in the ListLevel struct
+// itself. Leaf levels hold at most LeafMax+1 keys plus the head sentinel
+// before splitting, so they never spill to a heap-allocated slot array.
+const inlineSlots = 8
+
+// lslot is one range record: the key and the doubly-linked-list wiring,
+// fused in a single slot so a Step walk touches one cache line instead
+// of four parallel arrays.
+type lslot struct {
+	key  uint64
+	prev RangeID
+	next RangeID
+	live bool
+}
 
 // ListLevel is the sorted doubly-linked list link structure of Section 2.1
 // (and Lemma 1), with slot-stable range IDs. Range 0 is the head sentinel
 // covering (-inf, firstKey); every other range r covers [key(r), nextKey).
 // The ranges therefore partition the key universe.
 //
-// Alongside the linked list, ListLevel maintains the live ranges in a
-// sorted-order index, so full local searches (Locate, and InsertKey's
-// fallback when the hint is dead) are O(log n) binary searches instead of
-// O(n) head walks. The index is a base sorted array plus a small sorted
-// pending buffer: inserts go to the buffer, deletes tombstone the base
-// (or drop from the buffer), and either overflowing triggers a merge
-// rebuild. The index is pure execution-level state: routing still charges
+// Alongside the linked list, levels above indexMin keys maintain the live
+// ranges in a sorted-order index, so full local searches (Locate, ByKey,
+// and InsertKey's fallback when the hint is dead) are O(log n) binary
+// searches instead of O(n) head walks. The index is a base sorted array
+// plus a small sorted pending buffer: inserts go to the buffer, deletes
+// tombstone the base (or drop from the buffer), and either overflowing
+// its adaptive bound triggers a merge rebuild into a reused scratch
+// buffer. The index is pure execution-level state: routing still charges
 // messages per linked-list hop, so the paper's cost accounting is
 // unchanged.
 type ListLevel struct {
-	keys  []uint64
-	prev  []RangeID
-	next  []RangeID
-	live  []bool
+	slots []lslot
 	free  []RangeID
-	index map[uint64]RangeID
 	n     int
+	// tail is the last range in list order (the head sentinel when
+	// empty): the O(1) floor for queries at or above the maximum key,
+	// which is every probe of a log-structured (ascending) insert stream.
+	tail RangeID
 
+	// indexed reports whether the sorted-order index is maintained; it
+	// turns on once the level outgrows indexMin and stays on (hysteresis:
+	// dropping and rebuilding the index under a fluctuating size would
+	// thrash).
+	indexed bool
 	// baseKeys holds live keys in ascending order; baseIDs[i] is the
 	// range holding baseKeys[i], or NoRange for a tombstoned (deleted)
 	// entry awaiting the next rebuild.
 	baseKeys []uint64
 	baseIDs  []RangeID
 	// pendKeys/pendIDs buffer keys inserted since the last rebuild, in
-	// ascending order, at most pendMax entries.
+	// ascending order, at most pendLimit() entries.
 	pendKeys []uint64
 	pendIDs  []RangeID
 	dead     int // tombstones in baseIDs
+	// mergeKeys/mergeIDs are the rebuild scratch, swapped with the base
+	// arrays on each slow merge so steady-state rebuilds allocate nothing.
+	mergeKeys []uint64
+	mergeIDs  []RangeID
+
+	// inline is the initial slot storage; slots aliases it until the
+	// level outgrows inlineSlots and spills to the heap.
+	inline [inlineSlots]lslot
 }
 
 // NewListLevel builds the structure over keys (which must be distinct).
 func NewListLevel(keys []uint64) (*ListLevel, error) {
 	sorted := append([]uint64(nil), keys...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	l := &ListLevel{index: make(map[uint64]RangeID, len(keys))}
-	l.keys = append(l.keys, 0) // head sentinel
-	l.prev = append(l.prev, NoRange)
-	l.next = append(l.next, NoRange)
-	l.live = append(l.live, true)
-	l.baseKeys = make([]uint64, 0, len(keys))
-	l.baseIDs = make([]RangeID, 0, len(keys))
-	cur := RangeID(0)
-	for i, k := range sorted {
-		if i > 0 && sorted[i-1] == k {
-			return nil, fmt.Errorf("core: duplicate key %d", k)
+	slices.Sort(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("core: duplicate key %d", sorted[i])
 		}
-		id := RangeID(len(l.keys))
-		l.keys = append(l.keys, k)
-		l.prev = append(l.prev, cur)
-		l.next = append(l.next, NoRange)
-		l.live = append(l.live, true)
-		l.next[cur] = id
-		l.index[k] = id
-		l.baseKeys = append(l.baseKeys, k)
-		l.baseIDs = append(l.baseIDs, id)
+	}
+	l := &ListLevel{}
+	l.reset(sorted)
+	return l, nil
+}
+
+// NewListLevelSorted builds the structure over keys already in strictly
+// ascending order — the O(n) bulk-load path, which skips the sort and
+// the defensive copy of NewListLevel.
+func NewListLevelSorted(keys []uint64) (*ListLevel, error) {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] == keys[i-1] {
+			return nil, fmt.Errorf("core: duplicate key %d", keys[i])
+		}
+		if keys[i] < keys[i-1] {
+			return nil, fmt.Errorf("core: keys not ascending at %d", i)
+		}
+	}
+	l := &ListLevel{}
+	l.reset(keys)
+	return l, nil
+}
+
+// reset (re)initializes the level over strictly ascending keys, reusing
+// any slot and index capacity the receiver already owns — the level-pool
+// entry point for BlockedWeb's split/merge recycling. The keys slice is
+// copied, never retained.
+func (l *ListLevel) reset(sorted []uint64) {
+	need := len(sorted) + 1
+	switch {
+	case cap(l.slots) >= need:
+		l.slots = l.slots[:0]
+	case need <= inlineSlots:
+		l.slots = l.inline[:0]
+	default:
+		// Headroom beyond the exact need: bulk-loaded levels usually take
+		// inserts next, and the slack absorbs the first growth spurts.
+		l.slots = make([]lslot, 0, need+need/8+1)
+	}
+	l.free = l.free[:0]
+	l.n = 0
+	l.indexed = false
+	l.baseKeys, l.baseIDs = l.baseKeys[:0], l.baseIDs[:0]
+	l.pendKeys, l.pendIDs = l.pendKeys[:0], l.pendIDs[:0]
+	l.dead = 0
+	l.slots = append(l.slots, lslot{prev: NoRange, next: NoRange, live: true}) // head sentinel
+	cur := RangeID(0)
+	for _, k := range sorted {
+		id := RangeID(len(l.slots))
+		l.slots = append(l.slots, lslot{key: k, prev: cur, next: NoRange, live: true})
+		l.slots[cur].next = id
 		cur = id
 		l.n++
 	}
-	return l, nil
+	l.tail = cur
+	if l.n > indexMin {
+		l.buildIndex()
+	}
+}
+
+// buildIndex materializes the sorted-order index from the linked list.
+func (l *ListLevel) buildIndex() {
+	l.indexed = true
+	if cap(l.baseKeys) < l.n {
+		l.baseKeys = make([]uint64, 0, l.n+l.n/2)
+		l.baseIDs = make([]RangeID, 0, l.n+l.n/2)
+	} else {
+		l.baseKeys, l.baseIDs = l.baseKeys[:0], l.baseIDs[:0]
+	}
+	for r := l.slots[0].next; r != NoRange; r = l.slots[r].next {
+		l.baseKeys = append(l.baseKeys, l.slots[r].key)
+		l.baseIDs = append(l.baseIDs, r)
+	}
+	l.pendKeys, l.pendIDs = l.pendKeys[:0], l.pendIDs[:0]
+	l.dead = 0
+}
+
+// pendLimit is the adaptive pending-buffer bound: ~sqrt(n), never below
+// pendMax. Rounded to a power of two so it moves rarely.
+func (l *ListLevel) pendLimit() int {
+	lim := pendMax
+	for lim*lim < l.n {
+		lim <<= 1
+	}
+	return lim
+}
+
+// deadLimit is the adaptive tombstone bound, symmetric to pendLimit.
+func (l *ListLevel) deadLimit() int {
+	lim := deadMax
+	for lim*lim < l.n {
+		lim <<= 1
+	}
+	return lim
 }
 
 // Len returns the number of keys (excluding the sentinel).
@@ -89,22 +199,43 @@ func (l *ListLevel) Len() int { return l.n }
 func (l *ListLevel) Head() RangeID { return 0 }
 
 // Key returns the key of range r; r must not be the head sentinel.
-func (l *ListLevel) Key(r RangeID) uint64 { return l.keys[r] }
+func (l *ListLevel) Key(r RangeID) uint64 { return l.slots[r].key }
 
 // IsHead reports whether r is the sentinel.
 func (l *ListLevel) IsHead(r RangeID) bool { return r == 0 }
 
-// ByKey returns the range holding exactly key k.
+// ByKey returns the range holding exactly key k — an O(log n) binary
+// search over the sorted-order index (a bounded list walk below
+// indexMin keys), allocation-free.
 func (l *ListLevel) ByKey(k uint64) (RangeID, bool) {
-	r, ok := l.index[k]
-	return r, ok
+	if !l.indexed {
+		for r := l.slots[0].next; r != NoRange; r = l.slots[r].next {
+			if kr := l.slots[r].key; kr == k {
+				return r, true
+			} else if kr > k {
+				break
+			}
+		}
+		return NoRange, false
+	}
+	// Base first: a live base hit is authoritative (a deleted key is
+	// tombstoned there, never live), so the common case costs a single
+	// binary search. A miss — tombstoned, or inserted since the last
+	// rebuild — falls through to the pending buffer.
+	if i := floorIndex(l.baseKeys, k); i >= 0 && l.baseKeys[i] == k && l.baseIDs[i] != NoRange {
+		return l.baseIDs[i], true
+	}
+	if i := floorIndex(l.pendKeys, k); i >= 0 && l.pendKeys[i] == k {
+		return l.pendIDs[i], true
+	}
+	return NoRange, false
 }
 
 // Next and Prev expose the linked-list order.
-func (l *ListLevel) Next(r RangeID) RangeID { return l.next[r] }
+func (l *ListLevel) Next(r RangeID) RangeID { return l.slots[r].next }
 
 // Prev returns the predecessor range of r.
-func (l *ListLevel) Prev(r RangeID) RangeID { return l.prev[r] }
+func (l *ListLevel) Prev(r RangeID) RangeID { return l.slots[r].prev }
 
 // Ranges returns all live range IDs.
 func (l *ListLevel) Ranges() []RangeID {
@@ -119,8 +250,8 @@ func (l *ListLevel) Ranges() []RangeID {
 // VisitRanges calls visit for every live range ID (in slot order) until
 // visit returns false. It performs no allocation.
 func (l *ListLevel) VisitRanges(visit func(RangeID) bool) {
-	for i, ok := range l.live {
-		if ok && !visit(RangeID(i)) {
+	for i := range l.slots {
+		if l.slots[i].live && !visit(RangeID(i)) {
 			return
 		}
 	}
@@ -129,19 +260,19 @@ func (l *ListLevel) VisitRanges(visit func(RangeID) bool) {
 // Contains reports whether range r covers q: key(r) <= q < key(next(r)),
 // with the sentinel covering everything below the first key.
 func (l *ListLevel) Contains(r RangeID, q uint64) bool {
-	if r != 0 && q < l.keys[r] {
+	if r != 0 && q < l.slots[r].key {
 		return false
 	}
-	nx := l.next[r]
-	return nx == NoRange || q < l.keys[nx]
+	nx := l.slots[r].next
+	return nx == NoRange || q < l.slots[nx].key
 }
 
 // Step moves one range toward q's terminal, or NoRange if r is terminal.
 func (l *ListLevel) Step(r RangeID, q uint64) RangeID {
-	if r != 0 && q < l.keys[r] {
-		return l.prev[r]
+	if r != 0 && q < l.slots[r].key {
+		return l.slots[r].prev
 	}
-	if nx := l.next[r]; nx != NoRange && q >= l.keys[nx] {
+	if nx := l.slots[r].next; nx != NoRange && q >= l.slots[nx].key {
 		return nx
 	}
 	return NoRange
@@ -163,10 +294,20 @@ func floorIndex(ks []uint64, q uint64) int {
 }
 
 // Locate finds the terminal range containing q by binary search over the
-// sorted-order index — O(log n + pendMax + deadMax), allocation-free.
+// sorted-order index — O(log n + buffer bounds), allocation-free. Levels
+// below indexMin keys walk the list instead (bounded by indexMin steps).
 func (l *ListLevel) Locate(q uint64) RangeID {
+	// Tail fast path: q at or above the maximum key (always true for the
+	// head sentinel of an empty level, whose key reads as 0 with no
+	// ranges above it).
+	if t := l.tail; q >= l.slots[t].key {
+		return t
+	}
+	if !l.indexed {
+		return l.locateWalk(q)
+	}
 	// Base floor, skipping tombstones leftward (dead runs are bounded by
-	// deadMax, the rebuild threshold).
+	// deadLimit, the rebuild threshold).
 	bi := floorIndex(l.baseKeys, q)
 	for bi >= 0 && l.baseIDs[bi] == NoRange {
 		bi--
@@ -189,13 +330,14 @@ func (l *ListLevel) Locate(q uint64) RangeID {
 	}
 }
 
-// locateWalk is the pre-refactor O(n) head-walk search, kept as the
-// reference implementation for the Locate property test.
+// locateWalk is the head-walk search: the search path for unindexed
+// (O(1)-size) levels, and the reference implementation for the Locate
+// property test.
 func (l *ListLevel) locateWalk(q uint64) RangeID {
 	r := RangeID(0)
 	for {
-		nx := l.next[r]
-		if nx == NoRange || q < l.keys[nx] {
+		nx := l.slots[r].next
+		if nx == NoRange || q < l.slots[nx].key {
 			return r
 		}
 		r = nx
@@ -203,8 +345,10 @@ func (l *ListLevel) locateWalk(q uint64) RangeID {
 }
 
 // rebuild merges the pending buffer into the base array and drops
-// tombstones. Triggered once per O(min(pendMax, deadMax)) updates, so
-// its O(n) cost amortizes to O(n / threshold) per update.
+// tombstones. Triggered once per O(min(pendLimit, deadLimit)) updates,
+// so its O(n) cost amortizes to O(n / threshold) = O(sqrt n) per update.
+// The merge writes into a scratch buffer that is swapped with the base,
+// so steady-state rebuilds allocate nothing.
 func (l *ListLevel) rebuild() {
 	// Append-only fast path: a pending buffer entirely above a
 	// tombstone-free base extends it in place (the common bulk-load and
@@ -216,8 +360,11 @@ func (l *ListLevel) rebuild() {
 		l.pendKeys, l.pendIDs = l.pendKeys[:0], l.pendIDs[:0]
 		return
 	}
-	merged := make([]uint64, 0, l.n)
-	mergedIDs := make([]RangeID, 0, l.n)
+	merged, mergedIDs := l.mergeKeys[:0], l.mergeIDs[:0]
+	if cap(merged) < l.n {
+		merged = make([]uint64, 0, l.n+l.n/2)
+		mergedIDs = make([]RangeID, 0, l.n+l.n/2)
+	}
 	bi, pi := 0, 0
 	for bi < len(l.baseKeys) || pi < len(l.pendKeys) {
 		if bi < len(l.baseKeys) && l.baseIDs[bi] == NoRange {
@@ -236,7 +383,8 @@ func (l *ListLevel) rebuild() {
 			pi++
 		}
 	}
-	l.baseKeys, l.baseIDs = merged, mergedIDs
+	l.mergeKeys, l.baseKeys = l.baseKeys, merged
+	l.mergeIDs, l.baseIDs = l.baseIDs, mergedIDs
 	l.pendKeys, l.pendIDs = l.pendKeys[:0], l.pendIDs[:0]
 	l.dead = 0
 }
@@ -253,7 +401,7 @@ func (l *ListLevel) indexInsert(k uint64, id RangeID) {
 	l.pendIDs = append(l.pendIDs, NoRange)
 	copy(l.pendIDs[i+1:], l.pendIDs[i:])
 	l.pendIDs[i] = id
-	if len(l.pendKeys) > pendMax {
+	if len(l.pendKeys) > l.pendLimit() {
 		l.rebuild()
 	}
 }
@@ -271,21 +419,29 @@ func (l *ListLevel) indexDelete(k uint64) {
 	}
 	l.baseIDs[i] = NoRange
 	l.dead++
-	if l.dead > deadMax {
+	if l.dead > l.deadLimit() {
 		l.rebuild()
 	}
 }
 
 // InsertKey splices k after range hint (which must be the terminal range
 // containing k, or a nearby range from which Step reaches it). A NoRange
-// or dead hint falls back to the O(log n) binary search rather than
+// or dead hint falls back to the O(log n) local search rather than
 // walking from the head sentinel.
 func (l *ListLevel) InsertKey(k uint64, hint RangeID) (RangeID, error) {
-	if _, ok := l.index[k]; ok {
+	if _, ok := l.ByKey(k); ok {
 		return NoRange, fmt.Errorf("core: duplicate key %d", k)
 	}
+	return l.insertKeyUnchecked(k, hint), nil
+}
+
+// insertKeyUnchecked is InsertKey without the duplicate probe, for
+// callers that have already proven k absent (BlockedWeb.Insert verifies
+// non-membership at the ground level before climbing, and every level's
+// key set is a subset of the ground's).
+func (l *ListLevel) insertKeyUnchecked(k uint64, hint RangeID) RangeID {
 	cur := hint
-	if cur == NoRange || int(cur) >= len(l.live) || !l.live[cur] {
+	if cur == NoRange || int(cur) >= len(l.slots) || !l.slots[cur].live {
 		cur = l.Locate(k)
 	}
 	for {
@@ -299,84 +455,108 @@ func (l *ListLevel) InsertKey(k uint64, hint RangeID) (RangeID, error) {
 	if len(l.free) > 0 {
 		id = l.free[len(l.free)-1]
 		l.free = l.free[:len(l.free)-1]
-		l.keys[id] = k
-		l.live[id] = true
+		l.slots[id].key = k
+		l.slots[id].live = true
 	} else {
-		id = RangeID(len(l.keys))
-		l.keys = append(l.keys, k)
-		l.prev = append(l.prev, NoRange)
-		l.next = append(l.next, NoRange)
-		l.live = append(l.live, true)
+		id = RangeID(len(l.slots))
+		l.slots = append(l.slots, lslot{key: k, live: true})
 	}
-	nx := l.next[cur]
-	l.prev[id] = cur
-	l.next[id] = nx
-	l.next[cur] = id
+	nx := l.slots[cur].next
+	l.slots[id].prev = cur
+	l.slots[id].next = nx
+	l.slots[cur].next = id
 	if nx != NoRange {
-		l.prev[nx] = id
+		l.slots[nx].prev = id
+	} else {
+		l.tail = id
 	}
-	l.index[k] = id
-	l.indexInsert(k, id)
 	l.n++
-	return id, nil
+	if l.indexed {
+		l.indexInsert(k, id)
+	} else if l.n > indexMin {
+		l.buildIndex()
+	}
+	return id
 }
 
 // DeleteKey removes key k, returning the dead range and its predecessor
 // (which inherits the dead range's interval).
 func (l *ListLevel) DeleteKey(k uint64) (dead, pred RangeID, err error) {
-	id, ok := l.index[k]
+	id, ok := l.ByKey(k)
 	if !ok {
 		return NoRange, NoRange, fmt.Errorf("core: key %d not found", k)
 	}
-	p, nx := l.prev[id], l.next[id]
-	l.next[p] = nx
+	p, nx := l.slots[id].prev, l.slots[id].next
+	l.slots[p].next = nx
 	if nx != NoRange {
-		l.prev[nx] = p
+		l.slots[nx].prev = p
+	} else {
+		l.tail = p
 	}
-	l.live[id] = false
+	l.slots[id].live = false
 	l.free = append(l.free, id)
-	delete(l.index, k)
-	l.indexDelete(k)
 	l.n--
+	if l.indexed {
+		l.indexDelete(k)
+	}
 	return id, p, nil
 }
 
 // Keys returns all keys in ascending order.
 func (l *ListLevel) Keys() []uint64 {
-	out := make([]uint64, 0, l.n)
-	for r := l.next[0]; r != NoRange; r = l.next[r] {
-		out = append(out, l.keys[r])
+	return l.AppendKeys(make([]uint64, 0, l.n))
+}
+
+// AppendKeys appends all keys in ascending order to buf and returns the
+// extended slice — the allocation-free variant of Keys for callers with
+// a scratch buffer.
+func (l *ListLevel) AppendKeys(buf []uint64) []uint64 {
+	for r := l.slots[0].next; r != NoRange; r = l.slots[r].next {
+		buf = append(buf, l.slots[r].key)
 	}
-	return out
+	return buf
 }
 
 // CheckInvariants verifies list structure: ascending keys, consistent
-// prev/next, index completeness, and agreement between the linked list
-// and the sorted-order index (base + pending merge).
+// prev/next, and agreement between the linked list and the sorted-order
+// index (base + pending merge) when the level is large enough to carry
+// one.
 func (l *ListLevel) CheckInvariants() error {
 	count := 0
 	prev := RangeID(0)
-	for r := l.next[0]; r != NoRange; r = l.next[r] {
-		if !l.live[r] {
+	for r := l.slots[0].next; r != NoRange; r = l.slots[r].next {
+		if !l.slots[r].live {
 			return fmt.Errorf("core: dead range %d linked", r)
 		}
-		if l.prev[r] != prev {
-			return fmt.Errorf("core: range %d prev %d, want %d", r, l.prev[r], prev)
+		if l.slots[r].prev != prev {
+			return fmt.Errorf("core: range %d prev %d, want %d", r, l.slots[r].prev, prev)
 		}
-		if prev != 0 && l.keys[r] <= l.keys[prev] {
+		if prev != 0 && l.slots[r].key <= l.slots[prev].key {
 			return fmt.Errorf("core: keys out of order at range %d", r)
 		}
-		if got, ok := l.index[l.keys[r]]; !ok || got != r {
-			return fmt.Errorf("core: index broken for key %d", l.keys[r])
+		if got, ok := l.ByKey(l.slots[r].key); !ok || got != r {
+			return fmt.Errorf("core: ByKey broken for key %d", l.slots[r].key)
 		}
-		if got := l.Locate(l.keys[r]); got != r {
-			return fmt.Errorf("core: sorted-order Locate(%d) = %d, want %d", l.keys[r], got, r)
+		if got := l.Locate(l.slots[r].key); got != r {
+			return fmt.Errorf("core: Locate(%d) = %d, want %d", l.slots[r].key, got, r)
 		}
 		prev = r
 		count++
 	}
-	if count != l.n || len(l.index) != l.n {
-		return fmt.Errorf("core: count %d, n %d, index %d", count, l.n, len(l.index))
+	if count != l.n {
+		return fmt.Errorf("core: count %d, n %d", count, l.n)
+	}
+	if l.tail != prev {
+		return fmt.Errorf("core: tail is %d, want %d", l.tail, prev)
+	}
+	if !l.indexed {
+		if len(l.baseKeys) != 0 || len(l.pendKeys) != 0 || l.dead != 0 {
+			return fmt.Errorf("core: unindexed level carries index state")
+		}
+		if l.n > indexMin {
+			return fmt.Errorf("core: level of %d keys is unindexed (bound %d)", l.n, indexMin)
+		}
+		return nil
 	}
 	live := 0
 	for i, id := range l.baseIDs {
@@ -385,7 +565,7 @@ func (l *ListLevel) CheckInvariants() error {
 		}
 		if id != NoRange {
 			live++
-			if l.keys[id] != l.baseKeys[i] {
+			if l.slots[id].key != l.baseKeys[i] {
 				return fmt.Errorf("core: base index key mismatch at %d", i)
 			}
 		}
@@ -394,7 +574,7 @@ func (l *ListLevel) CheckInvariants() error {
 		if i > 0 && l.pendKeys[i] <= l.pendKeys[i-1] {
 			return fmt.Errorf("core: pending index out of order at %d", i)
 		}
-		if id == NoRange || l.keys[id] != l.pendKeys[i] {
+		if id == NoRange || l.slots[id].key != l.pendKeys[i] {
 			return fmt.Errorf("core: pending index broken at %d", i)
 		}
 		live++

@@ -90,12 +90,15 @@ func TestInsertKeyDeadHintFallback(t *testing.T) {
 
 	// The fallback must run on the sorted-order index, not a head walk:
 	// the index bounds every Locate to O(log n) binary probes plus at
-	// most pendMax pending entries and deadMax tombstone skips.
-	if len(l.pendKeys) > pendMax {
-		t.Fatalf("pending buffer exceeded its bound: %d > %d", len(l.pendKeys), pendMax)
+	// most pendLimit pending entries and deadLimit tombstone skips.
+	if !l.indexed {
+		t.Fatalf("a %d-key level must carry the sorted-order index", l.Len())
 	}
-	if l.dead > deadMax {
-		t.Fatalf("tombstones exceeded their bound: %d > %d", l.dead, deadMax)
+	if len(l.pendKeys) > l.pendLimit() {
+		t.Fatalf("pending buffer exceeded its bound: %d > %d", len(l.pendKeys), l.pendLimit())
+	}
+	if l.dead > l.deadLimit() {
+		t.Fatalf("tombstones exceeded their bound: %d > %d", l.dead, l.deadLimit())
 	}
 }
 

@@ -84,6 +84,7 @@ func (l *List) Build(keys []uint64) error {
 // deterministic path length.
 func (l *List) Search(target uint64, origin sim.HostID) (uint64, bool, int) {
 	op := l.net.NewOp(origin)
+	defer op.Free()
 	op.Visit(l.head.host)
 	cur := l.head
 	for lvl := l.head.height() - 1; lvl >= 0; lvl-- {
@@ -115,6 +116,7 @@ func (l *List) Insert(key uint64, origin sim.HostID) (int, error) {
 		return 0, fmt.Errorf("detskipnet: duplicate key %d", key)
 	}
 	op := l.net.NewOp(origin)
+	defer op.Free()
 	op.Visit(l.head.host)
 	if err := l.insertInternal(key, op); err != nil {
 		return op.Hops(), err
@@ -374,6 +376,7 @@ func (l *List) Delete(key uint64, origin sim.HostID) (int, error) {
 		return 0, fmt.Errorf("detskipnet: key %d not found", key)
 	}
 	op := l.net.NewOp(origin)
+	defer op.Free()
 	op.Visit(l.head.host)
 	// Charge the search path.
 	l.predecessors(key, op)

@@ -50,7 +50,7 @@ func AblationBlocking(cfg TheoremConfig) (*AblationReport, error) {
 		// Arbitrary placement: the generic engine over lists.
 		netA := sim.NewNetwork(n)
 		wa, err := core.NewWeb[*core.ListLevel, uint64, uint64](
-			core.ListOps{}, netA, keys, core.Config{Seed: cfg.Seed})
+			core.NewListOps(), netA, keys, core.Config{Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
 		}

@@ -44,7 +44,7 @@ func Figure2(seed uint64, n int) (string, error) {
 	keys := Keys(rng, n, 1<<40)
 	net := sim.NewNetwork(n)
 	w, err := core.NewWeb[*core.ListLevel, uint64, uint64](
-		core.ListOps{}, net, keys, core.Config{Seed: seed})
+		core.NewListOps(), net, keys, core.Config{Seed: seed})
 	if err != nil {
 		return "", err
 	}

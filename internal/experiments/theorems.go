@@ -116,7 +116,7 @@ func Theorem2MultiDim(cfg TheoremConfig) (*QueryReport, error) {
 			}
 			net := sim.NewNetwork(n)
 			w, err := core.NewWeb[*trie.Trie, string, string](
-				core.TrieOps{}, net, keys, core.Config{Seed: cfg.Seed})
+				core.NewTrieOps(), net, keys, core.Config{Seed: cfg.Seed})
 			if err != nil {
 				return nil, err
 			}
@@ -336,7 +336,7 @@ func Updates(cfg TheoremConfig) (*UpdateReport, error) {
 		strs := UniformStrings(rng, n+updates, "acgt", 6, 24)
 		net3 := sim.NewNetwork(n)
 		w3, err := core.NewWeb[*trie.Trie, string, string](
-			core.TrieOps{}, net3, strs[:n], core.Config{Seed: cfg.Seed})
+			core.NewTrieOps(), net3, strs[:n], core.Config{Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
 		}

@@ -107,6 +107,7 @@ func (t *Tree) Search(target uint64, origin sim.HostID) (uint64, bool, int) {
 		return 0, false, 0
 	}
 	op := t.net.NewOp(start.host)
+	defer op.Free()
 	cur := start
 	for cur.parent != nil && (target < cur.min || target > cur.max) {
 		cur = cur.parent
@@ -153,6 +154,7 @@ func (t *Tree) Insert(key uint64, origin sim.HostID) (int, error) {
 	}
 	start := t.originFor(origin)
 	op := t.net.NewOp(start.host)
+	defer op.Free()
 	// Climb to cover the key, then descend to the attach point.
 	cur := start
 	for cur.parent != nil && (key < cur.min || key > cur.max) {
@@ -196,6 +198,7 @@ func (t *Tree) Delete(key uint64, origin sim.HostID) (int, error) {
 	}
 	start := t.originFor(origin)
 	op := t.net.NewOp(start.host)
+	defer op.Free()
 	cur := start
 	for cur.parent != nil && (key < cur.min || key > cur.max) {
 		cur = cur.parent

@@ -79,7 +79,8 @@ func New(d int) *Tree {
 }
 
 // Build creates a compressed tree over the given points. Points must be
-// distinct; duplicates are rejected with an error.
+// distinct; duplicates are rejected with an error. The built tree is
+// independent of input order (points are sorted by Morton code first).
 func Build(d int, points []Point) (*Tree, error) {
 	t := New(d)
 	type cp struct {
@@ -105,6 +106,36 @@ func Build(d int, points []Point) (*Tree, error) {
 	for i, c := range cps {
 		t.pts[i] = points[c.idx]
 		t.codes[i] = c.code
+	}
+	if len(points) > 0 {
+		t.root = t.buildRange(0, len(points), NoNode)
+		t.ensureUniversalRoot()
+	}
+	return t, nil
+}
+
+// BuildSorted creates a compressed tree over points already in ascending
+// Morton-code order — the O(n) bulk-load path, which skips Build's sort.
+// Points must be distinct; unsorted or duplicate input is rejected. The
+// resulting tree is identical to Build's on the same point set.
+func BuildSorted(d int, points []Point) (*Tree, error) {
+	t := New(d)
+	t.pts = append(t.pts, points...)
+	t.codes = make([]uint64, len(points))
+	for i, p := range points {
+		c, err := t.Code(p)
+		if err != nil {
+			return nil, fmt.Errorf("quadtree: point %d: %w", i, err)
+		}
+		if i > 0 {
+			if c == t.codes[i-1] {
+				return nil, fmt.Errorf("quadtree: duplicate point %v", p)
+			}
+			if c < t.codes[i-1] {
+				return nil, fmt.Errorf("quadtree: points not in Morton order at %d", i)
+			}
+		}
+		t.codes[i] = c
 	}
 	if len(points) > 0 {
 		t.root = t.buildRange(0, len(points), NoNode)

@@ -185,6 +185,7 @@ func (g *Graph) Search(target uint64, origin sim.HostID) (uint64, bool, int) {
 		return 0, false, 0
 	}
 	op := g.net.NewOp(start.host)
+	defer op.Free()
 	var cur *gnode
 	if g.non {
 		cur = g.searchNoN(start, target, op)
@@ -321,6 +322,7 @@ func (g *Graph) Insert(key uint64, origin sim.HostID) (int, error) {
 	}
 	start := g.originFor(origin)
 	op := g.net.NewOp(start.host)
+	defer op.Free()
 	floor := g.searchPlain(start, key, op)
 
 	// Splice at level 0.
@@ -405,6 +407,7 @@ func (g *Graph) Delete(key uint64, origin sim.HostID) (int, error) {
 	}
 	start := g.originFor(origin)
 	op := g.net.NewOp(start.host)
+	defer op.Free()
 	if found := g.searchPlain(start, key, op); found != n {
 		// Routing must land on the key itself.
 		op.Visit(n.host)

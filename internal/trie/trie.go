@@ -74,11 +74,31 @@ func (t *Trie) StepToward(id NodeID, s string) NodeID {
 }
 
 // Build creates a compressed trie over the given keys. Keys must be
-// distinct and non-empty.
+// distinct and non-empty. The built trie is independent of input order
+// (keys are sorted first).
 func Build(keys []string) (*Trie, error) {
-	t := New()
 	sorted := append([]string(nil), keys...)
 	sort.Strings(sorted)
+	return buildFromSorted(sorted)
+}
+
+// BuildSorted creates a compressed trie over keys already in ascending
+// lexicographic order — the bulk-load path, which skips Build's sort and
+// defensive copy. Unsorted input is rejected; the resulting trie is
+// identical to Build's on the same key set.
+func BuildSorted(keys []string) (*Trie, error) {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return nil, fmt.Errorf("trie: keys not sorted at %d", i)
+		}
+	}
+	return buildFromSorted(keys)
+}
+
+// buildFromSorted inserts the sorted keys in order, rejecting empties
+// and duplicates.
+func buildFromSorted(sorted []string) (*Trie, error) {
+	t := New()
 	for i, k := range sorted {
 		if k == "" {
 			return nil, fmt.Errorf("trie: empty key")

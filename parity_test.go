@@ -223,6 +223,138 @@ func parityWorkloads(t *testing.T) map[string]int64 {
 	return got
 }
 
+// goldenSingleOps pins the exact per-operation message cost of individual
+// inserts and deletes on fixed seeds, recorded before the PR 4 update-path
+// refactor (bulk construction + allocation-free updates). Where the total
+// workload goldens above would let compensating errors cancel, these
+// detect any drift in a single update's charge sequence.
+var goldenSingleOps = map[string][]int{
+	"onedim":   goldenOneDimSingle,
+	"blocked":  goldenBlockedSingle,
+	"bucketed": goldenBucketedSingle,
+	"points":   goldenPointsSingle,
+	"strings":  goldenStringsSingle,
+}
+
+// Eight insert costs followed by eight delete costs per structure.
+var (
+	goldenOneDimSingle   = []int{56, 51, 40, 50, 49, 42, 40, 41, 26, 28, 22, 27, 22, 23, 21, 24}
+	goldenBlockedSingle  = []int{13, 22, 13, 18, 17, 16, 16, 15, 12, 14, 12, 13, 10, 10, 9, 10}
+	goldenBucketedSingle = []int{6, 6, 10, 4, 5, 5, 8, 4, 5, 8, 6, 11, 5, 5, 6, 3}
+	goldenPointsSingle   = []int{43, 53, 56, 52, 46, 54, 49, 50, 25, 30, 32, 30, 30, 30, 28, 31}
+	goldenStringsSingle  = []int{45, 51, 51, 47, 44, 45, 49, 44, 23, 31, 27, 23, 28, 28, 24, 29}
+)
+
+// singleOpWorkloads performs eight single inserts then eight single
+// deletes per dynamic structure on fixed seeds and returns the observed
+// per-operation hop counts keyed like goldenSingleOps.
+func singleOpWorkloads(t *testing.T) map[string][]int {
+	t.Helper()
+	got := make(map[string][]int)
+	record := func(name string, ins, del func(i int) (int, error)) {
+		var hops []int
+		for i := 0; i < 8; i++ {
+			h, err := ins(i)
+			if err != nil {
+				t.Fatalf("%s insert %d: %v", name, i, err)
+			}
+			hops = append(hops, h)
+		}
+		for i := 0; i < 8; i++ {
+			h, err := del(i)
+			if err != nil {
+				t.Fatalf("%s delete %d: %v", name, i, err)
+			}
+			hops = append(hops, h)
+		}
+		got[name] = hops
+	}
+
+	{
+		c := NewCluster(32)
+		keys := experiments.Keys(xrand.New(61), 272, 1<<40)
+		w, err := NewOneDim(c, keys[:256], Options{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		record("onedim",
+			func(i int) (int, error) { return w.Insert(keys[256+i], HostID(i%32)) },
+			func(i int) (int, error) { return w.Delete(keys[i*7], HostID(i%32)) })
+	}
+	{
+		c := NewCluster(32)
+		keys := experiments.Keys(xrand.New(62), 272, 1<<40)
+		w, err := NewBlocked(c, keys[:256], Options{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		record("blocked",
+			func(i int) (int, error) { return w.Insert(keys[256+i], HostID(i%32)) },
+			func(i int) (int, error) { return w.Delete(keys[i*7], HostID(i%32)) })
+	}
+	{
+		c := NewCluster(32)
+		keys := experiments.Keys(xrand.New(63), 272, 1<<40)
+		w, err := NewBucketed(c, keys[:256], Options{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		record("bucketed",
+			func(i int) (int, error) { return w.Insert(keys[256+i], HostID(i%32)) },
+			func(i int) (int, error) { return w.Delete(keys[i*7], HostID(i%32)) })
+	}
+	{
+		c := NewCluster(32)
+		rng := xrand.New(64)
+		raw := experiments.UniformPoints(rng, 2, 272, 1<<30)
+		pts := make([]Point, len(raw))
+		for i, p := range raw {
+			pts[i] = Point(p)
+		}
+		w, err := NewPoints(c, 2, pts[:256], Options{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		record("points",
+			func(i int) (int, error) { return w.Insert(pts[256+i], HostID(i%32)) },
+			func(i int) (int, error) { return w.Delete(pts[i*7], HostID(i%32)) })
+	}
+	{
+		c := NewCluster(32)
+		keys := experiments.UniformStrings(xrand.New(65), 272, "acgt", 6, 24)
+		w, err := NewStrings(c, keys[:256], Options{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		record("strings",
+			func(i int) (int, error) { return w.Insert(keys[256+i], HostID(i%32)) },
+			func(i int) (int, error) { return w.Delete(keys[i*7], HostID(i%32)) })
+	}
+	return got
+}
+
+// TestParityGoldenSingleOps asserts that the message cost of each
+// individual insert and delete on fixed seeds is unchanged by performance
+// refactors — the per-operation complement of TestParityGolden's totals.
+func TestParityGoldenSingleOps(t *testing.T) {
+	got := singleOpWorkloads(t)
+	for name, want := range goldenSingleOps {
+		if len(got[name]) != len(want) {
+			t.Fatalf("parity %s: got %d ops, want %d", name, len(got[name]), len(want))
+		}
+		for i, w := range want {
+			if got[name][i] != w {
+				t.Errorf("parity %s op %d: got %d hops, want %d", name, i, got[name][i], w)
+			}
+		}
+	}
+	if t.Failed() || testing.Verbose() {
+		for name, v := range got {
+			t.Logf("observed %s = %v", name, v)
+		}
+	}
+}
+
 // TestParityGolden asserts that message/hop accounting on fixed seeds is
 // unchanged by performance refactors.
 func TestParityGolden(t *testing.T) {

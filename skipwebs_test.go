@@ -202,6 +202,15 @@ func TestPointsEndToEnd(t *testing.T) {
 	if _, err := NewPoints(c, 1, nil, Options{}); err == nil {
 		t.Fatal("dimension 1 accepted")
 	}
+	// Invalid points must surface as errors, not panics — the bulk-load
+	// path must not precompute Morton codes before Build validates
+	// (regression: PR 4's eager CodeOf loop panicked here).
+	if _, err := NewPoints(c, 2, []Point{{1, 2}, {3}}, Options{}); err == nil {
+		t.Fatal("wrong-dimension point accepted")
+	}
+	if _, err := NewPoints(c, 2, []Point{{1, 2}, {1 << 31, 5}}, Options{}); err == nil {
+		t.Fatal("out-of-range coordinate accepted")
+	}
 }
 
 func TestStringsEndToEnd(t *testing.T) {

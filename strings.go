@@ -34,7 +34,7 @@ type Strings struct {
 // NewStrings builds a string skip-web over distinct non-empty keys.
 func NewStrings(c *Cluster, keys []string, opts Options) (*Strings, error) {
 	w, err := core.NewWeb[*trie.Trie, string, string](
-		core.TrieOps{}, c.network(), keys, core.Config{Seed: opts.Seed})
+		core.NewTrieOps(), c.network(), keys, core.Config{Seed: opts.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("skipwebs: %w", err)
 	}
