@@ -145,10 +145,18 @@ func runInsertBatchKeys(c *Cluster, keys []uint64, origins []HostID,
 		}
 		if j-i > 1 {
 			i0, j0 := i, j
-			cl.Do(origin, func() { doRun(keys[i0:j0], origin, hops[i0:j0], errs[i0:j0]) })
+			if err := cl.Do(origin, func() { doRun(keys[i0:j0], origin, hops[i0:j0], errs[i0:j0]) }); err != nil {
+				// The origin died mid-rendezvous (a crash racing the
+				// batch); the whole run failed fast without executing.
+				for k := i0; k < j0; k++ {
+					errs[k] = err
+				}
+			}
 		} else {
 			i0 := i
-			cl.Do(origin, func() { hops[i0], errs[i0] = do(keys[i0], origin) })
+			if err := cl.Do(origin, func() { hops[i0], errs[i0] = do(keys[i0], origin) }); err != nil {
+				errs[i0] = err
+			}
 		}
 		i = j
 	}
@@ -176,9 +184,11 @@ func runWriteBatch[X any](c *Cluster, xs []X, origins []HostID, do func(x X, ori
 	for i := range xs {
 		i := i
 		origin := c.originAt(origins, i)
-		cl.Do(origin, func() {
+		if err := cl.Do(origin, func() {
 			hops[i], errs[i] = do(xs[i], origin)
-		})
+		}); err != nil {
+			errs[i] = err // origin crashed: the op failed fast, typed
+		}
 	}
 	return hops, errors.Join(errs...)
 }

@@ -91,17 +91,17 @@ func BenchmarkTable1_SkipWeb(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	runQueryBench(b, func(q uint64, o sim.HostID) int { _, _, h := w.Query(q, o); return h }, benchN)
+	runQueryBench(b, func(q uint64, o sim.HostID) int { _, _, h, _ := w.Query(q, o); return h }, benchN)
 }
 
 func BenchmarkTable1_BucketSkipWeb(b *testing.B) {
 	hosts := benchN / 8
 	net := sim.NewNetwork(hosts)
-	w, err := core.NewBucketWeb(net, benchKeys(0), 8, 0, 1)
+	w, err := core.NewBucketWeb(net, benchKeys(0), 8, 0, 1, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
-	runQueryBench(b, func(q uint64, o sim.HostID) int { _, _, h := w.Query(q, o); return h }, hosts)
+	runQueryBench(b, func(q uint64, o sim.HostID) int { _, _, h, _ := w.Query(q, o); return h }, hosts)
 }
 
 func BenchmarkTable1_Updates(b *testing.B) {
@@ -256,7 +256,7 @@ func BenchmarkTheorem2Blocking(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				_, _, h := w.Query(rng.Uint64n(1<<40), sim.HostID(rng.Intn(benchN)))
+				_, _, h, _ := w.Query(rng.Uint64n(1<<40), sim.HostID(rng.Intn(benchN)))
 				total += h
 			}
 			b.ReportMetric(float64(total)/float64(b.N), "msgs/query")

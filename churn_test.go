@@ -409,3 +409,119 @@ func TestChurnStormProperty(t *testing.T) {
 		t.Fatalf("storm hops %d vs control %d: routing degraded past the descent regime", stormHops, controlHops)
 	}
 }
+
+// TestChurnEdgeCases pins the clean-error contract on the churn API's
+// boundary inputs: leaving a departed host twice, leaving ids that were
+// never issued (including negative ones), and a join immediately
+// followed by the joiner's leave — before the newcomer has absorbed any
+// meaningful share — must all either succeed cleanly or fail cleanly,
+// and must leave every structure consistent with zero lost keys.
+func TestChurnEdgeCases(t *testing.T) {
+	c := NewCluster(6)
+	rng := xrand.New(83)
+	keys := distinctKeys(rng, 200)
+	w, err := NewOneDim(c, keys, Options{Seed: 83})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Leave of a never-issued id, in both directions.
+	for _, bogus := range []HostID{-1, -100, 6, 10_000} {
+		if err := c.Leave(bogus); err == nil {
+			t.Fatalf("leave of never-issued host %d succeeded", bogus)
+		}
+	}
+	if c.Hosts() != 6 {
+		t.Fatalf("failed leaves changed the live count to %d", c.Hosts())
+	}
+
+	// Leave of an already-departed host fails cleanly, repeatedly.
+	victim := c.HostAt(3)
+	if err := c.Leave(victim); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := c.Leave(victim); err == nil {
+			t.Fatal("leave of departed host succeeded")
+		}
+	}
+
+	// Join immediately followed by the joiner's leave: the newcomer may
+	// hold an arbitrarily small share (possibly nothing); the drain must
+	// still be exact and the cluster consistent.
+	h := c.Join()
+	if err := c.Leave(h); err != nil {
+		t.Fatalf("leave of fresh joiner: %v", err)
+	}
+	if err := c.CheckConsistent(); err != nil {
+		t.Fatalf("after join+immediate leave: %v", err)
+	}
+
+	// The same dance on a replicated cluster (fresh joiner may have been
+	// handed replica slots by the rebalance + top-up).
+	cr := NewCluster(5)
+	wr, err := NewOneDim(cr, keys, Options{Seed: 84, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h = cr.Join()
+	if err := cr.Leave(h); err != nil {
+		t.Fatalf("replicated join+immediate leave: %v", err)
+	}
+	if err := cr.CheckConsistent(); err != nil {
+		t.Fatalf("replicated cluster after join+immediate leave: %v", err)
+	}
+	for i, k := range keys[:64] {
+		if ok, _, err := w.Contains(k, c.HostAt(i)); err != nil || !ok {
+			t.Fatalf("key %d lost across edge-case churn: %v", k, err)
+		}
+		if ok, _, err := wr.Contains(k, cr.HostAt(i)); err != nil || !ok {
+			t.Fatalf("replicated key %d lost across edge-case churn: %v", k, err)
+		}
+	}
+}
+
+// TestCloseRacesFloorBatch is the Close-vs-batch audit regression: a
+// Close landing around in-flight FloorBatches must drain them, never
+// deadlock, and never double-close a mailbox; batches that start after
+// Close observe the documented panic instead of hanging (run with
+// -race).
+func TestCloseRacesFloorBatch(t *testing.T) {
+	for round := 0; round < 6; round++ {
+		c := NewCluster(8)
+		rng := xrand.New(uint64(91 + round))
+		keys := distinctKeys(rng, 128)
+		w, err := NewOneDim(c, keys, Options{Seed: uint64(91 + round)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs := keys[:64]
+		if _, err := w.FloorBatch(qs[:4], nil); err != nil { // start the pool
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Batches racing Close either complete normally (they
+				// held the read lock first) or panic with the documented
+				// after-Close message — never a deadlock or a second
+				// mailbox close.
+				defer func() { _ = recover() }()
+				for i := 0; i < 4; i++ {
+					if _, err := w.FloorBatch(qs, nil); err != nil {
+						t.Errorf("racing batch: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		c.Close()
+		wg.Wait()
+		c.Close() // idempotent, also when racing batches just drained
+		if err := c.CheckConsistent(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -4,12 +4,13 @@
 //
 // Usage:
 //
-//	skipweb-bench [-mode experiments|throughput|bench|churn]
+//	skipweb-bench [-mode experiments|throughput|bench|churn|failover]
 //	              [-experiment all|table1|lemma1|lemma3|lemma4|lemma5|
 //	               theorem2|blocking|updates|congestion|ablation|figures]
 //	              [-quick] [-seed N]
 //	              [-hosts H] [-keys N] [-queries Q] [-procs 1,2,4]
 //	              [-churn-rates 0,0.002,0.01,0.04]
+//	              [-replicas 1,2,3] [-crashes N]
 //	              [-json FILE] [-baseline FILE]
 //
 // The default mode runs the paper experiments at the EXPERIMENTS.md
@@ -24,6 +25,16 @@
 // so perf trajectories can be compared run over run (`benchstat` works
 // on the plain `go test -bench` output; the JSON is for dashboards and
 // CI artifacts).
+//
+// Failover mode measures crash tolerance versus the replication factor
+// -replicas: at each k, a mixed query workload over all six structures
+// is interleaved with -crashes unclean host kills (Cluster.Crash: no
+// migration, the host's data dies, Repair re-replicates from the
+// surviving copies). It reports availability (fraction of queries
+// answered rather than failing fast), whether every answered query
+// matched a crash-free control build, lost units, repair msgs/event,
+// and query/update msgs/op — the replication overhead; results are
+// recorded as BENCH_FAILOVER_PR5.json.
 //
 // Churn mode runs a join/leave storm against every structure at once:
 // at each rate in -churn-rates (churn events per operation), a mixed
@@ -74,6 +85,8 @@ func run(args []string, out io.Writer) error {
 	queries := fs.Int("queries", 20000, "throughput: queries per batch")
 	procs := fs.String("procs", "1,2,4", "throughput: comma-separated GOMAXPROCS values")
 	churnRates := fs.String("churn-rates", "0,0.002,0.01,0.04", "churn: comma-separated churn events per operation")
+	replicas := fs.String("replicas", "1,2,3", "failover: comma-separated replication factors k")
+	crashes := fs.Int("crashes", 4, "failover: host crashes per trial")
 	jsonPath := fs.String("json", "", "bench/churn: also write results as JSON to this file")
 	baseline := fs.String("baseline", "", "bench: compare allocs/op and msgs/op against the ceilings in this JSON file and fail on regression")
 	if err := fs.Parse(args); err != nil {
@@ -92,6 +105,8 @@ func run(args []string, out io.Writer) error {
 		return runBench(out, *jsonPath, *baseline, *keyN, *hosts, *seed, *quick)
 	case "churn":
 		return runChurn(out, *jsonPath, *hosts, *keyN, *queries, *churnRates, *seed, *quick)
+	case "failover":
+		return runFailover(out, *jsonPath, *hosts, *keyN, *queries, *replicas, *crashes, *seed, *quick)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -294,6 +309,28 @@ func runBench(out io.Writer, jsonPath, baselinePath string, keyN, hosts int, see
 			}
 		}))
 	}
+	// Explicit Replicas: 1 twin of the blocked query row: the replica-
+	// aware routing, storage, and write-through paths at k = 1 must cost
+	// exactly what the pre-replication code did. Its baseline ceilings
+	// equal query/blocked-floor's, so any k = 1 replication overhead —
+	// messages or allocations — fails the perf guard.
+	{
+		c := skipwebs.NewCluster(hosts)
+		w, err := skipwebs.NewBlocked(c, keys[:keyN], skipwebs.Options{Seed: seed, Replicas: 1})
+		if err != nil {
+			return err
+		}
+		qrng := xrand.New(seed + 1) // same query stream as query/blocked-floor
+		doc.Results = append(doc.Results, measure("query/blocked-floor-r1", &msgs, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := w.Floor(qrng.Uint64n(1<<40), skipwebs.HostID(i%hosts))
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs += int64(r.Hops)
+			}
+		}))
+	}
 	pointPool := func(prng *xrand.Rand, n int) []skipwebs.Point {
 		seen := make(map[uint64]bool, n)
 		pts := make([]skipwebs.Point, 0, n)
@@ -454,6 +491,15 @@ func runBench(out io.Writer, jsonPath, baselinePath string, keyN, hosts int, see
 			return w.Insert, w.Delete, nil
 		}},
 	}
+	// Explicit Replicas: 1 twin of the blocked insert row (see
+	// query/blocked-floor-r1): pins zero k = 1 write-through overhead.
+	u64Structs = append(u64Structs, u64Struct{"blocked-r1", func(ks []uint64) (func(uint64, skipwebs.HostID) (int, error), func(uint64, skipwebs.HostID) (int, error), error) {
+		w, err := skipwebs.NewBlocked(skipwebs.NewCluster(hosts), ks, skipwebs.Options{Seed: seed, Replicas: 1})
+		if err != nil {
+			return nil, nil, err
+		}
+		return w.Insert, w.Delete, nil
+	}})
 	for _, st := range u64Structs {
 		st := st
 		var ins func(uint64, skipwebs.HostID) (int, error)
@@ -925,6 +971,339 @@ func churnTrial(hosts, keyN, ops int, rate float64, seed uint64) (churnRow, erro
 	for i, s := range strKeys {
 		if found, _, err := strs.Contains(s, c.HostAt(i)); err != nil || !found {
 			return row, fmt.Errorf("strings lost %q: %v", s, err)
+		}
+	}
+	return row, nil
+}
+
+// failoverRow is one replication-factor cell of the failover table.
+type failoverRow struct {
+	Replicas        int     `json:"replicas"`
+	Crashes         int     `json:"crashes"`
+	Availability    float64 `json:"availability"`
+	Matched         bool    `json:"answers_match_control"`
+	LostUnits       int     `json:"lost_units"`
+	RepairMsgsEvent float64 `json:"repair_msgs_per_event"`
+	QueryMsgsOp     float64 `json:"query_msgs_per_op"`
+	UpdateMsgsOp    float64 `json:"update_msgs_per_op"`
+	FinalHosts      int     `json:"final_hosts"`
+}
+
+// failoverDoc is the JSON document written by -mode=failover -json.
+type failoverDoc struct {
+	Mode    string        `json:"mode"`
+	Hosts   int           `json:"hosts"`
+	Keys    int           `json:"keys"`
+	Ops     int           `json:"ops"`
+	Crashes int           `json:"crashes"`
+	Seed    uint64        `json:"seed"`
+	Rows    []failoverRow `json:"rows"`
+}
+
+// runFailover measures crash tolerance versus the replication factor:
+// for each k, a mixed query workload over all six structures is
+// interleaved with unclean host crashes (Cluster.Crash: no migration,
+// mailbox dropped, Repair re-replicates from survivors). It records
+// availability (the fraction of queries answered rather than failing
+// fast with ErrHostDown), whether every answered query matched a
+// crash-free control build, repair traffic per crash, and the query and
+// update msgs/op — the replication overhead. At k = 1 crashes lose
+// data, so availability drops below 1; at k >= 2 with one crash at a
+// time, availability stays 1.0 and answers match the control exactly.
+func runFailover(out io.Writer, jsonPath string, hosts, keyN, ops int, replicasStr string, crashes int, seed uint64, quick bool) error {
+	if hosts < 8 {
+		return fmt.Errorf("-hosts must be >= 8 for failover mode, got %d", hosts)
+	}
+	if keyN < 64 {
+		return fmt.Errorf("-keys must be >= 64 for failover mode, got %d", keyN)
+	}
+	if crashes < 1 {
+		return fmt.Errorf("-crashes must be >= 1, got %d", crashes)
+	}
+	if quick {
+		if ops > 1800 {
+			ops = 1800
+		}
+		if keyN > 768 {
+			keyN = 768
+		}
+	}
+	if crashes > hosts/2 {
+		crashes = hosts / 2
+	}
+	var ks []int
+	for _, f := range strings.Split(replicasStr, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || k < 1 || k > hosts {
+			return fmt.Errorf("bad -replicas entry %q (want 1 <= k <= hosts)", f)
+		}
+		ks = append(ks, k)
+	}
+	doc := failoverDoc{Mode: "failover", Hosts: hosts, Keys: keyN, Ops: ops, Crashes: crashes, Seed: seed}
+	fmt.Fprintf(out, "=== F1: crash failover (hosts=%d keys=%d ops=%d crashes=%d, 6 structures vs crash-free control) ===\n",
+		hosts, keyN, ops, crashes)
+	fmt.Fprintf(out, "%4s %8s %12s %8s %10s %16s %14s %14s %7s\n",
+		"k", "crashes", "availability", "matched", "lost", "repair msgs/evt", "query msgs/op", "update msgs/op", "hosts")
+	for _, k := range ks {
+		row, err := failoverTrial(hosts, keyN, ops, k, crashes, seed)
+		if err != nil {
+			return fmt.Errorf("failover k=%d: %w", k, err)
+		}
+		doc.Rows = append(doc.Rows, row)
+		fmt.Fprintf(out, "%4d %8d %12.4f %8v %10d %16.1f %14.2f %14.2f %7d\n",
+			row.Replicas, row.Crashes, row.Availability, row.Matched, row.LostUnits,
+			row.RepairMsgsEvent, row.QueryMsgsOp, row.UpdateMsgsOp, row.FinalHosts)
+	}
+	fmt.Fprintln(out, "k>=2 rows: zero lost keys, every query answered identically to the control build")
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// failoverFixture is one cluster with all six structures, built
+// deterministically from (hosts, keyN, k, seed) so a stormed instance
+// and its crash-free control answer identically while both are intact.
+type failoverFixture struct {
+	c        *skipwebs.Cluster
+	oned     *skipwebs.OneDim
+	blocked  *skipwebs.Blocked
+	bucketed *skipwebs.Bucketed
+	points   *skipwebs.Points
+	strs     *skipwebs.Strings
+	planar   *skipwebs.Planar
+	keys     []uint64
+	extra    []uint64
+	pts      []skipwebs.Point
+	strKeys  []string
+}
+
+func buildFailoverFixture(hosts, keyN, k int, seed uint64) (*failoverFixture, error) {
+	f := &failoverFixture{c: skipwebs.NewCluster(hosts)}
+	rng := xrand.New(seed)
+	all := experiments.Keys(rng, keyN+keyN/2, 1<<40)
+	f.keys, f.extra = all[:keyN], all[keyN:]
+	opts := func(d uint64) skipwebs.Options {
+		return skipwebs.Options{Seed: seed + d, Replicas: k}
+	}
+	var err error
+	if f.oned, err = skipwebs.NewOneDim(f.c, f.keys, opts(0)); err != nil {
+		return nil, err
+	}
+	if f.blocked, err = skipwebs.NewBlocked(f.c, f.keys, opts(1)); err != nil {
+		return nil, err
+	}
+	if f.bucketed, err = skipwebs.NewBucketed(f.c, f.keys, opts(2)); err != nil {
+		return nil, err
+	}
+	raw := experiments.UniformPoints(rng, 2, keyN/2, 1<<30)
+	f.pts = make([]skipwebs.Point, len(raw))
+	for i, p := range raw {
+		f.pts[i] = skipwebs.Point(p)
+	}
+	if f.points, err = skipwebs.NewPoints(f.c, 2, f.pts, opts(3)); err != nil {
+		return nil, err
+	}
+	f.strKeys = experiments.UniformStrings(rng, keyN/2, "acgt", 8, 24)
+	if f.strs, err = skipwebs.NewStrings(f.c, f.strKeys, opts(4)); err != nil {
+		return nil, err
+	}
+	segN := keyN / 8
+	if segN > 192 {
+		segN = 192
+	}
+	rawSegs := experiments.DisjointSegments(rng, segN, trapmap.Rect{MinX: -1000, MinY: -1000, MaxX: 1000, MaxY: 1000})
+	segs := make([]skipwebs.PlanarSegment, len(rawSegs))
+	for i, s := range rawSegs {
+		segs[i] = skipwebs.PlanarSegment{
+			A: skipwebs.PlanarPoint{X: s.A.X, Y: s.A.Y},
+			B: skipwebs.PlanarPoint{X: s.B.X, Y: s.B.Y},
+		}
+	}
+	if f.planar, err = skipwebs.NewPlanar(f.c, segs,
+		skipwebs.PlanarBounds{MinX: -1000, MinY: -1000, MaxX: 1000, MaxY: 1000}, opts(5)); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// failoverAnswer is one query's comparable outcome.
+type failoverAnswer struct {
+	a, b  uint64
+	ok    bool
+	s     string
+	found bool
+}
+
+// queryOne runs the i-th workload query and returns (answer, answered,
+// error): answered=false with a nil error means the query failed fast
+// with the typed host-down error — the availability measure.
+func (f *failoverFixture) queryOne(i int, qrng *xrand.Rand) (failoverAnswer, bool, error) {
+	origin := f.c.HostAt(int(qrng.Uint64n(1 << 20)))
+	var ans failoverAnswer
+	var err error
+	switch i % 6 {
+	case 0:
+		var r skipwebs.FloorResult
+		r, err = f.oned.Floor(qrng.Uint64n(1<<40), origin)
+		ans = failoverAnswer{a: r.Key, found: r.Found}
+	case 1:
+		var r skipwebs.FloorResult
+		r, err = f.blocked.Floor(qrng.Uint64n(1<<40), origin)
+		ans = failoverAnswer{a: r.Key, found: r.Found}
+	case 2:
+		var r skipwebs.FloorResult
+		r, err = f.bucketed.Floor(qrng.Uint64n(1<<40), origin)
+		ans = failoverAnswer{a: r.Key, found: r.Found}
+	case 3:
+		q := skipwebs.Point{uint32(qrng.Uint64n(1 << 30)), uint32(qrng.Uint64n(1 << 30))}
+		var r skipwebs.PointLocation
+		r, err = f.points.Locate(q, origin)
+		ans = failoverAnswer{a: r.CellPrefix, b: uint64(r.CellBits), ok: r.Leaf}
+	case 4:
+		var r skipwebs.StringLocation
+		r, err = f.strs.Search(f.strKeys[int(qrng.Uint64n(uint64(len(f.strKeys))))], origin)
+		ans = failoverAnswer{s: r.Locus, ok: r.IsKey, found: r.Exact}
+	case 5:
+		q := skipwebs.PlanarPoint{
+			X: int64(qrng.Uint64n(1998)) - 999,
+			Y: int64(qrng.Uint64n(1998)) - 999,
+		}
+		var r skipwebs.Trapezoid
+		r, err = f.planar.Locate(q, origin)
+		ans = failoverAnswer{a: uint64(r.LeftX), b: uint64(r.RightX), ok: r.HasTop, found: r.HasBottom}
+	}
+	if err != nil {
+		if errors.Is(err, skipwebs.ErrHostDown) {
+			return ans, false, nil
+		}
+		return ans, false, err
+	}
+	return ans, true, nil
+}
+
+// failoverTrial runs one replication-factor cell: stormed and control
+// fixtures answer the same workload while the stormed cluster crashes
+// hosts at regular intervals.
+func failoverTrial(hosts, keyN, ops, k, crashes int, seed uint64) (failoverRow, error) {
+	row := failoverRow{Replicas: k}
+	stormed, err := buildFailoverFixture(hosts, keyN, k, seed)
+	if err != nil {
+		return row, err
+	}
+	control, err := buildFailoverFixture(hosts, keyN, k, seed)
+	if err != nil {
+		return row, err
+	}
+
+	// Update overhead: write-through costs k-1 extra messages per
+	// written unit. Mirror the inserts into the control so both key
+	// sets stay identical for the answer comparison.
+	stormed.c.ResetTraffic()
+	updates := 0
+	for _, key := range stormed.extra {
+		if _, err := stormed.oned.Insert(key, stormed.c.HostAt(updates)); err != nil {
+			return row, err
+		}
+		if _, err := stormed.blocked.Insert(key, stormed.c.HostAt(updates)); err != nil {
+			return row, err
+		}
+		updates += 2
+	}
+	row.UpdateMsgsOp = float64(stormed.c.Stats().TotalMessages) / float64(updates)
+	for _, key := range control.extra {
+		if _, err := control.oned.Insert(key, control.c.HostAt(0)); err != nil {
+			return row, err
+		}
+		if _, err := control.blocked.Insert(key, control.c.HostAt(0)); err != nil {
+			return row, err
+		}
+	}
+
+	stormed.c.ResetTraffic()
+	step := ops / (crashes + 1)
+	if step < 1 {
+		step = 1
+	}
+	qrngS := xrand.New(seed + 99)
+	qrngC := xrand.New(seed + 99)
+	crng := xrand.New(seed + 7)
+	var repairMsgs int64
+	answered, matched := 0, true
+	for i := 0; i < ops; i++ {
+		if i > 0 && i%step == 0 && row.Crashes < crashes && stormed.c.Hosts() > 2 {
+			victim := stormed.c.HostAt(crng.Intn(stormed.c.Hosts()))
+			before := stormed.c.Stats().TotalMessages
+			err := stormed.c.Crash(victim)
+			var dl *skipwebs.DataLossError
+			switch {
+			case err == nil:
+			case errors.As(err, &dl):
+				// Units is a cumulative snapshot (previously lost units
+				// are still lost and re-reported), so assign, not add.
+				row.LostUnits = dl.Units
+			default:
+				return row, fmt.Errorf("crash %d: %w", victim, err)
+			}
+			repairMsgs += stormed.c.Stats().TotalMessages - before
+			row.Crashes++
+			if k > 1 && row.LostUnits == 0 {
+				if err := stormed.c.CheckConsistent(); err != nil {
+					return row, fmt.Errorf("consistency after crash %d: %w", row.Crashes, err)
+				}
+			}
+		}
+		got, ok, err := stormed.queryOne(i, qrngS)
+		if err != nil {
+			return row, err
+		}
+		want, wok, err := control.queryOne(i, qrngC)
+		if err != nil || !wok {
+			return row, fmt.Errorf("control query failed: %w", err)
+		}
+		if ok {
+			answered++
+			if got != want {
+				matched = false
+			}
+		}
+	}
+	row.Availability = float64(answered) / float64(ops)
+	row.Matched = matched
+	if row.Crashes > 0 {
+		row.RepairMsgsEvent = float64(repairMsgs) / float64(row.Crashes)
+	}
+	row.QueryMsgsOp = float64(stormed.c.Stats().TotalMessages-repairMsgs) / float64(ops)
+	row.FinalHosts = stormed.c.Hosts()
+
+	// Tolerance contract: with k >= 2 and one crash at a time, nothing
+	// is lost, availability is total, and the answers match the control.
+	if k > 1 {
+		if row.LostUnits != 0 || row.Availability != 1.0 || !matched {
+			return row, fmt.Errorf("k=%d trial violated the tolerance contract: lost=%d availability=%g matched=%v",
+				k, row.LostUnits, row.Availability, matched)
+		}
+		if err := stormed.c.CheckConsistent(); err != nil {
+			return row, fmt.Errorf("final consistency: %w", err)
+		}
+		for i, key := range stormed.keys {
+			if found, _, err := stormed.oned.Contains(key, stormed.c.HostAt(i)); err != nil || !found {
+				return row, fmt.Errorf("onedim lost key %d: %v", key, err)
+			}
+			if r, err := stormed.blocked.Floor(key, stormed.c.HostAt(i)); err != nil || !r.Found || r.Key != key {
+				return row, fmt.Errorf("blocked lost key %d: %v", key, err)
+			}
+			if r, err := stormed.bucketed.Floor(key, stormed.c.HostAt(i)); err != nil || !r.Found || r.Key != key {
+				return row, fmt.Errorf("bucketed lost key %d: %v", key, err)
+			}
 		}
 	}
 	return row, nil

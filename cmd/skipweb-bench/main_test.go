@@ -189,6 +189,76 @@ func TestRunChurnSmoke(t *testing.T) {
 	}
 }
 
+func TestRunFailoverSmoke(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "failover.json")
+	var out strings.Builder
+	err := run([]string{
+		"-mode", "failover", "-quick",
+		"-hosts", "12", "-keys", "192", "-queries", "360",
+		"-replicas", "1,2", "-crashes", "2", "-json", path,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"=== F1: crash failover", "zero lost keys", "wrote "} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in failover output:\n%s", want, got)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Mode string `json:"mode"`
+		Rows []struct {
+			Replicas        int     `json:"replicas"`
+			Crashes         int     `json:"crashes"`
+			Availability    float64 `json:"availability"`
+			Matched         bool    `json:"answers_match_control"`
+			LostUnits       int     `json:"lost_units"`
+			RepairMsgsEvent float64 `json:"repair_msgs_per_event"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("failover JSON does not parse: %v", err)
+	}
+	if doc.Mode != "failover" || len(doc.Rows) != 2 {
+		t.Fatalf("failover JSON incomplete: mode=%q rows=%d", doc.Mode, len(doc.Rows))
+	}
+	k1, k2 := doc.Rows[0], doc.Rows[1]
+	if k1.Replicas != 1 || k2.Replicas != 2 {
+		t.Fatalf("rows out of order: %+v", doc.Rows)
+	}
+	if k1.Crashes == 0 || k2.Crashes == 0 {
+		t.Fatalf("no crashes recorded: %+v", doc.Rows)
+	}
+	// k=1 crashes lose data; k=2 must tolerate them completely.
+	if k1.LostUnits == 0 || k1.Availability >= 1.0 {
+		t.Fatalf("k=1 row shows no loss (crash had no effect): %+v", k1)
+	}
+	if k2.LostUnits != 0 || k2.Availability != 1.0 || !k2.Matched {
+		t.Fatalf("k=2 row violates the tolerance contract: %+v", k2)
+	}
+	if k2.RepairMsgsEvent <= 0 {
+		t.Fatalf("k=2 repair charged no messages: %+v", k2)
+	}
+}
+
+func TestRunFailoverValidatesFlags(t *testing.T) {
+	var out strings.Builder
+	for name, args := range map[string][]string{
+		"bad replicas": {"-mode", "failover", "-replicas", "0"},
+		"few hosts":    {"-mode", "failover", "-hosts", "4"},
+		"no crashes":   {"-mode", "failover", "-crashes", "0"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
 func TestRunRejectsUnknownModeAndExperiment(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-mode", "nope"}, &out); err == nil {

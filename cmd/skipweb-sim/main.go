@@ -44,6 +44,21 @@ func run(args []string, out io.Writer) error {
 		}
 		return err
 	}
+	// Validate every flag with a clean error instead of panicking deep in
+	// the simulator (-hosts 0 would panic NewNetwork; -clients 0 or
+	// -ops < 0 would silently run nothing and report empty results).
+	if *hosts < 1 {
+		return fmt.Errorf("-hosts must be at least 1, got %d", *hosts)
+	}
+	if *keys < 1 {
+		return fmt.Errorf("-keys must be at least 1, got %d", *keys)
+	}
+	if *clients < 1 {
+		return fmt.Errorf("-clients must be at least 1, got %d", *clients)
+	}
+	if *ops < 1 {
+		return fmt.Errorf("-ops must be at least 1, got %d", *ops)
+	}
 
 	rng := xrand.New(*seed)
 	initial := experiments.Keys(rng, *keys, 1<<40)
@@ -85,7 +100,10 @@ func run(args []string, out io.Writer) error {
 				}
 				q := cr.Uint64n(1 << 40)
 				cluster.Do(0, func() {
-					_, _, hops := web.Query(q, origin)
+					_, _, hops, err := web.Query(q, origin)
+					if err != nil {
+						return // no crashes in this workload; defensive only
+					}
 					totalHops.Add(int64(hops))
 					queries.Add(1)
 					if hops < len(hist) {

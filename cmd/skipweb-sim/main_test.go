@@ -33,3 +33,32 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Fatal("bad flag accepted")
 	}
 }
+
+// TestRunValidatesFlagRanges pins the flag validation: every
+// out-of-range value must fail with a clean error naming the flag, not
+// panic in the simulator or silently run an empty workload.
+func TestRunValidatesFlagRanges(t *testing.T) {
+	cases := map[string][]string{
+		"-hosts 0":    {"-hosts", "0"},
+		"-hosts -3":   {"-hosts", "-3"},
+		"-keys 0":     {"-keys", "0"},
+		"-keys -1":    {"-keys", "-1"},
+		"-clients 0":  {"-clients", "0"},
+		"-clients -2": {"-clients", "-2"},
+		"-ops 0":      {"-ops", "0"},
+		"-ops -1":     {"-ops", "-1"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			var out strings.Builder
+			err := run(args, &out)
+			if err == nil {
+				t.Fatalf("%s accepted", name)
+			}
+			flagName := strings.Fields(name)[0]
+			if !strings.Contains(err.Error(), flagName) {
+				t.Fatalf("error %q does not name the offending flag %s", err, flagName)
+			}
+		})
+	}
+}

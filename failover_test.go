@@ -1,0 +1,542 @@
+package skipwebs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// failoverFixture builds all six structures with the given replication
+// factor on a fresh cluster, over deterministic data derived from seed.
+type failoverFixture struct {
+	c      *Cluster
+	keys   []uint64
+	pts    []Point
+	strs   []string
+	oned   *OneDim
+	block  *Blocked
+	bucket *Bucketed
+	points *Points
+	strw   *Strings
+	planar *Planar
+}
+
+func buildFailoverFixture(t *testing.T, hosts, replicas int, seed uint64) *failoverFixture {
+	t.Helper()
+	f := &failoverFixture{c: NewCluster(hosts)}
+	rng := xrand.New(seed)
+	f.keys = distinctKeys(rng, 300)
+	opts := func(d uint64) Options { return Options{Seed: seed + d, Replicas: replicas} }
+	var err error
+	if f.oned, err = NewOneDim(f.c, f.keys, opts(0)); err != nil {
+		t.Fatal(err)
+	}
+	if f.block, err = NewBlocked(f.c, f.keys, opts(1)); err != nil {
+		t.Fatal(err)
+	}
+	if f.bucket, err = NewBucketed(f.c, f.keys, opts(2)); err != nil {
+		t.Fatal(err)
+	}
+	f.pts = make([]Point, 120)
+	seen := map[[2]uint32]bool{}
+	for i := range f.pts {
+		for {
+			p := [2]uint32{uint32(rng.Uint64n(1 << 20)), uint32(rng.Uint64n(1 << 20))}
+			if !seen[p] {
+				seen[p] = true
+				f.pts[i] = Point{p[0], p[1]}
+				break
+			}
+		}
+	}
+	if f.points, err = NewPoints(f.c, 2, f.pts, opts(3)); err != nil {
+		t.Fatal(err)
+	}
+	alpha := []byte("acgt")
+	seenS := map[string]bool{}
+	for len(f.strs) < 120 {
+		n := 4 + int(rng.Uint64n(12))
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alpha[rng.Uint64n(4)]
+		}
+		if !seenS[string(b)] {
+			seenS[string(b)] = true
+			f.strs = append(f.strs, string(b))
+		}
+	}
+	if f.strw, err = NewStrings(f.c, f.strs, opts(4)); err != nil {
+		t.Fatal(err)
+	}
+	segs := []PlanarSegment{
+		{A: PlanarPoint{X: -800, Y: 100}, B: PlanarPoint{X: -200, Y: 150}},
+		{A: PlanarPoint{X: -150, Y: -300}, B: PlanarPoint{X: 350, Y: -250}},
+		{A: PlanarPoint{X: 401, Y: 500}, B: PlanarPoint{X: 903, Y: 450}},
+		{A: PlanarPoint{X: -701, Y: -600}, B: PlanarPoint{X: 99, Y: -650}},
+	}
+	if f.planar, err = NewPlanar(f.c, segs,
+		PlanarBounds{MinX: -1000, MinY: -1000, MaxX: 1000, MaxY: 1000}, opts(5)); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// queryAll runs the same deterministic query workload against the
+// fixture and returns a transcript of every answer.
+func (f *failoverFixture) queryAll(t *testing.T, qseed uint64) []any {
+	t.Helper()
+	rng := xrand.New(qseed)
+	var out []any
+	for i := 0; i < 150; i++ {
+		origin := f.c.HostAt(int(rng.Uint64n(64)))
+		fr, err := f.oned.Floor(rng.Uint64n(1<<40), origin)
+		if err != nil {
+			t.Fatalf("onedim floor: %v", err)
+		}
+		out = append(out, fr.Key, fr.Found)
+		br, err := f.block.Floor(rng.Uint64n(1<<40), origin)
+		if err != nil {
+			t.Fatalf("blocked floor: %v", err)
+		}
+		out = append(out, br.Key, br.Found)
+		ur, err := f.bucket.Floor(rng.Uint64n(1<<40), origin)
+		if err != nil {
+			t.Fatalf("bucketed floor: %v", err)
+		}
+		out = append(out, ur.Key, ur.Found)
+		q := Point{uint32(rng.Uint64n(1 << 20)), uint32(rng.Uint64n(1 << 20))}
+		pl, err := f.points.Locate(q, origin)
+		if err != nil {
+			t.Fatalf("points locate: %v", err)
+		}
+		out = append(out, pl.CellPrefix, pl.CellBits, pl.Leaf)
+		sl, err := f.strw.Search(f.strs[int(rng.Uint64n(uint64(len(f.strs))))], origin)
+		if err != nil {
+			t.Fatalf("strings search: %v", err)
+		}
+		out = append(out, sl.Locus, sl.Exact)
+		pp := PlanarPoint{X: int64(rng.Uint64n(1900)) - 950, Y: int64(rng.Uint64n(1900)) - 950}
+		tr, err := f.planar.Locate(pp, origin)
+		if err != nil {
+			t.Fatalf("planar locate: %v", err)
+		}
+		out = append(out, tr.LeftX, tr.RightX, tr.HasTop, tr.HasBottom)
+	}
+	return out
+}
+
+// checkAllKeys asserts zero lost keys across every dynamic structure.
+func (f *failoverFixture) checkAllKeys(t *testing.T, stage string) {
+	t.Helper()
+	for i, k := range f.keys {
+		if ok, _, err := f.oned.Contains(k, f.c.HostAt(i)); err != nil || !ok {
+			t.Fatalf("%s: onedim lost key %d: %v", stage, k, err)
+		}
+		if r, err := f.block.Floor(k, f.c.HostAt(i)); err != nil || !r.Found || r.Key != k {
+			t.Fatalf("%s: blocked lost key %d: %v", stage, k, err)
+		}
+		if r, err := f.bucket.Floor(k, f.c.HostAt(i)); err != nil || !r.Found || r.Key != k {
+			t.Fatalf("%s: bucketed lost key %d: %v", stage, k, err)
+		}
+	}
+	for i, p := range f.pts {
+		if ok, _, err := f.points.Contains(p, f.c.HostAt(i)); err != nil || !ok {
+			t.Fatalf("%s: points lost %v: %v", stage, p, err)
+		}
+	}
+	for i, s := range f.strs {
+		if ok, _, err := f.strw.Contains(s, f.c.HostAt(i)); err != nil || !ok {
+			t.Fatalf("%s: strings lost %q: %v", stage, s, err)
+		}
+	}
+}
+
+// TestCrashFailoverMatchesControl is the acceptance property: with
+// Replicas k, crashing hosts mid-workload (one at a time, repaired by
+// Cluster.Crash between events — at most k-1 dead replicas at any
+// moment) loses zero keys and answers every query identically to a
+// crash-free control build across all six structures.
+func TestCrashFailoverMatchesControl(t *testing.T) {
+	for _, k := range []int{2, 3} {
+		stormed := buildFailoverFixture(t, 10, k, 101)
+		control := buildFailoverFixture(t, 10, k, 101)
+		for round := 0; round < 3; round++ {
+			victim := stormed.c.HostAt(3 + round)
+			if err := stormed.c.Crash(victim); err != nil {
+				t.Fatalf("k=%d crash %d: %v", k, victim, err)
+			}
+			if err := stormed.c.CheckConsistent(); err != nil {
+				t.Fatalf("k=%d after crash %d: %v", k, round, err)
+			}
+			got := stormed.queryAll(t, 555+uint64(round))
+			want := control.queryAll(t, 555+uint64(round))
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d round %d: answer %d = %v, control says %v", k, round, i, got[i], want[i])
+				}
+			}
+		}
+		stormed.checkAllKeys(t, "after crash storm")
+	}
+}
+
+// TestCrashBeyondToleranceReportsLoss pins k = 1: the crash exceeds the
+// replication tolerance, Cluster.Crash reports a DataLossError, and
+// queries split into typed fail-fast errors (lost units) and correct
+// answers (surviving units) — the availability measure the failover
+// bench records.
+func TestCrashBeyondToleranceReportsLoss(t *testing.T) {
+	f := buildFailoverFixture(t, 8, 1, 33)
+	err := f.c.Crash(f.c.HostAt(2))
+	var dl *DataLossError
+	if !errors.As(err, &dl) || dl.Units <= 0 {
+		t.Fatalf("k=1 crash returned %v, want DataLossError with positive units", err)
+	}
+	failed, answered := 0, 0
+	for i, key := range f.keys {
+		r, err := f.oned.Floor(key, f.c.HostAt(i))
+		switch {
+		case err == nil:
+			if !r.Found || r.Key != key {
+				t.Fatalf("answered query for stored key %d returned (%d,%v)", key, r.Key, r.Found)
+			}
+			answered++
+		case errors.Is(err, ErrHostDown):
+			failed++
+		default:
+			t.Fatalf("k=1 post-crash query failed with %v, want ErrHostDown", err)
+		}
+	}
+	if failed == 0 {
+		t.Fatal("crash lost units but no query failed")
+	}
+	if answered == 0 {
+		t.Fatal("availability collapsed to zero: surviving units must keep answering")
+	}
+}
+
+// TestCrashValidation pins the clean-error contract of Cluster.Crash.
+func TestCrashValidation(t *testing.T) {
+	c := NewCluster(3)
+	rng := xrand.New(3)
+	if _, err := NewOneDim(c, distinctKeys(rng, 64), Options{Seed: 3, Replicas: 2}); err != nil {
+		t.Fatal(err)
+	}
+	victim := c.HostAt(1)
+	if err := c.Crash(victim); err != nil {
+		t.Fatalf("first crash: %v", err)
+	}
+	if err := c.Crash(victim); err == nil {
+		t.Fatal("second crash of the same host succeeded")
+	}
+	if err := c.Leave(victim); err == nil {
+		t.Fatal("leave of a crashed host succeeded")
+	}
+	if err := c.Crash(HostID(999)); err == nil {
+		t.Fatal("crash of unknown host succeeded")
+	}
+	if err := c.Crash(HostID(-1)); err == nil {
+		t.Fatal("crash of negative host succeeded")
+	}
+	if err := c.Crash(c.HostAt(0)); err != nil {
+		t.Fatalf("crash down to one host: %v", err)
+	}
+	if err := c.Crash(c.HostAt(0)); err == nil {
+		t.Fatal("crash of the last live host succeeded")
+	}
+	// The cluster can regrow from the lone survivor.
+	c.Join()
+	if err := c.CheckConsistent(); err != nil {
+		t.Fatalf("after regrow: %v", err)
+	}
+}
+
+// TestCrashedOriginRejectedByBatches pins that a crashed host cannot
+// originate batch operations: origin validation reports it like any
+// departed host.
+func TestCrashedOriginRejectedByBatches(t *testing.T) {
+	c := NewCluster(6)
+	defer c.Close()
+	rng := xrand.New(19)
+	w, err := NewOneDim(c, distinctKeys(rng, 128), Options{Seed: 19, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := c.HostAt(4)
+	if err := c.Crash(victim); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	if _, err := w.FloorBatch([]uint64{1, 2, 3}, []HostID{victim}); err == nil {
+		t.Fatal("batch with crashed origin succeeded")
+	}
+	if _, err := w.FloorBatch([]uint64{1, 2, 3}, nil); err != nil {
+		t.Fatalf("round-robin batch after crash: %v", err)
+	}
+}
+
+// TestCrashWithUpdatesWritesThrough interleaves inserts and deletes
+// with crashes at k = 2: updates write through to every replica, so no
+// crash loses an update applied before it.
+func TestCrashWithUpdatesWritesThrough(t *testing.T) {
+	c := NewCluster(8)
+	rng := xrand.New(47)
+	keys := distinctKeys(rng, 600)
+	w, err := NewOneDim(c, keys[:200], Options{Seed: 47, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBlocked(c, keys[:200], Options{Seed: 48, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[uint64]bool{}
+	for _, k := range keys[:200] {
+		live[k] = true
+	}
+	next := 200
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 50; i++ {
+			k := keys[next]
+			next++
+			if _, err := w.Insert(k, c.HostAt(i)); err != nil {
+				t.Fatalf("round %d insert: %v", round, err)
+			}
+			if _, err := b.Insert(k, c.HostAt(i)); err != nil {
+				t.Fatalf("round %d blocked insert: %v", round, err)
+			}
+			live[k] = true
+		}
+		del := 0
+		for _, k := range keys[:next] {
+			if del >= 20 {
+				break
+			}
+			if live[k] {
+				if _, err := w.Delete(k, c.HostAt(del)); err != nil {
+					t.Fatalf("round %d delete: %v", round, err)
+				}
+				if _, err := b.Delete(k, c.HostAt(del)); err != nil {
+					t.Fatalf("round %d blocked delete: %v", round, err)
+				}
+				delete(live, k)
+				del++
+			}
+		}
+		if err := c.Crash(c.HostAt(2)); err != nil {
+			t.Fatalf("round %d crash: %v", round, err)
+		}
+		c.Join()
+		if err := c.CheckConsistent(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for k := range live {
+			if ok, _, err := w.Contains(k, c.HostAt(0)); err != nil || !ok {
+				t.Fatalf("round %d: onedim lost key %d after crash: %v", round, k, err)
+			}
+			if r, err := b.Floor(k, c.HostAt(0)); err != nil || !r.Found || r.Key != k {
+				t.Fatalf("round %d: blocked lost key %d after crash: %v", round, k, err)
+			}
+		}
+	}
+}
+
+// TestBatchRacesCrash races InsertBatch/DeleteBatch/FloorBatch against
+// Join, Leave, and Crash on the four engines PR 3's interleaving test
+// skipped (blocked, bucketed, points, strings), at Replicas 2 so
+// crashes lose nothing. Churn and crashes take the write lock, so they
+// serialize with the batches; the combination must end consistent with
+// zero lost keys (run with -race).
+func TestBatchRacesCrash(t *testing.T) {
+	c := NewCluster(12)
+	defer c.Close()
+	rng := xrand.New(71)
+	keys := distinctKeys(rng, 900)
+	blocked, err := NewBlocked(c, keys[:300], Options{Seed: 71, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bucketed, err := NewBucketed(c, keys[:300], Options{Seed: 72, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]Point, 400)
+	for i := range pts {
+		pts[i] = Point{uint32(i * 13), uint32(i*7 + 1)}
+	}
+	points, err := NewPoints(c, 2, pts[:200], Options{Seed: 73, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strs := make([]string, 400)
+	alpha := []byte("acgt")
+	for i := range strs {
+		b := make([]byte, 6)
+		v := i
+		for j := range b {
+			b[j] = alpha[v%4]
+			v /= 4
+		}
+		strs[i] = string(b)
+	}
+	strw, err := NewStrings(c, strs[:200], Options{Seed: 74, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { // blocked: insert batch + delete batch rounds
+		defer wg.Done()
+		for r := 0; r < 3; r++ {
+			lo, hi := 300+r*100, 300+(r+1)*100
+			if _, err := blocked.InsertBatch(keys[lo:hi], nil); err != nil {
+				t.Errorf("blocked insert batch: %v", err)
+				return
+			}
+			if _, err := blocked.DeleteBatch(keys[lo:hi], nil); err != nil {
+				t.Errorf("blocked delete batch: %v", err)
+				return
+			}
+		}
+	}()
+	go func() { // bucketed
+		defer wg.Done()
+		for r := 0; r < 3; r++ {
+			lo, hi := 600+r*100, 600+(r+1)*100
+			if _, err := bucketed.InsertBatch(keys[lo:hi], nil); err != nil {
+				t.Errorf("bucketed insert batch: %v", err)
+				return
+			}
+			if _, err := bucketed.DeleteBatch(keys[lo:hi], nil); err != nil {
+				t.Errorf("bucketed delete batch: %v", err)
+				return
+			}
+		}
+	}()
+	go func() { // points
+		defer wg.Done()
+		for r := 0; r < 3; r++ {
+			lo, hi := 200+r*60, 200+(r+1)*60
+			if _, err := points.InsertBatch(pts[lo:hi], nil); err != nil {
+				t.Errorf("points insert batch: %v", err)
+				return
+			}
+			if _, err := points.DeleteBatch(pts[lo:hi], nil); err != nil {
+				t.Errorf("points delete batch: %v", err)
+				return
+			}
+		}
+	}()
+	go func() { // strings
+		defer wg.Done()
+		for r := 0; r < 3; r++ {
+			lo, hi := 200+r*60, 200+(r+1)*60
+			if _, err := strw.InsertBatch(strs[lo:hi], nil); err != nil {
+				t.Errorf("strings insert batch: %v", err)
+				return
+			}
+			if _, err := strw.DeleteBatch(strs[lo:hi], nil); err != nil {
+				t.Errorf("strings delete batch: %v", err)
+				return
+			}
+		}
+	}()
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; i < 6; i++ {
+			switch i % 3 {
+			case 0:
+				c.Join()
+			case 1:
+				if c.Hosts() > 6 {
+					if err := c.Leave(c.HostAt(1)); err != nil {
+						t.Errorf("leave: %v", err)
+						return
+					}
+				}
+			case 2:
+				if c.Hosts() > 6 {
+					if err := c.Crash(c.HostAt(2)); err != nil {
+						t.Errorf("crash: %v", err)
+						return
+					}
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	churn.Wait()
+	if err := c.CheckConsistent(); err != nil {
+		t.Fatalf("after batch × churn × crash: %v", err)
+	}
+	// Zero lost keys on the untouched base sets.
+	for i, k := range keys[:300] {
+		if r, err := blocked.Floor(k, c.HostAt(i)); err != nil || !r.Found || r.Key != k {
+			t.Fatalf("blocked lost key %d: %v", k, err)
+		}
+		if r, err := bucketed.Floor(k, c.HostAt(i)); err != nil || !r.Found || r.Key != k {
+			t.Fatalf("bucketed lost key %d: %v", k, err)
+		}
+	}
+	for i, p := range pts[:200] {
+		if ok, _, err := points.Contains(p, c.HostAt(i)); err != nil || !ok {
+			t.Fatalf("points lost %v: %v", p, err)
+		}
+	}
+	for i, s := range strs[:200] {
+		if ok, _, err := strw.Contains(s, c.HostAt(i)); err != nil || !ok {
+			t.Fatalf("strings lost %q: %v", s, err)
+		}
+	}
+}
+
+// TestJoinDoesNotResurrectLostUnits is the regression for a rebalance
+// bug: after a k = 1 crash whose data loss was reported, a Join must
+// not relocate dead replica slots onto the newcomer — that would
+// silently "resurrect" units the crash destroyed (and discharge the
+// crashed host's already-zeroed storage counter below zero). Lost
+// units keep failing fast with ErrHostDown after any number of joins.
+func TestJoinDoesNotResurrectLostUnits(t *testing.T) {
+	f := buildFailoverFixture(t, 6, 1, 59)
+	victim := f.c.HostAt(2)
+	err := f.c.Crash(victim)
+	var dl *DataLossError
+	if !errors.As(err, &dl) || dl.Units <= 0 {
+		t.Fatalf("k=1 crash returned %v, want DataLossError", err)
+	}
+	// A fixed origin keeps every query's entry leaf — and hence its
+	// route through the range hierarchy — identical across the joins,
+	// so the failed set can only change if a dead replica moves.
+	origin := f.c.HostAt(0)
+	countFailed := func() int {
+		failed := 0
+		for _, k := range f.keys {
+			if _, err := f.oned.Floor(k, origin); errors.Is(err, ErrHostDown) {
+				failed++
+			}
+		}
+		for _, k := range f.keys {
+			if _, err := f.block.Floor(k, origin); errors.Is(err, ErrHostDown) {
+				failed++
+			}
+		}
+		return failed
+	}
+	before := countFailed()
+	if before == 0 {
+		t.Fatal("crash lost units but no query fails")
+	}
+	for i := 0; i < 3; i++ {
+		f.c.Join()
+	}
+	if after := countFailed(); after != before {
+		t.Fatalf("joins changed the failed-query count from %d to %d: lost units must stay lost", before, after)
+	}
+	if st := f.c.net.Storage(victim); st != 0 {
+		t.Fatalf("crashed host's storage counter is %d after joins, want 0 (nothing may move off a dead host)", st)
+	}
+}

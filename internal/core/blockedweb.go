@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"slices"
@@ -29,6 +30,7 @@ type BlockedWeb struct {
 	m       int // host memory parameter M
 	strat   int // stratum height L = max(1, ceil(log2 M))
 	blockSz int // ranges per block B = max(1, M/4)
+	repl    int // replication factor k (1 = unreplicated, seed-compatible)
 	leafMax int
 	merge   int
 	maxDep  int
@@ -111,6 +113,10 @@ type bnode struct {
 	blockStarts []uint64
 	blockHosts  []sim.HostID
 	blockSizes  []int
+	// blockMirrors[i] holds block i's k-1 secondary replica hosts (the
+	// primary lives in blockHosts). nil on unreplicated webs, so the
+	// k = 1 paths never touch it.
+	blockMirrors [][]sim.HostID
 
 	// inline* are the initial directory storage: fresh basic leaves hold
 	// a handful of blocks, so their directories live inside the node
@@ -128,6 +134,12 @@ type BlockedConfig struct {
 	// M is the per-host memory parameter; block size and stratum height
 	// derive from it. Defaults to ceil(log2 n)+1.
 	M int
+	// Replicas is the replication factor k: every block (and its
+	// co-located stratum copies) is mirrored on k distinct live hosts,
+	// queries fail over to the next live replica, and updates write
+	// through to all of them. 0 or 1 means unreplicated — the
+	// seed-compatible default.
+	Replicas int
 	// LeafMax / MergeMin / MaxDepth as in Config.
 	LeafMax  int
 	MergeMin int
@@ -155,6 +167,9 @@ func NewBlockedWeb(net *sim.Network, keys []uint64, cfg BlockedConfig) (*Blocked
 	if cfg.MaxDepth <= 0 {
 		cfg.MaxDepth = 60
 	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
 	strat := int(math.Ceil(math.Log2(float64(cfg.M))))
 	if strat < 1 {
 		strat = 1
@@ -169,6 +184,7 @@ func NewBlockedWeb(net *sim.Network, keys []uint64, cfg BlockedConfig) (*Blocked
 		m:       cfg.M,
 		strat:   strat,
 		blockSz: blockSz,
+		repl:    cfg.Replicas,
 		leafMax: cfg.LeafMax,
 		merge:   cfg.MergeMin,
 		maxDep:  cfg.MaxDepth,
@@ -192,9 +208,10 @@ func (w *BlockedWeb) newNode() *bnode {
 		n := w.nodeFree[k-1]
 		w.nodeFree = w.nodeFree[:k-1]
 		*n = bnode{
-			blockStarts: n.blockStarts[:0],
-			blockHosts:  n.blockHosts[:0],
-			blockSizes:  n.blockSizes[:0],
+			blockStarts:  n.blockStarts[:0],
+			blockHosts:   n.blockHosts[:0],
+			blockSizes:   n.blockSizes[:0],
+			blockMirrors: n.blockMirrors[:0],
 		}
 		return n
 	}
@@ -268,6 +285,160 @@ func (w *BlockedWeb) nextHost() sim.HostID {
 	return h
 }
 
+// replicaTarget returns how many distinct live hosts each block should
+// be mirrored on right now: the configured factor, capped by the live
+// host count.
+func (w *BlockedWeb) replicaTarget() int {
+	k := w.repl
+	if live := w.net.LiveHosts(); k > live {
+		k = live
+	}
+	return k
+}
+
+// nextHostExcluding draws the next round-robin live host not in taken.
+// Round-robin over the live set reaches a non-taken host within
+// LiveHosts draws whenever one exists; callers guarantee it does. At
+// k = 1 it is never called with a non-empty taken set, so the hostSeq
+// consumption matches nextHost exactly.
+func (w *BlockedWeb) nextHostExcluding(taken []sim.HostID) sim.HostID {
+	for {
+		h := w.nextHost()
+		dup := false
+		for _, t := range taken {
+			if t == h {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			return h
+		}
+	}
+}
+
+// blockReplicaCount returns how many replicas block bi of bn has. The
+// blockMirrors directory is empty on unreplicated webs and parallel to
+// blockHosts otherwise.
+func (w *BlockedWeb) blockReplicaCount(bn *bnode, bi int) int {
+	if len(bn.blockMirrors) == 0 {
+		return 1
+	}
+	return 1 + len(bn.blockMirrors[bi])
+}
+
+// blockReplicaAt returns replica slot `slot` of block bi (slot 0 is the
+// primary in blockHosts, slot i > 0 is blockMirrors[bi][i-1]).
+func (w *BlockedWeb) blockReplicaAt(bn *bnode, bi, slot int) sim.HostID {
+	if slot == 0 {
+		return bn.blockHosts[bi]
+	}
+	return bn.blockMirrors[bi][slot-1]
+}
+
+// setBlockReplicaAt rewrites replica slot `slot` of block bi.
+func (w *BlockedWeb) setBlockReplicaAt(bn *bnode, bi, slot int, h sim.HostID) {
+	if slot == 0 {
+		bn.blockHosts[bi] = h
+		return
+	}
+	bn.blockMirrors[bi][slot-1] = h
+}
+
+// blockHasReplica reports whether h already serves a replica of block bi.
+func (w *BlockedWeb) blockHasReplica(bn *bnode, bi int, h sim.HostID) bool {
+	for slot := 0; slot < w.blockReplicaCount(bn, bi); slot++ {
+		if w.blockReplicaAt(bn, bi, slot) == h {
+			return true
+		}
+	}
+	return false
+}
+
+// addBlockStorage charges delta storage units at every replica of block
+// bi of basic node bn — every replica holds a full copy of the block's
+// ranges, hyperlinks, and boundary copies. At k = 1 it is exactly the
+// single AddStorage the unreplicated path charged.
+func (w *BlockedWeb) addBlockStorage(bn *bnode, bi, delta int) {
+	w.net.AddStorage(bn.blockHosts[bi], delta)
+	if len(bn.blockMirrors) > 0 {
+		for _, m := range bn.blockMirrors[bi] {
+			w.net.AddStorage(m, delta)
+		}
+	}
+}
+
+// chargeBlockOnce charges one message to each replica of block bi that
+// this update has not yet charged — the write-through counterpart of
+// chargeOnce.
+func (w *BlockedWeb) chargeBlockOnce(bn *bnode, bi int, op *sim.Op) {
+	w.chargeOnce(bn.blockHosts[bi], op)
+	if len(bn.blockMirrors) > 0 {
+		for _, m := range bn.blockMirrors[bi] {
+			w.chargeOnce(m, op)
+		}
+	}
+}
+
+// liveBlockHost resolves block bi of bn for routing: the primary when
+// alive, else the first live mirror (the failed-host set is consulted
+// for free, as a failure detector would). When every replica is down
+// the block is unreachable and the typed HostDownError is returned.
+func (w *BlockedWeb) liveBlockHost(bn *bnode, bi int) (sim.HostID, error) {
+	h := bn.blockHosts[bi]
+	if w.net.Alive(h) {
+		return h, nil
+	}
+	if len(bn.blockMirrors) > 0 {
+		for _, m := range bn.blockMirrors[bi] {
+			if w.net.Alive(m) {
+				return m, nil
+			}
+		}
+	}
+	return sim.None, &sim.HostDownError{Host: h}
+}
+
+// sendBlock charges one message to every replica of block bi of bn —
+// write-through to all copies.
+func (w *BlockedWeb) sendBlock(bn *bnode, bi int, op *sim.Op) {
+	op.Send(bn.blockHosts[bi])
+	if len(bn.blockMirrors) > 0 {
+		for _, m := range bn.blockMirrors[bi] {
+			op.Send(m)
+		}
+	}
+}
+
+// visitBlock moves op to the live replica serving block bi of bn,
+// failing fast when none survives.
+func (w *BlockedWeb) visitBlock(bn *bnode, bi int, op *sim.Op) error {
+	h, err := w.liveBlockHost(bn, bi)
+	if err != nil {
+		return err
+	}
+	op.Visit(h)
+	return nil
+}
+
+// drawBlockMirrors appends k-1 fresh distinct mirror hosts for a block
+// whose primary is already drawn.
+func (w *BlockedWeb) drawBlockMirrors(primary sim.HostID) []sim.HostID {
+	k := w.replicaTarget()
+	if k <= 1 {
+		return nil
+	}
+	taken := make([]sim.HostID, 1, k)
+	taken[0] = primary
+	ms := make([]sim.HostID, 0, k-1)
+	for len(ms) < k-1 {
+		m := w.nextHostExcluding(taken)
+		ms = append(ms, m)
+		taken = append(taken, m)
+	}
+	return ms
+}
+
 // buildSubtree constructs the set node over keys, which must be strictly
 // ascending: the single sort in NewBlockedWeb propagates through every
 // bit partition, so each level builds in O(level size).
@@ -309,12 +480,18 @@ func (w *BlockedWeb) buildBlocks(n *bnode, keys []uint64) {
 	n.blockStarts = append(n.blockStarts[:0], 0) // block 0 holds the head region
 	n.blockHosts = append(n.blockHosts[:0], w.nextHost())
 	n.blockSizes = append(n.blockSizes[:0], 1) // the head sentinel
+	if w.repl > 1 {
+		n.blockMirrors = append(n.blockMirrors[:0], w.drawBlockMirrors(n.blockHosts[0]))
+	}
 	for i, k := range keys {
 		bi := len(n.blockHosts) - 1
 		if n.blockSizes[bi] >= w.blockSz && i > 0 {
 			n.blockStarts = append(n.blockStarts, k)
 			n.blockHosts = append(n.blockHosts, w.nextHost())
 			n.blockSizes = append(n.blockSizes, 0)
+			if w.repl > 1 {
+				n.blockMirrors = append(n.blockMirrors, w.drawBlockMirrors(n.blockHosts[bi+1]))
+			}
 			bi++
 		}
 		n.blockSizes[bi]++
@@ -330,11 +507,11 @@ func (w *BlockedWeb) chargeBuildStorage(n *bnode) {
 	bn := n.base
 	bi := 0 // the head sentinel's block
 	for r := n.lvl.Head(); r != NoRange; r = n.lvl.Next(r) {
-		w.net.AddStorage(bn.blockHosts[bi], 2)
+		w.addBlockStorage(bn, bi, 2)
 		if next := n.lvl.Next(r); next != NoRange {
 			bj := w.blockIndexNear(bn, n.lvl.Key(next), bi)
 			if bj != bi {
-				w.net.AddStorage(bn.blockHosts[bj], 1)
+				w.addBlockStorage(bn, bj, 1)
 			}
 			bi = bj
 		}
@@ -343,7 +520,7 @@ func (w *BlockedWeb) chargeBuildStorage(n *bnode) {
 
 // blockIndex returns the block of basic node bn covering key q: the last
 // block whose start is <= q (block 0 starts at -inf). Manual binary
-// search — this sits on every hostFor of every routed hop.
+// search — this sits on every block-host resolution of every routed hop.
 func (w *BlockedWeb) blockIndex(bn *bnode, q uint64) int {
 	lo, hi := 1, len(bn.blockStarts)
 	for lo < hi {
@@ -380,13 +557,6 @@ func (w *BlockedWeb) blockIndexNear(bn *bnode, q uint64, hint int) int {
 	return i
 }
 
-// hostFor returns the host storing (the q-relevant copy of) node n's
-// ranges: the block host of n's basic ancestor for q's key region.
-func (w *BlockedWeb) hostFor(n *bnode, q uint64) sim.HostID {
-	bn := n.base
-	return bn.blockHosts[w.blockIndex(bn, q)]
-}
-
 // rangeKey is the key identifying a range's primary block (the head
 // sentinel lives in block 0).
 func (w *BlockedWeb) rangeKey(n *bnode, r RangeID) uint64 {
@@ -404,11 +574,11 @@ func (w *BlockedWeb) chargeRangeStorage(n *bnode, r RangeID, sign int) {
 	k := w.rangeKey(n, r)
 	bn := n.base
 	bi := w.blockIndex(bn, k)
-	w.net.AddStorage(bn.blockHosts[bi], sign*2)
+	w.addBlockStorage(bn, bi, sign*2)
 	if next := n.lvl.Next(r); next != NoRange {
 		nk := n.lvl.Key(next)
 		if bj := w.blockIndexNear(bn, nk, bi); bj != bi {
-			w.net.AddStorage(bn.blockHosts[bj], sign)
+			w.addBlockStorage(bn, bj, sign)
 		}
 	}
 }
@@ -426,8 +596,8 @@ func (w *BlockedWeb) straddleCopy(n *bnode, r, next RangeID, sign int) {
 	}
 	k := w.rangeKey(n, r)
 	nk := n.lvl.Key(next)
-	if w.blockIndex(n.base, nk) != w.blockIndex(n.base, k) {
-		w.net.AddStorage(w.hostFor(n, nk), sign)
+	if bj := w.blockIndex(n.base, nk); bj != w.blockIndex(n.base, k) {
+		w.addBlockStorage(n.base, bj, sign)
 	}
 }
 
@@ -482,32 +652,43 @@ func (w *BlockedWeb) entryLeaf(origin sim.HostID) *bnode {
 
 // Query routes a floor query to the terminal range of D(S), returning
 // the floor key (ok=false if q is below every key) and the hop count.
+// On a replicated web the descent fails over to live block replicas; a
+// block with no live replica aborts the query with a HostDownError
+// (matchable via errors.Is against the host-down sentinel).
 //
 // Query and Range are safe for concurrent use by multiple goroutines as
 // long as no update runs concurrently: the descent reads only immutable
 // level lists and block directories plus atomic network counters (the
 // single-writer/many-reader contract the batch engine enforces).
-func (w *BlockedWeb) Query(q uint64, origin sim.HostID) (uint64, bool, int) {
+func (w *BlockedWeb) Query(q uint64, origin sim.HostID) (uint64, bool, int, error) {
 	op := w.net.NewOp(origin)
 	defer op.Free()
-	r := w.queryOp(q, op)
+	r, err := w.queryOp(q, op)
+	if err != nil {
+		return 0, false, op.Hops(), err
+	}
 	g := w.root.lvl
 	if g.IsHead(r) {
-		return 0, false, op.Hops()
+		return 0, false, op.Hops(), nil
 	}
-	return g.Key(r), true, op.Hops()
+	return g.Key(r), true, op.Hops(), nil
 }
 
 // queryOp descends the hierarchy under op, returning the level-0
 // terminal range.
-func (w *BlockedWeb) queryOp(q uint64, op *sim.Op) RangeID {
+func (w *BlockedWeb) queryOp(q uint64, op *sim.Op) (RangeID, error) {
 	node := w.entryLeaf(op.Current())
 	// Locate within the entry structure, visiting block hosts as the walk
 	// moves (entry structures hold O(1) ranges).
 	r := RangeID(0)
 	bi := w.blockIndex(node.base, w.rangeKey(node, r))
-	op.Visit(node.base.blockHosts[bi])
-	r = w.walk(node, r, q, bi, op)
+	if err := w.visitBlock(node.base, bi, op); err != nil {
+		return NoRange, err
+	}
+	r, err := w.walk(node, r, q, bi, op)
+	if err != nil {
+		return NoRange, err
+	}
 	for node.parent != nil {
 		parent := node.parent
 		// Hyperlink: the parent range holding the same key.
@@ -532,11 +713,16 @@ func (w *BlockedWeb) queryOp(q uint64, op *sim.Op) RangeID {
 			}
 		}
 		bi = w.blockIndex(parent.base, w.rangeKey(parent, pr))
-		op.Visit(parent.base.blockHosts[bi])
-		r = w.walk(parent, pr, q, bi, op)
+		if err := w.visitBlock(parent.base, bi, op); err != nil {
+			return NoRange, err
+		}
+		r, err = w.walk(parent, pr, q, bi, op)
+		if err != nil {
+			return NoRange, err
+		}
 		node = parent
 	}
-	return r
+	return r, nil
 }
 
 // walk performs the local Step descent in node n from range r toward q's
@@ -546,12 +732,12 @@ func (w *BlockedWeb) queryOp(q uint64, op *sim.Op) RangeID {
 // — resolves each host in O(1) amortized instead of a directory binary
 // search per step; the visited hosts — and hence the charged messages —
 // are identical.
-func (w *BlockedWeb) walk(n *bnode, r RangeID, q uint64, bi int, op *sim.Op) RangeID {
+func (w *BlockedWeb) walk(n *bnode, r RangeID, q uint64, bi int, op *sim.Op) (RangeID, error) {
 	bn := n.base
 	for {
 		nx := n.lvl.Step(r, q)
 		if nx == NoRange {
-			return r
+			return r, nil
 		}
 		r = nx
 		k := w.rangeKey(n, r)
@@ -560,7 +746,9 @@ func (w *BlockedWeb) walk(n *bnode, r RangeID, q uint64, bi int, op *sim.Op) Ran
 		} else {
 			bi = w.blockIndexNear(bn, k, bi)
 		}
-		op.Visit(bn.blockHosts[bi])
+		if err := w.visitBlock(bn, bi, op); err != nil {
+			return NoRange, err
+		}
 	}
 }
 
@@ -568,10 +756,13 @@ func (w *BlockedWeb) walk(n *bnode, r RangeID, q uint64, bi int, op *sim.Op) Ran
 // every key in [lo, hi] (inclusive) in ascending order. Cost: one floor
 // query plus one message per block crossed while walking — O(Q(n) + k/B)
 // for k results.
-func (w *BlockedWeb) Range(lo, hi uint64, origin sim.HostID) ([]uint64, int) {
+func (w *BlockedWeb) Range(lo, hi uint64, origin sim.HostID) ([]uint64, int, error) {
 	op := w.net.NewOp(origin)
 	defer op.Free()
-	r := w.queryOp(lo, op)
+	r, err := w.queryOp(lo, op)
+	if err != nil {
+		return nil, op.Hops(), err
+	}
 	g := w.root.lvl
 	// The terminal is floor(lo); the first in-range key is the terminal
 	// itself (if == lo) or its successor.
@@ -579,16 +770,24 @@ func (w *BlockedWeb) Range(lo, hi uint64, origin sim.HostID) ([]uint64, int) {
 		r = g.Next(r)
 	}
 	var out []uint64
+	bi := -1
 	for r != NoRange {
 		k := g.Key(r)
 		if k > hi {
 			break
 		}
-		op.Visit(w.hostFor(w.root, k))
+		if bi < 0 {
+			bi = w.blockIndex(w.root, k)
+		} else {
+			bi = w.blockIndexNear(w.root, k, bi)
+		}
+		if err := w.visitBlock(w.root, bi, op); err != nil {
+			return out, op.Hops(), err
+		}
 		out = append(out, k)
 		r = g.Next(r)
 	}
-	return out, op.Hops()
+	return out, op.Hops(), nil
 }
 
 // memoGet returns the memoized parent range for (parent level, child
@@ -639,7 +838,10 @@ func (w *BlockedWeb) InsertRun(keys []uint64, origin sim.HostID, hops []int, err
 func (w *BlockedWeb) Insert(key uint64, origin sim.HostID) (int, error) {
 	op := w.net.NewOp(origin)
 	defer op.Free()
-	t0 := w.queryOp(key, op)
+	t0, err := w.queryOp(key, op)
+	if err != nil {
+		return op.Hops(), err
+	}
 	if !w.root.lvl.IsHead(t0) && w.root.lvl.Key(t0) == key {
 		return op.Hops(), fmt.Errorf("core: duplicate key %d", key)
 	}
@@ -653,7 +855,10 @@ func (w *BlockedWeb) Insert(key uint64, origin sim.HostID) (int, error) {
 		child := node.kids[w.bitAt(key, node.depth)]
 		// Derive the child terminal: walk left in node's level from key's
 		// newly spliced range to the nearest key present in the child.
-		hint = w.childTerminal(node, child, key, id, op)
+		hint, err = w.childTerminal(node, child, key, id, op)
+		if err != nil {
+			return op.Hops(), err
+		}
 		node = child
 	}
 	if node.kids[0] == nil && node.count > 0 {
@@ -682,24 +887,24 @@ func (w *BlockedWeb) insertAt(n *bnode, key uint64, hint RangeID, op *sim.Op) Ra
 	// (pred, id), keeping per-host storage exact.
 	bn := n.base
 	biKey := w.blockIndex(bn, key)
-	w.net.AddStorage(bn.blockHosts[biKey], 2)
+	w.addBlockStorage(bn, biKey, 2)
 	nx := n.lvl.Next(id)
 	biNx := -1
 	if nx != NoRange {
 		biNx = w.blockIndexNear(bn, n.lvl.Key(nx), biKey)
 		if biNx != biKey {
-			w.net.AddStorage(bn.blockHosts[biNx], 1)
+			w.addBlockStorage(bn, biNx, 1)
 		}
 	}
 	pred := n.lvl.Prev(id)
 	biPred := w.blockIndexNear(bn, w.rangeKey(n, pred), biKey)
 	if nx != NoRange && biNx != biPred {
-		w.net.AddStorage(bn.blockHosts[biNx], -1)
+		w.addBlockStorage(bn, biNx, -1)
 	}
 	if biKey != biPred {
-		w.net.AddStorage(bn.blockHosts[biKey], 1)
+		w.addBlockStorage(bn, biKey, 1)
 	}
-	w.chargeOnce(bn.blockHosts[biKey], op)
+	w.chargeBlockOnce(bn, biKey, op)
 	if n.base == n {
 		n.blockSizes[biKey]++
 		if n.blockSizes[biKey] > 2*w.blockSz {
@@ -719,7 +924,7 @@ func (w *BlockedWeb) insertAt(n *bnode, key uint64, hint RangeID, op *sim.Op) Ra
 // The visited hosts (resolved through a block cursor, as in walk) are
 // identical to the probe-per-step formulation, so the charged messages
 // are unchanged.
-func (w *BlockedWeb) childTerminal(parent, child *bnode, key uint64, r RangeID, op *sim.Op) RangeID {
+func (w *BlockedWeb) childTerminal(parent, child *bnode, key uint64, r RangeID, op *sim.Op) (RangeID, error) {
 	cf := child.lvl.Locate(key)
 	stopAtHead := child.lvl.IsHead(cf)
 	var stopKey uint64
@@ -730,10 +935,10 @@ func (w *BlockedWeb) childTerminal(parent, child *bnode, key uint64, r RangeID, 
 	bi := -1
 	for {
 		if parent.lvl.IsHead(r) {
-			return child.lvl.Head()
+			return child.lvl.Head(), nil
 		}
 		if !stopAtHead && parent.lvl.Key(r) == stopKey {
-			return cf
+			return cf, nil
 		}
 		r = parent.lvl.Prev(r)
 		rk := w.rangeKey(parent, r)
@@ -742,7 +947,9 @@ func (w *BlockedWeb) childTerminal(parent, child *bnode, key uint64, r RangeID, 
 		} else {
 			bi = w.blockIndexNear(bn, rk, bi)
 		}
-		op.Visit(bn.blockHosts[bi])
+		if err := w.visitBlock(bn, bi, op); err != nil {
+			return NoRange, err
+		}
 	}
 }
 
@@ -773,13 +980,15 @@ func (w *BlockedWeb) splitBlock(bn *bnode, bi int, op *sim.Op) {
 	}
 	medKey := bn.lvl.Key(r)
 	newHost := w.nextHost()
+	newMirrors := w.drawBlockMirrors(newHost)
 	moved := bn.blockSizes[bi] - half
 	// The directory splice rehosts only the key span [medKey, hi) — hi
 	// being the old block's upper bound — and can newly straddle the
 	// pair crossing medKey. For every stratum member, transfer exactly
-	// that span's footprint from the old block host to the new one:
-	// exact per-host storage (the churn drain check relies on it) at
-	// O(block) cost with no directory searches beyond the span floor.
+	// that span's footprint from the old block's replicas to the new
+	// block's: exact per-host storage (the churn drain check relies on
+	// it) at O(block) cost with no directory searches beyond the span
+	// floor.
 	var hi uint64
 	hasHi := bi+1 < len(bn.blockStarts)
 	if hasHi {
@@ -787,7 +996,7 @@ func (w *BlockedWeb) splitBlock(bn *bnode, bi int, op *sim.Op) {
 	}
 	members := w.stratumMembers(bn)
 	for _, n := range members {
-		w.transferSpanStorage(n, bn, bi, medKey, hi, hasHi, newHost)
+		w.transferSpanStorage(n, bn, bi, medKey, hi, hasHi, newHost, newMirrors)
 	}
 	// Splice the new block into the directory.
 	bn.blockStarts = append(bn.blockStarts, 0)
@@ -800,10 +1009,18 @@ func (w *BlockedWeb) splitBlock(bn *bnode, bi int, op *sim.Op) {
 	copy(bn.blockSizes[bi+2:], bn.blockSizes[bi+1:])
 	bn.blockSizes[bi+1] = moved
 	bn.blockSizes[bi] = half
-	// One message per moved range (amortized against the inserts that
-	// grew the block).
+	if w.repl > 1 {
+		bn.blockMirrors = append(bn.blockMirrors, nil)
+		copy(bn.blockMirrors[bi+2:], bn.blockMirrors[bi+1:])
+		bn.blockMirrors[bi+1] = newMirrors
+	}
+	// One message per moved range, per replica receiving its copy
+	// (amortized against the inserts that grew the block).
 	for i := 0; i < moved; i++ {
 		op.Send(newHost)
+		for _, m := range newMirrors {
+			op.Send(m)
+		}
 	}
 }
 
@@ -827,9 +1044,10 @@ func (w *BlockedWeb) splitBlock(bn *bnode, bi int, op *sim.Op) {
 // The per-host sums are identical to recomputing every affected range's
 // footprint under both directories — splitBlock's exactness contract
 // (Cluster.Leave asserts exact drains) rests on that — at O(span) cost
-// with a single search to find the span floor.
-func (w *BlockedWeb) transferSpanStorage(n, bn *bnode, bi int, lo, hi uint64, hasHi bool, newHost sim.HostID) {
-	oldHost := bn.blockHosts[bi]
+// with a single search to find the span floor. Every replica of the old
+// block discharges the span; every replica of the new block (newHost
+// plus newMirrors) is charged its copy.
+func (w *BlockedWeb) transferSpanStorage(n, bn *bnode, bi int, lo, hi uint64, hasHi bool, newHost sim.HostID, newMirrors []sim.HostID) {
 	r := n.lvl.Locate(lo) // floor: the last range with key <= lo
 	var pred, s1 RangeID
 	if !n.lvl.IsHead(r) && n.lvl.Key(r) == lo {
@@ -840,14 +1058,20 @@ func (w *BlockedWeb) transferSpanStorage(n, bn *bnode, bi int, lo, hi uint64, ha
 	if s1 == NoRange || (hasHi && n.lvl.Key(s1) >= hi) {
 		return // no member range in the span: footprint unchanged
 	}
+	addNew := func(delta int) {
+		w.net.AddStorage(newHost, delta)
+		for _, m := range newMirrors {
+			w.net.AddStorage(m, delta)
+		}
+	}
 	for s := s1; s != NoRange && (!hasHi || n.lvl.Key(s) < hi); s = n.lvl.Next(s) {
-		w.net.AddStorage(oldHost, -2)
-		w.net.AddStorage(newHost, 2)
+		w.addBlockStorage(bn, bi, -2)
+		addNew(2)
 	}
 	if w.blockIndex(bn, w.rangeKey(n, pred)) != bi {
-		w.net.AddStorage(oldHost, -1)
+		w.addBlockStorage(bn, bi, -1)
 	}
-	w.net.AddStorage(newHost, 1)
+	addNew(1)
 }
 
 // spanRanges visits, in member n, the ranges whose storage footprint
@@ -875,7 +1099,10 @@ func (w *BlockedWeb) spanRanges(n *bnode, lo, hi uint64, hasHi bool, visit func(
 func (w *BlockedWeb) Delete(key uint64, origin sim.HostID) (int, error) {
 	op := w.net.NewOp(origin)
 	defer op.Free()
-	t0 := w.queryOp(key, op)
+	t0, err := w.queryOp(key, op)
+	if err != nil {
+		return op.Hops(), err
+	}
 	if w.root.lvl.IsHead(t0) || w.root.lvl.Key(t0) != key {
 		return op.Hops(), fmt.Errorf("core: key %d not found", key)
 	}
@@ -909,7 +1136,7 @@ func (w *BlockedWeb) Delete(key uint64, origin sim.HostID) (int, error) {
 		}
 		w.straddleCopy(n, pred, nx, 1)
 		n.count--
-		w.chargeOnce(w.hostFor(n, key), op)
+		w.chargeBlockOnce(n.base, w.blockIndex(n.base, key), op)
 		if n.base == n {
 			bi := w.blockIndex(n, key)
 			if n.blockSizes[bi] > 0 {
@@ -948,7 +1175,7 @@ func (w *BlockedWeb) splitLeaf(n *bnode, op *sim.Op) {
 		kid := w.buildSubtree(halves[b], n.depth+1, n)
 		n.kids[b] = kid
 		for _, k := range halves[b] {
-			op.Send(w.hostFor(kid, k))
+			w.sendBlock(kid.base, w.blockIndex(kid.base, k), op)
 		}
 	}
 	w.removeLeaf(n)
@@ -973,24 +1200,23 @@ func (w *BlockedWeb) releaseSubtree(k *bnode, op *sim.Op) {
 	w.releaseSubtree(k.kids[1], op)
 	k.lvl.VisitRanges(func(r RangeID) bool {
 		w.chargeRangeStorage(k, r, -1)
-		op.Send(w.hostFor(k, w.rangeKey(k, r)))
+		w.sendBlock(k.base, w.blockIndex(k.base, w.rangeKey(k, r)), op)
 		return true
 	})
 	w.removeLeaf(k)
 	w.releaseNode(k)
 }
 
-// retargetBlocks reassigns block hosts across the whole hierarchy:
-// decide(h) returns the replacement host for a block currently at h (ok
-// = false keeps it). Storage moves exactly — every range's primary copy
-// (2 units) and boundary-straddling copy (1 unit) is discharged under
-// the old directory and recharged under the new one — and one message
-// per moved storage unit is charged to op. Iteration is deterministic
-// (basic nodes in DFS order, blocks ascending), so a fixed seed yields a
-// fixed migration transcript.
-func (w *BlockedWeb) retargetBlocks(decide func(sim.HostID) (sim.HostID, bool), op *sim.Op) {
-	// Basic nodes in DFS order; each one's blocks co-locate the ranges
-	// of its whole stratum.
+// blockMove is one replica-slot reassignment collected by retargetBlocks.
+type blockMove struct {
+	slot int
+	to   sim.HostID
+}
+
+// basicNodes returns the basic nodes in DFS order; each one's blocks
+// co-locate the ranges of its whole stratum. Iteration is deterministic,
+// so a fixed seed yields a fixed migration transcript.
+func (w *BlockedWeb) basicNodes() []*bnode {
 	var basics []*bnode
 	var rec func(n *bnode)
 	rec = func(n *bnode) {
@@ -1004,13 +1230,56 @@ func (w *BlockedWeb) retargetBlocks(decide func(sim.HostID) (sim.HostID, bool), 
 		rec(n.kids[1])
 	}
 	rec(w.root)
-	for _, bn := range basics {
-		moved := make([]bool, len(bn.blockHosts))
-		next := make([]sim.HostID, len(bn.blockHosts))
+	return basics
+}
+
+// retargetBlocks reassigns block replicas across the whole hierarchy:
+// decide(bn, bi, slot, h) inspects replica slot `slot` of block bi,
+// currently at host h, and returns (to, move, drop) — move relocates
+// the replica to `to`, drop discards it (legal only when another
+// replica survives; used when the live set is too small for a distinct
+// target). Storage moves exactly — every range's primary copy (2 units)
+// and boundary-straddling copy (1 unit) is discharged under the old
+// replica sets and recharged under the new ones, so an unmoved replica
+// nets zero, a moved one transfers, and a dropped one discharges — and
+// one message per moved storage unit is charged to op.
+func (w *BlockedWeb) retargetBlocks(decide func(bn *bnode, bi, slot int, h sim.HostID) (sim.HostID, bool, bool), op *sim.Op) {
+	for _, bn := range w.basicNodes() {
+		nBlocks := len(bn.blockHosts)
+		moved := make([]bool, nBlocks)
+		moves := make([][]blockMove, nBlocks)
+		drops := make([][]int, nBlocks)
 		any := false
-		for bi, h := range bn.blockHosts {
-			if nh, ok := decide(h); ok && nh != h {
-				moved[bi], next[bi], any = true, nh, true
+		for bi := 0; bi < nBlocks; bi++ {
+			count := w.blockReplicaCount(bn, bi)
+			for slot := 0; slot < count; slot++ {
+				h := w.blockReplicaAt(bn, bi, slot)
+				to, mv, drop := decide(bn, bi, slot, h)
+				if drop {
+					drops[bi] = append(drops[bi], slot)
+					moved[bi], any = true, true
+					continue
+				}
+				if !mv || to == h {
+					continue
+				}
+				// Replica sets stay distinct: skip a move whose target
+				// already serves this block (or was just assigned to it).
+				if w.blockHasReplica(bn, bi, to) {
+					continue
+				}
+				dup := false
+				for _, m := range moves[bi] {
+					if m.to == to {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				moves[bi] = append(moves[bi], blockMove{slot, to})
+				moved[bi], any = true, true
 			}
 		}
 		if !any {
@@ -1065,9 +1334,23 @@ func (w *BlockedWeb) retargetBlocks(decide func(sim.HostID) (sim.HostID, bool), 
 				w.chargeRangeStorage(n, r, -1)
 			})
 		}
-		for bi := range moved {
-			if moved[bi] {
-				bn.blockHosts[bi] = next[bi]
+		// Apply slot rewrites first (on the pre-drop slot layout), then
+		// drops from the highest slot down so earlier indices stay valid;
+		// dropping slot 0 promotes the first surviving mirror to primary.
+		for bi := 0; bi < nBlocks; bi++ {
+			for _, m := range moves[bi] {
+				w.setBlockReplicaAt(bn, bi, m.slot, m.to)
+			}
+			ds := drops[bi]
+			sort.Sort(sort.Reverse(sort.IntSlice(ds)))
+			for _, slot := range ds {
+				ms := bn.blockMirrors[bi]
+				if slot == 0 {
+					bn.blockHosts[bi] = ms[0]
+					slot = 1
+				}
+				copy(ms[slot-1:], ms[slot:])
+				bn.blockMirrors[bi] = ms[:len(ms)-1]
 			}
 		}
 		for _, n := range members {
@@ -1075,13 +1358,15 @@ func (w *BlockedWeb) retargetBlocks(decide func(sim.HostID) (sim.HostID, bool), 
 				w.chargeRangeStorage(n, r, 1)
 				k := w.rangeKey(n, r)
 				bi := w.blockIndex(bn, k)
-				if moved[bi] {
-					op.Send(bn.blockHosts[bi]) // the range...
-					op.Send(bn.blockHosts[bi]) // ...and its hyperlink
+				for _, m := range moves[bi] {
+					op.Send(m.to) // the range...
+					op.Send(m.to) // ...and its hyperlink
 				}
 				if nx := n.lvl.Next(r); nx != NoRange {
-					if bj := w.blockIndex(bn, n.lvl.Key(nx)); bj != bi && moved[bj] {
-						op.Send(bn.blockHosts[bj]) // the straddling copy
+					if bj := w.blockIndex(bn, n.lvl.Key(nx)); bj != bi {
+						for _, m := range moves[bj] {
+							op.Send(m.to) // the straddling copy
+						}
 					}
 				}
 			})
@@ -1089,30 +1374,139 @@ func (w *BlockedWeb) retargetBlocks(decide func(sim.HostID) (sim.HostID, bool), 
 	}
 }
 
-// Rehome migrates every block hosted on the departed host `from` onto
-// the next live hosts in round-robin order, charging one message per
-// moved storage unit to op.
+// Rehome migrates every block replica hosted on the departed host
+// `from` onto the next live hosts in round-robin order (distinct from
+// the block's surviving replicas), charging one message per moved
+// storage unit to op. When the live set is too small for a distinct
+// target — the cluster shrank below the replication factor — the
+// replica is dropped instead.
 func (w *BlockedWeb) Rehome(from sim.HostID, op *sim.Op) {
-	w.retargetBlocks(func(h sim.HostID) (sim.HostID, bool) {
+	w.retargetBlocks(func(bn *bnode, bi, slot int, h sim.HostID) (sim.HostID, bool, bool) {
 		if h != from {
-			return 0, false
+			return 0, false, false
 		}
-		return w.nextHost(), true
+		count := w.blockReplicaCount(bn, bi)
+		if w.net.LiveHosts() < count {
+			return 0, false, true // no distinct live target: drop the replica
+		}
+		if count == 1 {
+			return w.nextHost(), true, false
+		}
+		return w.nextHostExcluding(w.otherBlockReplicas(bn, bi, slot)), true, false
 	}, op)
 }
 
-// Rebalance moves each block independently onto the freshly joined host
-// `onto` with probability 1/LiveHosts — the expected 1/H share of every
-// basic node's directory a from-scratch build over the enlarged live set
-// would assign it — charging every migration hop to op.
+// otherBlockReplicas materializes block bi's replica hosts except slot
+// `slot`, for distinctness-constrained draws (cold churn path).
+func (w *BlockedWeb) otherBlockReplicas(bn *bnode, bi, slot int) []sim.HostID {
+	count := w.blockReplicaCount(bn, bi)
+	out := make([]sim.HostID, 0, count-1)
+	for i := 0; i < count; i++ {
+		if i != slot {
+			out = append(out, w.blockReplicaAt(bn, bi, i))
+		}
+	}
+	return out
+}
+
+// Rebalance moves each block replica independently onto the freshly
+// joined host `onto` with probability 1/LiveHosts — the expected 1/H
+// share of every basic node's directory a from-scratch build over the
+// enlarged live set would assign it — charging every migration hop to
+// op. A replica never lands on a host already serving the same block.
 func (w *BlockedWeb) Rebalance(onto sim.HostID, op *sim.Op) {
 	live := w.net.LiveHosts()
-	w.retargetBlocks(func(h sim.HostID) (sim.HostID, bool) {
-		if h != onto && w.rng.Intn(live) == 0 {
-			return onto, true
+	w.retargetBlocks(func(bn *bnode, bi, slot int, h sim.HostID) (sim.HostID, bool, bool) {
+		// The Alive guard comes after the draw so the randomness stream
+		// is crash-independent; a dead slot (data lost past the
+		// tolerance) must never relocate — that would resurrect data
+		// the crash destroyed and discharge a zeroed storage counter.
+		if h != onto && w.rng.Intn(live) == 0 && w.net.Alive(h) {
+			return onto, true, false
 		}
-		return 0, false
+		return 0, false, false
 	}, op)
+}
+
+// blockUnits computes, per block of basic node bn, the storage units
+// one replica of that block holds — 2 per range whose key lies in the
+// block plus 1 per boundary-straddling copy, summed over the stratum's
+// members. It recomputes exactly the footprint the update paths
+// maintain per replica, so Repair can charge a fresh replica without
+// replaying history.
+func (w *BlockedWeb) blockUnits(bn *bnode) []int {
+	units := make([]int, len(bn.blockHosts))
+	for _, n := range w.stratumMembers(bn) {
+		bi := 0
+		for r := n.lvl.Head(); r != NoRange; r = n.lvl.Next(r) {
+			units[bi] += 2
+			if next := n.lvl.Next(r); next != NoRange {
+				bj := w.blockIndexNear(bn, n.lvl.Key(next), bi)
+				if bj != bi {
+					units[bj]++
+				}
+				bi = bj
+			}
+		}
+	}
+	return units
+}
+
+// Repair re-replicates every under-replicated block after a crash (or a
+// join that raised the feasible replica count): dead replicas are
+// dropped from the replica set, a live survivor is promoted to primary
+// when the primary died, and fresh distinct live hosts are charged a
+// full block copy — one message per storage unit copied from a
+// surviving replica. Blocks with no surviving replica are left in place
+// (queries against them keep failing fast) and reported via a
+// DataLossError.
+func (w *BlockedWeb) Repair(op *sim.Op) error {
+	lost := 0
+	target := w.replicaTarget()
+	for _, bn := range w.basicNodes() {
+		var units []int // computed lazily: repairs are rare
+		for bi := range bn.blockHosts {
+			count := w.blockReplicaCount(bn, bi)
+			liveCount := 0
+			for slot := 0; slot < count; slot++ {
+				if w.net.Alive(w.blockReplicaAt(bn, bi, slot)) {
+					liveCount++
+				}
+			}
+			if liveCount == count && count >= target {
+				continue
+			}
+			if units == nil {
+				units = w.blockUnits(bn)
+			}
+			if liveCount == 0 {
+				lost += units[bi]
+				continue
+			}
+			liveSet := make([]sim.HostID, 0, target)
+			for slot := 0; slot < count; slot++ {
+				if h := w.blockReplicaAt(bn, bi, slot); w.net.Alive(h) {
+					liveSet = append(liveSet, h)
+				}
+			}
+			for len(liveSet) < target {
+				h := w.nextHostExcluding(liveSet)
+				w.net.AddStorage(h, units[bi])
+				for i := 0; i < units[bi]; i++ {
+					op.Send(h) // copied from a surviving replica
+				}
+				liveSet = append(liveSet, h)
+			}
+			bn.blockHosts[bi] = liveSet[0]
+			if w.repl > 1 {
+				bn.blockMirrors[bi] = append(bn.blockMirrors[bi][:0], liveSet[1:]...)
+			}
+		}
+	}
+	if lost > 0 {
+		return &DataLossError{Units: lost}
+	}
+	return nil
 }
 
 // CheckInvariants verifies that every level's list is sound, child key
@@ -1133,9 +1527,33 @@ func (w *BlockedWeb) CheckInvariants() error {
 					return fmt.Errorf("depth %d: block starts out of order", n.depth)
 				}
 			}
+			if w.repl > 1 && len(n.blockMirrors) != len(n.blockHosts) {
+				return fmt.Errorf("depth %d: %d mirror sets for %d blocks", n.depth, len(n.blockMirrors), len(n.blockHosts))
+			}
 			for bi, h := range n.blockHosts {
 				if !w.net.Alive(h) {
 					return fmt.Errorf("depth %d: block %d on departed host %d", n.depth, bi, h)
+				}
+				// Replica contract: min(Replicas, live) distinct live
+				// hosts serve every block.
+				if want := w.replicaTarget(); w.blockReplicaCount(n, bi) < want {
+					return fmt.Errorf("depth %d: block %d has %d replicas, want %d",
+						n.depth, bi, w.blockReplicaCount(n, bi), want)
+				}
+				if len(n.blockMirrors) > 0 {
+					for i, m := range n.blockMirrors[bi] {
+						if !w.net.Alive(m) {
+							return fmt.Errorf("depth %d: block %d mirror on dead host %d", n.depth, bi, m)
+						}
+						if m == h {
+							return fmt.Errorf("depth %d: block %d mirror duplicates primary %d", n.depth, bi, m)
+						}
+						for _, m2 := range n.blockMirrors[bi][:i] {
+							if m2 == m {
+								return fmt.Errorf("depth %d: block %d has duplicate mirror %d", n.depth, bi, m)
+							}
+						}
+					}
 				}
 			}
 		}
@@ -1175,6 +1593,7 @@ type BucketWeb struct {
 	web     *BlockedWeb
 	buckets map[uint64]*wbucket
 	target  int
+	repl    int    // replication factor k (1 = unreplicated)
 	origin  uint64 // seed
 }
 
@@ -1182,13 +1601,21 @@ type wbucket struct {
 	min  uint64
 	keys []uint64
 	host sim.HostID
+	// mirrors holds the bucket's k-1 secondary replica hosts; nil on
+	// unreplicated webs.
+	mirrors []sim.HostID
 }
 
 // NewBucketWeb builds the bucket skip-web over keys with roughly target
-// keys per bucket and host memory parameter m for the routing web.
-func NewBucketWeb(net *sim.Network, keys []uint64, target, m int, seed uint64) (*BucketWeb, error) {
+// keys per bucket, host memory parameter m for the routing web, and
+// replication factor replicas (<= 1 means unreplicated, the
+// seed-compatible default).
+func NewBucketWeb(net *sim.Network, keys []uint64, target, m int, seed uint64, replicas int) (*BucketWeb, error) {
 	if target < 1 {
 		target = 1
+	}
+	if replicas <= 0 {
+		replicas = 1
 	}
 	sorted := append([]uint64(nil), keys...)
 	slices.Sort(sorted)
@@ -1197,9 +1624,14 @@ func NewBucketWeb(net *sim.Network, keys []uint64, target, m int, seed uint64) (
 			return nil, fmt.Errorf("core: duplicate key %d", sorted[i])
 		}
 	}
-	b := &BucketWeb{net: net, buckets: make(map[uint64]*wbucket), target: target, origin: seed}
+	b := &BucketWeb{net: net, buckets: make(map[uint64]*wbucket), target: target, repl: replicas, origin: seed}
 	var mins []uint64
 	hostSeq := 0
+	nextBucketHost := func() sim.HostID {
+		h := net.LiveAt(hostSeq % net.LiveHosts())
+		hostSeq++
+		return h
+	}
 	for start := 0; start < len(sorted); start += target {
 		end := start + target
 		if end > len(sorted) {
@@ -1208,19 +1640,62 @@ func NewBucketWeb(net *sim.Network, keys []uint64, target, m int, seed uint64) (
 		wb := &wbucket{
 			min:  sorted[start],
 			keys: append([]uint64(nil), sorted[start:end]...),
-			host: net.LiveAt(hostSeq % net.LiveHosts()),
+			host: nextBucketHost(),
 		}
-		hostSeq++
+		if k := b.replicaTarget(); k > 1 {
+			taken := []sim.HostID{wb.host}
+			for len(wb.mirrors) < k-1 {
+				m := nextBucketHost()
+				if slices.Contains(taken, m) {
+					continue
+				}
+				wb.mirrors = append(wb.mirrors, m)
+				taken = append(taken, m)
+			}
+		}
 		b.buckets[wb.min] = wb
 		mins = append(mins, wb.min)
-		net.AddStorage(wb.host, len(wb.keys))
+		b.addBucketStorage(wb, len(wb.keys))
 	}
-	web, err := NewBlockedWeb(net, mins, BlockedConfig{Seed: seed, M: m})
+	web, err := NewBlockedWeb(net, mins, BlockedConfig{Seed: seed, M: m, Replicas: replicas})
 	if err != nil {
 		return nil, err
 	}
 	b.web = web
 	return b, nil
+}
+
+// replicaTarget returns min(replicas, live hosts) — how many distinct
+// hosts each bucket should be mirrored on right now.
+func (b *BucketWeb) replicaTarget() int {
+	k := b.repl
+	if live := b.net.LiveHosts(); k > live {
+		k = live
+	}
+	return k
+}
+
+// addBucketStorage charges delta storage units at every replica of wb.
+func (b *BucketWeb) addBucketStorage(wb *wbucket, delta int) {
+	b.net.AddStorage(wb.host, delta)
+	for _, m := range wb.mirrors {
+		b.net.AddStorage(m, delta)
+	}
+}
+
+// liveBucketHost resolves the bucket for routing: the primary when
+// alive, else the first live mirror; a fully dead bucket returns the
+// typed HostDownError.
+func (b *BucketWeb) liveBucketHost(wb *wbucket) (sim.HostID, error) {
+	if b.net.Alive(wb.host) {
+		return wb.host, nil
+	}
+	for _, m := range wb.mirrors {
+		if b.net.Alive(m) {
+			return m, nil
+		}
+	}
+	return sim.None, &sim.HostDownError{Host: wb.host}
 }
 
 // Len returns the number of keys stored.
@@ -1236,19 +1711,27 @@ func (b *BucketWeb) Len() int {
 func (b *BucketWeb) NumBuckets() int { return len(b.buckets) }
 
 // Query performs a floor query: route over separators, then one message
-// into the bucket. Deletions may leave a separator below its bucket's
-// first live key; the search then continues into predecessor buckets via
-// the ground list's level-0 links. Like BlockedWeb.Query, it is safe for
-// concurrent use provided no update runs concurrently.
-func (b *BucketWeb) Query(q uint64, origin sim.HostID) (uint64, bool, int) {
-	min, ok, hops := b.web.Query(q, origin)
+// into the bucket (failing over to a live bucket replica; a bucket with
+// no live replica aborts with a HostDownError). Deletions may leave a
+// separator below its bucket's first live key; the search then continues
+// into predecessor buckets via the ground list's level-0 links. Like
+// BlockedWeb.Query, it is safe for concurrent use provided no update
+// runs concurrently.
+func (b *BucketWeb) Query(q uint64, origin sim.HostID) (uint64, bool, int, error) {
+	min, ok, hops, err := b.web.Query(q, origin)
+	if err != nil {
+		return 0, false, hops, err
+	}
 	ground := b.web.Ground()
 	for ok {
 		wb := b.buckets[min]
-		hops++ // the hop into the bucket host
+		if _, err := b.liveBucketHost(wb); err != nil {
+			return 0, false, hops, err
+		}
+		hops++ // the hop into the bucket's live replica
 		i := sort.Search(len(wb.keys), func(i int) bool { return wb.keys[i] > q })
 		if i > 0 {
-			return wb.keys[i-1], true, hops
+			return wb.keys[i-1], true, hops, nil
 		}
 		r, found := ground.ByKey(min)
 		if !found {
@@ -1261,13 +1744,16 @@ func (b *BucketWeb) Query(q uint64, origin sim.HostID) (uint64, bool, int) {
 		min = ground.Key(prev)
 		hops++
 	}
-	return 0, false, hops
+	return 0, false, hops, nil
 }
 
 // Insert routes to the bucket and adds the key, splitting overfull
 // buckets (amortized separator insertion).
 func (b *BucketWeb) Insert(key uint64, origin sim.HostID) (int, error) {
-	min, ok, hops := b.web.Query(key, origin)
+	min, ok, hops, err := b.web.Query(key, origin)
+	if err != nil {
+		return hops, err
+	}
 	if !ok {
 		// Key below every separator: extend the lowest bucket downward by
 		// rekeying its separator.
@@ -1292,8 +1778,8 @@ func (b *BucketWeb) Insert(key uint64, origin sim.HostID) (int, error) {
 		wb.min = key
 		wb.keys = append([]uint64{key}, wb.keys...)
 		b.buckets[key] = wb
-		b.net.AddStorage(wb.host, 1)
-		return hops + 1, nil
+		b.addBucketStorage(wb, 1)
+		return hops + 1 + len(wb.mirrors), nil
 	}
 	wb := b.buckets[min]
 	i := sort.Search(len(wb.keys), func(i int) bool { return wb.keys[i] >= key })
@@ -1303,30 +1789,45 @@ func (b *BucketWeb) Insert(key uint64, origin sim.HostID) (int, error) {
 	wb.keys = append(wb.keys, 0)
 	copy(wb.keys[i+1:], wb.keys[i:])
 	wb.keys[i] = key
-	b.net.AddStorage(wb.host, 1)
-	hops++
+	b.addBucketStorage(wb, 1)
+	hops += 1 + len(wb.mirrors) // write-through: one message per replica
 	if len(wb.keys) > 2*b.target {
 		mid := len(wb.keys) / 2
 		upper := append([]uint64(nil), wb.keys[mid:]...)
 		wb.keys = wb.keys[:mid]
 		nb := &wbucket{min: upper[0], keys: upper, host: b.net.NextLive(wb.host)}
+		if k := b.replicaTarget(); k > 1 {
+			// Walk the cyclic live-host order from the new primary until
+			// k-1 distinct mirrors are found (k <= live, so they exist).
+			cur := nb.host
+			for len(nb.mirrors) < k-1 {
+				cur = b.net.NextLive(cur)
+				if cur == nb.host || slices.Contains(nb.mirrors, cur) {
+					continue
+				}
+				nb.mirrors = append(nb.mirrors, cur)
+			}
+		}
 		b.buckets[nb.min] = nb
-		b.net.AddStorage(wb.host, -len(upper))
-		b.net.AddStorage(nb.host, len(upper))
+		b.addBucketStorage(wb, -len(upper))
+		b.addBucketStorage(nb, len(upper))
 		sh, err := b.web.Insert(nb.min, origin)
 		if err != nil {
 			return hops, err
 		}
-		hops += sh + 1
+		hops += sh + 1 + len(nb.mirrors)
 	}
 	return hops, nil
 }
 
 // Range reports every key in [lo, hi] in ascending order: one routed
 // floor query plus one message per bucket visited.
-func (b *BucketWeb) Range(lo, hi uint64, origin sim.HostID) ([]uint64, int) {
+func (b *BucketWeb) Range(lo, hi uint64, origin sim.HostID) ([]uint64, int, error) {
 	ground := b.web.Ground()
-	min, ok, hops := b.web.Query(lo, origin)
+	min, ok, hops, err := b.web.Query(lo, origin)
+	if err != nil {
+		return nil, hops, err
+	}
 	var r RangeID
 	if !ok {
 		// lo is below every separator: start at the first bucket.
@@ -1337,7 +1838,10 @@ func (b *BucketWeb) Range(lo, hi uint64, origin sim.HostID) ([]uint64, int) {
 	var out []uint64
 	for r != NoRange {
 		wb := b.buckets[ground.Key(r)]
-		hops++ // visiting the bucket host
+		if _, err := b.liveBucketHost(wb); err != nil {
+			return out, hops, err
+		}
+		hops++ // visiting the bucket's live replica
 		done := false
 		for _, k := range wb.keys {
 			if k > hi {
@@ -1353,7 +1857,7 @@ func (b *BucketWeb) Range(lo, hi uint64, origin sim.HostID) ([]uint64, int) {
 		}
 		r = ground.Next(r)
 	}
-	return out, hops
+	return out, hops, nil
 }
 
 // sortedBuckets returns the buckets in ascending separator order — the
@@ -1371,42 +1875,166 @@ func (b *BucketWeb) sortedBuckets() []*wbucket {
 	return out
 }
 
-// moveBucket migrates a bucket's key payload to host `to`, one message
-// per key moved.
-func (b *BucketWeb) moveBucket(wb *wbucket, to sim.HostID, op *sim.Op) {
-	if to == wb.host {
+// bucketReplicaCount returns how many replicas bucket wb has.
+func (b *BucketWeb) bucketReplicaCount(wb *wbucket) int { return 1 + len(wb.mirrors) }
+
+// bucketReplicaAt returns replica slot `slot` of wb (0 = primary).
+func (b *BucketWeb) bucketReplicaAt(wb *wbucket, slot int) sim.HostID {
+	if slot == 0 {
+		return wb.host
+	}
+	return wb.mirrors[slot-1]
+}
+
+// setBucketReplicaAt rewrites replica slot `slot` of wb.
+func (b *BucketWeb) setBucketReplicaAt(wb *wbucket, slot int, h sim.HostID) {
+	if slot == 0 {
+		wb.host = h
 		return
 	}
-	b.net.AddStorage(wb.host, -len(wb.keys))
+	wb.mirrors[slot-1] = h
+}
+
+// bucketHasReplica reports whether h already serves a replica of wb.
+func (b *BucketWeb) bucketHasReplica(wb *wbucket, h sim.HostID) bool {
+	if wb.host == h {
+		return true
+	}
+	return slices.Contains(wb.mirrors, h)
+}
+
+// moveBucketReplica migrates replica slot `slot` of wb's key payload to
+// host `to`, one message per key moved.
+func (b *BucketWeb) moveBucketReplica(wb *wbucket, slot int, to sim.HostID, op *sim.Op) {
+	from := b.bucketReplicaAt(wb, slot)
+	if to == from {
+		return
+	}
+	b.net.AddStorage(from, -len(wb.keys))
 	b.net.AddStorage(to, len(wb.keys))
-	wb.host = to
+	b.setBucketReplicaAt(wb, slot, to)
 	for range wb.keys {
 		op.Send(to)
 	}
 }
 
+// dropBucketReplica discards replica slot `slot` of wb, discharging its
+// storage at the departing host; dropping the primary promotes the
+// first mirror.
+func (b *BucketWeb) dropBucketReplica(wb *wbucket, slot int) {
+	from := b.bucketReplicaAt(wb, slot)
+	b.net.AddStorage(from, -len(wb.keys))
+	if slot == 0 {
+		wb.host = wb.mirrors[0]
+		slot = 1
+	}
+	copy(wb.mirrors[slot-1:], wb.mirrors[slot:])
+	wb.mirrors = wb.mirrors[:len(wb.mirrors)-1]
+}
+
 // Rehome migrates the separator routing web off the departed host `from`
-// and moves every bucket it hosted (n/H keys each) to the next live
-// hosts, charging one message per key moved.
+// and moves every bucket replica it hosted (n/H keys each) to the next
+// live hosts (distinct from the bucket's surviving replicas), charging
+// one message per key moved. A replica with no distinct live target is
+// dropped.
 func (b *BucketWeb) Rehome(from sim.HostID, op *sim.Op) {
 	b.web.Rehome(from, op)
 	for _, wb := range b.sortedBuckets() {
-		if wb.host == from {
-			b.moveBucket(wb, b.web.nextHost(), op)
+		count := b.bucketReplicaCount(wb)
+		for slot := 0; slot < count; slot++ {
+			if b.bucketReplicaAt(wb, slot) != from {
+				continue
+			}
+			if b.net.LiveHosts() < count {
+				b.dropBucketReplica(wb, slot)
+			} else {
+				to := b.web.nextHost()
+				for b.bucketHasReplica(wb, to) {
+					to = b.web.nextHost()
+				}
+				b.moveBucketReplica(wb, slot, to, op)
+			}
+			break // replicas are distinct: at most one slot matches
 		}
 	}
 }
 
 // Rebalance hands the freshly joined host `onto` its expected 1/H share
-// of the routing web and of the buckets, charging every migration hop.
+// of the routing web and of the bucket replicas, charging every
+// migration hop; a replica never lands on a host already serving the
+// same bucket.
 func (b *BucketWeb) Rebalance(onto sim.HostID, op *sim.Op) {
 	b.web.Rebalance(onto, op)
 	live := b.net.LiveHosts()
 	for _, wb := range b.sortedBuckets() {
-		if wb.host != onto && b.web.rng.Intn(live) == 0 {
-			b.moveBucket(wb, onto, op)
+		count := b.bucketReplicaCount(wb)
+		for slot := 0; slot < count; slot++ {
+			h := b.bucketReplicaAt(wb, slot)
+			// Alive guard after the draw (see BlockedWeb.Rebalance):
+			// dead replicas never relocate.
+			if h != onto && b.web.rng.Intn(live) == 0 && !b.bucketHasReplica(wb, onto) &&
+				b.net.Alive(h) {
+				b.moveBucketReplica(wb, slot, onto, op)
+			}
 		}
 	}
+}
+
+// Repair re-replicates the routing web and every under-replicated
+// bucket after a crash: dead replicas are dropped, a live survivor is
+// promoted to primary when the primary died, and fresh distinct live
+// hosts are charged a full bucket copy (one message per key copied).
+// Buckets with no surviving replica are reported via a DataLossError.
+func (b *BucketWeb) Repair(op *sim.Op) error {
+	lost := 0
+	err := b.web.Repair(op)
+	var dl *DataLossError
+	if err != nil {
+		if !errors.As(err, &dl) {
+			return err
+		}
+		lost += dl.Units
+	}
+	target := b.replicaTarget()
+	for _, wb := range b.sortedBuckets() {
+		count := b.bucketReplicaCount(wb)
+		liveCount := 0
+		for slot := 0; slot < count; slot++ {
+			if b.net.Alive(b.bucketReplicaAt(wb, slot)) {
+				liveCount++
+			}
+		}
+		if liveCount == count && count >= target {
+			continue // fully replicated: allocate nothing
+		}
+		if liveCount == 0 {
+			lost += len(wb.keys)
+			continue
+		}
+		liveSet := make([]sim.HostID, 0, target)
+		for slot := 0; slot < count; slot++ {
+			if h := b.bucketReplicaAt(wb, slot); b.net.Alive(h) {
+				liveSet = append(liveSet, h)
+			}
+		}
+		for len(liveSet) < target {
+			h := b.web.nextHost()
+			if slices.Contains(liveSet, h) {
+				continue
+			}
+			b.net.AddStorage(h, len(wb.keys))
+			for range wb.keys {
+				op.Send(h) // copied from a surviving replica
+			}
+			liveSet = append(liveSet, h)
+		}
+		wb.host = liveSet[0]
+		wb.mirrors = append(wb.mirrors[:0], liveSet[1:]...)
+	}
+	if lost > 0 {
+		return &DataLossError{Units: lost}
+	}
+	return nil
 }
 
 // CheckInvariants verifies the separator web, that every bucket is keyed
@@ -1424,6 +2052,17 @@ func (b *BucketWeb) CheckInvariants() error {
 		if !b.net.Alive(wb.host) {
 			return fmt.Errorf("bucket %d on departed host %d", min, wb.host)
 		}
+		if want := b.replicaTarget(); b.bucketReplicaCount(wb) < want {
+			return fmt.Errorf("bucket %d has %d replicas, want %d", min, b.bucketReplicaCount(wb), want)
+		}
+		for i, m := range wb.mirrors {
+			if !b.net.Alive(m) {
+				return fmt.Errorf("bucket %d mirror on dead host %d", min, m)
+			}
+			if m == wb.host || slices.Contains(wb.mirrors[:i], m) {
+				return fmt.Errorf("bucket %d has duplicate replica %d", min, m)
+			}
+		}
 		for i := 1; i < len(wb.keys); i++ {
 			if wb.keys[i] <= wb.keys[i-1] {
 				return fmt.Errorf("bucket %d keys out of order", min)
@@ -1440,9 +2079,12 @@ func (b *BucketWeb) CheckInvariants() error {
 }
 
 // Delete routes to the bucket and removes the key (separators persist,
-// as in the bucket skip graph).
+// as in the bucket skip graph), writing through to every replica.
 func (b *BucketWeb) Delete(key uint64, origin sim.HostID) (int, error) {
-	min, ok, hops := b.web.Query(key, origin)
+	min, ok, hops, err := b.web.Query(key, origin)
+	if err != nil {
+		return hops, err
+	}
 	if !ok {
 		return hops, fmt.Errorf("core: key %d not found", key)
 	}
@@ -1452,6 +2094,6 @@ func (b *BucketWeb) Delete(key uint64, origin sim.HostID) (int, error) {
 		return hops, fmt.Errorf("core: key %d not found", key)
 	}
 	wb.keys = append(wb.keys[:i], wb.keys[i+1:]...)
-	b.net.AddStorage(wb.host, -1)
-	return hops + 1, nil
+	b.addBucketStorage(wb, -1)
+	return hops + 1 + len(wb.mirrors), nil
 }

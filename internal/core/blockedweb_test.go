@@ -39,7 +39,7 @@ func TestBlockedQueryMatchesBruteForce(t *testing.T) {
 	rng := xrand.New(71)
 	for i := 0; i < 2000; i++ {
 		q := rng.Uint64n(1 << 41)
-		got, ok, _ := w.Query(q, sim.HostID(rng.Intn(net.Hosts())))
+		got, ok, _, _ := w.Query(q, sim.HostID(rng.Intn(net.Hosts())))
 		want, wok := bruteFloorSlice(keys, q)
 		if ok != wok || (ok && got != want) {
 			t.Fatalf("query %d: got %d,%v want %d,%v", q, got, ok, want, wok)
@@ -50,7 +50,7 @@ func TestBlockedQueryMatchesBruteForce(t *testing.T) {
 func TestBlockedQueryStoredKeys(t *testing.T) {
 	w, _, keys := newBlocked(t, 300, 8, 2)
 	for _, k := range keys {
-		got, ok, _ := w.Query(k, 0)
+		got, ok, _, _ := w.Query(k, 0)
 		if !ok || got != k {
 			t.Fatalf("Query(%d) = %d,%v", k, got, ok)
 		}
@@ -73,7 +73,7 @@ func TestBlockedHopsImproveWithM(t *testing.T) {
 		const queries = 400
 		qr := xrand.New(4)
 		for i := 0; i < queries; i++ {
-			_, _, hops := w.Query(qr.Uint64n(1<<40), sim.HostID(qr.Intn(n)))
+			_, _, hops, _ := w.Query(qr.Uint64n(1<<40), sim.HostID(qr.Intn(n)))
 			total += hops
 		}
 		means = append(means, float64(total)/queries)
@@ -103,7 +103,7 @@ func TestBlockedHopsSubLogarithmic(t *testing.T) {
 		const queries = 300
 		qr := rng.Split()
 		for i := 0; i < queries; i++ {
-			_, _, hops := w.Query(qr.Uint64n(1<<50), sim.HostID(qr.Intn(n)))
+			_, _, hops, _ := w.Query(qr.Uint64n(1<<50), sim.HostID(qr.Intn(n)))
 			total += hops
 		}
 		ratios = append(ratios, float64(total)/queries/math.Log2(float64(n)))
@@ -165,7 +165,7 @@ func TestBlockedInsertDelete(t *testing.T) {
 	}
 	for i := 0; i < 1000; i++ {
 		q := qr.Uint64n(1 << 41)
-		got, ok, _ := w.Query(q, sim.HostID(qr.Intn(net.Hosts())))
+		got, ok, _, _ := w.Query(q, sim.HostID(qr.Intn(net.Hosts())))
 		want, wok := bruteFloorSlice(live, q)
 		if ok != wok || (ok && got != want) {
 			t.Fatalf("after churn: query %d got %d,%v want %d,%v", q, got, ok, want, wok)
@@ -205,7 +205,7 @@ func TestBucketWebQueryMatchesBruteForce(t *testing.T) {
 	rng := xrand.New(11)
 	keys := distinctKeys(rng, 2000, 1<<40)
 	net := sim.NewNetwork(256)
-	b, err := NewBucketWeb(net, keys, 16, 16, 11)
+	b, err := NewBucketWeb(net, keys, 16, 16, 11, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +214,7 @@ func TestBucketWebQueryMatchesBruteForce(t *testing.T) {
 	}
 	for i := 0; i < 1500; i++ {
 		q := rng.Uint64n(1 << 41)
-		got, ok, _ := b.Query(q, sim.HostID(rng.Intn(256)))
+		got, ok, _, _ := b.Query(q, sim.HostID(rng.Intn(256)))
 		want, wok := bruteFloorSlice(keys, q)
 		if ok != wok || (ok && got != want) {
 			t.Fatalf("query %d: got %d,%v want %d,%v", q, got, ok, want, wok)
@@ -228,14 +228,14 @@ func TestBucketWebConstantHopsForLargeM(t *testing.T) {
 	rng := xrand.New(12)
 	keys := distinctKeys(rng, 16384, 1<<50)
 	net := sim.NewNetwork(1024)
-	b, err := NewBucketWeb(net, keys, 16, 1024, 12)
+	b, err := NewBucketWeb(net, keys, 16, 1024, 12, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	total := 0
 	const queries = 300
 	for i := 0; i < queries; i++ {
-		_, _, hops := b.Query(rng.Uint64n(1<<50), sim.HostID(rng.Intn(1024)))
+		_, _, hops, _ := b.Query(rng.Uint64n(1<<50), sim.HostID(rng.Intn(1024)))
 		total += hops
 	}
 	if mean := float64(total) / queries; mean > 8 {
@@ -247,7 +247,7 @@ func TestBucketWebChurn(t *testing.T) {
 	rng := xrand.New(13)
 	keys := distinctKeys(rng, 1000, 1<<40)
 	net := sim.NewNetwork(128)
-	b, err := NewBucketWeb(net, keys[:600], 8, 16, 13)
+	b, err := NewBucketWeb(net, keys[:600], 8, 16, 13, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +274,7 @@ func TestBucketWebChurn(t *testing.T) {
 	qr := xrand.New(14)
 	for i := 0; i < 800; i++ {
 		q := qr.Uint64n(1 << 41)
-		got, ok, _ := b.Query(q, sim.HostID(qr.Intn(128)))
+		got, ok, _, _ := b.Query(q, sim.HostID(qr.Intn(128)))
 		want, wok := bruteFloorSlice(live, q)
 		if ok != wok || (ok && got != want) {
 			t.Fatalf("after churn: query %d got %d,%v want %d,%v", q, got, ok, want, wok)
@@ -290,7 +290,7 @@ func TestBlockedRangeMatchesBruteForce(t *testing.T) {
 	for trial := 0; trial < 300; trial++ {
 		lo := rng.Uint64n(1 << 41)
 		hi := lo + rng.Uint64n(1<<38)
-		got, hops := w.Range(lo, hi, sim.HostID(rng.Intn(net.Hosts())))
+		got, hops, _ := w.Range(lo, hi, sim.HostID(rng.Intn(net.Hosts())))
 		var want []uint64
 		for _, k := range sorted {
 			if k >= lo && k <= hi {
@@ -315,7 +315,7 @@ func TestBucketWebRangeMatchesBruteForce(t *testing.T) {
 	rng := xrand.New(91)
 	keys := distinctKeys(rng, 1500, 1<<40)
 	net := sim.NewNetwork(128)
-	b, err := NewBucketWeb(net, keys, 12, 16, 91)
+	b, err := NewBucketWeb(net, keys, 12, 16, 91, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +324,7 @@ func TestBucketWebRangeMatchesBruteForce(t *testing.T) {
 	for trial := 0; trial < 300; trial++ {
 		lo := rng.Uint64n(1 << 41)
 		hi := lo + rng.Uint64n(1<<38)
-		got, _ := b.Range(lo, hi, sim.HostID(rng.Intn(128)))
+		got, _, _ := b.Range(lo, hi, sim.HostID(rng.Intn(128)))
 		var want []uint64
 		for _, k := range sorted {
 			if k >= lo && k <= hi {
@@ -341,7 +341,7 @@ func TestBucketWebRangeMatchesBruteForce(t *testing.T) {
 		}
 	}
 	// Range starting below every key covers the whole prefix.
-	got, _ := b.Range(0, sorted[10], 0)
+	got, _, _ := b.Range(0, sorted[10], 0)
 	if len(got) != 11 {
 		t.Fatalf("prefix range returned %d keys, want 11", len(got))
 	}

@@ -223,8 +223,8 @@ func TestBulkEqualsSequentialBlocked(t *testing.T) {
 	qrng := xrand.New(6)
 	for i := 0; i < 500; i++ {
 		q := qrng.Uint64n(1 << 40)
-		k1, ok1, _ := bulk.Query(q, sim.HostID(i%16))
-		k2, ok2, _ := seq.Query(q, sim.HostID(i%16))
+		k1, ok1, _, _ := bulk.Query(q, sim.HostID(i%16))
+		k2, ok2, _, _ := seq.Query(q, sim.HostID(i%16))
 		if ok1 != ok2 || k1 != k2 {
 			t.Fatalf("query %d: bulk floor (%v,%d), sequential floor (%v,%d)", q, ok1, k1, ok2, k2)
 		}
@@ -235,13 +235,13 @@ func TestBulkEqualsSequentialBucketed(t *testing.T) {
 	rng := xrand.New(0xb05d)
 	keys := distinctKeys(rng, 600, 1<<40)
 
-	bulk, err := NewBucketWeb(sim.NewNetwork(16), keys, 16, 12, 81)
+	bulk, err := NewBucketWeb(sim.NewNetwork(16), keys, 16, 12, 81, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The bucket web cannot start empty (queries need one bucket), so the
 	// sequential twin seeds with the first key and inserts the rest.
-	seq, err := NewBucketWeb(sim.NewNetwork(16), keys[:1], 16, 12, 81)
+	seq, err := NewBucketWeb(sim.NewNetwork(16), keys[:1], 16, 12, 81, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,8 +264,8 @@ func TestBulkEqualsSequentialBucketed(t *testing.T) {
 	qrng := xrand.New(7)
 	for i := 0; i < 500; i++ {
 		q := qrng.Uint64n(1 << 40)
-		k1, ok1, _ := bulk.Query(q, sim.HostID(i%16))
-		k2, ok2, _ := seq.Query(q, sim.HostID(i%16))
+		k1, ok1, _, _ := bulk.Query(q, sim.HostID(i%16))
+		k2, ok2, _, _ := seq.Query(q, sim.HostID(i%16))
 		if ok1 != ok2 || k1 != k2 {
 			t.Fatalf("query %d: bulk floor (%v,%d), sequential floor (%v,%d)", q, ok1, k1, ok2, k2)
 		}

@@ -110,7 +110,7 @@ func TestBlockedWebChurn(t *testing.T) {
 	}
 	// Queries still exact after both events.
 	for i, k := range keys {
-		got, ok, _ := w.Query(k, net.LiveAt(i%net.LiveHosts()))
+		got, ok, _, _ := w.Query(k, net.LiveAt(i%net.LiveHosts()))
 		if !ok || got != k {
 			t.Fatalf("key %d lost after churn (got %d, %v)", k, got, ok)
 		}
@@ -121,7 +121,7 @@ func TestBucketWebHostChurn(t *testing.T) {
 	rng := xrand.New(13)
 	keys := distinctKeys(rng, 500, 1<<40)
 	net := sim.NewNetwork(10)
-	b, err := NewBucketWeb(net, keys, 16, 0, 13)
+	b, err := NewBucketWeb(net, keys, 16, 0, 13, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestBucketWebHostChurn(t *testing.T) {
 		t.Fatalf("invariants after churn: %v", err)
 	}
 	for i, k := range keys {
-		got, ok, _ := b.Query(k, net.LiveAt(i%net.LiveHosts()))
+		got, ok, _, _ := b.Query(k, net.LiveAt(i%net.LiveHosts()))
 		if !ok || got != k {
 			t.Fatalf("key %d lost after churn (got %d, %v)", k, got, ok)
 		}

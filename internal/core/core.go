@@ -62,6 +62,22 @@ const NoRange RangeID = -1
 // amortization caveat).
 var ErrStatic = errors.New("core: this link structure is static (build + query only)")
 
+// DataLossError is returned by a Repair pass that found units with no
+// surviving live replica: the crash tolerance (Replicas-1 simultaneous
+// failures) was exceeded and Units storage units are unrecoverable.
+// Queries that need a lost unit keep failing fast with a HostDownError.
+type DataLossError struct {
+	// Units counts the storage units with no live replica — a snapshot
+	// of everything currently lost, so a later Repair re-reports units
+	// lost in earlier crashes (they are still gone) plus any new ones.
+	Units int
+}
+
+// Error describes the loss.
+func (e *DataLossError) Error() string {
+	return fmt.Sprintf("core: %d storage units lost (no surviving replica)", e.Units)
+}
+
 // Change describes the O(1) structural delta a level structure undergoes
 // during an update. The engine consumes a Change synchronously: its
 // slices may be scratch buffers owned by the Ops implementation, valid
@@ -174,6 +190,12 @@ type Config struct {
 	MergeMin int
 	// MaxDepth caps the number of levels.
 	MaxDepth int
+	// Replicas is the replication factor k: every range is mirrored on k
+	// distinct live hosts, queries fail over to the next live replica,
+	// and updates write through to all of them. 0 or 1 means unreplicated
+	// — the seed-compatible default whose placement, randomness, and
+	// message accounting are bit-identical to pre-replication builds.
+	Replicas int
 }
 
 func (c Config) withDefaults() Config {
@@ -185,6 +207,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxDepth <= 0 {
 		c.MaxDepth = 60
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
 	}
 	return c
 }
@@ -199,10 +224,14 @@ type backref struct {
 // setNode is one node of the binary subset tree: a link structure over
 // S_b together with its hyperlinks into the parent structure.
 type setNode struct {
-	id        int
-	depth     int
-	count     int
-	hosts     map[RangeID]sim.HostID
+	id    int
+	depth int
+	count int
+	hosts map[RangeID]sim.HostID
+	// mirrors holds each range's k-1 secondary replica hosts (the
+	// primary lives in hosts). It is nil on unreplicated webs, so the
+	// k = 1 fast paths never touch it.
+	mirrors   map[RangeID][]sim.HostID
 	anchors   map[RangeID][]RangeID // my range -> ranges of parent.s
 	backrefs  map[RangeID][]backref // my range -> child ranges anchored here
 	parent    *setNode
@@ -352,6 +381,9 @@ func (w *Web[L, T, Q]) buildSubtree(items []T, codes []uint64, depth int, parent
 		parent:    parent,
 		structAny: s,
 	}
+	if w.cfg.Replicas > 1 {
+		n.mirrors = make(map[RangeID][]sim.HostID)
+	}
 	w.nextID++
 	w.items[n] = items
 	w.codes[n] = codes
@@ -418,18 +450,123 @@ func (w *Web[L, T, Q]) pickHost() sim.HostID {
 	return w.net.LiveAt(w.rng.Intn(w.net.LiveHosts()))
 }
 
-// placeRange assigns range r of node n to a live host and charges its
-// payload as storage.
+// replicaTarget returns how many distinct live hosts each unit should be
+// mirrored on right now: the configured factor, capped by the live host
+// count (a 2-host cluster cannot hold 3 distinct replicas).
+func (w *Web[L, T, Q]) replicaTarget() int {
+	k := w.cfg.Replicas
+	if live := w.net.LiveHosts(); k > live {
+		k = live
+	}
+	return k
+}
+
+// pickHostExcluding draws a uniformly random live host not already in
+// taken. Rejection sampling keeps the draw uniform over the remaining
+// hosts; replica sets are O(k), so the membership scan is cheap. At
+// k = 1 it is never called with a non-empty taken set, so the rng
+// consumption matches pickHost exactly.
+func (w *Web[L, T, Q]) pickHostExcluding(taken []sim.HostID) sim.HostID {
+	for {
+		h := w.pickHost()
+		dup := false
+		for _, t := range taken {
+			if t == h {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			return h
+		}
+	}
+}
+
+// visitMirrors calls f for each secondary replica host of range r of n.
+// It is a no-op on unreplicated webs.
+func (n *setNode) visitMirrors(r RangeID, f func(sim.HostID)) {
+	if n.mirrors == nil {
+		return
+	}
+	for _, m := range n.mirrors[r] {
+		f(m)
+	}
+}
+
+// addStorageReplicas charges delta storage units at every replica of
+// range r of n — the primary plus each mirror, since every replica holds
+// a full copy of the range and its hyperlink pointers.
+func (w *Web[L, T, Q]) addStorageReplicas(n *setNode, r RangeID, delta int) {
+	w.net.AddStorage(n.hosts[r], delta)
+	n.visitMirrors(r, func(m sim.HostID) { w.net.AddStorage(m, delta) })
+}
+
+// sendReplicas charges one message to every replica of range r of n —
+// the write-through cost of an update touching that range. At k = 1 it
+// is exactly the single op.Send the unreplicated path charged.
+func (w *Web[L, T, Q]) sendReplicas(op *sim.Op, n *setNode, r RangeID) {
+	op.Send(n.hosts[r])
+	n.visitMirrors(r, func(m sim.HostID) { op.Send(m) })
+}
+
+// liveHost resolves the host serving range r of n for routing: the
+// primary when alive, else the first live mirror in slot order. The
+// failed-host set is consulted for free — the failure detector every
+// distributed store runs — so skipping a dead replica costs no probe;
+// the failover cost is the (charged) visit to wherever the live replica
+// actually sits. When every replica is down the unit is unreachable and
+// the caller fails fast with the returned HostDownError.
+func (w *Web[L, T, Q]) liveHost(n *setNode, r RangeID) (sim.HostID, error) {
+	h := n.hosts[r]
+	if w.net.Alive(h) {
+		return h, nil
+	}
+	if n.mirrors != nil {
+		for _, m := range n.mirrors[r] {
+			if w.net.Alive(m) {
+				return m, nil
+			}
+		}
+	}
+	return sim.None, &sim.HostDownError{Host: h}
+}
+
+// visitRange moves op to the live replica serving range r of n, failing
+// fast when none survives.
+func (w *Web[L, T, Q]) visitRange(op *sim.Op, n *setNode, r RangeID) error {
+	h, err := w.liveHost(n, r)
+	if err != nil {
+		return err
+	}
+	op.Visit(h)
+	return nil
+}
+
+// placeRange assigns range r of node n to a primary live host — the
+// seed-compatible draw — plus Replicas-1 distinct mirror hosts, and
+// charges its payload as storage at every replica.
 func (w *Web[L, T, Q]) placeRange(n *setNode, r RangeID) {
 	h := w.pickHost()
 	n.hosts[r] = h
 	w.net.AddStorage(h, w.ops.Payload(w.structOf(n), r))
+	if k := w.replicaTarget(); k > 1 {
+		ms := make([]sim.HostID, 0, k-1)
+		taken := append(make([]sim.HostID, 0, k), h)
+		for len(ms) < k-1 {
+			m := w.pickHostExcluding(taken)
+			ms = append(ms, m)
+			taken = append(taken, m)
+			w.net.AddStorage(m, w.ops.Payload(w.structOf(n), r))
+		}
+		n.mirrors[r] = ms
+	}
 }
 
-// dropRange releases range r of node n: storage, anchors, backref entries.
+// dropRange releases range r of node n: storage at every replica,
+// anchors, backref entries.
 func (w *Web[L, T, Q]) dropRange(n *setNode, r RangeID) {
-	if h, ok := n.hosts[r]; ok {
-		w.net.AddStorage(h, -w.ops.Payload(w.structOf(n), r)-len(n.anchors[r]))
+	if _, ok := n.hosts[r]; ok {
+		w.addStorageReplicas(n, r, -w.ops.Payload(w.structOf(n), r)-len(n.anchors[r]))
 	}
 	if n.parent != nil {
 		for _, a := range n.anchors[r] {
@@ -439,10 +576,14 @@ func (w *Web[L, T, Q]) dropRange(n *setNode, r RangeID) {
 	delete(n.anchors, r)
 	delete(n.hosts, r)
 	delete(n.backrefs, r)
+	if n.mirrors != nil {
+		delete(n.mirrors, r)
+	}
 }
 
 // setAnchors installs hyperlinks for range r of node n (whose parent must
-// exist), maintaining backrefs and storage accounting. The anchors slice
+// exist), maintaining backrefs and storage accounting — the pointer
+// storage delta lands on every replica of the range. The anchors slice
 // is copied into the replaced set's capacity, so callers may pass
 // scratch-backed Ops.Anchors results and the steady state allocates
 // nothing here.
@@ -451,7 +592,7 @@ func (w *Web[L, T, Q]) setAnchors(n *setNode, r RangeID, anchors []RangeID) {
 	for _, a := range old {
 		w.removeBackref(n.parent, a, n, r)
 	}
-	w.net.AddStorage(n.hosts[r], len(anchors)-len(old))
+	w.addStorageReplicas(n, r, len(anchors)-len(old))
 	n.anchors[r] = append(old[:0], anchors...)
 	for _, a := range anchors {
 		n.parent.backrefs[a] = append(n.parent.backrefs[a], backref{child: n, r: r})
@@ -590,7 +731,9 @@ func (w *Web[L, T, Q]) scanTerminal(n *setNode, q Q, op *sim.Op) (RangeID, error
 		// Entry leaves keep a materialized cache: the common case, and
 		// the one the allocation-free descent guarantee covers.
 		for _, r := range n.rangeCache {
-			op.Visit(n.hosts[r])
+			if err := w.visitRange(op, n, r); err != nil {
+				return NoRange, err
+			}
 			if w.ops.Contains(s, r, q) {
 				if d := w.ops.Depth(s, r); d > bestDepth {
 					best, bestDepth = r, d
@@ -603,7 +746,11 @@ func (w *Web[L, T, Q]) scanTerminal(n *setNode, q Q, op *sim.Op) (RangeID, error
 		// own method so scanTerminal itself contains no closure — a
 		// closure over best/bestDepth would force them onto the heap
 		// even on the cached path.
-		best = w.scanTerminalSlow(n, s, q, op)
+		var err error
+		best, err = w.scanTerminalSlow(n, s, q, op)
+		if err != nil {
+			return NoRange, err
+		}
 	}
 	if best == NoRange {
 		return NoRange, fmt.Errorf("core: no range of entry structure (depth %d, %d items) contains query", n.depth, n.count)
@@ -613,11 +760,14 @@ func (w *Web[L, T, Q]) scanTerminal(n *setNode, q Q, op *sim.Op) (RangeID, error
 
 // scanTerminalSlow is scanTerminal's iterator fallback for entry at a
 // node without a range cache.
-func (w *Web[L, T, Q]) scanTerminalSlow(n *setNode, s L, q Q, op *sim.Op) RangeID {
+func (w *Web[L, T, Q]) scanTerminalSlow(n *setNode, s L, q Q, op *sim.Op) (RangeID, error) {
 	best := NoRange
 	bestDepth := -1
+	var err error
 	w.ops.VisitRanges(s, func(r RangeID) bool {
-		op.Visit(n.hosts[r])
+		if err = w.visitRange(op, n, r); err != nil {
+			return false
+		}
 		if w.ops.Contains(s, r, q) {
 			if d := w.ops.Depth(s, r); d > bestDepth {
 				best, bestDepth = r, d
@@ -625,7 +775,10 @@ func (w *Web[L, T, Q]) scanTerminalSlow(n *setNode, s L, q Q, op *sim.Op) RangeI
 		}
 		return true
 	})
-	return best
+	if err != nil {
+		return NoRange, err
+	}
+	return best, nil
 }
 
 // descendOne follows the hyperlinks of range cur of node n into n.parent
@@ -639,7 +792,9 @@ func (w *Web[L, T, Q]) descendOne(n *setNode, cur RangeID, q Q, op *sim.Op) (Ran
 	}
 	start := NoRange
 	for _, c := range cands {
-		op.Visit(parent.hosts[c])
+		if err := w.visitRange(op, parent, c); err != nil {
+			return NoRange, err
+		}
 		if w.ops.Contains(ps, c, q) {
 			start = c
 			break
@@ -657,7 +812,9 @@ func (w *Web[L, T, Q]) descendOne(n *setNode, cur RangeID, q Q, op *sim.Op) (Ran
 		if next == NoRange {
 			break
 		}
-		op.Visit(parent.hosts[next])
+		if err := w.visitRange(op, parent, next); err != nil {
+			return NoRange, err
+		}
 		start = next
 	}
 	if !w.ops.Contains(ps, start, q) {
@@ -736,9 +893,16 @@ func (w *Web[L, T, Q]) reterminal(n *setNode, r RangeID, q Q) RangeID {
 func (w *Web[L, T, Q]) chargeSteps(op *sim.Op, n *setNode, r RangeID, steps int) {
 	// Charge the walk to the host of the resulting range: each step is a
 	// hop between structure nodes, which in the worst placement crosses
-	// hosts every time.
-	h, ok := n.hosts[r]
-	if !ok {
+	// hosts every time. The walk happens wherever the range is actually
+	// served, so a failed-over range charges its live replica.
+	if _, ok := n.hosts[r]; !ok {
+		return
+	}
+	h, err := w.liveHost(n, r)
+	if err != nil {
+		// Updates run post-repair (every replica live); a fully dead
+		// range can only be reached on an unrepaired k=1 web, whose
+		// routed query already failed before any steps were charged.
 		return
 	}
 	for i := 0; i < steps; i++ {
@@ -783,7 +947,7 @@ func (w *Web[L, T, Q]) applyInsert(n *setNode, x T, q Q, code uint64, hint Range
 	w.codes[n] = append(w.codes[n], code)
 	for _, r := range ch.Added {
 		w.placeRange(n, r)
-		op.Send(n.hosts[r])
+		w.sendReplicas(op, n, r)
 	}
 	dirty := append(append(w.dirtyScratch[:0], ch.Added...), ch.Touched...)
 	w.dirtyScratch = dirty[:0]
@@ -798,7 +962,7 @@ func (w *Web[L, T, Q]) applyInsert(n *setNode, x T, q Q, code uint64, hint Range
 				continue
 			}
 			w.setAnchors(n, r, anchors)
-			op.Send(n.hosts[r])
+			w.sendReplicas(op, n, r)
 		}
 	}
 	if n.inLeaves {
@@ -834,7 +998,7 @@ func (w *Web[L, T, Q]) repairChildren(n *setNode, ranges []RangeID, op *sim.Op) 
 			continue
 		}
 		w.setAnchors(td.child, td.r, anchors)
-		op.Send(td.child.hosts[td.r])
+		w.sendReplicas(op, td.child, td.r)
 	}
 	return nil
 }
@@ -921,10 +1085,10 @@ func (w *Web[L, T, Q]) applyDelete(n *setNode, x T, q Q, code uint64, op *sim.Op
 				return fmt.Errorf("core: removed range %d at depth %d has anchored children but no remap", dead, n.depth)
 			}
 			w.redirectAnchor(n, br.child, br.r, dead, to)
-			op.Send(br.child.hosts[br.r])
+			w.sendReplicas(op, br.child, br.r)
 		}
-		if h, ok := n.hosts[dead]; ok {
-			op.Send(h) // tombstone message to the range's host
+		if _, ok := n.hosts[dead]; ok {
+			w.sendReplicas(op, n, dead) // tombstone message to every replica
 		}
 		w.dropRange(n, dead)
 	}
@@ -939,7 +1103,7 @@ func (w *Web[L, T, Q]) applyDelete(n *setNode, x T, q Q, code uint64, op *sim.Op
 				continue
 			}
 			w.setAnchors(n, r, anchors)
-			op.Send(n.hosts[r])
+			w.sendReplicas(op, n, r)
 		}
 	}
 	if n.inLeaves {
@@ -986,7 +1150,7 @@ func (w *Web[L, T, Q]) redirectAnchor(parent, child *setNode, r RangeID, dead, t
 	}
 	child.anchors[r] = out
 	if len(out) != len(anchors) {
-		w.net.AddStorage(child.hosts[r], len(out)-len(anchors))
+		w.addStorageReplicas(child, r, len(out)-len(anchors))
 	}
 	if !hadTo {
 		parent.backrefs[to] = append(parent.backrefs[to], backref{child: child, r: r})
@@ -1010,11 +1174,12 @@ func (w *Web[L, T, Q]) splitLeaf(n *setNode, op *sim.Op) error {
 			return fmt.Errorf("core: split leaf at depth %d: %w", n.depth, err)
 		}
 		n.kids[b] = kid
-		// Creating a structure of k ranges costs O(k) messages, amortized
-		// against the inserts that grew the leaf.
+		// Creating a structure of k ranges costs O(k) messages — one per
+		// replica placed — amortized against the inserts that grew the
+		// leaf.
 		for r, h := range kid.hosts {
-			_ = r
 			op.Send(h)
+			kid.visitMirrors(r, func(m sim.HostID) { op.Send(m) })
 		}
 	}
 	w.removeLeaf(n)
@@ -1031,8 +1196,8 @@ func (w *Web[L, T, Q]) mergeSubtree(n *setNode, op *sim.Op) {
 		release(k.kids[0])
 		release(k.kids[1])
 		w.ops.VisitRanges(w.structOf(k), func(r RangeID) bool {
-			if h, ok := k.hosts[r]; ok {
-				op.Send(h)
+			if _, ok := k.hosts[r]; ok {
+				w.sendReplicas(op, k, r)
 			}
 			w.dropRange(k, r)
 			return true
@@ -1077,59 +1242,237 @@ func (w *Web[L, T, Q]) walkNodes(visit func(*setNode)) {
 	rec(w.root)
 }
 
-// moveRange migrates range r of node n to host `to`: its payload and
-// hyperlink pointers transfer as storage, one message is charged per
-// unit moved, and every child range anchored at r is sent one
-// address-update message (children dereference r by host when routing).
-func (w *Web[L, T, Q]) moveRange(n *setNode, r RangeID, to sim.HostID, op *sim.Op) {
-	from := n.hosts[r]
+// rangeUnits is the storage footprint one replica of range r carries:
+// its payload plus its hyperlink pointers.
+func (w *Web[L, T, Q]) rangeUnits(n *setNode, r RangeID) int {
+	return w.ops.Payload(w.structOf(n), r) + len(n.anchors[r])
+}
+
+// replicaCount returns how many replicas range r of n currently has.
+func (w *Web[L, T, Q]) replicaCount(n *setNode, r RangeID) int {
+	if n.mirrors == nil {
+		return 1
+	}
+	return 1 + len(n.mirrors[r])
+}
+
+// replicaAt returns replica slot `slot` of range r (slot 0 is the
+// primary, slot i > 0 is mirrors[i-1]).
+func (w *Web[L, T, Q]) replicaAt(n *setNode, r RangeID, slot int) sim.HostID {
+	if slot == 0 {
+		return n.hosts[r]
+	}
+	return n.mirrors[r][slot-1]
+}
+
+// setReplicaAt rewrites replica slot `slot` of range r.
+func (w *Web[L, T, Q]) setReplicaAt(n *setNode, r RangeID, slot int, h sim.HostID) {
+	if slot == 0 {
+		n.hosts[r] = h
+		return
+	}
+	n.mirrors[r][slot-1] = h
+}
+
+// hasReplica reports whether h already serves a replica of range r.
+func (w *Web[L, T, Q]) hasReplica(n *setNode, r RangeID, h sim.HostID) bool {
+	if n.hosts[r] == h {
+		return true
+	}
+	if n.mirrors != nil {
+		for _, m := range n.mirrors[r] {
+			if m == h {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// moveReplica migrates replica slot `slot` of range r of node n to host
+// `to`: the replica's payload and hyperlink pointers transfer as
+// storage, one message is charged per unit moved, and every replica of
+// every child range anchored at r is sent one address-update message
+// (children dereference r by host when routing).
+func (w *Web[L, T, Q]) moveReplica(n *setNode, r RangeID, slot int, to sim.HostID, op *sim.Op) {
+	from := w.replicaAt(n, r, slot)
 	if to == from {
 		return
 	}
-	units := w.ops.Payload(w.structOf(n), r) + len(n.anchors[r])
+	units := w.rangeUnits(n, r)
 	w.net.AddStorage(from, -units)
 	w.net.AddStorage(to, units)
-	n.hosts[r] = to
+	w.setReplicaAt(n, r, slot, to)
 	for i := 0; i < units; i++ {
 		op.Send(to)
 	}
 	for _, br := range n.backrefs[r] {
-		op.Send(br.child.hosts[br.r])
+		w.sendReplicas(op, br.child, br.r)
 	}
 }
 
-// Rehome migrates every range placed on host `from` — which the network
-// must already have marked departed — onto randomly drawn live hosts,
-// charging each migration hop to op. Cost: one message per storage unit
-// moved plus one per anchored child notified, so a departing host that
-// holds an s-unit share of the structure pays Θ(s) messages, the
-// paper's per-host memory M = O((n/H) log n) in expectation.
+// dropReplicaSlot discards replica slot `slot` of range r of node n,
+// discharging its storage at `from` (a departing host whose copy cannot
+// be placed anywhere distinct). Slot 0 is handled by promoting the
+// first mirror to primary; children are notified of the address change.
+func (w *Web[L, T, Q]) dropReplicaSlot(n *setNode, r RangeID, slot int, op *sim.Op) {
+	from := w.replicaAt(n, r, slot)
+	w.net.AddStorage(from, -w.rangeUnits(n, r))
+	ms := n.mirrors[r]
+	if slot == 0 {
+		n.hosts[r] = ms[0]
+		slot = 1
+		for _, br := range n.backrefs[r] {
+			w.sendReplicas(op, br.child, br.r)
+		}
+	}
+	copy(ms[slot-1:], ms[slot:])
+	n.mirrors[r] = ms[:len(ms)-1]
+}
+
+// Rehome migrates every replica placed on host `from` — which the
+// network must already have marked departed — onto randomly drawn live
+// hosts distinct from the range's other replicas, charging each
+// migration hop to op. When no distinct live host exists (the cluster
+// shrank below the replication factor) the replica is dropped instead.
+// Cost: one message per storage unit moved plus one per anchored child
+// replica notified, so a departing host that holds an s-unit share of
+// the structure pays Θ(s) messages, the paper's per-host memory
+// M = O((n/H) log n) in expectation.
 func (w *Web[L, T, Q]) Rehome(from sim.HostID, op *sim.Op) {
 	w.walkNodes(func(n *setNode) {
 		w.ops.VisitRanges(w.structOf(n), func(r RangeID) bool {
-			if n.hosts[r] == from {
-				w.moveRange(n, r, w.pickHost(), op)
+			count := w.replicaCount(n, r)
+			for slot := 0; slot < count; slot++ {
+				if w.replicaAt(n, r, slot) != from {
+					continue
+				}
+				if w.net.LiveHosts() >= count {
+					// Replicas are distinct and `from` is no longer
+					// live, so excluding the other count-1 replicas
+					// still leaves a live host to draw.
+					if count == 1 {
+						w.moveReplica(n, r, slot, w.pickHost(), op)
+					} else {
+						w.moveReplica(n, r, slot, w.pickHostExcluding(w.otherReplicas(n, r, slot)), op)
+					}
+				} else {
+					w.dropReplicaSlot(n, r, slot, op)
+				}
+				break // replicas are distinct: at most one slot matches
 			}
 			return true
 		})
 	})
 }
 
-// Rebalance moves each range independently onto the (freshly joined)
+// otherReplicas materializes the replica hosts of range r except slot
+// `slot`, for distinctness-constrained draws. Only called on replicated
+// webs (cold churn path), so the small allocation is acceptable.
+func (w *Web[L, T, Q]) otherReplicas(n *setNode, r RangeID, slot int) []sim.HostID {
+	out := make([]sim.HostID, 0, w.replicaCount(n, r)-1)
+	for i := 0; i < w.replicaCount(n, r); i++ {
+		if i != slot {
+			out = append(out, w.replicaAt(n, r, i))
+		}
+	}
+	return out
+}
+
+// Rebalance moves each replica independently onto the (freshly joined)
 // host `onto` with probability 1/LiveHosts, restoring the uniform
 // placement distribution a from-scratch build over the enlarged live set
 // would have produced: the joiner picks up an expected 1/H share of
-// every level, and every migration hop is charged to op.
+// every level, and every migration hop is charged to op. A replica
+// never moves onto a host that already serves another replica of the
+// same range (replica sets stay distinct).
 func (w *Web[L, T, Q]) Rebalance(onto sim.HostID, op *sim.Op) {
 	live := w.net.LiveHosts()
 	w.walkNodes(func(n *setNode) {
 		w.ops.VisitRanges(w.structOf(n), func(r RangeID) bool {
-			if w.rng.Intn(live) == 0 {
-				w.moveRange(n, r, onto, op)
+			count := w.replicaCount(n, r)
+			for slot := 0; slot < count; slot++ {
+				// Draw unconditionally so the randomness stream per
+				// (range, slot) is independent of skip decisions. A dead
+				// slot (lost in a crash that exceeded the tolerance)
+				// never moves: relocating it would resurrect data the
+				// crash destroyed and discharge a storage counter the
+				// crash already zeroed.
+				if w.rng.Intn(live) == 0 && !w.hasReplica(n, r, onto) &&
+					w.net.Alive(w.replicaAt(n, r, slot)) {
+					w.moveReplica(n, r, slot, onto, op)
+				}
 			}
 			return true
 		})
 	})
+}
+
+// Repair re-replicates every under-replicated range after a crash (or a
+// join that raised the feasible replica count): dead replicas are
+// dropped from the replica set, a surviving live replica is promoted to
+// primary when the primary died, and fresh distinct live hosts are
+// charged a full copy — one message per storage unit copied — until the
+// range is back to min(Replicas, live hosts) replicas. Ranges with no
+// surviving replica are left in place (queries against them keep
+// failing fast with a HostDownError) and reported via a DataLossError.
+func (w *Web[L, T, Q]) Repair(op *sim.Op) error {
+	lost := 0
+	target := w.replicaTarget()
+	w.walkNodes(func(n *setNode) {
+		w.ops.VisitRanges(w.structOf(n), func(r RangeID) bool {
+			count := w.replicaCount(n, r)
+			liveCount := 0
+			for slot := 0; slot < count; slot++ {
+				if w.net.Alive(w.replicaAt(n, r, slot)) {
+					liveCount++
+				}
+			}
+			if liveCount == count && count >= target {
+				return true // fully replicated: the overwhelmingly common case
+			}
+			if liveCount == 0 {
+				lost += w.rangeUnits(n, r)
+				return true
+			}
+			w.repairRange(n, r, target, op)
+			return true
+		})
+	})
+	if lost > 0 {
+		return &DataLossError{Units: lost}
+	}
+	return nil
+}
+
+// repairRange rebuilds range r's replica set from its live survivors,
+// topping it up to target distinct live hosts.
+func (w *Web[L, T, Q]) repairRange(n *setNode, r RangeID, target int, op *sim.Op) {
+	oldPrimary := n.hosts[r]
+	liveSet := make([]sim.HostID, 0, target)
+	for slot := 0; slot < w.replicaCount(n, r); slot++ {
+		if h := w.replicaAt(n, r, slot); w.net.Alive(h) {
+			liveSet = append(liveSet, h)
+		}
+	}
+	units := w.rangeUnits(n, r)
+	for len(liveSet) < target {
+		h := w.pickHostExcluding(liveSet)
+		liveSet = append(liveSet, h)
+		w.net.AddStorage(h, units)
+		for i := 0; i < units; i++ {
+			op.Send(h) // copied from a surviving replica
+		}
+	}
+	n.hosts[r] = liveSet[0]
+	if n.mirrors != nil {
+		n.mirrors[r] = append(n.mirrors[r][:0], liveSet[1:]...)
+	}
+	if n.hosts[r] != oldPrimary {
+		for _, br := range n.backrefs[r] {
+			w.sendReplicas(op, br.child, br.r)
+		}
+	}
 }
 
 // GroundStructure exposes the level-0 structure D(S) (for answer
@@ -1211,6 +1554,28 @@ func (w *Web[L, T, Q]) CheckInvariants() error {
 			}
 			if !w.net.Alive(h) {
 				return fmt.Errorf("core: depth %d: range %d placed on departed host %d", n.depth, r, h)
+			}
+			// Replica contract: min(Replicas, live) distinct live hosts
+			// serve every range — the crash-tolerance invariant Repair
+			// restores.
+			if want := w.replicaTarget(); w.replicaCount(n, r) < want {
+				return fmt.Errorf("core: depth %d: range %d has %d replicas, want %d",
+					n.depth, r, w.replicaCount(n, r), want)
+			}
+			if n.mirrors != nil {
+				for i, m := range n.mirrors[r] {
+					if !w.net.Alive(m) {
+						return fmt.Errorf("core: depth %d: range %d mirror on dead host %d", n.depth, r, m)
+					}
+					if m == h {
+						return fmt.Errorf("core: depth %d: range %d mirror duplicates primary %d", n.depth, r, m)
+					}
+					for _, m2 := range n.mirrors[r][:i] {
+						if m2 == m {
+							return fmt.Errorf("core: depth %d: range %d has duplicate mirror %d", n.depth, r, m)
+						}
+					}
+				}
 			}
 			if n.parent != nil {
 				want, err := w.ops.Anchors(s, w.structOf(n.parent), r)

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/skipwebs/skipwebs/internal/sim"
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// failoverKeys returns n distinct pseudo-random keys.
+func failoverKeys(rng *xrand.Rand, n int) []uint64 {
+	seen := make(map[uint64]bool, n)
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		k := rng.Uint64n(1 << 40)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// TestWebFailoverToMirror pins the replication contract of the generic
+// web at the moment between a crash and its repair: with k = 2, every
+// range has a live mirror, so queries keep answering correctly by
+// failing over — no repair needed for availability — and the answers
+// are identical to the pre-crash ones.
+func TestWebFailoverToMirror(t *testing.T) {
+	net := sim.NewNetwork(8)
+	rng := xrand.New(7)
+	keys := failoverKeys(rng, 300)
+	w, err := NewWeb[*ListLevel, uint64, uint64](NewListOps(), net, keys, Config{Seed: 7, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatalf("replicated build: %v", err)
+	}
+	qs := make([]uint64, 400)
+	want := make([]RangeID, len(qs))
+	for i := range qs {
+		qs[i] = rng.Uint64n(1 << 40)
+		res, err := w.Query(qs[i], net.LiveAt(i%net.LiveHosts()))
+		if err != nil {
+			t.Fatalf("pre-crash query: %v", err)
+		}
+		want[i] = res.Range
+	}
+	// Crash a host and query again WITHOUT repairing: the descent must
+	// fail over to mirrors and return identical terminals.
+	net.Crash(3)
+	for i := range qs {
+		res, err := w.Query(qs[i], net.LiveAt(i%net.LiveHosts()))
+		if err != nil {
+			t.Fatalf("post-crash query %d: %v", i, err)
+		}
+		if res.Range != want[i] {
+			t.Fatalf("query %d: range %d after crash, want %d", i, res.Range, want[i])
+		}
+	}
+	// Repair restores full replication; the invariant checker verifies
+	// every range is back to 2 distinct live replicas.
+	op := net.NewOp(sim.None)
+	if err := w.Repair(op); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	op.Free()
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatalf("after repair: %v", err)
+	}
+	// Storage exactness survives crash + repair: a cooperative leave must
+	// still drain its host to exactly zero.
+	leaver := net.LiveAt(1)
+	net.RemoveHost(leaver)
+	op = net.NewOp(sim.None)
+	w.Rehome(leaver, op)
+	op.Free()
+	if st := net.Storage(leaver); st != 0 {
+		t.Fatalf("leaver still holds %d units after crash+repair+rehome", st)
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatalf("after post-repair leave: %v", err)
+	}
+}
+
+// TestWebUnreplicatedCrashFailsFast pins the k = 1 behavior: a crash
+// loses the host's share, Repair reports the loss, and queries that
+// need a lost range fail fast with the typed host-down error while the
+// rest keep answering.
+func TestWebUnreplicatedCrashFailsFast(t *testing.T) {
+	net := sim.NewNetwork(4)
+	rng := xrand.New(9)
+	keys := failoverKeys(rng, 200)
+	w, err := NewWeb[*ListLevel, uint64, uint64](NewListOps(), net, keys, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Crash(2)
+	op := net.NewOp(sim.None)
+	err = w.Repair(op)
+	op.Free()
+	var dl *DataLossError
+	if !errors.As(err, &dl) || dl.Units <= 0 {
+		t.Fatalf("repair after k=1 crash returned %v, want DataLossError with positive units", err)
+	}
+	failed, answered := 0, 0
+	for i := 0; i < 300; i++ {
+		_, err := w.Query(rng.Uint64n(1<<40), net.LiveAt(i%net.LiveHosts()))
+		if err != nil {
+			if !errors.Is(err, sim.ErrHostDown) {
+				t.Fatalf("lost-range query failed with %v, want ErrHostDown", err)
+			}
+			failed++
+		} else {
+			answered++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("no query touched the lost ranges (crash had no observable effect)")
+	}
+	if answered == 0 {
+		t.Fatal("every query failed: availability should degrade, not vanish")
+	}
+}
+
+// TestBlockedWebFailoverToMirror is the blocked-web variant: block
+// replicas serve queries across an unrepaired crash, repair restores
+// the directory, and the storage stays exact through a later leave.
+func TestBlockedWebFailoverToMirror(t *testing.T) {
+	net := sim.NewNetwork(8)
+	rng := xrand.New(11)
+	keys := failoverKeys(rng, 400)
+	w, err := NewBlockedWeb(net, keys, BlockedConfig{Seed: 11, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatalf("replicated build: %v", err)
+	}
+	qs := make([]uint64, 400)
+	wantKey := make([]uint64, len(qs))
+	wantOK := make([]bool, len(qs))
+	for i := range qs {
+		qs[i] = rng.Uint64n(1 << 40)
+		k, ok, _, err := w.Query(qs[i], net.LiveAt(i%net.LiveHosts()))
+		if err != nil {
+			t.Fatalf("pre-crash query: %v", err)
+		}
+		wantKey[i], wantOK[i] = k, ok
+	}
+	net.Crash(5)
+	for i := range qs {
+		k, ok, _, err := w.Query(qs[i], net.LiveAt(i%net.LiveHosts()))
+		if err != nil {
+			t.Fatalf("post-crash query %d: %v", i, err)
+		}
+		if k != wantKey[i] || ok != wantOK[i] {
+			t.Fatalf("query %d: (%d,%v) after crash, want (%d,%v)", i, k, ok, wantKey[i], wantOK[i])
+		}
+	}
+	op := net.NewOp(sim.None)
+	if err := w.Repair(op); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if op.Hops() == 0 {
+		t.Fatal("repair copied data but charged no messages")
+	}
+	op.Free()
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatalf("after repair: %v", err)
+	}
+	// Updates write through to both replicas after repair.
+	for i := 0; i < 50; i++ {
+		if _, err := w.Insert(rng.Uint64n(1<<40)|1<<41, net.LiveAt(i%net.LiveHosts())); err != nil {
+			t.Fatalf("post-repair insert: %v", err)
+		}
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatalf("after post-repair inserts: %v", err)
+	}
+	leaver := net.LiveAt(2)
+	net.RemoveHost(leaver)
+	op = net.NewOp(sim.None)
+	w.Rehome(leaver, op)
+	op.Free()
+	if st := net.Storage(leaver); st != 0 {
+		t.Fatalf("leaver still holds %d units after crash+repair+updates+rehome", st)
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatalf("after post-repair leave: %v", err)
+	}
+}
+
+// TestBucketWebFailoverToMirror is the bucket variant: bucket replicas
+// answer across an unrepaired crash and Repair restores both the
+// routing web and the bucket replica sets.
+func TestBucketWebFailoverToMirror(t *testing.T) {
+	net := sim.NewNetwork(8)
+	rng := xrand.New(13)
+	keys := failoverKeys(rng, 300)
+	b, err := NewBucketWeb(net, keys, 16, 16, 13, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatalf("replicated build: %v", err)
+	}
+	net.Crash(1)
+	for i, k := range keys {
+		got, ok, _, err := b.Query(k, net.LiveAt(i%net.LiveHosts()))
+		if err != nil {
+			t.Fatalf("post-crash query: %v", err)
+		}
+		if !ok || got != k {
+			t.Fatalf("key %d: floor (%d,%v) after crash", k, got, ok)
+		}
+	}
+	op := net.NewOp(sim.None)
+	if err := b.Repair(op); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	op.Free()
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatalf("after repair: %v", err)
+	}
+	leaver := net.LiveAt(0)
+	net.RemoveHost(leaver)
+	op = net.NewOp(sim.None)
+	b.Rehome(leaver, op)
+	op.Free()
+	if st := net.Storage(leaver); st != 0 {
+		t.Fatalf("leaver still holds %d units after crash+repair+rehome", st)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatalf("after post-repair leave: %v", err)
+	}
+}
+
+// TestReplicatedChurnKeepsInvariants drives join/leave churn on a
+// replicated blocked web: every replica slot migrates or drops
+// correctly, including shrinking below the replication factor and
+// growing back (the join-side top-up is exercised through Repair).
+func TestReplicatedChurnKeepsInvariants(t *testing.T) {
+	net := sim.NewNetwork(6)
+	rng := xrand.New(17)
+	keys := failoverKeys(rng, 250)
+	w, err := NewBlockedWeb(net, keys, BlockedConfig{Seed: 17, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink to 2 hosts: replica sets must collapse to 2 distinct hosts.
+	for net.LiveHosts() > 2 {
+		leaver := net.LiveAt(0)
+		net.RemoveHost(leaver)
+		op := net.NewOp(sim.None)
+		w.Rehome(leaver, op)
+		op.Free()
+		if st := net.Storage(leaver); st != 0 {
+			t.Fatalf("leaver %d still holds %d units", leaver, st)
+		}
+		if err := w.CheckInvariants(); err != nil {
+			t.Fatalf("at %d hosts: %v", net.LiveHosts(), err)
+		}
+	}
+	// Grow back: rebalance + repair must top replica sets back up to 3.
+	for net.LiveHosts() < 5 {
+		h := net.AddHost()
+		op := net.NewOp(h)
+		w.Rebalance(h, op)
+		if err := w.Repair(op); err != nil {
+			t.Fatalf("top-up repair: %v", err)
+		}
+		op.Free()
+		if err := w.CheckInvariants(); err != nil {
+			t.Fatalf("after regrow to %d hosts: %v", net.LiveHosts(), err)
+		}
+	}
+	for i, k := range keys {
+		got, ok, _, err := w.Query(k, net.LiveAt(i%net.LiveHosts()))
+		if err != nil || !ok || got != k {
+			t.Fatalf("key %d lost across replicated churn: (%d,%v,%v)", k, got, ok, err)
+		}
+	}
+}

@@ -84,7 +84,7 @@ func TestBlockedWebQuickFloor(t *testing.T) {
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 		for _, qr := range qRaw {
 			q := uint64(qr % 5000)
-			got, ok, _ := w.Query(q, 0)
+			got, ok, _, _ := w.Query(q, 0)
 			i := sort.Search(len(sorted), func(i int) bool { return sorted[i] > q })
 			if i == 0 {
 				if ok {

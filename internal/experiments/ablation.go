@@ -75,7 +75,10 @@ func AblationBlocking(cfg TheoremConfig) (*AblationReport, error) {
 		qr = rng.Split()
 		totalB := 0
 		for i := 0; i < cfg.Queries; i++ {
-			_, _, hops := wb.Query(qr.Uint64n(1<<50), sim.HostID(qr.Intn(n)))
+			_, _, hops, err := wb.Query(qr.Uint64n(1<<50), sim.HostID(qr.Intn(n)))
+			if err != nil {
+				return nil, err
+			}
 			totalB += hops
 		}
 

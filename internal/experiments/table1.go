@@ -155,7 +155,7 @@ func table1Methods() []table1Method {
 					return t1Ops{}, err
 				}
 				return t1Ops{
-					search: func(q uint64, o sim.HostID) int { _, _, h := w.Query(q, o); return h },
+					search: func(q uint64, o sim.HostID) int { _, _, h, _ := w.Query(q, o); return h },
 					insert: w.Insert,
 				}, nil
 			},
@@ -166,12 +166,12 @@ func table1Methods() []table1Method {
 			paper: "M=O(n/H+log H) C=O(n/H+log H) Q=~O(log_M H) U=~O(log_M H)",
 			driver: func(net *sim.Network, keys []uint64, seed uint64) (t1Ops, error) {
 				target := maxi(len(keys)/net.Hosts(), 1)
-				w, err := core.NewBucketWeb(net, keys, target, 0, seed)
+				w, err := core.NewBucketWeb(net, keys, target, 0, seed, 1)
 				if err != nil {
 					return t1Ops{}, err
 				}
 				return t1Ops{
-					search: func(q uint64, o sim.HostID) int { _, _, h := w.Query(q, o); return h },
+					search: func(q uint64, o sim.HostID) int { _, _, h, _ := w.Query(q, o); return h },
 					insert: w.Insert,
 				}, nil
 			},

@@ -253,7 +253,10 @@ func Theorem2Blocking(cfg TheoremConfig) (*BlockingReport, error) {
 func meanBlockedHops(w *core.BlockedWeb, hosts, queries int, rng *xrand.Rand) (float64, error) {
 	total := 0
 	for i := 0; i < queries; i++ {
-		_, _, hops := w.Query(rng.Uint64n(1<<50), sim.HostID(rng.Intn(hosts)))
+		_, _, hops, err := w.Query(rng.Uint64n(1<<50), sim.HostID(rng.Intn(hosts)))
+		if err != nil {
+			return 0, err
+		}
 		total += hops
 	}
 	return float64(total) / float64(queries), nil
@@ -399,7 +402,9 @@ func Congestion(cfg TheoremConfig) (*CongestionReport, error) {
 		mem := net.Snapshot()
 		net.ResetTraffic()
 		for i := 0; i < queries; i++ {
-			w.Query(rng.Uint64n(1<<50), sim.HostID(rng.Intn(n)))
+			if _, _, _, err := w.Query(rng.Uint64n(1<<50), sim.HostID(rng.Intn(n))); err != nil {
+				return nil, err
+			}
 		}
 		s := net.Snapshot()
 		rep.Rows = append(rep.Rows, CongestionRow{

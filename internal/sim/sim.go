@@ -24,6 +24,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -38,6 +39,26 @@ type HostID int32
 // None is the sentinel for "no host"; operations that have not yet visited
 // any host start there.
 const None HostID = -1
+
+// ErrHostDown is the sentinel error for operations that required a
+// crashed host. Match with errors.Is; the concrete error carried through
+// the failure paths is a HostDownError, which wraps this sentinel and
+// names the host.
+var ErrHostDown = errors.New("host is down")
+
+// HostDownError reports that an operation needed host Host, which has
+// crashed (unclean departure, its data lost). It is the typed fail-fast
+// error the crash subsystem promises: query descents that find no live
+// replica, and rendezvous with a dropped mailbox, both surface it.
+type HostDownError struct{ Host HostID }
+
+// Error describes the failed host.
+func (e *HostDownError) Error() string {
+	return fmt.Sprintf("sim: host %d is down (crashed)", e.Host)
+}
+
+// Unwrap makes errors.Is(err, ErrHostDown) match.
+func (e *HostDownError) Unwrap() error { return ErrHostDown }
 
 // counter is a cache-line-padded atomic counter. Per-host counters are
 // bumped from many worker goroutines during batch execution; without
@@ -66,6 +87,7 @@ type counter struct {
 type Network struct {
 	hosts    int
 	alive    []bool    // alive[i]: host i has joined and not left
+	crashed  []bool    // crashed[i]: host i departed uncleanly (data lost)
 	live     []HostID  // live host ids, ascending
 	messages []counter // messages delivered to host i
 	storage  []counter // storage units (items, nodes, links, pointers) at host i
@@ -82,6 +104,7 @@ func NewNetwork(h int) *Network {
 	n := &Network{
 		hosts:    h,
 		alive:    make([]bool, h),
+		crashed:  make([]bool, h),
 		live:     make([]HostID, h),
 		messages: make([]counter, h),
 		storage:  make([]counter, h),
@@ -131,6 +154,7 @@ func (n *Network) AddHost() HostID {
 	h := HostID(n.hosts)
 	n.hosts++
 	n.alive = append(n.alive, true)
+	n.crashed = append(n.crashed, false)
 	n.live = append(n.live, h) // ids grow monotonically: ascending order kept
 	n.messages = append(n.messages, counter{})
 	n.storage = append(n.storage, counter{})
@@ -155,6 +179,33 @@ func (n *Network) RemoveHost(h HostID) {
 	n.alive[h] = false
 	i := sort.Search(len(n.live), func(i int) bool { return n.live[i] >= h })
 	n.live = append(n.live[:i], n.live[i+1:]...)
+}
+
+// Crashed reports whether host h departed uncleanly via Crash.
+func (n *Network) Crashed(h HostID) bool {
+	return h >= 0 && int(h) < n.hosts && n.crashed[h]
+}
+
+// Crash marks host h as failed: an unclean departure. Unlike RemoveHost
+// (cooperative leave, data migrated first), the host's data dies with it
+// — its storage counter is zeroed, modelling the loss — and it is
+// recorded in the crashed set that routing consults for failover.
+// Message and congestion history is retained like any departed slot.
+// Crash panics when h is not live or is the last live host, and must not
+// run concurrently with in-flight operations (callers serialize churn,
+// as with RemoveHost).
+func (n *Network) Crash(h HostID) {
+	if !n.Alive(h) {
+		panic(fmt.Sprintf("sim: Crash(%d): not a live host", h))
+	}
+	if len(n.live) == 1 {
+		panic("sim: Crash would kill the last live host")
+	}
+	n.alive[h] = false
+	n.crashed[h] = true
+	i := sort.Search(len(n.live), func(i int) bool { return n.live[i] >= h })
+	n.live = append(n.live[:i], n.live[i+1:]...)
+	n.storage[h].n.Store(0) // the host's share of every structure is gone
 }
 
 // AddStorage records delta storage units at host h. Structures call this
@@ -370,17 +421,18 @@ type Cluster struct {
 
 type task struct {
 	fn   func()
-	done chan struct{} // nil for asynchronous (send-and-continue) tasks
+	done chan error // nil for asynchronous (send-and-continue) tasks; buffered(1)
 }
 
 // mailbox is an unbounded FIFO task queue with a single consumer. An
 // unbounded queue models a node's inbound message buffer: senders never
 // block, exactly as a send-and-continue message leaves the sender free.
 type mailbox struct {
-	mu     sync.Mutex
-	queue  []task
-	wake   chan struct{} // buffered(1): signals the worker that work exists
-	closed bool
+	mu      sync.Mutex
+	queue   []task
+	wake    chan struct{} // buffered(1): signals the worker that work exists
+	closed  bool
+	dropped bool // closed by a crash: queued work was discarded, not drained
 }
 
 // put enqueues t, reporting false when the mailbox is closed.
@@ -432,6 +484,34 @@ func (m *mailbox) close() {
 	}
 }
 
+// drop closes the mailbox the unclean way: queued tasks are discarded —
+// a crashed node never processes its inbound buffer — and every pending
+// synchronous rendezvous is failed with err so blocked Do callers fail
+// fast instead of hanging on a dead host.
+func (m *mailbox) drop(err error) {
+	m.mu.Lock()
+	q := m.queue
+	m.queue = nil
+	m.closed, m.dropped = true, true
+	m.mu.Unlock()
+	for _, t := range q {
+		if t.done != nil {
+			t.done <- err
+		}
+	}
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// isDropped reports whether the mailbox was closed by a crash.
+func (m *mailbox) isDropped() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped
+}
+
 // goid returns the current goroutine's id, parsed from the runtime stack
 // header ("goroutine N [...]"). It is used only to detect whether Do is
 // already executing on the target host's worker goroutine.
@@ -460,10 +540,15 @@ func NewCluster(net *Network) *Cluster {
 	for i := 0; i < net.Hosts(); i++ {
 		c.spawn(HostID(i))
 		// A slot that departed before the pool started gets its mailbox
-		// closed immediately, so sends to it panic exactly as they would
-		// had the pool been running at departure time.
+		// closed immediately, so sends to it fail exactly as they would
+		// had the pool been running at departure time: dropped (typed
+		// error) for crashed slots, closed (panic) for cooperative leaves.
 		if !net.Alive(HostID(i)) {
-			c.mail[i].close()
+			if net.Crashed(HostID(i)) {
+				c.mail[i].drop(&HostDownError{Host: HostID(i)})
+			} else {
+				c.mail[i].close()
+			}
 		}
 	}
 	return c
@@ -488,7 +573,7 @@ func (c *Cluster) spawn(h HostID) {
 			}
 			t.fn()
 			if t.done != nil {
-				close(t.done)
+				t.done <- nil
 			}
 		}
 	}()
@@ -521,6 +606,20 @@ func (c *Cluster) RemoveHost(h HostID) {
 	m.close()
 }
 
+// Crash tears host h's actor down the unclean way: the mailbox is
+// dropped — queued send-and-continue tasks are discarded, and every
+// pending Do rendezvous fails with a HostDownError — and the worker
+// goroutine exits without draining. Further Do calls to h return the
+// same typed error. Like RemoveHost, Crash must be serialized against
+// in-flight batches by the caller (the public wrapper holds its write
+// lock across the crash).
+func (c *Cluster) Crash(h HostID) {
+	c.mailMu.RLock()
+	m := c.mail[h]
+	c.mailMu.RUnlock()
+	m.drop(&HostDownError{Host: h})
+}
+
 // box returns host h's mailbox under the churn lock.
 func (c *Cluster) box(h HostID) *mailbox {
 	c.mailMu.RLock()
@@ -540,25 +639,36 @@ func (c *Cluster) onHost(h HostID) bool {
 	return ok && g.(HostID) == h
 }
 
-// Do runs fn on host h's goroutine and blocks until it completes. It must
-// not be called after Stop. When the caller is already executing on host
-// h's worker goroutine, fn runs inline — a node processing one of its own
-// messages — so same-host re-entry cannot deadlock. Cross-host re-entry
-// cycles (host A waiting on B while B waits on A) remain the caller's
-// responsibility, as in any synchronous message exchange.
-func (c *Cluster) Do(h HostID, fn func()) {
+// Do runs fn on host h's goroutine and blocks until it completes,
+// returning nil. It must not be called after Stop. When the caller is
+// already executing on host h's worker goroutine, fn runs inline — a
+// node processing one of its own messages — so same-host re-entry cannot
+// deadlock. Cross-host re-entry cycles (host A waiting on B while B
+// waits on A) remain the caller's responsibility, as in any synchronous
+// message exchange.
+//
+// When host h has crashed — before the call, or while the task sits in
+// h's mailbox — Do fails fast with a HostDownError instead of running
+// fn: the in-flight operation's answer died with the host. Sends to
+// cooperatively departed or stopped hosts remain panics (a programming
+// error, not a failure to tolerate).
+func (c *Cluster) Do(h HostID, fn func()) error {
 	if c.stopped.Load() {
 		panic("sim: Cluster.Do after Stop")
 	}
 	if c.onHost(h) {
 		fn()
-		return
+		return nil
 	}
-	t := task{fn: fn, done: make(chan struct{})}
-	if !c.box(h).put(t) {
+	t := task{fn: fn, done: make(chan error, 1)}
+	box := c.box(h)
+	if !box.put(t) {
+		if box.isDropped() {
+			return &HostDownError{Host: h}
+		}
 		panic(fmt.Sprintf("sim: Cluster.Do to stopped or departed host %d", h))
 	}
-	<-t.done
+	return <-t.done
 }
 
 // Go enqueues fn on host h's goroutine and returns immediately without
@@ -571,7 +681,15 @@ func (c *Cluster) Go(h HostID, fn func()) {
 	if c.stopped.Load() {
 		panic("sim: Cluster.Go after Stop")
 	}
-	if !c.box(h).put(task{fn: fn}) {
+	box := c.box(h)
+	if !box.put(task{fn: fn}) {
+		if box.isDropped() {
+			// A send-and-continue task has no rendezvous to fail, so a
+			// fire-and-forget send to a crashed host is a caller bug:
+			// batch dispatch validates origin liveness under the lock
+			// that serializes crashes.
+			panic(fmt.Sprintf("sim: Cluster.Go to crashed host %d", h))
+		}
 		panic(fmt.Sprintf("sim: Cluster.Go to stopped or departed host %d", h))
 	}
 }

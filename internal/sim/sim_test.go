@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"sync"
 	"testing"
 )
@@ -457,4 +458,115 @@ func TestClusterStartedAfterDepartureClosesDeadMailboxes(t *testing.T) {
 		}
 	}()
 	c.Go(1, func() {})
+}
+
+// TestNetworkCrashLosesStorageAndLiveSlot pins the unclean-departure
+// semantics: the crashed host leaves the live set, joins the crashed
+// set, and its storage counter — the data that died with it — drops to
+// zero, while message history is retained like any departed slot.
+func TestNetworkCrashLosesStorageAndLiveSlot(t *testing.T) {
+	n := NewNetwork(3)
+	n.AddStorage(1, 25)
+	op := n.NewOp(0)
+	op.Send(1)
+	n.Crash(1)
+	if n.Alive(1) || !n.Crashed(1) {
+		t.Fatalf("crashed host: alive=%v crashed=%v", n.Alive(1), n.Crashed(1))
+	}
+	if n.Crashed(0) || n.Crashed(2) {
+		t.Fatal("live hosts marked crashed")
+	}
+	if n.LiveHosts() != 2 {
+		t.Fatalf("live hosts = %d, want 2", n.LiveHosts())
+	}
+	if st := n.Storage(1); st != 0 {
+		t.Fatalf("crashed host storage = %d, want 0 (data lost)", st)
+	}
+	if n.TotalMessages() != 1 {
+		t.Fatal("message history of crashed host must be retained")
+	}
+	// A cooperative leave, by contrast, is not a crash.
+	n.RemoveHost(2)
+	if n.Crashed(2) {
+		t.Fatal("RemoveHost marked the host crashed")
+	}
+}
+
+func TestNetworkCrashPanics(t *testing.T) {
+	n := NewNetwork(2)
+	n.Crash(0)
+	for name, f := range map[string]func(){
+		"crash crashed host": func() { n.Crash(0) },
+		"crash last live":    func() { n.Crash(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestClusterCrashFailsPendingAndFutureDo pins the fail-fast contract:
+// a crash drops the mailbox, so tasks already queued behind a blocker
+// are discarded with a typed HostDownError, and later Do calls fail the
+// same way instead of panicking or hanging.
+func TestClusterCrashFailsPendingAndFutureDo(t *testing.T) {
+	n := NewNetwork(2)
+	c := NewCluster(n)
+	defer c.Stop()
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	c.Go(1, func() { close(entered); <-block })
+	<-entered // worker 1 is busy; everything below queues behind it
+	pending := make(chan error, 1)
+	go func() { pending <- c.Do(1, func() { t.Error("dropped task ran") }) }()
+	// Wait until the pending rendezvous is actually in the mailbox.
+	for {
+		c.mailMu.RLock()
+		m := c.mail[1]
+		c.mailMu.RUnlock()
+		m.mu.Lock()
+		queued := len(m.queue) > 0
+		m.mu.Unlock()
+		if queued {
+			break
+		}
+	}
+	n.Crash(1)
+	c.Crash(1)
+	close(block)
+	err := <-pending
+	var down *HostDownError
+	if !errors.As(err, &down) || down.Host != 1 {
+		t.Fatalf("pending Do returned %v, want HostDownError{1}", err)
+	}
+	if !errors.Is(err, ErrHostDown) {
+		t.Fatal("HostDownError must match errors.Is(err, ErrHostDown)")
+	}
+	if err := c.Do(1, func() {}); !errors.Is(err, ErrHostDown) {
+		t.Fatalf("Do to crashed host returned %v, want ErrHostDown", err)
+	}
+	if err := c.Do(0, func() {}); err != nil {
+		t.Fatalf("Do to live host after crash: %v", err)
+	}
+}
+
+// TestClusterStartedAfterCrashDropsDeadMailboxes mirrors the departed-
+// slot test for crashes: a pool started after the crash must hand out
+// the typed error, not a panic.
+func TestClusterStartedAfterCrashDropsDeadMailboxes(t *testing.T) {
+	n := NewNetwork(3)
+	n.Crash(1)
+	c := NewCluster(n)
+	defer c.Stop()
+	if err := c.Do(0, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Do(1, func() {}); !errors.Is(err, ErrHostDown) {
+		t.Fatalf("Do to pre-crashed host returned %v, want ErrHostDown", err)
+	}
 }

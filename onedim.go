@@ -18,6 +18,14 @@ type Options struct {
 	// BucketSize is the keys-per-host target for Bucketed webs; 0 means
 	// n/H.
 	BucketSize int
+	// Replicas is the fault-tolerance factor k: every range, block, and
+	// bucket is mirrored on k distinct live hosts, updates write through
+	// to all of them (k-1 extra messages per written unit), queries fail
+	// over to live replicas, and crashing any k-1 hosts loses no data
+	// (Cluster.Crash repairs the survivors back to k copies). 0 or 1
+	// means unreplicated — the default, whose placement and message
+	// accounting are bit-identical to pre-replication builds.
+	Replicas int
 }
 
 // FloorResult is the answer to a one-dimensional nearest-neighbor query.
@@ -44,7 +52,7 @@ type OneDim struct {
 // hosts (Theorem 2's memory bound divided among H hosts).
 func NewOneDim(c *Cluster, keys []uint64, opts Options) (*OneDim, error) {
 	w, err := core.NewWeb[*core.ListLevel, uint64, uint64](
-		core.NewListOps(), c.network(), keys, core.Config{Seed: opts.Seed})
+		core.NewListOps(), c.network(), keys, core.Config{Seed: opts.Seed, Replicas: opts.Replicas})
 	if err != nil {
 		return nil, fmt.Errorf("skipwebs: %w", err)
 	}
@@ -116,6 +124,10 @@ func (d *OneDim) Keys() []uint64 { return d.w.GroundStructure().Keys() }
 func (d *OneDim) rehome(from HostID, op *sim.Op)    { d.w.Rehome(from, op) }
 func (d *OneDim) rebalance(onto HostID, op *sim.Op) { d.w.Rebalance(onto, op) }
 
+// repair is the crash-recovery hook Cluster.Crash drives: re-replicate
+// every under-replicated range from its surviving live replicas.
+func (d *OneDim) repair(op *sim.Op) error { return d.w.Repair(op) }
+
 // CheckConsistent verifies the web's invariants: every range placed on
 // a live host, hyperlinks matching recomputation, symmetric backrefs,
 // and per-level counts that add up. Cost: O(n log n) local work, no
@@ -168,7 +180,7 @@ type Blocked struct {
 // Construction places O(n log n) expected storage units in blocks of
 // O(M) contiguous ranges, one block per host (Section 2.4.1).
 func NewBlocked(c *Cluster, keys []uint64, opts Options) (*Blocked, error) {
-	w, err := core.NewBlockedWeb(c.network(), keys, core.BlockedConfig{Seed: opts.Seed, M: opts.M})
+	w, err := core.NewBlockedWeb(c.network(), keys, core.BlockedConfig{Seed: opts.Seed, M: opts.M, Replicas: opts.Replicas})
 	if err != nil {
 		return nil, fmt.Errorf("skipwebs: %w", err)
 	}
@@ -189,7 +201,10 @@ func (b *Blocked) M() int { return b.w.M() }
 // descent performs no per-query heap allocation (see the package
 // README's Performance section).
 func (b *Blocked) Floor(q uint64, origin HostID) (FloorResult, error) {
-	k, ok, hops := b.w.Query(q, origin)
+	k, ok, hops, err := b.w.Query(q, origin)
+	if err != nil {
+		return FloorResult{Hops: hops}, fmt.Errorf("skipwebs: %w", err)
+	}
 	return FloorResult{Key: k, Found: ok, Hops: hops}, nil
 }
 
@@ -200,7 +215,10 @@ func (b *Blocked) Range(lo, hi uint64, origin HostID) ([]uint64, int, error) {
 	if lo > hi {
 		return nil, 0, fmt.Errorf("skipwebs: empty range [%d, %d]", lo, hi)
 	}
-	keys, hops := b.w.Range(lo, hi, origin)
+	keys, hops, err := b.w.Range(lo, hi, origin)
+	if err != nil {
+		return keys, hops, fmt.Errorf("skipwebs: %w", err)
+	}
 	return keys, hops, nil
 }
 
@@ -280,6 +298,10 @@ func (b *Blocked) DeleteBatch(keys []uint64, origins []HostID) ([]int, error) {
 func (b *Blocked) rehome(from HostID, op *sim.Op)    { b.w.Rehome(from, op) }
 func (b *Blocked) rebalance(onto HostID, op *sim.Op) { b.w.Rebalance(onto, op) }
 
+// repair is the crash-recovery hook Cluster.Crash drives: re-replicate
+// every under-replicated block from its surviving live replicas.
+func (b *Blocked) repair(op *sim.Op) error { return b.w.Repair(op) }
+
 // CheckConsistent verifies the blocked web's invariants: sound level
 // lists, child key sets partitioning their parents', ordered block
 // directories, and every block on a live host. Cost: O(n log n) local
@@ -301,7 +323,7 @@ func NewBucketed(c *Cluster, keys []uint64, opts Options) (*Bucketed, error) {
 	if target <= 0 {
 		target = len(keys)/c.Hosts() + 1
 	}
-	w, err := core.NewBucketWeb(c.network(), keys, target, opts.M, opts.Seed)
+	w, err := core.NewBucketWeb(c.network(), keys, target, opts.M, opts.Seed, opts.Replicas)
 	if err != nil {
 		return nil, fmt.Errorf("skipwebs: %w", err)
 	}
@@ -321,7 +343,10 @@ func (b *Bucketed) NumBuckets() int { return b.w.NumBuckets() }
 // the H bucket separators plus one hop into the bucket — expected
 // constant when M = n^ε.
 func (b *Bucketed) Floor(q uint64, origin HostID) (FloorResult, error) {
-	k, ok, hops := b.w.Query(q, origin)
+	k, ok, hops, err := b.w.Query(q, origin)
+	if err != nil {
+		return FloorResult{Hops: hops}, fmt.Errorf("skipwebs: %w", err)
+	}
 	return FloorResult{Key: k, Found: ok, Hops: hops}, nil
 }
 
@@ -332,7 +357,10 @@ func (b *Bucketed) Range(lo, hi uint64, origin HostID) ([]uint64, int, error) {
 	if lo > hi {
 		return nil, 0, fmt.Errorf("skipwebs: empty range [%d, %d]", lo, hi)
 	}
-	keys, hops := b.w.Range(lo, hi, origin)
+	keys, hops, err := b.w.Range(lo, hi, origin)
+	if err != nil {
+		return keys, hops, fmt.Errorf("skipwebs: %w", err)
+	}
 	return keys, hops, nil
 }
 
@@ -406,6 +434,11 @@ func (b *Bucketed) DeleteBatch(keys []uint64, origins []HostID) ([]int, error) {
 // key moved.
 func (b *Bucketed) rehome(from HostID, op *sim.Op)    { b.w.Rehome(from, op) }
 func (b *Bucketed) rebalance(onto HostID, op *sim.Op) { b.w.Rebalance(onto, op) }
+
+// repair is the crash-recovery hook Cluster.Crash drives: re-replicate
+// the routing web and every under-replicated bucket from surviving
+// live replicas.
+func (b *Bucketed) repair(op *sim.Op) error { return b.w.Repair(op) }
 
 // CheckConsistent verifies the separator web's invariants plus the
 // bucket directory: every bucket keyed by its separator, sorted, on a

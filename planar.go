@@ -61,7 +61,7 @@ func NewPlanar(c *Cluster, segments []PlanarSegment, bounds PlanarBounds, opts O
 		MinX: bounds.MinX, MinY: bounds.MinY, MaxX: bounds.MaxX, MaxY: bounds.MaxY,
 	}}
 	w, err := core.NewWeb[*trapmap.Map, trapmap.Segment, trapmap.Point](
-		ops, c.network(), segs, core.Config{Seed: opts.Seed})
+		ops, c.network(), segs, core.Config{Seed: opts.Seed, Replicas: opts.Replicas})
 	if err != nil {
 		return nil, fmt.Errorf("skipwebs: %w", err)
 	}
@@ -124,6 +124,10 @@ func (p *Planar) LocateBatch(qs []PlanarPoint, origins []HostID) ([]Trapezoid, e
 // one message per storage unit moved.
 func (p *Planar) rehome(from HostID, op *sim.Op)    { p.w.Rehome(from, op) }
 func (p *Planar) rebalance(onto HostID, op *sim.Op) { p.w.Rebalance(onto, op) }
+
+// repair is the crash-recovery hook Cluster.Crash drives: re-replicate
+// every under-replicated trapezoid from its surviving live replicas.
+func (p *Planar) repair(op *sim.Op) error { return p.w.Repair(op) }
 
 // CheckConsistent verifies the planar web's invariants: every trapezoid
 // on a live host, conflict-list hyperlinks matching recomputation, and

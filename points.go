@@ -53,7 +53,7 @@ func NewPoints(c *Cluster, d int, points []Point, opts Options) (*Points, error)
 		items[i] = quadtree.Point(p)
 	}
 	w, err := core.NewWeb[*quadtree.Tree, quadtree.Point, uint64](
-		ops, c.network(), items, core.Config{Seed: opts.Seed})
+		ops, c.network(), items, core.Config{Seed: opts.Seed, Replicas: opts.Replicas})
 	if err != nil {
 		return nil, fmt.Errorf("skipwebs: %w", err)
 	}
@@ -330,6 +330,10 @@ func (p *Points) DeleteBatch(qs []Point, origins []HostID) ([]int, error) {
 // hyperlinks, one message per storage unit moved.
 func (p *Points) rehome(from HostID, op *sim.Op)    { p.w.Rehome(from, op) }
 func (p *Points) rebalance(onto HostID, op *sim.Op) { p.w.Rebalance(onto, op) }
+
+// repair is the crash-recovery hook Cluster.Crash drives: re-replicate
+// every under-replicated cell from its surviving live replicas.
+func (p *Points) repair(op *sim.Op) error { return p.w.Repair(op) }
 
 // CheckConsistent verifies the point web's invariants: every cell on a
 // live host, hyperlinks matching recomputation, and per-level counts

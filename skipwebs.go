@@ -28,9 +28,11 @@
 package skipwebs
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
+	"github.com/skipwebs/skipwebs/internal/core"
 	"github.com/skipwebs/skipwebs/internal/sim"
 )
 
@@ -39,13 +41,28 @@ import (
 // joining host always gets a fresh id.
 type HostID = sim.HostID
 
-// migrator is the churn contract every structure registers with its
-// Cluster at construction: migrate everything off a departing host,
-// pick up a fair share of load for a joining host, and verify internal
-// consistency. All three run under the cluster's write lock.
+// ErrHostDown is the sentinel error for operations that needed a
+// crashed host: a query whose every replica of some unit is dead, or a
+// batch operation whose rendezvous host died. Match with errors.Is; the
+// concrete error names the host. No messages beyond those already
+// charged are spent on a failed operation.
+var ErrHostDown = sim.ErrHostDown
+
+// DataLossError is returned by Cluster.Crash when the crash exceeded
+// the replication factor's tolerance: some units had no surviving live
+// replica and are unrecoverable. Queries needing them keep failing fast
+// with ErrHostDown; all other data remains fully served.
+type DataLossError = core.DataLossError
+
+// migrator is the churn and fault-tolerance contract every structure
+// registers with its Cluster at construction: migrate everything off a
+// departing host, pick up a fair share of load for a joining host,
+// re-replicate under-replicated units after a crash, and verify
+// internal consistency. All four run under the cluster's write lock.
 type migrator interface {
 	rehome(from HostID, op *sim.Op)
 	rebalance(onto HostID, op *sim.Op)
+	repair(op *sim.Op) error
 	CheckConsistent() error
 }
 
@@ -145,7 +162,76 @@ func (c *Cluster) Join() HostID {
 	for _, s := range c.structs {
 		s.rebalance(h, op)
 	}
+	// A join can raise the feasible replica count (min(Replicas, live)):
+	// top under-replicated units back up. On an unreplicated or fully
+	// replicated cluster this is a read-only scan. Pre-existing data
+	// loss (a crash that exceeded the tolerance before this join) is
+	// not the joiner's news to deliver — Crash already reported it.
+	for _, s := range c.structs {
+		_ = s.repair(op)
+	}
 	return h
+}
+
+// Crash removes host h the unclean way: no migration happens, the
+// host's data dies with it, its mailbox (if the batch worker pool is
+// running) is dropped, and the host joins the failed set that query
+// routing consults for failover. Crash blocks until in-flight batches
+// drain (it takes the write lock), so batches never observe the drop
+// itself; afterwards the crashed host is rejected as a batch origin,
+// and queries that need a unit with no live replica fail fast with
+// ErrHostDown. (The mailbox-drop fail-fast rendezvous contract is the
+// sim layer's: users driving sim.Cluster directly, without this
+// cluster's locking, get the typed error instead of a hang.) Every
+// attached structure then runs its Repair pass, re-replicating each
+// surviving unit back to min(Replicas, live) copies — one message per
+// storage unit copied, charged to the cluster like any traffic.
+//
+// With Options.Replicas k and at most k-1 crashes between repairs, no
+// data is lost and every query keeps answering exactly as before. A
+// crash beyond that tolerance returns a DataLossError naming how many
+// units are unrecoverable; the cluster keeps serving everything else.
+// Crash fails on a host that is not live and on the last live host, and
+// blocks until in-flight batches drain (it takes the write lock).
+func (c *Cluster) Crash(h HostID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.net.Alive(h) {
+		return fmt.Errorf("skipwebs: host %d is not a live host", h)
+	}
+	if c.net.LiveHosts() == 1 {
+		return fmt.Errorf("skipwebs: cannot crash the last live host %d", h)
+	}
+	c.net.Crash(h)
+	if c.workers != nil && !c.workers.Stopped() {
+		c.workers.Crash(h)
+	}
+	// Repair is coordinated by the survivors; the op starts unplaced
+	// (sim.None) so the first copy source is not double-charged.
+	op := c.net.NewOp(sim.None)
+	defer op.Free()
+	// Per-structure data losses are summed into one DataLossError so
+	// errors.As reports the cluster-wide count; Units is a snapshot of
+	// every unit currently without a live replica, so after repeated
+	// over-tolerance crashes the latest error carries the cumulative
+	// loss (earlier losses stay lost and are re-reported).
+	lost := 0
+	var errs []error
+	for _, s := range c.structs {
+		err := s.repair(op)
+		var dl *DataLossError
+		switch {
+		case err == nil:
+		case errors.As(err, &dl):
+			lost += dl.Units
+		default:
+			errs = append(errs, err)
+		}
+	}
+	if lost > 0 {
+		errs = append(errs, &DataLossError{Units: lost})
+	}
+	return errors.Join(errs...)
 }
 
 // Leave removes host h from the cluster after migrating every node,

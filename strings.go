@@ -34,7 +34,7 @@ type Strings struct {
 // NewStrings builds a string skip-web over distinct non-empty keys.
 func NewStrings(c *Cluster, keys []string, opts Options) (*Strings, error) {
 	w, err := core.NewWeb[*trie.Trie, string, string](
-		core.NewTrieOps(), c.network(), keys, core.Config{Seed: opts.Seed})
+		core.NewTrieOps(), c.network(), keys, core.Config{Seed: opts.Seed, Replicas: opts.Replicas})
 	if err != nil {
 		return nil, fmt.Errorf("skipwebs: %w", err)
 	}
@@ -174,6 +174,10 @@ func (s *Strings) DeleteBatch(keys []string, origins []HostID) ([]int, error) {
 // hyperlinks, one message per storage unit moved.
 func (s *Strings) rehome(from HostID, op *sim.Op)    { s.w.Rehome(from, op) }
 func (s *Strings) rebalance(onto HostID, op *sim.Op) { s.w.Rebalance(onto, op) }
+
+// repair is the crash-recovery hook Cluster.Crash drives: re-replicate
+// every under-replicated locus from its surviving live replicas.
+func (s *Strings) repair(op *sim.Op) error { return s.w.Repair(op) }
 
 // CheckConsistent verifies the string web's invariants: every locus on
 // a live host, hyperlinks matching recomputation, and per-level counts
