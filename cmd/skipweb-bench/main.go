@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	skipweb-bench [-mode experiments|throughput|bench|churn|failover]
+//	skipweb-bench [-mode experiments|throughput|bench|churn|failover|wire]
 //	              [-experiment all|table1|lemma1|lemma3|lemma4|lemma5|
 //	               theorem2|blocking|updates|congestion|ablation|figures]
 //	              [-quick] [-seed N]
@@ -35,6 +35,14 @@
 // matched a crash-free control build, lost units, repair msgs/event,
 // and query/update msgs/op — the replication overhead; results are
 // recorded as BENCH_FAILOVER_PR5.json.
+//
+// Wire mode replays a seeded workload against a cluster of skip-web
+// daemons speaking the real TCP wire protocol (in-process listeners by
+// default; real skipweb-serve processes with -serve-bin) and diffs the
+// per-host message counters against a simulator run of the identical
+// workload — they must be bit-identical, since the model's charges are
+// transport-invariant. It also reports real-socket query latency
+// (p50/p99); results are recorded as BENCH_WIRE_PR6.json.
 //
 // Churn mode runs a join/leave storm against every structure at once:
 // at each rate in -churn-rates (churn events per operation), a mixed
@@ -89,11 +97,29 @@ func run(args []string, out io.Writer) error {
 	crashes := fs.Int("crashes", 4, "failover: host crashes per trial")
 	jsonPath := fs.String("json", "", "bench/churn: also write results as JSON to this file")
 	baseline := fs.String("baseline", "", "bench: compare allocs/op and msgs/op against the ceilings in this JSON file and fail on regression")
+	serveBin := fs.String("serve-bin", "", "wire: path to a skipweb-serve binary; when set, daemons run as real processes")
+	basePort := fs.Int("base-port", 7070, "wire: first loopback port for -serve-bin daemons")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h/-help printed usage; not a failure
 		}
 		return err
+	}
+	if *mode == "wire" {
+		// The sim-scale defaults (256 hosts, 20000 queries) are sized for
+		// in-process message counting, not for a socket per hop; scale the
+		// defaults down unless the flag was given explicitly.
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["hosts"] {
+			*hosts = 4
+		}
+		if !set["keys"] {
+			*keyN = 512
+		}
+		if !set["queries"] {
+			*queries = 500
+		}
 	}
 
 	switch *mode {
@@ -107,6 +133,8 @@ func run(args []string, out io.Writer) error {
 		return runChurn(out, *jsonPath, *hosts, *keyN, *queries, *churnRates, *seed, *quick)
 	case "failover":
 		return runFailover(out, *jsonPath, *hosts, *keyN, *queries, *replicas, *crashes, *seed, *quick)
+	case "wire":
+		return runWire(out, *jsonPath, *serveBin, *basePort, *hosts, *keyN, *queries, *seed)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"syscall"
+	"time"
+
+	"github.com/skipwebs/skipwebs/internal/serve"
+	"github.com/skipwebs/skipwebs/internal/sim"
+	"github.com/skipwebs/skipwebs/internal/wire"
+)
+
+// wireRow is one structure's sim-vs-wire parity measurement.
+type wireRow struct {
+	Structure   string  `json:"structure"`
+	Ops         int     `json:"ops"`
+	Queries     int     `json:"queries"`
+	SimMsgs     int64   `json:"sim_msgs_total"`
+	WireMsgs    int64   `json:"wire_msgs_total"`
+	Identical   bool    `json:"per_host_identical"`
+	SimPerHost  []int64 `json:"sim_per_host"`
+	WirePerHost []int64 `json:"wire_per_host"`
+	MsgsOp      float64 `json:"msgs_per_op"`
+	P50Micros   float64 `json:"latency_p50_us"`
+	P99Micros   float64 `json:"latency_p99_us"`
+}
+
+// wireDoc is the JSON document written by -mode=wire -json
+// (BENCH_WIRE_PR6.json): the W1 table's data.
+type wireDoc struct {
+	Mode      string    `json:"mode"`
+	Hosts     int       `json:"hosts"`
+	Keys      int       `json:"keys"`
+	Ops       int       `json:"ops"`
+	Seed      uint64    `json:"seed"`
+	Processes bool      `json:"multi_process"`
+	Go        string    `json:"go"`
+	CPUs      int       `json:"cpus"`
+	Rows      []wireRow `json:"rows"`
+}
+
+// runWire replays a seeded workload against a daemon cluster speaking
+// the real TCP wire protocol and diffs the per-host message counters
+// against a single-process simulator run of the identical workload. The
+// counts must be bit-identical (the model charges are transport-
+// invariant); any divergence is an error, not a report footnote. With
+// serveBin, the daemons are real skipweb-serve processes on loopback
+// ports basePort..basePort+hosts-1; otherwise they are in-process
+// listeners (same sockets, same frames, one address space).
+func runWire(out io.Writer, jsonPath, serveBin string, basePort, hosts, keyN, ops int, seed uint64) error {
+	if hosts < 2 {
+		return fmt.Errorf("-hosts must be >= 2 for wire mode, got %d", hosts)
+	}
+	if keyN < 16 {
+		return fmt.Errorf("-keys must be >= 16 for wire mode, got %d", keyN)
+	}
+	if ops < 1 {
+		return fmt.Errorf("-queries must be positive, got %d", ops)
+	}
+	doc := wireDoc{
+		Mode: "wire", Hosts: hosts, Keys: keyN, Ops: ops, Seed: seed,
+		Processes: serveBin != "", Go: runtime.Version(), CPUs: runtime.NumCPU(),
+	}
+	fmt.Fprintf(out, "=== W1: sim-vs-wire parity (hosts=%d keys=%d ops=%d, %s) ===\n",
+		hosts, keyN, ops, map[bool]string{true: "multi-process", false: "in-process listeners"}[serveBin != ""])
+	fmt.Fprintf(out, "%-10s %12s %12s %10s %10s %12s %12s\n",
+		"structure", "sim msgs", "wire msgs", "identical", "msgs/op", "p50 µs", "p99 µs")
+	for _, structure := range []string{"onedim", "blocked", "bucketed"} {
+		cfg := serve.Config{
+			Hosts:     hosts,
+			Structure: structure,
+			Keys:      keyN,
+			KeySeed:   seed,
+			Seed:      seed + 1,
+		}
+		wl := serve.NewWorkload(cfg, seed+2, ops)
+		simRes, err := serve.RunSim(cfg, wl)
+		if err != nil {
+			return fmt.Errorf("%s: sim control: %w", structure, err)
+		}
+		var wireRes serve.RunResult
+		if serveBin == "" {
+			daemons, clients, err := serve.BootLocal(cfg)
+			if err != nil {
+				return fmt.Errorf("%s: boot: %w", structure, err)
+			}
+			wireRes, err = serve.Replay(clients, wl)
+			serve.CloseLocal(daemons, clients)
+			if err != nil {
+				return fmt.Errorf("%s: replay: %w", structure, err)
+			}
+		} else {
+			wireRes, err = replayProcesses(serveBin, basePort, cfg, wl)
+			if err != nil {
+				return fmt.Errorf("%s: replay (processes): %w", structure, err)
+			}
+		}
+
+		row := wireRow{
+			Structure:   structure,
+			Ops:         len(wl),
+			Queries:     len(wireRes.QueryLatency),
+			SimPerHost:  simRes.PerHost,
+			WirePerHost: wireRes.PerHost,
+			Identical:   true,
+		}
+		for h := range simRes.PerHost {
+			row.SimMsgs += simRes.PerHost[h]
+			row.WireMsgs += wireRes.PerHost[h]
+			if simRes.PerHost[h] != wireRes.PerHost[h] {
+				row.Identical = false
+			}
+		}
+		for i := range wl {
+			if wireRes.Floors[i] != simRes.Floors[i] || wireRes.Hops[i] != simRes.Hops[i] {
+				row.Identical = false
+			}
+		}
+		row.MsgsOp = float64(row.WireMsgs) / float64(len(wl))
+		row.P50Micros = float64(serve.Quantile(wireRes.QueryLatency, 0.50).Microseconds())
+		row.P99Micros = float64(serve.Quantile(wireRes.QueryLatency, 0.99).Microseconds())
+		doc.Rows = append(doc.Rows, row)
+		fmt.Fprintf(out, "%-10s %12d %12d %10v %10.2f %12.0f %12.0f\n",
+			row.Structure, row.SimMsgs, row.WireMsgs, row.Identical, row.MsgsOp, row.P50Micros, row.P99Micros)
+		if !row.Identical {
+			return fmt.Errorf("%s: wire accounting diverged from sim (sim %v, wire %v)",
+				structure, simRes.PerHost, wireRes.PerHost)
+		}
+	}
+	fmt.Fprintln(out, "per-host wire message counters are bit-identical to the simulator's")
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// replayProcesses boots cfg.Hosts real skipweb-serve processes on
+// loopback ports, cross-connects them via the connect RPC, replays the
+// workload, and drains each daemon through its shutdown RPC (the same
+// graceful path SIGTERM takes) before waiting on the processes.
+func replayProcesses(serveBin string, basePort int, cfg serve.Config, wl []serve.WorkloadOp) (serve.RunResult, error) {
+	hosts := cfg.Hosts
+	addrs := make([]string, hosts)
+	procs := make([]*exec.Cmd, hosts)
+	clients := make([]*wire.Client, hosts)
+	defer func() {
+		for _, cl := range clients {
+			if cl != nil {
+				cl.Close()
+			}
+		}
+		for _, p := range procs {
+			if p != nil && p.Process != nil {
+				p.Process.Signal(syscall.SIGTERM)
+				p.Wait()
+			}
+		}
+	}()
+	for h := 0; h < hosts; h++ {
+		addrs[h] = fmt.Sprintf("127.0.0.1:%d", basePort+h)
+		cmd := exec.Command(serveBin,
+			"-listen", addrs[h],
+			"-host", fmt.Sprint(h),
+			"-hosts", fmt.Sprint(hosts),
+			"-structure", cfg.Structure,
+			"-keys", fmt.Sprint(cfg.Keys),
+			"-key-seed", fmt.Sprint(cfg.KeySeed),
+			"-seed", fmt.Sprint(cfg.Seed),
+		)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return serve.RunResult{}, fmt.Errorf("start host %d: %w", h, err)
+		}
+		procs[h] = cmd
+	}
+	for h := 0; h < hosts; h++ {
+		cl, err := wire.Dial(sim.HostID(h), addrs[h], 30*time.Second)
+		if err != nil {
+			return serve.RunResult{}, fmt.Errorf("dial host %d: %w", h, err)
+		}
+		clients[h] = cl
+		var ok bool
+		if err := cl.Call("connect", serve.ConnectArgs{Addrs: addrs}, &ok); err != nil {
+			return serve.RunResult{}, fmt.Errorf("connect host %d: %w", h, err)
+		}
+	}
+	res, err := serve.Replay(clients, wl)
+	if err != nil {
+		return serve.RunResult{}, err
+	}
+	for h, cl := range clients {
+		var ok bool
+		if err := cl.Call("shutdown", nil, &ok); err != nil {
+			return serve.RunResult{}, fmt.Errorf("shutdown host %d: %w", h, err)
+		}
+	}
+	for h, p := range procs {
+		if err := p.Wait(); err != nil {
+			return serve.RunResult{}, fmt.Errorf("host %d exited uncleanly: %w", h, err)
+		}
+		procs[h] = nil
+	}
+	return res, nil
+}

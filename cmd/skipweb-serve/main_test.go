@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/skipwebs/skipwebs/internal/serve"
+	"github.com/skipwebs/skipwebs/internal/wire"
+)
+
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-hosts", "0"},
+		{"-host", "7", "-hosts", "4"},
+		{"-host", "-1"},
+		{"-keys", "0"},
+		{"-structure", "nope"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) accepted invalid flags", args)
+		}
+	}
+}
+
+func TestHelpIsNotAnError(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-h"}, &sb); err != nil {
+		t.Fatalf("-h returned %v", err)
+	}
+}
+
+// TestBootAndShutdownRPC boots a daemon on an ephemeral port and stops
+// it through the shutdown RPC — the remote half of the graceful-drain
+// path (the signal half needs a real process; CI's wire-smoke job
+// exercises it).
+func TestBootAndShutdownRPC(t *testing.T) {
+	d, err := serve.Start(serve.Config{
+		Hosts: 1, Structure: "blocked", Keys: 32, KeySeed: 1, Seed: 2,
+		Listen: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer d.Close()
+
+	cl, err := wire.Dial(0, d.Addr(), time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	var ping serve.PingReply
+	if err := cl.Call("ping", nil, &ping); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if ping.Host != 0 || ping.Structure != "blocked" || ping.Keys != 32 {
+		t.Fatalf("ping reply %+v", ping)
+	}
+	var ok bool
+	if err := cl.Call("shutdown", nil, &ok); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case <-d.ShutdownRequested():
+	case <-time.After(2 * time.Second):
+		t.Fatal("shutdown not signalled")
+	}
+}

@@ -81,6 +81,11 @@ func run(args []string, out io.Writer) error {
 
 	var totalHops, queries, inserts atomic.Int64
 	hist := make([]atomic.Int64, 64)
+	// Do returns a typed error when the coordinator host is down or the
+	// per-call deadline expires; a dropped dispatch must fail the run,
+	// not silently skew the histogram. First error wins.
+	var doErrOnce sync.Once
+	var doErr error
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
@@ -91,15 +96,18 @@ func run(args []string, out io.Writer) error {
 				origin := sim.HostID(cr.Intn(*hosts))
 				if cr.Intn(10) == 0 {
 					k := cr.Uint64n(1 << 40)
-					cluster.Do(0, func() {
+					if err := cluster.Do(0, func() {
 						if _, err := web.Insert(k, origin); err == nil {
 							inserts.Add(1)
 						}
-					})
+					}); err != nil {
+						doErrOnce.Do(func() { doErr = err })
+						return
+					}
 					continue
 				}
 				q := cr.Uint64n(1 << 40)
-				cluster.Do(0, func() {
+				if err := cluster.Do(0, func() {
 					_, _, hops, err := web.Query(q, origin)
 					if err != nil {
 						return // no crashes in this workload; defensive only
@@ -109,11 +117,17 @@ func run(args []string, out io.Writer) error {
 					if hops < len(hist) {
 						hist[hops].Add(1)
 					}
-				})
+				}); err != nil {
+					doErrOnce.Do(func() { doErr = err })
+					return
+				}
 			}
 		}(c)
 	}
 	wg.Wait()
+	if doErr != nil {
+		return fmt.Errorf("dispatch to coordinator failed: %w", doErr)
+	}
 
 	q := queries.Load()
 	fmt.Fprintf(out, "clients=%d ops/client=%d keys(final)=%d\n", *clients, *ops, web.Len())

@@ -25,7 +25,7 @@ import (
 // O(log n / log M) expected messages, which is O(log n / log log n) at
 // M = Θ(log n) (Theorem 2).
 type BlockedWeb struct {
-	net     *sim.Network
+	net     Fabric
 	seed    uint64
 	m       int // host memory parameter M
 	strat   int // stratum height L = max(1, ceil(log2 M))
@@ -154,7 +154,7 @@ type BlockedConfig struct {
 // exactly the order of the incremental path, so construction remains
 // seed-compatible with pre-bulk builds; construction charges storage
 // only, never messages (an update's messages are charged to the update).
-func NewBlockedWeb(net *sim.Network, keys []uint64, cfg BlockedConfig) (*BlockedWeb, error) {
+func NewBlockedWeb(net Fabric, keys []uint64, cfg BlockedConfig) (*BlockedWeb, error) {
 	if cfg.M <= 0 {
 		cfg.M = int(math.Ceil(math.Log2(float64(len(keys)+2)))) + 1
 	}
@@ -1589,7 +1589,7 @@ func (w *BlockedWeb) CheckInvariants() error {
 // memory O(n/H + log H) and query cost Õ(log_M H) — constant when
 // M = n^ε.
 type BucketWeb struct {
-	net     *sim.Network
+	net     Fabric
 	web     *BlockedWeb
 	buckets map[uint64]*wbucket
 	target  int
@@ -1610,7 +1610,7 @@ type wbucket struct {
 // keys per bucket, host memory parameter m for the routing web, and
 // replication factor replicas (<= 1 means unreplicated, the
 // seed-compatible default).
-func NewBucketWeb(net *sim.Network, keys []uint64, target, m int, seed uint64, replicas int) (*BucketWeb, error) {
+func NewBucketWeb(net Fabric, keys []uint64, target, m int, seed uint64, replicas int) (*BucketWeb, error) {
 	if target < 1 {
 		target = 1
 	}

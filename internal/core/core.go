@@ -50,6 +50,35 @@ import (
 	"github.com/skipwebs/skipwebs/internal/xrand"
 )
 
+// Fabric is the accounting substrate the engines run on — the slice of
+// the network the structures actually touch: open an accounting Op for a
+// query or update, charge storage to a host, and read the live host set
+// for placement and failover. *sim.Network is the canonical
+// implementation; the engines speak only to this interface so a
+// transport layer can interpose on the same contract (the wire transport
+// taps message delivery via sim.Network.SetDeliver and hands the engines
+// the identical Fabric). All message charging flows through the Ops
+// returned by NewOp, so a Fabric implementation observes every hop the
+// cost model counts.
+type Fabric interface {
+	// NewOp opens the accounting context for one logical operation
+	// starting at host start (sim.None for "not yet placed").
+	NewOp(start sim.HostID) *sim.Op
+	// AddStorage records delta storage units at host h.
+	AddStorage(h sim.HostID, delta int)
+	// Alive reports whether host h has joined and not departed.
+	Alive(h sim.HostID) bool
+	// LiveHosts returns the number of currently live hosts.
+	LiveHosts() int
+	// LiveAt returns the i-th live host in ascending id order.
+	LiveAt(i int) sim.HostID
+	// NextLive returns the cyclic successor of h in the live set.
+	NextLive(h sim.HostID) sim.HostID
+}
+
+// *sim.Network is the canonical Fabric.
+var _ Fabric = (*sim.Network)(nil)
+
 // RangeID identifies a range (a node or link of a link structure) within
 // one level. NoRange means "none".
 type RangeID int32
@@ -254,7 +283,7 @@ type setNode struct {
 type Web[L, T, Q any] struct {
 	ops    Ops[L, T, Q]
 	bulk   BulkOps[L, T] // non-nil when ops supports sorted bulk loads
-	net    *sim.Network
+	net    Fabric
 	cfg    Config
 	rng    *xrand.Rand
 	root   *setNode
@@ -297,7 +326,7 @@ type delFrame struct {
 // path: one canonical sort at the root, order-preserving partitions,
 // and BuildSorted per level, with placement and accounting identical to
 // the plain path.
-func NewWeb[L, T, Q any](ops Ops[L, T, Q], net *sim.Network, items []T, cfg Config) (*Web[L, T, Q], error) {
+func NewWeb[L, T, Q any](ops Ops[L, T, Q], net Fabric, items []T, cfg Config) (*Web[L, T, Q], error) {
 	cfg = cfg.withDefaults()
 	w := &Web[L, T, Q]{
 		ops:   ops,

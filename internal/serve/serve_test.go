@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"github.com/skipwebs/skipwebs/internal/wire"
+)
+
+// TestWireParity is the load-bearing acceptance test of the wire
+// transport: a 4-host daemon cluster replays a seeded golden workload
+// over real TCP sockets, and the per-host message counters maintained by
+// the wire nodes must match the simulator's per-host counters
+// bit-for-bit — along with every answer and hop count. Afterward, every
+// daemon's key-set digest must agree, certifying the replicas never
+// diverged.
+func TestWireParity(t *testing.T) {
+	for _, structure := range []string{"onedim", "blocked", "bucketed"} {
+		structure := structure
+		t.Run(structure, func(t *testing.T) {
+			cfg := Config{
+				Hosts:     4,
+				Structure: structure,
+				Keys:      256,
+				KeySeed:   42,
+				Seed:      7,
+			}
+			wl := NewWorkload(cfg, 99, 400)
+
+			simRes, err := RunSim(cfg, wl)
+			if err != nil {
+				t.Fatalf("RunSim: %v", err)
+			}
+
+			daemons, clients, err := BootLocal(cfg)
+			if err != nil {
+				t.Fatalf("BootLocal: %v", err)
+			}
+			defer CloseLocal(daemons, clients)
+
+			wireRes, err := Replay(clients, wl)
+			if err != nil {
+				t.Fatalf("Replay: %v", err)
+			}
+
+			for i := range wl {
+				if wireRes.Floors[i] != simRes.Floors[i] {
+					t.Fatalf("op %d: wire %+v, sim %+v", i, wireRes.Floors[i], simRes.Floors[i])
+				}
+				if wireRes.Hops[i] != simRes.Hops[i] {
+					t.Fatalf("op %d hops: wire %d, sim %d", i, wireRes.Hops[i], simRes.Hops[i])
+				}
+			}
+			for h := range simRes.PerHost {
+				if wireRes.PerHost[h] != simRes.PerHost[h] {
+					t.Fatalf("host %d messages: wire %d, sim %d (full: wire %v, sim %v)",
+						h, wireRes.PerHost[h], simRes.PerHost[h], wireRes.PerHost, simRes.PerHost)
+				}
+			}
+
+			digests, err := Digests(clients)
+			if err != nil {
+				t.Fatalf("Digests: %v", err)
+			}
+			for h := 1; h < len(digests); h++ {
+				if digests[h] != digests[0] {
+					t.Fatalf("replicas diverged: host %d digest %+v, host 0 %+v", h, digests[h], digests[0])
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadDeterministic pins the generator: the same cfg and seed
+// must produce the same op list, or the parity diff is meaningless.
+func TestWorkloadDeterministic(t *testing.T) {
+	cfg := Config{Hosts: 4, Structure: "blocked", Keys: 64, KeySeed: 1, Seed: 2}
+	a := NewWorkload(cfg, 5, 200)
+	b := NewWorkload(cfg, 5, 200)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	kinds := map[byte]int{}
+	for _, op := range a {
+		kinds[op.Kind]++
+	}
+	if kinds[OpQuery] == 0 || kinds[OpInsert] == 0 || kinds[OpDelete] == 0 {
+		t.Fatalf("workload lacks an op kind: %v", kinds)
+	}
+}
+
+// TestDaemonRejectsBadConfig covers the daemon's validation surface.
+func TestDaemonRejectsBadConfig(t *testing.T) {
+	if _, err := Start(Config{Hosts: 0, Structure: "blocked"}); err == nil {
+		t.Fatal("Hosts=0 accepted")
+	}
+	if _, err := Start(Config{Hosts: 2, Host: 5, Structure: "blocked", Listen: "127.0.0.1:0"}); err == nil {
+		t.Fatal("out-of-range host accepted")
+	}
+	if _, err := Start(Config{Hosts: 2, Structure: "nope", Keys: 8, Listen: "127.0.0.1:0"}); err == nil {
+		t.Fatal("unknown structure accepted")
+	}
+}
+
+// TestShutdownRPC covers the daemon's remote drain trigger.
+func TestShutdownRPC(t *testing.T) {
+	d, err := Start(Config{Hosts: 1, Structure: "blocked", Keys: 16, KeySeed: 3, Seed: 4, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer d.Close()
+	cl, err := wire.Dial(0, d.Addr(), time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	var ok bool
+	if err := cl.Call("shutdown", nil, &ok); err != nil {
+		t.Fatalf("shutdown RPC: %v", err)
+	}
+	select {
+	case <-d.ShutdownRequested():
+	case <-time.After(2 * time.Second):
+		t.Fatal("shutdown signal not delivered")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // HostID identifies a host in the network. Hosts are numbered 0..H-1.
@@ -59,6 +60,68 @@ func (e *HostDownError) Error() string {
 
 // Unwrap makes errors.Is(err, ErrHostDown) match.
 func (e *HostDownError) Unwrap() error { return ErrHostDown }
+
+// ErrTimeout is the sentinel error for operations that exceeded a
+// configured per-call deadline (Transport.SetDoTimeout, and the wire
+// transport's dial/read deadlines). Match with errors.Is; the concrete
+// error carried is a TimeoutError naming the host and the deadline.
+var ErrTimeout = errors.New("operation timed out")
+
+// TimeoutError reports that a call to host Host did not complete within
+// After. It is the typed error a dead or wedged remote host produces
+// instead of hanging the caller forever. Note the rendezvous is
+// abandoned, not cancelled: the task may still execute later if the
+// host recovers.
+type TimeoutError struct {
+	Host  HostID
+	After time.Duration
+}
+
+// Error describes the timed-out call.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("sim: call to host %d timed out after %v", e.Host, e.After)
+}
+
+// Unwrap makes errors.Is(err, ErrTimeout) match.
+func (e *TimeoutError) Unwrap() error { return ErrTimeout }
+
+// Timeout reports true, satisfying the net.Error convention.
+func (e *TimeoutError) Timeout() bool { return true }
+
+// Transport is the host-execution contract the structures and the batch
+// engine run on: execute a closure on a host (synchronously or
+// send-and-continue), fan a batch out over the per-host workers, and
+// manage host lifecycle (spawn on join, drain on leave, drop on crash,
+// drain-and-stop on shutdown). It is exactly the surface of Cluster, the
+// in-process implementation; internal/wire provides a second
+// implementation whose dispatch rides length-prefixed TCP frames. The
+// semantic contract both implementations satisfy (and the conformance
+// suite in internal/wire pins):
+//
+//   - Do(h, fn) runs fn on host h's worker and returns when it is done;
+//     tasks from one sender to one host run in FIFO order, and a Do
+//     issued from host h's own worker runs inline (same-host re-entry
+//     never deadlocks).
+//   - Do on a crashed host — or with the task still queued when the
+//     host crashes — fails fast with a HostDownError; Do on a
+//     cooperatively departed or stopped host panics (programming error).
+//   - Go(h, fn) enqueues fn and returns immediately; Go to a departed,
+//     crashed, or stopped host panics.
+//   - SetDoTimeout bounds every subsequent Do rendezvous: a wedged host
+//     yields a TimeoutError instead of blocking forever.
+//   - RemoveHost drains already-enqueued tasks before the worker exits;
+//     Crash discards them; Stop drains every host then waits.
+type Transport interface {
+	Do(h HostID, fn func()) error
+	Go(h HostID, fn func())
+	RunBatch(n int, origin func(i int) HostID, run func(i int))
+	AddHost(h HostID)
+	RemoveHost(h HostID)
+	Crash(h HostID)
+	SetDoTimeout(d time.Duration)
+	Stop()
+	Stopped() bool
+}
 
 // counter is a cache-line-padded atomic counter. Per-host counters are
 // bumped from many worker goroutines during batch execution; without
@@ -93,6 +156,14 @@ type Network struct {
 	storage  []counter // storage units (items, nodes, links, pointers) at host i
 	touches  []counter // operations that touched host i (congestion)
 	ops      []counter // operations started at host i-1 (slot 0: started at None)
+
+	// deliver, when set, is invoked once per charged message with the
+	// destination host — the tap a wire transport uses to emit one real
+	// frame per message the cost model charges, making on-the-wire
+	// accounting bit-identical to the simulator's by construction. Set
+	// it before any traffic flows; it is not synchronized against
+	// in-flight operations.
+	deliver func(HostID)
 }
 
 // NewNetwork creates a network of h hosts. It panics if h <= 0, since a
@@ -217,6 +288,29 @@ func (n *Network) AddStorage(h HostID, delta int) {
 // Storage returns the storage units currently recorded at host h.
 func (n *Network) Storage(h HostID) int64 { return n.storage[h].n.Load() }
 
+// SetDeliver installs fn as the message-delivery tap: it is called once
+// per charged message with the destination host, synchronously, from the
+// goroutine running the operation. The wire transport uses it to send a
+// real length-prefixed frame to the destination host's process for every
+// message the cost model charges. Install before any traffic flows (the
+// field is read without synchronization on the hot path); pass nil to
+// uninstall.
+func (n *Network) SetDeliver(fn func(HostID)) { n.deliver = fn }
+
+// Messages returns the messages delivered to host h since creation.
+func (n *Network) Messages(h HostID) int64 { return n.messages[h].n.Load() }
+
+// PerHostMessages returns the per-host delivered-message counters as a
+// slice indexed by HostID — the vector the sim-vs-wire parity check
+// diffs bit-for-bit.
+func (n *Network) PerHostMessages() []int64 {
+	out := make([]int64, n.hosts)
+	for i := range out {
+		out[i] = n.messages[i].n.Load()
+	}
+	return out
+}
+
 // TotalMessages returns the number of messages delivered since creation.
 func (n *Network) TotalMessages() int64 {
 	var sum int64
@@ -295,6 +389,9 @@ func (o *Op) charge(h HostID) {
 	o.hops++
 	o.net.messages[h].n.Add(1)
 	o.net.touches[h].n.Add(1)
+	if o.net.deliver != nil {
+		o.net.deliver(h)
+	}
 }
 
 // Send charges one explicit message to host h without moving the operation
@@ -413,6 +510,9 @@ type Cluster struct {
 	mail    []*mailbox
 	wg      sync.WaitGroup
 	stopped atomic.Bool
+	// doTimeout bounds every Do rendezvous (nanoseconds; 0 = wait
+	// forever). See SetDoTimeout.
+	doTimeout atomic.Int64
 	// running maps a worker goroutine's id to the host it executes for,
 	// so Do can detect same-host re-entry and run inline instead of
 	// deadlocking on a message to itself.
@@ -512,6 +612,13 @@ func (m *mailbox) isDropped() bool {
 	return m.dropped
 }
 
+// Goid returns the current goroutine's id, parsed from the runtime stack
+// header ("goroutine N [...]"). Transport implementations use it to
+// detect whether Do is already executing on the target host's worker
+// goroutine, so same-host re-entry can run inline instead of
+// deadlocking on a message to itself.
+func Goid() uint64 { return goid() }
+
 // goid returns the current goroutine's id, parsed from the runtime stack
 // header ("goroutine N [...]"). It is used only to detect whether Do is
 // already executing on the target host's worker goroutine.
@@ -527,6 +634,9 @@ func goid() uint64 {
 	}
 	return id
 }
+
+// Cluster is the in-process Transport implementation.
+var _ Transport = (*Cluster)(nil)
 
 // NewCluster creates and starts a cluster over net's hosts (one worker
 // per host slot, including any already-departed slots, whose workers
@@ -668,8 +778,31 @@ func (c *Cluster) Do(h HostID, fn func()) error {
 		}
 		panic(fmt.Sprintf("sim: Cluster.Do to stopped or departed host %d", h))
 	}
-	return <-t.done
+	d := time.Duration(c.doTimeout.Load())
+	if d <= 0 {
+		return <-t.done
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case err := <-t.done:
+		return err
+	case <-timer.C:
+		// The rendezvous is abandoned, not cancelled: the task stays in
+		// the mailbox and may still run if the host unwedges (its done
+		// send lands in the buffered channel and is collected).
+		return &TimeoutError{Host: h, After: d}
+	}
 }
+
+// SetDoTimeout bounds every subsequent Do rendezvous to d: a Do whose
+// task has not completed within d returns a TimeoutError (matching
+// ErrTimeout via errors.Is) instead of blocking forever on a wedged
+// host. Zero or negative restores the default of waiting indefinitely.
+// The task itself is not cancelled — it may still run later; only the
+// caller's wait is bounded, the fail-fast a real client needs when a
+// remote host stalls mid-request.
+func (c *Cluster) SetDoTimeout(d time.Duration) { c.doTimeout.Store(int64(d)) }
 
 // Go enqueues fn on host h's goroutine and returns immediately without
 // waiting for it to run — send-and-continue message passing. Tasks from

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestNewNetworkPanicsOnZeroHosts(t *testing.T) {
@@ -568,5 +569,45 @@ func TestClusterStartedAfterCrashDropsDeadMailboxes(t *testing.T) {
 	}
 	if err := c.Do(1, func() {}); !errors.Is(err, ErrHostDown) {
 		t.Fatalf("Do to pre-crashed host returned %v, want ErrHostDown", err)
+	}
+}
+
+// TestClusterDoTimeout pins the typed per-call deadline: a deliberately
+// stalled handler wedges a host's worker, and a Do with SetDoTimeout
+// configured must return a TimeoutError instead of blocking forever.
+func TestClusterDoTimeout(t *testing.T) {
+	n := NewNetwork(2)
+	c := NewCluster(n)
+	defer c.Stop()
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	c.Go(1, func() { close(entered); <-block })
+	<-entered // host 1's worker is now wedged
+
+	c.SetDoTimeout(50 * time.Millisecond)
+	err := c.Do(1, func() {})
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("Do on wedged host returned %v, want TimeoutError", err)
+	}
+	if te.Host != 1 || te.After != 50*time.Millisecond {
+		t.Fatalf("TimeoutError fields = %+v", te)
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatal("TimeoutError must match errors.Is(err, ErrTimeout)")
+	}
+	if !te.Timeout() {
+		t.Fatal("TimeoutError.Timeout() must report true")
+	}
+
+	// Live hosts are unaffected, and clearing the deadline restores the
+	// wait-forever default.
+	if err := c.Do(0, func() {}); err != nil {
+		t.Fatalf("Do on live host under deadline: %v", err)
+	}
+	c.SetDoTimeout(0)
+	close(block)
+	if err := c.Do(1, func() {}); err != nil {
+		t.Fatalf("Do after unwedging: %v", err)
 	}
 }

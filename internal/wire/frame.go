@@ -1,0 +1,122 @@
+// Package wire is the TCP transport layer: the second implementation of
+// the host-execution contract (sim.Transport) and the substrate of the
+// skipweb-serve daemon.
+//
+// Everything rides one frame format — length-prefixed, fixed header,
+// kind-tagged:
+//
+//	uint32 big-endian payload length
+//	payload: 1 byte kind | 8 byte big-endian id | body
+//
+// Frame kinds split into two planes:
+//
+//   - The accounting plane: KMsg is one charged model message. The paper's
+//     cost model charges every inter-host hop as a message; a KMsg frame
+//     delivered to a host's listener is exactly one such charge, counted
+//     by the receiving Node and acknowledged with KAck. Per-host KMsg
+//     counts are the wire-side numbers the sim-vs-wire parity check diffs
+//     bit-for-bit against sim.Network's per-host message counters.
+//   - The dispatch plane: KTask/KDone carry closure dispatch for the
+//     loopback Transport, KCall/KReply carry named RPCs for the serve
+//     daemon, and KClose requests a graceful drain. Dispatch frames are
+//     transport envelope and are never counted — mirroring the simulator,
+//     where Do/Go dispatch is free and only Op.Visit/Op.Send charge.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame kinds. The zero value is invalid so a torn read fails loudly.
+const (
+	kMsg   = byte(1) // charged model message; body empty; receiver counts and KAcks
+	kAck   = byte(2) // acknowledgement of a KMsg (id echoed)
+	kTask  = byte(3) // closure-dispatch task; body: 1 sync flag byte
+	kDone  = byte(4) // sync task completion; body: 1 status byte + error text
+	kCall  = byte(5) // named call; body: u16 method length + method + JSON args
+	kReply = byte(6) // call reply; body: 1 status byte + JSON result or error text
+	kClose = byte(7) // graceful drain request; no body, no reply
+)
+
+// KDone/KReply status codes.
+const (
+	statusOK       = byte(0)
+	statusHostDown = byte(1)
+	statusError    = byte(2)
+)
+
+// maxFrame bounds a frame's payload; anything larger is a protocol error
+// (range results over loopback stay far below this).
+const maxFrame = 16 << 20
+
+// headerLen is the payload header: kind byte + 8-byte id.
+const headerLen = 1 + 8
+
+// appendFrame serializes one frame into buf (reused by callers to avoid
+// per-frame allocation on the hop path).
+func appendFrame(buf []byte, kind byte, id uint64, body []byte) []byte {
+	n := headerLen + len(body)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(n))
+	buf = append(buf, kind)
+	buf = binary.BigEndian.AppendUint64(buf, id)
+	return append(buf, body...)
+}
+
+// writeFrame writes one frame as a single Write call; the caller holds
+// the connection's write lock so concurrent frames never interleave.
+func writeFrame(w io.Writer, kind byte, id uint64, body []byte) error {
+	if len(body) > maxFrame-headerLen {
+		return fmt.Errorf("wire: frame body %d bytes exceeds limit", len(body))
+	}
+	buf := appendFrame(make([]byte, 0, 4+headerLen+len(body)), kind, id, body)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame. body aliases a fresh slice owned by the
+// caller.
+func readFrame(r *bufio.Reader) (kind byte, id uint64, body []byte, err error) {
+	var hdr [4]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < headerLen || n > maxFrame {
+		return 0, 0, nil, fmt.Errorf("wire: bad frame length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, fmt.Errorf("wire: torn frame: %w", err)
+	}
+	return payload[0], binary.BigEndian.Uint64(payload[1:9]), payload[9:], nil
+}
+
+// callBody encodes a KCall body: u16 method length + method + args.
+func callBody(method string, args []byte) []byte {
+	b := make([]byte, 0, 2+len(method)+len(args))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(method)))
+	b = append(b, method...)
+	return append(b, args...)
+}
+
+// splitCallBody decodes a KCall body.
+func splitCallBody(body []byte) (method string, args []byte, err error) {
+	if len(body) < 2 {
+		return "", nil, fmt.Errorf("wire: short call body")
+	}
+	n := int(binary.BigEndian.Uint16(body))
+	if len(body) < 2+n {
+		return "", nil, fmt.Errorf("wire: call body shorter than method length %d", n)
+	}
+	return string(body[2 : 2+n]), body[2+n:], nil
+}
+
+// statusBody encodes a KDone/KReply body.
+func statusBody(status byte, rest []byte) []byte {
+	b := make([]byte, 0, 1+len(rest))
+	b = append(b, status)
+	return append(b, rest...)
+}

@@ -31,9 +31,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/skipwebs/skipwebs/internal/core"
 	"github.com/skipwebs/skipwebs/internal/sim"
+	"github.com/skipwebs/skipwebs/internal/wire"
 )
 
 // HostID identifies a host in a Cluster. IDs are never reused: a host
@@ -53,6 +55,30 @@ var ErrHostDown = sim.ErrHostDown
 // replica and are unrecoverable. Queries needing them keep failing fast
 // with ErrHostDown; all other data remains fully served.
 type DataLossError = core.DataLossError
+
+// ErrTimeout is the sentinel error for calls that exceeded the per-call
+// deadline configured with Cluster.SetDoTimeout: a dead or wedged host
+// returns a typed timeout instead of hanging the client forever. Match
+// with errors.Is; the concrete error is a TimeoutError naming the host.
+var ErrTimeout = sim.ErrTimeout
+
+// TimeoutError reports that a dispatched operation did not complete
+// within the configured deadline. The task is abandoned, not cancelled —
+// it may still execute if the host recovers; only the caller's wait is
+// bounded. No messages beyond those already charged are spent.
+type TimeoutError = sim.TimeoutError
+
+// Transport is the host-execution contract batch dispatch runs on: run
+// a closure on a host's worker (synchronously or send-and-continue), fan
+// a batch out, and manage worker lifecycle across churn. Two
+// implementations exist — the in-process simulator (NewCluster) and a
+// loopback TCP transport whose dispatch rides length-prefixed frames
+// (NewWireCluster) — with identical semantics and identical message
+// accounting, pinned by the conformance suite in internal/wire. Cost
+// model note: dispatch itself is never charged as messages in either
+// implementation; only the hops a routed operation makes (Op.Visit/Send)
+// count, so msgs/op is transport-invariant.
+type Transport = sim.Transport
 
 // migrator is the churn and fault-tolerance contract every structure
 // registers with its Cluster at construction: migrate everything off a
@@ -93,12 +119,51 @@ type Cluster struct {
 	structs []migrator
 
 	workersOnce sync.Once
-	workers     *sim.Cluster
+	workers     Transport
+	// doTimeout is applied to the transport at creation and on
+	// SetDoTimeout (0 = wait forever).
+	doTimeout time.Duration
 }
 
 // NewCluster creates a cluster of h hosts. It panics if h <= 0.
 func NewCluster(h int) *Cluster {
 	return &Cluster{net: sim.NewNetwork(h)}
+}
+
+// NewWireCluster creates a cluster of h hosts whose batch dispatch rides
+// a real loopback TCP transport: every Do/Go dispatch crosses a
+// length-prefixed frame to the target host's listener instead of an
+// in-process mailbox. Queries, updates, accounting, and results are
+// bit-identical to NewCluster — the Transport contract guarantees it —
+// so this is the drop-in way to exercise the public API over real
+// sockets. It returns an error when the loopback listeners cannot be
+// opened. Call Close to release the sockets.
+func NewWireCluster(h int) (*Cluster, error) {
+	c := NewCluster(h)
+	// Open the transport eagerly so listener failures surface here as an
+	// error rather than as a panic at first batch, and so Close always
+	// releases the sockets even if no batch ever runs.
+	t, err := wire.NewLoopback(h)
+	if err != nil {
+		return nil, fmt.Errorf("skipwebs: wire transport: %w", err)
+	}
+	c.workersOnce.Do(func() { c.workers = t })
+	return c, nil
+}
+
+// SetDoTimeout bounds every dispatched operation (batch queries and
+// updates) to d: a dead or wedged host yields a TimeoutError (matching
+// ErrTimeout via errors.Is) for the affected operations instead of
+// blocking the batch forever. Zero or negative restores the default of
+// waiting indefinitely. The in-flight task is not cancelled — only the
+// caller's wait is bounded.
+func (c *Cluster) SetDoTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.doTimeout = d
+	if c.workers != nil {
+		c.workers.SetDoTimeout(d)
+	}
 }
 
 // Hosts returns the number of live hosts. Like every accessor that
@@ -341,9 +406,18 @@ func (c *Cluster) Close() {
 	}
 }
 
-// cluster returns the per-host worker pool, starting it on first use.
-func (c *Cluster) cluster() *sim.Cluster {
-	c.workersOnce.Do(func() { c.workers = sim.NewCluster(c.net) })
+// cluster returns the per-host worker transport, starting it on first
+// use: the in-process simulator by default, or the loopback TCP
+// transport for a NewWireCluster. Everything above this point — batch
+// dispatch, churn, crash semantics — speaks only to the Transport
+// interface.
+func (c *Cluster) cluster() Transport {
+	c.workersOnce.Do(func() {
+		c.workers = sim.NewCluster(c.net)
+		if c.doTimeout > 0 {
+			c.workers.SetDoTimeout(c.doTimeout)
+		}
+	})
 	if c.workers == nil {
 		panic("skipwebs: batch operation after Cluster.Close")
 	}

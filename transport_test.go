@@ -1,0 +1,103 @@
+package skipwebs
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// TestWireClusterMatchesSim is the public acceptance property of the
+// transport abstraction: the same seeded workload on a simulator-backed
+// cluster and a TCP-loopback-backed cluster returns identical answers
+// with identical accounting. The model charges (messages, hops,
+// congestion) live in the Network layer and the Transport only carries
+// dispatch, so Stats must be bit-identical across transports.
+func TestWireClusterMatchesSim(t *testing.T) {
+	const hosts, n, ops = 16, 512, 600
+	keys := distinctKeys(xrand.New(7), n)
+
+	cSim := NewCluster(hosts)
+	defer cSim.Close()
+	wSim, err := NewBlocked(cSim, keys, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cWire, err := NewWireCluster(hosts)
+	if err != nil {
+		t.Fatalf("NewWireCluster: %v", err)
+	}
+	defer cWire.Close()
+	wWire, err := NewBlocked(cWire, keys, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := xrand.New(3)
+	qs := make([]uint64, ops)
+	origins := make([]HostID, ops)
+	for i := range qs {
+		qs[i] = rng.Uint64n(1 << 41)
+		origins[i] = HostID(rng.Intn(hosts))
+	}
+
+	cSim.ResetTraffic()
+	cWire.ResetTraffic()
+	want, err := wSim.FloorBatch(qs, origins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wWire.FloorBatch(qs, origins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("op %d: wire %+v, sim %+v", i, got[i], want[i])
+		}
+	}
+	if ss, ws := cSim.Stats(), cWire.Stats(); ss != ws {
+		t.Fatalf("accounting diverged across transports:\n sim  %+v\n wire %+v", ss, ws)
+	}
+}
+
+// TestSetDoTimeoutPublic pins the public per-call deadline: a stalled
+// host surfaces the typed, errors.Is-matchable timeout through the
+// re-exported error values, on both transports.
+func TestSetDoTimeoutPublic(t *testing.T) {
+	mk := map[string]func(t *testing.T) *Cluster{
+		"sim": func(t *testing.T) *Cluster { return NewCluster(4) },
+		"wire": func(t *testing.T) *Cluster {
+			c, err := NewWireCluster(4)
+			if err != nil {
+				t.Fatalf("NewWireCluster: %v", err)
+			}
+			return c
+		},
+	}
+	for name, newCluster := range mk {
+		t.Run(name, func(t *testing.T) {
+			c := newCluster(t)
+			// Deadline set before the worker pool spins up must still
+			// apply to the lazily-started transport.
+			c.SetDoTimeout(75 * time.Millisecond)
+			tr := c.cluster()
+			block := make(chan struct{})
+			entered := make(chan struct{})
+			tr.Go(1, func() { close(entered); <-block })
+			<-entered
+
+			err := tr.Do(1, func() {})
+			if !errors.Is(err, ErrTimeout) {
+				t.Fatalf("Do on wedged host: got %v, want ErrTimeout", err)
+			}
+			var te *TimeoutError
+			if !errors.As(err, &te) || te.Host != 1 {
+				t.Fatalf("timeout error carries wrong host: %v", err)
+			}
+			close(block)
+			c.Close()
+		})
+	}
+}
