@@ -10,7 +10,7 @@
 //	              [-quick] [-seed N]
 //	              [-hosts H] [-keys N] [-queries Q] [-procs 1,2,4]
 //	              [-churn-rates 0,0.002,0.01,0.04]
-//	              [-replicas 1,2,3] [-crashes N]
+//	              [-replicas 1,2,3] [-crashes N] [-restart]
 //	              [-json FILE] [-baseline FILE]
 //
 // The default mode runs the paper experiments at the EXPERIMENTS.md
@@ -34,7 +34,14 @@
 // answered rather than failing fast), whether every answered query
 // matched a crash-free control build, lost units, repair msgs/event,
 // and query/update msgs/op — the replication overhead; results are
-// recorded as BENCH_FAILOVER_PR5.json.
+// recorded as BENCH_FAILOVER_PR5.json. With -restart, failover mode
+// instead measures durable recovery: for each structure and k it
+// crashes one host of a durable cluster and a non-durable twin, churns
+// ~1% of the keys while the host is down, then brings it back with
+// Cluster.Restart (WAL replay + merkle-diff reconcile) and compares the
+// reconcile traffic against the twin's full re-replication — the ratio
+// must stay under 10%; results are recorded as BENCH_RECOVERY_PR7.json
+// and -baseline enforces the committed recovery_ceilings.
 //
 // Wire mode replays a seeded workload against a cluster of skip-web
 // daemons speaking the real TCP wire protocol (in-process listeners by
@@ -42,7 +49,11 @@
 // per-host message counters against a simulator run of the identical
 // workload — they must be bit-identical, since the model's charges are
 // transport-invariant. It also reports real-socket query latency
-// (p50/p99); results are recorded as BENCH_WIRE_PR6.json.
+// (p50/p99); results are recorded as BENCH_WIRE_PR6.json. With
+// -restart (requires -serve-bin), the daemons run with a WAL directory
+// and one of them is SIGKILLed mid-workload and restarted; the replayed
+// daemon must rejoin and the final answers, digests, and summed
+// per-host counters must still match the crash-free simulator run.
 //
 // Churn mode runs a join/leave storm against every structure at once:
 // at each rate in -churn-rates (churn events per operation), a mixed
@@ -99,6 +110,7 @@ func run(args []string, out io.Writer) error {
 	baseline := fs.String("baseline", "", "bench: compare allocs/op and msgs/op against the ceilings in this JSON file and fail on regression")
 	serveBin := fs.String("serve-bin", "", "wire: path to a skipweb-serve binary; when set, daemons run as real processes")
 	basePort := fs.Int("base-port", 7070, "wire: first loopback port for -serve-bin daemons")
+	restart := fs.Bool("restart", false, "failover: measure durable crash->Restart (WAL replay + merkle diff) against full re-replication; wire: SIGKILL and restart a real daemon mid-workload")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h/-help printed usage; not a failure
@@ -132,9 +144,12 @@ func run(args []string, out io.Writer) error {
 	case "churn":
 		return runChurn(out, *jsonPath, *hosts, *keyN, *queries, *churnRates, *seed, *quick)
 	case "failover":
+		if *restart {
+			return runRecovery(out, *jsonPath, *baseline, *hosts, *keyN, *replicas, *seed)
+		}
 		return runFailover(out, *jsonPath, *hosts, *keyN, *queries, *replicas, *crashes, *seed, *quick)
 	case "wire":
-		return runWire(out, *jsonPath, *serveBin, *basePort, *hosts, *keyN, *queries, *seed)
+		return runWire(out, *jsonPath, *serveBin, *basePort, *hosts, *keyN, *queries, *seed, *restart)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}

@@ -52,6 +52,8 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 7, "structural seed")
 	replicas := fs.Int("replicas", 0, "replication factor (<= 1 unreplicated)")
 	target := fs.Int("target", 0, "bucketed: keys per bucket (0 = default)")
+	walDir := fs.String("wal-dir", "", "directory for the per-host WAL + checkpoint; empty disables durability (a restarted daemon then rebuilds only the seeded keys)")
+	ckptEvery := fs.Int("checkpoint-every", 0, "verification-checkpoint cadence in WAL records (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -78,6 +80,9 @@ func run(args []string, out io.Writer) error {
 		Seed:      *seed,
 		Replicas:  *replicas,
 		Target:    *target,
+		WALDir:    *walDir,
+
+		CheckpointEvery: *ckptEvery,
 	})
 	if err != nil {
 		return err
@@ -85,6 +90,9 @@ func run(args []string, out io.Writer) error {
 	defer d.Close()
 	fmt.Fprintf(out, "skipweb-serve: host %d/%d serving %s (%d keys) on %s\n",
 		*host, *hosts, *structure, *keys, d.Addr())
+	if *walDir != "" {
+		fmt.Fprintf(out, "skipweb-serve: durable in %s (replayed %d WAL records)\n", *walDir, d.Recovered())
+	}
 
 	if *peers != "" {
 		addrs := strings.Split(*peers, ",")

@@ -24,11 +24,17 @@ type failoverFixture struct {
 }
 
 func buildFailoverFixture(t *testing.T, hosts, replicas int, seed uint64) *failoverFixture {
+	return buildFixture(t, hosts, replicas, seed, false)
+}
+
+// buildFixture is the shared builder; durable additionally enables the
+// cluster-wide WAL + checkpoint model (see durability_test.go).
+func buildFixture(t *testing.T, hosts, replicas int, seed uint64, durable bool) *failoverFixture {
 	t.Helper()
 	f := &failoverFixture{c: NewCluster(hosts)}
 	rng := xrand.New(seed)
 	f.keys = distinctKeys(rng, 300)
-	opts := func(d uint64) Options { return Options{Seed: seed + d, Replicas: replicas} }
+	opts := func(d uint64) Options { return Options{Seed: seed + d, Replicas: replicas, Durable: durable} }
 	var err error
 	if f.oned, err = NewOneDim(f.c, f.keys, opts(0)); err != nil {
 		t.Fatal(err)

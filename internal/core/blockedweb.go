@@ -73,6 +73,23 @@ type BlockedWeb struct {
 	// charged visits are always recomputed, keeping accounting identical.
 	descMemo   []descEntry
 	memoActive bool
+
+	// missed counts the write-through messages suppressed because a block
+	// replica's host was crashed on a durable fabric. Keys record the
+	// block's start key rather than its index: the directory can split
+	// while the host is down, and a start key still locates the covering
+	// block at RestartHost time. Lazily allocated; nil until a durable
+	// crash overlaps an update.
+	missed map[blockMiss]int
+}
+
+// blockMiss keys one stale block replica: the block of basic node bn
+// that covered key start when the update was suppressed, replicated at
+// crashed host h.
+type blockMiss struct {
+	bn    *bnode
+	start uint64
+	h     sim.HostID
 }
 
 // descEntry is one depth's memoized hyperlink resolution.
@@ -246,7 +263,14 @@ func (w *BlockedWeb) newLevel(sorted []uint64) *ListLevel {
 }
 
 // releaseNode returns a merged-away node and its level to the pools.
+// Miss records keyed by the node are purged first: the pool recycles
+// bnode pointers, so a stale key could otherwise alias a future node.
 func (w *BlockedWeb) releaseNode(n *bnode) {
+	for k := range w.missed {
+		if k.bn == n {
+			delete(w.missed, k)
+		}
+	}
 	w.lvlFree = append(w.lvlFree, n.lvl)
 	n.lvl, n.parent, n.base = nil, nil, nil
 	n.kids[0], n.kids[1] = nil, nil
@@ -372,12 +396,36 @@ func (w *BlockedWeb) addBlockStorage(bn *bnode, bi, delta int) {
 // this update has not yet charged — the write-through counterpart of
 // chargeOnce.
 func (w *BlockedWeb) chargeBlockOnce(bn *bnode, bi int, op *sim.Op) {
-	w.chargeOnce(bn.blockHosts[bi], op)
+	w.sendBlockOne(bn, bi, bn.blockHosts[bi], true, op)
 	if len(bn.blockMirrors) > 0 {
 		for _, m := range bn.blockMirrors[bi] {
-			w.chargeOnce(m, op)
+			w.sendBlockOne(bn, bi, m, true, op)
 		}
 	}
+}
+
+// sendBlockOne charges one write-through message to replica host h of
+// block bi — unless h is crashed on a durable fabric, in which case the
+// message is suppressed and the block is recorded as diverged at h; the
+// merkle reconcile re-ships it at RestartHost time. `once` applies the
+// per-update host dedup of chargeOnce (the suppressed branch skips the
+// dedup on purpose: one physical message can carry several blocks'
+// updates, but each touched block diverges individually). On a
+// non-durable fabric the send is unconditional, bit-identical to the
+// pre-durability behavior.
+func (w *BlockedWeb) sendBlockOne(bn *bnode, bi int, h sim.HostID, once bool, op *sim.Op) {
+	if w.net.Durable() && w.net.Crashed(h) {
+		if w.missed == nil {
+			w.missed = make(map[blockMiss]int)
+		}
+		w.missed[blockMiss{bn, bn.blockStarts[bi], h}]++
+		return
+	}
+	if once {
+		w.chargeOnce(h, op)
+		return
+	}
+	op.Send(h)
 }
 
 // liveBlockHost resolves block bi of bn for routing: the primary when
@@ -402,10 +450,10 @@ func (w *BlockedWeb) liveBlockHost(bn *bnode, bi int) (sim.HostID, error) {
 // sendBlock charges one message to every replica of block bi of bn —
 // write-through to all copies.
 func (w *BlockedWeb) sendBlock(bn *bnode, bi int, op *sim.Op) {
-	op.Send(bn.blockHosts[bi])
+	w.sendBlockOne(bn, bi, bn.blockHosts[bi], false, op)
 	if len(bn.blockMirrors) > 0 {
 		for _, m := range bn.blockMirrors[bi] {
-			op.Send(m)
+			w.sendBlockOne(bn, bi, m, false, op)
 		}
 	}
 }
@@ -1462,6 +1510,7 @@ func (w *BlockedWeb) blockUnits(bn *bnode) []int {
 // DataLossError.
 func (w *BlockedWeb) Repair(op *sim.Op) error {
 	lost := 0
+	var deadHosts map[sim.HostID]bool
 	target := w.replicaTarget()
 	for _, bn := range w.basicNodes() {
 		var units []int // computed lazily: repairs are rare
@@ -1481,12 +1530,27 @@ func (w *BlockedWeb) Repair(op *sim.Op) error {
 			}
 			if liveCount == 0 {
 				lost += units[bi]
+				if deadHosts == nil {
+					deadHosts = make(map[sim.HostID]bool)
+				}
+				for slot := 0; slot < count; slot++ {
+					deadHosts[w.blockReplicaAt(bn, bi, slot)] = true
+				}
 				continue
 			}
 			liveSet := make([]sim.HostID, 0, target)
 			for slot := 0; slot < count; slot++ {
-				if h := w.blockReplicaAt(bn, bi, slot); w.net.Alive(h) {
+				h := w.blockReplicaAt(bn, bi, slot)
+				if w.net.Alive(h) {
 					liveSet = append(liveSet, h)
+					continue
+				}
+				// The dead slot is dropped for good; discharge the durable
+				// host's on-disk image so a later Restart does not
+				// resurrect units the repair re-homed elsewhere.
+				if w.net.Durable() && w.net.Crashed(h) {
+					w.net.AddStorage(h, -units[bi])
+					delete(w.missed, blockMiss{bn, bn.blockStarts[bi], h})
 				}
 			}
 			for len(liveSet) < target {
@@ -1504,9 +1568,112 @@ func (w *BlockedWeb) Repair(op *sim.Op) error {
 		}
 	}
 	if lost > 0 {
-		return &DataLossError{Units: lost}
+		hosts := make([]sim.HostID, 0, len(deadHosts))
+		for h := range deadHosts {
+			hosts = append(hosts, h)
+		}
+		sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+		return &DataLossError{Units: lost, Hosts: hosts}
 	}
 	return nil
+}
+
+// RestartHost reconciles host h's block replicas after a durable
+// restart. Each surviving miss record is mapped onto the current
+// directory (the recorded start key locates the block now covering it —
+// robust to splits that shifted indices while h was down), then h's
+// blocks are grouped by reconcile peer — the first live co-replica —
+// and each group runs an outer merkle walk over its per-block digests.
+// A diverged block reconciles at key granularity with an inner walk:
+// the miss count bounds how many distinct positions diverged, so the
+// inner tree ships O(misses · log block) rather than the whole block.
+// Returns the number of storage units re-copied; all messages are
+// charged to op against h.
+func (w *BlockedWeb) RestartHost(h sim.HostID, op *sim.Op) int {
+	type blockRef struct {
+		bn *bnode
+		bi int
+	}
+	var dirtyCount map[blockRef]int
+	for k, c := range w.missed {
+		if k.h != h {
+			continue
+		}
+		if dirtyCount == nil {
+			dirtyCount = make(map[blockRef]int)
+		}
+		dirtyCount[blockRef{k.bn, w.blockIndex(k.bn, k.start)}] += c
+		delete(w.missed, k)
+	}
+	var groups map[sim.HostID][]blockRef
+	var peers []sim.HostID
+	unitsOf := make(map[*bnode][]int)
+	for _, bn := range w.basicNodes() {
+		for bi := range bn.blockHosts {
+			if !w.blockHasReplica(bn, bi, h) {
+				continue
+			}
+			count := w.blockReplicaCount(bn, bi)
+			for slot := 0; slot < count; slot++ {
+				if p := w.blockReplicaAt(bn, bi, slot); p != h && w.net.Alive(p) {
+					if groups == nil {
+						groups = make(map[sim.HostID][]blockRef)
+					}
+					if _, ok := groups[p]; !ok {
+						peers = append(peers, p)
+					}
+					groups[p] = append(groups[p], blockRef{bn, bi})
+					if _, ok := unitsOf[bn]; !ok {
+						unitsOf[bn] = w.blockUnits(bn)
+					}
+					break
+				}
+			}
+		}
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	copied := 0
+	for _, p := range peers {
+		blocks := groups[p]
+		var dirty []int
+		for i, ref := range blocks {
+			if dirtyCount[ref] > 0 {
+				dirty = append(dirty, i)
+			}
+		}
+		cost := merkleDiff(len(blocks), dirty)
+		for i := 0; i < cost.walk; i++ {
+			op.Send(h) // per-block digest exchange with peer p
+		}
+		for _, i := range dirty {
+			ref := blocks[i]
+			n := unitsOf[ref.bn][ref.bi]
+			ic := merkleDiff(n, spreadPositions(dirtyCount[ref], n))
+			for j := 0; j < ic.msgs(); j++ {
+				op.Send(h) // inner walk + diverged-leaf payloads
+			}
+			copied += ic.keys
+		}
+	}
+	return copied
+}
+
+// spreadPositions models d divergent positions spread evenly over a
+// unit of n entries — the update stream while a host is down touches a
+// block all over, so even spread is the faithful (and worst-case for
+// the walk) placement when only the count is known.
+func spreadPositions(d, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if d > n {
+		d = n
+	}
+	pos := make([]int, d)
+	for i := range pos {
+		pos[i] = i * n / d
+	}
+	return pos
 }
 
 // CheckInvariants verifies that every level's list is sound, child key
@@ -1595,6 +1762,19 @@ type BucketWeb struct {
 	target  int
 	repl    int    // replication factor k (1 = unreplicated)
 	origin  uint64 // seed
+
+	// missed records, per stale bucket replica (bucket × crashed durable
+	// host), the keys whose write-throughs the replica slept through.
+	// Unlike the routing web, bucket updates know their key, so the
+	// merkle reconcile gets exact divergence positions. Lazily allocated.
+	missed map[bucketMiss][]uint64
+}
+
+// bucketMiss keys one stale bucket replica. wbucket pointers are stable
+// (buckets are never pooled), so the pointer is a safe identity.
+type bucketMiss struct {
+	wb *wbucket
+	h  sim.HostID
 }
 
 type wbucket struct {
@@ -1681,6 +1861,32 @@ func (b *BucketWeb) addBucketStorage(wb *wbucket, delta int) {
 	for _, m := range wb.mirrors {
 		b.net.AddStorage(m, delta)
 	}
+}
+
+// writeThrough returns the number of write-through messages an update
+// touching key in bucket wb actually pays — one per replica, minus the
+// replicas crashed on a durable fabric, whose copy instead records the
+// key as missed for the merkle reconcile at RestartHost time. On a
+// non-durable fabric it is exactly 1+len(mirrors), bit-identical to the
+// pre-durability arithmetic.
+func (b *BucketWeb) writeThrough(wb *wbucket, key uint64) int {
+	if !b.net.Durable() {
+		return 1 + len(wb.mirrors)
+	}
+	n := 0
+	for slot := 0; slot < b.bucketReplicaCount(wb); slot++ {
+		h := b.bucketReplicaAt(wb, slot)
+		if b.net.Crashed(h) {
+			if b.missed == nil {
+				b.missed = make(map[bucketMiss][]uint64)
+			}
+			k := bucketMiss{wb, h}
+			b.missed[k] = append(b.missed[k], key)
+			continue
+		}
+		n++
+	}
+	return n
 }
 
 // liveBucketHost resolves the bucket for routing: the primary when
@@ -1779,7 +1985,7 @@ func (b *BucketWeb) Insert(key uint64, origin sim.HostID) (int, error) {
 		wb.keys = append([]uint64{key}, wb.keys...)
 		b.buckets[key] = wb
 		b.addBucketStorage(wb, 1)
-		return hops + 1 + len(wb.mirrors), nil
+		return hops + b.writeThrough(wb, key), nil
 	}
 	wb := b.buckets[min]
 	i := sort.Search(len(wb.keys), func(i int) bool { return wb.keys[i] >= key })
@@ -1790,7 +1996,7 @@ func (b *BucketWeb) Insert(key uint64, origin sim.HostID) (int, error) {
 	copy(wb.keys[i+1:], wb.keys[i:])
 	wb.keys[i] = key
 	b.addBucketStorage(wb, 1)
-	hops += 1 + len(wb.mirrors) // write-through: one message per replica
+	hops += b.writeThrough(wb, key) // write-through: one message per live replica
 	if len(wb.keys) > 2*b.target {
 		mid := len(wb.keys) / 2
 		upper := append([]uint64(nil), wb.keys[mid:]...)
@@ -1811,11 +2017,25 @@ func (b *BucketWeb) Insert(key uint64, origin sim.HostID) (int, error) {
 		b.buckets[nb.min] = nb
 		b.addBucketStorage(wb, -len(upper))
 		b.addBucketStorage(nb, len(upper))
+		// A crashed durable replica of wb slept through the split: its
+		// stale copy still holds the upper half, so every moved key is
+		// divergence the reconcile must truncate.
+		if b.net.Durable() {
+			for slot := 0; slot < b.bucketReplicaCount(wb); slot++ {
+				if h := b.bucketReplicaAt(wb, slot); b.net.Crashed(h) {
+					if b.missed == nil {
+						b.missed = make(map[bucketMiss][]uint64)
+					}
+					k := bucketMiss{wb, h}
+					b.missed[k] = append(b.missed[k], upper...)
+				}
+			}
+		}
 		sh, err := b.web.Insert(nb.min, origin)
 		if err != nil {
 			return hops, err
 		}
-		hops += sh + 1 + len(nb.mirrors)
+		hops += sh + b.writeThrough(nb, nb.min)
 	}
 	return hops, nil
 }
@@ -1987,6 +2207,13 @@ func (b *BucketWeb) Rebalance(onto sim.HostID, op *sim.Op) {
 // Buckets with no surviving replica are reported via a DataLossError.
 func (b *BucketWeb) Repair(op *sim.Op) error {
 	lost := 0
+	var deadHosts map[sim.HostID]bool
+	markDead := func(h sim.HostID) {
+		if deadHosts == nil {
+			deadHosts = make(map[sim.HostID]bool)
+		}
+		deadHosts[h] = true
+	}
 	err := b.web.Repair(op)
 	var dl *DataLossError
 	if err != nil {
@@ -1994,6 +2221,9 @@ func (b *BucketWeb) Repair(op *sim.Op) error {
 			return err
 		}
 		lost += dl.Units
+		for _, h := range dl.Hosts {
+			markDead(h)
+		}
 	}
 	target := b.replicaTarget()
 	for _, wb := range b.sortedBuckets() {
@@ -2009,12 +2239,24 @@ func (b *BucketWeb) Repair(op *sim.Op) error {
 		}
 		if liveCount == 0 {
 			lost += len(wb.keys)
+			for slot := 0; slot < count; slot++ {
+				markDead(b.bucketReplicaAt(wb, slot))
+			}
 			continue
 		}
 		liveSet := make([]sim.HostID, 0, target)
 		for slot := 0; slot < count; slot++ {
-			if h := b.bucketReplicaAt(wb, slot); b.net.Alive(h) {
+			h := b.bucketReplicaAt(wb, slot)
+			if b.net.Alive(h) {
 				liveSet = append(liveSet, h)
+				continue
+			}
+			// The dead slot is dropped for good; discharge the durable
+			// host's on-disk image so a later Restart does not resurrect
+			// keys the repair re-homed elsewhere.
+			if b.net.Durable() && b.net.Crashed(h) {
+				b.net.AddStorage(h, -len(wb.keys))
+				delete(b.missed, bucketMiss{wb, h})
 			}
 		}
 		for len(liveSet) < target {
@@ -2032,9 +2274,84 @@ func (b *BucketWeb) Repair(op *sim.Op) error {
 		wb.mirrors = append(wb.mirrors[:0], liveSet[1:]...)
 	}
 	if lost > 0 {
-		return &DataLossError{Units: lost}
+		hosts := make([]sim.HostID, 0, len(deadHosts))
+		for h := range deadHosts {
+			hosts = append(hosts, h)
+		}
+		sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+		return &DataLossError{Units: lost, Hosts: hosts}
 	}
 	return nil
+}
+
+// RestartHost reconciles host h's shard after a durable restart: the
+// routing web reconciles first, then h's bucket replicas, grouped by
+// reconcile peer (the first live co-replica) in separator order. Each
+// group exchanges an outer merkle walk over per-bucket digests; a
+// diverged bucket runs an inner key-level walk whose dirty positions
+// come from the exact keys recorded by writeThrough, so only the leaves
+// covering missed keys are re-shipped. Returns the number of storage
+// units re-copied; all messages are charged to op against h.
+func (b *BucketWeb) RestartHost(h sim.HostID, op *sim.Op) int {
+	copied := b.web.RestartHost(h, op)
+	var groups map[sim.HostID][]*wbucket
+	var peers []sim.HostID
+	for _, wb := range b.sortedBuckets() {
+		if !b.bucketHasReplica(wb, h) {
+			continue
+		}
+		count := b.bucketReplicaCount(wb)
+		for slot := 0; slot < count; slot++ {
+			if p := b.bucketReplicaAt(wb, slot); p != h && b.net.Alive(p) {
+				if groups == nil {
+					groups = make(map[sim.HostID][]*wbucket)
+				}
+				if _, ok := groups[p]; !ok {
+					peers = append(peers, p)
+				}
+				groups[p] = append(groups[p], wb)
+				break
+			}
+		}
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	for _, p := range peers {
+		buckets := groups[p]
+		var dirty []int
+		for i, wb := range buckets {
+			if len(b.missed[bucketMiss{wb, h}]) > 0 {
+				dirty = append(dirty, i)
+			}
+		}
+		cost := merkleDiff(len(buckets), dirty)
+		for i := 0; i < cost.walk; i++ {
+			op.Send(h) // per-bucket digest exchange with peer p
+		}
+		for _, i := range dirty {
+			wb := buckets[i]
+			k := bucketMiss{wb, h}
+			pos := make([]int, 0, len(b.missed[k]))
+			for _, key := range b.missed[k] {
+				// Position in the fresh sorted order; a deleted key maps to
+				// its would-be slot (merkleDiff clamps past-the-end).
+				pos = append(pos, sort.Search(len(wb.keys), func(j int) bool { return wb.keys[j] >= key }))
+			}
+			ic := merkleDiff(len(wb.keys), pos)
+			for j := 0; j < ic.msgs(); j++ {
+				op.Send(h) // inner walk + diverged-leaf payloads
+			}
+			copied += ic.keys
+			delete(b.missed, k)
+		}
+	}
+	// Purge stale records for h: buckets repaired away while it was
+	// down, or with no live peer left to reconcile against.
+	for k := range b.missed {
+		if k.h == h {
+			delete(b.missed, k)
+		}
+	}
+	return copied
 }
 
 // CheckInvariants verifies the separator web, that every bucket is keyed
@@ -2095,5 +2412,5 @@ func (b *BucketWeb) Delete(key uint64, origin sim.HostID) (int, error) {
 	}
 	wb.keys = append(wb.keys[:i], wb.keys[i+1:]...)
 	b.addBucketStorage(wb, -1)
-	return hops + 1 + len(wb.mirrors), nil
+	return hops + b.writeThrough(wb, key), nil
 }

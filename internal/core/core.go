@@ -45,6 +45,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 
 	"github.com/skipwebs/skipwebs/internal/sim"
 	"github.com/skipwebs/skipwebs/internal/xrand"
@@ -74,6 +76,13 @@ type Fabric interface {
 	LiveAt(i int) sim.HostID
 	// NextLive returns the cyclic successor of h in the live set.
 	NextLive(h sim.HostID) sim.HostID
+	// Crashed reports whether host h departed uncleanly (down, but on a
+	// durable fabric restartable with its shard intact).
+	Crashed(h sim.HostID) bool
+	// Durable reports whether hosts persist a write-ahead log: a crashed
+	// host is expected to Restart and reconcile rather than be rebuilt,
+	// so write-throughs to it are queued as divergence instead of sent.
+	Durable() bool
 }
 
 // *sim.Network is the canonical Fabric.
@@ -100,11 +109,38 @@ type DataLossError struct {
 	// of everything currently lost, so a later Repair re-reports units
 	// lost in earlier crashes (they are still gone) plus any new ones.
 	Units int
+	// Hosts lists, ascending, the dead hosts whose replicas the lost
+	// units lived on — the crash set that exceeded the tolerance.
+	Hosts []sim.HostID
+	// Structures maps structure names to their lost-unit counts when the
+	// loss spans several structures on one cluster (the public Crash and
+	// Repair aggregations fill it; engine-level errors leave it nil).
+	Structures map[string]int
 }
 
-// Error describes the loss.
+// Error describes the loss: how many units, on which dead hosts, and —
+// when aggregated across a cluster — how the loss splits per structure.
 func (e *DataLossError) Error() string {
-	return fmt.Sprintf("core: %d storage units lost (no surviving replica)", e.Units)
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: %d storage units lost (no surviving replica)", e.Units)
+	if len(e.Hosts) > 0 {
+		fmt.Fprintf(&b, "; dead hosts %v", e.Hosts)
+	}
+	if len(e.Structures) > 0 {
+		names := make([]string, 0, len(e.Structures))
+		for name := range e.Structures {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		b.WriteString("; per structure:")
+		for i, name := range names {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, " %s=%d", name, e.Structures[name])
+		}
+	}
+	return b.String()
 }
 
 // Change describes the O(1) structural delta a level structure undergoes
@@ -305,6 +341,21 @@ type Web[L, T, Q any] struct {
 	dirtyScratch []RangeID  // Added+Touched ranges in applyInsert/applyDelete
 	todoScratch  []childRef // repairChildren work list
 	frameScratch []delFrame // Delete's per-level terminal stack
+
+	// missed records write-through messages suppressed because the target
+	// replica host was crashed on a durable fabric: the value counts the
+	// updates that unit's replica at that host slept through, and
+	// RestartHost treats any positive count as divergence the merkle
+	// reconcile must re-copy. Lazily allocated; nil until the first
+	// durable crash overlaps an update.
+	missed map[webMiss]int
+}
+
+// webMiss keys one stale replica: range r of node n at crashed host h.
+type webMiss struct {
+	n *setNode
+	r RangeID
+	h sim.HostID
 }
 
 // childRef identifies one child range whose hyperlinks need recomputation.
@@ -534,8 +585,25 @@ func (w *Web[L, T, Q]) addStorageReplicas(n *setNode, r RangeID, delta int) {
 // the write-through cost of an update touching that range. At k = 1 it
 // is exactly the single op.Send the unreplicated path charged.
 func (w *Web[L, T, Q]) sendReplicas(op *sim.Op, n *setNode, r RangeID) {
-	op.Send(n.hosts[r])
-	n.visitMirrors(r, func(m sim.HostID) { op.Send(m) })
+	w.sendOne(op, n, r, n.hosts[r])
+	n.visitMirrors(r, func(m sim.HostID) { w.sendOne(op, n, r, m) })
+}
+
+// sendOne charges one write-through message to replica host h of range r
+// — unless h is crashed on a durable fabric, in which case the message
+// is suppressed (nobody is listening) and the unit is recorded as
+// diverged: the replica pays for the missed update at RestartHost time
+// through the merkle reconcile instead. On a non-durable fabric the send
+// is unconditional, bit-identical to the pre-durability behavior.
+func (w *Web[L, T, Q]) sendOne(op *sim.Op, n *setNode, r RangeID, h sim.HostID) {
+	if w.net.Durable() && w.net.Crashed(h) {
+		if w.missed == nil {
+			w.missed = make(map[webMiss]int)
+		}
+		w.missed[webMiss{n, r, h}]++
+		return
+	}
+	op.Send(h)
 }
 
 // liveHost resolves the host serving range r of n for routing: the
@@ -1447,6 +1515,7 @@ func (w *Web[L, T, Q]) Rebalance(onto sim.HostID, op *sim.Op) {
 // failing fast with a HostDownError) and reported via a DataLossError.
 func (w *Web[L, T, Q]) Repair(op *sim.Op) error {
 	lost := 0
+	var deadHosts map[sim.HostID]bool
 	target := w.replicaTarget()
 	w.walkNodes(func(n *setNode) {
 		w.ops.VisitRanges(w.structOf(n), func(r RangeID) bool {
@@ -1462,6 +1531,12 @@ func (w *Web[L, T, Q]) Repair(op *sim.Op) error {
 			}
 			if liveCount == 0 {
 				lost += w.rangeUnits(n, r)
+				if deadHosts == nil {
+					deadHosts = make(map[sim.HostID]bool)
+				}
+				for slot := 0; slot < count; slot++ {
+					deadHosts[w.replicaAt(n, r, slot)] = true
+				}
 				return true
 			}
 			w.repairRange(n, r, target, op)
@@ -1469,7 +1544,12 @@ func (w *Web[L, T, Q]) Repair(op *sim.Op) error {
 		})
 	})
 	if lost > 0 {
-		return &DataLossError{Units: lost}
+		hosts := make([]sim.HostID, 0, len(deadHosts))
+		for h := range deadHosts {
+			hosts = append(hosts, h)
+		}
+		sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+		return &DataLossError{Units: lost, Hosts: hosts}
 	}
 	return nil
 }
@@ -1478,13 +1558,23 @@ func (w *Web[L, T, Q]) Repair(op *sim.Op) error {
 // topping it up to target distinct live hosts.
 func (w *Web[L, T, Q]) repairRange(n *setNode, r RangeID, target int, op *sim.Op) {
 	oldPrimary := n.hosts[r]
+	units := w.rangeUnits(n, r)
 	liveSet := make([]sim.HostID, 0, target)
 	for slot := 0; slot < w.replicaCount(n, r); slot++ {
-		if h := w.replicaAt(n, r, slot); w.net.Alive(h) {
+		h := w.replicaAt(n, r, slot)
+		if w.net.Alive(h) {
 			liveSet = append(liveSet, h)
+			continue
+		}
+		// The dead slot is dropped from the replica set for good. On a
+		// durable fabric the crashed host's on-disk image still carries
+		// the replica, so discharge it there too: a later Restart must
+		// not resurrect units the repair re-homed elsewhere.
+		if w.net.Durable() && w.net.Crashed(h) {
+			w.net.AddStorage(h, -units)
+			delete(w.missed, webMiss{n, r, h})
 		}
 	}
-	units := w.rangeUnits(n, r)
 	for len(liveSet) < target {
 		h := w.pickHostExcluding(liveSet)
 		liveSet = append(liveSet, h)
@@ -1502,6 +1592,92 @@ func (w *Web[L, T, Q]) repairRange(n *setNode, r RangeID, target int, op *sim.Op
 			w.sendReplicas(op, br.child, br.r)
 		}
 	}
+}
+
+// RestartHost reconciles host h's shard after a durable restart: h has
+// already replayed its checkpoint + WAL (Network.Restart), so its local
+// image is storage-exact, but any replica that slept through
+// write-throughs while h was down (recorded in w.missed by sendOne) is
+// stale. The shard reconciles with one live peer per unit: units are
+// grouped by peer, each group exchanges an outer merkle walk over its
+// per-unit digests (merkleDiff prices it; a clean group costs one root
+// exchange and copies nothing), and each diverged unit is re-copied in
+// full — web units are a few storage words, so unit granularity is the
+// leaf granularity. Returns the number of storage units re-copied; all
+// messages are charged to op against h.
+//
+// Note that the Web's restructure-heavy update path naturally erodes a
+// down host's stale image toward clean: applyInsert rebuilds touched
+// ranges by dropRange + placeRange, dropRange discharges every
+// replica's storage (including the crashed host's — its image shrinks
+// while it is down, keeping accounting exact), and placeRange draws
+// replacement replicas from live hosts only. A range that recorded a
+// miss therefore usually no longer exists by restart time; whatever
+// part of the shard survived untouched is provably clean, so the walk
+// may legitimately copy zero units. Engines that mutate units in place
+// (BlockedWeb blocks, BucketWeb buckets) exercise the copy path.
+func (w *Web[L, T, Q]) RestartHost(h sim.HostID, op *sim.Op) int {
+	type unitRef struct {
+		n *setNode
+		r RangeID
+	}
+	// Group h's units by reconcile peer — the first live co-replica in
+	// slot order. A unit whose other replicas are all down has no fresher
+	// copy to learn from and is served as replayed.
+	var groups map[sim.HostID][]unitRef
+	w.walkNodes(func(n *setNode) {
+		w.ops.VisitRanges(w.structOf(n), func(r RangeID) bool {
+			if !w.hasReplica(n, r, h) {
+				return true
+			}
+			for slot := 0; slot < w.replicaCount(n, r); slot++ {
+				if p := w.replicaAt(n, r, slot); p != h && w.net.Alive(p) {
+					if groups == nil {
+						groups = make(map[sim.HostID][]unitRef)
+					}
+					groups[p] = append(groups[p], unitRef{n, r})
+					break
+				}
+			}
+			return true
+		})
+	})
+	peers := make([]sim.HostID, 0, len(groups))
+	for p := range groups {
+		peers = append(peers, p)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	copied := 0
+	for _, p := range peers {
+		units := groups[p]
+		var dirty []int
+		for i, u := range units {
+			if w.missed[webMiss{u.n, u.r, h}] > 0 {
+				dirty = append(dirty, i)
+			}
+		}
+		cost := merkleDiff(len(units), dirty)
+		for i := 0; i < cost.walk; i++ {
+			op.Send(h) // subtree-digest exchange with peer p
+		}
+		for _, i := range dirty {
+			u := units[i]
+			uu := w.rangeUnits(u.n, u.r)
+			for j := 0; j < uu; j++ {
+				op.Send(h) // diverged unit re-copied from the peer
+			}
+			copied += uu
+			delete(w.missed, webMiss{u.n, u.r, h})
+		}
+	}
+	// Purge stale records for h: units repaired away while it was down,
+	// or units with no live peer left to reconcile against.
+	for k := range w.missed {
+		if k.h == h {
+			delete(w.missed, k)
+		}
+	}
+	return copied
 }
 
 // GroundStructure exposes the level-0 structure D(S) (for answer

@@ -1,0 +1,161 @@
+package core
+
+// Merkle trees over a storage unit's sorted key digests — the machinery
+// behind incremental repair. Every replica of a unit (a block of a
+// BlockedWeb, a bucket of a BucketWeb) can summarize its content as a
+// binary hash tree: leaves cover merkleLeafSpan consecutive keys of the
+// sorted digest list, internal nodes hash their children, and the root
+// is an O(1)-word fingerprint of the whole unit. Two replicas reconcile
+// by walking their trees top-down from the root, descending only into
+// subtrees whose hashes differ and copying only the leaves that
+// actually diverged — O(divergence · log n) messages instead of the
+// O(n) full-unit copy PR 5's repair paid.
+//
+// The tree shape is a deterministic function of the key count alone
+// (leaf i covers digests [i·span, (i+1)·span), internal nodes split the
+// leaf index range at the midpoint), so two replicas of the same unit
+// always build comparable trees without exchanging structure.
+
+// merkleLeafSpan is the number of consecutive key digests one merkle
+// leaf covers. Divergence is repaired at leaf granularity: one diverged
+// key re-copies its whole leaf (up to merkleLeafSpan keys), the usual
+// range-resync tradeoff between tree depth and copy amplification.
+const merkleLeafSpan = 8
+
+// merkleLeaves returns the leaf count of the tree over n keys. The
+// empty unit still has one (empty) leaf so the root hash exists.
+func merkleLeaves(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return (n + merkleLeafSpan - 1) / merkleLeafSpan
+}
+
+// merkleMix combines two child hashes (an xorshift-multiply mix; only
+// collision scattering matters, not cryptographic strength — the model
+// counts messages, it does not defend against adversarial replicas).
+func merkleMix(a, b uint64) uint64 {
+	x := a*0x9e3779b97f4a7c15 + b
+	x ^= x >> 32
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 29
+	return x
+}
+
+// merkleLeafHash hashes one leaf's key digests (FNV-1a over the words).
+func merkleLeafHash(keys []uint64) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, k := range keys {
+		for i := 0; i < 8; i++ {
+			h ^= (k >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// merkleRoot returns the root hash of the tree over the sorted key
+// digests. Equal key sets hash equal; any single-key difference changes
+// the root (up to hash collisions).
+func merkleRoot(keys []uint64) uint64 {
+	var node func(lo, hi int) uint64 // over leaf indices [lo, hi)
+	node = func(lo, hi int) uint64 {
+		if hi-lo == 1 {
+			klo := lo * merkleLeafSpan
+			khi := klo + merkleLeafSpan
+			if klo > len(keys) {
+				klo = len(keys)
+			}
+			if khi > len(keys) {
+				khi = len(keys)
+			}
+			return merkleLeafHash(keys[klo:khi])
+		}
+		mid := (lo + hi) / 2
+		return merkleMix(node(lo, mid), node(mid, hi))
+	}
+	return node(0, merkleLeaves(len(keys)))
+}
+
+// merkleCost is the priced outcome of one tree reconcile.
+type merkleCost struct {
+	// walk counts the digest exchanges of the top-down descent: one
+	// message for the root, then one per diverged internal node — its
+	// mismatch reply bundles both children's digests (two words, still a
+	// constant-size message), so clean siblings cost nothing extra and a
+	// single diverged key walks in log2(leaves)+1 exchanges.
+	walk int
+	// leaves counts diverged-leaf payload messages: each leaf whose
+	// hashes differ ships its (constant-size, <= merkleLeafSpan keys)
+	// span as one message. Full re-replication, by contrast, pays one
+	// message per unit — this bundling is where the incremental win
+	// comes from.
+	leaves int
+	// keys counts the keys carried in those payloads (the re-copied
+	// volume, reported as CopiedUnits by the public Restart).
+	keys int
+}
+
+// msgs is the total messages the reconcile charges.
+func (c merkleCost) msgs() int { return c.walk + c.leaves }
+
+// merkleDiff prices reconciling a stale replica of a unit holding n
+// sorted keys against a fresh one, given the positions (indices into
+// the fresh sorted order, clamped to [0, n]; a deletion that no longer
+// appears in the fresh set marks its would-be position) at which the
+// two sides diverge. No divergence is the cheap case: one root exchange
+// proves the replica clean and nothing is copied.
+func merkleDiff(n int, dirtyPos []int) merkleCost {
+	if len(dirtyPos) == 0 {
+		return merkleCost{walk: 1}
+	}
+	leaves := merkleLeaves(n)
+	dirty := make([]bool, leaves)
+	for _, p := range dirtyPos {
+		if p < 0 {
+			p = 0
+		}
+		leaf := p / merkleLeafSpan
+		if leaf >= leaves {
+			leaf = leaves - 1
+		}
+		dirty[leaf] = true
+	}
+	anyDirty := func(lo, hi int) bool {
+		for i := lo; i < hi; i++ {
+			if dirty[i] {
+				return true
+			}
+		}
+		return false
+	}
+	c := merkleCost{walk: 1} // the root digest exchange
+	var rec func(lo, hi int) // called only on diverged subtrees
+	rec = func(lo, hi int) {
+		if hi-lo == 1 {
+			// A diverged leaf's digest arrived bundled with its parent's
+			// reply; only the payload ships, priced under leaves.
+			c.leaves++
+			klo := lo * merkleLeafSpan
+			khi := klo + merkleLeafSpan
+			if khi > n {
+				khi = n
+			}
+			if khi > klo {
+				c.keys += khi - klo
+			}
+			return
+		}
+		c.walk++ // expand: one reply carries both children's digests
+		mid := (lo + hi) / 2
+		if anyDirty(lo, mid) {
+			rec(lo, mid)
+		}
+		if anyDirty(mid, hi) {
+			rec(mid, hi)
+		}
+	}
+	rec(0, leaves)
+	return c
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// TestMerkleRootDetectsAnyDifference pins the fingerprint property: equal
+// key sets hash equal, and flipping, inserting, or removing any single
+// key changes the root.
+func TestMerkleRootDetectsAnyDifference(t *testing.T) {
+	rng := xrand.New(11)
+	keys := make([]uint64, 100)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	base := merkleRoot(keys)
+	if got := merkleRoot(append([]uint64(nil), keys...)); got != base {
+		t.Fatalf("equal key sets hash differently: %x vs %x", got, base)
+	}
+	for i := range keys {
+		mut := append([]uint64(nil), keys...)
+		mut[i] ^= 1
+		if merkleRoot(mut) == base {
+			t.Fatalf("flipping key %d did not change the root", i)
+		}
+	}
+	if merkleRoot(keys[:99]) == base {
+		t.Fatal("dropping the last key did not change the root")
+	}
+	if merkleRoot(append([]uint64{42}, keys...)) == base {
+		t.Fatal("prepending a key did not change the root")
+	}
+	if merkleRoot(nil) == base {
+		t.Fatal("the empty unit hashes like a full one")
+	}
+}
+
+// TestMerkleDiffCosts pins the reconcile cost model: a clean unit costs
+// one root exchange and copies nothing; one diverged key costs a walk
+// logarithmic in the unit size plus one leaf payload; full divergence
+// degrades to shipping every leaf.
+func TestMerkleDiffCosts(t *testing.T) {
+	if c := merkleDiff(1024, nil); c.walk != 1 || c.leaves != 0 || c.keys != 0 {
+		t.Fatalf("clean unit: %+v, want one root exchange and nothing copied", c)
+	}
+	// One diverged key: the walk descends one root-to-leaf path — the
+	// root exchange plus one bundled-children reply per internal node on
+	// the path, log2(leaves)+1 exchanges — and ships one leaf.
+	c := merkleDiff(1024, []int{517})
+	if maxWalk := 7 + 1; c.walk > maxWalk { // 1024 keys → 128 leaves → depth 7
+		t.Fatalf("single divergence walk=%d, want <= %d", c.walk, maxWalk)
+	}
+	if c.leaves != 1 || c.keys != merkleLeafSpan {
+		t.Fatalf("single divergence shipped %d leaves / %d keys, want 1 leaf of %d",
+			c.leaves, c.keys, merkleLeafSpan)
+	}
+	// A deletion past the end of the fresh set lands in the last leaf.
+	if c := merkleDiff(64, []int{64}); c.leaves != 1 || c.keys == 0 {
+		t.Fatalf("trailing deletion: %+v, want one leaf payload", c)
+	}
+	// Full divergence ships every key, one message per leaf.
+	all := make([]int, 256)
+	for i := range all {
+		all[i] = i
+	}
+	if c := merkleDiff(256, all); c.keys != 256 || c.leaves != merkleLeaves(256) {
+		t.Fatalf("full divergence: %+v, want all %d keys in %d leaves", c, 256, merkleLeaves(256))
+	}
+	// The empty unit reconciles in one exchange even when the stale side
+	// must drop keys (all divergence is deletion): the empty leaf ships an
+	// empty payload telling the stale side to truncate.
+	if c := merkleDiff(0, []int{0, 1, 2}); c.keys != 0 || c.msgs() > 2 {
+		t.Fatalf("empty fresh unit: %+v, want no keys and <= 2 messages", c)
+	}
+}
+
+// TestMerkleDiffCheaperThanFullCopy is the acceptance inequality behind
+// incremental repair, modeled the way RestartHost reconciles a shard:
+// an outer merkle walk over the shard's per-unit digests localizes the
+// diverged units, then a per-unit key-level walk ships the diverged
+// leaves. At <= 1% key divergence the total message cost is at most a
+// tenth of re-copying the whole shard (one message per key, PR 5's
+// full-re-replication price).
+func TestMerkleDiffCheaperThanFullCopy(t *testing.T) {
+	const units, perUnit = 100, 30
+	full := units * perUnit
+	d := full / 100 // 1% of the shard's keys diverged
+	rng := xrand.New(9)
+	dirtyByUnit := map[int][]int{}
+	for i := 0; i < d; i++ {
+		p := int(rng.Uint64n(uint64(full)))
+		dirtyByUnit[p/perUnit] = append(dirtyByUnit[p/perUnit], p%perUnit)
+	}
+	var dirtyUnits []int
+	for u := range dirtyByUnit {
+		dirtyUnits = append(dirtyUnits, u)
+	}
+	cost := merkleDiff(units, dirtyUnits).walk // localization: digests only, no payloads yet
+	for _, pos := range dirtyByUnit {
+		cost += merkleDiff(perUnit, pos).msgs()
+	}
+	if cost*10 > full {
+		t.Fatalf("shard of %d keys at 1%% divergence: merkle cost %d exceeds 10%% of full copy %d",
+			full, cost, full)
+	}
+}

@@ -42,6 +42,14 @@ type Config struct {
 	Seed      uint64 // structural seed (level promotion, placement)
 	Replicas  int    // replication factor (<= 1 unreplicated)
 	Target    int    // bucketed: keys per bucket (0 = default 8)
+
+	// WALDir, when non-empty, makes the daemon durable: every applied
+	// update is fsynced to <WALDir>/host-<id>.wal before its RPC acks,
+	// and a restarted daemon replays the log to rejoin with its replica
+	// intact (see wal.go). CheckpointEvery sets the verification-
+	// checkpoint cadence in records (<= 0 = sim.DefaultCheckpointEvery).
+	WALDir          string
+	CheckpointEvery int
 }
 
 // structure is the uniform op surface the daemon serves; all three
@@ -143,16 +151,23 @@ type Daemon struct {
 	// applied is the daemon's current key set, the digest's input.
 	applied map[uint64]struct{}
 
+	// wal is the on-disk operation log (nil without Config.WALDir);
+	// recovered counts the records replayed at startup.
+	wal       *walLog
+	recovered int
+
 	shutdown chan struct{} // closed by the shutdown RPC
 }
 
 // Request/reply bodies of the daemon's RPCs.
 type (
-	// PingReply identifies a daemon.
+	// PingReply identifies a daemon. Recovered counts the WAL records
+	// it replayed at startup (0 without a WAL or on a fresh log).
 	PingReply struct {
 		Host      int
 		Structure string
 		Keys      int
+		Recovered int
 	}
 	// ConnectArgs carries the full peer address list, indexed by host.
 	ConnectArgs struct {
@@ -222,6 +237,11 @@ func Start(cfg Config) (*Daemon, error) {
 	for _, k := range keys {
 		d.applied[k] = struct{}{}
 	}
+	if cfg.WALDir != "" {
+		if err := d.recover(); err != nil {
+			return nil, err
+		}
+	}
 	// The hook stays installed for the daemon's lifetime; emit gates it
 	// so construction and non-origin updates charge nothing.
 	net.SetDeliver(func(h sim.HostID) {
@@ -253,6 +273,65 @@ func Start(cfg Config) (*Daemon, error) {
 	return d, nil
 }
 
+// recover opens the daemon's WAL and replays whatever a previous
+// process life logged: each record re-applies its update to the freshly
+// rebuilt replica (emission is off — recovery is local disk I/O, not
+// cluster traffic), and the state is verified against the last
+// checkpoint at the exact record it covered. Determinism makes this
+// exact: seeds + the ordered update log reproduce the replica bit for
+// bit.
+func (d *Daemon) recover() error {
+	wal, recs, err := openWAL(d.cfg.WALDir, d.cfg.Host, d.cfg.CheckpointEvery)
+	if err != nil {
+		return err
+	}
+	ck, haveCk, err := wal.readCheckpoint()
+	if err != nil {
+		wal.close()
+		return err
+	}
+	if haveCk && ck.Records > len(recs) {
+		wal.close()
+		return fmt.Errorf("serve: wal truncated: checkpoint covers %d records, log has %d", ck.Records, len(recs))
+	}
+	for i, rec := range recs {
+		if err := d.applyRecord(rec); err != nil {
+			wal.close()
+			return fmt.Errorf("serve: wal replay record %d: %w", i, err)
+		}
+		if haveCk && i+1 == ck.Records {
+			if got := d.digestNow(); got.N != ck.N || got.Sum != ck.Sum {
+				wal.close()
+				return fmt.Errorf("serve: wal replay diverged from checkpoint at record %d: got {%d %#x}, want {%d %#x}",
+					ck.Records, got.N, got.Sum, ck.N, ck.Sum)
+			}
+		}
+	}
+	d.wal = wal
+	d.recovered = len(recs)
+	return nil
+}
+
+// applyRecord re-applies one logged update during recovery.
+func (d *Daemon) applyRecord(rec walRecord) error {
+	switch rec.Op {
+	case OpInsert:
+		if _, err := d.st.Insert(rec.Key, sim.HostID(rec.Origin)); err != nil {
+			return err
+		}
+		d.applied[rec.Key] = struct{}{}
+	case OpDelete:
+		if _, err := d.st.Delete(rec.Key, sim.HostID(rec.Origin)); err != nil {
+			return err
+		}
+		delete(d.applied, rec.Key)
+	}
+	return nil
+}
+
+// Recovered returns the number of WAL records replayed at startup.
+func (d *Daemon) Recovered() int { return d.recovered }
+
 // Addr returns the daemon's listen address.
 func (d *Daemon) Addr() string { return d.node.Addr() }
 
@@ -269,6 +348,7 @@ func (d *Daemon) Close() {
 			cl.Close()
 		}
 	}
+	d.wal.close()
 }
 
 // ConnectPeers dials every peer address (indexed by host id, including
@@ -290,12 +370,19 @@ func (d *Daemon) ConnectPeers(addrs []string, wait time.Duration) error {
 		}
 		peers[h] = cl
 	}
+	// A re-connect (after a peer restarted on a fresh socket) replaces
+	// the whole set; drop the stale connections.
+	for _, p := range d.peers {
+		if p != nil {
+			p.Close()
+		}
+	}
 	d.peers = peers
 	return nil
 }
 
 func (d *Daemon) ping(json.RawMessage) (any, error) {
-	return PingReply{Host: int(d.cfg.Host), Structure: d.cfg.Structure, Keys: len(d.applied)}, nil
+	return PingReply{Host: int(d.cfg.Host), Structure: d.cfg.Structure, Keys: len(d.applied), Recovered: d.recovered}, nil
 }
 
 func (d *Daemon) connect(args json.RawMessage) (any, error) {
@@ -381,6 +468,20 @@ func (d *Daemon) update(args json.RawMessage) (any, error) {
 	case "delete":
 		delete(d.applied, in.Key)
 	}
+	// Write-ahead of the ack: the record is fsynced before the RPC
+	// replies, so an acknowledged update survives a process kill.
+	if d.wal != nil {
+		op := OpInsert
+		if in.Op == "delete" {
+			op = OpDelete
+		}
+		if err := d.wal.append(walRecord{Op: op, Key: in.Key, Origin: in.Origin}); err != nil {
+			return nil, err
+		}
+		if err := d.wal.maybeCheckpoint(d.digestNow); err != nil {
+			return nil, err
+		}
+	}
 	return out, nil
 }
 
@@ -394,18 +495,30 @@ func (d *Daemon) resetMsgs(json.RawMessage) (any, error) {
 }
 
 func (d *Daemon) digest(json.RawMessage) (any, error) {
+	return d.digestNow(), nil
+}
+
+// digestNow summarizes the current key set (also the checkpoint's and
+// recovery verification's state summary).
+func (d *Daemon) digestNow() DigestReply {
 	keys := make([]uint64, 0, len(d.applied))
 	for k := range d.applied {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return DigestReply{N: len(keys), Sum: digestKeys(keys)}
+}
+
+// digestKeys hashes a sorted key list — shared with ExpectedDigest so
+// the sim control and the daemons agree byte for byte.
+func digestKeys(sorted []uint64) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
-	for _, k := range keys {
+	for _, k := range sorted {
 		binary.BigEndian.PutUint64(buf[:], k)
 		h.Write(buf[:])
 	}
-	return DigestReply{N: len(keys), Sum: h.Sum64()}, nil
+	return h.Sum64()
 }
 
 func (d *Daemon) shutdownRPC(json.RawMessage) (any, error) {

@@ -176,6 +176,30 @@ func callReset(cl *wire.Client) (bool, error) {
 	return ok, err
 }
 
+// ExpectedDigest computes the key-set digest every daemon must report
+// after wl has been fully applied to cfg's initial keys — the recovery
+// smoke's oracle, derived without running any structure at all.
+func ExpectedDigest(cfg Config, wl []WorkloadOp) DigestReply {
+	set := make(map[uint64]struct{}, cfg.Keys)
+	for _, k := range cfg.InitialKeys() {
+		set[k] = struct{}{}
+	}
+	for _, op := range wl {
+		switch op.Kind {
+		case OpInsert:
+			set[op.Key] = struct{}{}
+		case OpDelete:
+			delete(set, op.Key)
+		}
+	}
+	keys := make([]uint64, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return DigestReply{N: len(keys), Sum: digestKeys(keys)}
+}
+
 // Digests gathers every daemon's key-set digest; mismatched digests mean
 // the replicas diverged during replay.
 func Digests(clients []*wire.Client) ([]DigestReply, error) {

@@ -1,0 +1,205 @@
+package sim
+
+import "testing"
+
+// TestDurabilityWALAccounting pins the WAL cost model: every AddStorage
+// on a live, unpaused durable host appends one charged record, and every
+// `every` records fold into one charged checkpoint that truncates the
+// log.
+func TestDurabilityWALAccounting(t *testing.T) {
+	n := NewNetwork(2)
+	n.EnableDurability(4)
+	if !n.Durable() {
+		t.Fatal("EnableDurability left the network non-durable")
+	}
+	if got := n.Checkpoints(0); got != 1 {
+		t.Fatalf("base checkpoint count = %d, want 1", got)
+	}
+	base := n.Messages(0)
+	for i := 0; i < 3; i++ {
+		n.AddStorage(0, 1)
+	}
+	if got := n.WALRecords(0); got != 3 {
+		t.Fatalf("after 3 writes: WAL records = %d, want 3", got)
+	}
+	if got := n.Messages(0) - base; got != 3 {
+		t.Fatalf("after 3 writes: fsync messages = %d, want 3", got)
+	}
+	// The 4th record hits the cadence: one checkpoint, log truncated.
+	n.AddStorage(0, 1)
+	if got := n.WALRecords(0); got != 0 {
+		t.Fatalf("after checkpoint: WAL records = %d, want 0", got)
+	}
+	if got := n.Checkpoints(0); got != 2 {
+		t.Fatalf("after checkpoint: checkpoints = %d, want 2", got)
+	}
+	if got := n.Messages(0) - base; got != 5 {
+		t.Fatalf("4 records + 1 checkpoint = %d messages, want 5", got)
+	}
+	// The untouched host logged nothing.
+	if n.WALRecords(1) != 0 || n.Checkpoints(1) != 1 {
+		t.Fatalf("idle host logged records=%d checkpoints=%d", n.WALRecords(1), n.Checkpoints(1))
+	}
+	// The image tracks storage exactly.
+	if img, st := n.DurableImage(0), n.Storage(0); img != st || st != 4 {
+		t.Fatalf("image %d vs storage %d, want both 4", img, st)
+	}
+}
+
+// TestDurabilityEnableIdempotent pins that a second EnableDurability is
+// a no-op preserving the first cadence.
+func TestDurabilityEnableIdempotent(t *testing.T) {
+	n := NewNetwork(1)
+	n.AddStorage(0, 7) // pre-durability storage becomes the base image
+	n.EnableDurability(2)
+	if got := n.DurableImage(0); got != 7 {
+		t.Fatalf("base image = %d, want the pre-enable storage 7", got)
+	}
+	n.EnableDurability(1000) // ignored: cadence stays 2
+	n.AddStorage(0, 1)
+	n.AddStorage(0, 1)
+	if got := n.Checkpoints(0); got != 2 {
+		t.Fatalf("checkpoints = %d, want 2 (cadence-2 survived re-enable)", got)
+	}
+}
+
+// TestDurabilityPauseResume pins the bulk-build protocol: paused writes
+// charge no WAL records but keep the image exact, and Resume folds any
+// pre-pause records into a fresh checkpoint.
+func TestDurabilityPauseResume(t *testing.T) {
+	n := NewNetwork(1)
+	n.EnableDurability(100)
+	n.AddStorage(0, 1) // one real WAL record
+	if got := n.WALRecords(0); got != 1 {
+		t.Fatalf("pre-pause records = %d, want 1", got)
+	}
+	n.PauseDurability()
+	base := n.Messages(0)
+	for i := 0; i < 50; i++ {
+		n.AddStorage(0, 1)
+	}
+	if got := n.Messages(0) - base; got != 0 {
+		t.Fatalf("paused writes charged %d durability messages, want 0", got)
+	}
+	if got := n.WALRecords(0); got != 1 {
+		t.Fatalf("paused writes appended records: %d, want still 1", got)
+	}
+	if got := n.DurableImage(0); got != 51 {
+		t.Fatalf("image = %d, want 51 (image tracks storage even paused)", got)
+	}
+	n.ResumeDurability()
+	if got := n.WALRecords(0); got != 0 {
+		t.Fatalf("resume left %d records, want 0 (folded into checkpoint)", got)
+	}
+	if got := n.Checkpoints(0); got != 2 {
+		t.Fatalf("resume checkpoints = %d, want 2", got)
+	}
+}
+
+// TestDurabilityCrashRestart pins the recovery contract: Crash zeroes
+// the live storage but keeps the durable image; writes during the
+// outage land on the image silently; Restart restores storage from the
+// image, charges 1 + records replay messages, and re-checkpoints.
+func TestDurabilityCrashRestart(t *testing.T) {
+	n := NewNetwork(3)
+	n.EnableDurability(100)
+	for i := 0; i < 5; i++ {
+		n.AddStorage(1, 1)
+	}
+	n.Crash(1)
+	if got := n.Storage(1); got != 0 {
+		t.Fatalf("crashed storage = %d, want 0", got)
+	}
+	if got := n.DurableImage(1); got != 5 {
+		t.Fatalf("image after crash = %d, want 5 (the disk survives)", got)
+	}
+	// Writes while down: image-only, no WAL records, no messages.
+	base := n.Messages(1)
+	n.AddStorage(1, 2)
+	if got := n.Messages(1) - base; got != 0 {
+		t.Fatalf("write to crashed host charged %d messages, want 0", got)
+	}
+	if got, img := n.WALRecords(1), n.DurableImage(1); got != 5 || img != 7 {
+		t.Fatalf("crashed write: records=%d image=%d, want 5 and 7", got, img)
+	}
+	if n.Storage(1) != 0 {
+		t.Fatal("write to crashed host leaked into live storage")
+	}
+
+	base = n.Messages(1)
+	replay := n.Restart(1)
+	if replay != 6 { // 1 checkpoint load + 5 records
+		t.Fatalf("replay = %d messages, want 6 (checkpoint + 5 records)", replay)
+	}
+	if got := n.Messages(1) - base; got != int64(replay) {
+		t.Fatalf("Restart charged %d messages but reported %d", got, replay)
+	}
+	if !n.Alive(1) || n.Crashed(1) {
+		t.Fatal("Restart did not revive the host")
+	}
+	if got := n.Storage(1); got != 7 {
+		t.Fatalf("restored storage = %d, want the image 7", got)
+	}
+	if got := n.WALRecords(1); got != 0 {
+		t.Fatalf("post-restart records = %d, want 0 (recovery re-checkpoints)", got)
+	}
+	// An immediate re-crash replays only the fresh checkpoint.
+	n.Crash(1)
+	if replay := n.Restart(1); replay != 1 {
+		t.Fatalf("second replay = %d, want 1 (nothing since recovery checkpoint)", replay)
+	}
+}
+
+// TestDurabilityRestartPanics pins Restart's preconditions.
+func TestDurabilityRestartPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	n := NewNetwork(2)
+	mustPanic("Restart on non-durable network", func() { n.Restart(0) })
+	n.EnableDurability(0)
+	mustPanic("Restart of a live host", func() { n.Restart(0) })
+}
+
+// TestDurabilityNonDurableUnchanged pins that without EnableDurability
+// the accessors report zero and AddStorage charges nothing — the
+// bit-identity guarantee for Options.Durable=false.
+func TestDurabilityNonDurableUnchanged(t *testing.T) {
+	n := NewNetwork(1)
+	base := n.Messages(0)
+	for i := 0; i < 10; i++ {
+		n.AddStorage(0, 1)
+	}
+	if got := n.Messages(0) - base; got != 0 {
+		t.Fatalf("non-durable AddStorage charged %d messages, want 0", got)
+	}
+	if n.WALRecords(0) != 0 || n.Checkpoints(0) != 0 || n.DurableImage(0) != 0 {
+		t.Fatal("non-durable accessors returned non-zero")
+	}
+}
+
+// TestDurabilityDeliverTap pins that WAL fsync charges flow through the
+// delivery tap like any other message — the hook the wire transport uses
+// to emit real frames for durability I/O.
+func TestDurabilityDeliverTap(t *testing.T) {
+	n := NewNetwork(1)
+	n.EnableDurability(2)
+	var delivered []HostID
+	n.SetDeliver(func(h HostID) { delivered = append(delivered, h) })
+	n.AddStorage(0, 1) // record
+	n.AddStorage(0, 1) // record + checkpoint
+	if len(delivered) != 3 {
+		t.Fatalf("delivery tap fired %d times, want 3 (2 records + 1 checkpoint)", len(delivered))
+	}
+	for _, h := range delivered {
+		if h != 0 {
+			t.Fatalf("durability I/O delivered to host %d, want 0", h)
+		}
+	}
+}

@@ -111,6 +111,11 @@ func (e *TimeoutError) Timeout() bool { return true }
 //     yields a TimeoutError instead of blocking forever.
 //   - RemoveHost drains already-enqueued tasks before the worker exits;
 //     Crash discards them; Stop drains every host then waits.
+//   - Restart revives a previously crashed host: a fresh worker (fresh
+//     mailbox, fresh process) starts at the same slot, and subsequent
+//     Do/Go calls to it succeed again. Restart of a host that was not
+//     crashed panics (programming error); the crashed host's discarded
+//     queue stays discarded.
 type Transport interface {
 	Do(h HostID, fn func()) error
 	Go(h HostID, fn func())
@@ -118,6 +123,7 @@ type Transport interface {
 	AddHost(h HostID)
 	RemoveHost(h HostID)
 	Crash(h HostID)
+	Restart(h HostID)
 	SetDoTimeout(d time.Duration)
 	Stop()
 	Stopped() bool
@@ -164,6 +170,40 @@ type Network struct {
 	// it before any traffic flows; it is not synchronized against
 	// in-flight operations.
 	deliver func(HostID)
+
+	// durable, when non-nil, models per-host write-ahead logging: every
+	// storage-charging mutation appends one WAL record (a charged fsync
+	// message to the owning host) and is mirrored into a durable image
+	// that survives Crash, so the host can Restart with its shard intact.
+	// Nil keeps the pre-durability behavior bit-identical.
+	durable *durability
+}
+
+// durability is the per-host durable-storage model: a write-ahead log
+// plus periodic checkpoints, both accounted as messages to the owning
+// host (a WAL append is one fsync; a checkpoint is one more). The state
+// is mutated only from storage-charging paths, which callers already
+// serialize (updates are single-writer; churn holds the write lock), so
+// plain slices suffice.
+type durability struct {
+	// every is the checkpoint cadence: after this many WAL records the
+	// host snapshots its inventory and truncates the log.
+	every int
+	// paused suppresses WAL records and fsync charges while a structure
+	// is bulk-constructed; the image still tracks storage exactly, and
+	// ResumeDurability folds the built state into a fresh checkpoint.
+	paused bool
+	// image[h] is host h's durable storage in units — what its disk
+	// holds. It tracks the storage counter exactly while the host is
+	// alive and keeps absorbing deltas while it is crashed (writes the
+	// engines logically apply to the host's shard land on the image
+	// only), so Restart can restore storage[h] = image[h] verbatim.
+	image []int64
+	// records[h] counts WAL records appended since h's last checkpoint —
+	// the replay length a Restart pays for.
+	records []int64
+	// checkpoints[h] counts checkpoints taken at h (diagnostics).
+	checkpoints []int64
 }
 
 // NewNetwork creates a network of h hosts. It panics if h <= 0, since a
@@ -231,6 +271,11 @@ func (n *Network) AddHost() HostID {
 	n.storage = append(n.storage, counter{})
 	n.touches = append(n.touches, counter{})
 	n.ops = append(n.ops, counter{})
+	if d := n.durable; d != nil {
+		d.image = append(d.image, 0)
+		d.records = append(d.records, 0)
+		d.checkpoints = append(d.checkpoints, 1) // an empty host checkpoints trivially
+	}
 	return h
 }
 
@@ -258,13 +303,15 @@ func (n *Network) Crashed(h HostID) bool {
 }
 
 // Crash marks host h as failed: an unclean departure. Unlike RemoveHost
-// (cooperative leave, data migrated first), the host's data dies with it
-// — its storage counter is zeroed, modelling the loss — and it is
-// recorded in the crashed set that routing consults for failover.
-// Message and congestion history is retained like any departed slot.
-// Crash panics when h is not live or is the last live host, and must not
-// run concurrently with in-flight operations (callers serialize churn,
-// as with RemoveHost).
+// (cooperative leave, data migrated first), the host's in-memory data
+// dies with it — its storage counter is zeroed, modelling the loss — and
+// it is recorded in the crashed set that routing consults for failover.
+// On a durable network the host's durable image survives the crash (a
+// process dies, its disk does not) and Restart restores it. Message and
+// congestion history is retained like any departed slot. Crash panics
+// when h is not live or is the last live host, and must not run
+// concurrently with in-flight operations (callers serialize churn, as
+// with RemoveHost).
 func (n *Network) Crash(h HostID) {
 	if !n.Alive(h) {
 		panic(fmt.Sprintf("sim: Crash(%d): not a live host", h))
@@ -280,13 +327,171 @@ func (n *Network) Crash(h HostID) {
 }
 
 // AddStorage records delta storage units at host h. Structures call this
-// when placing or removing nodes, links, and hyperlink pointers.
+// when placing or removing nodes, links, and hyperlink pointers. On a
+// durable network each call additionally appends one WAL record at h —
+// a charged fsync message — and, every checkpoint-cadence records, one
+// checkpoint write; while h is crashed the delta lands on its durable
+// image only (the engines keep the host's logical shard moving with the
+// cluster; the disk catches up, the live copy is restored by Restart).
 func (n *Network) AddStorage(h HostID, delta int) {
+	if d := n.durable; d != nil {
+		d.image[h] += int64(delta)
+		if n.crashed[h] {
+			return // the live copy is down: the write exists only durably
+		}
+		if !d.paused {
+			d.records[h]++
+			n.chargeLocal(h) // WAL append + fsync
+			if d.records[h] >= int64(d.every) {
+				d.records[h] = 0
+				d.checkpoints[h]++
+				n.chargeLocal(h) // checkpoint snapshot + log truncation
+			}
+		}
+	}
 	n.storage[h].n.Add(int64(delta))
 }
 
 // Storage returns the storage units currently recorded at host h.
 func (n *Network) Storage(h HostID) int64 { return n.storage[h].n.Load() }
+
+// chargeLocal charges one message to host h outside any Op — host-local
+// durability I/O (WAL fsyncs, checkpoint writes, replay reads) that the
+// cost model bills like any other message but that belongs to no
+// operation's hop count. The delivery tap fires as usual, so a wire
+// transport emits a real frame for it.
+func (n *Network) chargeLocal(h HostID) {
+	n.messages[h].n.Add(1)
+	if n.deliver != nil {
+		n.deliver(h)
+	}
+}
+
+// DefaultCheckpointEvery is the checkpoint cadence EnableDurability
+// applies when the caller passes a non-positive value: one checkpoint
+// per 64 WAL records keeps replay short without checkpointing so often
+// the snapshot cost dominates the log it truncates.
+const DefaultCheckpointEvery = 64
+
+// EnableDurability turns on the per-host write-ahead-log model: from now
+// on every AddStorage appends a charged WAL record at the owning host,
+// checkpoints fire every `every` records (<= 0 selects
+// DefaultCheckpointEvery), crashed hosts keep their durable image, and
+// Restart revives them from it. The current storage of every host is
+// snapshotted as its base checkpoint, so enabling is free and idempotent
+// — a second call is a no-op, preserving the first cadence.
+func (n *Network) EnableDurability(every int) {
+	if n.durable != nil {
+		return
+	}
+	if every <= 0 {
+		every = DefaultCheckpointEvery
+	}
+	d := &durability{
+		every:       every,
+		image:       make([]int64, n.hosts),
+		records:     make([]int64, n.hosts),
+		checkpoints: make([]int64, n.hosts),
+	}
+	for i := 0; i < n.hosts; i++ {
+		d.image[i] = n.storage[i].n.Load()
+		d.checkpoints[i] = 1 // the base image is checkpoint zero's snapshot
+	}
+	n.durable = d
+}
+
+// Durable reports whether the per-host WAL model is enabled.
+func (n *Network) Durable() bool { return n.durable != nil }
+
+// PauseDurability suspends WAL-record accounting (no records, no fsync
+// charges) while a structure is bulk-constructed; the durable image
+// still tracks storage exactly. No-op on a non-durable network. Pair
+// with ResumeDurability.
+func (n *Network) PauseDurability() {
+	if n.durable != nil {
+		n.durable.paused = true
+	}
+}
+
+// ResumeDurability ends a PauseDurability window. Hosts that logged WAL
+// records before the pause fold them into a fresh checkpoint: the bulk-
+// built state is snapshotted wholesale (part of construction, which
+// charges through its own accounting), so replay after a later crash
+// starts from the built image rather than re-walking pre-build records.
+func (n *Network) ResumeDurability() {
+	d := n.durable
+	if d == nil {
+		return
+	}
+	d.paused = false
+	for i := range d.records {
+		if d.records[i] != 0 {
+			d.records[i] = 0
+			d.checkpoints[i]++
+		}
+	}
+}
+
+// WALRecords returns the WAL records host h has appended since its last
+// checkpoint — the replay length a Restart would pay. Zero on a
+// non-durable network.
+func (n *Network) WALRecords(h HostID) int64 {
+	if n.durable == nil {
+		return 0
+	}
+	return n.durable.records[h]
+}
+
+// Checkpoints returns the checkpoints taken at host h (the base image
+// counts as one). Zero on a non-durable network.
+func (n *Network) Checkpoints(h HostID) int64 {
+	if n.durable == nil {
+		return 0
+	}
+	return n.durable.checkpoints[h]
+}
+
+// DurableImage returns host h's durable storage image in units — what
+// its disk holds, including deltas applied while it was crashed. Zero on
+// a non-durable network.
+func (n *Network) DurableImage(h HostID) int64 {
+	if n.durable == nil {
+		return 0
+	}
+	return n.durable.image[h]
+}
+
+// Restart revives crashed durable host h: it rejoins the live set with
+// its storage restored to the durable image, paying one charged message
+// for the checkpoint load plus one per WAL record replayed since that
+// checkpoint. The recovered state is immediately re-checkpointed (log
+// truncation is part of recovery), so a second crash right after replays
+// nothing. Returns the replay message count. Restart panics on a
+// non-durable network or a host that has not crashed, and must not run
+// concurrently with in-flight operations (callers serialize churn).
+func (n *Network) Restart(h HostID) int {
+	d := n.durable
+	if d == nil {
+		panic(fmt.Sprintf("sim: Restart(%d) on a non-durable network", h))
+	}
+	if !n.Crashed(h) {
+		panic(fmt.Sprintf("sim: Restart(%d): host has not crashed", h))
+	}
+	n.crashed[h] = false
+	n.alive[h] = true
+	i := sort.Search(len(n.live), func(i int) bool { return n.live[i] >= h })
+	n.live = append(n.live, 0)
+	copy(n.live[i+1:], n.live[i:])
+	n.live[i] = h
+	n.storage[h].n.Store(d.image[h])
+	replay := 1 + int(d.records[h])
+	for k := 0; k < replay; k++ {
+		n.chargeLocal(h)
+	}
+	d.records[h] = 0
+	d.checkpoints[h]++
+	return replay
+}
 
 // SetDeliver installs fn as the message-delivery tap: it is called once
 // per charged message with the destination host, synchronously, from the
@@ -670,6 +875,11 @@ func NewCluster(net *Network) *Cluster {
 func (c *Cluster) spawn(h HostID) {
 	m := &mailbox{wake: make(chan struct{}, 1)}
 	c.mail = append(c.mail, m)
+	c.start(h, m)
+}
+
+// start runs a worker goroutine draining m as host h's actor.
+func (c *Cluster) start(h HostID, m *mailbox) {
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
@@ -728,6 +938,26 @@ func (c *Cluster) Crash(h HostID) {
 	m := c.mail[h]
 	c.mailMu.RUnlock()
 	m.drop(&HostDownError{Host: h})
+}
+
+// Restart replaces crashed host h's dropped mailbox with a fresh one and
+// starts a new worker goroutine for it — the actor-model analogue of a
+// process restart. Tasks discarded by the crash stay discarded; Do/Go to
+// h succeed again once Restart returns. Restart panics after Stop or
+// when h's mailbox was not dropped by a crash, and like all churn it
+// must be serialized against in-flight batches by the caller.
+func (c *Cluster) Restart(h HostID) {
+	if c.stopped.Load() {
+		panic("sim: Cluster.Restart after Stop")
+	}
+	c.mailMu.Lock()
+	defer c.mailMu.Unlock()
+	if !c.mail[h].isDropped() {
+		panic(fmt.Sprintf("sim: Cluster.Restart(%d): host has not crashed", h))
+	}
+	m := &mailbox{wake: make(chan struct{}, 1)}
+	c.mail[h] = m
+	c.start(h, m)
 }
 
 // box returns host h's mailbox under the churn lock.

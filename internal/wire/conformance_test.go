@@ -233,3 +233,55 @@ func TestConformanceRemoveHostDrains(t *testing.T) {
 		}
 	})
 }
+
+// TestConformanceRestartRevives pins the crash/restart cycle on both
+// transports: a crashed host fails fast, a restarted one executes work
+// again (the wire side re-spawns a real node + connection), and the
+// cycle can repeat.
+func TestConformanceRestartRevives(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, tr sim.Transport) {
+		for round := 0; round < 2; round++ {
+			tr.Crash(2)
+			if err := tr.Do(2, func() {}); !errors.Is(err, sim.ErrHostDown) {
+				t.Fatalf("round %d: Do on crashed host: got %v, want ErrHostDown", round, err)
+			}
+			tr.Restart(2)
+			var ran atomic.Bool
+			if err := tr.Do(2, func() { ran.Store(true) }); err != nil {
+				t.Fatalf("round %d: Do after restart: %v", round, err)
+			}
+			if !ran.Load() {
+				t.Fatalf("round %d: restarted host did not execute", round)
+			}
+		}
+		// The revived host still serializes: two async tasks run in order.
+		var order []int
+		var mu sync.Mutex
+		done := make(chan struct{})
+		tr.Go(2, func() { mu.Lock(); order = append(order, 1); mu.Unlock() })
+		tr.Go(2, func() { mu.Lock(); order = append(order, 2); mu.Unlock(); close(done) })
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("restarted host stalled")
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+			t.Fatalf("restarted host ran out of order: %v", order)
+		}
+	})
+}
+
+// TestConformanceRestartPanicsOnLiveHost pins Restart's precondition on
+// both transports.
+func TestConformanceRestartPanicsOnLiveHost(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, tr sim.Transport) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Restart of a live host did not panic")
+			}
+		}()
+		tr.Restart(1)
+	})
+}

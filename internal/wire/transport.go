@@ -332,6 +332,43 @@ func (t *Loopback) Crash(h sim.HostID) {
 	t.failPending(h, &sim.HostDownError{Host: h})
 }
 
+// Restart revives crashed host h: a brand-new node (fresh listener,
+// fresh worker — the wire analogue of restarting the process) takes over
+// slot h and the transport dials it, after which Do/Go to h succeed
+// again. Tasks discarded by the crash stay discarded. Restart panics
+// after Stop, when h was not crashed, or when the new listener cannot be
+// opened (resource exhaustion, not a tolerated failure).
+func (t *Loopback) Restart(h sim.HostID) {
+	if t.stopped.Load() {
+		panic("wire: Loopback.Restart after Stop")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state[h] != hostCrashed {
+		panic(fmt.Sprintf("wire: Loopback.Restart(%d): host has not crashed", h))
+	}
+	n, err := NewNode(NodeConfig{
+		Host:     h,
+		Listen:   "127.0.0.1:0",
+		Resolver: t.resolve,
+		Running:  &t.running,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("wire: Restart(%d): %v", h, err))
+	}
+	c, err := net.DialTimeout("tcp", n.Addr(), 5*time.Second)
+	if err != nil {
+		n.Close()
+		panic(fmt.Sprintf("wire: Restart(%d): dial: %v", h, err))
+	}
+	t.conns[h].c.Close() // the dead node's dialer socket, if not already gone
+	tc := &tconn{host: h, c: c}
+	t.nodes[h] = n
+	t.conns[h] = tc
+	t.state[h] = hostLive
+	go t.readConn(tc)
+}
+
 // Stopped reports whether Stop has been called.
 func (t *Loopback) Stopped() bool { return t.stopped.Load() }
 

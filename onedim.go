@@ -26,6 +26,19 @@ type Options struct {
 	// means unreplicated — the default, whose placement and message
 	// accounting are bit-identical to pre-replication builds.
 	Replicas int
+	// Durable makes every host of the cluster persist its storage: each
+	// storage-charging mutation appends one write-ahead-log record (a
+	// charged fsync message at the host), with a checkpoint folding the
+	// log every sim.DefaultCheckpointEvery records. A crashed durable
+	// host keeps its disk image and can rejoin via Cluster.Restart —
+	// checkpoint + WAL replay restores its shard exactly, and a merkle
+	// reconcile re-copies only what diverged while it was down — instead
+	// of the full re-replication of Cluster.Repair. Durability is
+	// cluster-wide: the first durable structure enables it for every
+	// host and every structure, and it stays on. False (the default)
+	// leaves placement and message accounting bit-identical to
+	// non-durable builds.
+	Durable bool
 }
 
 // FloorResult is the answer to a one-dimensional nearest-neighbor query.
@@ -51,8 +64,10 @@ type OneDim struct {
 // Construction costs O(n log n) expected storage units spread over the
 // hosts (Theorem 2's memory bound divided among H hosts).
 func NewOneDim(c *Cluster, keys []uint64, opts Options) (*OneDim, error) {
+	done := c.beginBuild(opts.Durable)
 	w, err := core.NewWeb[*core.ListLevel, uint64, uint64](
 		core.NewListOps(), c.network(), keys, core.Config{Seed: opts.Seed, Replicas: opts.Replicas})
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("skipwebs: %w", err)
 	}
@@ -128,6 +143,12 @@ func (d *OneDim) rebalance(onto HostID, op *sim.Op) { d.w.Rebalance(onto, op) }
 // every under-replicated range from its surviving live replicas.
 func (d *OneDim) repair(op *sim.Op) error { return d.w.Repair(op) }
 
+// restart is the durable-recovery hook Cluster.Restart drives: merkle-
+// reconcile the restarted host's ranges against one live peer each.
+func (d *OneDim) restart(h HostID, op *sim.Op) int { return d.w.RestartHost(h, op) }
+
+func (d *OneDim) kind() string { return "onedim" }
+
 // CheckConsistent verifies the web's invariants: every range placed on
 // a live host, hyperlinks matching recomputation, symmetric backrefs,
 // and per-level counts that add up. Cost: O(n log n) local work, no
@@ -180,7 +201,9 @@ type Blocked struct {
 // Construction places O(n log n) expected storage units in blocks of
 // O(M) contiguous ranges, one block per host (Section 2.4.1).
 func NewBlocked(c *Cluster, keys []uint64, opts Options) (*Blocked, error) {
+	done := c.beginBuild(opts.Durable)
 	w, err := core.NewBlockedWeb(c.network(), keys, core.BlockedConfig{Seed: opts.Seed, M: opts.M, Replicas: opts.Replicas})
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("skipwebs: %w", err)
 	}
@@ -302,6 +325,12 @@ func (b *Blocked) rebalance(onto HostID, op *sim.Op) { b.w.Rebalance(onto, op) }
 // every under-replicated block from its surviving live replicas.
 func (b *Blocked) repair(op *sim.Op) error { return b.w.Repair(op) }
 
+// restart is the durable-recovery hook Cluster.Restart drives: merkle-
+// reconcile the restarted host's blocks against one live peer each.
+func (b *Blocked) restart(h HostID, op *sim.Op) int { return b.w.RestartHost(h, op) }
+
+func (b *Blocked) kind() string { return "blocked" }
+
 // CheckConsistent verifies the blocked web's invariants: sound level
 // lists, child key sets partitioning their parents', ordered block
 // directories, and every block on a live host. Cost: O(n log n) local
@@ -323,7 +352,9 @@ func NewBucketed(c *Cluster, keys []uint64, opts Options) (*Bucketed, error) {
 	if target <= 0 {
 		target = len(keys)/c.Hosts() + 1
 	}
+	done := c.beginBuild(opts.Durable)
 	w, err := core.NewBucketWeb(c.network(), keys, target, opts.M, opts.Seed, opts.Replicas)
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("skipwebs: %w", err)
 	}
@@ -439,6 +470,13 @@ func (b *Bucketed) rebalance(onto HostID, op *sim.Op) { b.w.Rebalance(onto, op) 
 // the routing web and every under-replicated bucket from surviving
 // live replicas.
 func (b *Bucketed) repair(op *sim.Op) error { return b.w.Repair(op) }
+
+// restart is the durable-recovery hook Cluster.Restart drives: merkle-
+// reconcile the restarted host's routing-web blocks and buckets against
+// one live peer each.
+func (b *Bucketed) restart(h HostID, op *sim.Op) int { return b.w.RestartHost(h, op) }
+
+func (b *Bucketed) kind() string { return "bucketed" }
 
 // CheckConsistent verifies the separator web's invariants plus the
 // bucket directory: every bucket keyed by its separator, sorted, on a

@@ -60,8 +60,10 @@ func NewPlanar(c *Cluster, segments []PlanarSegment, bounds PlanarBounds, opts O
 	ops := core.TrapOps{Bounds: trapmap.Rect{
 		MinX: bounds.MinX, MinY: bounds.MinY, MaxX: bounds.MaxX, MaxY: bounds.MaxY,
 	}}
+	done := c.beginBuild(opts.Durable)
 	w, err := core.NewWeb[*trapmap.Map, trapmap.Segment, trapmap.Point](
 		ops, c.network(), segs, core.Config{Seed: opts.Seed, Replicas: opts.Replicas})
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("skipwebs: %w", err)
 	}
@@ -128,6 +130,12 @@ func (p *Planar) rebalance(onto HostID, op *sim.Op) { p.w.Rebalance(onto, op) }
 // repair is the crash-recovery hook Cluster.Crash drives: re-replicate
 // every under-replicated trapezoid from its surviving live replicas.
 func (p *Planar) repair(op *sim.Op) error { return p.w.Repair(op) }
+
+// restart is the durable-recovery hook Cluster.Restart drives: merkle-
+// reconcile the restarted host's ranges against one live peer each.
+func (p *Planar) restart(h HostID, op *sim.Op) int { return p.w.RestartHost(h, op) }
+
+func (p *Planar) kind() string { return "planar" }
 
 // CheckConsistent verifies the planar web's invariants: every trapezoid
 // on a live host, conflict-list hyperlinks matching recomputation, and

@@ -52,8 +52,10 @@ func NewPoints(c *Cluster, d int, points []Point, opts Options) (*Points, error)
 	for i, p := range points {
 		items[i] = quadtree.Point(p)
 	}
+	done := c.beginBuild(opts.Durable)
 	w, err := core.NewWeb[*quadtree.Tree, quadtree.Point, uint64](
 		ops, c.network(), items, core.Config{Seed: opts.Seed, Replicas: opts.Replicas})
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("skipwebs: %w", err)
 	}
@@ -334,6 +336,12 @@ func (p *Points) rebalance(onto HostID, op *sim.Op) { p.w.Rebalance(onto, op) }
 // repair is the crash-recovery hook Cluster.Crash drives: re-replicate
 // every under-replicated cell from its surviving live replicas.
 func (p *Points) repair(op *sim.Op) error { return p.w.Repair(op) }
+
+// restart is the durable-recovery hook Cluster.Restart drives: merkle-
+// reconcile the restarted host's ranges against one live peer each.
+func (p *Points) restart(h HostID, op *sim.Op) int { return p.w.RestartHost(h, op) }
+
+func (p *Points) kind() string { return "points" }
 
 // CheckConsistent verifies the point web's invariants: every cell on a
 // live host, hyperlinks matching recomputation, and per-level counts

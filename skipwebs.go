@@ -30,6 +30,7 @@ package skipwebs
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -83,12 +84,18 @@ type Transport = sim.Transport
 // migrator is the churn and fault-tolerance contract every structure
 // registers with its Cluster at construction: migrate everything off a
 // departing host, pick up a fair share of load for a joining host,
-// re-replicate under-replicated units after a crash, and verify
-// internal consistency. All four run under the cluster's write lock.
+// re-replicate under-replicated units after a crash, reconcile a
+// durably restarted host's shard, and verify internal consistency. All
+// hooks run under the cluster's write lock.
 type migrator interface {
 	rehome(from HostID, op *sim.Op)
 	rebalance(onto HostID, op *sim.Op)
 	repair(op *sim.Op) error
+	// restart merkle-reconciles host h's replicas after a durable
+	// restart, returning the storage units re-copied.
+	restart(h HostID, op *sim.Op) int
+	// kind names the structure for per-structure loss reporting.
+	kind() string
 	CheckConsistent() error
 }
 
@@ -206,6 +213,38 @@ func (c *Cluster) attach(m migrator) {
 	c.mu.Unlock()
 }
 
+// beginBuild prepares the cluster for a structure build and returns the
+// completion hook the constructor must call when the build is done.
+// With durable set, the cluster-wide durable storage model is enabled
+// (idempotent — the first durable structure turns it on for every host,
+// and it stays on for the cluster's lifetime) and paused for the
+// duration of the build: bulk construction charges storage only,
+// exactly like the non-durable path, and the finished structure is
+// folded into one fresh checkpoint per host instead of n WAL appends.
+// Builds on an already-durable cluster pause the same way regardless of
+// their own flag.
+func (c *Cluster) beginBuild(durable bool) func() {
+	if durable {
+		c.net.EnableDurability(sim.DefaultCheckpointEvery)
+	}
+	if !c.net.Durable() {
+		return func() {}
+	}
+	c.net.PauseDurability()
+	return func() { c.net.ResumeDurability() }
+}
+
+// anyCrashed reports whether some host is currently down from a crash
+// (as opposed to a clean Leave).
+func (c *Cluster) anyCrashed() bool {
+	for h := HostID(0); int(h) < c.net.Hosts(); h++ {
+		if c.net.Crashed(h) {
+			return true
+		}
+	}
+	return false
+}
+
 // Join adds a fresh host to the cluster and returns its id. Every
 // attached structure rebalances an expected 1/H share of its load onto
 // the joiner, with each migration hop charged to the network — so churn
@@ -232,8 +271,15 @@ func (c *Cluster) Join() HostID {
 	// replicated cluster this is a read-only scan. Pre-existing data
 	// loss (a crash that exceeded the tolerance before this join) is
 	// not the joiner's news to deliver — Crash already reported it.
-	for _, s := range c.structs {
-		_ = s.repair(op)
+	// On a durable cluster with a host down, the top-up would amount to
+	// giving up on the crashed host (re-homing its replicas and
+	// discharging its disk image), which is Repair's explicit call to
+	// make, not a side effect of someone else joining — so it is skipped
+	// until every crashed host is restarted or repaired away.
+	if !(c.net.Durable() && c.anyCrashed()) {
+		for _, s := range c.structs {
+			_ = s.repair(op)
+		}
 	}
 	return h
 }
@@ -258,6 +304,12 @@ func (c *Cluster) Join() HostID {
 // units are unrecoverable; the cluster keeps serving everything else.
 // Crash fails on a host that is not live and on the last live host, and
 // blocks until in-flight batches drain (it takes the write lock).
+//
+// On a durable cluster (Options.Durable) the crashed host's disk image
+// survives and no automatic repair runs: the host is expected back via
+// Restart, which replays its WAL and merkle-reconciles anything it
+// missed. Call Repair to give up on it instead; until one or the
+// other, queries fail over to live replicas exactly as above.
 func (c *Cluster) Crash(h HostID) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -271,16 +323,27 @@ func (c *Cluster) Crash(h HostID) error {
 	if c.workers != nil && !c.workers.Stopped() {
 		c.workers.Crash(h)
 	}
+	if c.net.Durable() {
+		return nil // the host is expected back: Restart or Repair decides
+	}
 	// Repair is coordinated by the survivors; the op starts unplaced
 	// (sim.None) so the first copy source is not double-charged.
 	op := c.net.NewOp(sim.None)
 	defer op.Free()
-	// Per-structure data losses are summed into one DataLossError so
-	// errors.As reports the cluster-wide count; Units is a snapshot of
-	// every unit currently without a live replica, so after repeated
-	// over-tolerance crashes the latest error carries the cumulative
-	// loss (earlier losses stay lost and are re-reported).
+	return c.repairAll(op)
+}
+
+// repairAll runs every structure's repair pass and aggregates the
+// outcome. Per-structure data losses are summed into one DataLossError
+// so errors.As reports the cluster-wide count, the union of dead hosts
+// involved, and the per-structure breakdown; Units is a snapshot of
+// every unit currently without a live replica, so after repeated
+// over-tolerance crashes the latest error carries the cumulative loss
+// (earlier losses stay lost and are re-reported).
+func (c *Cluster) repairAll(op *sim.Op) error {
 	lost := 0
+	var deadHosts map[HostID]bool
+	var structures map[string]int
 	var errs []error
 	for _, s := range c.structs {
 		err := s.repair(op)
@@ -289,14 +352,95 @@ func (c *Cluster) Crash(h HostID) error {
 		case err == nil:
 		case errors.As(err, &dl):
 			lost += dl.Units
+			if structures == nil {
+				structures = make(map[string]int)
+			}
+			structures[s.kind()] += dl.Units
+			for _, dh := range dl.Hosts {
+				if deadHosts == nil {
+					deadHosts = make(map[HostID]bool)
+				}
+				deadHosts[dh] = true
+			}
 		default:
 			errs = append(errs, err)
 		}
 	}
 	if lost > 0 {
-		errs = append(errs, &DataLossError{Units: lost})
+		hosts := make([]HostID, 0, len(deadHosts))
+		for dh := range deadHosts {
+			hosts = append(hosts, dh)
+		}
+		sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+		errs = append(errs, &DataLossError{Units: lost, Hosts: hosts, Structures: structures})
 	}
 	return errors.Join(errs...)
+}
+
+// Repair explicitly gives up on crashed hosts: every structure
+// re-replicates its under-replicated units from surviving live
+// replicas, dead replica slots are dropped for good (on a durable
+// cluster their disk images are discharged, so a later Restart of the
+// host comes back without the units repair re-homed), and units with no
+// surviving replica are reported via a DataLossError naming the unit
+// count, the dead hosts involved, and the per-structure breakdown. On a
+// non-durable cluster Crash runs this automatically; here it is the
+// deliberate "the host is not coming back" decision. Repair blocks
+// until in-flight batches drain (it takes the write lock).
+func (c *Cluster) Repair() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	op := c.net.NewOp(sim.None)
+	defer op.Free()
+	return c.repairAll(op)
+}
+
+// RestartStats reports what bringing a crashed durable host back cost.
+type RestartStats struct {
+	// ReplayMsgs counts the local recovery messages: one checkpoint
+	// load plus one per WAL record replayed on top of it.
+	ReplayMsgs int
+	// MerkleMsgs counts the reconcile traffic: per-peer merkle digest
+	// exchanges plus the diverged payloads re-shipped.
+	MerkleMsgs int
+	// CopiedUnits counts the storage units re-copied from peers — zero
+	// when nothing diverged while the host was down.
+	CopiedUnits int
+}
+
+// Restart brings crashed host h back on a durable cluster: the host
+// reloads its last checkpoint and replays its write-ahead log (storage
+// restored exactly, one charged message per replay step), rejoins the
+// live set, and merkle-reconciles each structure's replicas with one
+// live peer per unit — an O(divergence · log n)-message walk that
+// re-copies only what changed while the host was down, instead of the
+// full re-replication Repair pays. A host that missed nothing proves
+// its shard clean with one digest exchange per peer and copies zero
+// units. Restart fails on a non-durable cluster and on a host that is
+// not crashed. A host already given up via Repair may still Restart:
+// its image was discharged by the repair, so it rejoins live but
+// empty, like a fresh host. Restart blocks until in-flight batches
+// drain (it takes the write lock).
+func (c *Cluster) Restart(h HostID) (RestartStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.net.Durable() {
+		return RestartStats{}, fmt.Errorf("skipwebs: Restart(%d): cluster is not durable (set Options.Durable)", h)
+	}
+	if !c.net.Crashed(h) {
+		return RestartStats{}, fmt.Errorf("skipwebs: Restart(%d): host is not crashed", h)
+	}
+	replay := c.net.Restart(h)
+	if c.workers != nil && !c.workers.Stopped() {
+		c.workers.Restart(h)
+	}
+	op := c.net.NewOp(sim.None)
+	defer op.Free()
+	copied := 0
+	for _, s := range c.structs {
+		copied += s.restart(h, op)
+	}
+	return RestartStats{ReplayMsgs: replay, MerkleMsgs: op.Hops(), CopiedUnits: copied}, nil
 }
 
 // Leave removes host h from the cluster after migrating every node,

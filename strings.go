@@ -33,8 +33,10 @@ type Strings struct {
 
 // NewStrings builds a string skip-web over distinct non-empty keys.
 func NewStrings(c *Cluster, keys []string, opts Options) (*Strings, error) {
+	done := c.beginBuild(opts.Durable)
 	w, err := core.NewWeb[*trie.Trie, string, string](
 		core.NewTrieOps(), c.network(), keys, core.Config{Seed: opts.Seed, Replicas: opts.Replicas})
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("skipwebs: %w", err)
 	}
@@ -178,6 +180,12 @@ func (s *Strings) rebalance(onto HostID, op *sim.Op) { s.w.Rebalance(onto, op) }
 // repair is the crash-recovery hook Cluster.Crash drives: re-replicate
 // every under-replicated locus from its surviving live replicas.
 func (s *Strings) repair(op *sim.Op) error { return s.w.Repair(op) }
+
+// restart is the durable-recovery hook Cluster.Restart drives: merkle-
+// reconcile the restarted host's ranges against one live peer each.
+func (s *Strings) restart(h HostID, op *sim.Op) int { return s.w.RestartHost(h, op) }
+
+func (s *Strings) kind() string { return "strings" }
 
 // CheckConsistent verifies the string web's invariants: every locus on
 // a live host, hyperlinks matching recomputation, and per-level counts
