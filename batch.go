@@ -3,6 +3,7 @@ package skipwebs
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Batch execution engine.
@@ -17,19 +18,30 @@ import (
 // queries regime the paper's congestion measure C(n) is defined over
 // (Section 1.1).
 //
-// Concurrency control is single-writer/many-reader per cluster: read
-// batches (queries) hold the cluster's read lock and run fully parallel,
-// including across different structures on the same cluster; update
-// batches (inserts, deletes) hold the write lock and apply their
-// operations one at a time. Query descent touches only immutable routing
-// state plus atomic counters, so parallel reads are safe; see the
-// concurrency notes in internal/core.
+// Concurrency control is single-writer-per-stripe/many-reader: both read
+// and write batches hold the cluster's read lock (churn — Join, Leave,
+// Crash, Restart — takes the write lock and drains them all), and
+// fine-grained exclusion moves to per-key-range write stripes
+// (stripes.go). A read descends under its target stripe's read lock and
+// runs fully parallel with other reads and with writers to other
+// stripes; an update holds its stripe's writer lock, so writers to
+// different key ranges of the same structure — and writers to different
+// structures on one cluster — proceed concurrently. Unsharded structures
+// (Options.WriteStripes <= 1, the default) have exactly one stripe, which
+// restores the classic single-writer/many-reader regime per structure.
+//
+// A write batch dispatches each stripe's operations on a dedicated
+// goroutine, preserving input order within the stripe; operations of
+// different stripes interleave arbitrarily, which is invisible to both
+// answers and accounting because stripes share no structure state.
 //
 // Accounting is identical to the synchronous path: each batched operation
 // opens its own sim.Op from its origin host and follows the same
 // host-to-host route, so per-operation hop counts and the cluster's
 // message/congestion counters match a sequential execution of the same
-// workload operation for operation.
+// workload operation for operation — including under striping, where
+// stripe assignment is a pure function of the key and dispatch is never
+// charged.
 //
 // Origins: every batch method takes an origins slice designating the host
 // each operation starts from. Pass nil to spread operations round-robin
@@ -108,28 +120,50 @@ func runReadBatch[Q, R any](c *Cluster, qs []Q, origins []HostID, do func(q Q, o
 	return out, errors.Join(errs...)
 }
 
+// stripeGroups partitions batch indices by target stripe, preserving
+// input order within each group. A nil return means everything routes
+// to stripe 0 (the unsharded case) and callers take the direct serial
+// path with no grouping allocation.
+func stripeGroups[X any](st *stripeSet, xs []X, codeOf func(X) uint64) [][]int {
+	if st.n() == 1 {
+		return nil
+	}
+	groups := make([][]int, st.n())
+	for i := range xs {
+		s := st.of(codeOf(xs[i]))
+		groups[s] = append(groups[s], i)
+	}
+	return groups
+}
+
 // runInsertBatchKeys is runWriteBatch specialized for uint64-keyed
 // inserts with a sorted-run fast path. Operations still apply strictly
-// in input order (single writer), but maximal consecutive stretches that
-// share an origin and carry strictly ascending keys are dispatched to
-// the origin's worker as one run instead of one rendezvous per
-// operation, and executed through the structure's run inserter, which
-// shares the uncharged parts of consecutive descents (hyperlink
-// resolutions, index splices). Because execution order and every charged
-// visit are unchanged, per-operation hop counts and the cluster's
-// counters are identical to per-op inserts, counter for counter. Callers
-// that want the fast path to engage should group a batch by origin and
-// sort each group's keys; the default round-robin origins yield runs of
-// length one, which fall back to per-op dispatch.
-func runInsertBatchKeys(c *Cluster, keys []uint64, origins []HostID,
+// in input order within their stripe (single writer per stripe), but
+// maximal input-consecutive stretches that share an origin and a stripe
+// and carry strictly ascending keys are dispatched to the origin's
+// worker as one run instead of one rendezvous per operation, and
+// executed through the structure's run inserter, which shares the
+// uncharged parts of consecutive descents (hyperlink resolutions, index
+// splices). Because execution order and every charged visit are
+// unchanged, per-operation hop counts and the cluster's counters are
+// identical to per-op inserts, counter for counter. Callers that want
+// the fast path to engage should group a batch by origin and sort each
+// group's keys; the default round-robin origins yield runs of length
+// one, which fall back to per-op dispatch. A sorted run whose keys
+// straddle a stripe boundary splits at the separator into one run per
+// stripe — same accounting, now updating both stripes in parallel.
+func runInsertBatchKeys(c *Cluster, keys []uint64, origins []HostID, st *stripeSet,
 	do func(k uint64, origin HostID) (int, error),
-	doRun func(ks []uint64, origin HostID, hops []int, errs []error),
+	doRun func(stripe int, ks []uint64, origin HostID, hops []int, errs []error),
 ) ([]int, error) {
 	hops := make([]int, len(keys))
 	errs := make([]error, len(keys))
-	// Validation must run under the lock; see runReadBatch.
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	// Validation must run under the lock; see runReadBatch. Writers hold
+	// the read lock: churn still excludes them (it takes the write
+	// lock), while stripes provide writer-writer and writer-reader
+	// exclusion at key-range granularity.
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if err := c.checkOrigins(origins); err != nil {
 		return nil, err
 	}
@@ -137,43 +171,74 @@ func runInsertBatchKeys(c *Cluster, keys []uint64, origins []HostID,
 		return hops, nil
 	}
 	cl := c.cluster()
-	for i := 0; i < len(keys); {
-		origin := c.originAt(origins, i)
-		j := i + 1
-		for j < len(keys) && keys[j] > keys[j-1] && c.originAt(origins, j) == origin {
-			j++
-		}
-		if j-i > 1 {
-			i0, j0 := i, j
-			if err := cl.Do(origin, func() { doRun(keys[i0:j0], origin, hops[i0:j0], errs[i0:j0]) }); err != nil {
-				// The origin died mid-rendezvous (a crash racing the
-				// batch); the whole run failed fast without executing.
-				for k := i0; k < j0; k++ {
-					errs[k] = err
+	runStripe := func(stripe int, idx []int) {
+		for a := 0; a < len(idx); {
+			i0 := idx[a]
+			origin := c.originAt(origins, i0)
+			b := a + 1
+			for b < len(idx) && idx[b] == idx[b-1]+1 && keys[idx[b]] > keys[idx[b]-1] &&
+				c.originAt(origins, idx[b]) == origin {
+				b++
+			}
+			j0 := idx[b-1] + 1
+			if j0-i0 > 1 {
+				if err := cl.Do(origin, func() { doRun(stripe, keys[i0:j0], origin, hops[i0:j0], errs[i0:j0]) }); err != nil {
+					// The origin died mid-rendezvous (a crash racing the
+					// batch); the whole run failed fast without executing.
+					for k := i0; k < j0; k++ {
+						errs[k] = err
+					}
+				}
+			} else {
+				if err := cl.Do(origin, func() { hops[i0], errs[i0] = do(keys[i0], origin) }); err != nil {
+					errs[i0] = err
 				}
 			}
-		} else {
-			i0 := i
-			if err := cl.Do(origin, func() { hops[i0], errs[i0] = do(keys[i0], origin) }); err != nil {
-				errs[i0] = err
-			}
+			a = b
 		}
-		i = j
 	}
+	groups := stripeGroups(st, keys, func(k uint64) uint64 { return k })
+	if groups == nil {
+		idx := make([]int, len(keys))
+		for i := range idx {
+			idx[i] = i
+		}
+		runStripe(0, idx)
+		return hops, errors.Join(errs...)
+	}
+	var wg sync.WaitGroup
+	for s, idx := range groups {
+		if len(idx) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, idx []int) {
+			defer wg.Done()
+			runStripe(s, idx)
+		}(s, idx)
+	}
+	wg.Wait()
 	return hops, errors.Join(errs...)
 }
 
-// runWriteBatch executes one update per element of xs under the cluster's
-// write lock. Updates apply one at a time (single writer), each on its
-// origin host's worker goroutine; remaining updates still run after one
-// fails, and the returned error joins the per-operation errors. The hop
-// cost of each update is returned in order.
-func runWriteBatch[X any](c *Cluster, xs []X, origins []HostID, do func(x X, origin HostID) (int, error)) ([]int, error) {
+// runWriteBatch executes one update per element of xs — one dedicated
+// dispatcher goroutine per write stripe, each applying its stripe's
+// updates strictly in input order on their origin hosts' workers, with
+// the per-update stripe writer lock taken inside do (the structures'
+// Insert/Delete methods). Remaining updates still run after one fails,
+// and the returned error joins the per-operation errors. The hop cost
+// of each update is returned in input order. codeOf maps an update to
+// its stripe code; it must agree with the routing the structure's
+// synchronous path uses, and is a pure function, so the stripe schedule
+// of a batch is deterministic.
+func runWriteBatch[X any](c *Cluster, xs []X, origins []HostID, st *stripeSet,
+	codeOf func(X) uint64, do func(x X, origin HostID) (int, error)) ([]int, error) {
 	hops := make([]int, len(xs))
 	errs := make([]error, len(xs))
-	// Validation must run under the lock; see runReadBatch.
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	// Validation must run under the lock; see runInsertBatchKeys for why
+	// writers hold the read lock.
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if err := c.checkOrigins(origins); err != nil {
 		return nil, err
 	}
@@ -181,8 +246,7 @@ func runWriteBatch[X any](c *Cluster, xs []X, origins []HostID, do func(x X, ori
 		return hops, nil
 	}
 	cl := c.cluster()
-	for i := range xs {
-		i := i
+	runOne := func(i int) {
 		origin := c.originAt(origins, i)
 		if err := cl.Do(origin, func() {
 			hops[i], errs[i] = do(xs[i], origin)
@@ -190,5 +254,26 @@ func runWriteBatch[X any](c *Cluster, xs []X, origins []HostID, do func(x X, ori
 			errs[i] = err // origin crashed: the op failed fast, typed
 		}
 	}
+	groups := stripeGroups(st, xs, codeOf)
+	if groups == nil {
+		for i := range xs {
+			runOne(i)
+		}
+		return hops, errors.Join(errs...)
+	}
+	var wg sync.WaitGroup
+	for _, idx := range groups {
+		if len(idx) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(idx []int) {
+			defer wg.Done()
+			for _, i := range idx {
+				runOne(i)
+			}
+		}(idx)
+	}
+	wg.Wait()
 	return hops, errors.Join(errs...)
 }

@@ -1,6 +1,7 @@
 package skipwebs
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -522,6 +523,77 @@ func TestCloseRacesFloorBatch(t *testing.T) {
 		c.Close() // idempotent, also when racing batches just drained
 		if err := c.CheckConsistent(); err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+// TestWriterRacesChurnReplicated races a striped writer (concurrent
+// insert batches, WriteStripes 4) against the full churn API — Join,
+// Leave, and Crash at Replicas 2 — and requires the structure to come
+// out exactly consistent: churn takes the cluster write lock and drains
+// the writer's in-flight batches, the k=2 replication absorbs each
+// crash with zero data loss, and every batch that reported success must
+// have all its keys present afterwards.
+func TestWriterRacesChurnReplicated(t *testing.T) {
+	const hosts, stripes, build, chunk = 12, 4, 512, 32
+	keys := distinctKeys(xrand.New(61), build+1024)
+	c := NewCluster(hosts)
+	defer c.Close()
+	w, err := NewBlocked(c, keys[:build], Options{Seed: 19, Replicas: 2, WriteStripes: stripes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := keys[build:]
+	var mu sync.Mutex
+	var okChunks [][]uint64 // batches that returned nil error
+	var writerDone sync.WaitGroup
+	writerDone.Add(1)
+	go func() {
+		defer writerDone.Done()
+		for i := 0; i+chunk <= len(pool); i += chunk {
+			ck := pool[i : i+chunk]
+			if _, err := w.InsertBatch(ck, nil); err == nil {
+				mu.Lock()
+				okChunks = append(okChunks, ck)
+				mu.Unlock()
+			} else if !errors.Is(err, ErrHostDown) {
+				t.Errorf("insert batch: %v", err)
+				return
+			}
+		}
+	}()
+	// Churn storm, racing the writer's whole pool: every event blocks
+	// until in-flight batches drain.
+	for round := 0; round < 3; round++ {
+		c.Join()
+		if err := c.Leave(c.HostAt(2)); err != nil {
+			t.Errorf("leave: %v", err)
+		}
+		if err := c.Crash(c.HostAt(5)); err != nil {
+			t.Errorf("crash at replicas=2: %v", err)
+		}
+	}
+	writerDone.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if err := c.CheckConsistent(); err != nil {
+		t.Fatalf("after churn storm: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(okChunks) == 0 {
+		t.Fatal("no insert batch completed — the race never happened")
+	}
+	for _, ck := range okChunks {
+		rs, err := w.FloorBatch(ck, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range rs {
+			if !r.Found || r.Key != ck[i] {
+				t.Fatalf("committed key %d lost across churn: %+v", ck[i], r)
+			}
 		}
 	}
 }

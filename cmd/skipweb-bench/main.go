@@ -9,15 +9,20 @@
 //	               theorem2|blocking|updates|congestion|ablation|figures]
 //	              [-quick] [-seed N]
 //	              [-hosts H] [-keys N] [-queries Q] [-procs 1,2,4]
+//	              [-stripes S]
 //	              [-churn-rates 0,0.002,0.01,0.04]
 //	              [-replicas 1,2,3] [-crashes N] [-restart]
 //	              [-json FILE] [-baseline FILE]
 //
 // The default mode runs the paper experiments at the EXPERIMENTS.md
 // scale; -quick runs a reduced sweep for smoke testing. Throughput mode
-// runs batched floor queries over a Blocked skip-web at each GOMAXPROCS
-// value in -procs, reports ops/sec, and verifies that batched execution
-// charges exactly the same messages as the synchronous path.
+// runs batched floor queries over a Blocked skip-web, plus InsertBatch
+// and DeleteBatch over the same web built with -stripes write stripes,
+// at each GOMAXPROCS value in -procs; it reports ops/sec, verifies that
+// batched execution charges exactly the same messages as the
+// synchronous path for both reads and striped writes, writes the table
+// as JSON with -json (BENCH_WRITERS_PR8.json), and on a >= 4-CPU
+// machine fails unless striped inserts scale >= 2x from 1 to 4 procs.
 //
 // Bench mode measures wall-clock micro-benchmarks of the hot paths
 // (ns/op, allocs/op, ops/sec — plus msgs/op, the paper's cost metric)
@@ -103,6 +108,7 @@ func run(args []string, out io.Writer) error {
 	keyN := fs.Int("keys", 4096, "throughput: stored key count")
 	queries := fs.Int("queries", 20000, "throughput: queries per batch")
 	procs := fs.String("procs", "1,2,4", "throughput: comma-separated GOMAXPROCS values")
+	stripes := fs.Int("stripes", 4, "throughput: write stripes for the insert/delete section")
 	churnRates := fs.String("churn-rates", "0,0.002,0.01,0.04", "churn: comma-separated churn events per operation")
 	replicas := fs.String("replicas", "1,2,3", "failover: comma-separated replication factors k")
 	crashes := fs.Int("crashes", 4, "failover: host crashes per trial")
@@ -138,7 +144,7 @@ func run(args []string, out io.Writer) error {
 	case "experiments":
 		return runExperiments(out, *experiment, *quick, *seed)
 	case "throughput":
-		return runThroughput(out, *hosts, *keyN, *queries, *procs, *seed)
+		return runThroughput(out, *jsonPath, *hosts, *keyN, *queries, *procs, *stripes, *seed)
 	case "bench":
 		return runBench(out, *jsonPath, *baseline, *keyN, *hosts, *seed, *quick)
 	case "churn":
@@ -374,6 +380,27 @@ func runBench(out io.Writer, jsonPath, baselinePath string, keyN, hosts int, see
 			}
 		}))
 	}
+	// Striped twin of the blocked query row: WriteStripes: 4 splits the
+	// structure into four quarter-size sub-engines, so routed floors must
+	// stay allocation-free and cost no more messages than the unstriped
+	// build (descents are shorter; cross-stripe floor fallback is rare).
+	{
+		c := skipwebs.NewCluster(hosts)
+		w, err := skipwebs.NewBlocked(c, keys[:keyN], skipwebs.Options{Seed: seed, WriteStripes: 4})
+		if err != nil {
+			return err
+		}
+		qrng := xrand.New(seed + 1) // same query stream as query/blocked-floor
+		doc.Results = append(doc.Results, measure("query/blocked-floor-s4", &msgs, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := w.Floor(qrng.Uint64n(1<<40), skipwebs.HostID(i%hosts))
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs += int64(r.Hops)
+			}
+		}))
+	}
 	pointPool := func(prng *xrand.Rand, n int) []skipwebs.Point {
 		seen := make(map[uint64]bool, n)
 		pts := make([]skipwebs.Point, 0, n)
@@ -538,6 +565,15 @@ func runBench(out io.Writer, jsonPath, baselinePath string, keyN, hosts int, see
 	// query/blocked-floor-r1): pins zero k = 1 write-through overhead.
 	u64Structs = append(u64Structs, u64Struct{"blocked-r1", func(ks []uint64) (func(uint64, skipwebs.HostID) (int, error), func(uint64, skipwebs.HostID) (int, error), error) {
 		w, err := skipwebs.NewBlocked(skipwebs.NewCluster(hosts), ks, skipwebs.Options{Seed: seed, Replicas: 1})
+		if err != nil {
+			return nil, nil, err
+		}
+		return w.Insert, w.Delete, nil
+	}})
+	// WriteStripes: 4 twin (see query/blocked-floor-s4): routed writes
+	// through the striped path must cost no more than the unstriped rows.
+	u64Structs = append(u64Structs, u64Struct{"blocked-s4", func(ks []uint64) (func(uint64, skipwebs.HostID) (int, error), func(uint64, skipwebs.HostID) (int, error), error) {
+		w, err := skipwebs.NewBlocked(skipwebs.NewCluster(hosts), ks, skipwebs.Options{Seed: seed, WriteStripes: 4})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -1352,10 +1388,42 @@ func failoverTrial(hosts, keyN, ops, k, crashes int, seed uint64) (failoverRow, 
 	return row, nil
 }
 
-// runThroughput measures batched floor-query throughput at each
-// GOMAXPROCS setting and checks message-accounting parity with the
-// synchronous path on the identical workload.
-func runThroughput(out io.Writer, hosts, keyN, queries int, procList string, seed uint64) error {
+// throughputRow is one GOMAXPROCS cell of the throughput table.
+type throughputRow struct {
+	Procs         int     `json:"procs"`
+	ReadOpsSec    float64 `json:"read_ops_per_sec"`
+	ReadSpeedup   float64 `json:"read_speedup"`
+	InsertOpsSec  float64 `json:"insert_ops_per_sec"`
+	InsertSpeedup float64 `json:"insert_speedup"`
+	DeleteOpsSec  float64 `json:"delete_ops_per_sec"`
+	DeleteSpeedup float64 `json:"delete_speedup"`
+}
+
+// throughputDoc is the JSON document written by -mode=throughput -json.
+type throughputDoc struct {
+	Mode     string          `json:"mode"`
+	Hosts    int             `json:"hosts"`
+	Keys     int             `json:"keys"`
+	Queries  int             `json:"queries"`
+	Stripes  int             `json:"stripes"`
+	Seed     uint64          `json:"seed"`
+	Go       string          `json:"go"`
+	CPUs     int             `json:"cpus"`
+	ParityOK bool            `json:"accounting_parity"`
+	Rows     []throughputRow `json:"rows"`
+}
+
+// runThroughput measures batched throughput at each GOMAXPROCS setting
+// — floor queries over an unstriped Blocked web, and InsertBatch /
+// DeleteBatch over the same web built with -stripes write stripes — and
+// checks message-accounting parity with the synchronous path on the
+// identical workloads first. On a machine with >= 4 CPUs measuring both
+// GOMAXPROCS 1 and 4, the insert path must scale >= 2x or the run
+// fails; -json records the table (e.g. BENCH_WRITERS_PR8.json).
+func runThroughput(out io.Writer, jsonPath string, hosts, keyN, queries int, procList string, stripes int, seed uint64) error {
+	if stripes < 1 {
+		return fmt.Errorf("-stripes must be positive, got %d", stripes)
+	}
 	if hosts < 1 {
 		return fmt.Errorf("-hosts must be positive, got %d", hosts)
 	}
@@ -1382,10 +1450,24 @@ func runThroughput(out io.Writer, hosts, keyN, queries int, procList string, see
 		qs[i] = rng.Uint64n(1 << 40)
 		origins[i] = skipwebs.HostID(rng.Intn(hosts))
 	}
+	// Fresh insert keys inside the stored key range, so they spread over
+	// every write stripe rather than all routing to the top one.
+	seen := make(map[uint64]bool, keyN+queries)
+	for _, k := range keys {
+		seen[k] = true
+	}
+	insKeys := make([]uint64, 0, queries)
+	for len(insKeys) < queries {
+		k := rng.Uint64n(1 << 40)
+		if !seen[k] {
+			seen[k] = true
+			insKeys = append(insKeys, k)
+		}
+	}
 
-	build := func() (*skipwebs.Cluster, *skipwebs.Blocked, error) {
+	build := func(writeStripes int) (*skipwebs.Cluster, *skipwebs.Blocked, error) {
 		c := skipwebs.NewCluster(hosts)
-		w, err := skipwebs.NewBlocked(c, keys, skipwebs.Options{Seed: seed})
+		w, err := skipwebs.NewBlocked(c, keys, skipwebs.Options{Seed: seed, WriteStripes: writeStripes})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -1393,9 +1475,18 @@ func runThroughput(out io.Writer, hosts, keyN, queries int, procList string, see
 		return c, w, nil
 	}
 
-	// Parity: the same workload, synchronous vs batched, must charge the
-	// same total messages and operations.
-	cSync, wSync, err := build()
+	doc := throughputDoc{
+		Mode: "throughput", Hosts: hosts, Keys: keyN, Queries: queries,
+		Stripes: stripes, Seed: seed, Go: runtime.Version(), CPUs: runtime.NumCPU(),
+	}
+
+	// Parity: the same workloads, synchronous vs batched, must charge the
+	// same total messages and operations. Reads run unstriped; writes run
+	// with -stripes stripes, where the synchronous replay in input order
+	// is the serialization the concurrent dispatch must match exactly
+	// (stripe routing is a pure function of the key, and per-op hops
+	// depend only on earlier ops in the same stripe).
+	cSync, wSync, err := build(1)
 	if err != nil {
 		return err
 	}
@@ -1404,7 +1495,7 @@ func runThroughput(out io.Writer, hosts, keyN, queries int, procList string, see
 			return err
 		}
 	}
-	cBatch, wBatch, err := build()
+	cBatch, wBatch, err := build(1)
 	if err != nil {
 		return err
 	}
@@ -1412,27 +1503,67 @@ func runThroughput(out io.Writer, hosts, keyN, queries int, procList string, see
 	if _, err := wBatch.FloorBatch(qs, origins); err != nil {
 		return err
 	}
-	ss, bs := cSync.Stats(), cBatch.Stats()
-	fmt.Fprintf(out, "=== T1: batch floor throughput (hosts=%d keys=%d queries=%d, machine has %d CPUs) ===\n",
-		hosts, keyN, queries, runtime.NumCPU())
-	ok := "OK"
-	if ss.TotalMessages != bs.TotalMessages || ss.TotalOps != bs.TotalOps ||
-		ss.MaxCongestion != bs.MaxCongestion {
-		ok = "MISMATCH"
+	fmt.Fprintf(out, "=== T1: batch throughput (hosts=%d keys=%d queries=%d stripes=%d, machine has %d CPUs) ===\n",
+		hosts, keyN, queries, stripes, runtime.NumCPU())
+	parity := func(name string, ss, bs skipwebs.Stats) error {
+		ok := "OK"
+		if ss.TotalMessages != bs.TotalMessages || ss.TotalOps != bs.TotalOps ||
+			ss.MaxCongestion != bs.MaxCongestion {
+			ok = "MISMATCH"
+		}
+		fmt.Fprintf(out, "%s parity: sync msgs=%d ops=%d maxC=%d | batch msgs=%d ops=%d maxC=%d  %s\n",
+			name, ss.TotalMessages, ss.TotalOps, ss.MaxCongestion,
+			bs.TotalMessages, bs.TotalOps, bs.MaxCongestion, ok)
+		if ok != "OK" {
+			return fmt.Errorf("%s batch accounting diverged from synchronous path", name)
+		}
+		return nil
 	}
-	fmt.Fprintf(out, "accounting parity: sync msgs=%d ops=%d maxC=%d | batch msgs=%d ops=%d maxC=%d  %s\n",
-		ss.TotalMessages, ss.TotalOps, ss.MaxCongestion,
-		bs.TotalMessages, bs.TotalOps, bs.MaxCongestion, ok)
-	if ok != "OK" {
-		return fmt.Errorf("batch accounting diverged from synchronous path")
+	if err := parity("read", cSync.Stats(), cBatch.Stats()); err != nil {
+		return err
 	}
+	cSync.Close()
+
+	cWS, wWS, err := build(stripes)
+	if err != nil {
+		return err
+	}
+	for i, k := range insKeys {
+		if _, err := wWS.Insert(k, origins[i]); err != nil {
+			return err
+		}
+	}
+	for i, k := range insKeys {
+		if _, err := wWS.Delete(k, origins[i]); err != nil {
+			return err
+		}
+	}
+	cWB, wWB, err := build(stripes)
+	if err != nil {
+		return err
+	}
+	if _, err := wWB.InsertBatch(insKeys, origins); err != nil {
+		return err
+	}
+	if _, err := wWB.DeleteBatch(insKeys, origins); err != nil {
+		return err
+	}
+	err = parity("write", cWS.Stats(), cWB.Stats())
+	cWS.Close()
+	cWB.Close()
+	if err != nil {
+		return err
+	}
+	doc.ParityOK = true
 
 	prev := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(prev)
-	var base float64
+	const rounds = 3
 	for _, p := range procVals {
 		runtime.GOMAXPROCS(p)
-		c, w, err := build()
+		row := throughputRow{Procs: p}
+
+		c, w, err := build(1)
 		if err != nil {
 			return err
 		}
@@ -1441,7 +1572,6 @@ func runThroughput(out io.Writer, hosts, keyN, queries int, procList string, see
 			c.Close()
 			return err
 		}
-		const rounds = 3
 		start := time.Now()
 		for r := 0; r < rounds; r++ {
 			if _, err := w.FloorBatch(qs, origins); err != nil {
@@ -1449,17 +1579,92 @@ func runThroughput(out io.Writer, hosts, keyN, queries int, procList string, see
 				return err
 			}
 		}
-		elapsed := time.Since(start)
 		c.Close()
-		opsSec := float64(rounds*queries) / elapsed.Seconds()
-		if base == 0 {
-			base = opsSec
+		row.ReadOpsSec = float64(rounds*queries) / time.Since(start).Seconds()
+
+		// Writes: insert the fresh keys, then delete them so every round
+		// (and every GOMAXPROCS value) starts from the identical state.
+		c, w, err = build(stripes)
+		if err != nil {
+			return err
 		}
+		if _, err := w.InsertBatch(insKeys[:min(queries, 512)], origins); err != nil {
+			c.Close()
+			return err
+		}
+		if _, err := w.DeleteBatch(insKeys[:min(queries, 512)], origins); err != nil {
+			c.Close()
+			return err
+		}
+		var insTime, delTime time.Duration
+		for r := 0; r < rounds; r++ {
+			start = time.Now()
+			if _, err := w.InsertBatch(insKeys, origins); err != nil {
+				c.Close()
+				return err
+			}
+			insTime += time.Since(start)
+			start = time.Now()
+			if _, err := w.DeleteBatch(insKeys, origins); err != nil {
+				c.Close()
+				return err
+			}
+			delTime += time.Since(start)
+		}
+		c.Close()
+		row.InsertOpsSec = float64(rounds*queries) / insTime.Seconds()
+		row.DeleteOpsSec = float64(rounds*queries) / delTime.Seconds()
+
+		if len(doc.Rows) == 0 {
+			row.ReadSpeedup, row.InsertSpeedup, row.DeleteSpeedup = 1, 1, 1
+		} else {
+			base := doc.Rows[0]
+			row.ReadSpeedup = row.ReadOpsSec / base.ReadOpsSec
+			row.InsertSpeedup = row.InsertOpsSec / base.InsertOpsSec
+			row.DeleteSpeedup = row.DeleteOpsSec / base.DeleteOpsSec
+		}
+		doc.Rows = append(doc.Rows, row)
 		note := ""
 		if p > runtime.NumCPU() {
 			note = "  (exceeds physical CPUs; no further speedup possible)"
 		}
-		fmt.Fprintf(out, "GOMAXPROCS=%-3d  %12.0f ops/sec  speedup %.2fx%s\n", p, opsSec, opsSec/base, note)
+		fmt.Fprintf(out, "GOMAXPROCS=%-3d  read %10.0f ops/sec (%.2fx)  insert %10.0f ops/sec (%.2fx)  delete %10.0f ops/sec (%.2fx)%s\n",
+			p, row.ReadOpsSec, row.ReadSpeedup, row.InsertOpsSec, row.InsertSpeedup,
+			row.DeleteOpsSec, row.DeleteSpeedup, note)
+	}
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+
+	// Acceptance gate: on a machine that can physically show it, striped
+	// inserts must gain >= 2x from 1 to 4 procs.
+	if runtime.NumCPU() >= 4 {
+		var at1, at4 float64
+		for _, r := range doc.Rows {
+			switch r.Procs {
+			case 1:
+				at1 = r.InsertOpsSec
+			case 4:
+				at4 = r.InsertOpsSec
+			}
+		}
+		if at1 > 0 && at4 > 0 {
+			if at4 < 2*at1 {
+				return fmt.Errorf("striped InsertBatch at 4 procs = %.0f ops/sec, want >= 2x the %.0f at 1 proc", at4, at1)
+			}
+			fmt.Fprintf(out, "striped InsertBatch scaling 1->4 procs: %.2fx (>= 2x required)\n", at4/at1)
+		}
+	} else {
+		fmt.Fprintf(out, "striped-insert scaling gate skipped: machine has %d CPUs (< 4)\n", runtime.NumCPU())
 	}
 	return nil
 }

@@ -119,23 +119,45 @@ func TestRunFiguresSmoke(t *testing.T) {
 }
 
 func TestRunThroughputSmoke(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "writers.json")
 	var out strings.Builder
 	err := run([]string{
 		"-mode", "throughput",
 		"-hosts", "32", "-keys", "512", "-queries", "800", "-procs", "1,2",
+		"-stripes", "4", "-json", path,
 	}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
-	if !strings.Contains(got, "accounting parity:") || !strings.Contains(got, "OK") {
-		t.Fatalf("missing accounting parity line in output:\n%s", got)
+	for _, want := range []string{"read parity:", "write parity:"} {
+		if !strings.Contains(got, want) || !strings.Contains(got, "OK") {
+			t.Fatalf("missing %q accounting line in output:\n%s", want, got)
+		}
 	}
 	if !strings.Contains(got, "GOMAXPROCS=1") || !strings.Contains(got, "GOMAXPROCS=2") {
 		t.Fatalf("missing per-proc throughput lines in output:\n%s", got)
 	}
-	if !strings.Contains(got, "ops/sec") {
-		t.Fatalf("missing ops/sec metric in output:\n%s", got)
+	for _, want := range []string{"read", "insert", "delete", "ops/sec"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q metric in output:\n%s", want, got)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc throughputDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Mode != "throughput" || doc.Stripes != 4 || !doc.ParityOK || len(doc.Rows) != 2 {
+		t.Fatalf("unexpected throughput JSON: %+v", doc)
+	}
+	for _, r := range doc.Rows {
+		if r.ReadOpsSec <= 0 || r.InsertOpsSec <= 0 || r.DeleteOpsSec <= 0 {
+			t.Fatalf("non-positive throughput in row %+v", r)
+		}
 	}
 }
 

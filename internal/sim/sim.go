@@ -181,10 +181,13 @@ type Network struct {
 
 // durability is the per-host durable-storage model: a write-ahead log
 // plus periodic checkpoints, both accounted as messages to the owning
-// host (a WAL append is one fsync; a checkpoint is one more). The state
-// is mutated only from storage-charging paths, which callers already
-// serialize (updates are single-writer; churn holds the write lock), so
-// plain slices suffice.
+// host (a WAL append is one fsync; a checkpoint is one more). Storage-
+// charging paths mutate the per-host state through atomics: write
+// striping lets several stripe writers charge storage at the same host
+// concurrently, and two stripes' data routinely co-reside on one host.
+// Slice growth (AddHost) and whole-state rewrites (Restart,
+// ResumeDurability) still run only under the callers' churn lock, so
+// only the per-element counters need to be atomic.
 type durability struct {
 	// every is the checkpoint cadence: after this many WAL records the
 	// host snapshots its inventory and truncates the log.
@@ -192,17 +195,19 @@ type durability struct {
 	// paused suppresses WAL records and fsync charges while a structure
 	// is bulk-constructed; the image still tracks storage exactly, and
 	// ResumeDurability folds the built state into a fresh checkpoint.
-	paused bool
+	paused atomic.Bool
 	// image[h] is host h's durable storage in units — what its disk
 	// holds. It tracks the storage counter exactly while the host is
 	// alive and keeps absorbing deltas while it is crashed (writes the
 	// engines logically apply to the host's shard land on the image
 	// only), so Restart can restore storage[h] = image[h] verbatim.
+	// Accessed atomically.
 	image []int64
 	// records[h] counts WAL records appended since h's last checkpoint —
-	// the replay length a Restart pays for.
+	// the replay length a Restart pays for. Accessed atomically.
 	records []int64
 	// checkpoints[h] counts checkpoints taken at h (diagnostics).
+	// Accessed atomically.
 	checkpoints []int64
 }
 
@@ -333,18 +338,25 @@ func (n *Network) Crash(h HostID) {
 // checkpoint write; while h is crashed the delta lands on its durable
 // image only (the engines keep the host's logical shard moving with the
 // cluster; the disk catches up, the live copy is restored by Restart).
+//
+// AddStorage is safe for concurrent callers (stripe writers on different
+// key ranges may charge the same host simultaneously). The checkpoint
+// trigger fires for exactly the caller whose WAL append brings the
+// since-last-checkpoint count to the cadence — each atomic increment
+// returns a distinct value, so exactly one writer per cadence window
+// observes the boundary — which keeps the total charge sequence
+// identical to a serial execution of the same appends.
 func (n *Network) AddStorage(h HostID, delta int) {
 	if d := n.durable; d != nil {
-		d.image[h] += int64(delta)
+		atomic.AddInt64(&d.image[h], int64(delta))
 		if n.crashed[h] {
 			return // the live copy is down: the write exists only durably
 		}
-		if !d.paused {
-			d.records[h]++
+		if !d.paused.Load() {
 			n.chargeLocal(h) // WAL append + fsync
-			if d.records[h] >= int64(d.every) {
-				d.records[h] = 0
-				d.checkpoints[h]++
+			if r := atomic.AddInt64(&d.records[h], 1); r == int64(d.every) {
+				atomic.AddInt64(&d.records[h], -int64(d.every))
+				atomic.AddInt64(&d.checkpoints[h], 1)
 				n.chargeLocal(h) // checkpoint snapshot + log truncation
 			}
 		}
@@ -409,7 +421,7 @@ func (n *Network) Durable() bool { return n.durable != nil }
 // with ResumeDurability.
 func (n *Network) PauseDurability() {
 	if n.durable != nil {
-		n.durable.paused = true
+		n.durable.paused.Store(true)
 	}
 }
 
@@ -423,11 +435,11 @@ func (n *Network) ResumeDurability() {
 	if d == nil {
 		return
 	}
-	d.paused = false
+	d.paused.Store(false)
 	for i := range d.records {
-		if d.records[i] != 0 {
-			d.records[i] = 0
-			d.checkpoints[i]++
+		if atomic.LoadInt64(&d.records[i]) != 0 {
+			atomic.StoreInt64(&d.records[i], 0)
+			atomic.AddInt64(&d.checkpoints[i], 1)
 		}
 	}
 }
@@ -439,7 +451,7 @@ func (n *Network) WALRecords(h HostID) int64 {
 	if n.durable == nil {
 		return 0
 	}
-	return n.durable.records[h]
+	return atomic.LoadInt64(&n.durable.records[h])
 }
 
 // Checkpoints returns the checkpoints taken at host h (the base image
@@ -448,7 +460,7 @@ func (n *Network) Checkpoints(h HostID) int64 {
 	if n.durable == nil {
 		return 0
 	}
-	return n.durable.checkpoints[h]
+	return atomic.LoadInt64(&n.durable.checkpoints[h])
 }
 
 // DurableImage returns host h's durable storage image in units — what
@@ -458,7 +470,7 @@ func (n *Network) DurableImage(h HostID) int64 {
 	if n.durable == nil {
 		return 0
 	}
-	return n.durable.image[h]
+	return atomic.LoadInt64(&n.durable.image[h])
 }
 
 // Restart revives crashed durable host h: it rejoins the live set with
@@ -483,13 +495,13 @@ func (n *Network) Restart(h HostID) int {
 	n.live = append(n.live, 0)
 	copy(n.live[i+1:], n.live[i:])
 	n.live[i] = h
-	n.storage[h].n.Store(d.image[h])
-	replay := 1 + int(d.records[h])
+	n.storage[h].n.Store(atomic.LoadInt64(&d.image[h]))
+	replay := 1 + int(atomic.LoadInt64(&d.records[h]))
 	for k := 0; k < replay; k++ {
 		n.chargeLocal(h)
 	}
-	d.records[h] = 0
-	d.checkpoints[h]++
+	atomic.StoreInt64(&d.records[h], 0)
+	atomic.AddInt64(&d.checkpoints[h], 1)
 	return replay
 }
 

@@ -55,6 +55,22 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64())
 }
 
+// Substream derives the i-th child seed of a parent seed via the
+// SplitMix64 finalizer, so a family of generators can be split off one
+// cluster seed deterministically and statelessly: Substream(s, i) depends
+// only on (s, i), never on how many siblings were derived before it.
+// Concurrent writers (one per write stripe) each seed their own Rand from
+// their own substream, keeping placement reproducible without sharing a
+// generator across goroutines. Substream(s, 0) != s in general; callers
+// that want stream 0 to be the parent seed itself handle that case
+// explicitly.
+func Substream(seed uint64, i int) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {

@@ -1,0 +1,621 @@
+package skipwebs
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/skipwebs/skipwebs/internal/experiments"
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// Linearizability property suite.
+//
+// Each test races several writer goroutines (concurrent Insert/Delete
+// batches on a striped structure) against reader goroutines (query
+// batches), under the race detector, and checks the executions against a
+// serialized control:
+//
+//   - Online invariants: while writers run, readers must always see the
+//     stable key set (keys present at build and never touched), and
+//     every answer must satisfy the operation's contract (floor <= query,
+//     exact membership of stable keys).
+//   - Serialized control: each update is atomic under its stripe's
+//     writer lock and stripes share no state, so the concurrent history
+//     must be equivalent to SOME serial order of the same operations that
+//     preserves per-stripe order. Every such order yields the same final
+//     key set (inserts and deletes of distinct keys commute; each test
+//     key is inserted once and deleted at most once, after its insert
+//     batch returned). The tests compute that set, replay the workload
+//     serially on an identically-configured structure, and require both
+//     the concurrent structure and the serial control to land on it
+//     exactly — plus a full CheckConsistent on the raced structure.
+//
+// The suite covers all six structures; Planar is static, so its test
+// races query batches against the construction of additional structures
+// on the same cluster instead of against updates.
+
+// linWorkload is the shared fixture: stable build keys plus one disjoint
+// insert pool per writer, of which each writer later deletes the first
+// half.
+type linWorkload struct {
+	stable []uint64
+	pools  [][]uint64
+}
+
+func makeLinWorkload(seed uint64, stable, writers, perWriter int) linWorkload {
+	keys := experiments.Keys(xrand.New(seed), stable+writers*perWriter, 1<<40)
+	wl := linWorkload{stable: keys[:stable]}
+	rest := keys[stable:]
+	for w := 0; w < writers; w++ {
+		wl.pools = append(wl.pools, rest[w*perWriter:(w+1)*perWriter])
+	}
+	return wl
+}
+
+// finalSet is the key set every linearization of the workload ends in.
+func (wl linWorkload) finalSet() []uint64 {
+	var out []uint64
+	out = append(out, wl.stable...)
+	for _, pool := range wl.pools {
+		out = append(out, pool[len(pool)/2:]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// raceWritersAndReaders runs one writer goroutine per pool (insert the
+// pool in chunks, then delete its first half) against `readers` reader
+// goroutines running `rounds` of the read closure, until the writers
+// finish. Reader errors fail the test.
+func raceWritersAndReaders(t *testing.T, wl linWorkload,
+	insert func(chunk []uint64) error, del func(chunk []uint64) error,
+	read func(round int) error) {
+	t.Helper()
+	const chunk = 16
+	var wg sync.WaitGroup
+	errc := make(chan error, len(wl.pools)+4)
+	for _, pool := range wl.pools {
+		wg.Add(1)
+		go func(pool []uint64) {
+			defer wg.Done()
+			for i := 0; i < len(pool); i += chunk {
+				end := i + chunk
+				if end > len(pool) {
+					end = len(pool)
+				}
+				if err := insert(pool[i:end]); err != nil {
+					errc <- err
+					return
+				}
+			}
+			if err := del(pool[:len(pool)/2]); err != nil {
+				errc <- err
+			}
+		}(pool)
+	}
+	writersDone := make(chan struct{})
+	go func() { wg.Wait(); close(writersDone) }()
+	var rg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for round := 0; ; round++ {
+				select {
+				case <-writersDone:
+					return
+				default:
+				}
+				if err := read(round); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	rg.Wait()
+	<-writersDone
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// linOrigins spreads a chunk's operations round-robin (nil origins).
+var linOrigins []HostID
+
+func TestLinearizabilityOneDim(t *testing.T) {
+	const hosts, S = 16, 4
+	wl := makeLinWorkload(101, 256, 4, 64)
+	c := NewCluster(hosts)
+	defer c.Close()
+	w, err := NewOneDim(c, wl.stable, Options{Seed: 1, WriteStripes: S})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stableQ := wl.stable[:32]
+	raceWritersAndReaders(t, wl,
+		func(chunk []uint64) error { _, err := w.InsertBatch(chunk, linOrigins); return err },
+		func(chunk []uint64) error { _, err := w.DeleteBatch(chunk, linOrigins); return err },
+		func(round int) error {
+			rs, err := w.FloorBatch(stableQ, linOrigins)
+			if err != nil {
+				return err
+			}
+			for i, r := range rs {
+				if !r.Found || r.Key != stableQ[i] {
+					t.Errorf("round %d: stable key %d invisible: %+v", round, stableQ[i], r)
+				}
+			}
+			return nil
+		})
+	want := wl.finalSet()
+	got := w.Keys()
+	assertKeySetsEqual(t, "concurrent", got, want)
+	if err := w.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	// Serialized control: same config, same operations, one at a time.
+	cc := NewCluster(hosts)
+	wc, err := NewOneDim(cc, wl.stable, Options{Seed: 1, WriteStripes: S})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pool := range wl.pools {
+		for _, k := range pool {
+			if _, err := wc.Insert(k, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, k := range pool[:len(pool)/2] {
+			if _, err := wc.Delete(k, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	assertKeySetsEqual(t, "serial control", wc.Keys(), want)
+}
+
+func assertKeySetsEqual(t *testing.T, name string, got, want []uint64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d keys, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: key[%d] = %d, want %d", name, i, got[i], want[i])
+		}
+	}
+}
+
+func TestLinearizabilityBlocked(t *testing.T) {
+	const hosts, S = 16, 4
+	wl := makeLinWorkload(102, 256, 4, 64)
+	c := NewCluster(hosts)
+	defer c.Close()
+	w, err := NewBlocked(c, wl.stable, Options{Seed: 2, WriteStripes: S})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stableQ := wl.stable[:32]
+	raceWritersAndReaders(t, wl,
+		func(chunk []uint64) error { _, err := w.InsertBatch(chunk, linOrigins); return err },
+		func(chunk []uint64) error { _, err := w.DeleteBatch(chunk, linOrigins); return err },
+		func(round int) error {
+			rs, err := w.FloorBatch(stableQ, linOrigins)
+			if err != nil {
+				return err
+			}
+			for i, r := range rs {
+				if !r.Found || r.Key != stableQ[i] {
+					t.Errorf("round %d: stable key %d invisible: %+v", round, stableQ[i], r)
+				}
+			}
+			// Range over the full space must always include every stable key.
+			if round%4 == 0 {
+				rrs, err := w.RangeBatch([]KeyRange{{Lo: 0, Hi: ^uint64(0)}}, linOrigins)
+				if err != nil {
+					return err
+				}
+				seen := make(map[uint64]bool, len(rrs[0].Keys))
+				for _, k := range rrs[0].Keys {
+					seen[k] = true
+				}
+				for _, k := range wl.stable {
+					if !seen[k] {
+						t.Errorf("round %d: range lost stable key %d", round, k)
+					}
+				}
+			}
+			return nil
+		})
+	want := wl.finalSet()
+	got, _, err := w.Range(0, ^uint64(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertKeySetsEqual(t, "concurrent", got, want)
+	if err := w.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	cc := NewCluster(hosts)
+	wc, err := NewBlocked(cc, wl.stable, Options{Seed: 2, WriteStripes: S})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pool := range wl.pools {
+		if _, err := wc.InsertBatch(pool, linOrigins); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := wc.DeleteBatch(pool[:len(pool)/2], linOrigins); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctl, _, err := wc.Range(0, ^uint64(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertKeySetsEqual(t, "serial control", ctl, want)
+}
+
+func TestLinearizabilityBucketed(t *testing.T) {
+	const hosts, S = 16, 4
+	wl := makeLinWorkload(103, 256, 4, 48)
+	c := NewCluster(hosts)
+	defer c.Close()
+	w, err := NewBucketed(c, wl.stable, Options{Seed: 3, WriteStripes: S})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stableQ := wl.stable[:32]
+	raceWritersAndReaders(t, wl,
+		func(chunk []uint64) error { _, err := w.InsertBatch(chunk, linOrigins); return err },
+		func(chunk []uint64) error { _, err := w.DeleteBatch(chunk, linOrigins); return err },
+		func(round int) error {
+			rs, err := w.ContainsBatch(stableQ, linOrigins)
+			if err != nil {
+				return err
+			}
+			for i, r := range rs {
+				if !r.Found {
+					t.Errorf("round %d: stable key %d invisible", round, stableQ[i])
+				}
+			}
+			return nil
+		})
+	want := wl.finalSet()
+	got, _, err := w.Range(0, ^uint64(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertKeySetsEqual(t, "concurrent", got, want)
+	if err := w.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	cc := NewCluster(hosts)
+	wc, err := NewBucketed(cc, wl.stable, Options{Seed: 3, WriteStripes: S})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pool := range wl.pools {
+		if _, err := wc.InsertBatch(pool, linOrigins); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := wc.DeleteBatch(pool[:len(pool)/2], linOrigins); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctl, _, err := wc.Range(0, ^uint64(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertKeySetsEqual(t, "serial control", ctl, want)
+}
+
+func TestLinearizabilityPoints(t *testing.T) {
+	const hosts, S, stable, writers, perWriter = 16, 4, 256, 4, 48
+	raw := experiments.UniformPoints(xrand.New(104), 2, stable+writers*perWriter, 1<<30)
+	pts := make([]Point, len(raw))
+	for i, p := range raw {
+		pts[i] = Point(p)
+	}
+	stablePts := pts[:stable]
+	var pools [][]Point
+	rest := pts[stable:]
+	for w := 0; w < writers; w++ {
+		pools = append(pools, rest[w*perWriter:(w+1)*perWriter])
+	}
+	c := NewCluster(hosts)
+	defer c.Close()
+	w, err := NewPoints(c, 2, stablePts, Options{Seed: 4, WriteStripes: S})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, pool := range pools {
+		wg.Add(1)
+		go func(pool []Point) {
+			defer wg.Done()
+			for i := 0; i < len(pool); i += 16 {
+				end := i + 16
+				if end > len(pool) {
+					end = len(pool)
+				}
+				if _, err := w.InsertBatch(pool[i:end], linOrigins); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if _, err := w.DeleteBatch(pool[:len(pool)/2], linOrigins); err != nil {
+				t.Error(err)
+			}
+		}(pool)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	stableQ := stablePts[:32]
+	var rg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for round := 0; ; round++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				rs, err := w.ContainsBatch(stableQ, linOrigins)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i, r := range rs {
+					if !r.Found {
+						t.Errorf("round %d: stable point %v invisible", round, stableQ[i])
+					}
+				}
+				if _, err := w.NearestBatch(stableQ[:4], linOrigins); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	rg.Wait()
+	<-done
+	if t.Failed() {
+		t.FailNow()
+	}
+	// Final state: stable ∪ second halves of every pool.
+	var want []Point
+	want = append(want, stablePts...)
+	for _, pool := range pools {
+		want = append(want, pool[len(pool)/2:]...)
+	}
+	if got := w.Len(); got != len(want) {
+		t.Fatalf("final Len %d, want %d", got, len(want))
+	}
+	for _, q := range want {
+		ok, _, err := w.Contains(q, 0)
+		if err != nil || !ok {
+			t.Fatalf("final point %v missing (ok=%v err=%v)", q, ok, err)
+		}
+	}
+	if err := w.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	// Serialized control.
+	cc := NewCluster(hosts)
+	wc, err := NewPoints(cc, 2, stablePts, Options{Seed: 4, WriteStripes: S})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pool := range pools {
+		if _, err := wc.InsertBatch(pool, linOrigins); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := wc.DeleteBatch(pool[:len(pool)/2], linOrigins); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := wc.Len(); got != len(want) {
+		t.Fatalf("control Len %d, want %d", got, len(want))
+	}
+}
+
+func TestLinearizabilityStrings(t *testing.T) {
+	const hosts, S, stable, writers, perWriter = 16, 4, 256, 4, 48
+	keys := experiments.UniformStrings(xrand.New(105), stable+writers*perWriter, "acgt", 6, 24)
+	stableKeys := keys[:stable]
+	var pools [][]string
+	rest := keys[stable:]
+	for w := 0; w < writers; w++ {
+		pools = append(pools, rest[w*perWriter:(w+1)*perWriter])
+	}
+	c := NewCluster(hosts)
+	defer c.Close()
+	w, err := NewStrings(c, stableKeys, Options{Seed: 5, WriteStripes: S})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, pool := range pools {
+		wg.Add(1)
+		go func(pool []string) {
+			defer wg.Done()
+			for i := 0; i < len(pool); i += 16 {
+				end := i + 16
+				if end > len(pool) {
+					end = len(pool)
+				}
+				if _, err := w.InsertBatch(pool[i:end], linOrigins); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if _, err := w.DeleteBatch(pool[:len(pool)/2], linOrigins); err != nil {
+				t.Error(err)
+			}
+		}(pool)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	stableQ := stableKeys[:32]
+	var rg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for round := 0; ; round++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				rs, err := w.ContainsBatch(stableQ, linOrigins)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i, r := range rs {
+					if !r.Found {
+						t.Errorf("round %d: stable key %q invisible", round, stableQ[i])
+					}
+				}
+			}
+		}()
+	}
+	rg.Wait()
+	<-done
+	if t.Failed() {
+		t.FailNow()
+	}
+	want := map[string]bool{}
+	for _, k := range stableKeys {
+		want[k] = true
+	}
+	for _, pool := range pools {
+		for _, k := range pool[len(pool)/2:] {
+			want[k] = true
+		}
+	}
+	all, _, err := w.PrefixSearch("", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(want) {
+		t.Fatalf("final key count %d, want %d", len(all), len(want))
+	}
+	for _, k := range all {
+		if !want[k] {
+			t.Fatalf("unexpected final key %q", k)
+		}
+	}
+	if err := w.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	// Serialized control.
+	cc := NewCluster(hosts)
+	wc, err := NewStrings(cc, stableKeys, Options{Seed: 5, WriteStripes: S})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pool := range pools {
+		if _, err := wc.InsertBatch(pool, linOrigins); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := wc.DeleteBatch(pool[:len(pool)/2], linOrigins); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctl, _, err := wc.PrefixSearch("", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStringSetsEqual(t, ctl, all)
+}
+
+func assertStringSetsEqual(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("control has %d keys, raced structure %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("key[%d]: control %q, raced %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestLinearizabilityPlanarRebuild races point-location batches on a
+// static Planar structure against the construction of additional Planar
+// structures on the same cluster. Builds mutate only the shared
+// network's thread-safe counters before taking the churn lock to
+// attach, so in-flight query batches must keep answering exactly.
+func TestLinearizabilityPlanarRebuild(t *testing.T) {
+	const hosts = 8
+	const span = 60000 // strictly inside ±MaxPlanarCoord
+	bounds := PlanarBounds{MinX: 0, MinY: 0, MaxX: span, MaxY: span}
+	rng := xrand.New(106)
+	segs := planarFence(24)
+	c := NewCluster(hosts)
+	defer c.Close()
+	w, err := NewPlanar(c, segs, bounds, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]PlanarPoint, 64)
+	for i := range qs {
+		qs[i] = PlanarPoint{X: int64(rng.Uint64n(span-2) + 1), Y: int64(rng.Uint64n(span-2) + 1)}
+	}
+	want, err := w.LocateBatch(qs, linOrigins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 4; i++ {
+			if _, err := NewPlanar(c, segs, bounds, Options{Seed: uint64(7 + i)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for round := 0; ; round++ {
+		got, err := w.LocateBatch(qs, linOrigins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i].Top != want[i].Top || got[i].Bottom != want[i].Bottom ||
+				got[i].LeftX != want[i].LeftX || got[i].RightX != want[i].RightX {
+				t.Fatalf("round %d: query %d answer changed under rebuild: %+v vs %+v", round, i, got[i], want[i])
+			}
+		}
+		select {
+		case <-done:
+			if t.Failed() {
+				t.FailNow()
+			}
+			return
+		default:
+		}
+	}
+}
+
+// planarFence builds n disjoint horizontal segments stacked vertically —
+// trivially non-crossing, in general position.
+func planarFence(n int) []PlanarSegment {
+	segs := make([]PlanarSegment, n)
+	for i := range segs {
+		y := int64(1000 + i*2000)
+		segs[i] = PlanarSegment{
+			A: PlanarPoint{X: int64(10 + i), Y: y},
+			B: PlanarPoint{X: int64(60000 - 10 - i), Y: y},
+		}
+	}
+	return segs
+}

@@ -1,7 +1,9 @@
 package skipwebs
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"github.com/skipwebs/skipwebs/internal/core"
 	"github.com/skipwebs/skipwebs/internal/sim"
@@ -39,6 +41,26 @@ type Options struct {
 	// leaves placement and message accounting bit-identical to
 	// non-durable builds.
 	Durable bool
+	// WriteStripes shards the structure's writer lock: a value S > 1
+	// partitions the key space into S contiguous code ranges frozen at
+	// construction (rank-balanced over the build keys), each backed by
+	// an independent sub-engine with its own seed-split PRNG, its own
+	// scratch buffers, and its own single-writer/many-reader lock.
+	// Update batches then run S writers in parallel — one per stripe —
+	// while updates within a stripe keep strict input order and message
+	// accounting stays deterministic: stripe assignment is a pure
+	// function of the key, striping adds no charged messages, and a
+	// concurrent striped batch charges exactly what a serial replay of
+	// the same operations on the same striped structure charges.
+	// Queries route to the stripe owning their key (a floor query falls
+	// back across lower stripes when its own is empty below the query;
+	// range and prefix queries visit every overlapping stripe). The
+	// realized stripe count is at most min(S, build keys) and may be
+	// further reduced by duplicate stripe codes. 0 or 1 (the default)
+	// keeps one engine — placement and accounting bit-identical to
+	// pre-striping builds. Planar structures are static and ignore the
+	// knob.
+	WriteStripes int
 }
 
 // FloorResult is the answer to a one-dimensional nearest-neighbor query.
@@ -56,64 +78,110 @@ type FloorResult struct {
 // messages, matching skip graphs while using the level-partition
 // hierarchy of Figure 2.
 type OneDim struct {
-	c *Cluster
-	w *core.Web[*core.ListLevel, uint64, uint64]
+	c  *Cluster
+	st *stripeSet
+	ws []*core.Web[*core.ListLevel, uint64, uint64]
 }
 
 // NewOneDim builds a general 1-d skip-web over keys (distinct).
 // Construction costs O(n log n) expected storage units spread over the
-// hosts (Theorem 2's memory bound divided among H hosts).
+// hosts (Theorem 2's memory bound divided among H hosts). With
+// Options.WriteStripes > 1 it builds one independent sub-web per key
+// stripe (see the Options.WriteStripes doc).
 func NewOneDim(c *Cluster, keys []uint64, opts Options) (*OneDim, error) {
+	st, parts := splitKeysByStripe(keys, opts.WriteStripes)
 	done := c.beginBuild(opts.Durable)
-	w, err := core.NewWeb[*core.ListLevel, uint64, uint64](
-		core.NewListOps(), c.network(), keys, core.Config{Seed: opts.Seed, Replicas: opts.Replicas})
-	done()
-	if err != nil {
-		return nil, fmt.Errorf("skipwebs: %w", err)
+	ws := make([]*core.Web[*core.ListLevel, uint64, uint64], st.n())
+	for i, part := range parts {
+		w, err := core.NewWeb[*core.ListLevel, uint64, uint64](
+			core.NewListOps(), c.network(), part,
+			core.Config{Seed: stripeSeed(opts.Seed, i, st.n()), Replicas: opts.Replicas})
+		if err != nil {
+			done()
+			return nil, fmt.Errorf("skipwebs: %w", err)
+		}
+		ws[i] = w
 	}
-	d := &OneDim{c: c, w: w}
+	done()
+	d := &OneDim{c: c, st: st, ws: ws}
 	c.attach(d)
 	return d, nil
 }
 
 // Len returns the number of stored keys.
-func (d *OneDim) Len() int { return d.w.Len() }
+func (d *OneDim) Len() int {
+	n := 0
+	for i := range d.ws {
+		d.st.rlock(i)
+		n += d.ws[i].Len()
+		d.st.runlock(i)
+	}
+	return n
+}
 
 // Floor answers a nearest-neighbor (floor) query from the given host in
 // O(log n) expected messages (Theorem 2): one hyperlink hop plus an
-// expected O(1) local refinement per level of the hierarchy.
+// expected O(1) local refinement per level of the hierarchy. Under
+// write striping the query descends the stripe owning the key's code
+// range (its read lock held for the descent) and falls back across
+// lower stripes — each charging its own descent — when its own stripe
+// holds no key at or below the query.
 //
 // The descent is allocation-free in steady state: the accounting Op is
 // pooled, range enumeration uses the core iterator, and all local
 // searches are O(log n) binary searches over each level's maintained
 // sorted order. Message accounting is unaffected by any of this.
 func (d *OneDim) Floor(q uint64, origin HostID) (FloorResult, error) {
-	res, err := d.w.Query(q, origin)
-	if err != nil {
-		return FloorResult{}, fmt.Errorf("skipwebs: %w", err)
+	hops := 0
+	for i := d.st.of(q); ; i-- {
+		d.st.rlock(i)
+		res, err := d.ws[i].Query(q, origin)
+		if err != nil {
+			d.st.runlock(i)
+			return FloorResult{}, fmt.Errorf("skipwebs: %w", err)
+		}
+		g := d.ws[i].GroundStructure()
+		if !g.IsHead(res.Range) {
+			out := FloorResult{Key: g.Key(res.Range), Found: true, Hops: hops + res.Hops}
+			d.st.runlock(i)
+			return out, nil
+		}
+		d.st.runlock(i)
+		hops += res.Hops
+		if i == 0 {
+			return FloorResult{Found: false, Hops: hops}, nil
+		}
 	}
-	g := d.w.GroundStructure()
-	if g.IsHead(res.Range) {
-		return FloorResult{Found: false, Hops: res.Hops}, nil
-	}
-	return FloorResult{Key: g.Key(res.Range), Found: true, Hops: res.Hops}, nil
 }
 
 // Contains reports whether key is stored, with the query's message cost
-// — O(log n) expected messages, the same bound as Floor.
+// — O(log n) expected messages, the same bound as Floor. Exact
+// membership needs only the stripe owning the key, so no cross-stripe
+// fallback is charged.
 func (d *OneDim) Contains(key uint64, origin HostID) (bool, int, error) {
-	r, err := d.Floor(key, origin)
+	i := d.st.of(key)
+	d.st.rlock(i)
+	res, err := d.ws[i].Query(key, origin)
 	if err != nil {
-		return false, 0, err
+		d.st.runlock(i)
+		return false, 0, fmt.Errorf("skipwebs: %w", err)
 	}
-	return r.Found && r.Key == key, r.Hops, nil
+	g := d.ws[i].GroundStructure()
+	found := !g.IsHead(res.Range) && g.Key(res.Range) == key
+	d.st.runlock(i)
+	return found, res.Hops, nil
 }
 
 // Insert adds a key, returning the update's message cost — O(log n)
 // expected messages (Section 4): a routed query plus an O(1)-message
-// structural change per level of the key's bit path.
+// structural change per level of the key's bit path. The update holds
+// only its stripe's writer lock, so inserts into different stripes run
+// concurrently.
 func (d *OneDim) Insert(key uint64, origin HostID) (int, error) {
-	h, err := d.w.Insert(key, origin)
+	i := d.st.of(key)
+	d.st.wlock(i)
+	defer d.st.wunlock(i)
+	h, err := d.ws[i].Insert(key, origin)
 	if err != nil {
 		return h, fmt.Errorf("skipwebs: %w", err)
 	}
@@ -122,38 +190,85 @@ func (d *OneDim) Insert(key uint64, origin HostID) (int, error) {
 
 // Delete removes a key, returning the update's message cost — O(log n)
 // expected messages (Section 4), unwound top-down so hyperlink repair
-// always targets live ranges.
+// always targets live ranges. The update holds only its stripe's writer
+// lock.
 func (d *OneDim) Delete(key uint64, origin HostID) (int, error) {
-	h, err := d.w.Delete(key, origin)
+	i := d.st.of(key)
+	d.st.wlock(i)
+	defer d.st.wunlock(i)
+	h, err := d.ws[i].Delete(key, origin)
 	if err != nil {
 		return h, fmt.Errorf("skipwebs: %w", err)
 	}
 	return h, nil
 }
 
-// Keys returns the stored keys in ascending order.
-func (d *OneDim) Keys() []uint64 { return d.w.GroundStructure().Keys() }
+// Keys returns the stored keys in ascending order (stripes hold
+// contiguous code ranges, so per-stripe ascending output concatenates
+// ascending).
+func (d *OneDim) Keys() []uint64 {
+	var out []uint64
+	for i := range d.ws {
+		d.st.rlock(i)
+		out = append(out, d.ws[i].GroundStructure().Keys()...)
+		d.st.runlock(i)
+	}
+	return out
+}
 
 // rehome and rebalance are the churn hooks Cluster.Leave and
-// Cluster.Join drive (see the migrator contract in skipwebs.go).
-func (d *OneDim) rehome(from HostID, op *sim.Op)    { d.w.Rehome(from, op) }
-func (d *OneDim) rebalance(onto HostID, op *sim.Op) { d.w.Rebalance(onto, op) }
+// Cluster.Join drive (see the migrator contract in skipwebs.go). Churn
+// holds the cluster write lock, which excludes every stripe writer (they
+// hold the cluster read lock), so the hooks walk all stripes unlocked.
+func (d *OneDim) rehome(from HostID, op *sim.Op) {
+	for _, w := range d.ws {
+		w.Rehome(from, op)
+	}
+}
+func (d *OneDim) rebalance(onto HostID, op *sim.Op) {
+	for _, w := range d.ws {
+		w.Rebalance(onto, op)
+	}
+}
 
 // repair is the crash-recovery hook Cluster.Crash drives: re-replicate
 // every under-replicated range from its surviving live replicas.
-func (d *OneDim) repair(op *sim.Op) error { return d.w.Repair(op) }
+func (d *OneDim) repair(op *sim.Op) error {
+	return repairStripes(op, d.ws)
+}
 
 // restart is the durable-recovery hook Cluster.Restart drives: merkle-
 // reconcile the restarted host's ranges against one live peer each.
-func (d *OneDim) restart(h HostID, op *sim.Op) int { return d.w.RestartHost(h, op) }
+func (d *OneDim) restart(h HostID, op *sim.Op) int {
+	n := 0
+	for _, w := range d.ws {
+		n += w.RestartHost(h, op)
+	}
+	return n
+}
 
 func (d *OneDim) kind() string { return "onedim" }
 
 // CheckConsistent verifies the web's invariants: every range placed on
 // a live host, hyperlinks matching recomputation, symmetric backrefs,
-// and per-level counts that add up. Cost: O(n log n) local work, no
+// per-level counts that add up, and — under striping — every key stored
+// in the stripe its code routes to. Cost: O(n log n) local work, no
 // messages.
-func (d *OneDim) CheckConsistent() error { return d.w.CheckInvariants() }
+func (d *OneDim) CheckConsistent() error {
+	for i, w := range d.ws {
+		if err := w.CheckInvariants(); err != nil {
+			return err
+		}
+		if d.st.n() > 1 {
+			for _, k := range w.GroundStructure().Keys() {
+				if d.st.of(k) != i {
+					return fmt.Errorf("skipwebs: key %d stored in stripe %d but routes to stripe %d", k, i, d.st.of(k))
+				}
+			}
+		}
+	}
+	return nil
+}
 
 // FloorBatch answers one floor query per element of qs concurrently (see
 // the batch engine notes in batch.go). Results are in input order.
@@ -169,87 +284,182 @@ func (d *OneDim) ContainsBatch(keys []uint64, origins []HostID) ([]ContainsResul
 	})
 }
 
-// InsertBatch adds the keys under the cluster's write lock (single
-// writer), returning each update's message cost in input order. Sorted
-// runs within an origin group are dispatched as one unit (see the
-// sorted-run notes in batch.go); accounting is identical to per-op
-// inserts.
+// InsertBatch adds the keys — one parallel writer per stripe, strict
+// input order within each stripe — returning each update's message cost
+// in input order. Sorted runs within an origin group are dispatched as
+// one unit (see the sorted-run notes in batch.go); accounting is
+// identical to per-op inserts.
 func (d *OneDim) InsertBatch(keys []uint64, origins []HostID) ([]int, error) {
-	return runInsertBatchKeys(d.c, keys, origins, d.Insert,
-		func(ks []uint64, origin HostID, hops []int, errs []error) {
+	return runInsertBatchKeys(d.c, keys, origins, d.st, d.Insert,
+		func(stripe int, ks []uint64, origin HostID, hops []int, errs []error) {
+			d.st.wlock(stripe)
+			defer d.st.wunlock(stripe)
 			for i, k := range ks {
-				hops[i], errs[i] = d.Insert(k, origin)
+				h, err := d.ws[stripe].Insert(k, origin)
+				hops[i] = h
+				if err != nil {
+					errs[i] = fmt.Errorf("skipwebs: %w", err)
+				}
 			}
 		})
 }
 
-// DeleteBatch removes the keys under the cluster's write lock, returning
-// each update's message cost in input order.
+// DeleteBatch removes the keys — one parallel writer per stripe, strict
+// input order within each stripe — returning each update's message cost
+// in input order.
 func (d *OneDim) DeleteBatch(keys []uint64, origins []HostID) ([]int, error) {
-	return runWriteBatch(d.c, keys, origins, d.Delete)
+	return runWriteBatch(d.c, keys, origins, d.st, func(k uint64) uint64 { return k }, d.Delete)
+}
+
+// repairStripes runs the repair pass of every stripe engine, summing
+// per-stripe data losses into one DataLossError so the cluster-level
+// aggregation in repairAll sees the structure-wide count (mirroring its
+// own cross-structure merge).
+func repairStripes[W interface{ Repair(op *sim.Op) error }](op *sim.Op, ws []W) error {
+	lost := 0
+	hostSet := map[HostID]bool{}
+	var errs []error
+	for _, w := range ws {
+		err := w.Repair(op)
+		var dl *DataLossError
+		switch {
+		case err == nil:
+		case errors.As(err, &dl):
+			lost += dl.Units
+			for _, h := range dl.Hosts {
+				hostSet[h] = true
+			}
+		default:
+			errs = append(errs, err)
+		}
+	}
+	if lost > 0 {
+		hosts := make([]HostID, 0, len(hostSet))
+		for h := range hostSet {
+			hosts = append(hosts, h)
+		}
+		sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+		errs = append(errs, &DataLossError{Units: lost, Hosts: hosts})
+	}
+	return errors.Join(errs...)
 }
 
 // Blocked is the improved one-dimensional skip-web of Section 2.4.1:
 // with per-host memory M, queries and updates take O(log n / log M)
 // expected messages — O(log n / log log n) at M = Θ(log n).
 type Blocked struct {
-	c *Cluster
-	w *core.BlockedWeb
+	c  *Cluster
+	st *stripeSet
+	ws []*core.BlockedWeb
 }
 
 // NewBlocked builds the blocked 1-d skip-web over keys (distinct).
 // Construction places O(n log n) expected storage units in blocks of
-// O(M) contiguous ranges, one block per host (Section 2.4.1).
+// O(M) contiguous ranges, one block per host (Section 2.4.1). With
+// Options.WriteStripes > 1 it builds one independent sub-web per key
+// stripe (see the Options.WriteStripes doc).
 func NewBlocked(c *Cluster, keys []uint64, opts Options) (*Blocked, error) {
+	st, parts := splitKeysByStripe(keys, opts.WriteStripes)
 	done := c.beginBuild(opts.Durable)
-	w, err := core.NewBlockedWeb(c.network(), keys, core.BlockedConfig{Seed: opts.Seed, M: opts.M, Replicas: opts.Replicas})
-	done()
-	if err != nil {
-		return nil, fmt.Errorf("skipwebs: %w", err)
+	ws := make([]*core.BlockedWeb, st.n())
+	for i, part := range parts {
+		w, err := core.NewBlockedWeb(c.network(), part,
+			core.BlockedConfig{Seed: stripeSeed(opts.Seed, i, st.n()), M: opts.M, Replicas: opts.Replicas})
+		if err != nil {
+			done()
+			return nil, fmt.Errorf("skipwebs: %w", err)
+		}
+		ws[i] = w
 	}
-	b := &Blocked{c: c, w: w}
+	done()
+	b := &Blocked{c: c, st: st, ws: ws}
 	c.attach(b)
 	return b, nil
 }
 
 // Len returns the number of stored keys.
-func (b *Blocked) Len() int { return b.w.Len() }
+func (b *Blocked) Len() int {
+	n := 0
+	for i := range b.ws {
+		b.st.rlock(i)
+		n += b.ws[i].Len()
+		b.st.runlock(i)
+	}
+	return n
+}
 
-// M returns the effective memory parameter.
-func (b *Blocked) M() int { return b.w.M() }
+// M returns the effective memory parameter (of the first stripe when
+// WriteStripes > 1; stripes size their default M from their own key
+// counts).
+func (b *Blocked) M() int { return b.ws[0].M() }
 
 // Floor answers a nearest-neighbor (floor) query from the given host in
 // O(log n / log M) expected messages (Theorem 2 with Section 2.4.1
-// blocking): the query pays only when it crosses between strata. The
-// descent performs no per-query heap allocation (see the package
-// README's Performance section).
+// blocking): the query pays only when it crosses between strata. Under
+// write striping the query descends its owning stripe and falls back
+// across lower stripes when that stripe holds no key at or below the
+// query. The descent performs no per-query heap allocation (see the
+// package README's Performance section).
 func (b *Blocked) Floor(q uint64, origin HostID) (FloorResult, error) {
-	k, ok, hops, err := b.w.Query(q, origin)
-	if err != nil {
-		return FloorResult{Hops: hops}, fmt.Errorf("skipwebs: %w", err)
+	hops := 0
+	for i := b.st.of(q); ; i-- {
+		b.st.rlock(i)
+		k, ok, h, err := b.ws[i].Query(q, origin)
+		b.st.runlock(i)
+		hops += h
+		if err != nil {
+			return FloorResult{Hops: hops}, fmt.Errorf("skipwebs: %w", err)
+		}
+		if ok {
+			return FloorResult{Key: k, Found: true, Hops: hops}, nil
+		}
+		if i == 0 {
+			return FloorResult{Found: false, Hops: hops}, nil
+		}
 	}
-	return FloorResult{Key: k, Found: ok, Hops: hops}, nil
 }
 
 // Range returns every stored key in [lo, hi] in ascending order, plus
 // the message cost: one floor query plus one message per storage block
-// the walk crosses.
+// the walk crosses, within every stripe the interval overlaps.
 func (b *Blocked) Range(lo, hi uint64, origin HostID) ([]uint64, int, error) {
 	if lo > hi {
 		return nil, 0, fmt.Errorf("skipwebs: empty range [%d, %d]", lo, hi)
 	}
-	keys, hops, err := b.w.Range(lo, hi, origin)
-	if err != nil {
-		return keys, hops, fmt.Errorf("skipwebs: %w", err)
+	s0, s1 := b.st.of(lo), b.st.of(hi)
+	if s0 == s1 {
+		b.st.rlock(s0)
+		keys, hops, err := b.ws[s0].Range(lo, hi, origin)
+		b.st.runlock(s0)
+		if err != nil {
+			return keys, hops, fmt.Errorf("skipwebs: %w", err)
+		}
+		return keys, hops, nil
+	}
+	var keys []uint64
+	hops := 0
+	for i := s0; i <= s1; i++ {
+		b.st.rlock(i)
+		ks, h, err := b.ws[i].Range(lo, hi, origin)
+		b.st.runlock(i)
+		hops += h
+		if err != nil {
+			return keys, hops, fmt.Errorf("skipwebs: %w", err)
+		}
+		keys = append(keys, ks...)
 	}
 	return keys, hops, nil
 }
 
 // Insert adds a key, returning the update's message cost — O(log n /
 // log M) expected messages (Section 4): updates confined to one
-// stratum's co-located copies cost a single message per stratum.
+// stratum's co-located copies cost a single message per stratum. The
+// update holds only its stripe's writer lock.
 func (b *Blocked) Insert(key uint64, origin HostID) (int, error) {
-	h, err := b.w.Insert(key, origin)
+	i := b.st.of(key)
+	b.st.wlock(i)
+	defer b.st.wunlock(i)
+	h, err := b.ws[i].Insert(key, origin)
 	if err != nil {
 		return h, fmt.Errorf("skipwebs: %w", err)
 	}
@@ -258,9 +468,13 @@ func (b *Blocked) Insert(key uint64, origin HostID) (int, error) {
 
 // Delete removes a key, returning the update's message cost — O(log n /
 // log M) expected messages (Section 4); blocks keep directory slack
-// rather than merging, as the paper amortizes.
+// rather than merging, as the paper amortizes. The update holds only
+// its stripe's writer lock.
 func (b *Blocked) Delete(key uint64, origin HostID) (int, error) {
-	h, err := b.w.Delete(key, origin)
+	i := b.st.of(key)
+	b.st.wlock(i)
+	defer b.st.wunlock(i)
+	h, err := b.ws[i].Delete(key, origin)
 	if err != nil {
 		return h, fmt.Errorf("skipwebs: %w", err)
 	}
@@ -276,8 +490,14 @@ func (b *Blocked) FloorBatch(qs []uint64, origins []HostID) ([]FloorResult, erro
 // ContainsBatch answers one membership query per key concurrently.
 func (b *Blocked) ContainsBatch(keys []uint64, origins []HostID) ([]ContainsResult, error) {
 	return runReadBatch(b.c, keys, origins, func(k uint64, origin HostID) (ContainsResult, error) {
-		r, err := b.Floor(k, origin)
-		return ContainsResult{Found: r.Found && r.Key == k, Hops: r.Hops}, err
+		i := b.st.of(k)
+		b.st.rlock(i)
+		kk, ok, hops, err := b.ws[i].Query(k, origin)
+		b.st.runlock(i)
+		if err != nil {
+			return ContainsResult{Hops: hops}, fmt.Errorf("skipwebs: %w", err)
+		}
+		return ContainsResult{Found: ok && kk == k, Hops: hops}, nil
 	})
 }
 
@@ -289,18 +509,21 @@ func (b *Blocked) RangeBatch(rs []KeyRange, origins []HostID) ([]RangeResult, er
 	})
 }
 
-// InsertBatch adds the keys under the cluster's write lock (single
-// writer), returning each update's message cost in input order. Sorted
-// runs within an origin group take the fast path: one dispatch per run,
-// with consecutive descents sharing their uncharged hyperlink
-// resolutions and the ascending order making every level's index splice
-// an amortized O(1) append (see the sorted-run notes in batch.go).
-// Message accounting is identical to per-op inserts, counter for
-// counter.
+// InsertBatch adds the keys — one parallel writer per stripe, strict
+// input order within each stripe — returning each update's message cost
+// in input order. Sorted runs within an origin group take the fast
+// path: one dispatch per run, with consecutive descents sharing their
+// uncharged hyperlink resolutions and the ascending order making every
+// level's index splice an amortized O(1) append (see the sorted-run
+// notes in batch.go). A run straddling a stripe boundary splits at the
+// separator into one run per stripe. Message accounting is identical to
+// per-op inserts, counter for counter.
 func (b *Blocked) InsertBatch(keys []uint64, origins []HostID) ([]int, error) {
-	return runInsertBatchKeys(b.c, keys, origins, b.Insert,
-		func(ks []uint64, origin HostID, hops []int, errs []error) {
-			b.w.InsertRun(ks, origin, hops, errs)
+	return runInsertBatchKeys(b.c, keys, origins, b.st, b.Insert,
+		func(stripe int, ks []uint64, origin HostID, hops []int, errs []error) {
+			b.st.wlock(stripe)
+			b.ws[stripe].InsertRun(ks, origin, hops, errs)
+			b.st.wunlock(stripe)
 			for i, err := range errs {
 				if err != nil {
 					errs[i] = fmt.Errorf("skipwebs: %w", err)
@@ -309,25 +532,42 @@ func (b *Blocked) InsertBatch(keys []uint64, origins []HostID) ([]int, error) {
 		})
 }
 
-// DeleteBatch removes the keys under the cluster's write lock, returning
-// each update's message cost in input order.
+// DeleteBatch removes the keys — one parallel writer per stripe, strict
+// input order within each stripe — returning each update's message cost
+// in input order.
 func (b *Blocked) DeleteBatch(keys []uint64, origins []HostID) ([]int, error) {
-	return runWriteBatch(b.c, keys, origins, b.Delete)
+	return runWriteBatch(b.c, keys, origins, b.st, func(k uint64) uint64 { return k }, b.Delete)
 }
 
 // rehome and rebalance are the churn hooks Cluster.Leave and
 // Cluster.Join drive: whole blocks (and their co-located stratum
 // copies) migrate between hosts, one message per storage unit moved.
-func (b *Blocked) rehome(from HostID, op *sim.Op)    { b.w.Rehome(from, op) }
-func (b *Blocked) rebalance(onto HostID, op *sim.Op) { b.w.Rebalance(onto, op) }
+func (b *Blocked) rehome(from HostID, op *sim.Op) {
+	for _, w := range b.ws {
+		w.Rehome(from, op)
+	}
+}
+func (b *Blocked) rebalance(onto HostID, op *sim.Op) {
+	for _, w := range b.ws {
+		w.Rebalance(onto, op)
+	}
+}
 
 // repair is the crash-recovery hook Cluster.Crash drives: re-replicate
 // every under-replicated block from its surviving live replicas.
-func (b *Blocked) repair(op *sim.Op) error { return b.w.Repair(op) }
+func (b *Blocked) repair(op *sim.Op) error {
+	return repairStripes(op, b.ws)
+}
 
 // restart is the durable-recovery hook Cluster.Restart drives: merkle-
 // reconcile the restarted host's blocks against one live peer each.
-func (b *Blocked) restart(h HostID, op *sim.Op) int { return b.w.RestartHost(h, op) }
+func (b *Blocked) restart(h HostID, op *sim.Op) int {
+	n := 0
+	for _, w := range b.ws {
+		n += w.RestartHost(h, op)
+	}
+	return n
+}
 
 func (b *Blocked) kind() string { return "blocked" }
 
@@ -335,71 +575,139 @@ func (b *Blocked) kind() string { return "blocked" }
 // lists, child key sets partitioning their parents', ordered block
 // directories, and every block on a live host. Cost: O(n log n) local
 // work, no messages.
-func (b *Blocked) CheckConsistent() error { return b.w.CheckInvariants() }
+func (b *Blocked) CheckConsistent() error {
+	for _, w := range b.ws {
+		if err := w.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Bucketed is the bucket skip-web (Table 1, last row): H < n hosts, each
 // holding a contiguous run of ~n/H keys, with a blocked skip-web routing
 // over the bucket separators. Queries and updates cost Õ(log_M H)
 // messages — expected constant when M = n^ε.
 type Bucketed struct {
-	c *Cluster
-	w *core.BucketWeb
+	c  *Cluster
+	st *stripeSet
+	ws []*core.BucketWeb
 }
 
-// NewBucketed builds the bucket skip-web over keys (distinct).
+// NewBucketed builds the bucket skip-web over keys (distinct). With
+// Options.WriteStripes > 1 it builds one independent sub-web per key
+// stripe (see the Options.WriteStripes doc).
 func NewBucketed(c *Cluster, keys []uint64, opts Options) (*Bucketed, error) {
 	target := opts.BucketSize
 	if target <= 0 {
 		target = len(keys)/c.Hosts() + 1
 	}
+	st, parts := splitKeysByStripe(keys, opts.WriteStripes)
 	done := c.beginBuild(opts.Durable)
-	w, err := core.NewBucketWeb(c.network(), keys, target, opts.M, opts.Seed, opts.Replicas)
-	done()
-	if err != nil {
-		return nil, fmt.Errorf("skipwebs: %w", err)
+	ws := make([]*core.BucketWeb, st.n())
+	for i, part := range parts {
+		w, err := core.NewBucketWeb(c.network(), part, target, opts.M,
+			stripeSeed(opts.Seed, i, st.n()), opts.Replicas)
+		if err != nil {
+			done()
+			return nil, fmt.Errorf("skipwebs: %w", err)
+		}
+		ws[i] = w
 	}
-	b := &Bucketed{c: c, w: w}
+	done()
+	b := &Bucketed{c: c, st: st, ws: ws}
 	c.attach(b)
 	return b, nil
 }
 
 // Len returns the number of stored keys.
-func (b *Bucketed) Len() int { return b.w.Len() }
+func (b *Bucketed) Len() int {
+	n := 0
+	for i := range b.ws {
+		b.st.rlock(i)
+		n += b.ws[i].Len()
+		b.st.runlock(i)
+	}
+	return n
+}
 
-// NumBuckets returns the number of buckets.
-func (b *Bucketed) NumBuckets() int { return b.w.NumBuckets() }
+// NumBuckets returns the number of buckets (summed over stripes).
+func (b *Bucketed) NumBuckets() int {
+	n := 0
+	for i := range b.ws {
+		b.st.rlock(i)
+		n += b.ws[i].NumBuckets()
+		b.st.runlock(i)
+	}
+	return n
+}
 
 // Floor answers a nearest-neighbor (floor) query from the given host in
 // Õ(log_M H) expected messages (Table 1, last row): a routed query over
 // the H bucket separators plus one hop into the bucket — expected
-// constant when M = n^ε.
+// constant when M = n^ε. Under write striping the query descends its
+// owning stripe and falls back across lower stripes when that stripe
+// holds no key at or below the query.
 func (b *Bucketed) Floor(q uint64, origin HostID) (FloorResult, error) {
-	k, ok, hops, err := b.w.Query(q, origin)
-	if err != nil {
-		return FloorResult{Hops: hops}, fmt.Errorf("skipwebs: %w", err)
+	hops := 0
+	for i := b.st.of(q); ; i-- {
+		b.st.rlock(i)
+		k, ok, h, err := b.ws[i].Query(q, origin)
+		b.st.runlock(i)
+		hops += h
+		if err != nil {
+			return FloorResult{Hops: hops}, fmt.Errorf("skipwebs: %w", err)
+		}
+		if ok {
+			return FloorResult{Key: k, Found: true, Hops: hops}, nil
+		}
+		if i == 0 {
+			return FloorResult{Found: false, Hops: hops}, nil
+		}
 	}
-	return FloorResult{Key: k, Found: ok, Hops: hops}, nil
 }
 
 // Range returns every stored key in [lo, hi] in ascending order, plus
 // the message cost: one routed floor query plus one message per bucket
-// visited.
+// visited, within every stripe the interval overlaps.
 func (b *Bucketed) Range(lo, hi uint64, origin HostID) ([]uint64, int, error) {
 	if lo > hi {
 		return nil, 0, fmt.Errorf("skipwebs: empty range [%d, %d]", lo, hi)
 	}
-	keys, hops, err := b.w.Range(lo, hi, origin)
-	if err != nil {
-		return keys, hops, fmt.Errorf("skipwebs: %w", err)
+	s0, s1 := b.st.of(lo), b.st.of(hi)
+	if s0 == s1 {
+		b.st.rlock(s0)
+		keys, hops, err := b.ws[s0].Range(lo, hi, origin)
+		b.st.runlock(s0)
+		if err != nil {
+			return keys, hops, fmt.Errorf("skipwebs: %w", err)
+		}
+		return keys, hops, nil
+	}
+	var keys []uint64
+	hops := 0
+	for i := s0; i <= s1; i++ {
+		b.st.rlock(i)
+		ks, h, err := b.ws[i].Range(lo, hi, origin)
+		b.st.runlock(i)
+		hops += h
+		if err != nil {
+			return keys, hops, fmt.Errorf("skipwebs: %w", err)
+		}
+		keys = append(keys, ks...)
 	}
 	return keys, hops, nil
 }
 
 // Insert adds a key, returning the update's message cost — Õ(log_M H)
 // expected messages: a routed floor query plus one hop into the bucket,
-// with amortized separator insertions on bucket splits.
+// with amortized separator insertions on bucket splits. The update
+// holds only its stripe's writer lock.
 func (b *Bucketed) Insert(key uint64, origin HostID) (int, error) {
-	h, err := b.w.Insert(key, origin)
+	i := b.st.of(key)
+	b.st.wlock(i)
+	defer b.st.wunlock(i)
+	h, err := b.ws[i].Insert(key, origin)
 	if err != nil {
 		return h, fmt.Errorf("skipwebs: %w", err)
 	}
@@ -408,9 +716,12 @@ func (b *Bucketed) Insert(key uint64, origin HostID) (int, error) {
 
 // Delete removes a key, returning the update's message cost — Õ(log_M
 // H) expected messages; separators persist, as in the bucket skip
-// graph.
+// graph. The update holds only its stripe's writer lock.
 func (b *Bucketed) Delete(key uint64, origin HostID) (int, error) {
-	h, err := b.w.Delete(key, origin)
+	i := b.st.of(key)
+	b.st.wlock(i)
+	defer b.st.wunlock(i)
+	h, err := b.ws[i].Delete(key, origin)
 	if err != nil {
 		return h, fmt.Errorf("skipwebs: %w", err)
 	}
@@ -426,8 +737,14 @@ func (b *Bucketed) FloorBatch(qs []uint64, origins []HostID) ([]FloorResult, err
 // ContainsBatch answers one membership query per key concurrently.
 func (b *Bucketed) ContainsBatch(keys []uint64, origins []HostID) ([]ContainsResult, error) {
 	return runReadBatch(b.c, keys, origins, func(k uint64, origin HostID) (ContainsResult, error) {
-		r, err := b.Floor(k, origin)
-		return ContainsResult{Found: r.Found && r.Key == k, Hops: r.Hops}, err
+		i := b.st.of(k)
+		b.st.rlock(i)
+		kk, ok, hops, err := b.ws[i].Query(k, origin)
+		b.st.runlock(i)
+		if err != nil {
+			return ContainsResult{Hops: hops}, fmt.Errorf("skipwebs: %w", err)
+		}
+		return ContainsResult{Found: ok && kk == k, Hops: hops}, nil
 	})
 }
 
@@ -439,42 +756,65 @@ func (b *Bucketed) RangeBatch(rs []KeyRange, origins []HostID) ([]RangeResult, e
 	})
 }
 
-// InsertBatch adds the keys under the cluster's write lock (single
-// writer), returning each update's message cost in input order. Sorted
-// runs within an origin group are dispatched as one unit (see the
-// sorted-run notes in batch.go); accounting is identical to per-op
-// inserts.
+// InsertBatch adds the keys — one parallel writer per stripe, strict
+// input order within each stripe — returning each update's message cost
+// in input order. Sorted runs within an origin group are dispatched as
+// one unit (see the sorted-run notes in batch.go); accounting is
+// identical to per-op inserts.
 func (b *Bucketed) InsertBatch(keys []uint64, origins []HostID) ([]int, error) {
-	return runInsertBatchKeys(b.c, keys, origins, b.Insert,
-		func(ks []uint64, origin HostID, hops []int, errs []error) {
+	return runInsertBatchKeys(b.c, keys, origins, b.st, b.Insert,
+		func(stripe int, ks []uint64, origin HostID, hops []int, errs []error) {
+			b.st.wlock(stripe)
+			defer b.st.wunlock(stripe)
 			for i, k := range ks {
-				hops[i], errs[i] = b.Insert(k, origin)
+				h, err := b.ws[stripe].Insert(k, origin)
+				hops[i] = h
+				if err != nil {
+					errs[i] = fmt.Errorf("skipwebs: %w", err)
+				}
 			}
 		})
 }
 
-// DeleteBatch removes the keys under the cluster's write lock, returning
-// each update's message cost in input order.
+// DeleteBatch removes the keys — one parallel writer per stripe, strict
+// input order within each stripe — returning each update's message cost
+// in input order.
 func (b *Bucketed) DeleteBatch(keys []uint64, origins []HostID) ([]int, error) {
-	return runWriteBatch(b.c, keys, origins, b.Delete)
+	return runWriteBatch(b.c, keys, origins, b.st, func(k uint64) uint64 { return k }, b.Delete)
 }
 
 // rehome and rebalance are the churn hooks Cluster.Leave and
 // Cluster.Join drive: the separator routing web migrates like a blocked
 // web, and each bucket moves as one unit of ~n/H keys, one message per
 // key moved.
-func (b *Bucketed) rehome(from HostID, op *sim.Op)    { b.w.Rehome(from, op) }
-func (b *Bucketed) rebalance(onto HostID, op *sim.Op) { b.w.Rebalance(onto, op) }
+func (b *Bucketed) rehome(from HostID, op *sim.Op) {
+	for _, w := range b.ws {
+		w.Rehome(from, op)
+	}
+}
+func (b *Bucketed) rebalance(onto HostID, op *sim.Op) {
+	for _, w := range b.ws {
+		w.Rebalance(onto, op)
+	}
+}
 
 // repair is the crash-recovery hook Cluster.Crash drives: re-replicate
 // the routing web and every under-replicated bucket from surviving
 // live replicas.
-func (b *Bucketed) repair(op *sim.Op) error { return b.w.Repair(op) }
+func (b *Bucketed) repair(op *sim.Op) error {
+	return repairStripes(op, b.ws)
+}
 
 // restart is the durable-recovery hook Cluster.Restart drives: merkle-
 // reconcile the restarted host's routing-web blocks and buckets against
 // one live peer each.
-func (b *Bucketed) restart(h HostID, op *sim.Op) int { return b.w.RestartHost(h, op) }
+func (b *Bucketed) restart(h HostID, op *sim.Op) int {
+	n := 0
+	for _, w := range b.ws {
+		n += w.RestartHost(h, op)
+	}
+	return n
+}
 
 func (b *Bucketed) kind() string { return "bucketed" }
 
@@ -482,4 +822,11 @@ func (b *Bucketed) kind() string { return "bucketed" }
 // bucket directory: every bucket keyed by its separator, sorted, on a
 // live host, and in one-to-one correspondence with the routing web's
 // ground list. Cost: O(n log n) local work, no messages.
-func (b *Bucketed) CheckConsistent() error { return b.w.CheckInvariants() }
+func (b *Bucketed) CheckConsistent() error {
+	for _, w := range b.ws {
+		if err := w.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

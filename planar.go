@@ -40,7 +40,8 @@ type Trapezoid struct {
 // Planar is a skip-web over a trapezoidal map of non-crossing segments
 // (Section 3.3): planar point-location in O(log n) expected messages.
 // The structure is static (build + query), matching the paper's
-// amortization caveat for trapezoid updates.
+// amortization caveat for trapezoid updates; having no writers, it
+// ignores Options.WriteStripes.
 type Planar struct {
 	c *Cluster
 	w *core.Web[*trapmap.Map, trapmap.Segment, trapmap.Point]

@@ -2,6 +2,7 @@ package skipwebs
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"github.com/skipwebs/skipwebs/internal/core"
@@ -38,52 +39,153 @@ type PointLocation struct {
 type Points struct {
 	c   *Cluster
 	ops *core.QuadOps
-	w   *core.Web[*quadtree.Tree, quadtree.Point, uint64]
+	st  *stripeSet
+	ws  []*core.Web[*quadtree.Tree, quadtree.Point, uint64]
 }
 
 // NewPoints builds a point-set skip-web of the given dimension
-// (2 <= d <= 6) over distinct points.
+// (2 <= d <= 6) over distinct points. With Options.WriteStripes > 1 it
+// builds one independent sub-web per Morton-code stripe (see the
+// Options.WriteStripes doc): the Morton code is the same locational key
+// the quadtree itself orders by, so each stripe is a contiguous band of
+// the space-filling curve.
 func NewPoints(c *Cluster, d int, points []Point, opts Options) (*Points, error) {
 	if d < 2 || d > 6 {
 		return nil, fmt.Errorf("skipwebs: dimension %d out of range [2, 6]", d)
 	}
 	ops := core.NewQuadOps(d)
-	items := make([]quadtree.Point, len(points))
-	for i, p := range points {
-		items[i] = quadtree.Point(p)
-	}
-	done := c.beginBuild(opts.Durable)
-	w, err := core.NewWeb[*quadtree.Tree, quadtree.Point, uint64](
-		ops, c.network(), items, core.Config{Seed: opts.Seed, Replicas: opts.Replicas})
-	done()
+	st, parts, err := splitPointsByStripe(ops, points, opts.WriteStripes)
 	if err != nil {
 		return nil, fmt.Errorf("skipwebs: %w", err)
 	}
-	p := &Points{c: c, ops: ops, w: w}
+	done := c.beginBuild(opts.Durable)
+	ws := make([]*core.Web[*quadtree.Tree, quadtree.Point, uint64], st.n())
+	for i, part := range parts {
+		// Each stripe web owns a private QuadOps: the adapter reuses
+		// Change buffers across updates, which concurrent stripe writers
+		// must not share. p.ops is kept only for Code, which is pure.
+		stripeOps := ops
+		if i > 0 {
+			stripeOps = core.NewQuadOps(d)
+		}
+		w, werr := core.NewWeb[*quadtree.Tree, quadtree.Point, uint64](
+			stripeOps, c.network(), part, core.Config{Seed: stripeSeed(opts.Seed, i, st.n()), Replicas: opts.Replicas})
+		if werr != nil {
+			done()
+			return nil, fmt.Errorf("skipwebs: %w", werr)
+		}
+		ws[i] = w
+	}
+	done()
+	p := &Points{c: c, ops: ops, st: st, ws: ws}
 	c.attach(p)
 	return p, nil
 }
 
-// Len returns the number of stored points.
-func (p *Points) Len() int { return p.w.Len() }
+// splitPointsByStripe sorts the build points by Morton code, builds the
+// stripe routing table, and returns the per-stripe chunks (as
+// quadtree.Points). want <= 1 passes the input through unsorted — the
+// exact pre-striping build input.
+func splitPointsByStripe(ops *core.QuadOps, points []Point, want int) (*stripeSet, [][]quadtree.Point, error) {
+	items := make([]quadtree.Point, len(points))
+	for i, p := range points {
+		items[i] = quadtree.Point(p)
+	}
+	if want <= 1 || len(items) <= 1 {
+		return newStripeSet(nil, 1), [][]quadtree.Point{items}, nil
+	}
+	codes := make([]uint64, len(items))
+	for i, it := range items {
+		c, err := ops.Code(it)
+		if err != nil {
+			return nil, nil, err
+		}
+		codes[i] = c
+	}
+	sort.Sort(&pointsByCode{items: items, codes: codes})
+	ss := newStripeSet(codes, want)
+	parts := make([][]quadtree.Point, ss.n())
+	start := 0
+	for i := 0; i < ss.n(); i++ {
+		end := start
+		for end < len(items) && ss.of(codes[end]) == i {
+			end++
+		}
+		parts[i] = items[start:end]
+		start = end
+	}
+	return ss, parts, nil
+}
 
-// TreeDepth returns the depth of the underlying ground quadtree (which
-// may be Θ(n) for clustered inputs — queries stay O(log n) regardless).
-func (p *Points) TreeDepth() int { return p.w.GroundStructure().Depth() }
+// pointsByCode sorts points and their Morton codes in lockstep.
+type pointsByCode struct {
+	items []quadtree.Point
+	codes []uint64
+}
+
+func (s *pointsByCode) Len() int           { return len(s.items) }
+func (s *pointsByCode) Less(i, j int) bool { return s.codes[i] < s.codes[j] }
+func (s *pointsByCode) Swap(i, j int) {
+	s.items[i], s.items[j] = s.items[j], s.items[i]
+	s.codes[i], s.codes[j] = s.codes[j], s.codes[i]
+}
+
+// stripeCode maps a point to its stripe code (its Morton code). An
+// out-of-range point maps to stripe 0, whose engine then reports the
+// same validation error the unsharded path would.
+func (p *Points) stripeCode(q Point) uint64 {
+	code, err := p.ops.Code(quadtree.Point(q))
+	if err != nil {
+		return 0
+	}
+	return code
+}
+
+// Len returns the number of stored points.
+func (p *Points) Len() int {
+	n := 0
+	for i := range p.ws {
+		p.st.rlock(i)
+		n += p.ws[i].Len()
+		p.st.runlock(i)
+	}
+	return n
+}
+
+// TreeDepth returns the depth of the underlying ground quadtree (the
+// deepest stripe's, under write striping; may be Θ(n) for clustered
+// inputs — queries stay O(log n) regardless).
+func (p *Points) TreeDepth() int {
+	depth := 0
+	for i := range p.ws {
+		p.st.rlock(i)
+		if d := p.ws[i].GroundStructure().Depth(); d > depth {
+			depth = d
+		}
+		p.st.runlock(i)
+	}
+	return depth
+}
 
 // Locate routes a point-location query from the given host in O(log n)
 // expected messages (Theorem 2 via Lemma 3), independent of the tree
 // depth — the skip-web's advantage over walking the quadtree itself.
+// Under write striping the query descends the stripe owning the point's
+// Morton code; the located cell is that stripe's deepest cell containing
+// the query, which is the subdivision cell of the stripe's curve band.
 func (p *Points) Locate(q Point, origin HostID) (PointLocation, error) {
 	code, err := p.ops.Code(quadtree.Point(q))
 	if err != nil {
 		return PointLocation{}, fmt.Errorf("skipwebs: %w", err)
 	}
-	res, err := p.w.Query(code, origin)
+	i := p.st.of(code)
+	p.st.rlock(i)
+	defer p.st.runlock(i)
+	res, err := p.ws[i].Query(code, origin)
 	if err != nil {
 		return PointLocation{}, fmt.Errorf("skipwebs: %w", err)
 	}
-	g := p.w.GroundStructure()
+	g := p.ws[i].GroundStructure()
 	id := quadtree.NodeID(res.Range)
 	loc := PointLocation{Hops: res.Hops}
 	cell := g.CellOf(id)
@@ -96,7 +198,8 @@ func (p *Points) Locate(q Point, origin HostID) (PointLocation, error) {
 }
 
 // Contains reports whether the exact point is stored — O(log n)
-// expected messages, the same bound as Locate.
+// expected messages, the same bound as Locate. Exact membership needs
+// only the stripe owning the point's Morton code.
 func (p *Points) Contains(q Point, origin HostID) (bool, int, error) {
 	loc, err := p.Locate(q, origin)
 	if err != nil {
@@ -121,16 +224,42 @@ func (p *Points) Contains(q Point, origin HostID) (bool, int, error) {
 // (the skip-web part), then refines with a best-first search over the
 // ground tree, charging one extra hop per tree node expanded — the
 // standard way point location supports neighbor queries (Section 3.1).
+// Under write striping the refinement starts in the stripe owning the
+// query's Morton code — a curve band whose cells are near q, seeding a
+// tight distance bound — then prunes the other stripes' trees against
+// that shared bound, so the extra expansions stay close to the
+// single-tree search's.
 func (p *Points) Nearest(q Point, origin HostID) (Point, int, error) {
 	loc, err := p.Locate(q, origin)
 	if err != nil {
 		return nil, 0, err
 	}
-	g := p.w.GroundStructure()
-	if g.Len() == 0 {
-		return nil, loc.Hops, fmt.Errorf("skipwebs: empty point set")
+	own := p.st.of(p.stripeCode(q))
+	var best quadtree.Point
+	bestDist := ^uint64(0)
+	extra := 0
+	search := func(i int) {
+		p.st.rlock(i)
+		defer p.st.runlock(i)
+		g := p.ws[i].GroundStructure()
+		if g.Len() == 0 {
+			return
+		}
+		pt, d, exp := nearestInTree(g, quadtree.Point(q), bestDist)
+		extra += exp
+		if pt != nil && d < bestDist {
+			best, bestDist = pt, d
+		}
 	}
-	best, extra := nearestInTree(g, quadtree.Point(q))
+	search(own)
+	for i := range p.ws {
+		if i != own {
+			search(i)
+		}
+	}
+	if best == nil {
+		return nil, loc.Hops + extra, fmt.Errorf("skipwebs: empty point set")
+	}
 	return Point(best), loc.Hops + extra, nil
 }
 
@@ -145,11 +274,15 @@ type nearestItem struct {
 // does not allocate a heap per query.
 var nearestHeapPool = sync.Pool{New: func() any { return new([]nearestItem) }}
 
-// nearestInTree is a best-first search with cell distance pruning.
-func nearestInTree(g *quadtree.Tree, q quadtree.Point) (quadtree.Point, int) {
+// nearestInTree is a best-first search with cell distance pruning. It
+// returns the best point strictly closer than bound (nil when the tree
+// holds none), its distance, and the number of nodes expanded. Pass
+// ^uint64(0) to search unbounded; a striped Nearest threads the running
+// best distance through as the bound so later trees prune early.
+func nearestInTree(g *quadtree.Tree, q quadtree.Point, bound uint64) (quadtree.Point, uint64, int) {
 	type item = nearestItem
 	var bestPt quadtree.Point
-	bestDist := ^uint64(0)
+	bestDist := bound
 	expanded := 0
 	heapBuf := nearestHeapPool.Get().(*[]nearestItem)
 	heap := (*heapBuf)[:0]
@@ -211,7 +344,7 @@ func nearestInTree(g *quadtree.Tree, q quadtree.Point) (quadtree.Point, int) {
 			}
 		}
 	}
-	return bestPt, expanded
+	return bestPt, bestDist, expanded
 }
 
 // cellDist is the squared distance from q to node id's cell.
@@ -263,9 +396,14 @@ func pointDist(a, b quadtree.Point) uint64 {
 
 // Insert adds a point, returning the update's message cost — O(log n)
 // expected messages (Section 4): a routed location plus an
-// O(1)-message cell split per level of the point's bit path.
+// O(1)-message cell split per level of the point's bit path. The update
+// holds only its stripe's writer lock, so inserts into different Morton
+// bands run concurrently.
 func (p *Points) Insert(q Point, origin HostID) (int, error) {
-	h, err := p.w.Insert(quadtree.Point(q), origin)
+	i := p.st.of(p.stripeCode(q))
+	p.st.wlock(i)
+	defer p.st.wunlock(i)
+	h, err := p.ws[i].Insert(quadtree.Point(q), origin)
 	if err != nil {
 		return h, fmt.Errorf("skipwebs: %w", err)
 	}
@@ -274,9 +412,12 @@ func (p *Points) Insert(q Point, origin HostID) (int, error) {
 
 // Delete removes a point, returning the update's message cost — O(log
 // n) expected messages (Section 4), pruning emptied cells level by
-// level.
+// level. The update holds only its stripe's writer lock.
 func (p *Points) Delete(q Point, origin HostID) (int, error) {
-	h, err := p.w.Delete(quadtree.Point(q), origin)
+	i := p.st.of(p.stripeCode(q))
+	p.st.wlock(i)
+	defer p.st.wunlock(i)
+	h, err := p.ws[i].Delete(quadtree.Point(q), origin)
 	if err != nil {
 		return h, fmt.Errorf("skipwebs: %w", err)
 	}
@@ -315,35 +456,60 @@ func (p *Points) NearestBatch(qs []Point, origins []HostID) ([]NearestResult, er
 	})
 }
 
-// InsertBatch adds the points under the cluster's write lock (single
-// writer), returning each update's message cost in input order.
+// InsertBatch adds the points — one parallel writer per Morton-code
+// stripe, strict input order within each stripe — returning each
+// update's message cost in input order.
 func (p *Points) InsertBatch(qs []Point, origins []HostID) ([]int, error) {
-	return runWriteBatch(p.c, qs, origins, p.Insert)
+	return runWriteBatch(p.c, qs, origins, p.st, p.stripeCode, p.Insert)
 }
 
-// DeleteBatch removes the points under the cluster's write lock,
-// returning each update's message cost in input order.
+// DeleteBatch removes the points — one parallel writer per Morton-code
+// stripe, strict input order within each stripe — returning each
+// update's message cost in input order.
 func (p *Points) DeleteBatch(qs []Point, origins []HostID) ([]int, error) {
-	return runWriteBatch(p.c, qs, origins, p.Delete)
+	return runWriteBatch(p.c, qs, origins, p.st, p.stripeCode, p.Delete)
 }
 
 // rehome and rebalance are the churn hooks Cluster.Leave and
 // Cluster.Join drive: quadtree cells migrate between hosts with their
 // hyperlinks, one message per storage unit moved.
-func (p *Points) rehome(from HostID, op *sim.Op)    { p.w.Rehome(from, op) }
-func (p *Points) rebalance(onto HostID, op *sim.Op) { p.w.Rebalance(onto, op) }
+func (p *Points) rehome(from HostID, op *sim.Op) {
+	for _, w := range p.ws {
+		w.Rehome(from, op)
+	}
+}
+func (p *Points) rebalance(onto HostID, op *sim.Op) {
+	for _, w := range p.ws {
+		w.Rebalance(onto, op)
+	}
+}
 
 // repair is the crash-recovery hook Cluster.Crash drives: re-replicate
 // every under-replicated cell from its surviving live replicas.
-func (p *Points) repair(op *sim.Op) error { return p.w.Repair(op) }
+func (p *Points) repair(op *sim.Op) error {
+	return repairStripes(op, p.ws)
+}
 
 // restart is the durable-recovery hook Cluster.Restart drives: merkle-
 // reconcile the restarted host's ranges against one live peer each.
-func (p *Points) restart(h HostID, op *sim.Op) int { return p.w.RestartHost(h, op) }
+func (p *Points) restart(h HostID, op *sim.Op) int {
+	n := 0
+	for _, w := range p.ws {
+		n += w.RestartHost(h, op)
+	}
+	return n
+}
 
 func (p *Points) kind() string { return "points" }
 
 // CheckConsistent verifies the point web's invariants: every cell on a
 // live host, hyperlinks matching recomputation, and per-level counts
 // that add up. Cost: O(n log n) local work, no messages.
-func (p *Points) CheckConsistent() error { return p.w.CheckInvariants() }
+func (p *Points) CheckConsistent() error {
+	for _, w := range p.ws {
+		if err := w.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -107,18 +107,20 @@ type migrator interface {
 // (FloorBatch, LocateBatch, InsertBatch, ...) on any attached structure
 // starts one worker goroutine per host, and batches execute their
 // operations on the origin hosts' workers via send-and-continue message
-// passing. Read batches from all structures run fully in parallel under a
-// shared read lock; update batches take the write lock and serialize —
-// single-writer/many-reader concurrency control. Call Close to stop the
-// workers when batches have been used.
+// passing. Read batches from all structures run fully in parallel, update
+// batches run one writer per key-range stripe (Options.WriteStripes;
+// single writer per stripe), and churn serializes against everything.
+// Call Close to stop the workers when batches have been used.
 type Cluster struct {
 	net *sim.Network
 
-	// mu is the single-writer/many-reader lock over every structure
-	// attached to this cluster: read batches hold RLock, update batches
-	// and churn events (Join, Leave) hold Lock. Synchronous (non-batch)
-	// calls are not locked; do not run them concurrently with batches or
-	// churn.
+	// mu is the churn lock over every structure attached to this
+	// cluster: read AND write batches hold RLock — fine-grained
+	// exclusion between them lives in each structure's per-key-range
+	// write stripes (stripes.go) — while churn events (Join, Leave,
+	// Crash, Restart, Repair) and Close hold Lock, draining every
+	// in-flight batch. Synchronous (non-batch) calls take stripe locks
+	// but not mu; do not run them concurrently with churn.
 	mu sync.RWMutex
 
 	// structs are the attached structures, in construction order; churn

@@ -27,42 +27,81 @@ type StringLocation struct {
 // compressed digital tries: O(log n) expected messages per search even
 // when the trie has depth Θ(n) (long shared prefixes).
 type Strings struct {
-	c *Cluster
-	w *core.Web[*trie.Trie, string, string]
+	c  *Cluster
+	st *stripeSet
+	ws []*core.Web[*trie.Trie, string, string]
 }
 
 // NewStrings builds a string skip-web over distinct non-empty keys.
+// With Options.WriteStripes > 1 it builds one independent sub-trie per
+// stripe of the keys' first-eight-byte codes (see the
+// Options.WriteStripes doc). Striping refines locus granularity: Search
+// reports the deepest stored prefix within the stripe owning the query's
+// code, so a locus shared only by keys of different stripes is not
+// materialized — Contains and PrefixSearch results are unchanged.
 func NewStrings(c *Cluster, keys []string, opts Options) (*Strings, error) {
+	st, parts := splitStringsByStripe(keys, opts.WriteStripes)
 	done := c.beginBuild(opts.Durable)
-	w, err := core.NewWeb[*trie.Trie, string, string](
-		core.NewTrieOps(), c.network(), keys, core.Config{Seed: opts.Seed, Replicas: opts.Replicas})
-	done()
-	if err != nil {
-		return nil, fmt.Errorf("skipwebs: %w", err)
+	ws := make([]*core.Web[*trie.Trie, string, string], st.n())
+	for i, part := range parts {
+		w, err := core.NewWeb[*trie.Trie, string, string](
+			core.NewTrieOps(), c.network(), part,
+			core.Config{Seed: stripeSeed(opts.Seed, i, st.n()), Replicas: opts.Replicas})
+		if err != nil {
+			done()
+			return nil, fmt.Errorf("skipwebs: %w", err)
+		}
+		ws[i] = w
 	}
-	s := &Strings{c: c, w: w}
+	done()
+	s := &Strings{c: c, st: st, ws: ws}
 	c.attach(s)
 	return s, nil
 }
 
 // Len returns the number of stored keys.
-func (s *Strings) Len() int { return s.w.Len() }
+func (s *Strings) Len() int {
+	n := 0
+	for i := range s.ws {
+		s.st.rlock(i)
+		n += s.ws[i].Len()
+		s.st.runlock(i)
+	}
+	return n
+}
 
-// TrieDepth returns the depth of the ground trie.
-func (s *Strings) TrieDepth() int { return s.w.GroundStructure().Depth() }
+// TrieDepth returns the depth of the ground trie (the deepest stripe's,
+// under write striping).
+func (s *Strings) TrieDepth() int {
+	depth := 0
+	for i := range s.ws {
+		s.st.rlock(i)
+		if d := s.ws[i].GroundStructure().Depth(); d > depth {
+			depth = d
+		}
+		s.st.runlock(i)
+	}
+	return depth
+}
 
 // Search routes a string search from the given host in O(log n)
 // expected messages (Theorem 2 via Lemma 4), independent of the trie
-// depth — long shared prefixes cost nothing extra. The descent itself
-// is allocation-free (pooled accounting Op, iterator-based range
+// depth — long shared prefixes cost nothing extra. Under write striping
+// the search descends the stripe owning the query's code and reports the
+// deepest stored prefix within that stripe's trie (see NewStrings on
+// locus granularity); exactness is unaffected. The descent itself is
+// allocation-free (pooled accounting Op, iterator-based range
 // enumeration); only the returned location's locus string is shared with
 // the ground trie, never copied.
 func (s *Strings) Search(q string, origin HostID) (StringLocation, error) {
-	res, err := s.w.Query(q, origin)
+	i := s.st.of(stringCode(q))
+	s.st.rlock(i)
+	defer s.st.runlock(i)
+	res, err := s.ws[i].Query(q, origin)
 	if err != nil {
 		return StringLocation{}, fmt.Errorf("skipwebs: %w", err)
 	}
-	g := s.w.GroundStructure()
+	g := s.ws[i].GroundStructure()
 	id := trie.NodeID(res.Range)
 	locus := g.Locus(id)
 	return StringLocation{
@@ -74,7 +113,8 @@ func (s *Strings) Search(q string, origin HostID) (StringLocation, error) {
 }
 
 // Contains reports whether the exact key is stored — O(log n) expected
-// messages, the same bound as Search.
+// messages, the same bound as Search. A stored key lives in the stripe
+// its code routes to, so membership needs only that stripe.
 func (s *Strings) Contains(q string, origin HostID) (bool, int, error) {
 	loc, err := s.Search(q, origin)
 	if err != nil {
@@ -86,31 +126,83 @@ func (s *Strings) Contains(q string, origin HostID) (bool, int, error) {
 // PrefixSearch returns up to max stored keys with the given prefix (max
 // <= 0 means all), in sorted order. The skip-web routes to the prefix
 // locus; enumerating the k results costs one extra hop per result, which
-// is charged into the returned hop count.
+// is charged into the returned hop count. Under write striping the
+// enumeration visits every stripe whose code range intersects the
+// prefix's code interval — each charging its own routed search — and
+// concatenates the per-stripe sorted results (stripes hold contiguous
+// code ranges, so the concatenation is sorted).
 func (s *Strings) PrefixSearch(prefix string, max int, origin HostID) ([]string, int, error) {
-	loc, err := s.Search(prefix, origin)
-	if err != nil {
-		return nil, 0, err
+	s0 := s.st.of(stringCode(prefix))
+	s1 := s.st.of(prefixCodeHi(prefix))
+	var keys []string
+	hops := 0
+	for i := s0; i <= s1; i++ {
+		remaining := max
+		if max > 0 {
+			remaining = max - len(keys)
+			if remaining == 0 {
+				break
+			}
+		}
+		ks, h, err := s.prefixInStripe(i, prefix, remaining, origin)
+		hops += h
+		if err != nil {
+			return keys, hops, err
+		}
+		keys = append(keys, ks...)
 	}
-	g := s.w.GroundStructure()
+	return keys, hops, nil
+}
+
+// prefixInStripe enumerates stripe i's keys with the given prefix: a
+// routed search to the prefix locus plus one charged hop per result.
+func (s *Strings) prefixInStripe(i int, prefix string, max int, origin HostID) ([]string, int, error) {
+	s.st.rlock(i)
+	defer s.st.runlock(i)
+	res, err := s.ws[i].Query(prefix, origin)
+	if err != nil {
+		return nil, 0, fmt.Errorf("skipwebs: %w", err)
+	}
+	g := s.ws[i].GroundStructure()
+	locus := g.Locus(trie.NodeID(res.Range))
 	// The terminal locus is the deepest stored prefix of `prefix`; the
 	// subtree holding all `prefix`-keys hangs at or just below it.
-	if !strings.HasPrefix(loc.Locus, prefix) {
-		id, ok := g.LocatePrefix(prefix)
-		if !ok {
-			return nil, loc.Hops, nil
+	if !strings.HasPrefix(locus, prefix) {
+		if _, ok := g.LocatePrefix(prefix); !ok {
+			return nil, res.Hops, nil
 		}
-		_ = id
 	}
 	keys := g.KeysWithPrefix(prefix, max)
-	return keys, loc.Hops + len(keys), nil
+	return keys, res.Hops + len(keys), nil
+}
+
+// prefixCodeHi is the largest stripe code any string with the given
+// prefix can have: the prefix's first eight bytes padded with 0xff. With
+// stringCode(prefix) as the low end it brackets the code interval the
+// prefix's keys occupy.
+func prefixCodeHi(prefix string) uint64 {
+	var code uint64
+	for i := 0; i < 8; i++ {
+		code <<= 8
+		if i < len(prefix) {
+			code |= uint64(prefix[i])
+		} else {
+			code |= 0xff
+		}
+	}
+	return code
 }
 
 // Insert adds a key, returning the update's message cost — O(log n)
 // expected messages (Section 4): a routed search plus an O(1)-message
-// locus change per level of the key's bit path.
+// locus change per level of the key's bit path. The update holds only
+// its stripe's writer lock, so inserts into different code ranges run
+// concurrently.
 func (s *Strings) Insert(key string, origin HostID) (int, error) {
-	h, err := s.w.Insert(key, origin)
+	i := s.st.of(stringCode(key))
+	s.st.wlock(i)
+	defer s.st.wunlock(i)
+	h, err := s.ws[i].Insert(key, origin)
 	if err != nil {
 		return h, fmt.Errorf("skipwebs: %w", err)
 	}
@@ -119,9 +211,12 @@ func (s *Strings) Insert(key string, origin HostID) (int, error) {
 
 // Delete removes a key, returning the update's message cost — O(log n)
 // expected messages (Section 4), pruning unbranched loci level by
-// level.
+// level. The update holds only its stripe's writer lock.
 func (s *Strings) Delete(key string, origin HostID) (int, error) {
-	h, err := s.w.Delete(key, origin)
+	i := s.st.of(stringCode(key))
+	s.st.wlock(i)
+	defer s.st.wunlock(i)
+	h, err := s.ws[i].Delete(key, origin)
 	if err != nil {
 		return h, fmt.Errorf("skipwebs: %w", err)
 	}
@@ -159,35 +254,68 @@ func (s *Strings) PrefixSearchBatch(prefixes []string, max int, origins []HostID
 	})
 }
 
-// InsertBatch adds the keys under the cluster's write lock (single
-// writer), returning each update's message cost in input order.
+// InsertBatch adds the keys — one parallel writer per code stripe,
+// strict input order within each stripe — returning each update's
+// message cost in input order.
 func (s *Strings) InsertBatch(keys []string, origins []HostID) ([]int, error) {
-	return runWriteBatch(s.c, keys, origins, s.Insert)
+	return runWriteBatch(s.c, keys, origins, s.st, stringCode, s.Insert)
 }
 
-// DeleteBatch removes the keys under the cluster's write lock, returning
-// each update's message cost in input order.
+// DeleteBatch removes the keys — one parallel writer per code stripe,
+// strict input order within each stripe — returning each update's
+// message cost in input order.
 func (s *Strings) DeleteBatch(keys []string, origins []HostID) ([]int, error) {
-	return runWriteBatch(s.c, keys, origins, s.Delete)
+	return runWriteBatch(s.c, keys, origins, s.st, stringCode, s.Delete)
 }
 
 // rehome and rebalance are the churn hooks Cluster.Leave and
 // Cluster.Join drive: trie loci migrate between hosts with their
 // hyperlinks, one message per storage unit moved.
-func (s *Strings) rehome(from HostID, op *sim.Op)    { s.w.Rehome(from, op) }
-func (s *Strings) rebalance(onto HostID, op *sim.Op) { s.w.Rebalance(onto, op) }
+func (s *Strings) rehome(from HostID, op *sim.Op) {
+	for _, w := range s.ws {
+		w.Rehome(from, op)
+	}
+}
+func (s *Strings) rebalance(onto HostID, op *sim.Op) {
+	for _, w := range s.ws {
+		w.Rebalance(onto, op)
+	}
+}
 
 // repair is the crash-recovery hook Cluster.Crash drives: re-replicate
 // every under-replicated locus from its surviving live replicas.
-func (s *Strings) repair(op *sim.Op) error { return s.w.Repair(op) }
+func (s *Strings) repair(op *sim.Op) error {
+	return repairStripes(op, s.ws)
+}
 
 // restart is the durable-recovery hook Cluster.Restart drives: merkle-
 // reconcile the restarted host's ranges against one live peer each.
-func (s *Strings) restart(h HostID, op *sim.Op) int { return s.w.RestartHost(h, op) }
+func (s *Strings) restart(h HostID, op *sim.Op) int {
+	n := 0
+	for _, w := range s.ws {
+		n += w.RestartHost(h, op)
+	}
+	return n
+}
 
 func (s *Strings) kind() string { return "strings" }
 
 // CheckConsistent verifies the string web's invariants: every locus on
-// a live host, hyperlinks matching recomputation, and per-level counts
-// that add up. Cost: O(n log n) local work, no messages.
-func (s *Strings) CheckConsistent() error { return s.w.CheckInvariants() }
+// a live host, hyperlinks matching recomputation, per-level counts that
+// add up, and — under striping — every key stored in the stripe its
+// code routes to. Cost: O(n log n) local work, no messages.
+func (s *Strings) CheckConsistent() error {
+	for i, w := range s.ws {
+		if err := w.CheckInvariants(); err != nil {
+			return err
+		}
+		if s.st.n() > 1 {
+			for _, k := range w.GroundStructure().KeysWithPrefix("", 0) {
+				if s.st.of(stringCode(k)) != i {
+					return fmt.Errorf("skipwebs: key %q stored in stripe %d but routes to stripe %d", k, i, s.st.of(stringCode(k)))
+				}
+			}
+		}
+	}
+	return nil
+}
