@@ -1,0 +1,663 @@
+package skipwebs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/skipwebs/skipwebs/internal/experiments"
+	"github.com/skipwebs/skipwebs/internal/trapmap"
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// The read-path cache parity suite. Every test builds TWIN fixtures —
+// one cluster with Options.CacheFingers + Options.NegativeBloom, one
+// identical cluster without — and replays the same deterministic
+// workload against both. The control is the oracle: the cached
+// structure must return the identical answer on every operation while
+// charging at most the control's messages, and strictly fewer in
+// aggregate once the workload repeats queries.
+
+// cachedOpts/controlOpts are the twin option sets: identical except for
+// the two cache knobs, so placement and routing are bit-identical.
+func cachedOpts(seed uint64) Options {
+	return Options{Seed: seed, WriteStripes: 4, CacheFingers: true, NegativeBloom: true}
+}
+
+func controlOpts(seed uint64) Options {
+	return Options{Seed: seed, WriteStripes: 4}
+}
+
+// floorSet is the Floor/Contains/Insert/Delete surface OneDim, Blocked,
+// and Bucketed share, letting one parity loop cover all three.
+type floorSet interface {
+	Floor(q uint64, origin HostID) (FloorResult, error)
+	Contains(key uint64, origin HostID) (bool, int, error)
+	Insert(key uint64, origin HostID) (int, error)
+	Delete(key uint64, origin HostID) (int, error)
+	FloorBatch(qs []uint64, origins []HostID) ([]FloorResult, error)
+}
+
+// TestCacheParityFloorStructures replays a skewed mixed workload —
+// Zipf floor queries, absent-key membership floods, interleaved
+// inserts and deletes, and a churn event — against cached and control
+// twins of OneDim, Blocked, and Bucketed.
+func TestCacheParityFloorStructures(t *testing.T) {
+	builders := []struct {
+		name  string
+		build func(c *Cluster, keys []uint64, o Options) (floorSet, error)
+	}{
+		{"onedim", func(c *Cluster, keys []uint64, o Options) (floorSet, error) { return NewOneDim(c, keys, o) }},
+		{"blocked", func(c *Cluster, keys []uint64, o Options) (floorSet, error) { return NewBlocked(c, keys, o) }},
+		{"bucketed", func(c *Cluster, keys []uint64, o Options) (floorSet, error) { return NewBucketed(c, keys, o) }},
+	}
+	for _, bb := range builders {
+		bb := bb
+		t.Run(bb.name, func(t *testing.T) {
+			const hosts, nkeys, nops = 24, 800, 3000
+			rng := xrand.New(11)
+			keys := distinctKeys(rng, nkeys+200)
+			build, extra := keys[:nkeys], keys[nkeys:]
+			absent := xrand.AbsentKeys(11, keys, 128, 1<<40)
+
+			cc, ctl := NewCluster(hosts), NewCluster(hosts)
+			cached, err := bb.build(cc, build, cachedOpts(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			control, err := bb.build(ctl, build, controlOpts(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			zipf := xrand.NewZipf(xrand.New(xrand.Substream(11, 1)), 1.1, nkeys)
+			pick := xrand.New(xrand.Substream(11, 2))
+			sumCached, sumControl := 0, 0
+			nextExtra, inFlight := 0, []uint64{}
+			for op := 0; op < nops; op++ {
+				origin := HostID(op % hosts)
+				switch r := pick.Intn(100); {
+				case r < 60: // skewed floor on a present key
+					q := build[zipf.Next()]
+					a, err1 := cached.Floor(q, origin)
+					b, err2 := control.Floor(q, origin)
+					if err1 != nil || err2 != nil {
+						t.Fatalf("op %d floor errs: %v / %v", op, err1, err2)
+					}
+					if a.Key != b.Key || a.Found != b.Found {
+						t.Fatalf("op %d Floor(%d) diverged: cached %+v control %+v", op, q, a, b)
+					}
+					if a.Hops > b.Hops {
+						t.Fatalf("op %d Floor(%d): cached %d hops > control %d", op, q, a.Hops, b.Hops)
+					}
+					sumCached += a.Hops
+					sumControl += b.Hops
+				case r < 80: // absent-key membership flood
+					q := absent[pick.Intn(len(absent))]
+					af, ah, err1 := cached.Contains(q, origin)
+					bf, bh, err2 := control.Contains(q, origin)
+					if err1 != nil || err2 != nil {
+						t.Fatalf("op %d contains errs: %v / %v", op, err1, err2)
+					}
+					if af != bf {
+						t.Fatalf("op %d Contains(absent %d) diverged: %v vs %v", op, q, af, bf)
+					}
+					if ah > bh {
+						t.Fatalf("op %d Contains(%d): cached %d hops > control %d", op, q, ah, bh)
+					}
+					sumCached += ah
+					sumControl += bh
+				case r < 90: // present-key membership
+					q := build[zipf.Next()]
+					af, ah, err1 := cached.Contains(q, origin)
+					bf, bh, err2 := control.Contains(q, origin)
+					if err1 != nil || err2 != nil || af != bf || ah > bh {
+						t.Fatalf("op %d Contains(present %d): %v/%d/%v vs %v/%d/%v",
+							op, q, af, ah, err1, bf, bh, err2)
+					}
+					sumCached += ah
+					sumControl += bh
+				case r < 96 && nextExtra < len(extra): // insert a fresh key
+					k := extra[nextExtra]
+					nextExtra++
+					inFlight = append(inFlight, k)
+					if _, err := cached.Insert(k, origin); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := control.Insert(k, origin); err != nil {
+						t.Fatal(err)
+					}
+				default: // delete a previously inserted key
+					if len(inFlight) == 0 {
+						continue
+					}
+					k := inFlight[len(inFlight)-1]
+					inFlight = inFlight[:len(inFlight)-1]
+					if _, err := cached.Delete(k, origin); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := control.Delete(k, origin); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if op == nops/2 {
+					// Identical churn on both twins: the control stays an
+					// exact oracle, and the cached side must invalidate.
+					cc.Join()
+					ctl.Join()
+					if err := cc.Leave(cc.HostAt(3)); err != nil {
+						t.Fatal(err)
+					}
+					if err := ctl.Leave(ctl.HostAt(3)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if sumCached >= sumControl {
+				t.Fatalf("no aggregate reduction: cached %d hops, control %d", sumCached, sumControl)
+			}
+			st := cc.Stats()
+			if st.CacheHits == 0 || st.BloomTrueNegatives == 0 {
+				t.Fatalf("cache counters flat: %+v", st)
+			}
+			if err := cc.CheckConsistent(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Batch parity: same queries, same explicit origins; per-origin
+			// serialization keeps cached batch hop counts deterministic.
+			qs := make([]uint64, 200)
+			origins := make([]HostID, len(qs))
+			for i := range qs {
+				qs[i] = build[zipf.Next()]
+				origins[i] = cc.HostAt(i % 8)
+			}
+			ra, err := cached.FloorBatch(qs, origins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := control.FloorBatch(qs, origins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ra {
+				if ra[i].Key != rb[i].Key || ra[i].Found != rb[i].Found {
+					t.Fatalf("batch %d diverged: %+v vs %+v", i, ra[i], rb[i])
+				}
+				if ra[i].Hops > rb[i].Hops {
+					t.Fatalf("batch %d: cached %d hops > control %d", i, ra[i].Hops, rb[i].Hops)
+				}
+			}
+		})
+	}
+}
+
+// TestCacheParityPoints replays skewed Locate/Contains/Nearest traffic
+// with interleaved point updates against cached and control Points
+// twins.
+func TestCacheParityPoints(t *testing.T) {
+	const hosts, npts, nops = 16, 512, 1500
+	rng := xrand.New(13)
+	var pts []Point
+	for _, p := range experiments.UniformPoints(rng, 2, npts+100, 1<<30) {
+		pts = append(pts, Point(p))
+	}
+	build, extra := pts[:npts], pts[npts:]
+
+	cc, ctl := NewCluster(hosts), NewCluster(hosts)
+	cached, err := NewPoints(cc, 2, build, cachedOpts(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	control, err := NewPoints(ctl, 2, build, controlOpts(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	zipf := xrand.NewZipf(xrand.New(xrand.Substream(13, 1)), 1.2, npts)
+	pick := xrand.New(xrand.Substream(13, 2))
+	absent := func() Point {
+		base := build[pick.Intn(npts)]
+		return Point{base[0] ^ 1, base[1] ^ 3}
+	}
+	sumCached, sumControl := 0, 0
+	nextExtra := 0
+	for op := 0; op < nops; op++ {
+		origin := HostID(op % hosts)
+		switch r := pick.Intn(100); {
+		case r < 50: // skewed locate
+			q := build[zipf.Next()]
+			a, err1 := cached.Locate(q, origin)
+			b, err2 := control.Locate(q, origin)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("op %d locate errs: %v / %v", op, err1, err2)
+			}
+			if a.Leaf != b.Leaf || a.CellPrefix != b.CellPrefix || a.CellBits != b.CellBits ||
+				fmt.Sprint(a.LeafPoint) != fmt.Sprint(b.LeafPoint) {
+				t.Fatalf("op %d Locate diverged: %+v vs %+v", op, a, b)
+			}
+			if a.Hops > b.Hops {
+				t.Fatalf("op %d Locate: cached %d hops > control %d", op, a.Hops, b.Hops)
+			}
+			sumCached += a.Hops
+			sumControl += b.Hops
+		case r < 70: // absent membership
+			q := absent()
+			af, ah, err1 := cached.Contains(q, origin)
+			bf, bh, err2 := control.Contains(q, origin)
+			if err1 != nil || err2 != nil || af != bf || ah > bh {
+				t.Fatalf("op %d Contains(absent): %v/%d/%v vs %v/%d/%v", op, af, ah, err1, bf, bh, err2)
+			}
+			sumCached += ah
+			sumControl += bh
+		case r < 90: // skewed nearest
+			q := build[zipf.Next()]
+			pa, ah, err1 := cached.Nearest(q, origin)
+			pb, bh, err2 := control.Nearest(q, origin)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("op %d nearest errs: %v / %v", op, err1, err2)
+			}
+			if fmt.Sprint(pa) != fmt.Sprint(pb) {
+				t.Fatalf("op %d Nearest diverged: %v vs %v", op, pa, pb)
+			}
+			if ah > bh {
+				t.Fatalf("op %d Nearest: cached %d hops > control %d", op, ah, bh)
+			}
+			sumCached += ah
+			sumControl += bh
+		default: // updates: insert a fresh point, delete a build point, reinsert it
+			if nextExtra < len(extra) {
+				p := extra[nextExtra]
+				nextExtra++
+				if _, err := cached.Insert(p, origin); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := control.Insert(p, origin); err != nil {
+					t.Fatal(err)
+				}
+			}
+			v := build[pick.Intn(npts)]
+			if _, err := cached.Delete(v, origin); err != nil {
+				continue // already deleted earlier in the stream; skip both twins
+			}
+			if _, err := control.Delete(v, origin); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cached.Insert(v, origin); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := control.Insert(v, origin); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if sumCached >= sumControl {
+		t.Fatalf("no aggregate reduction: cached %d hops, control %d", sumCached, sumControl)
+	}
+	if err := cc.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheParityStrings replays skewed Search/Contains/PrefixSearch
+// traffic with trie updates against cached and control Strings twins.
+func TestCacheParityStrings(t *testing.T) {
+	const hosts, nkeys, nops = 16, 600, 1500
+	rng := xrand.New(17)
+	keys := experiments.UniformStrings(rng, nkeys+100, "acgt", 6, 24)
+	build, extra := keys[:nkeys], keys[nkeys:]
+	absent := xrand.AbsentStrings(17, build, 96)
+
+	cc, ctl := NewCluster(hosts), NewCluster(hosts)
+	cached, err := NewStrings(cc, build, cachedOpts(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	control, err := NewStrings(ctl, build, controlOpts(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	zipf := xrand.NewZipf(xrand.New(xrand.Substream(17, 1)), 1.2, nkeys)
+	pick := xrand.New(xrand.Substream(17, 2))
+	sumCached, sumControl := 0, 0
+	nextExtra := 0
+	for op := 0; op < nops; op++ {
+		origin := HostID(op % hosts)
+		switch r := pick.Intn(100); {
+		case r < 50: // skewed exact search
+			q := build[zipf.Next()]
+			a, err1 := cached.Search(q, origin)
+			b, err2 := control.Search(q, origin)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("op %d search errs: %v / %v", op, err1, err2)
+			}
+			if a.Locus != b.Locus || a.IsKey != b.IsKey || a.Exact != b.Exact {
+				t.Fatalf("op %d Search(%q) diverged: %+v vs %+v", op, q, a, b)
+			}
+			if a.Hops > b.Hops {
+				t.Fatalf("op %d Search: cached %d hops > control %d", op, a.Hops, b.Hops)
+			}
+			sumCached += a.Hops
+			sumControl += b.Hops
+		case r < 70: // absent-key flood
+			q := absent[pick.Intn(len(absent))]
+			af, ah, err1 := cached.Contains(q, origin)
+			bf, bh, err2 := control.Contains(q, origin)
+			if err1 != nil || err2 != nil || af != bf || ah > bh {
+				t.Fatalf("op %d Contains(%q): %v/%d/%v vs %v/%d/%v", op, q, af, ah, err1, bf, bh, err2)
+			}
+			sumCached += ah
+			sumControl += bh
+		case r < 85: // repeated prefix enumeration
+			q := build[zipf.Next()]
+			prefix := q[:4]
+			ka, ah, err1 := cached.PrefixSearch(prefix, 16, origin)
+			kb, bh, err2 := control.PrefixSearch(prefix, 16, origin)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("op %d prefix errs: %v / %v", op, err1, err2)
+			}
+			if fmt.Sprint(ka) != fmt.Sprint(kb) {
+				t.Fatalf("op %d PrefixSearch(%q) diverged: %v vs %v", op, prefix, ka, kb)
+			}
+			if ah > bh {
+				t.Fatalf("op %d PrefixSearch: cached %d hops > control %d", op, ah, bh)
+			}
+			sumCached += ah
+			sumControl += bh
+		default: // trie updates
+			if nextExtra >= len(extra) {
+				continue
+			}
+			k := extra[nextExtra]
+			nextExtra++
+			if _, err := cached.Insert(k, origin); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := control.Insert(k, origin); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if sumCached >= sumControl {
+		t.Fatalf("no aggregate reduction: cached %d hops, control %d", sumCached, sumControl)
+	}
+	if err := cc.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheParityPlanar replays repeated planar point-location queries
+// against cached and control Planar twins, with identical churn in the
+// middle to prove the churn-only epoch invalidates.
+func TestCacheParityPlanar(t *testing.T) {
+	const hosts, nsegs, nops = 12, 100, 800
+	bounds := PlanarBounds{MinX: 0, MinY: 0, MaxX: 20000, MaxY: 20000}
+	rng := xrand.New(19)
+	raw := experiments.DisjointSegments(rng, nsegs,
+		trapmap.Rect{MinX: 0, MinY: 0, MaxX: 20000, MaxY: 20000})
+	segs := make([]PlanarSegment, len(raw))
+	for i, s := range raw {
+		segs[i] = PlanarSegment{
+			A: PlanarPoint{X: s.A.X, Y: s.A.Y},
+			B: PlanarPoint{X: s.B.X, Y: s.B.Y},
+		}
+	}
+	cc, ctl := NewCluster(hosts), NewCluster(hosts)
+	cached, err := NewPlanar(cc, segs, bounds, cachedOpts(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	control, err := NewPlanar(ctl, segs, bounds, controlOpts(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A small pool of query points revisited Zipf-style.
+	pick := xrand.New(xrand.Substream(19, 1))
+	pool := make([]PlanarPoint, 64)
+	for i := range pool {
+		pool[i] = PlanarPoint{X: int64(pick.Uint64n(20000)), Y: int64(pick.Uint64n(20000))}
+	}
+	zipf := xrand.NewZipf(xrand.New(xrand.Substream(19, 2)), 1.2, len(pool))
+	sumCached, sumControl := 0, 0
+	for op := 0; op < nops; op++ {
+		origin := HostID(op % hosts)
+		q := pool[zipf.Next()]
+		a, err1 := cached.Locate(q, origin)
+		b, err2 := control.Locate(q, origin)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("op %d locate errs: %v / %v", op, err1, err2)
+		}
+		if a.Top != b.Top || a.Bottom != b.Bottom || a.HasTop != b.HasTop ||
+			a.HasBottom != b.HasBottom || a.LeftX != b.LeftX || a.RightX != b.RightX {
+			t.Fatalf("op %d Locate diverged: %+v vs %+v", op, a, b)
+		}
+		if a.Hops > b.Hops {
+			t.Fatalf("op %d Locate: cached %d hops > control %d", op, a.Hops, b.Hops)
+		}
+		sumCached += a.Hops
+		sumControl += b.Hops
+		if op == nops/2 {
+			cc.Join()
+			ctl.Join()
+			if err := cc.Leave(cc.HostAt(2)); err != nil {
+				t.Fatal(err)
+			}
+			if err := ctl.Leave(ctl.HostAt(2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if sumCached >= sumControl {
+		t.Fatalf("no aggregate reduction: cached %d hops, control %d", sumCached, sumControl)
+	}
+	if cc.Stats().CacheInvalidations == 0 {
+		t.Fatal("churn produced no invalidations on revisited queries")
+	}
+}
+
+// TestCacheInvalidationUpdateThenQuery pins the sharpest invalidation
+// edge: populate an entry, mutate its own stripe so the answer changes,
+// and require the very next query to see the new answer (epoch check
+// evicts the stale entry).
+func TestCacheInvalidationUpdateThenQuery(t *testing.T) {
+	c := NewCluster(8)
+	rng := xrand.New(23)
+	keys := distinctKeys(rng, 400)
+	d, err := NewOneDim(c, keys, cachedOpts(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a query above some stored key, with room for a closer key.
+	var q uint64 = 1 << 39
+	before, err := d.Floor(q, 0)
+	if err != nil || !before.Found {
+		t.Fatalf("Floor(%d) = %+v, %v", q, before, err)
+	}
+	again, err := d.Floor(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Hops != 0 || again.Key != before.Key {
+		t.Fatalf("second Floor not a free hit: %+v (want key %d, 0 hops)", again, before.Key)
+	}
+	// Insert a strictly closer floor into the same stripe as q's answer.
+	closer := before.Key + (q-before.Key)/2
+	if closer == before.Key {
+		t.Fatalf("no room between %d and %d", before.Key, q)
+	}
+	if _, err := d.Insert(closer, 0); err != nil {
+		t.Fatal(err)
+	}
+	after, err := d.Floor(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Key != closer {
+		t.Fatalf("stale cache answer survived insert: Floor(%d) = %d, want %d", q, after.Key, closer)
+	}
+	// Delete it again: the answer must fall back, through another eviction.
+	if _, err := d.Delete(closer, 0); err != nil {
+		t.Fatal(err)
+	}
+	final, err := d.Floor(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Key != before.Key {
+		t.Fatalf("Floor(%d) after delete = %d, want %d", q, final.Key, before.Key)
+	}
+	st := c.Stats()
+	if st.CacheInvalidations < 2 {
+		t.Fatalf("expected >= 2 invalidations (insert + delete), got %d", st.CacheInvalidations)
+	}
+	// The same key updated in place: membership flips false -> true must
+	// not be masked by the bloom (superset) or a stale contains entry.
+	missing := q + 12345
+	if ok, _, err := d.Contains(missing, 1); err != nil || ok {
+		t.Fatalf("Contains(missing) = %v, %v", ok, err)
+	}
+	if _, err := d.Insert(missing, 1); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _, err := d.Contains(missing, 1); err != nil || !ok {
+		t.Fatalf("Contains(inserted) = %v, %v — bloom or cache hid the insert", ok, err)
+	}
+}
+
+// TestCacheStatsByHostMatchesAggregate checks the observability
+// contract: per-host counters sum to the cluster aggregate, and hits
+// land on the origin hosts that repeated their queries.
+func TestCacheStatsByHostMatchesAggregate(t *testing.T) {
+	c := NewCluster(6)
+	rng := xrand.New(29)
+	keys := distinctKeys(rng, 300)
+	d, err := NewBlocked(c, keys, cachedOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	absent := xrand.AbsentKeys(29, keys, 32, 1<<40)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 120; i++ {
+			if _, err := d.Floor(keys[i%40], HostID(i%6)); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := d.Contains(absent[i%len(absent)], HostID(i%6)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	agg := c.Stats()
+	byHost := c.CacheStatsByHost()
+	var sum CacheStats
+	for _, cs := range byHost {
+		sum.add(cs)
+	}
+	if sum.Hits != agg.CacheHits || sum.Misses != agg.CacheMisses ||
+		sum.Invalidations != agg.CacheInvalidations ||
+		sum.BloomTrueNegatives != agg.BloomTrueNegatives ||
+		sum.BloomFalsePositives != agg.BloomFalsePositives {
+		t.Fatalf("per-host sum %+v != aggregate %+v", sum, agg)
+	}
+	if agg.CacheHits == 0 || agg.BloomTrueNegatives == 0 {
+		t.Fatalf("counters flat: %+v", agg)
+	}
+	for h := HostID(0); h < 6; h++ {
+		if byHost[h].Hits == 0 {
+			t.Fatalf("host %d repeated its queries but shows no hits: %+v", h, byHost[h])
+		}
+	}
+}
+
+// TestCacheRacesChurn runs cached batch queries concurrently with
+// Join/Leave/Crash/Restart at Replicas 2 on a durable cluster — the
+// race the epoch + cluster-lock design must survive. Run under -race;
+// answers are checked against the static ground truth throughout, and
+// full consistency after.
+func TestCacheRacesChurn(t *testing.T) {
+	const hosts, nkeys = 10, 300
+	c := NewCluster(hosts)
+	rng := xrand.New(31)
+	keys := distinctKeys(rng, nkeys)
+	opts := cachedOpts(13)
+	opts.Replicas = 2
+	opts.Durable = true
+	w, err := NewBlocked(c, keys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	absent := xrand.AbsentKeys(31, keys, 64, 1<<40)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		qs := make([]uint64, 64)
+		for round := 0; ; round++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := range qs {
+				if i%4 == 0 {
+					qs[i] = absent[(round+i)%len(absent)]
+				} else {
+					qs[i] = keys[(round*7+i)%nkeys]
+				}
+			}
+			res, err := w.FloorBatch(qs, nil)
+			if err != nil {
+				errCh <- fmt.Errorf("floor batch: %w", err)
+				return
+			}
+			for i, r := range res {
+				if i%4 != 0 && (!r.Found || r.Key != qs[i]) {
+					errCh <- fmt.Errorf("round %d: Floor(%d) = %+v", round, qs[i], r)
+					return
+				}
+			}
+		}
+	}()
+
+	// Churn driver: join, leave, crash + restart, repeatedly.
+	for cycle := 0; cycle < 3; cycle++ {
+		c.Join()
+		if err := c.Leave(c.HostAt(1)); err != nil {
+			t.Fatal(err)
+		}
+		victim := c.HostAt(2)
+		if err := c.Crash(victim); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Restart(victim); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if err := c.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-churn ground truth, including the bloom's absent answers.
+	for i, k := range keys {
+		r, err := w.Floor(k, c.HostAt(i))
+		if err != nil || !r.Found || r.Key != k {
+			t.Fatalf("post-churn Floor(%d) = %+v, %v", k, r, err)
+		}
+	}
+	for i, k := range absent {
+		ok, _, err := w.Contains(k, c.HostAt(i))
+		if err != nil || ok {
+			t.Fatalf("post-churn Contains(absent %d) = %v, %v", k, ok, err)
+		}
+	}
+}

@@ -117,11 +117,25 @@ func run(args []string, out io.Writer) error {
 	serveBin := fs.String("serve-bin", "", "wire: path to a skipweb-serve binary; when set, daemons run as real processes")
 	basePort := fs.Int("base-port", 7070, "wire: first loopback port for -serve-bin daemons")
 	restart := fs.Bool("restart", false, "failover: measure durable crash->Restart (WAL replay + merkle diff) against full re-replication; wire: SIGKILL and restart a real daemon mid-workload")
+	skewS := fs.String("skew-s", "0.8,1.0,1.2", "skew: comma-separated Zipf exponents")
+	skewAbsent := fs.Float64("skew-absent", 0.25, "skew: fraction of adversarial absent-key queries")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h/-help printed usage; not a failure
 		}
 		return err
+	}
+	if *mode == "skew" {
+		// Skew mode replays every op against two full builds per cell;
+		// scale the sim-sized defaults down unless set explicitly.
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["hosts"] {
+			*hosts = 64
+		}
+		if !set["queries"] {
+			*queries = 8000
+		}
 	}
 	if *mode == "wire" {
 		// The sim-scale defaults (256 hosts, 20000 queries) are sized for
@@ -156,6 +170,8 @@ func run(args []string, out io.Writer) error {
 		return runFailover(out, *jsonPath, *hosts, *keyN, *queries, *replicas, *crashes, *seed, *quick)
 	case "wire":
 		return runWire(out, *jsonPath, *serveBin, *basePort, *hosts, *keyN, *queries, *seed, *restart)
+	case "skew":
+		return runSkew(out, *jsonPath, *hosts, *keyN, *queries, *skewS, *skewAbsent, *seed, *quick)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -394,6 +410,34 @@ func runBench(out io.Writer, jsonPath, baselinePath string, keyN, hosts int, see
 		doc.Results = append(doc.Results, measure("query/blocked-floor-s4", &msgs, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				r, err := w.Floor(qrng.Uint64n(1<<40), skipwebs.HostID(i%hosts))
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs += int64(r.Hops)
+			}
+		}))
+	}
+	// Cached twin rows: the same blocked build queried with a Zipf(1.2)
+	// stream over the stored keys, with and without the read-path caches
+	// (Options.CacheFingers + NegativeBloom). The cache-off row pins the
+	// skewed-control cost; the cached row's ceiling enforces that finger
+	// hits keep paying off and stay allocation-lean on the hit path.
+	for _, cached := range []bool{false, true} {
+		name := "query/blocked-floor-zipf"
+		if cached {
+			name += "-cached"
+		}
+		c := skipwebs.NewCluster(hosts)
+		w, err := skipwebs.NewBlocked(c, keys[:keyN], skipwebs.Options{
+			Seed: seed, CacheFingers: cached, NegativeBloom: cached,
+		})
+		if err != nil {
+			return err
+		}
+		zipf := xrand.NewZipf(xrand.New(seed+13), 1.2, keyN)
+		doc.Results = append(doc.Results, measure(name, &msgs, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := w.Floor(keys[zipf.Next()], skipwebs.HostID(i%hosts))
 				if err != nil {
 					b.Fatal(err)
 				}

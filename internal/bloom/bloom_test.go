@@ -1,0 +1,98 @@
+package bloom
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+func mix(x uint64) uint64 {
+	z := x + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// TestNoFalseNegatives is the correctness contract: every added key
+// answers Maybe — the negative filter must never hide a stored key.
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(10_000)
+	rng := xrand.New(1)
+	keys := make([]uint64, 10_000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.Add(mix(keys[i]))
+	}
+	for i, k := range keys {
+		if !f.Maybe(mix(k)) {
+			t.Fatalf("false negative for key %d (index %d)", k, i)
+		}
+	}
+}
+
+// TestFalsePositiveRateBound checks the sizing contract: at build size
+// the false-positive rate stays under 1%, and after the key count
+// doubles through inserts it stays under 4% — the filter degrades
+// gracefully, never incorrectly.
+func TestFalsePositiveRateBound(t *testing.T) {
+	const n, probes = 10_000, 200_000
+	f := New(n)
+	rng := xrand.New(2)
+	present := make(map[uint64]bool, 2*n)
+	for len(present) < n {
+		k := rng.Uint64()
+		present[k] = true
+		f.Add(mix(k))
+	}
+	rate := func() float64 {
+		fp := 0
+		prng := xrand.New(3)
+		for i := 0; i < probes; i++ {
+			k := prng.Uint64()
+			if present[k] {
+				continue
+			}
+			if f.Maybe(mix(k)) {
+				fp++
+			}
+		}
+		return float64(fp) / probes
+	}
+	if r := rate(); r >= 0.01 {
+		t.Errorf("FPR at build size = %.4f, want < 0.01", r)
+	}
+	for len(present) < 2*n {
+		k := rng.Uint64()
+		if !present[k] {
+			present[k] = true
+			f.Add(mix(k))
+		}
+	}
+	if r := rate(); r >= 0.04 {
+		t.Errorf("FPR at 2x build size = %.4f, want < 0.04", r)
+	}
+}
+
+// TestConcurrentAddMaybe races adders against readers under the race
+// detector; added keys must answer Maybe once their Add returned.
+func TestConcurrentAddMaybe(t *testing.T) {
+	f := New(4096)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(10 + g))
+			for i := 0; i < 2000; i++ {
+				k := mix(rng.Uint64())
+				f.Add(k)
+				if !f.Maybe(k) {
+					t.Errorf("goroutine %d: key vanished after Add", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,132 @@
+package xrand
+
+import (
+	"math"
+	"sort"
+)
+
+// Zipf generates ranks distributed as Zipf(s) over [0, n): rank k is
+// drawn with probability proportional to (k+1)^-s. It models the skewed
+// access patterns production traffic exhibits (a few hot keys absorb
+// most queries) and drives the skew benchmark mode. The generator is
+// exactly reproducible from its Rand and is NOT safe for concurrent use;
+// derive one per goroutine from seed substreams (Substream).
+type Zipf struct {
+	r *Rand
+	// cdf[k] is the unnormalized cumulative weight of ranks [0, k]; the
+	// last entry is the total mass. Sampling is one uniform draw plus a
+	// binary search, so Next is O(log n) with no per-call allocation.
+	cdf []float64
+}
+
+// NewZipf builds a Zipf(s) generator over n ranks drawing from r. It
+// panics if n <= 0 or s < 0 (s = 0 is the uniform distribution).
+func NewZipf(r *Rand, s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with non-positive n")
+	}
+	if s < 0 || math.IsNaN(s) {
+		panic("xrand: NewZipf with negative s")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += math.Pow(float64(k+1), -s)
+		cdf[k] = sum
+	}
+	return &Zipf{r: r, cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Next returns the next rank in [0, N()): rank 0 is the hottest.
+func (z *Zipf) Next() int {
+	u := z.r.Float64() * z.cdf[len(z.cdf)-1]
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= len(z.cdf) {
+		i = len(z.cdf) - 1 // u == total mass (Float64 < 1 makes this unreachable; guard anyway)
+	}
+	return i
+}
+
+// AbsentKeys returns n distinct uint64 keys in [0, bound) that do not
+// appear in present, placed adversarially: each is adjacent (within a
+// few units) to a stored key, so a membership query for it descends the
+// full routing depth before discovering the miss — the worst case a
+// negative-lookup filter defends against. The output depends only on
+// (seed, present, n, bound) via a SplitMix64 substream of seed, never on
+// any shared generator state, so workloads are reproducible across
+// processes. It panics if bound == 0 or the space cannot hold n absent
+// keys.
+func AbsentKeys(seed uint64, present []uint64, n int, bound uint64) []uint64 {
+	if bound == 0 {
+		panic("xrand: AbsentKeys with zero bound")
+	}
+	if uint64(n)+uint64(len(present)) > bound {
+		panic("xrand: AbsentKeys: not enough absent keys in [0, bound)")
+	}
+	stored := make(map[uint64]bool, len(present))
+	for _, k := range present {
+		stored[k] = true
+	}
+	rng := New(Substream(seed, 0x5eed))
+	out := make([]uint64, 0, n)
+	taken := make(map[uint64]bool, n)
+	try := func(k uint64) bool {
+		if k >= bound || stored[k] || taken[k] {
+			return false
+		}
+		taken[k] = true
+		out = append(out, k)
+		return true
+	}
+	for len(out) < n {
+		if len(present) > 0 {
+			base := present[rng.Intn(len(present))]
+			hit := false
+			for delta := uint64(1); delta <= 4 && !hit; delta++ {
+				if try(base + delta) {
+					hit = true
+				} else if base >= delta && try(base-delta) {
+					hit = true
+				}
+			}
+			if hit {
+				continue
+			}
+		}
+		try(rng.Uint64n(bound)) // dense neighborhood exhausted: fall back to uniform
+	}
+	return out
+}
+
+// AbsentStrings returns n distinct strings absent from present, each a
+// stored key extended by a short suffix outside typical key alphabets —
+// so an exact-match query walks the trie to the stored key's locus
+// before failing, the deepest miss a trie admits. Deterministic in
+// (seed, present, n) via a SplitMix64 substream, like AbsentKeys. It
+// panics if present is empty.
+func AbsentStrings(seed uint64, present []string, n int) []string {
+	if len(present) == 0 {
+		panic("xrand: AbsentStrings with no present keys")
+	}
+	stored := make(map[string]bool, len(present))
+	for _, k := range present {
+		stored[k] = true
+	}
+	const suffixes = "#%&*+-/=@_~"
+	rng := New(Substream(seed, 0xab5e))
+	out := make([]string, 0, n)
+	taken := make(map[string]bool, n)
+	for len(out) < n {
+		base := present[rng.Intn(len(present))]
+		cand := base + string(suffixes[rng.Intn(len(suffixes))])
+		for stored[cand] || taken[cand] {
+			cand += string(suffixes[rng.Intn(len(suffixes))])
+		}
+		taken[cand] = true
+		out = append(out, cand)
+	}
+	return out
+}

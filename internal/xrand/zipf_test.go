@@ -1,0 +1,189 @@
+package xrand
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestZipfShape checks the defining property of the distribution: the
+// empirical frequency of rank k tracks (k+1)^-s, so adjacent low ranks
+// differ by the factor 2^s and frequencies decrease with rank overall.
+func TestZipfShape(t *testing.T) {
+	const n, draws = 1024, 400_000
+	for _, s := range []float64{0.8, 1.0, 1.2} {
+		z := NewZipf(New(Substream(77, 1)), s, n)
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			r := z.Next()
+			if r < 0 || r >= n {
+				t.Fatalf("s=%v: rank %d out of [0, %d)", s, r, n)
+			}
+			counts[r]++
+		}
+		// Ratio of rank 0 to rank 1 should be 2^s within sampling noise.
+		got := float64(counts[0]) / float64(counts[1])
+		want := math.Pow(2, s)
+		if got < want*0.9 || got > want*1.1 {
+			t.Errorf("s=%v: f(0)/f(1) = %.3f, want %.3f +-10%%", s, got, want)
+		}
+		// Head mass dominates tail mass of the same width.
+		head, tail := 0, 0
+		for k := 0; k < 64; k++ {
+			head += counts[k]
+			tail += counts[n-64+k]
+		}
+		if head <= 4*tail {
+			t.Errorf("s=%v: head mass %d not >> tail mass %d", s, head, tail)
+		}
+		// Monotone in aggregate: cumulative counts over rank blocks decrease.
+		prev := math.Inf(1)
+		for b := 0; b < 8; b++ {
+			blk := 0
+			for k := b * 128; k < (b+1)*128; k++ {
+				blk += counts[k]
+			}
+			if float64(blk) > prev {
+				t.Errorf("s=%v: block %d count %d exceeds previous block", s, b, blk)
+			}
+			prev = float64(blk)
+		}
+	}
+}
+
+// TestZipfUniformAtZero checks s = 0 degenerates to uniform ranks.
+func TestZipfUniformAtZero(t *testing.T) {
+	const n, draws = 64, 128_000
+	z := NewZipf(New(Substream(9, 3)), 0, n)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	want := float64(draws) / n
+	for k, c := range counts {
+		if float64(c) < want*0.8 || float64(c) > want*1.2 {
+			t.Fatalf("s=0: rank %d count %d, want ~%.0f", k, c, want)
+		}
+	}
+}
+
+// TestZipfDeterministic checks that the sequence is a pure function of
+// the seed substream, and that distinct substreams diverge.
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(New(Substream(42, 0)), 1.1, 512)
+	b := NewZipf(New(Substream(42, 0)), 1.1, 512)
+	c := NewZipf(New(Substream(42, 1)), 1.1, 512)
+	same, diff := true, false
+	for i := 0; i < 1000; i++ {
+		x, y, z := a.Next(), b.Next(), c.Next()
+		if x != y {
+			same = false
+		}
+		if x != z {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same substream produced different Zipf sequences")
+	}
+	if !diff {
+		t.Error("distinct substreams produced identical Zipf sequences")
+	}
+}
+
+// TestAbsentKeys checks the adversarial generator's contract: distinct
+// keys, none present, all in range, deterministic in the seed, and the
+// bulk adjacent to stored keys (within 4 units of some present key).
+func TestAbsentKeys(t *testing.T) {
+	rng := New(5)
+	present := make([]uint64, 0, 2000)
+	seen := map[uint64]bool{}
+	for len(present) < 2000 {
+		k := rng.Uint64n(1 << 30)
+		if !seen[k] {
+			seen[k] = true
+			present = append(present, k)
+		}
+	}
+	sorted := append([]uint64(nil), present...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	got := AbsentKeys(123, present, 256, 1<<30)
+	if len(got) != 256 {
+		t.Fatalf("got %d keys, want 256", len(got))
+	}
+	dup := map[uint64]bool{}
+	adjacent := 0
+	for _, k := range got {
+		if k >= 1<<30 {
+			t.Fatalf("key %d out of bound", k)
+		}
+		if seen[k] {
+			t.Fatalf("key %d is present", k)
+		}
+		if dup[k] {
+			t.Fatalf("key %d duplicated", k)
+		}
+		dup[k] = true
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= k })
+		near := false
+		if i < len(sorted) && sorted[i]-k <= 4 {
+			near = true
+		}
+		if i > 0 && k-sorted[i-1] <= 4 {
+			near = true
+		}
+		if near {
+			adjacent++
+		}
+	}
+	if adjacent < 200 {
+		t.Errorf("only %d/256 absent keys adjacent to stored keys; generator is not adversarial", adjacent)
+	}
+	again := AbsentKeys(123, present, 256, 1<<30)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("AbsentKeys not deterministic at %d: %d vs %d", i, got[i], again[i])
+		}
+	}
+}
+
+// TestAbsentStrings checks distinctness, absence, determinism, and that
+// every absent string extends a stored key (the deepest trie miss).
+func TestAbsentStrings(t *testing.T) {
+	present := []string{"acgt", "acg", "tttt", "gattaca", "ac"}
+	stored := map[string]bool{}
+	for _, s := range present {
+		stored[s] = true
+	}
+	got := AbsentStrings(7, present, 64)
+	if len(got) != 64 {
+		t.Fatalf("got %d strings, want 64", len(got))
+	}
+	dup := map[string]bool{}
+	for _, s := range got {
+		if stored[s] {
+			t.Fatalf("%q is present", s)
+		}
+		if dup[s] {
+			t.Fatalf("%q duplicated", s)
+		}
+		dup[s] = true
+		ok := false
+		for _, p := range present {
+			if len(s) > len(p) && s[:len(p)] == p {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("%q does not extend a stored key", s)
+		}
+	}
+	again := AbsentStrings(7, present, 64)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("AbsentStrings not deterministic at %d", i)
+		}
+	}
+}

@@ -61,6 +61,31 @@ type Options struct {
 	// pre-striping builds. Planar structures are static and ignore the
 	// knob.
 	WriteStripes int
+	// CacheFingers enables the per-origin-host finger/descent cache:
+	// each host memoizes the answers of its recent queries (Floor,
+	// Contains, Locate, Nearest, Search, PrefixSearch) in a small LRU
+	// keyed by the exact query, validated by a per-stripe write-epoch
+	// check before every reuse (see the invalidation contract in
+	// cache.go). A valid hit answers locally for zero charged messages —
+	// the host re-serves a frontier a previous descent already paid for —
+	// and a miss or stale entry runs the completely unmodified descent,
+	// so per-op messages never exceed the cache-free control. Epochs
+	// cover inserts, deletes, and churn (Join/Leave/Crash/Restart).
+	// False (the default) leaves the query path bit-identical to
+	// cache-free builds in answers and accounting.
+	CacheFingers bool
+	// NegativeBloom enables per-stripe negative-lookup bloom filters for
+	// the exact-membership queries (Contains): a query whose key hash
+	// the filter proves was never inserted answers (false, 0 messages)
+	// at the origin without any descent. Filters are supersets of the
+	// stored set — Insert adds, Delete removes nothing, churn moves
+	// placement not membership — so "definitely absent" is always
+	// correct and "maybe present" at worst runs the full descent. One
+	// documented asymmetry: a bloom negative can answer during a crash
+	// where the control would fail with ErrHostDown, since the filter
+	// needs no remote host to prove absence. False (the default) leaves
+	// membership queries bit-identical to filter-free builds.
+	NegativeBloom bool
 }
 
 // FloorResult is the answer to a one-dimensional nearest-neighbor query.
@@ -81,6 +106,7 @@ type OneDim struct {
 	c  *Cluster
 	st *stripeSet
 	ws []*core.Web[*core.ListLevel, uint64, uint64]
+	readPath
 }
 
 // NewOneDim builds a general 1-d skip-web over keys (distinct).
@@ -103,7 +129,14 @@ func NewOneDim(c *Cluster, keys []uint64, opts Options) (*OneDim, error) {
 		ws[i] = w
 	}
 	done()
-	d := &OneDim{c: c, st: st, ws: ws}
+	d := &OneDim{c: c, st: st, ws: ws, readPath: newReadPath(opts, st, partSizes(parts))}
+	if d.nb != nil {
+		for i, part := range parts {
+			for _, k := range part {
+				d.nb.add(i, hashKey64(k))
+			}
+		}
+	}
 	c.attach(d)
 	return d, nil
 }
@@ -132,9 +165,21 @@ func (d *OneDim) Len() int {
 // searches are O(log n) binary searches over each level's maintained
 // sorted order. Message accounting is unaffected by any of this.
 func (d *OneDim) Floor(q uint64, origin HostID) (FloorResult, error) {
+	key := cacheKey{op: opFloor, code: q}
+	var sum uint64
+	if d.rc != nil {
+		if v, ok := d.rc.get(origin, key); ok {
+			return v.(FloorResult), nil
+		}
+		sum = d.rc.churnNow()
+	}
+	i0 := d.st.of(q)
 	hops := 0
-	for i := d.st.of(q); ; i-- {
+	for i := i0; ; i-- {
 		d.st.rlock(i)
+		if d.rc != nil {
+			sum += uint64(d.st.writeCount(i))
+		}
 		res, err := d.ws[i].Query(q, origin)
 		if err != nil {
 			d.st.runlock(i)
@@ -144,11 +189,19 @@ func (d *OneDim) Floor(q uint64, origin HostID) (FloorResult, error) {
 		if !g.IsHead(res.Range) {
 			out := FloorResult{Key: g.Key(res.Range), Found: true, Hops: hops + res.Hops}
 			d.st.runlock(i)
+			if d.rc != nil {
+				// The answer depends only on stripes [i, i0]: lower stripes
+				// hold strictly smaller codes the found key supersedes.
+				d.rc.put(origin, key, FloorResult{Key: out.Key, Found: true}, i, i0, sum)
+			}
 			return out, nil
 		}
 		d.st.runlock(i)
 		hops += res.Hops
 		if i == 0 {
+			if d.rc != nil {
+				d.rc.put(origin, key, FloorResult{}, 0, i0, sum)
+			}
 			return FloorResult{Found: false, Hops: hops}, nil
 		}
 	}
@@ -160,7 +213,21 @@ func (d *OneDim) Floor(q uint64, origin HostID) (FloorResult, error) {
 // fallback is charged.
 func (d *OneDim) Contains(key uint64, origin HostID) (bool, int, error) {
 	i := d.st.of(key)
+	if d.nb != nil && d.nb.definitelyAbsent(origin, i, hashKey64(key)) {
+		return false, 0, nil
+	}
+	ck := cacheKey{op: opContains, code: key}
+	var sum uint64
+	if d.rc != nil {
+		if v, ok := d.rc.get(origin, ck); ok {
+			return v.(bool), 0, nil
+		}
+		sum = d.rc.churnNow()
+	}
 	d.st.rlock(i)
+	if d.rc != nil {
+		sum += uint64(d.st.writeCount(i))
+	}
 	res, err := d.ws[i].Query(key, origin)
 	if err != nil {
 		d.st.runlock(i)
@@ -169,6 +236,12 @@ func (d *OneDim) Contains(key uint64, origin HostID) (bool, int, error) {
 	g := d.ws[i].GroundStructure()
 	found := !g.IsHead(res.Range) && g.Key(res.Range) == key
 	d.st.runlock(i)
+	if d.nb != nil && !found {
+		d.nb.falsePositive(origin)
+	}
+	if d.rc != nil {
+		d.rc.put(origin, ck, found, i, i, sum)
+	}
 	return found, res.Hops, nil
 }
 
@@ -181,6 +254,9 @@ func (d *OneDim) Insert(key uint64, origin HostID) (int, error) {
 	i := d.st.of(key)
 	d.st.wlock(i)
 	defer d.st.wunlock(i)
+	if d.nb != nil {
+		d.nb.add(i, hashKey64(key))
+	}
 	h, err := d.ws[i].Insert(key, origin)
 	if err != nil {
 		return h, fmt.Errorf("skipwebs: %w", err)
@@ -221,11 +297,13 @@ func (d *OneDim) Keys() []uint64 {
 // holds the cluster write lock, which excludes every stripe writer (they
 // hold the cluster read lock), so the hooks walk all stripes unlocked.
 func (d *OneDim) rehome(from HostID, op *sim.Op) {
+	d.bumpChurn()
 	for _, w := range d.ws {
 		w.Rehome(from, op)
 	}
 }
 func (d *OneDim) rebalance(onto HostID, op *sim.Op) {
+	d.bumpChurn()
 	for _, w := range d.ws {
 		w.Rebalance(onto, op)
 	}
@@ -234,12 +312,14 @@ func (d *OneDim) rebalance(onto HostID, op *sim.Op) {
 // repair is the crash-recovery hook Cluster.Crash drives: re-replicate
 // every under-replicated range from its surviving live replicas.
 func (d *OneDim) repair(op *sim.Op) error {
+	d.bumpChurn()
 	return repairStripes(op, d.ws)
 }
 
 // restart is the durable-recovery hook Cluster.Restart drives: merkle-
 // reconcile the restarted host's ranges against one live peer each.
 func (d *OneDim) restart(h HostID, op *sim.Op) int {
+	d.bumpChurn()
 	n := 0
 	for _, w := range d.ws {
 		n += w.RestartHost(h, op)
@@ -295,6 +375,9 @@ func (d *OneDim) InsertBatch(keys []uint64, origins []HostID) ([]int, error) {
 			d.st.wlock(stripe)
 			defer d.st.wunlock(stripe)
 			for i, k := range ks {
+				if d.nb != nil {
+					d.nb.add(stripe, hashKey64(k))
+				}
 				h, err := d.ws[stripe].Insert(k, origin)
 				hops[i] = h
 				if err != nil {
@@ -351,6 +434,7 @@ type Blocked struct {
 	c  *Cluster
 	st *stripeSet
 	ws []*core.BlockedWeb
+	readPath
 }
 
 // NewBlocked builds the blocked 1-d skip-web over keys (distinct).
@@ -372,7 +456,14 @@ func NewBlocked(c *Cluster, keys []uint64, opts Options) (*Blocked, error) {
 		ws[i] = w
 	}
 	done()
-	b := &Blocked{c: c, st: st, ws: ws}
+	b := &Blocked{c: c, st: st, ws: ws, readPath: newReadPath(opts, st, partSizes(parts))}
+	if b.nb != nil {
+		for i, part := range parts {
+			for _, k := range part {
+				b.nb.add(i, hashKey64(k))
+			}
+		}
+	}
 	c.attach(b)
 	return b, nil
 }
@@ -401,9 +492,21 @@ func (b *Blocked) M() int { return b.ws[0].M() }
 // query. The descent performs no per-query heap allocation (see the
 // package README's Performance section).
 func (b *Blocked) Floor(q uint64, origin HostID) (FloorResult, error) {
+	key := cacheKey{op: opFloor, code: q}
+	var sum uint64
+	if b.rc != nil {
+		if v, ok := b.rc.get(origin, key); ok {
+			return v.(FloorResult), nil
+		}
+		sum = b.rc.churnNow()
+	}
+	i0 := b.st.of(q)
 	hops := 0
-	for i := b.st.of(q); ; i-- {
+	for i := i0; ; i-- {
 		b.st.rlock(i)
+		if b.rc != nil {
+			sum += uint64(b.st.writeCount(i))
+		}
 		k, ok, h, err := b.ws[i].Query(q, origin)
 		b.st.runlock(i)
 		hops += h
@@ -411,12 +514,54 @@ func (b *Blocked) Floor(q uint64, origin HostID) (FloorResult, error) {
 			return FloorResult{Hops: hops}, fmt.Errorf("skipwebs: %w", err)
 		}
 		if ok {
+			if b.rc != nil {
+				b.rc.put(origin, key, FloorResult{Key: k, Found: true}, i, i0, sum)
+			}
 			return FloorResult{Key: k, Found: true, Hops: hops}, nil
 		}
 		if i == 0 {
+			if b.rc != nil {
+				b.rc.put(origin, key, FloorResult{}, 0, i0, sum)
+			}
 			return FloorResult{Found: false, Hops: hops}, nil
 		}
 	}
+}
+
+// Contains reports whether key is stored, with the query's message cost
+// — O(log n / log M) expected messages, the same bound as Floor. Exact
+// membership needs only the stripe owning the key, so no cross-stripe
+// fallback is charged.
+func (b *Blocked) Contains(key uint64, origin HostID) (bool, int, error) {
+	i := b.st.of(key)
+	if b.nb != nil && b.nb.definitelyAbsent(origin, i, hashKey64(key)) {
+		return false, 0, nil
+	}
+	ck := cacheKey{op: opContains, code: key}
+	var sum uint64
+	if b.rc != nil {
+		if v, ok := b.rc.get(origin, ck); ok {
+			return v.(bool), 0, nil
+		}
+		sum = b.rc.churnNow()
+	}
+	b.st.rlock(i)
+	if b.rc != nil {
+		sum += uint64(b.st.writeCount(i))
+	}
+	kk, ok, hops, err := b.ws[i].Query(key, origin)
+	b.st.runlock(i)
+	if err != nil {
+		return false, hops, fmt.Errorf("skipwebs: %w", err)
+	}
+	found := ok && kk == key
+	if b.nb != nil && !found {
+		b.nb.falsePositive(origin)
+	}
+	if b.rc != nil {
+		b.rc.put(origin, ck, found, i, i, sum)
+	}
+	return found, hops, nil
 }
 
 // Range returns every stored key in [lo, hi] in ascending order, plus
@@ -459,6 +604,9 @@ func (b *Blocked) Insert(key uint64, origin HostID) (int, error) {
 	i := b.st.of(key)
 	b.st.wlock(i)
 	defer b.st.wunlock(i)
+	if b.nb != nil {
+		b.nb.add(i, hashKey64(key))
+	}
 	h, err := b.ws[i].Insert(key, origin)
 	if err != nil {
 		return h, fmt.Errorf("skipwebs: %w", err)
@@ -490,14 +638,8 @@ func (b *Blocked) FloorBatch(qs []uint64, origins []HostID) ([]FloorResult, erro
 // ContainsBatch answers one membership query per key concurrently.
 func (b *Blocked) ContainsBatch(keys []uint64, origins []HostID) ([]ContainsResult, error) {
 	return runReadBatch(b.c, keys, origins, func(k uint64, origin HostID) (ContainsResult, error) {
-		i := b.st.of(k)
-		b.st.rlock(i)
-		kk, ok, hops, err := b.ws[i].Query(k, origin)
-		b.st.runlock(i)
-		if err != nil {
-			return ContainsResult{Hops: hops}, fmt.Errorf("skipwebs: %w", err)
-		}
-		return ContainsResult{Found: ok && kk == k, Hops: hops}, nil
+		ok, hops, err := b.Contains(k, origin)
+		return ContainsResult{Found: ok, Hops: hops}, err
 	})
 }
 
@@ -522,6 +664,11 @@ func (b *Blocked) InsertBatch(keys []uint64, origins []HostID) ([]int, error) {
 	return runInsertBatchKeys(b.c, keys, origins, b.st, b.Insert,
 		func(stripe int, ks []uint64, origin HostID, hops []int, errs []error) {
 			b.st.wlock(stripe)
+			if b.nb != nil {
+				for _, k := range ks {
+					b.nb.add(stripe, hashKey64(k))
+				}
+			}
 			b.ws[stripe].InsertRun(ks, origin, hops, errs)
 			b.st.wunlock(stripe)
 			for i, err := range errs {
@@ -543,11 +690,13 @@ func (b *Blocked) DeleteBatch(keys []uint64, origins []HostID) ([]int, error) {
 // Cluster.Join drive: whole blocks (and their co-located stratum
 // copies) migrate between hosts, one message per storage unit moved.
 func (b *Blocked) rehome(from HostID, op *sim.Op) {
+	b.bumpChurn()
 	for _, w := range b.ws {
 		w.Rehome(from, op)
 	}
 }
 func (b *Blocked) rebalance(onto HostID, op *sim.Op) {
+	b.bumpChurn()
 	for _, w := range b.ws {
 		w.Rebalance(onto, op)
 	}
@@ -556,12 +705,14 @@ func (b *Blocked) rebalance(onto HostID, op *sim.Op) {
 // repair is the crash-recovery hook Cluster.Crash drives: re-replicate
 // every under-replicated block from its surviving live replicas.
 func (b *Blocked) repair(op *sim.Op) error {
+	b.bumpChurn()
 	return repairStripes(op, b.ws)
 }
 
 // restart is the durable-recovery hook Cluster.Restart drives: merkle-
 // reconcile the restarted host's blocks against one live peer each.
 func (b *Blocked) restart(h HostID, op *sim.Op) int {
+	b.bumpChurn()
 	n := 0
 	for _, w := range b.ws {
 		n += w.RestartHost(h, op)
@@ -592,6 +743,7 @@ type Bucketed struct {
 	c  *Cluster
 	st *stripeSet
 	ws []*core.BucketWeb
+	readPath
 }
 
 // NewBucketed builds the bucket skip-web over keys (distinct). With
@@ -615,7 +767,14 @@ func NewBucketed(c *Cluster, keys []uint64, opts Options) (*Bucketed, error) {
 		ws[i] = w
 	}
 	done()
-	b := &Bucketed{c: c, st: st, ws: ws}
+	b := &Bucketed{c: c, st: st, ws: ws, readPath: newReadPath(opts, st, partSizes(parts))}
+	if b.nb != nil {
+		for i, part := range parts {
+			for _, k := range part {
+				b.nb.add(i, hashKey64(k))
+			}
+		}
+	}
 	c.attach(b)
 	return b, nil
 }
@@ -649,9 +808,21 @@ func (b *Bucketed) NumBuckets() int {
 // owning stripe and falls back across lower stripes when that stripe
 // holds no key at or below the query.
 func (b *Bucketed) Floor(q uint64, origin HostID) (FloorResult, error) {
+	key := cacheKey{op: opFloor, code: q}
+	var sum uint64
+	if b.rc != nil {
+		if v, ok := b.rc.get(origin, key); ok {
+			return v.(FloorResult), nil
+		}
+		sum = b.rc.churnNow()
+	}
+	i0 := b.st.of(q)
 	hops := 0
-	for i := b.st.of(q); ; i-- {
+	for i := i0; ; i-- {
 		b.st.rlock(i)
+		if b.rc != nil {
+			sum += uint64(b.st.writeCount(i))
+		}
 		k, ok, h, err := b.ws[i].Query(q, origin)
 		b.st.runlock(i)
 		hops += h
@@ -659,12 +830,54 @@ func (b *Bucketed) Floor(q uint64, origin HostID) (FloorResult, error) {
 			return FloorResult{Hops: hops}, fmt.Errorf("skipwebs: %w", err)
 		}
 		if ok {
+			if b.rc != nil {
+				b.rc.put(origin, key, FloorResult{Key: k, Found: true}, i, i0, sum)
+			}
 			return FloorResult{Key: k, Found: true, Hops: hops}, nil
 		}
 		if i == 0 {
+			if b.rc != nil {
+				b.rc.put(origin, key, FloorResult{}, 0, i0, sum)
+			}
 			return FloorResult{Found: false, Hops: hops}, nil
 		}
 	}
+}
+
+// Contains reports whether key is stored, with the query's message cost
+// — Õ(log_M H) expected messages, the same bound as Floor. Exact
+// membership needs only the stripe owning the key, so no cross-stripe
+// fallback is charged.
+func (b *Bucketed) Contains(key uint64, origin HostID) (bool, int, error) {
+	i := b.st.of(key)
+	if b.nb != nil && b.nb.definitelyAbsent(origin, i, hashKey64(key)) {
+		return false, 0, nil
+	}
+	ck := cacheKey{op: opContains, code: key}
+	var sum uint64
+	if b.rc != nil {
+		if v, ok := b.rc.get(origin, ck); ok {
+			return v.(bool), 0, nil
+		}
+		sum = b.rc.churnNow()
+	}
+	b.st.rlock(i)
+	if b.rc != nil {
+		sum += uint64(b.st.writeCount(i))
+	}
+	kk, ok, hops, err := b.ws[i].Query(key, origin)
+	b.st.runlock(i)
+	if err != nil {
+		return false, hops, fmt.Errorf("skipwebs: %w", err)
+	}
+	found := ok && kk == key
+	if b.nb != nil && !found {
+		b.nb.falsePositive(origin)
+	}
+	if b.rc != nil {
+		b.rc.put(origin, ck, found, i, i, sum)
+	}
+	return found, hops, nil
 }
 
 // Range returns every stored key in [lo, hi] in ascending order, plus
@@ -707,6 +920,9 @@ func (b *Bucketed) Insert(key uint64, origin HostID) (int, error) {
 	i := b.st.of(key)
 	b.st.wlock(i)
 	defer b.st.wunlock(i)
+	if b.nb != nil {
+		b.nb.add(i, hashKey64(key))
+	}
 	h, err := b.ws[i].Insert(key, origin)
 	if err != nil {
 		return h, fmt.Errorf("skipwebs: %w", err)
@@ -737,14 +953,8 @@ func (b *Bucketed) FloorBatch(qs []uint64, origins []HostID) ([]FloorResult, err
 // ContainsBatch answers one membership query per key concurrently.
 func (b *Bucketed) ContainsBatch(keys []uint64, origins []HostID) ([]ContainsResult, error) {
 	return runReadBatch(b.c, keys, origins, func(k uint64, origin HostID) (ContainsResult, error) {
-		i := b.st.of(k)
-		b.st.rlock(i)
-		kk, ok, hops, err := b.ws[i].Query(k, origin)
-		b.st.runlock(i)
-		if err != nil {
-			return ContainsResult{Hops: hops}, fmt.Errorf("skipwebs: %w", err)
-		}
-		return ContainsResult{Found: ok && kk == k, Hops: hops}, nil
+		ok, hops, err := b.Contains(k, origin)
+		return ContainsResult{Found: ok, Hops: hops}, err
 	})
 }
 
@@ -767,6 +977,9 @@ func (b *Bucketed) InsertBatch(keys []uint64, origins []HostID) ([]int, error) {
 			b.st.wlock(stripe)
 			defer b.st.wunlock(stripe)
 			for i, k := range ks {
+				if b.nb != nil {
+					b.nb.add(stripe, hashKey64(k))
+				}
 				h, err := b.ws[stripe].Insert(k, origin)
 				hops[i] = h
 				if err != nil {
@@ -788,11 +1001,13 @@ func (b *Bucketed) DeleteBatch(keys []uint64, origins []HostID) ([]int, error) {
 // web, and each bucket moves as one unit of ~n/H keys, one message per
 // key moved.
 func (b *Bucketed) rehome(from HostID, op *sim.Op) {
+	b.bumpChurn()
 	for _, w := range b.ws {
 		w.Rehome(from, op)
 	}
 }
 func (b *Bucketed) rebalance(onto HostID, op *sim.Op) {
+	b.bumpChurn()
 	for _, w := range b.ws {
 		w.Rebalance(onto, op)
 	}
@@ -802,6 +1017,7 @@ func (b *Bucketed) rebalance(onto HostID, op *sim.Op) {
 // the routing web and every under-replicated bucket from surviving
 // live replicas.
 func (b *Bucketed) repair(op *sim.Op) error {
+	b.bumpChurn()
 	return repairStripes(op, b.ws)
 }
 
@@ -809,6 +1025,7 @@ func (b *Bucketed) repair(op *sim.Op) error {
 // reconcile the restarted host's routing-web blocks and buckets against
 // one live peer each.
 func (b *Bucketed) restart(h HostID, op *sim.Op) int {
+	b.bumpChurn()
 	n := 0
 	for _, w := range b.ws {
 		n += w.RestartHost(h, op)

@@ -45,6 +45,7 @@ type Trapezoid struct {
 type Planar struct {
 	c *Cluster
 	w *core.Web[*trapmap.Map, trapmap.Segment, trapmap.Point]
+	readPath
 }
 
 // NewPlanar builds a planar point-location skip-web over pairwise
@@ -68,7 +69,9 @@ func NewPlanar(c *Cluster, segments []PlanarSegment, bounds PlanarBounds, opts O
 	if err != nil {
 		return nil, fmt.Errorf("skipwebs: %w", err)
 	}
-	p := &Planar{c: c, w: w}
+	// The segment set is static, so cache epochs are churn-only (nil
+	// stripe set); there is no membership query, so no negative bloom.
+	p := &Planar{c: c, w: w, readPath: newReadPath(opts, nil, nil)}
 	c.attach(p)
 	return p, nil
 }
@@ -86,6 +89,14 @@ func (p *Planar) NumFaces() int { return p.w.GroundStructure().NumTraps() }
 // trapezoid enumeration); only the returned Trapezoid value is
 // materialized per call.
 func (p *Planar) Locate(q PlanarPoint, origin HostID) (Trapezoid, error) {
+	ck := cacheKey{op: opPlanarLocate, code: uint64(q.X), code2: uint64(q.Y)}
+	var sum uint64
+	if p.rc != nil {
+		if v, ok := p.rc.get(origin, ck); ok {
+			return v.(Trapezoid), nil
+		}
+		sum = p.rc.churnNow()
+	}
 	res, err := p.w.Query(trapmap.Point{X: q.X, Y: q.Y}, origin)
 	if err != nil {
 		return Trapezoid{}, fmt.Errorf("skipwebs: %w", err)
@@ -111,6 +122,11 @@ func (p *Planar) Locate(q PlanarPoint, origin HostID) (Trapezoid, error) {
 			B: PlanarPoint{X: t.Bottom.B.X / trapmap.Scale, Y: t.Bottom.B.Y / trapmap.Scale},
 		}
 	}
+	if p.rc != nil {
+		memo := out
+		memo.Hops = 0
+		p.rc.put(origin, ck, memo, 0, 0, sum)
+	}
 	return out, nil
 }
 
@@ -125,16 +141,28 @@ func (p *Planar) LocateBatch(qs []PlanarPoint, origins []HostID) ([]Trapezoid, e
 // Cluster.Join drive. The trapezoid set is static but its placement is
 // not: faces migrate between hosts with their conflict-list hyperlinks,
 // one message per storage unit moved.
-func (p *Planar) rehome(from HostID, op *sim.Op)    { p.w.Rehome(from, op) }
-func (p *Planar) rebalance(onto HostID, op *sim.Op) { p.w.Rebalance(onto, op) }
+func (p *Planar) rehome(from HostID, op *sim.Op) {
+	p.bumpChurn()
+	p.w.Rehome(from, op)
+}
+func (p *Planar) rebalance(onto HostID, op *sim.Op) {
+	p.bumpChurn()
+	p.w.Rebalance(onto, op)
+}
 
 // repair is the crash-recovery hook Cluster.Crash drives: re-replicate
 // every under-replicated trapezoid from its surviving live replicas.
-func (p *Planar) repair(op *sim.Op) error { return p.w.Repair(op) }
+func (p *Planar) repair(op *sim.Op) error {
+	p.bumpChurn()
+	return p.w.Repair(op)
+}
 
 // restart is the durable-recovery hook Cluster.Restart drives: merkle-
 // reconcile the restarted host's ranges against one live peer each.
-func (p *Planar) restart(h HostID, op *sim.Op) int { return p.w.RestartHost(h, op) }
+func (p *Planar) restart(h HostID, op *sim.Op) int {
+	p.bumpChurn()
+	return p.w.RestartHost(h, op)
+}
 
 func (p *Planar) kind() string { return "planar" }
 

@@ -41,6 +41,7 @@ type Points struct {
 	ops *core.QuadOps
 	st  *stripeSet
 	ws  []*core.Web[*quadtree.Tree, quadtree.Point, uint64]
+	readPath
 }
 
 // NewPoints builds a point-set skip-web of the given dimension
@@ -77,7 +78,17 @@ func NewPoints(c *Cluster, d int, points []Point, opts Options) (*Points, error)
 		ws[i] = w
 	}
 	done()
-	p := &Points{c: c, ops: ops, st: st, ws: ws}
+	p := &Points{c: c, ops: ops, st: st, ws: ws, readPath: newReadPath(opts, st, partSizes(parts))}
+	if p.nb != nil {
+		for i, part := range parts {
+			for _, pt := range part {
+				// Code is pure and already validated these points at build.
+				if code, cerr := ops.Code(pt); cerr == nil {
+					p.nb.add(i, hashKey64(code))
+				}
+			}
+		}
+	}
 	c.attach(p)
 	return p, nil
 }
@@ -178,9 +189,22 @@ func (p *Points) Locate(q Point, origin HostID) (PointLocation, error) {
 	if err != nil {
 		return PointLocation{}, fmt.Errorf("skipwebs: %w", err)
 	}
+	// The Morton code is injective over valid points, so it is the exact
+	// cache identity of the query.
+	ck := cacheKey{op: opLocate, code: code}
+	var sum uint64
+	if p.rc != nil {
+		if v, ok := p.rc.get(origin, ck); ok {
+			return v.(PointLocation), nil
+		}
+		sum = p.rc.churnNow()
+	}
 	i := p.st.of(code)
 	p.st.rlock(i)
 	defer p.st.runlock(i)
+	if p.rc != nil {
+		sum += uint64(p.st.writeCount(i))
+	}
 	res, err := p.ws[i].Query(code, origin)
 	if err != nil {
 		return PointLocation{}, fmt.Errorf("skipwebs: %w", err)
@@ -194,6 +218,11 @@ func (p *Points) Locate(q Point, origin HostID) (PointLocation, error) {
 		loc.Leaf = true
 		loc.LeafPoint = Point(g.PointAt(id))
 	}
+	if p.rc != nil {
+		memo := loc
+		memo.Hops = 0
+		p.rc.put(origin, ck, memo, i, i, sum)
+	}
 	return loc, nil
 }
 
@@ -201,22 +230,30 @@ func (p *Points) Locate(q Point, origin HostID) (PointLocation, error) {
 // expected messages, the same bound as Locate. Exact membership needs
 // only the stripe owning the point's Morton code.
 func (p *Points) Contains(q Point, origin HostID) (bool, int, error) {
+	if p.nb != nil {
+		// An invalid point falls through to Locate for its exact error.
+		if code, err := p.ops.Code(quadtree.Point(q)); err == nil &&
+			p.nb.definitelyAbsent(origin, p.st.of(code), hashKey64(code)) {
+			return false, 0, nil
+		}
+	}
 	loc, err := p.Locate(q, origin)
 	if err != nil {
 		return false, 0, err
 	}
-	if !loc.Leaf {
-		return false, loc.Hops, nil
-	}
-	if len(loc.LeafPoint) != len(q) {
-		return false, loc.Hops, nil
-	}
-	for i := range q {
-		if loc.LeafPoint[i] != q[i] {
-			return false, loc.Hops, nil
+	found := loc.Leaf && len(loc.LeafPoint) == len(q)
+	if found {
+		for i := range q {
+			if loc.LeafPoint[i] != q[i] {
+				found = false
+				break
+			}
 		}
 	}
-	return true, loc.Hops, nil
+	if p.nb != nil && !found {
+		p.nb.falsePositive(origin)
+	}
+	return found, loc.Hops, nil
 }
 
 // Nearest returns the exact nearest stored point to q under squared
@@ -230,6 +267,18 @@ func (p *Points) Contains(q Point, origin HostID) (bool, int, error) {
 // that shared bound, so the extra expansions stay close to the
 // single-tree search's.
 func (p *Points) Nearest(q Point, origin HostID) (Point, int, error) {
+	var ck cacheKey
+	var sum uint64
+	if p.rc != nil {
+		// An invalid point never reaches the put: Locate errors first.
+		if code, cerr := p.ops.Code(quadtree.Point(q)); cerr == nil {
+			ck = cacheKey{op: opNearest, code: code}
+			if v, ok := p.rc.get(origin, ck); ok {
+				return v.(Point), 0, nil
+			}
+			sum = p.rc.churnNow()
+		}
+	}
 	loc, err := p.Locate(q, origin)
 	if err != nil {
 		return nil, 0, err
@@ -241,6 +290,9 @@ func (p *Points) Nearest(q Point, origin HostID) (Point, int, error) {
 	search := func(i int) {
 		p.st.rlock(i)
 		defer p.st.runlock(i)
+		if p.rc != nil {
+			sum += uint64(p.st.writeCount(i))
+		}
 		g := p.ws[i].GroundStructure()
 		if g.Len() == 0 {
 			return
@@ -259,6 +311,10 @@ func (p *Points) Nearest(q Point, origin HostID) (Point, int, error) {
 	}
 	if best == nil {
 		return nil, loc.Hops + extra, fmt.Errorf("skipwebs: empty point set")
+	}
+	if p.rc != nil {
+		// The refinement read every stripe, so the epoch spans them all.
+		p.rc.put(origin, ck, Point(best), 0, len(p.ws)-1, sum)
 	}
 	return Point(best), loc.Hops + extra, nil
 }
@@ -403,6 +459,11 @@ func (p *Points) Insert(q Point, origin HostID) (int, error) {
 	i := p.st.of(p.stripeCode(q))
 	p.st.wlock(i)
 	defer p.st.wunlock(i)
+	if p.nb != nil {
+		if code, cerr := p.ops.Code(quadtree.Point(q)); cerr == nil {
+			p.nb.add(i, hashKey64(code))
+		}
+	}
 	h, err := p.ws[i].Insert(quadtree.Point(q), origin)
 	if err != nil {
 		return h, fmt.Errorf("skipwebs: %w", err)
@@ -474,11 +535,13 @@ func (p *Points) DeleteBatch(qs []Point, origins []HostID) ([]int, error) {
 // Cluster.Join drive: quadtree cells migrate between hosts with their
 // hyperlinks, one message per storage unit moved.
 func (p *Points) rehome(from HostID, op *sim.Op) {
+	p.bumpChurn()
 	for _, w := range p.ws {
 		w.Rehome(from, op)
 	}
 }
 func (p *Points) rebalance(onto HostID, op *sim.Op) {
+	p.bumpChurn()
 	for _, w := range p.ws {
 		w.Rebalance(onto, op)
 	}
@@ -487,12 +550,14 @@ func (p *Points) rebalance(onto HostID, op *sim.Op) {
 // repair is the crash-recovery hook Cluster.Crash drives: re-replicate
 // every under-replicated cell from its surviving live replicas.
 func (p *Points) repair(op *sim.Op) error {
+	p.bumpChurn()
 	return repairStripes(op, p.ws)
 }
 
 // restart is the durable-recovery hook Cluster.Restart drives: merkle-
 // reconcile the restarted host's ranges against one live peer each.
 func (p *Points) restart(h HostID, op *sim.Op) int {
+	p.bumpChurn()
 	n := 0
 	for _, w := range p.ws {
 		n += w.RestartHost(h, op)

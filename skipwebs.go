@@ -499,7 +499,10 @@ func (c *Cluster) CheckConsistent() error {
 	return nil
 }
 
-// Stats summarizes cluster-wide accounting.
+// Stats summarizes cluster-wide accounting. The cache fields aggregate
+// the read-path counters (Options.CacheFingers / Options.NegativeBloom)
+// over every structure and origin host; they stay zero with the caches
+// off.
 type Stats struct {
 	Hosts          int
 	TotalMessages  int64
@@ -508,6 +511,25 @@ type Stats struct {
 	MeanStorage    float64
 	MaxCongestion  int64
 	MeanCongestion float64
+	// CacheHits counts queries answered from a finger cache for zero
+	// charged messages; CacheMisses counts lookups that ran the full
+	// descent, CacheInvalidations the entries evicted by a failed epoch
+	// check (write or churn on their stripes).
+	CacheHits          int64
+	CacheMisses        int64
+	CacheInvalidations int64
+	// BloomTrueNegatives counts membership queries answered "definitely
+	// absent" at the origin; BloomFalsePositives counts absent keys the
+	// bloom let through to a full descent.
+	BloomTrueNegatives  int64
+	BloomFalsePositives int64
+}
+
+// cacheStatser is implemented by every structure via the embedded
+// readPath; Stats and CacheStatsByHost aggregate through it.
+type cacheStatser interface {
+	cacheStats() CacheStats
+	cacheStatsByHost(byHost map[HostID]CacheStats, total *CacheStats)
 }
 
 // Stats returns the current cluster counters.
@@ -515,7 +537,7 @@ func (c *Cluster) Stats() Stats {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	s := c.net.Snapshot()
-	return Stats{
+	out := Stats{
 		Hosts:          s.Hosts,
 		TotalMessages:  s.TotalMessages,
 		TotalOps:       s.TotalOps,
@@ -524,6 +546,33 @@ func (c *Cluster) Stats() Stats {
 		MaxCongestion:  s.MaxCongestion,
 		MeanCongestion: s.MeanCongestion,
 	}
+	for _, m := range c.structs {
+		if cs, ok := m.(cacheStatser); ok {
+			agg := cs.cacheStats()
+			out.CacheHits += agg.Hits
+			out.CacheMisses += agg.Misses
+			out.CacheInvalidations += agg.Invalidations
+			out.BloomTrueNegatives += agg.BloomTrueNegatives
+			out.BloomFalsePositives += agg.BloomFalsePositives
+		}
+	}
+	return out
+}
+
+// CacheStatsByHost returns the read-path cache counters per origin host,
+// summed over every attached structure — the per-host observability the
+// skew bench mode reports. Hosts that never originated a cached or
+// bloom-screened query are absent; the map is empty with the caches off.
+func (c *Cluster) CacheStatsByHost() map[HostID]CacheStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[HostID]CacheStats)
+	for _, m := range c.structs {
+		if cs, ok := m.(cacheStatser); ok {
+			cs.cacheStatsByHost(out, nil)
+		}
+	}
+	return out
 }
 
 // ResetTraffic zeroes message and congestion counters while keeping

@@ -30,6 +30,7 @@ type Strings struct {
 	c  *Cluster
 	st *stripeSet
 	ws []*core.Web[*trie.Trie, string, string]
+	readPath
 }
 
 // NewStrings builds a string skip-web over distinct non-empty keys.
@@ -54,7 +55,14 @@ func NewStrings(c *Cluster, keys []string, opts Options) (*Strings, error) {
 		ws[i] = w
 	}
 	done()
-	s := &Strings{c: c, st: st, ws: ws}
+	s := &Strings{c: c, st: st, ws: ws, readPath: newReadPath(opts, st, partSizes(parts))}
+	if s.nb != nil {
+		for i, part := range parts {
+			for _, k := range part {
+				s.nb.add(i, hashKeyString(k))
+			}
+		}
+	}
 	c.attach(s)
 	return s, nil
 }
@@ -94,9 +102,20 @@ func (s *Strings) TrieDepth() int {
 // enumeration); only the returned location's locus string is shared with
 // the ground trie, never copied.
 func (s *Strings) Search(q string, origin HostID) (StringLocation, error) {
+	ck := cacheKey{op: opSearch, str: q}
+	var sum uint64
+	if s.rc != nil {
+		if v, ok := s.rc.get(origin, ck); ok {
+			return v.(StringLocation), nil
+		}
+		sum = s.rc.churnNow()
+	}
 	i := s.st.of(stringCode(q))
 	s.st.rlock(i)
 	defer s.st.runlock(i)
+	if s.rc != nil {
+		sum += uint64(s.st.writeCount(i))
+	}
 	res, err := s.ws[i].Query(q, origin)
 	if err != nil {
 		return StringLocation{}, fmt.Errorf("skipwebs: %w", err)
@@ -104,21 +123,33 @@ func (s *Strings) Search(q string, origin HostID) (StringLocation, error) {
 	g := s.ws[i].GroundStructure()
 	id := trie.NodeID(res.Range)
 	locus := g.Locus(id)
-	return StringLocation{
+	loc := StringLocation{
 		Locus: locus,
 		IsKey: g.IsKey(id),
 		Exact: g.IsKey(id) && locus == q,
 		Hops:  res.Hops,
-	}, nil
+	}
+	if s.rc != nil {
+		memo := loc
+		memo.Hops = 0
+		s.rc.put(origin, ck, memo, i, i, sum)
+	}
+	return loc, nil
 }
 
 // Contains reports whether the exact key is stored — O(log n) expected
 // messages, the same bound as Search. A stored key lives in the stripe
 // its code routes to, so membership needs only that stripe.
 func (s *Strings) Contains(q string, origin HostID) (bool, int, error) {
+	if s.nb != nil && s.nb.definitelyAbsent(origin, s.st.of(stringCode(q)), hashKeyString(q)) {
+		return false, 0, nil
+	}
 	loc, err := s.Search(q, origin)
 	if err != nil {
 		return false, 0, err
+	}
+	if s.nb != nil && !loc.Exact {
+		s.nb.falsePositive(origin)
 	}
 	return loc.Exact, loc.Hops, nil
 }
@@ -132,10 +163,24 @@ func (s *Strings) Contains(q string, origin HostID) (bool, int, error) {
 // concatenates the per-stripe sorted results (stripes hold contiguous
 // code ranges, so the concatenation is sorted).
 func (s *Strings) PrefixSearch(prefix string, max int, origin HostID) ([]string, int, error) {
+	ck := cacheKey{op: opPrefix, code: uint64(max), str: prefix}
+	var sum uint64
+	if s.rc != nil {
+		if v, ok := s.rc.get(origin, ck); ok {
+			// Hand out a fresh copy; the memoized slice stays private.
+			memo := v.([]string)
+			if memo == nil {
+				return nil, 0, nil
+			}
+			return append([]string(nil), memo...), 0, nil
+		}
+		sum = s.rc.churnNow()
+	}
 	s0 := s.st.of(stringCode(prefix))
 	s1 := s.st.of(prefixCodeHi(prefix))
 	var keys []string
 	hops := 0
+	last := s0
 	for i := s0; i <= s1; i++ {
 		remaining := max
 		if max > 0 {
@@ -144,24 +189,34 @@ func (s *Strings) PrefixSearch(prefix string, max int, origin HostID) ([]string,
 				break
 			}
 		}
-		ks, h, err := s.prefixInStripe(i, prefix, remaining, origin)
+		ks, h, wc, err := s.prefixInStripe(i, prefix, remaining, origin)
+		sum += wc
+		last = i
 		hops += h
 		if err != nil {
 			return keys, hops, err
 		}
 		keys = append(keys, ks...)
 	}
+	if s.rc != nil {
+		// The answer depends only on the stripes visited: an early break
+		// means max was reached, which the control breaks on identically.
+		s.rc.put(origin, ck, append([]string(nil), keys...), s0, last, sum)
+	}
 	return keys, hops, nil
 }
 
 // prefixInStripe enumerates stripe i's keys with the given prefix: a
 // routed search to the prefix locus plus one charged hop per result.
-func (s *Strings) prefixInStripe(i int, prefix string, max int, origin HostID) ([]string, int, error) {
+// The third result is the stripe's write counter captured under its
+// reader lock — the epoch component the caller's cache entry stores.
+func (s *Strings) prefixInStripe(i int, prefix string, max int, origin HostID) ([]string, int, uint64, error) {
 	s.st.rlock(i)
 	defer s.st.runlock(i)
+	wc := uint64(s.st.writeCount(i))
 	res, err := s.ws[i].Query(prefix, origin)
 	if err != nil {
-		return nil, 0, fmt.Errorf("skipwebs: %w", err)
+		return nil, 0, wc, fmt.Errorf("skipwebs: %w", err)
 	}
 	g := s.ws[i].GroundStructure()
 	locus := g.Locus(trie.NodeID(res.Range))
@@ -169,11 +224,11 @@ func (s *Strings) prefixInStripe(i int, prefix string, max int, origin HostID) (
 	// subtree holding all `prefix`-keys hangs at or just below it.
 	if !strings.HasPrefix(locus, prefix) {
 		if _, ok := g.LocatePrefix(prefix); !ok {
-			return nil, res.Hops, nil
+			return nil, res.Hops, wc, nil
 		}
 	}
 	keys := g.KeysWithPrefix(prefix, max)
-	return keys, res.Hops + len(keys), nil
+	return keys, res.Hops + len(keys), wc, nil
 }
 
 // prefixCodeHi is the largest stripe code any string with the given
@@ -202,6 +257,9 @@ func (s *Strings) Insert(key string, origin HostID) (int, error) {
 	i := s.st.of(stringCode(key))
 	s.st.wlock(i)
 	defer s.st.wunlock(i)
+	if s.nb != nil {
+		s.nb.add(i, hashKeyString(key))
+	}
 	h, err := s.ws[i].Insert(key, origin)
 	if err != nil {
 		return h, fmt.Errorf("skipwebs: %w", err)
@@ -272,11 +330,13 @@ func (s *Strings) DeleteBatch(keys []string, origins []HostID) ([]int, error) {
 // Cluster.Join drive: trie loci migrate between hosts with their
 // hyperlinks, one message per storage unit moved.
 func (s *Strings) rehome(from HostID, op *sim.Op) {
+	s.bumpChurn()
 	for _, w := range s.ws {
 		w.Rehome(from, op)
 	}
 }
 func (s *Strings) rebalance(onto HostID, op *sim.Op) {
+	s.bumpChurn()
 	for _, w := range s.ws {
 		w.Rebalance(onto, op)
 	}
@@ -285,12 +345,14 @@ func (s *Strings) rebalance(onto HostID, op *sim.Op) {
 // repair is the crash-recovery hook Cluster.Crash drives: re-replicate
 // every under-replicated locus from its surviving live replicas.
 func (s *Strings) repair(op *sim.Op) error {
+	s.bumpChurn()
 	return repairStripes(op, s.ws)
 }
 
 // restart is the durable-recovery hook Cluster.Restart drives: merkle-
 // reconcile the restarted host's ranges against one live peer each.
 func (s *Strings) restart(h HostID, op *sim.Op) int {
+	s.bumpChurn()
 	n := 0
 	for _, w := range s.ws {
 		n += w.RestartHost(h, op)
