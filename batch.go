@@ -56,6 +56,10 @@ type ContainsResult struct {
 	Found bool
 	// Hops is the number of messages the query cost.
 	Hops int
+	// Latency is the query's modeled critical-path latency under the
+	// cluster's latency model, in model units. Zero without a model and
+	// zero on cache/bloom short-circuits (see FloorResult.Latency).
+	Latency int64
 }
 
 // KeyRange is one [Lo, Hi] query of a range batch (inclusive bounds).
@@ -69,6 +73,10 @@ type RangeResult struct {
 	Keys []uint64
 	// Hops is the number of messages the query cost.
 	Hops int
+	// Latency is the query's modeled critical-path latency under the
+	// cluster's latency model, in model units; per-stripe descents in a
+	// cross-stripe range sum, mirroring Hops. Zero without a model.
+	Latency int64
 }
 
 // checkOrigins validates an origins slice: every origin must be a live

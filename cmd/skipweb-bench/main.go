@@ -100,7 +100,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("skipweb-bench", flag.ContinueOnError)
-	mode := fs.String("mode", "experiments", "experiments, throughput, bench, or churn")
+	mode := fs.String("mode", "experiments", "experiments, throughput, bench, churn, failover, wire, skew, scale, or campaign")
 	experiment := fs.String("experiment", "all", "which experiment to run")
 	quick := fs.Bool("quick", false, "reduced sweep for smoke testing")
 	seed := fs.Uint64("seed", 1, "random seed")
@@ -117,8 +117,13 @@ func run(args []string, out io.Writer) error {
 	serveBin := fs.String("serve-bin", "", "wire: path to a skipweb-serve binary; when set, daemons run as real processes")
 	basePort := fs.Int("base-port", 7070, "wire: first loopback port for -serve-bin daemons")
 	restart := fs.Bool("restart", false, "failover: measure durable crash->Restart (WAL replay + merkle diff) against full re-replication; wire: SIGKILL and restart a real daemon mid-workload")
-	skewS := fs.String("skew-s", "0.8,1.0,1.2", "skew: comma-separated Zipf exponents")
-	skewAbsent := fs.Float64("skew-absent", 0.25, "skew: fraction of adversarial absent-key queries")
+	skewS := fs.String("skew-s", "0.8,1.0,1.2", "skew: comma-separated Zipf exponents (campaign uses the first)")
+	skewAbsent := fs.Float64("skew-absent", 0.25, "skew/campaign: fraction of adversarial absent-key queries")
+	scaleHosts := fs.String("scale-hosts", "256,1024,4096,10000", "scale: comma-separated host counts to sweep")
+	scaleKeys := fs.String("scale-keys", "262144,1048576,10485760", "scale: comma-separated key counts to sweep")
+	latSpec := fs.String("latency", "twolevel", "scale/campaign: per-link latency model (none, fixed:C, uniform:LO:HI, lognormal:MU:SIGMA, twolevel[:RACK])")
+	maxWall := fs.Duration("max-wall", 0, "scale/campaign: stop starting new cells after this wall-clock budget (0 = unlimited)")
+	crashFracs := fs.String("crash-fracs", "0.01,0.05,0.1,0.2", "campaign: comma-separated fractions of hosts crashed simultaneously")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h/-help printed usage; not a failure
@@ -135,6 +140,35 @@ func run(args []string, out io.Writer) error {
 		}
 		if !set["queries"] {
 			*queries = 8000
+		}
+	}
+	if *mode == "scale" {
+		// A scale cell drives one batch of -queries through each build;
+		// the throughput-sized default (20000) multiplies across the whole
+		// hosts x keys sweep, so scale it down unless set explicitly.
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["queries"] {
+			*queries = 2000
+		}
+	}
+	if *mode == "campaign" {
+		// Campaign builds all six structures per replication factor and a
+		// fresh durable cluster per crash fraction; default to the scale
+		// the breaking-point tables are reported at, replicated x3.
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["hosts"] {
+			*hosts = 1024
+		}
+		if !set["keys"] {
+			*keyN = 262144
+		}
+		if !set["queries"] {
+			*queries = 4000
+		}
+		if !set["replicas"] {
+			*replicas = "3"
 		}
 	}
 	if *mode == "wire" {
@@ -172,6 +206,14 @@ func run(args []string, out io.Writer) error {
 		return runWire(out, *jsonPath, *serveBin, *basePort, *hosts, *keyN, *queries, *seed, *restart)
 	case "skew":
 		return runSkew(out, *jsonPath, *hosts, *keyN, *queries, *skewS, *skewAbsent, *seed, *quick)
+	case "scale":
+		return runScale(out, *jsonPath, *scaleHosts, *scaleKeys, *queries, *latSpec, *maxWall, *seed, *quick)
+	case "campaign":
+		s, err := firstSkewS(*skewS)
+		if err != nil {
+			return err
+		}
+		return runCampaign(out, *jsonPath, *hosts, *keyN, *queries, *replicas, *crashFracs, *latSpec, s, *skewAbsent, *maxWall, *seed, *quick)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -444,6 +486,37 @@ func runBench(out io.Writer, jsonPath, baselinePath string, keyN, hosts int, see
 				msgs += int64(r.Hops)
 			}
 		}))
+	}
+	// Latency-model twin of the blocked query row: the same build and
+	// query stream under the two-level rack/region cost model. Its
+	// ceilings pin that latency accounting is free where it matters —
+	// zero allocations on the descent (the model is a pure hash per
+	// charge) and not one extra message versus the nil-model row.
+	{
+		model := skipwebs.TwoLevelLatency(64,
+			skipwebs.UniformLatency(seed, 1, 5),
+			skipwebs.LogNormalLatency(seed+1, math.Log(100), 0.25))
+		c := skipwebs.NewCluster(hosts, skipwebs.WithLatency(model))
+		w, err := skipwebs.NewBlocked(c, keys[:keyN], skipwebs.Options{Seed: seed})
+		if err != nil {
+			return err
+		}
+		qrng := xrand.New(seed + 1) // same query stream as query/blocked-floor
+		var lat int64
+		doc.Results = append(doc.Results, measure("query/blocked-floor-lat", &msgs, func(b *testing.B) {
+			lat = 0
+			for i := 0; i < b.N; i++ {
+				r, err := w.Floor(qrng.Uint64n(1<<40), skipwebs.HostID(i%hosts))
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs += int64(r.Hops)
+				lat += r.Latency
+			}
+		}))
+		if lat == 0 {
+			return fmt.Errorf("query/blocked-floor-lat accumulated zero modeled latency")
+		}
 	}
 	pointPool := func(prng *xrand.Rand, n int) []skipwebs.Point {
 		seen := make(map[uint64]bool, n)

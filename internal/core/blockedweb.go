@@ -394,14 +394,18 @@ func (w *BlockedWeb) addBlockStorage(bn *bnode, bi, delta int) {
 
 // chargeBlockOnce charges one message to each replica of block bi that
 // this update has not yet charged — the write-through counterpart of
-// chargeOnce.
+// chargeOnce. The replicas are contacted in parallel, so the fan-out
+// window makes the operation's latency pay the slowest replica link
+// rather than the sum; counters are unchanged by the window.
 func (w *BlockedWeb) chargeBlockOnce(bn *bnode, bi int, op *sim.Op) {
+	op.FanoutBegin()
 	w.sendBlockOne(bn, bi, bn.blockHosts[bi], true, op)
 	if len(bn.blockMirrors) > 0 {
 		for _, m := range bn.blockMirrors[bi] {
 			w.sendBlockOne(bn, bi, m, true, op)
 		}
 	}
+	op.FanoutEnd()
 }
 
 // sendBlockOne charges one write-through message to replica host h of
@@ -448,14 +452,17 @@ func (w *BlockedWeb) liveBlockHost(bn *bnode, bi int) (sim.HostID, error) {
 }
 
 // sendBlock charges one message to every replica of block bi of bn —
-// write-through to all copies.
+// write-through to all copies, fanned out in parallel (latency pays the
+// slowest replica link; counters are unchanged by the window).
 func (w *BlockedWeb) sendBlock(bn *bnode, bi int, op *sim.Op) {
+	op.FanoutBegin()
 	w.sendBlockOne(bn, bi, bn.blockHosts[bi], false, op)
 	if len(bn.blockMirrors) > 0 {
 		for _, m := range bn.blockMirrors[bi] {
 			w.sendBlockOne(bn, bi, m, false, op)
 		}
 	}
+	op.FanoutEnd()
 }
 
 // visitBlock moves op to the live replica serving block bi of bn,
@@ -709,17 +716,34 @@ func (w *BlockedWeb) entryLeaf(origin sim.HostID) *bnode {
 // level lists and block directories plus atomic network counters (the
 // single-writer/many-reader contract the batch engine enforces).
 func (w *BlockedWeb) Query(q uint64, origin sim.HostID) (uint64, bool, int, error) {
+	k, ok, c, _, err := w.queryCost(q, origin)
+	return k, ok, c.Hops, err
+}
+
+// QueryCost is Query reporting the full Cost pair — hop count plus the
+// modeled critical-path latency — instead of hops alone. Accounting is
+// identical: both run the same descent, charge for charge.
+func (w *BlockedWeb) QueryCost(q uint64, origin sim.HostID) (uint64, bool, Cost, error) {
+	k, ok, c, _, err := w.queryCost(q, origin)
+	return k, ok, c, err
+}
+
+// queryCost runs the floor descent and reports the answer, the cost
+// pair, and the terminal host the descent ended at — the sender of any
+// follow-up hop a caller (BucketWeb) charges on top.
+func (w *BlockedWeb) queryCost(q uint64, origin sim.HostID) (uint64, bool, Cost, sim.HostID, error) {
 	op := w.net.NewOp(origin)
 	defer op.Free()
 	r, err := w.queryOp(q, op)
+	c := Cost{Hops: op.Hops(), Latency: op.Latency()}
 	if err != nil {
-		return 0, false, op.Hops(), err
+		return 0, false, c, op.Current(), err
 	}
 	g := w.root.lvl
 	if g.IsHead(r) {
-		return 0, false, op.Hops(), nil
+		return 0, false, c, op.Current(), nil
 	}
-	return g.Key(r), true, op.Hops(), nil
+	return g.Key(r), true, c, op.Current(), nil
 }
 
 // queryOp descends the hierarchy under op, returning the level-0
@@ -805,11 +829,19 @@ func (w *BlockedWeb) walk(n *bnode, r RangeID, q uint64, bi int, op *sim.Op) (Ra
 // query plus one message per block crossed while walking — O(Q(n) + k/B)
 // for k results.
 func (w *BlockedWeb) Range(lo, hi uint64, origin sim.HostID) ([]uint64, int, error) {
+	keys, c, err := w.RangeCost(lo, hi, origin)
+	return keys, c.Hops, err
+}
+
+// RangeCost is Range reporting the full Cost pair — hop count plus the
+// modeled critical-path latency — instead of hops alone. Accounting is
+// identical: both run the same descent and walk, charge for charge.
+func (w *BlockedWeb) RangeCost(lo, hi uint64, origin sim.HostID) ([]uint64, Cost, error) {
 	op := w.net.NewOp(origin)
 	defer op.Free()
 	r, err := w.queryOp(lo, op)
 	if err != nil {
-		return nil, op.Hops(), err
+		return nil, Cost{Hops: op.Hops(), Latency: op.Latency()}, err
 	}
 	g := w.root.lvl
 	// The terminal is floor(lo); the first in-range key is the terminal
@@ -830,12 +862,12 @@ func (w *BlockedWeb) Range(lo, hi uint64, origin sim.HostID) ([]uint64, int, err
 			bi = w.blockIndexNear(w.root, k, bi)
 		}
 		if err := w.visitBlock(w.root, bi, op); err != nil {
-			return out, op.Hops(), err
+			return out, Cost{Hops: op.Hops(), Latency: op.Latency()}, err
 		}
 		out = append(out, k)
 		r = g.Next(r)
 	}
-	return out, op.Hops(), nil
+	return out, Cost{Hops: op.Hops(), Latency: op.Latency()}, nil
 }
 
 // memoGet returns the memoized parent range for (parent level, child
@@ -1924,20 +1956,39 @@ func (b *BucketWeb) NumBuckets() int { return len(b.buckets) }
 // BlockedWeb.Query, it is safe for concurrent use provided no update
 // runs concurrently.
 func (b *BucketWeb) Query(q uint64, origin sim.HostID) (uint64, bool, int, error) {
-	min, ok, hops, err := b.web.Query(q, origin)
+	k, ok, c, err := b.QueryCost(q, origin)
+	return k, ok, c.Hops, err
+}
+
+// QueryCost is Query reporting the full Cost pair — hop count plus the
+// modeled critical-path latency — instead of hops alone. Accounting is
+// identical: the separator routing charges through the same descent, and
+// each bucket hop adds the link cost from the host the route currently
+// sits at to the bucket replica it enters.
+func (b *BucketWeb) QueryCost(q uint64, origin sim.HostID) (uint64, bool, Cost, error) {
+	min, ok, c, at, err := b.web.queryCost(q, origin)
 	if err != nil {
-		return 0, false, hops, err
+		return 0, false, c, err
+	}
+	model := b.net.CostModel()
+	hop := func(to sim.HostID) {
+		c.Hops++
+		if model != nil {
+			c.Latency += model.Link(at, to)
+		}
+		at = to
 	}
 	ground := b.web.Ground()
 	for ok {
 		wb := b.buckets[min]
-		if _, err := b.liveBucketHost(wb); err != nil {
-			return 0, false, hops, err
+		bh, err := b.liveBucketHost(wb)
+		if err != nil {
+			return 0, false, c, err
 		}
-		hops++ // the hop into the bucket's live replica
+		hop(bh) // the hop into the bucket's live replica
 		i := sort.Search(len(wb.keys), func(i int) bool { return wb.keys[i] > q })
 		if i > 0 {
-			return wb.keys[i-1], true, hops, nil
+			return wb.keys[i-1], true, c, nil
 		}
 		r, found := ground.ByKey(min)
 		if !found {
@@ -1948,9 +1999,11 @@ func (b *BucketWeb) Query(q uint64, origin sim.HostID) (uint64, bool, int, error
 			break
 		}
 		min = ground.Key(prev)
-		hops++
+		// Ground-list step toward the predecessor bucket: charge the
+		// link to that bucket's primary, the step's destination shard.
+		hop(b.buckets[min].host)
 	}
-	return 0, false, hops, nil
+	return 0, false, c, nil
 }
 
 // Insert routes to the bucket and adds the key, splitting overfull
@@ -2043,11 +2096,21 @@ func (b *BucketWeb) Insert(key uint64, origin sim.HostID) (int, error) {
 // Range reports every key in [lo, hi] in ascending order: one routed
 // floor query plus one message per bucket visited.
 func (b *BucketWeb) Range(lo, hi uint64, origin sim.HostID) ([]uint64, int, error) {
+	keys, c, err := b.RangeCost(lo, hi, origin)
+	return keys, c.Hops, err
+}
+
+// RangeCost is Range reporting the full Cost pair — hop count plus the
+// modeled critical-path latency — instead of hops alone. Accounting is
+// identical; each bucket visit adds the link cost from the previous stop
+// to the bucket replica entered.
+func (b *BucketWeb) RangeCost(lo, hi uint64, origin sim.HostID) ([]uint64, Cost, error) {
 	ground := b.web.Ground()
-	min, ok, hops, err := b.web.Query(lo, origin)
+	min, ok, c, at, err := b.web.queryCost(lo, origin)
 	if err != nil {
-		return nil, hops, err
+		return nil, c, err
 	}
+	model := b.net.CostModel()
 	var r RangeID
 	if !ok {
 		// lo is below every separator: start at the first bucket.
@@ -2058,10 +2121,15 @@ func (b *BucketWeb) Range(lo, hi uint64, origin sim.HostID) ([]uint64, int, erro
 	var out []uint64
 	for r != NoRange {
 		wb := b.buckets[ground.Key(r)]
-		if _, err := b.liveBucketHost(wb); err != nil {
-			return out, hops, err
+		bh, err := b.liveBucketHost(wb)
+		if err != nil {
+			return out, c, err
 		}
-		hops++ // visiting the bucket's live replica
+		c.Hops++ // visiting the bucket's live replica
+		if model != nil {
+			c.Latency += model.Link(at, bh)
+		}
+		at = bh
 		done := false
 		for _, k := range wb.keys {
 			if k > hi {
@@ -2077,7 +2145,7 @@ func (b *BucketWeb) Range(lo, hi uint64, origin sim.HostID) ([]uint64, int, erro
 		}
 		r = ground.Next(r)
 	}
-	return out, hops, nil
+	return out, c, nil
 }
 
 // sortedBuckets returns the buckets in ascending separator order — the

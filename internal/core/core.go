@@ -83,6 +83,11 @@ type Fabric interface {
 	// host is expected to Restart and reconcile rather than be rebuilt,
 	// so write-throughs to it are queued as divergence instead of sent.
 	Durable() bool
+	// CostModel returns the installed per-link latency model, or nil for
+	// the default zero-latency accounting. Engines consult it only for
+	// hops they count outside an Op (BucketWeb's bucket visits); charged
+	// hops pick it up inside Op itself.
+	CostModel() sim.CostModel
 }
 
 // *sim.Network is the canonical Fabric.
@@ -583,10 +588,15 @@ func (w *Web[L, T, Q]) addStorageReplicas(n *setNode, r RangeID, delta int) {
 
 // sendReplicas charges one message to every replica of range r of n —
 // the write-through cost of an update touching that range. At k = 1 it
-// is exactly the single op.Send the unreplicated path charged.
+// is exactly the single op.Send the unreplicated path charged. The
+// replicas are contacted in parallel, so the fan-out window makes the
+// operation's critical-path latency pay the slowest replica link, not
+// the sum; hop and message counters are unchanged by the window.
 func (w *Web[L, T, Q]) sendReplicas(op *sim.Op, n *setNode, r RangeID) {
+	op.FanoutBegin()
 	w.sendOne(op, n, r, n.hosts[r])
 	n.visitMirrors(r, func(m sim.HostID) { w.sendOne(op, n, r, m) })
+	op.FanoutEnd()
 }
 
 // sendOne charges one write-through message to replica host h of range r
@@ -771,11 +781,24 @@ func (w *Web[L, T, Q]) entryLeaf(origin sim.HostID) *setNode {
 	return w.leaves[int(origin)%len(w.leaves)]
 }
 
+// Cost is the per-operation cost pair the tuple-returning engines
+// (BlockedWeb, BucketWeb) report from their *Cost query variants: the
+// hop count the paper bounds plus the modeled critical-path latency
+// under the network's CostModel (zero under the default nil model).
+type Cost struct {
+	Hops    int
+	Latency int64
+}
+
 // QueryResult carries the answer to a point query: the terminal range of
 // the ground structure D(S) and the message cost.
 type QueryResult struct {
 	Range RangeID
 	Hops  int
+	// Latency is the modeled critical-path latency of the descent under
+	// the network's CostModel, in model units — zero under the default
+	// zero-latency model.
+	Latency int64
 }
 
 // Query routes a point query from the originating host to the terminal
@@ -795,7 +818,7 @@ func (w *Web[L, T, Q]) Query(q Q, origin sim.HostID) (QueryResult, error) {
 	if err != nil {
 		return QueryResult{}, err
 	}
-	return QueryResult{Range: r, Hops: op.Hops()}, nil
+	return QueryResult{Range: r, Hops: op.Hops(), Latency: op.Latency()}, nil
 }
 
 // queryOp performs the descent under an existing accounting op and

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// CostModel assigns a modeled latency to every ordered host pair — the
+// pluggable half of the accounting spine. The hop/message counters are
+// always unit-cost and never consult the model; latency is accumulated
+// alongside them, so installing a model changes no existing counter.
+//
+// Link MUST be a pure function of (from, to): the same pair always
+// yields the same cost, with no internal state advanced per call. That
+// purity is what makes per-operation latency deterministic regardless of
+// GOMAXPROCS, batch grouping, or write-stripe scheduling — concurrent
+// executions interleave charge order, and a stateful sampler would hand
+// different draws to different interleavings. Implementations that want
+// randomness derive it by hashing (seed, from, to), one fixed sample per
+// ordered pair, exactly like a seeded substream per link.
+//
+// from may be None for messages that originate outside any host (an
+// unplaced coordinator op, e.g. repair traffic); implementations must
+// return a well-defined cost for it. Units are abstract "latency units"
+// (read them as microseconds); only ratios and quantiles are meaningful.
+type CostModel interface {
+	// Link returns the latency of one message from host `from` to host
+	// `to`, in model units. It must be pure and safe for concurrent use.
+	Link(from, to HostID) int64
+	// Name identifies the model in stats and bench output.
+	Name() string
+}
+
+// pairSample hashes (seed, from, to) to 64 pseudo-random bits — one
+// fixed sample per ordered host pair, the stateless substream every
+// randomized model draws its per-link sample from. It is the SplitMix64
+// finalizer over a mix of the three inputs, so nearby seeds and adjacent
+// host ids still yield unrelated samples.
+func pairSample(seed uint64, from, to HostID) uint64 {
+	z := seed
+	z ^= uint64(int64(from)) * 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z ^= uint64(int64(to)) * 0x94d049bb133111eb
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// fixedModel charges the same cost on every link.
+type fixedModel struct{ c int64 }
+
+// Fixed returns the constant-cost model: every cross-host message costs
+// c units, making an operation's latency exactly c times its hop count.
+// Fixed(0) is the explicit zero-latency model; a nil CostModel on the
+// Network means the same thing without even the accumulation work.
+func Fixed(c int64) CostModel { return fixedModel{c: c} }
+
+func (m fixedModel) Link(from, to HostID) int64 { return m.c }
+func (m fixedModel) Name() string               { return fmt.Sprintf("fixed(%d)", m.c) }
+
+// uniformModel samples each ordered pair's cost uniformly from [lo, hi].
+type uniformModel struct {
+	seed   uint64
+	lo, hi int64
+}
+
+// Uniform returns a model whose per-link cost is a fixed uniform sample
+// in [lo, hi], drawn once per ordered host pair from the seed. Uniform
+// with lo == hi degenerates to Fixed; in particular Uniform(seed, 0, 0)
+// is the zero-latency model. Uniform panics when hi < lo.
+func Uniform(seed uint64, lo, hi int64) CostModel {
+	if hi < lo {
+		panic(fmt.Sprintf("sim: Uniform latency with hi %d < lo %d", hi, lo))
+	}
+	return uniformModel{seed: seed, lo: lo, hi: hi}
+}
+
+func (m uniformModel) Link(from, to HostID) int64 {
+	span := uint64(m.hi-m.lo) + 1
+	return m.lo + int64(pairSample(m.seed, from, to)%span)
+}
+
+func (m uniformModel) Name() string {
+	return fmt.Sprintf("uniform[%d,%d]", m.lo, m.hi)
+}
+
+// logNormalModel samples each ordered pair's cost from LogNormal(mu,
+// sigma) — the classic heavy-tailed WAN latency distribution.
+type logNormalModel struct {
+	seed      uint64
+	mu, sigma float64
+}
+
+// LogNormal returns a model whose per-link cost is a fixed
+// LogNormal(mu, sigma) sample (of the underlying normal's parameters, so
+// the median link costs e^mu units), drawn once per ordered host pair
+// from the seed. Heavy upper tails are the point: a handful of links are
+// much slower than the median, which is what separates critical-path
+// latency from plain hop counts at scale.
+func LogNormal(seed uint64, mu, sigma float64) CostModel {
+	return logNormalModel{seed: seed, mu: mu, sigma: sigma}
+}
+
+func (m logNormalModel) Link(from, to HostID) int64 {
+	h := pairSample(m.seed, from, to)
+	// Box-Muller on two halves of the hash: u1 in (0,1] so the log is
+	// finite, u2 in [0,1).
+	u1 := (float64(h>>11) + 1) / (1 << 53)
+	u2 := float64(h&((1<<20)-1)) / (1 << 20)
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	v := math.Exp(m.mu + m.sigma*z)
+	if v < 1 {
+		return 1
+	}
+	if v > math.MaxInt64/2 {
+		return math.MaxInt64 / 2
+	}
+	return int64(math.Round(v))
+}
+
+func (m logNormalModel) Name() string {
+	return fmt.Sprintf("lognormal(mu=%g,sigma=%g)", m.mu, m.sigma)
+}
+
+// twoLevelModel is the rack/region topology: hosts are grouped into
+// racks of rackSize consecutive ids; intra-rack links use one model,
+// cross-rack links another.
+type twoLevelModel struct {
+	rackSize     int
+	intra, inter CostModel
+}
+
+// TwoLevel returns the 2-level topology model: hosts h and g are in the
+// same rack when h/rackSize == g/rackSize, and such links cost
+// intra.Link(h, g); links that cross racks (and links from None — a
+// message entering the fabric from outside) cost inter.Link(h, g). The
+// usual instantiation is a cheap Fixed or narrow Uniform intra model
+// under a heavy-tailed LogNormal inter model, which is where hop counts
+// and latency visibly diverge: a 5-hop route crossing 5 racks costs far
+// more than a 5-hop route that stays home. TwoLevel panics when
+// rackSize <= 0.
+func TwoLevel(rackSize int, intra, inter CostModel) CostModel {
+	if rackSize <= 0 {
+		panic(fmt.Sprintf("sim: TwoLevel latency with non-positive rack size %d", rackSize))
+	}
+	return twoLevelModel{rackSize: rackSize, intra: intra, inter: inter}
+}
+
+func (m twoLevelModel) Link(from, to HostID) int64 {
+	if from != None && to != None && int(from)/m.rackSize == int(to)/m.rackSize {
+		return m.intra.Link(from, to)
+	}
+	return m.inter.Link(from, to)
+}
+
+func (m twoLevelModel) Name() string {
+	return fmt.Sprintf("twolevel(rack=%d,intra=%s,inter=%s)", m.rackSize, m.intra.Name(), m.inter.Name())
+}
+
+// Latency-histogram geometry: per-operation latencies are recorded into
+// log-spaced buckets with latSubBits sub-buckets per octave, so quantile
+// reads are within 1/2^latSubBits (12.5%) of exact while the whole
+// histogram is one fixed array of atomics — no allocation, no lock, safe
+// for concurrent Free calls from every worker goroutine.
+const (
+	latSubBits = 3
+	latSub     = 1 << latSubBits
+	latBuckets = (64-latSubBits)*latSub + latSub // index range of latBucket
+)
+
+// latBucket maps a latency value to its histogram bucket. Values below
+// latSub are exact; above, the bucket keys on the top latSubBits+1 bits.
+func latBucket(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < latSub {
+		return int(u)
+	}
+	l := bits.Len64(u)
+	return (l-latSubBits)<<latSubBits + int((u>>(l-1-latSubBits))&(latSub-1))
+}
+
+// latBucketValue returns the lower bound of bucket i — the value
+// quantile reads report for operations landing in it.
+func latBucketValue(i int) int64 {
+	if i < latSub {
+		return int64(i)
+	}
+	o := i >> latSubBits
+	return int64(latSub+(i&(latSub-1))) << (o - 1)
+}

@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestCostModelPurity pins the contract the determinism guarantee rests
+// on: Link is a pure function of (from, to) — repeated calls and fresh
+// instances built from the same seed agree on every pair.
+func TestCostModelPurity(t *testing.T) {
+	models := map[string]func() CostModel{
+		"fixed":     func() CostModel { return Fixed(7) },
+		"uniform":   func() CostModel { return Uniform(42, 1, 100) },
+		"lognormal": func() CostModel { return LogNormal(42, 4.6, 0.5) },
+		"twolevel": func() CostModel {
+			return TwoLevel(8, Uniform(42, 1, 5), LogNormal(43, 4.6, 0.25))
+		},
+	}
+	for name, mk := range models {
+		a, b := mk(), mk()
+		for from := HostID(0); from < 32; from++ {
+			for to := HostID(0); to < 32; to++ {
+				c := a.Link(from, to)
+				if c < 0 {
+					t.Fatalf("%s: Link(%d,%d) = %d, want non-negative", name, from, to, c)
+				}
+				for rep := 0; rep < 3; rep++ {
+					if got := a.Link(from, to); got != c {
+						t.Fatalf("%s: Link(%d,%d) changed across calls: %d then %d", name, from, to, c, got)
+					}
+				}
+				if got := b.Link(from, to); got != c {
+					t.Fatalf("%s: fresh same-seed instance disagrees at (%d,%d): %d vs %d", name, from, to, c, got)
+				}
+			}
+			// from = None must be well-defined too (unplaced coordinator ops).
+			c := a.Link(None, from)
+			if got := a.Link(None, from); got != c || c < 0 {
+				t.Fatalf("%s: Link(None,%d) unstable or negative: %d then %d", name, from, c, got)
+			}
+		}
+	}
+}
+
+// TestUniformModelRange checks the sampled costs stay in [lo, hi], vary
+// across pairs, and vary with the seed.
+func TestUniformModelRange(t *testing.T) {
+	m := Uniform(1, 10, 20)
+	other := Uniform(2, 10, 20)
+	seenDistinct, seedDiffers := false, false
+	first := m.Link(0, 1)
+	for from := HostID(0); from < 64; from++ {
+		for to := HostID(0); to < 64; to++ {
+			c := m.Link(from, to)
+			if c < 10 || c > 20 {
+				t.Fatalf("Link(%d,%d) = %d outside [10,20]", from, to, c)
+			}
+			if c != first {
+				seenDistinct = true
+			}
+			if c != other.Link(from, to) {
+				seedDiffers = true
+			}
+		}
+	}
+	if !seenDistinct {
+		t.Fatal("uniform model returned one constant over 4096 pairs")
+	}
+	if !seedDiffers {
+		t.Fatal("different seeds produced identical samples on all 4096 pairs")
+	}
+	if got := Uniform(9, 5, 5).Link(3, 4); got != 5 {
+		t.Fatalf("degenerate Uniform(5,5) = %d, want 5", got)
+	}
+}
+
+// TestLogNormalModelTail checks positivity and that the distribution
+// actually has spread (a heavy tail is the model's reason to exist).
+func TestLogNormalModelTail(t *testing.T) {
+	m := LogNormal(7, 4.6, 0.5) // median ~100
+	var min, max int64 = 1 << 62, 0
+	for from := HostID(0); from < 64; from++ {
+		for to := HostID(0); to < 64; to++ {
+			c := m.Link(from, to)
+			if c < 1 {
+				t.Fatalf("Link(%d,%d) = %d, want >= 1", from, to, c)
+			}
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+	}
+	if max < 2*min {
+		t.Fatalf("lognormal spread too tight: min %d, max %d", min, max)
+	}
+}
+
+// TestTwoLevelRackSplit pins the topology rule: same-rack links use the
+// intra model, cross-rack links (and links from None) the inter model.
+func TestTwoLevelRackSplit(t *testing.T) {
+	m := TwoLevel(4, Fixed(1), Fixed(100))
+	cases := []struct {
+		from, to HostID
+		want     int64
+	}{
+		{0, 3, 1},      // same rack 0
+		{4, 7, 1},      // same rack 1
+		{3, 4, 100},    // rack boundary
+		{0, 8, 100},    // two racks apart
+		{None, 2, 100}, // unplaced origin enters over the region link
+	}
+	for _, c := range cases {
+		if got := m.Link(c.from, c.to); got != c.want {
+			t.Errorf("Link(%d,%d) = %d, want %d", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+// TestOpCriticalPathLatency pins the accumulation rule on a live
+// network: sequential charges add the link cost, fan-out windows add
+// only the maximum, and hop/message counters never consult the model.
+func TestOpCriticalPathLatency(t *testing.T) {
+	n := NewNetwork(8)
+	n.SetCostModel(Fixed(5))
+	op := n.NewOp(0)
+	op.Visit(1) // 0->1: +5
+	op.Visit(1) // same host: free
+	op.Visit(2) // 1->2: +5
+	op.Send(3)  // 2->3 round trip charge: +5
+	if op.Latency() != 15 || op.Hops() != 3 {
+		t.Fatalf("sequential: latency %d hops %d, want 15 and 3", op.Latency(), op.Hops())
+	}
+	op.FanoutBegin()
+	op.Send(4)
+	op.Send(5)
+	op.Send(6) // three parallel mirrors: critical path pays max = 5, hops pay 3
+	op.FanoutEnd()
+	if op.Latency() != 20 || op.Hops() != 6 {
+		t.Fatalf("fan-out: latency %d hops %d, want 20 and 6", op.Latency(), op.Hops())
+	}
+	op.Free()
+
+	// The same walk with a heterogeneous model: the fan-out window must
+	// pay the slowest mirror, not the sum and not the last.
+	n2 := NewNetwork(8)
+	n2.SetCostModel(TwoLevel(4, Fixed(1), Fixed(50)))
+	op2 := n2.NewOp(0)
+	op2.FanoutBegin()
+	op2.Send(1) // same rack: 1
+	op2.Send(7) // cross rack: 50
+	op2.Send(2) // same rack: 1
+	op2.FanoutEnd()
+	if op2.Latency() != 50 {
+		t.Fatalf("heterogeneous fan-out latency %d, want max 50", op2.Latency())
+	}
+	// Nested windows merge into one parallel wave.
+	op2.FanoutBegin()
+	op2.Send(7) // 50
+	op2.FanoutBegin()
+	op2.Send(6) // 50, same wave
+	op2.FanoutEnd()
+	op2.Send(5) // 50, still the same wave
+	op2.FanoutEnd()
+	if op2.Latency() != 100 {
+		t.Fatalf("nested fan-out latency %d, want 100 (one extra wave)", op2.Latency())
+	}
+	op2.Free()
+}
+
+// TestOpLatencyZeroWithoutModel pins the default: no model, no latency,
+// identical hop accounting, zero latency stats.
+func TestOpLatencyZeroWithoutModel(t *testing.T) {
+	n := NewNetwork(4)
+	op := n.NewOp(0)
+	op.Visit(1)
+	op.Visit(2)
+	op.FanoutBegin()
+	op.Send(3)
+	op.FanoutEnd()
+	if op.Latency() != 0 {
+		t.Fatalf("latency %d without a model, want 0", op.Latency())
+	}
+	if op.Hops() != 3 {
+		t.Fatalf("hops %d, want 3", op.Hops())
+	}
+	op.Free()
+	s := n.Snapshot()
+	if s.LatencyOps != 0 || s.LatencyMean != 0 || s.LatencyP50 != 0 || s.LatencyP99 != 0 || s.LatencyMax != 0 {
+		t.Fatalf("nil-model latency stats not all zero: %+v", s)
+	}
+}
+
+// TestLatencyHistogramQuantiles records a known latency population and
+// checks the log-bucketed quantiles stay within the documented 12.5%.
+func TestLatencyHistogramQuantiles(t *testing.T) {
+	n := NewNetwork(2)
+	n.SetCostModel(Fixed(1))
+	// 1000 ops of latency i+1 each: p50 is ~500, p99 ~990, max 1000.
+	for i := 0; i < 1000; i++ {
+		op := n.NewOp(0)
+		for j := 0; j <= i; j++ {
+			op.Send(1)
+		}
+		op.Free()
+	}
+	s := n.Snapshot()
+	if s.LatencyOps != 1000 {
+		t.Fatalf("LatencyOps = %d, want 1000", s.LatencyOps)
+	}
+	within := func(name string, got, want int64) {
+		lo := want - want/8 - 1
+		hi := want + want/8 + 1
+		if got < lo || got > hi {
+			t.Errorf("%s = %d, want within 12.5%% of %d", name, got, want)
+		}
+	}
+	within("p50", s.LatencyP50, 500)
+	within("p99", s.LatencyP99, 990)
+	if s.LatencyMax != 1000 {
+		t.Errorf("max = %d, want exactly 1000 (tracked, not bucketed)", s.LatencyMax)
+	}
+	if s.LatencyMean < 450 || s.LatencyMean > 550 {
+		t.Errorf("mean = %g, want ~500.5 (exact sum/count)", s.LatencyMean)
+	}
+
+	// ResetTraffic clears the histogram with the counters.
+	n.ResetTraffic()
+	s = n.Snapshot()
+	if s.LatencyOps != 0 || s.LatencyMax != 0 {
+		t.Fatalf("latency stats survive ResetTraffic: %+v", s)
+	}
+}
+
+// TestLatBucketGeometry checks the histogram's bucket mapping: exact
+// below latSub, monotone throughout, and bucket lower bounds that never
+// exceed the values they represent by more than the documented error.
+func TestLatBucketGeometry(t *testing.T) {
+	for v := int64(0); v < latSub; v++ {
+		if b := latBucket(v); latBucketValue(b) != v {
+			t.Fatalf("small value %d maps to bucket %d with value %d, want exact", v, b, latBucketValue(b))
+		}
+	}
+	prev := -1
+	for _, v := range []int64{8, 9, 100, 1000, 12345, 1 << 20, 1 << 40, 1 << 62} {
+		b := latBucket(v)
+		if b <= prev && v > int64(prev) {
+			// buckets must be non-decreasing in v
+			t.Fatalf("bucket order violated at %d: bucket %d after %d", v, b, prev)
+		}
+		prev = b
+		lo := latBucketValue(b)
+		if lo > v {
+			t.Fatalf("bucket value %d exceeds member %d", lo, v)
+		}
+		if v > latSub && lo < v-v/8-1 {
+			t.Fatalf("bucket value %d under-reports %d by more than 12.5%%", lo, v)
+		}
+	}
+	if latBucket(-5) != 0 {
+		t.Fatalf("negative latencies must clamp to bucket 0, got %d", latBucket(-5))
+	}
+}
+
+// TestWorkersStartLazily pins the scale-plumbing behavior: a cluster
+// over many hosts launches workers only for hosts that actually receive
+// dispatched work.
+func TestWorkersStartLazily(t *testing.T) {
+	net := NewNetwork(1024)
+	c := NewCluster(net)
+	defer c.Stop()
+	if got := c.WorkersStarted(); got != 0 {
+		t.Fatalf("WorkersStarted = %d before any dispatch, want 0", got)
+	}
+	done := make(chan struct{})
+	c.Go(5, func() { close(done) })
+	<-done
+	if got := c.WorkersStarted(); got != 1 {
+		t.Fatalf("WorkersStarted = %d after one Go, want 1", got)
+	}
+	c.RunBatch(16,
+		func(i int) HostID { return HostID(i % 8) },
+		func(i int) {})
+	if got := c.WorkersStarted(); got < 8 || got > 9 {
+		t.Fatalf("WorkersStarted = %d after a batch over 8 origins, want 8 (or 9 with the Go host)", got)
+	}
+}

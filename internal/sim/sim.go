@@ -127,6 +127,12 @@ type Transport interface {
 	SetDoTimeout(d time.Duration)
 	Stop()
 	Stopped() bool
+	// WorkersStarted reports how many per-host workers the transport has
+	// actually launched. The in-process cluster starts workers lazily on
+	// first dispatch, so the count is bounded by the hosts batch work has
+	// touched; the wire transport spawns eagerly (a socket per host) and
+	// reports its live node count.
+	WorkersStarted() int
 }
 
 // counter is a cache-line-padded atomic counter. Per-host counters are
@@ -177,6 +183,30 @@ type Network struct {
 	// that survives Crash, so the host can Restart with its shard intact.
 	// Nil keeps the pre-durability behavior bit-identical.
 	durable *durability
+
+	// cost, when non-nil, is the per-link latency model: every charged
+	// message additionally accumulates cost.Link(from, to) onto its
+	// operation's critical path (max over mirrors inside a replication
+	// fan-out). Nil is the default zero-latency model and keeps the
+	// accounting hot path bit-identical to the pre-CostModel code — no
+	// Link calls, no histogram writes. Install before any traffic flows
+	// (read without synchronization on the hot path, like deliver).
+	cost CostModel
+
+	// latHist is the log-bucketed histogram of completed operations'
+	// critical-path latencies (recorded at Op.Free, only under a non-nil
+	// cost model). One fixed array of atomics: quantile reads allocate
+	// nothing and Free never contends on a lock.
+	latHist []atomic.Int64
+	latOps  atomic.Int64
+	latSum  atomic.Int64
+	latMax  atomic.Int64
+
+	// quantMu guards quantScratch, the reusable sort buffer behind
+	// StorageQuantiles — at 10k hosts a fresh []int64 per call is pure
+	// GC pressure for the scale bench, which polls quantiles per cell.
+	quantMu      sync.Mutex
+	quantScratch []int64
 }
 
 // durability is the per-host durable-storage model: a write-ahead log
@@ -514,6 +544,73 @@ func (n *Network) Restart(h HostID) int {
 // uninstall.
 func (n *Network) SetDeliver(fn func(HostID)) { n.deliver = fn }
 
+// SetCostModel installs m as the per-link latency model: every message
+// charged from now on accumulates m.Link(from, to) onto its operation's
+// critical-path latency, and completed operations' latencies feed the
+// Snapshot quantiles. The hop and message counters are unaffected — the
+// model adds a measure, it never changes one. Install before any traffic
+// flows (the field is read without synchronization on the hot path);
+// pass nil to restore the default zero-latency accounting. Idempotent
+// under the same model; installing a different model mid-run mixes
+// regimes in the histogram, so don't.
+func (n *Network) SetCostModel(m CostModel) {
+	n.cost = m
+	if m != nil && n.latHist == nil {
+		n.latHist = make([]atomic.Int64, latBuckets)
+	}
+}
+
+// CostModel returns the installed latency model, or nil for the default
+// zero-latency accounting.
+func (n *Network) CostModel() CostModel { return n.cost }
+
+// recordLatency folds one completed operation's critical-path latency
+// into the histogram.
+func (n *Network) recordLatency(lat int64) {
+	n.latHist[latBucket(lat)].Add(1)
+	n.latOps.Add(1)
+	n.latSum.Add(lat)
+	for {
+		cur := n.latMax.Load()
+		if lat <= cur || n.latMax.CompareAndSwap(cur, lat) {
+			return
+		}
+	}
+}
+
+// LatencyQuantiles returns the q-quantiles (e.g. 0.5, 0.99) of completed
+// operations' critical-path latencies under the installed cost model, in
+// model units, within 12.5% of exact (the histogram is log-bucketed).
+// All zeros when no model is installed or no operation has completed.
+func (n *Network) LatencyQuantiles(qs ...float64) []int64 {
+	out := make([]int64, len(qs))
+	total := n.latOps.Load()
+	if n.latHist == nil || total == 0 {
+		return out
+	}
+	for i, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		rank := int64(math.Ceil(q * float64(total)))
+		if rank < 1 {
+			rank = 1
+		}
+		var seen int64
+		for b := range n.latHist {
+			seen += n.latHist[b].Load()
+			if seen >= rank {
+				out[i] = latBucketValue(b)
+				break
+			}
+		}
+	}
+	return out
+}
+
 // Messages returns the messages delivered to host h since creation.
 func (n *Network) Messages(h HostID) int64 { return n.messages[h].n.Load() }
 
@@ -521,11 +618,22 @@ func (n *Network) Messages(h HostID) int64 { return n.messages[h].n.Load() }
 // slice indexed by HostID — the vector the sim-vs-wire parity check
 // diffs bit-for-bit.
 func (n *Network) PerHostMessages() []int64 {
-	out := make([]int64, n.hosts)
-	for i := range out {
-		out[i] = n.messages[i].n.Load()
+	return n.PerHostMessagesInto(nil)
+}
+
+// PerHostMessagesInto is PerHostMessages with a caller-provided buffer:
+// buf is resized (reallocating only when its capacity is short) and
+// returned, so a poller at 10k hosts reuses one slice instead of
+// allocating per sample.
+func (n *Network) PerHostMessagesInto(buf []int64) []int64 {
+	if cap(buf) < n.hosts {
+		buf = make([]int64, n.hosts)
 	}
-	return out
+	buf = buf[:n.hosts]
+	for i := range buf {
+		buf[i] = n.messages[i].n.Load()
+	}
+	return buf
 }
 
 // TotalMessages returns the number of messages delivered since creation.
@@ -550,10 +658,24 @@ func (n *Network) TotalOps() int64 {
 // one update). An operation has a current host; moving to a different host
 // costs one message. Op is not safe for concurrent use; each in-flight
 // operation owns its Op.
+//
+// Alongside the hop count, an Op accumulates critical-path latency under
+// the network's CostModel: sequential Visit/Send charges add the sampled
+// link cost, and charges inside a FanoutBegin/FanoutEnd window (a
+// replicated write-through, where the mirrors are contacted in parallel)
+// contribute only the maximum link cost of the window. With no model
+// installed the latency stays zero and costs nothing to not-compute.
 type Op struct {
 	net  *Network
 	cur  HostID
 	hops int
+	// lat is the critical-path latency accumulated so far (model units).
+	lat int64
+	// fanDepth > 0 means charges are inside a replication fan-out and
+	// fold into fanMax instead of adding to lat; nested windows merge
+	// into the outermost (one parallel wave).
+	fanDepth int
+	fanMax   int64
 }
 
 // opPool recycles Ops so the query and update hot paths allocate nothing
@@ -570,6 +692,7 @@ func (n *Network) NewOp(start HostID) *Op {
 	n.ops[int(start)+1].n.Add(1)
 	op := opPool.Get().(*Op)
 	op.net, op.cur, op.hops = n, start, 0
+	op.lat, op.fanDepth, op.fanMax = 0, 0, 0
 	if start != None {
 		n.touches[start].n.Add(1)
 	}
@@ -577,10 +700,17 @@ func (n *Network) NewOp(start HostID) *Op {
 }
 
 // Free returns the Op to the pool. The caller must not use the Op after
-// Free; values needed from it (Hops, Current) must be read first. Free is
-// optional — an unfreed Op is garbage-collected like any value — but the
-// hot paths free every Op so steady-state operation allocates nothing.
+// Free; values needed from it (Hops, Current, Latency) must be read
+// first. Free is optional — an unfreed Op is garbage-collected like any
+// value — but the hot paths free every Op so steady-state operation
+// allocates nothing. Under a cost model, Free also records the
+// operation's critical-path latency into the network's histogram, so the
+// Snapshot quantiles cover every completed operation (queries, updates,
+// and churn alike).
 func (o *Op) Free() {
+	if o.net.cost != nil {
+		o.net.recordLatency(o.lat)
+	}
 	o.net = nil
 	opPool.Put(o)
 }
@@ -606,6 +736,18 @@ func (o *Op) charge(h HostID) {
 	o.hops++
 	o.net.messages[h].n.Add(1)
 	o.net.touches[h].n.Add(1)
+	if m := o.net.cost; m != nil {
+		// o.cur is still the sending host here: Visit updates cur only
+		// after charging, and Send never moves the op at all.
+		c := m.Link(o.cur, h)
+		if o.fanDepth > 0 {
+			if c > o.fanMax {
+				o.fanMax = c
+			}
+		} else {
+			o.lat += c
+		}
+	}
 	if o.net.deliver != nil {
 		o.net.deliver(h)
 	}
@@ -618,8 +760,32 @@ func (o *Op) Send(h HostID) {
 	o.charge(h)
 }
 
+// FanoutBegin opens a replication fan-out window: until the matching
+// FanoutEnd, charged messages contribute only the maximum sampled link
+// cost to the operation's latency — the mirrors of a write-through are
+// contacted in parallel, so the critical path pays for the slowest one,
+// not the sum. Hop and message counters are unaffected (every send is
+// still charged in full). Windows may nest; nested windows merge into
+// the outermost, modeling one parallel wave.
+func (o *Op) FanoutBegin() { o.fanDepth++ }
+
+// FanoutEnd closes the window opened by the matching FanoutBegin, adding
+// the window's maximum link cost to the critical path.
+func (o *Op) FanoutEnd() {
+	o.fanDepth--
+	if o.fanDepth == 0 {
+		o.lat += o.fanMax
+		o.fanMax = 0
+	}
+}
+
 // Hops returns the number of messages this operation has cost so far.
 func (o *Op) Hops() int { return o.hops }
+
+// Latency returns the critical-path latency this operation has
+// accumulated under the network's CostModel, in model units. Zero when
+// no model is installed.
+func (o *Op) Latency() int64 { return o.lat }
 
 // Current returns the host the operation is currently executing at.
 func (o *Op) Current() HostID { return o.cur }
@@ -637,6 +803,18 @@ type Stats struct {
 	MeanCongestion float64
 	MaxMessages    int64
 	MeanMessages   float64
+
+	// Latency summary of completed operations under the installed
+	// CostModel, in model units. All zeros when no model is installed
+	// (the default zero-latency accounting). Quantiles are log-bucketed:
+	// within 12.5% of exact. LatencyOps counts the operations recorded —
+	// every Op freed since creation (or the last ResetTraffic), churn
+	// included.
+	LatencyOps  int64
+	LatencyMean float64
+	LatencyP50  int64
+	LatencyP99  int64
+	LatencyMax  int64
 }
 
 // Snapshot summarizes the per-host counters.
@@ -673,16 +851,28 @@ func (n *Network) Snapshot() Stats {
 	s.MeanStorage = float64(sumSt) / h
 	s.MeanCongestion = float64(sumTo) / h
 	s.MeanMessages = float64(sumMs) / h
+	if ops := n.latOps.Load(); ops > 0 {
+		s.LatencyOps = ops
+		s.LatencyMean = float64(n.latSum.Load()) / float64(ops)
+		q := n.LatencyQuantiles(0.5, 0.99)
+		s.LatencyP50, s.LatencyP99 = q[0], q[1]
+		s.LatencyMax = n.latMax.Load()
+	}
 	return s
 }
 
 // StorageQuantiles returns the q-quantiles (e.g. 0.5, 0.99, 1.0) of the
-// per-live-host storage distribution, in the order requested.
+// per-live-host storage distribution, in the order requested. The sort
+// scratch is reused across calls (only the len(qs)-sized answer is
+// allocated), so polling quantiles at 10k hosts does not shed a fresh
+// 80KB slice per call; concurrent callers serialize on the scratch.
 func (n *Network) StorageQuantiles(qs ...float64) []int64 {
-	vals := make([]int64, 0, len(n.live))
+	n.quantMu.Lock()
+	vals := n.quantScratch[:0]
 	for _, h := range n.live {
 		vals = append(vals, n.storage[h].n.Load())
 	}
+	n.quantScratch = vals
 	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
 	out := make([]int64, len(qs))
 	for i, q := range qs {
@@ -698,10 +888,12 @@ func (n *Network) StorageQuantiles(qs ...float64) []int64 {
 		}
 		out[i] = vals[idx]
 	}
+	n.quantMu.Unlock()
 	return out
 }
 
-// ResetTraffic zeroes the message and congestion counters while preserving
+// ResetTraffic zeroes the message and congestion counters — and the
+// latency histogram, when a cost model is installed — while preserving
 // storage, so an experiment can measure query traffic separately from
 // construction traffic.
 func (n *Network) ResetTraffic() {
@@ -712,6 +904,12 @@ func (n *Network) ResetTraffic() {
 	for i := range n.ops {
 		n.ops[i].n.Store(0)
 	}
+	for i := range n.latHist {
+		n.latHist[i].Store(0)
+	}
+	n.latOps.Store(0)
+	n.latSum.Store(0)
+	n.latMax.Store(0)
 }
 
 // Cluster executes work on per-host goroutines. Each host runs a single
@@ -750,6 +948,11 @@ type mailbox struct {
 	wake    chan struct{} // buffered(1): signals the worker that work exists
 	closed  bool
 	dropped bool // closed by a crash: queued work was discarded, not drained
+	// started flips true when the worker goroutine is launched. Workers
+	// are lazy: a 10k-host cluster whose batch only ever touches a few
+	// hundred origin hosts runs a few hundred goroutines, not 10k idle
+	// ones. Checked lock-free on the send fast path.
+	started atomic.Bool
 }
 
 // put enqueues t, reporting false when the mailbox is closed.
@@ -855,10 +1058,12 @@ func goid() uint64 {
 // Cluster is the in-process Transport implementation.
 var _ Transport = (*Cluster)(nil)
 
-// NewCluster creates and starts a cluster over net's hosts (one worker
-// per host slot, including any already-departed slots, whose workers
-// simply idle). Call Stop when done; the Cluster owns one goroutine per
-// host until then.
+// NewCluster creates a cluster over net's hosts. Worker goroutines are
+// lazy: each host slot gets a mailbox up front, but its worker starts on
+// the first task sent to it, so a 10k-host cluster costs 10k mailbox
+// structs — not 10k goroutines — until traffic actually reaches a host.
+// Call Stop when done; the Cluster owns one goroutine per host that ever
+// received work until then.
 func NewCluster(net *Network) *Cluster {
 	c := &Cluster{
 		net:  net,
@@ -881,16 +1086,18 @@ func NewCluster(net *Network) *Cluster {
 	return c
 }
 
-// spawn appends a mailbox for host h and starts its worker goroutine. The
-// caller must hold mailMu (or be the only goroutine with access, as in
-// NewCluster).
+// spawn appends a mailbox for host h; the worker goroutine starts lazily
+// on first send. The caller must hold mailMu (or be the only goroutine
+// with access, as in NewCluster).
 func (c *Cluster) spawn(h HostID) {
 	m := &mailbox{wake: make(chan struct{}, 1)}
 	c.mail = append(c.mail, m)
-	c.start(h, m)
 }
 
-// start runs a worker goroutine draining m as host h's actor.
+// start runs a worker goroutine draining m as host h's actor. The caller
+// must hold mailMu (read or write): Stop takes the write lock before
+// snapshotting the mailboxes, so every worker started here is wg.Added
+// before Stop can Wait.
 func (c *Cluster) start(h HostID, m *mailbox) {
 	c.wg.Add(1)
 	go func() {
@@ -911,9 +1118,25 @@ func (c *Cluster) start(h HostID, m *mailbox) {
 	}()
 }
 
-// AddHost starts worker goroutines for every network host slot up to and
+// WorkersStarted reports how many worker goroutines have been launched —
+// the observable half of the lazy-spawn contract (a fresh 10k-host
+// cluster has zero; sending to k distinct hosts starts exactly k).
+func (c *Cluster) WorkersStarted() int {
+	c.mailMu.RLock()
+	defer c.mailMu.RUnlock()
+	started := 0
+	for _, m := range c.mail {
+		if m.started.Load() {
+			started++
+		}
+	}
+	return started
+}
+
+// AddHost installs mailboxes for every network host slot up to and
 // including h — pairing Network.AddHost with the mailbox spin-up of the
-// new host's actor. It must not be called after Stop, and like Network
+// new host's actor (the worker goroutine itself starts lazily, on the
+// host's first task). It must not be called after Stop, and like Network
 // churn it must be serialized against in-flight batches by the caller.
 func (c *Cluster) AddHost(h HostID) {
 	if c.stopped.Load() {
@@ -967,15 +1190,36 @@ func (c *Cluster) Restart(h HostID) {
 	if !c.mail[h].isDropped() {
 		panic(fmt.Sprintf("sim: Cluster.Restart(%d): host has not crashed", h))
 	}
-	m := &mailbox{wake: make(chan struct{}, 1)}
-	c.mail[h] = m
-	c.start(h, m)
+	// The fresh mailbox starts its worker lazily, like any other: the
+	// restarted process spins up on its first inbound message.
+	c.mail[h] = &mailbox{wake: make(chan struct{}, 1)}
 }
 
 // box returns host h's mailbox under the churn lock.
 func (c *Cluster) box(h HostID) *mailbox {
 	c.mailMu.RLock()
 	m := c.mail[h]
+	c.mailMu.RUnlock()
+	return m
+}
+
+// boxStart returns host h's mailbox, lazily launching its worker
+// goroutine on the first send. The start happens while still holding the
+// churn read lock, so it strictly precedes any Stop (which takes the
+// write lock before waiting): a worker is never wg.Added concurrently
+// with the final Wait. Closed mailboxes never start a worker — there is
+// nothing to drain that put would still accept.
+func (c *Cluster) boxStart(h HostID) *mailbox {
+	c.mailMu.RLock()
+	m := c.mail[h]
+	if !m.started.Load() && !c.stopped.Load() {
+		m.mu.Lock()
+		if !m.started.Load() && !m.closed {
+			m.started.Store(true)
+			c.start(h, m)
+		}
+		m.mu.Unlock()
+	}
 	c.mailMu.RUnlock()
 	return m
 }
@@ -1013,7 +1257,7 @@ func (c *Cluster) Do(h HostID, fn func()) error {
 		return nil
 	}
 	t := task{fn: fn, done: make(chan error, 1)}
-	box := c.box(h)
+	box := c.boxStart(h)
 	if !box.put(t) {
 		if box.isDropped() {
 			return &HostDownError{Host: h}
@@ -1056,7 +1300,7 @@ func (c *Cluster) Go(h HostID, fn func()) {
 	if c.stopped.Load() {
 		panic("sim: Cluster.Go after Stop")
 	}
-	box := c.box(h)
+	box := c.boxStart(h)
 	if !box.put(task{fn: fn}) {
 		if box.isDropped() {
 			// A send-and-continue task has no rendezvous to fail, so a
@@ -1081,19 +1325,28 @@ func (c *Cluster) Go(h HostID, fn func()) {
 // microsecond-scale routing work and the batch stops scaling with
 // GOMAXPROCS.
 func (c *Cluster) RunBatch(n int, origin func(i int) HostID, run func(i int)) {
-	groups := make([][]int, c.net.Hosts())
+	// The per-host group table is pooled: at 10k hosts it is a 240KB
+	// slice header array, and read batches recreate it per call — without
+	// reuse the scale bench spends its time re-zeroing group tables.
+	var groups [][]int
+	if g, ok := groupPool.Get().(*[][]int); ok && cap(*g) >= c.net.Hosts() {
+		groups = (*g)[:c.net.Hosts()]
+	} else {
+		groups = make([][]int, c.net.Hosts())
+	}
+	touched := make([]HostID, 0, 64)
 	for i := 0; i < n; i++ {
 		h := origin(i)
+		if groups[h] == nil {
+			touched = append(touched, h)
+		}
 		groups[h] = append(groups[h], i)
 	}
 	var wg sync.WaitGroup
-	for h, idxs := range groups {
-		if len(idxs) == 0 {
-			continue
-		}
-		idxs := idxs
+	for _, h := range touched {
+		idxs := groups[h]
 		wg.Add(1)
-		c.Go(HostID(h), func() {
+		c.Go(h, func() {
 			defer wg.Done()
 			for _, i := range idxs {
 				run(i)
@@ -1101,17 +1354,28 @@ func (c *Cluster) RunBatch(n int, origin func(i int) HostID, run func(i int)) {
 		})
 	}
 	wg.Wait()
+	for _, h := range touched {
+		groups[h] = nil
+	}
+	groupPool.Put(&groups)
 }
 
+// groupPool recycles RunBatch's per-host group tables. Entries are
+// cleared (nil per touched host, preserving nothing) before being
+// returned, so a pooled table is indistinguishable from a fresh one.
+var groupPool = sync.Pool{New: func() any { return new([][]int) }}
+
 // Stop shuts down all host goroutines, draining already-enqueued tasks,
-// and waits for the workers to exit.
+// and waits for the workers to exit. The snapshot takes the write lock:
+// it orders Stop after every in-flight lazy worker start (boxStart holds
+// the read lock across wg.Add), so the final Wait races no Add.
 func (c *Cluster) Stop() {
 	if c.stopped.Swap(true) {
 		return
 	}
-	c.mailMu.RLock()
+	c.mailMu.Lock()
 	mail := c.mail
-	c.mailMu.RUnlock()
+	c.mailMu.Unlock()
 	for _, m := range mail {
 		m.close()
 	}

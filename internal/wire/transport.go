@@ -372,6 +372,22 @@ func (t *Loopback) Restart(h sim.HostID) {
 // Stopped reports whether Stop has been called.
 func (t *Loopback) Stopped() bool { return t.stopped.Load() }
 
+// WorkersStarted reports the number of live nodes. The wire transport
+// spawns eagerly — every host gets a listener and a worker at AddHost
+// time — so unlike the in-process cluster's lazy count this equals the
+// number of hosts that have joined and not been removed or crashed.
+func (t *Loopback) WorkersStarted() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, s := range t.state {
+		if s == hostLive {
+			n++
+		}
+	}
+	return n
+}
+
 // Stop shuts every host down, draining already-dispatched tasks first
 // (the KClose frame is FIFO with them), waits for the workers to exit,
 // and releases every socket.

@@ -1,0 +1,288 @@
+package skipwebs
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/skipwebs/skipwebs/internal/experiments"
+	"github.com/skipwebs/skipwebs/internal/trapmap"
+	"github.com/skipwebs/skipwebs/internal/xrand"
+)
+
+// latencyWorkload drives an identical mixed workload over all six
+// structures on one cluster and returns (per-op hops, total latency,
+// cluster stats). Everything is seeded, so two clusters that differ
+// only in their latency model must agree on every hop count.
+func latencyWorkload(t *testing.T, model CostModel) ([]int, int64, Stats) {
+	t.Helper()
+	const hosts, keyN = 32, 512
+	var copts []ClusterOption
+	if model != nil {
+		copts = append(copts, WithLatency(model))
+	}
+	c := NewCluster(hosts, copts...)
+	defer c.Close()
+	rng := xrand.New(77)
+	keys := experiments.Keys(rng, keyN, 1<<40)
+	oned, err := NewOneDim(c, keys, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, err := NewBlocked(c, keys, Options{Seed: 8, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bucketed, err := NewBucketed(c, keys, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := experiments.UniformPoints(rng, 2, keyN/2, 1<<30)
+	pts := make([]Point, len(raw))
+	for i, p := range raw {
+		pts[i] = Point(p)
+	}
+	points, err := NewPoints(c, 2, pts, Options{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strKeys := experiments.UniformStrings(rng, keyN/2, "acgt", 6, 20)
+	strs, err := NewStrings(c, strKeys, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawSegs := experiments.DisjointSegments(rng, 64, trapmap.Rect{MinX: -1000, MinY: -1000, MaxX: 1000, MaxY: 1000})
+	segs := make([]PlanarSegment, len(rawSegs))
+	for i, s := range rawSegs {
+		segs[i] = PlanarSegment{
+			A: PlanarPoint{X: s.A.X, Y: s.A.Y},
+			B: PlanarPoint{X: s.B.X, Y: s.B.Y},
+		}
+	}
+	planar, err := NewPlanar(c, segs, PlanarBounds{MinX: -1000, MinY: -1000, MaxX: 1000, MaxY: 1000}, Options{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ResetTraffic()
+
+	qrng := xrand.New(99)
+	var hops []int
+	var latTotal int64
+	add := func(h int, lat int64, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		hops = append(hops, h)
+		latTotal += lat
+	}
+	for i := 0; i < 240; i++ {
+		origin := HostID(int(qrng.Uint64n(32)))
+		switch i % 8 {
+		case 0:
+			r, err := oned.Floor(qrng.Uint64n(1<<40), origin)
+			add(r.Hops, r.Latency, err)
+		case 1:
+			r, err := blocked.Floor(qrng.Uint64n(1<<40), origin)
+			add(r.Hops, r.Latency, err)
+		case 2:
+			r, err := bucketed.Floor(qrng.Uint64n(1<<40), origin)
+			add(r.Hops, r.Latency, err)
+		case 3:
+			loc, err := points.Locate(Point{uint32(qrng.Uint64n(1 << 30)), uint32(qrng.Uint64n(1 << 30))}, origin)
+			add(loc.Hops, loc.Latency, err)
+		case 4:
+			loc, err := strs.Search(strKeys[int(qrng.Uint64n(uint64(len(strKeys))))], origin)
+			add(loc.Hops, loc.Latency, err)
+		case 5:
+			tr, err := planar.Locate(PlanarPoint{
+				X: int64(qrng.Uint64n(1998)) - 999,
+				Y: int64(qrng.Uint64n(1998)) - 999,
+			}, origin)
+			add(tr.Hops, tr.Latency, err)
+		case 6:
+			// Replicated write-through: the k = 2 blocked build exercises
+			// the fan-out window on every insert.
+			h, err := blocked.Insert(qrng.Uint64n(1<<40)|1<<41, origin)
+			add(h, 0, err)
+		case 7:
+			h, err := oned.Insert(qrng.Uint64n(1<<40)|1<<42, origin)
+			add(h, 0, err)
+		}
+	}
+	return hops, latTotal, c.Stats()
+}
+
+// TestLatencyNilGoldenParity is the cross-structure guard for the
+// default accounting: installing a latency model changes per-op latency
+// only — every hop count, every message total, and the congestion
+// profile are bit-identical to the nil-model run, and the nil-model run
+// reports zero latency everywhere.
+func TestLatencyNilGoldenParity(t *testing.T) {
+	hopsNil, latNil, statsNil := latencyWorkload(t, nil)
+	hopsMod, latMod, statsMod := latencyWorkload(t, TwoLevelLatency(8,
+		UniformLatency(5, 1, 5), LogNormalLatency(6, 4.6, 0.25)))
+
+	if latNil != 0 {
+		t.Fatalf("nil model accumulated %d latency units, want 0", latNil)
+	}
+	if statsNil.LatencyOps != 0 || statsNil.LatencyP50 != 0 || statsNil.LatencyP99 != 0 ||
+		statsNil.LatencyMax != 0 || statsNil.LatencyMean != 0 {
+		t.Fatalf("nil model latency stats not all zero: %+v", statsNil)
+	}
+	if latMod == 0 || statsMod.LatencyOps == 0 || statsMod.LatencyMax == 0 {
+		t.Fatalf("model run recorded no latency: total %d, stats %+v", latMod, statsMod)
+	}
+	if len(hopsNil) != len(hopsMod) {
+		t.Fatalf("op counts diverge: %d vs %d", len(hopsNil), len(hopsMod))
+	}
+	for i := range hopsNil {
+		if hopsNil[i] != hopsMod[i] {
+			t.Fatalf("op %d hops diverge under the model: %d vs %d", i, hopsNil[i], hopsMod[i])
+		}
+	}
+	if statsNil.TotalMessages != statsMod.TotalMessages {
+		t.Fatalf("total messages diverge under the model: %d vs %d", statsNil.TotalMessages, statsMod.TotalMessages)
+	}
+	if statsNil.MaxCongestion != statsMod.MaxCongestion || statsNil.TotalOps != statsMod.TotalOps {
+		t.Fatalf("congestion/op counters diverge under the model: %+v vs %+v", statsNil, statsMod)
+	}
+}
+
+// blockedLatencyFixture builds a striped, replicated blocked web under
+// a heterogeneous model with a fixed query set — the hardest
+// configuration for latency determinism (stripe dispatch goroutines,
+// replica routing, fan-out windows).
+func blockedLatencyFixture(t *testing.T, stripes int) (*Cluster, *Blocked, []uint64, []HostID) {
+	t.Helper()
+	const hosts, keyN, queries = 32, 768, 384
+	model := TwoLevelLatency(8, UniformLatency(5, 1, 5), LogNormalLatency(6, 4.6, 0.25))
+	c := NewCluster(hosts, WithLatency(model))
+	keys := experiments.Keys(xrand.New(31), keyN, 1<<40)
+	w, err := NewBlocked(c, keys, Options{Seed: 17, Replicas: 2, WriteStripes: stripes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qrng := xrand.New(32)
+	qs := make([]uint64, queries)
+	origins := make([]HostID, queries)
+	for i := range qs {
+		qs[i] = qrng.Uint64n(1 << 40)
+		origins[i] = HostID(int(qrng.Uint64n(hosts)))
+	}
+	return c, w, qs, origins
+}
+
+// TestLatencyDeterminism is the property test for the purity contract:
+// identical seeds produce identical per-op latency no matter how the
+// execution is scheduled — synchronous vs batched, one batch vs many,
+// GOMAXPROCS 1 vs all cores, and at every write-stripe count.
+func TestLatencyDeterminism(t *testing.T) {
+	for _, stripes := range []int{1, 4} {
+		c, w, qs, origins := blockedLatencyFixture(t, stripes)
+		want := make([]int64, len(qs))
+		for i := range qs {
+			r, err := w.Floor(qs[i], origins[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = r.Latency
+		}
+		c.Close()
+
+		check := func(name string, got []FloorResult) {
+			t.Helper()
+			for i := range got {
+				if got[i].Latency != want[i] {
+					t.Fatalf("stripes=%d %s: op %d latency %d, want %d (sync)", stripes, name, i, got[i].Latency, want[i])
+				}
+			}
+		}
+		// One batch, full parallelism.
+		c2, w2, _, _ := blockedLatencyFixture(t, stripes)
+		res, err := w2.FloorBatch(qs, origins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("one batch", res)
+		// Different batch grouping: many small batches over the same build.
+		var regrouped []FloorResult
+		for lo := 0; lo < len(qs); lo += 37 {
+			hi := lo + 37
+			if hi > len(qs) {
+				hi = len(qs)
+			}
+			part, err := w2.FloorBatch(qs[lo:hi], origins[lo:hi])
+			if err != nil {
+				t.Fatal(err)
+			}
+			regrouped = append(regrouped, part...)
+		}
+		check("regrouped batches", regrouped)
+		c2.Close()
+		// GOMAXPROCS = 1: fully serialized scheduling.
+		prev := runtime.GOMAXPROCS(1)
+		c3, w3, _, _ := blockedLatencyFixture(t, stripes)
+		res1, err := w3.FloorBatch(qs, origins)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("GOMAXPROCS=1", res1)
+		c3.Close()
+	}
+}
+
+// TestLatencyStatsSurface checks the public Stats view: a cluster under
+// a model reports a coherent latency summary (ops counted, mean between
+// min and max, p50 <= p99 <= max) and ResetTraffic clears it.
+func TestLatencyStatsSurface(t *testing.T) {
+	c, w, qs, origins := blockedLatencyFixture(t, 1)
+	defer c.Close()
+	c.ResetTraffic()
+	if _, err := w.FloorBatch(qs, origins); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.LatencyOps != int64(len(qs)) {
+		t.Fatalf("LatencyOps = %d, want %d (one per query)", s.LatencyOps, len(qs))
+	}
+	if s.LatencyP50 <= 0 || s.LatencyP50 > s.LatencyP99 || s.LatencyP99 > s.LatencyMax {
+		t.Fatalf("quantiles out of order: p50 %d p99 %d max %d", s.LatencyP50, s.LatencyP99, s.LatencyMax)
+	}
+	if s.LatencyMean <= 0 || s.LatencyMean > float64(s.LatencyMax) {
+		t.Fatalf("mean %g outside (0, max %d]", s.LatencyMean, s.LatencyMax)
+	}
+	c.ResetTraffic()
+	s = c.Stats()
+	if s.LatencyOps != 0 || s.LatencyMax != 0 {
+		t.Fatalf("latency stats survive ResetTraffic: %+v", s)
+	}
+}
+
+// TestClusterWorkersStartedLazy pins the public lazy-spawn counter: a
+// big cluster runs zero workers until a batch dispatches to an origin,
+// and then only as many as the batch touched.
+func TestClusterWorkersStartedLazy(t *testing.T) {
+	c := NewCluster(2048)
+	defer c.Close()
+	keys := experiments.Keys(xrand.New(3), 256, 1<<40)
+	w, err := NewOneDim(c, keys, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.WorkersStarted(); got != 0 {
+		t.Fatalf("WorkersStarted = %d after build, want 0 (construction is inline)", got)
+	}
+	qs := []uint64{keys[0], keys[1], keys[2], keys[3]}
+	if _, err := w.ContainsBatch(qs, []HostID{5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.WorkersStarted(); got != 1 {
+		t.Fatalf("WorkersStarted = %d after a single-origin batch, want 1", got)
+	}
+	if _, err := w.ContainsBatch(qs, []HostID{5, 9, 11}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.WorkersStarted(); got != 3 {
+		t.Fatalf("WorkersStarted = %d after origins {5,9,11}, want 3", got)
+	}
+}

@@ -86,6 +86,20 @@ type Options struct {
 	// needs no remote host to prove absence. False (the default) leaves
 	// membership queries bit-identical to filter-free builds.
 	NegativeBloom bool
+	// Latency installs a per-link latency model on the cluster (model
+	// plus seed, e.g. LogNormalLatency(seed, mu, sigma) or
+	// TwoLevelLatency): every charged message then also accumulates its
+	// sampled link cost onto the operation's critical path — replicated
+	// write-throughs pay the max over mirrors, not the sum — and query
+	// results and Cluster.Stats report latency alongside hops. Like
+	// Durable, the model is cluster-wide: the first structure built with
+	// one installs it for every host and structure (equivalent to
+	// passing WithLatency to NewCluster). Nil (the default) is the
+	// zero-latency model, whose accounting — every counter, every hop —
+	// is bit-identical to pre-latency builds. Models must be installed
+	// before traffic flows; structures built later on the same cluster
+	// must pass the same model or nil.
+	Latency CostModel
 }
 
 // FloorResult is the answer to a one-dimensional nearest-neighbor query.
@@ -96,6 +110,11 @@ type FloorResult struct {
 	Found bool
 	// Hops is the number of messages the query cost.
 	Hops int
+	// Latency is the query's modeled critical-path latency under the
+	// cluster's latency model (Options.Latency / WithLatency), in model
+	// units. Zero without a model, and zero on cache hits — a cached
+	// answer is served at the origin without touching the network.
+	Latency int64
 }
 
 // OneDim is the general skip-web over a sorted set (arbitrary blocking):
@@ -116,7 +135,7 @@ type OneDim struct {
 // stripe (see the Options.WriteStripes doc).
 func NewOneDim(c *Cluster, keys []uint64, opts Options) (*OneDim, error) {
 	st, parts := splitKeysByStripe(keys, opts.WriteStripes)
-	done := c.beginBuild(opts.Durable)
+	done := c.beginBuild(opts)
 	ws := make([]*core.Web[*core.ListLevel, uint64, uint64], st.n())
 	for i, part := range parts {
 		w, err := core.NewWeb[*core.ListLevel, uint64, uint64](
@@ -175,6 +194,7 @@ func (d *OneDim) Floor(q uint64, origin HostID) (FloorResult, error) {
 	}
 	i0 := d.st.of(q)
 	hops := 0
+	var lat int64
 	for i := i0; ; i-- {
 		d.st.rlock(i)
 		if d.rc != nil {
@@ -187,7 +207,8 @@ func (d *OneDim) Floor(q uint64, origin HostID) (FloorResult, error) {
 		}
 		g := d.ws[i].GroundStructure()
 		if !g.IsHead(res.Range) {
-			out := FloorResult{Key: g.Key(res.Range), Found: true, Hops: hops + res.Hops}
+			out := FloorResult{Key: g.Key(res.Range), Found: true,
+				Hops: hops + res.Hops, Latency: lat + res.Latency}
 			d.st.runlock(i)
 			if d.rc != nil {
 				// The answer depends only on stripes [i, i0]: lower stripes
@@ -198,11 +219,12 @@ func (d *OneDim) Floor(q uint64, origin HostID) (FloorResult, error) {
 		}
 		d.st.runlock(i)
 		hops += res.Hops
+		lat += res.Latency
 		if i == 0 {
 			if d.rc != nil {
 				d.rc.put(origin, key, FloorResult{}, 0, i0, sum)
 			}
-			return FloorResult{Found: false, Hops: hops}, nil
+			return FloorResult{Found: false, Hops: hops, Latency: lat}, nil
 		}
 	}
 }
@@ -212,15 +234,22 @@ func (d *OneDim) Floor(q uint64, origin HostID) (FloorResult, error) {
 // membership needs only the stripe owning the key, so no cross-stripe
 // fallback is charged.
 func (d *OneDim) Contains(key uint64, origin HostID) (bool, int, error) {
+	found, c, err := d.containsCost(key, origin)
+	return found, c.Hops, err
+}
+
+// containsCost is Contains returning the full hop/latency cost pair —
+// the variant ContainsBatch surfaces per-query latency through.
+func (d *OneDim) containsCost(key uint64, origin HostID) (bool, core.Cost, error) {
 	i := d.st.of(key)
 	if d.nb != nil && d.nb.definitelyAbsent(origin, i, hashKey64(key)) {
-		return false, 0, nil
+		return false, core.Cost{}, nil
 	}
 	ck := cacheKey{op: opContains, code: key}
 	var sum uint64
 	if d.rc != nil {
 		if v, ok := d.rc.get(origin, ck); ok {
-			return v.(bool), 0, nil
+			return v.(bool), core.Cost{}, nil
 		}
 		sum = d.rc.churnNow()
 	}
@@ -231,7 +260,7 @@ func (d *OneDim) Contains(key uint64, origin HostID) (bool, int, error) {
 	res, err := d.ws[i].Query(key, origin)
 	if err != nil {
 		d.st.runlock(i)
-		return false, 0, fmt.Errorf("skipwebs: %w", err)
+		return false, core.Cost{}, fmt.Errorf("skipwebs: %w", err)
 	}
 	g := d.ws[i].GroundStructure()
 	found := !g.IsHead(res.Range) && g.Key(res.Range) == key
@@ -242,7 +271,7 @@ func (d *OneDim) Contains(key uint64, origin HostID) (bool, int, error) {
 	if d.rc != nil {
 		d.rc.put(origin, ck, found, i, i, sum)
 	}
-	return found, res.Hops, nil
+	return found, core.Cost{Hops: res.Hops, Latency: res.Latency}, nil
 }
 
 // Insert adds a key, returning the update's message cost — O(log n)
@@ -359,8 +388,8 @@ func (d *OneDim) FloorBatch(qs []uint64, origins []HostID) ([]FloorResult, error
 // ContainsBatch answers one membership query per key concurrently.
 func (d *OneDim) ContainsBatch(keys []uint64, origins []HostID) ([]ContainsResult, error) {
 	return runReadBatch(d.c, keys, origins, func(k uint64, origin HostID) (ContainsResult, error) {
-		ok, hops, err := d.Contains(k, origin)
-		return ContainsResult{Found: ok, Hops: hops}, err
+		ok, c, err := d.containsCost(k, origin)
+		return ContainsResult{Found: ok, Hops: c.Hops, Latency: c.Latency}, err
 	})
 }
 
@@ -444,7 +473,7 @@ type Blocked struct {
 // stripe (see the Options.WriteStripes doc).
 func NewBlocked(c *Cluster, keys []uint64, opts Options) (*Blocked, error) {
 	st, parts := splitKeysByStripe(keys, opts.WriteStripes)
-	done := c.beginBuild(opts.Durable)
+	done := c.beginBuild(opts)
 	ws := make([]*core.BlockedWeb, st.n())
 	for i, part := range parts {
 		w, err := core.NewBlockedWeb(c.network(), part,
@@ -501,29 +530,30 @@ func (b *Blocked) Floor(q uint64, origin HostID) (FloorResult, error) {
 		sum = b.rc.churnNow()
 	}
 	i0 := b.st.of(q)
-	hops := 0
+	var cost core.Cost
 	for i := i0; ; i-- {
 		b.st.rlock(i)
 		if b.rc != nil {
 			sum += uint64(b.st.writeCount(i))
 		}
-		k, ok, h, err := b.ws[i].Query(q, origin)
+		k, ok, c, err := b.ws[i].QueryCost(q, origin)
 		b.st.runlock(i)
-		hops += h
+		cost.Hops += c.Hops
+		cost.Latency += c.Latency
 		if err != nil {
-			return FloorResult{Hops: hops}, fmt.Errorf("skipwebs: %w", err)
+			return FloorResult{Hops: cost.Hops, Latency: cost.Latency}, fmt.Errorf("skipwebs: %w", err)
 		}
 		if ok {
 			if b.rc != nil {
 				b.rc.put(origin, key, FloorResult{Key: k, Found: true}, i, i0, sum)
 			}
-			return FloorResult{Key: k, Found: true, Hops: hops}, nil
+			return FloorResult{Key: k, Found: true, Hops: cost.Hops, Latency: cost.Latency}, nil
 		}
 		if i == 0 {
 			if b.rc != nil {
 				b.rc.put(origin, key, FloorResult{}, 0, i0, sum)
 			}
-			return FloorResult{Found: false, Hops: hops}, nil
+			return FloorResult{Found: false, Hops: cost.Hops, Latency: cost.Latency}, nil
 		}
 	}
 }
@@ -533,15 +563,22 @@ func (b *Blocked) Floor(q uint64, origin HostID) (FloorResult, error) {
 // membership needs only the stripe owning the key, so no cross-stripe
 // fallback is charged.
 func (b *Blocked) Contains(key uint64, origin HostID) (bool, int, error) {
+	found, c, err := b.containsCost(key, origin)
+	return found, c.Hops, err
+}
+
+// containsCost is Contains returning the full hop/latency cost pair —
+// the variant ContainsBatch surfaces per-query latency through.
+func (b *Blocked) containsCost(key uint64, origin HostID) (bool, core.Cost, error) {
 	i := b.st.of(key)
 	if b.nb != nil && b.nb.definitelyAbsent(origin, i, hashKey64(key)) {
-		return false, 0, nil
+		return false, core.Cost{}, nil
 	}
 	ck := cacheKey{op: opContains, code: key}
 	var sum uint64
 	if b.rc != nil {
 		if v, ok := b.rc.get(origin, ck); ok {
-			return v.(bool), 0, nil
+			return v.(bool), core.Cost{}, nil
 		}
 		sum = b.rc.churnNow()
 	}
@@ -549,10 +586,10 @@ func (b *Blocked) Contains(key uint64, origin HostID) (bool, int, error) {
 	if b.rc != nil {
 		sum += uint64(b.st.writeCount(i))
 	}
-	kk, ok, hops, err := b.ws[i].Query(key, origin)
+	kk, ok, c, err := b.ws[i].QueryCost(key, origin)
 	b.st.runlock(i)
 	if err != nil {
-		return false, hops, fmt.Errorf("skipwebs: %w", err)
+		return false, c, fmt.Errorf("skipwebs: %w", err)
 	}
 	found := ok && kk == key
 	if b.nb != nil && !found {
@@ -561,39 +598,47 @@ func (b *Blocked) Contains(key uint64, origin HostID) (bool, int, error) {
 	if b.rc != nil {
 		b.rc.put(origin, ck, found, i, i, sum)
 	}
-	return found, hops, nil
+	return found, c, nil
 }
 
 // Range returns every stored key in [lo, hi] in ascending order, plus
 // the message cost: one floor query plus one message per storage block
 // the walk crosses, within every stripe the interval overlaps.
 func (b *Blocked) Range(lo, hi uint64, origin HostID) ([]uint64, int, error) {
+	keys, c, err := b.rangeCost(lo, hi, origin)
+	return keys, c.Hops, err
+}
+
+// rangeCost is Range returning the full hop/latency cost pair — the
+// variant RangeBatch surfaces per-query latency through.
+func (b *Blocked) rangeCost(lo, hi uint64, origin HostID) ([]uint64, core.Cost, error) {
 	if lo > hi {
-		return nil, 0, fmt.Errorf("skipwebs: empty range [%d, %d]", lo, hi)
+		return nil, core.Cost{}, fmt.Errorf("skipwebs: empty range [%d, %d]", lo, hi)
 	}
 	s0, s1 := b.st.of(lo), b.st.of(hi)
 	if s0 == s1 {
 		b.st.rlock(s0)
-		keys, hops, err := b.ws[s0].Range(lo, hi, origin)
+		keys, c, err := b.ws[s0].RangeCost(lo, hi, origin)
 		b.st.runlock(s0)
 		if err != nil {
-			return keys, hops, fmt.Errorf("skipwebs: %w", err)
+			return keys, c, fmt.Errorf("skipwebs: %w", err)
 		}
-		return keys, hops, nil
+		return keys, c, nil
 	}
 	var keys []uint64
-	hops := 0
+	var cost core.Cost
 	for i := s0; i <= s1; i++ {
 		b.st.rlock(i)
-		ks, h, err := b.ws[i].Range(lo, hi, origin)
+		ks, c, err := b.ws[i].RangeCost(lo, hi, origin)
 		b.st.runlock(i)
-		hops += h
+		cost.Hops += c.Hops
+		cost.Latency += c.Latency
 		if err != nil {
-			return keys, hops, fmt.Errorf("skipwebs: %w", err)
+			return keys, cost, fmt.Errorf("skipwebs: %w", err)
 		}
 		keys = append(keys, ks...)
 	}
-	return keys, hops, nil
+	return keys, cost, nil
 }
 
 // Insert adds a key, returning the update's message cost — O(log n /
@@ -638,16 +683,16 @@ func (b *Blocked) FloorBatch(qs []uint64, origins []HostID) ([]FloorResult, erro
 // ContainsBatch answers one membership query per key concurrently.
 func (b *Blocked) ContainsBatch(keys []uint64, origins []HostID) ([]ContainsResult, error) {
 	return runReadBatch(b.c, keys, origins, func(k uint64, origin HostID) (ContainsResult, error) {
-		ok, hops, err := b.Contains(k, origin)
-		return ContainsResult{Found: ok, Hops: hops}, err
+		ok, c, err := b.containsCost(k, origin)
+		return ContainsResult{Found: ok, Hops: c.Hops, Latency: c.Latency}, err
 	})
 }
 
 // RangeBatch answers one range query per element of rs concurrently.
 func (b *Blocked) RangeBatch(rs []KeyRange, origins []HostID) ([]RangeResult, error) {
 	return runReadBatch(b.c, rs, origins, func(r KeyRange, origin HostID) (RangeResult, error) {
-		keys, hops, err := b.Range(r.Lo, r.Hi, origin)
-		return RangeResult{Keys: keys, Hops: hops}, err
+		keys, c, err := b.rangeCost(r.Lo, r.Hi, origin)
+		return RangeResult{Keys: keys, Hops: c.Hops, Latency: c.Latency}, err
 	})
 }
 
@@ -755,7 +800,7 @@ func NewBucketed(c *Cluster, keys []uint64, opts Options) (*Bucketed, error) {
 		target = len(keys)/c.Hosts() + 1
 	}
 	st, parts := splitKeysByStripe(keys, opts.WriteStripes)
-	done := c.beginBuild(opts.Durable)
+	done := c.beginBuild(opts)
 	ws := make([]*core.BucketWeb, st.n())
 	for i, part := range parts {
 		w, err := core.NewBucketWeb(c.network(), part, target, opts.M,
@@ -817,29 +862,30 @@ func (b *Bucketed) Floor(q uint64, origin HostID) (FloorResult, error) {
 		sum = b.rc.churnNow()
 	}
 	i0 := b.st.of(q)
-	hops := 0
+	var cost core.Cost
 	for i := i0; ; i-- {
 		b.st.rlock(i)
 		if b.rc != nil {
 			sum += uint64(b.st.writeCount(i))
 		}
-		k, ok, h, err := b.ws[i].Query(q, origin)
+		k, ok, c, err := b.ws[i].QueryCost(q, origin)
 		b.st.runlock(i)
-		hops += h
+		cost.Hops += c.Hops
+		cost.Latency += c.Latency
 		if err != nil {
-			return FloorResult{Hops: hops}, fmt.Errorf("skipwebs: %w", err)
+			return FloorResult{Hops: cost.Hops, Latency: cost.Latency}, fmt.Errorf("skipwebs: %w", err)
 		}
 		if ok {
 			if b.rc != nil {
 				b.rc.put(origin, key, FloorResult{Key: k, Found: true}, i, i0, sum)
 			}
-			return FloorResult{Key: k, Found: true, Hops: hops}, nil
+			return FloorResult{Key: k, Found: true, Hops: cost.Hops, Latency: cost.Latency}, nil
 		}
 		if i == 0 {
 			if b.rc != nil {
 				b.rc.put(origin, key, FloorResult{}, 0, i0, sum)
 			}
-			return FloorResult{Found: false, Hops: hops}, nil
+			return FloorResult{Found: false, Hops: cost.Hops, Latency: cost.Latency}, nil
 		}
 	}
 }
@@ -849,15 +895,22 @@ func (b *Bucketed) Floor(q uint64, origin HostID) (FloorResult, error) {
 // membership needs only the stripe owning the key, so no cross-stripe
 // fallback is charged.
 func (b *Bucketed) Contains(key uint64, origin HostID) (bool, int, error) {
+	found, c, err := b.containsCost(key, origin)
+	return found, c.Hops, err
+}
+
+// containsCost is Contains returning the full hop/latency cost pair —
+// the variant ContainsBatch surfaces per-query latency through.
+func (b *Bucketed) containsCost(key uint64, origin HostID) (bool, core.Cost, error) {
 	i := b.st.of(key)
 	if b.nb != nil && b.nb.definitelyAbsent(origin, i, hashKey64(key)) {
-		return false, 0, nil
+		return false, core.Cost{}, nil
 	}
 	ck := cacheKey{op: opContains, code: key}
 	var sum uint64
 	if b.rc != nil {
 		if v, ok := b.rc.get(origin, ck); ok {
-			return v.(bool), 0, nil
+			return v.(bool), core.Cost{}, nil
 		}
 		sum = b.rc.churnNow()
 	}
@@ -865,10 +918,10 @@ func (b *Bucketed) Contains(key uint64, origin HostID) (bool, int, error) {
 	if b.rc != nil {
 		sum += uint64(b.st.writeCount(i))
 	}
-	kk, ok, hops, err := b.ws[i].Query(key, origin)
+	kk, ok, c, err := b.ws[i].QueryCost(key, origin)
 	b.st.runlock(i)
 	if err != nil {
-		return false, hops, fmt.Errorf("skipwebs: %w", err)
+		return false, c, fmt.Errorf("skipwebs: %w", err)
 	}
 	found := ok && kk == key
 	if b.nb != nil && !found {
@@ -877,39 +930,47 @@ func (b *Bucketed) Contains(key uint64, origin HostID) (bool, int, error) {
 	if b.rc != nil {
 		b.rc.put(origin, ck, found, i, i, sum)
 	}
-	return found, hops, nil
+	return found, c, nil
 }
 
 // Range returns every stored key in [lo, hi] in ascending order, plus
 // the message cost: one routed floor query plus one message per bucket
 // visited, within every stripe the interval overlaps.
 func (b *Bucketed) Range(lo, hi uint64, origin HostID) ([]uint64, int, error) {
+	keys, c, err := b.rangeCost(lo, hi, origin)
+	return keys, c.Hops, err
+}
+
+// rangeCost is Range returning the full hop/latency cost pair — the
+// variant RangeBatch surfaces per-query latency through.
+func (b *Bucketed) rangeCost(lo, hi uint64, origin HostID) ([]uint64, core.Cost, error) {
 	if lo > hi {
-		return nil, 0, fmt.Errorf("skipwebs: empty range [%d, %d]", lo, hi)
+		return nil, core.Cost{}, fmt.Errorf("skipwebs: empty range [%d, %d]", lo, hi)
 	}
 	s0, s1 := b.st.of(lo), b.st.of(hi)
 	if s0 == s1 {
 		b.st.rlock(s0)
-		keys, hops, err := b.ws[s0].Range(lo, hi, origin)
+		keys, c, err := b.ws[s0].RangeCost(lo, hi, origin)
 		b.st.runlock(s0)
 		if err != nil {
-			return keys, hops, fmt.Errorf("skipwebs: %w", err)
+			return keys, c, fmt.Errorf("skipwebs: %w", err)
 		}
-		return keys, hops, nil
+		return keys, c, nil
 	}
 	var keys []uint64
-	hops := 0
+	var cost core.Cost
 	for i := s0; i <= s1; i++ {
 		b.st.rlock(i)
-		ks, h, err := b.ws[i].Range(lo, hi, origin)
+		ks, c, err := b.ws[i].RangeCost(lo, hi, origin)
 		b.st.runlock(i)
-		hops += h
+		cost.Hops += c.Hops
+		cost.Latency += c.Latency
 		if err != nil {
-			return keys, hops, fmt.Errorf("skipwebs: %w", err)
+			return keys, cost, fmt.Errorf("skipwebs: %w", err)
 		}
 		keys = append(keys, ks...)
 	}
-	return keys, hops, nil
+	return keys, cost, nil
 }
 
 // Insert adds a key, returning the update's message cost — Õ(log_M H)
@@ -953,16 +1014,16 @@ func (b *Bucketed) FloorBatch(qs []uint64, origins []HostID) ([]FloorResult, err
 // ContainsBatch answers one membership query per key concurrently.
 func (b *Bucketed) ContainsBatch(keys []uint64, origins []HostID) ([]ContainsResult, error) {
 	return runReadBatch(b.c, keys, origins, func(k uint64, origin HostID) (ContainsResult, error) {
-		ok, hops, err := b.Contains(k, origin)
-		return ContainsResult{Found: ok, Hops: hops}, err
+		ok, c, err := b.containsCost(k, origin)
+		return ContainsResult{Found: ok, Hops: c.Hops, Latency: c.Latency}, err
 	})
 }
 
 // RangeBatch answers one range query per element of rs concurrently.
 func (b *Bucketed) RangeBatch(rs []KeyRange, origins []HostID) ([]RangeResult, error) {
 	return runReadBatch(b.c, rs, origins, func(r KeyRange, origin HostID) (RangeResult, error) {
-		keys, hops, err := b.Range(r.Lo, r.Hi, origin)
-		return RangeResult{Keys: keys, Hops: hops}, err
+		keys, c, err := b.rangeCost(r.Lo, r.Hi, origin)
+		return RangeResult{Keys: keys, Hops: c.Hops, Latency: c.Latency}, err
 	})
 }
 

@@ -35,6 +35,10 @@ type Trapezoid struct {
 	LeftX, RightX     int64
 	// Hops is the number of messages the query cost.
 	Hops int
+	// Latency is the query's modeled critical-path latency under the
+	// cluster's latency model, in model units. Zero without a model and
+	// zero on cache hits.
+	Latency int64
 }
 
 // Planar is a skip-web over a trapezoidal map of non-crossing segments
@@ -62,7 +66,7 @@ func NewPlanar(c *Cluster, segments []PlanarSegment, bounds PlanarBounds, opts O
 	ops := core.TrapOps{Bounds: trapmap.Rect{
 		MinX: bounds.MinX, MinY: bounds.MinY, MaxX: bounds.MaxX, MaxY: bounds.MaxY,
 	}}
-	done := c.beginBuild(opts.Durable)
+	done := c.beginBuild(opts)
 	w, err := core.NewWeb[*trapmap.Map, trapmap.Segment, trapmap.Point](
 		ops, c.network(), segs, core.Config{Seed: opts.Seed, Replicas: opts.Replicas})
 	done()
@@ -109,6 +113,7 @@ func (p *Planar) Locate(q PlanarPoint, origin HostID) (Trapezoid, error) {
 		LeftX:     t.L / trapmap.Scale,
 		RightX:    t.R / trapmap.Scale,
 		Hops:      res.Hops,
+		Latency:   res.Latency,
 	}
 	if t.HasTop {
 		out.Top = PlanarSegment{
@@ -124,7 +129,7 @@ func (p *Planar) Locate(q PlanarPoint, origin HostID) (Trapezoid, error) {
 	}
 	if p.rc != nil {
 		memo := out
-		memo.Hops = 0
+		memo.Hops, memo.Latency = 0, 0
 		p.rc.put(origin, ck, memo, 0, 0, sum)
 	}
 	return out, nil

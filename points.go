@@ -30,6 +30,10 @@ type PointLocation struct {
 	CellBits   int
 	// Hops is the number of messages the query cost.
 	Hops int
+	// Latency is the query's modeled critical-path latency under the
+	// cluster's latency model, in model units. Zero without a model and
+	// zero on cache hits.
+	Latency int64
 }
 
 // Points is a skip-web over a d-dimensional point set, built on
@@ -59,7 +63,7 @@ func NewPoints(c *Cluster, d int, points []Point, opts Options) (*Points, error)
 	if err != nil {
 		return nil, fmt.Errorf("skipwebs: %w", err)
 	}
-	done := c.beginBuild(opts.Durable)
+	done := c.beginBuild(opts)
 	ws := make([]*core.Web[*quadtree.Tree, quadtree.Point, uint64], st.n())
 	for i, part := range parts {
 		// Each stripe web owns a private QuadOps: the adapter reuses
@@ -211,7 +215,7 @@ func (p *Points) Locate(q Point, origin HostID) (PointLocation, error) {
 	}
 	g := p.ws[i].GroundStructure()
 	id := quadtree.NodeID(res.Range)
-	loc := PointLocation{Hops: res.Hops}
+	loc := PointLocation{Hops: res.Hops, Latency: res.Latency}
 	cell := g.CellOf(id)
 	loc.CellPrefix, loc.CellBits = cell.Prefix, cell.PLen
 	if g.IsLeaf(id) {
@@ -220,7 +224,7 @@ func (p *Points) Locate(q Point, origin HostID) (PointLocation, error) {
 	}
 	if p.rc != nil {
 		memo := loc
-		memo.Hops = 0
+		memo.Hops, memo.Latency = 0, 0
 		p.rc.put(origin, ck, memo, i, i, sum)
 	}
 	return loc, nil
@@ -230,16 +234,23 @@ func (p *Points) Locate(q Point, origin HostID) (PointLocation, error) {
 // expected messages, the same bound as Locate. Exact membership needs
 // only the stripe owning the point's Morton code.
 func (p *Points) Contains(q Point, origin HostID) (bool, int, error) {
+	found, c, err := p.containsCost(q, origin)
+	return found, c.Hops, err
+}
+
+// containsCost is Contains returning the full hop/latency cost pair —
+// the variant ContainsBatch surfaces per-query latency through.
+func (p *Points) containsCost(q Point, origin HostID) (bool, core.Cost, error) {
 	if p.nb != nil {
 		// An invalid point falls through to Locate for its exact error.
 		if code, err := p.ops.Code(quadtree.Point(q)); err == nil &&
 			p.nb.definitelyAbsent(origin, p.st.of(code), hashKey64(code)) {
-			return false, 0, nil
+			return false, core.Cost{}, nil
 		}
 	}
 	loc, err := p.Locate(q, origin)
 	if err != nil {
-		return false, 0, err
+		return false, core.Cost{}, err
 	}
 	found := loc.Leaf && len(loc.LeafPoint) == len(q)
 	if found {
@@ -253,7 +264,7 @@ func (p *Points) Contains(q Point, origin HostID) (bool, int, error) {
 	if p.nb != nil && !found {
 		p.nb.falsePositive(origin)
 	}
-	return found, loc.Hops, nil
+	return found, core.Cost{Hops: loc.Hops, Latency: loc.Latency}, nil
 }
 
 // Nearest returns the exact nearest stored point to q under squared
@@ -267,6 +278,16 @@ func (p *Points) Contains(q Point, origin HostID) (bool, int, error) {
 // that shared bound, so the extra expansions stay close to the
 // single-tree search's.
 func (p *Points) Nearest(q Point, origin HostID) (Point, int, error) {
+	pt, c, err := p.nearestCost(q, origin)
+	return pt, c.Hops, err
+}
+
+// nearestCost is Nearest returning the full hop/latency cost pair — the
+// variant NearestBatch surfaces per-query latency through. Latency
+// covers the routed point-location descent; the best-first refinement's
+// expansions are charged as hops only (the search walks ground trees
+// without tracking per-node host placement).
+func (p *Points) nearestCost(q Point, origin HostID) (Point, core.Cost, error) {
 	var ck cacheKey
 	var sum uint64
 	if p.rc != nil {
@@ -274,14 +295,14 @@ func (p *Points) Nearest(q Point, origin HostID) (Point, int, error) {
 		if code, cerr := p.ops.Code(quadtree.Point(q)); cerr == nil {
 			ck = cacheKey{op: opNearest, code: code}
 			if v, ok := p.rc.get(origin, ck); ok {
-				return v.(Point), 0, nil
+				return v.(Point), core.Cost{}, nil
 			}
 			sum = p.rc.churnNow()
 		}
 	}
 	loc, err := p.Locate(q, origin)
 	if err != nil {
-		return nil, 0, err
+		return nil, core.Cost{}, err
 	}
 	own := p.st.of(p.stripeCode(q))
 	var best quadtree.Point
@@ -310,13 +331,14 @@ func (p *Points) Nearest(q Point, origin HostID) (Point, int, error) {
 		}
 	}
 	if best == nil {
-		return nil, loc.Hops + extra, fmt.Errorf("skipwebs: empty point set")
+		return nil, core.Cost{Hops: loc.Hops + extra, Latency: loc.Latency},
+			fmt.Errorf("skipwebs: empty point set")
 	}
 	if p.rc != nil {
 		// The refinement read every stripe, so the epoch spans them all.
 		p.rc.put(origin, ck, Point(best), 0, len(p.ws)-1, sum)
 	}
-	return Point(best), loc.Hops + extra, nil
+	return Point(best), core.Cost{Hops: loc.Hops + extra, Latency: loc.Latency}, nil
 }
 
 // nearestItem is one frontier entry of the best-first search.
@@ -491,6 +513,10 @@ type NearestResult struct {
 	Point Point
 	// Hops is the number of messages the query cost.
 	Hops int
+	// Latency is the modeled critical-path latency of the routed
+	// point-location descent, in model units (refinement expansions are
+	// hop-only; see Nearest). Zero without a model and zero on cache hits.
+	Latency int64
 }
 
 // LocateBatch answers one point-location query per element of qs
@@ -503,8 +529,8 @@ func (p *Points) LocateBatch(qs []Point, origins []HostID) ([]PointLocation, err
 // ContainsBatch answers one exact-membership query per point concurrently.
 func (p *Points) ContainsBatch(qs []Point, origins []HostID) ([]ContainsResult, error) {
 	return runReadBatch(p.c, qs, origins, func(q Point, origin HostID) (ContainsResult, error) {
-		ok, hops, err := p.Contains(q, origin)
-		return ContainsResult{Found: ok, Hops: hops}, err
+		ok, c, err := p.containsCost(q, origin)
+		return ContainsResult{Found: ok, Hops: c.Hops, Latency: c.Latency}, err
 	})
 }
 
@@ -512,8 +538,8 @@ func (p *Points) ContainsBatch(qs []Point, origins []HostID) ([]ContainsResult, 
 // concurrently.
 func (p *Points) NearestBatch(qs []Point, origins []HostID) ([]NearestResult, error) {
 	return runReadBatch(p.c, qs, origins, func(q Point, origin HostID) (NearestResult, error) {
-		pt, hops, err := p.Nearest(q, origin)
-		return NearestResult{Point: pt, Hops: hops}, err
+		pt, c, err := p.nearestCost(q, origin)
+		return NearestResult{Point: pt, Hops: c.Hops, Latency: c.Latency}, err
 	})
 }
 

@@ -134,9 +134,60 @@ type Cluster struct {
 	doTimeout time.Duration
 }
 
+// CostModel is the pluggable per-link latency model of the accounting
+// spine: a pure function from an ordered host pair to a latency, in
+// abstract model units (read them as microseconds). Install one with
+// WithLatency (or Options.Latency) and every charged message accumulates
+// its sampled link cost onto the operation's critical path — sequential
+// hops add, replicated write-through fan-outs pay the max over mirrors —
+// while every existing counter (hops, messages, storage, congestion)
+// stays untouched. Purity is load-bearing: identical seeds give
+// identical per-operation latencies regardless of GOMAXPROCS, batch
+// grouping, or stripe count. Construct models with FixedLatency,
+// UniformLatency, LogNormalLatency, and TwoLevelLatency.
+type CostModel = sim.CostModel
+
+// FixedLatency returns the constant-cost model: every cross-host
+// message costs c units. FixedLatency(0) measures latency machinery with
+// zero cost; a nil model skips the machinery entirely.
+func FixedLatency(c int64) CostModel { return sim.Fixed(c) }
+
+// UniformLatency returns a model whose per-link cost is a fixed uniform
+// sample in [lo, hi], drawn once per ordered host pair from the seed.
+func UniformLatency(seed uint64, lo, hi int64) CostModel { return sim.Uniform(seed, lo, hi) }
+
+// LogNormalLatency returns a model whose per-link cost is a fixed
+// LogNormal(mu, sigma) sample per ordered host pair — the heavy-tailed
+// WAN regime where hop counts and critical-path latency diverge.
+func LogNormalLatency(seed uint64, mu, sigma float64) CostModel {
+	return sim.LogNormal(seed, mu, sigma)
+}
+
+// TwoLevelLatency returns the 2-level rack/region topology model: hosts
+// h and g share a rack when h/rackSize == g/rackSize, intra-rack links
+// cost intra.Link, cross-rack links cost inter.Link.
+func TwoLevelLatency(rackSize int, intra, inter CostModel) CostModel {
+	return sim.TwoLevel(rackSize, intra, inter)
+}
+
+// ClusterOption configures a Cluster at construction.
+type ClusterOption func(*Cluster)
+
+// WithLatency installs m as the cluster's per-link latency model before
+// any traffic flows. Nil leaves the default zero-latency accounting,
+// which is bit-identical — counter for counter — to a cluster built
+// without the option.
+func WithLatency(m CostModel) ClusterOption {
+	return func(c *Cluster) { c.net.SetCostModel(m) }
+}
+
 // NewCluster creates a cluster of h hosts. It panics if h <= 0.
-func NewCluster(h int) *Cluster {
-	return &Cluster{net: sim.NewNetwork(h)}
+func NewCluster(h int, opts ...ClusterOption) *Cluster {
+	c := &Cluster{net: sim.NewNetwork(h)}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 // NewWireCluster creates a cluster of h hosts whose batch dispatch rides
@@ -147,8 +198,8 @@ func NewCluster(h int) *Cluster {
 // so this is the drop-in way to exercise the public API over real
 // sockets. It returns an error when the loopback listeners cannot be
 // opened. Call Close to release the sockets.
-func NewWireCluster(h int) (*Cluster, error) {
-	c := NewCluster(h)
+func NewWireCluster(h int, opts ...ClusterOption) (*Cluster, error) {
+	c := NewCluster(h, opts...)
 	// Open the transport eagerly so listener failures surface here as an
 	// error rather than as a panic at first batch, and so Close always
 	// releases the sockets even if no batch ever runs.
@@ -217,16 +268,21 @@ func (c *Cluster) attach(m migrator) {
 
 // beginBuild prepares the cluster for a structure build and returns the
 // completion hook the constructor must call when the build is done.
-// With durable set, the cluster-wide durable storage model is enabled
-// (idempotent — the first durable structure turns it on for every host,
-// and it stays on for the cluster's lifetime) and paused for the
-// duration of the build: bulk construction charges storage only,
+// With opts.Durable set, the cluster-wide durable storage model is
+// enabled (idempotent — the first durable structure turns it on for
+// every host, and it stays on for the cluster's lifetime) and paused for
+// the duration of the build: bulk construction charges storage only,
 // exactly like the non-durable path, and the finished structure is
 // folded into one fresh checkpoint per host instead of n WAL appends.
 // Builds on an already-durable cluster pause the same way regardless of
-// their own flag.
-func (c *Cluster) beginBuild(durable bool) func() {
-	if durable {
+// their own flag. With opts.Latency set, the cluster-wide latency model
+// is installed (also idempotent: the first model wins, like
+// WithLatency at construction) before the build's traffic flows.
+func (c *Cluster) beginBuild(opts Options) func() {
+	if opts.Latency != nil && c.net.CostModel() == nil {
+		c.net.SetCostModel(opts.Latency)
+	}
+	if opts.Durable {
 		c.net.EnableDurability(sim.DefaultCheckpointEvery)
 	}
 	if !c.net.Durable() {
@@ -523,6 +579,17 @@ type Stats struct {
 	// bloom let through to a full descent.
 	BloomTrueNegatives  int64
 	BloomFalsePositives int64
+	// Latency summary of completed operations under the cluster's
+	// latency model (Options.Latency / WithLatency), in model units —
+	// all zeros without a model. LatencyOps counts every operation the
+	// network completed (queries, updates, and churn alike); the
+	// quantiles are log-bucketed, within 12.5% of exact. For exact
+	// per-query latency use the Latency field of the query results.
+	LatencyOps  int64
+	LatencyMean float64
+	LatencyP50  int64
+	LatencyP99  int64
+	LatencyMax  int64
 }
 
 // cacheStatser is implemented by every structure via the embedded
@@ -545,6 +612,11 @@ func (c *Cluster) Stats() Stats {
 		MeanStorage:    s.MeanStorage,
 		MaxCongestion:  s.MaxCongestion,
 		MeanCongestion: s.MeanCongestion,
+		LatencyOps:     s.LatencyOps,
+		LatencyMean:    s.LatencyMean,
+		LatencyP50:     s.LatencyP50,
+		LatencyP99:     s.LatencyP99,
+		LatencyMax:     s.LatencyMax,
 	}
 	for _, m := range c.structs {
 		if cs, ok := m.(cacheStatser); ok {
@@ -581,6 +653,22 @@ func (c *Cluster) ResetTraffic() {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	c.net.ResetTraffic()
+}
+
+// WorkersStarted reports how many per-host worker goroutines the batch
+// engine has actually launched. Workers start lazily on first use, so
+// the count is bounded by the number of distinct hosts batch work has
+// been dispatched to — not the cluster size — and is zero before the
+// first batch. It is the scale-mode observability counter: a 10k-host
+// cluster answering batches that touch 300 hosts runs 300 goroutines.
+// No messages are charged.
+func (c *Cluster) WorkersStarted() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.workers == nil {
+		return 0
+	}
+	return c.workers.WorkersStarted()
 }
 
 // Close stops the per-host worker goroutines backing batch execution,

@@ -21,6 +21,10 @@ type StringLocation struct {
 	Exact bool
 	// Hops is the number of messages the query cost.
 	Hops int
+	// Latency is the query's modeled critical-path latency under the
+	// cluster's latency model, in model units. Zero without a model and
+	// zero on cache hits.
+	Latency int64
 }
 
 // Strings is a skip-web over a set of character strings, built on
@@ -42,7 +46,7 @@ type Strings struct {
 // materialized — Contains and PrefixSearch results are unchanged.
 func NewStrings(c *Cluster, keys []string, opts Options) (*Strings, error) {
 	st, parts := splitStringsByStripe(keys, opts.WriteStripes)
-	done := c.beginBuild(opts.Durable)
+	done := c.beginBuild(opts)
 	ws := make([]*core.Web[*trie.Trie, string, string], st.n())
 	for i, part := range parts {
 		w, err := core.NewWeb[*trie.Trie, string, string](
@@ -124,14 +128,15 @@ func (s *Strings) Search(q string, origin HostID) (StringLocation, error) {
 	id := trie.NodeID(res.Range)
 	locus := g.Locus(id)
 	loc := StringLocation{
-		Locus: locus,
-		IsKey: g.IsKey(id),
-		Exact: g.IsKey(id) && locus == q,
-		Hops:  res.Hops,
+		Locus:   locus,
+		IsKey:   g.IsKey(id),
+		Exact:   g.IsKey(id) && locus == q,
+		Hops:    res.Hops,
+		Latency: res.Latency,
 	}
 	if s.rc != nil {
 		memo := loc
-		memo.Hops = 0
+		memo.Hops, memo.Latency = 0, 0
 		s.rc.put(origin, ck, memo, i, i, sum)
 	}
 	return loc, nil
@@ -141,17 +146,24 @@ func (s *Strings) Search(q string, origin HostID) (StringLocation, error) {
 // messages, the same bound as Search. A stored key lives in the stripe
 // its code routes to, so membership needs only that stripe.
 func (s *Strings) Contains(q string, origin HostID) (bool, int, error) {
+	found, c, err := s.containsCost(q, origin)
+	return found, c.Hops, err
+}
+
+// containsCost is Contains returning the full hop/latency cost pair —
+// the variant ContainsBatch surfaces per-query latency through.
+func (s *Strings) containsCost(q string, origin HostID) (bool, core.Cost, error) {
 	if s.nb != nil && s.nb.definitelyAbsent(origin, s.st.of(stringCode(q)), hashKeyString(q)) {
-		return false, 0, nil
+		return false, core.Cost{}, nil
 	}
 	loc, err := s.Search(q, origin)
 	if err != nil {
-		return false, 0, err
+		return false, core.Cost{}, err
 	}
 	if s.nb != nil && !loc.Exact {
 		s.nb.falsePositive(origin)
 	}
-	return loc.Exact, loc.Hops, nil
+	return loc.Exact, core.Cost{Hops: loc.Hops, Latency: loc.Latency}, nil
 }
 
 // PrefixSearch returns up to max stored keys with the given prefix (max
@@ -163,6 +175,15 @@ func (s *Strings) Contains(q string, origin HostID) (bool, int, error) {
 // concatenates the per-stripe sorted results (stripes hold contiguous
 // code ranges, so the concatenation is sorted).
 func (s *Strings) PrefixSearch(prefix string, max int, origin HostID) ([]string, int, error) {
+	keys, c, err := s.prefixSearchCost(prefix, max, origin)
+	return keys, c.Hops, err
+}
+
+// prefixSearchCost is PrefixSearch returning the full hop/latency cost
+// pair — the variant PrefixSearchBatch surfaces per-query latency
+// through. Latency covers the routed searches; the per-result
+// enumeration hops are hop-only (see prefixInStripe).
+func (s *Strings) prefixSearchCost(prefix string, max int, origin HostID) ([]string, core.Cost, error) {
 	ck := cacheKey{op: opPrefix, code: uint64(max), str: prefix}
 	var sum uint64
 	if s.rc != nil {
@@ -170,16 +191,16 @@ func (s *Strings) PrefixSearch(prefix string, max int, origin HostID) ([]string,
 			// Hand out a fresh copy; the memoized slice stays private.
 			memo := v.([]string)
 			if memo == nil {
-				return nil, 0, nil
+				return nil, core.Cost{}, nil
 			}
-			return append([]string(nil), memo...), 0, nil
+			return append([]string(nil), memo...), core.Cost{}, nil
 		}
 		sum = s.rc.churnNow()
 	}
 	s0 := s.st.of(stringCode(prefix))
 	s1 := s.st.of(prefixCodeHi(prefix))
 	var keys []string
-	hops := 0
+	var cost core.Cost
 	last := s0
 	for i := s0; i <= s1; i++ {
 		remaining := max
@@ -189,12 +210,13 @@ func (s *Strings) PrefixSearch(prefix string, max int, origin HostID) ([]string,
 				break
 			}
 		}
-		ks, h, wc, err := s.prefixInStripe(i, prefix, remaining, origin)
+		ks, c, wc, err := s.prefixInStripe(i, prefix, remaining, origin)
 		sum += wc
 		last = i
-		hops += h
+		cost.Hops += c.Hops
+		cost.Latency += c.Latency
 		if err != nil {
-			return keys, hops, err
+			return keys, cost, err
 		}
 		keys = append(keys, ks...)
 	}
@@ -203,20 +225,22 @@ func (s *Strings) PrefixSearch(prefix string, max int, origin HostID) ([]string,
 		// means max was reached, which the control breaks on identically.
 		s.rc.put(origin, ck, append([]string(nil), keys...), s0, last, sum)
 	}
-	return keys, hops, nil
+	return keys, cost, nil
 }
 
 // prefixInStripe enumerates stripe i's keys with the given prefix: a
 // routed search to the prefix locus plus one charged hop per result.
+// Latency covers the routed search only — the enumeration's per-result
+// hops walk the ground trie without tracking per-locus host placement.
 // The third result is the stripe's write counter captured under its
 // reader lock — the epoch component the caller's cache entry stores.
-func (s *Strings) prefixInStripe(i int, prefix string, max int, origin HostID) ([]string, int, uint64, error) {
+func (s *Strings) prefixInStripe(i int, prefix string, max int, origin HostID) ([]string, core.Cost, uint64, error) {
 	s.st.rlock(i)
 	defer s.st.runlock(i)
 	wc := uint64(s.st.writeCount(i))
 	res, err := s.ws[i].Query(prefix, origin)
 	if err != nil {
-		return nil, 0, wc, fmt.Errorf("skipwebs: %w", err)
+		return nil, core.Cost{}, wc, fmt.Errorf("skipwebs: %w", err)
 	}
 	g := s.ws[i].GroundStructure()
 	locus := g.Locus(trie.NodeID(res.Range))
@@ -224,11 +248,11 @@ func (s *Strings) prefixInStripe(i int, prefix string, max int, origin HostID) (
 	// subtree holding all `prefix`-keys hangs at or just below it.
 	if !strings.HasPrefix(locus, prefix) {
 		if _, ok := g.LocatePrefix(prefix); !ok {
-			return nil, res.Hops, wc, nil
+			return nil, core.Cost{Hops: res.Hops, Latency: res.Latency}, wc, nil
 		}
 	}
 	keys := g.KeysWithPrefix(prefix, max)
-	return keys, res.Hops + len(keys), wc, nil
+	return keys, core.Cost{Hops: res.Hops + len(keys), Latency: res.Latency}, wc, nil
 }
 
 // prefixCodeHi is the largest stripe code any string with the given
@@ -287,6 +311,10 @@ type PrefixResult struct {
 	Keys []string
 	// Hops is the number of messages the query cost.
 	Hops int
+	// Latency is the modeled critical-path latency of the routed
+	// searches, in model units (per-result enumeration hops are
+	// hop-only). Zero without a model and zero on cache hits.
+	Latency int64
 }
 
 // SearchBatch answers one trie search per element of qs concurrently (see
@@ -298,8 +326,8 @@ func (s *Strings) SearchBatch(qs []string, origins []HostID) ([]StringLocation, 
 // ContainsBatch answers one exact-membership query per key concurrently.
 func (s *Strings) ContainsBatch(qs []string, origins []HostID) ([]ContainsResult, error) {
 	return runReadBatch(s.c, qs, origins, func(q string, origin HostID) (ContainsResult, error) {
-		ok, hops, err := s.Contains(q, origin)
-		return ContainsResult{Found: ok, Hops: hops}, err
+		ok, c, err := s.containsCost(q, origin)
+		return ContainsResult{Found: ok, Hops: c.Hops, Latency: c.Latency}, err
 	})
 }
 
@@ -307,8 +335,8 @@ func (s *Strings) ContainsBatch(qs []string, origins []HostID) ([]ContainsResult
 // concurrently, each returning up to max keys (max <= 0 means all).
 func (s *Strings) PrefixSearchBatch(prefixes []string, max int, origins []HostID) ([]PrefixResult, error) {
 	return runReadBatch(s.c, prefixes, origins, func(p string, origin HostID) (PrefixResult, error) {
-		keys, hops, err := s.PrefixSearch(p, max, origin)
-		return PrefixResult{Keys: keys, Hops: hops}, err
+		keys, c, err := s.prefixSearchCost(p, max, origin)
+		return PrefixResult{Keys: keys, Hops: c.Hops, Latency: c.Latency}, err
 	})
 }
 
